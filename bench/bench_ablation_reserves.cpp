@@ -1,0 +1,99 @@
+// A1 (ablation) -- excess-capacity reserve policies in Lemma 3.4.
+//
+// The paper reserves a flat e processes per capacity object.  With the
+// EXACT process pool of Lemma 3.6 ((3r^2+r)/2 per side) and identical
+// processes -- which pile onto ONE object per piece, forcing the
+// counting argument's most expensive branch at every level -- the flat
+// policy can consume every process before the final piece, leaving no
+// runner to decide (see DESIGN.md, "reserve policy").  The adaptive
+// policy reserves r - |V'| per object added at set size |V'|: exactly
+// what any later Lemma 3.5 extension can demand (the union of two
+// incomparable sets is strictly larger than each), and never more.
+//
+// This bench runs the Lemma 3.4 construction under both policies on the
+// paper's exact pool and reports the outcome -- the ablation that
+// justifies the substitution recorded in DESIGN.md.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "core/bounds.h"
+#include "core/interruptible.h"
+#include "protocols/historyless_race.h"
+
+namespace randsync {
+namespace {
+
+struct Outcome {
+  bool ok = false;
+  std::size_t pieces = 0;
+  std::size_t reserved = 0;
+  std::string error;
+};
+
+Outcome construct(std::size_t r, ReservePolicy policy) {
+  const HistorylessRaceProtocol protocol = HistorylessRaceProtocol::mixed(r);
+  Configuration config(protocol.make_space(2));
+  std::set<ProcessId> members;
+  const std::size_t pool = general_adversary_processes(r) / 2;
+  for (std::size_t i = 0; i < pool; ++i) {
+    members.insert(
+        config.add_process(protocol.make_process(2, i, 0, 4000 + i)));
+  }
+  std::set<ObjectId> all;
+  for (ObjectId obj = 0; obj < r; ++obj) {
+    all.insert(obj);
+  }
+  InterruptibleOptions opt;
+  opt.policy = policy;
+  opt.flat_excess = r;  // the paper's e = w-bar = r at the top level
+  Outcome outcome;
+  try {
+    const auto exec = build_interruptible(config, {}, members, all, opt);
+    outcome.ok = true;
+    outcome.pieces = exec.pieces.size();
+    outcome.reserved = pool - exec.members.size();
+  } catch (const std::exception& e) {
+    outcome.error = e.what();
+  }
+  return outcome;
+}
+
+int run() {
+  bench::banner(
+      "A1 / ablation: flat (paper) vs adaptive excess-capacity reserves, "
+      "exact pool (3r^2+r)/2 per side");
+  std::printf("%3s %6s | %-9s %7s %9s | %-9s %7s %9s\n", "r", "pool",
+              "adaptive", "pieces", "reserved", "flat e=r", "pieces",
+              "reserved");
+  bench::rule(80);
+  for (std::size_t r = 1; r <= 7; ++r) {
+    const Outcome adaptive = construct(r, ReservePolicy::kAdaptive);
+    const Outcome flat = construct(r, ReservePolicy::kPaperFlat);
+    std::printf("%3zu %6zu | %-9s %7zu %9zu | %-9s %7zu %9zu\n", r,
+                general_adversary_processes(r) / 2,
+                adaptive.ok ? "ok" : "FAILS", adaptive.pieces,
+                adaptive.reserved, flat.ok ? "ok" : "FAILS", flat.pieces,
+                flat.reserved);
+    if (!flat.ok) {
+      std::printf("      flat failure: %s\n", flat.error.c_str());
+    }
+    if (!adaptive.ok) {
+      std::printf("      ADAPTIVE FAILURE (unexpected): %s\n",
+                  adaptive.error.c_str());
+      return 1;
+    }
+  }
+  std::printf(
+      "\nThe adaptive policy is what lets the executable adversary match\n"
+      "the paper's 3r^2 + r process bound exactly; with flat reserves the\n"
+      "same pool strands the construction (the paper's proof implicitly\n"
+      "assumes a decision arrives before the pool runs dry).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace randsync
+
+int main() { return randsync::run(); }

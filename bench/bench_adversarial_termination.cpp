@@ -1,0 +1,160 @@
+// A2 -- adversarial termination: strong (adaptive) schedulers vs the
+// randomized protocols.
+//
+// The model's adversary sees every coin flip already taken (flips are
+// folded into poised operations).  This bench pits protocol-aware
+// stallers (core/stallers.h) against the protocols and reports the
+// outcome -- the empirical content of the "global coin" story:
+//
+//   * local coins (rounds-consensus conciliator) -> the killer cancels
+//     every flip, FOREVER: no decision through the whole round budget;
+//   * a global coin (the drift-walk cursor: every flip of every process
+//     accumulates in one object) -> the strongest staller only DELAYS:
+//     its censorship capacity is one pending move per process, so the
+//     unbounded total-flip walk must cross a decision band;
+//   * bounded-step deterministic protocols (one CAS) are immune
+//     outright.
+//
+// Aspnes [6] (cited in the paper's introduction) proves the global
+// shared coin is unavoidable for adversary-robust randomized consensus;
+// this bench is that theorem's shape, measured.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/stallers.h"
+#include "protocols/drift_walk.h"
+#include "protocols/rounds_consensus.h"
+#include "protocols/single_object.h"
+
+namespace randsync {
+namespace {
+
+struct StallOutcome {
+  bool decided = false;
+  std::size_t target_steps = 0;
+};
+
+StallOutcome run_stalled(const ConsensusProtocol& protocol, std::size_t n,
+                         std::uint64_t seed, WalkStallerScheduler staller,
+                         std::size_t budget) {
+  Configuration config =
+      make_initial_configuration(protocol, alternating_inputs(n), seed);
+  std::size_t steps = 0;
+  while (steps < budget && !config.decided(0)) {
+    const auto pid = staller.next(config);
+    if (!pid) {
+      break;
+    }
+    config.step(*pid);
+    ++steps;
+  }
+  return {config.decided(0), staller.target_steps()};
+}
+
+std::size_t random_target_steps(const ConsensusProtocol& protocol,
+                                std::size_t n, std::uint64_t seed,
+                                std::size_t budget) {
+  Configuration config =
+      make_initial_configuration(protocol, alternating_inputs(n), seed);
+  RandomScheduler sched(seed);
+  std::size_t steps = 0;
+  std::size_t target_steps = 0;
+  while (steps < budget && !config.decided(0)) {
+    const auto pid = sched.next(config);
+    if (!pid) {
+      break;
+    }
+    if (*pid == 0) {
+      ++target_steps;
+    }
+    config.step(*pid);
+    ++steps;
+  }
+  return target_steps;
+}
+
+int run() {
+  bench::banner("A2 / adversarial termination: strong schedulers vs coins");
+
+  // --- local coin: rounds-consensus vs the round killer.
+  std::printf("rounds-consensus(K=24) vs RoundsKiller (2 processes):\n");
+  std::size_t killed = 0;
+  const std::size_t kill_trials = 10;
+  for (std::uint64_t seed = 0; seed < kill_trials; ++seed) {
+    RoundsConsensusProtocol protocol(24);
+    Configuration config = make_initial_configuration(
+        protocol, std::vector<int>{0, 1}, seed);
+    RoundsKillerScheduler killer;
+    bool exhausted = false;
+    try {
+      std::size_t steps = 0;
+      while (steps < 100'000) {
+        const auto pid = killer.next(config);
+        if (!pid) {
+          break;
+        }
+        config.step(*pid);
+        ++steps;
+      }
+    } catch (const std::exception&) {
+      exhausted = true;  // round budget exhausted: stalled forever
+    }
+    if (exhausted) {
+      ++killed;
+    }
+  }
+  std::printf("  stalled through the ENTIRE round budget: %zu / %zu runs\n\n",
+              killed, kill_trials);
+
+  // --- global coin: drift walks vs the walk staller.
+  std::printf("drift walks vs WalkStaller (n = 12, target = P0):\n");
+  std::printf("  %-14s %8s | %14s %14s %8s\n", "protocol", "seed",
+              "steps(random)", "steps(staller)", "delay x");
+  CounterWalkProtocol counter_walk;
+  FaaConsensusProtocol faa_walk;
+  struct Case {
+    const char* label;
+    const ConsensusProtocol* protocol;
+    bool faa;
+  };
+  const Case cases[] = {{"counter-walk", &counter_walk, false},
+                        {"faa-consensus", &faa_walk, true}};
+  bool all_decided = true;
+  for (const Case& c : cases) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      const std::size_t baseline =
+          random_target_steps(*c.protocol, 12, seed, 600'000);
+      const StallOutcome stalled = run_stalled(
+          *c.protocol, 12, seed,
+          c.faa ? make_faa_walk_staller(0) : make_counter_walk_staller(0),
+          600'000);
+      all_decided = all_decided && stalled.decided;
+      std::printf("  %-14s %8llu | %14zu %14zu %8.1f%s\n", c.label,
+                  static_cast<unsigned long long>(seed), baseline,
+                  stalled.target_steps,
+                  baseline ? static_cast<double>(stalled.target_steps) /
+                                 static_cast<double>(baseline)
+                           : 0.0,
+                  stalled.decided ? "" : "  UNDECIDED");
+    }
+  }
+
+  // --- bounded-step determinism is immune by construction.
+  std::printf("\ncas-consensus: decides in <= 2 of the target's own steps "
+              "under ANY scheduler (E8).\n");
+
+  std::printf(
+      "\nSummary: the local-coin protocol is stalled indefinitely (%zu/%zu);"
+      "\nthe global-coin walks are delayed but ALWAYS decide (%s) -- their\n"
+      "cursor absorbs every flip, and the adversary's censorship is capped\n"
+      "at one pending move per process (the same accounting that makes\n"
+      "their decisions safe).\n",
+      killed, kill_trials, all_decided ? "all runs decided" : "UNEXPECTED");
+  return (killed == kill_trials && all_decided) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace randsync
+
+int main() { return randsync::run(); }

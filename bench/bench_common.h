@@ -1,0 +1,96 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Each bench binary regenerates one artifact of the paper (see
+// DESIGN.md's experiment index and EXPERIMENTS.md for recorded
+// results); the helpers here gather run statistics and print aligned
+// tables.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "protocols/harness.h"
+
+namespace randsync::bench {
+
+/// Aggregate statistics over repeated consensus runs.
+struct RunStats {
+  std::size_t trials = 0;
+  std::size_t failures = 0;      ///< runs violating safety or not deciding
+  double mean_total_steps = 0;
+  std::size_t max_total_steps = 0;
+  double mean_steps_per_process = 0;
+  std::size_t max_steps_one_process = 0;
+};
+
+enum class SchedulerKind { kRandom, kContention, kRoundRobin };
+
+inline const char* to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kRandom:
+      return "random";
+    case SchedulerKind::kContention:
+      return "contention";
+    case SchedulerKind::kRoundRobin:
+      return "round-robin";
+  }
+  return "?";
+}
+
+/// Run `trials` independent consensus executions and aggregate.
+inline RunStats measure(const ConsensusProtocol& protocol, std::size_t n,
+                        SchedulerKind kind, std::size_t trials,
+                        std::size_t max_steps = 4'000'000) {
+  RunStats stats;
+  stats.trials = trials;
+  std::vector<double> steps;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::uint64_t seed = derive_seed(0xBE7C4, t * 1000 + n);
+    std::unique_ptr<Scheduler> scheduler;
+    switch (kind) {
+      case SchedulerKind::kRandom:
+        scheduler = std::make_unique<RandomScheduler>(seed);
+        break;
+      case SchedulerKind::kContention:
+        scheduler = std::make_unique<ContentionScheduler>(seed);
+        break;
+      case SchedulerKind::kRoundRobin:
+        scheduler = std::make_unique<RoundRobinScheduler>();
+        break;
+    }
+    const auto inputs = alternating_inputs(n);
+    const ConsensusRun run =
+        run_consensus(protocol, inputs, *scheduler, max_steps, seed);
+    if (!run.all_decided || !run.consistent || !run.valid) {
+      ++stats.failures;
+      continue;
+    }
+    steps.push_back(static_cast<double>(run.total_steps));
+    stats.max_total_steps = std::max(stats.max_total_steps, run.total_steps);
+    stats.max_steps_one_process =
+        std::max(stats.max_steps_one_process, run.max_steps_by_one);
+  }
+  if (!steps.empty()) {
+    stats.mean_total_steps =
+        std::accumulate(steps.begin(), steps.end(), 0.0) /
+        static_cast<double>(steps.size());
+    stats.mean_steps_per_process =
+        stats.mean_total_steps / static_cast<double>(n);
+  }
+  return stats;
+}
+
+/// Print a horizontal rule.
+inline void rule(std::size_t width = 100) {
+  std::printf("%s\n", std::string(width, '-').c_str());
+}
+
+/// Print a section banner.
+inline void banner(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+}  // namespace randsync::bench

@@ -1,0 +1,74 @@
+// E1 -- Figure 1: combining two executions.
+//
+// The primitive move behind every lower-bound argument in the paper:
+// an execution beta deciding 1 is rendered invisible by a block write
+// that re-fixes every object beta touched, after which an execution
+// alpha deciding 0 proceeds exactly as if beta never happened.  The
+// resulting single execution decides both values.
+//
+// Demonstrated here on the first-writer protocol (one register):
+//   * P (input 0) runs until poised to perform its first write -- the
+//     block write to V = {R0} is just P's write;
+//   * beta: Q (input 1) runs solo to completion, deciding 1 and
+//     leaving its value in R0;
+//   * the block write: P writes R0, obliterating Q's value;
+//   * alpha: P continues solo and decides 0.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "protocols/register_race.h"
+#include "runtime/executor.h"
+
+namespace randsync {
+namespace {
+
+int run() {
+  bench::banner("E1 / Figure 1: combining two executions");
+
+  RegisterRaceProtocol protocol(RaceVariant::kFirstWriter, 1);
+  Configuration config(protocol.make_space(2));
+  const ProcessId p = config.add_process(protocol.make_process(2, 0, 0, 1));
+  const ProcessId q = config.add_process(protocol.make_process(2, 1, 1, 2));
+
+  Trace trace;
+  // P up to (not including) its first write: P is now poised at R0.
+  const auto poise =
+      run_until_poised_outside(config, p, {}, 1000, trace);
+  if (poise != PoiseOutcome::kPoisedOutside) {
+    std::printf("unexpected: P did not reach its first write\n");
+    return 1;
+  }
+  std::printf("P (input 0) ran %zu steps and is poised to write R0.\n",
+              trace.size());
+
+  // beta: Q solo to completion.
+  SoloResult beta = run_solo(config, q, 1000);
+  std::printf("beta: Q (input 1) ran solo, decided %lld, R0 = %lld\n",
+              static_cast<long long>(beta.decision),
+              static_cast<long long>(config.value(0)));
+  trace.append(beta.trace);
+
+  // Block write to V = {R0} by P: beta becomes invisible.
+  trace.append(block_write(config, {{0, p}}));
+  std::printf(
+      "block write: P wrote R0 = %lld -- every trace of beta is gone.\n",
+      static_cast<long long>(config.value(0)));
+
+  // alpha: P continues solo.
+  SoloResult alpha = run_solo(config, p, 1000);
+  trace.append(alpha.trace);
+  std::printf("alpha: P continued solo and decided %lld.\n\n",
+              static_cast<long long>(alpha.decision));
+
+  std::printf("combined execution (%zu steps):\n%s\n", trace.size(),
+              trace.render().c_str());
+  std::printf("inconsistent (decides both 0 and 1): %s\n",
+              trace.inconsistent() ? "YES" : "no");
+  return trace.inconsistent() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace randsync
+
+int main() { return randsync::run(); }

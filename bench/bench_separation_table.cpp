@@ -1,0 +1,44 @@
+// E9 -- the separation table implied by Section 4: for each primitive,
+// its algebraic class (verified empirically against the Section 2
+// definitions), Herlihy's deterministic consensus number, and its
+// randomized space complexity (upper bound realized in this repository;
+// lower bound from Theorem 3.7 / Theorem 2.1).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/separation.h"
+
+namespace randsync {
+namespace {
+
+int run() {
+  bench::banner("E9 / Section 4: the randomized space-complexity separation");
+  const auto table = separation_table();
+  std::string mismatch;
+  const bool verified = verify_algebraic_claims(table, mismatch);
+  std::printf("%s\n", render_separation_table(table).c_str());
+  if (!verified) {
+    std::printf("ALGEBRAIC CLAIM MISMATCH: %s\n", mismatch.c_str());
+    return 1;
+  }
+  std::printf(
+      "algebraic columns re-verified against the Section 2 definitions "
+      "(empirical\nsweeps over object values): PASS\n\n"
+      "Reading the table:\n"
+      " * swap and fetch&add both sit at level 2 of the deterministic\n"
+      "   wait-free hierarchy, yet their randomized space complexities\n"
+      "   are separated: Omega(sqrt n) vs 1 (Theorem 4.4 + Theorem 3.7).\n"
+      " * fetch&add and compare&swap differ enormously deterministically\n"
+      "   (2 vs infinity) but are randomized-equivalent: one instance\n"
+      "   each.\n"
+      " * the separation is NOT about value-set size: the lower bound\n"
+      "   holds for historyless objects of unbounded size, while the\n"
+      "   upper bounds use bounded objects.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace randsync
+
+int main() { return randsync::run(); }

@@ -1,0 +1,84 @@
+// B3 -- simulator micro-throughput (google-benchmark): raw step rate,
+// configuration cloning cost, and end-to-end adversary runtime.  These
+// numbers bound how large an n or r the experiment harnesses can sweep
+// in reasonable wall-clock time; they are about THIS simulator, not the
+// paper.
+
+#include <benchmark/benchmark.h>
+
+#include "core/clone_adversary.h"
+#include "core/general_adversary.h"
+#include "protocols/drift_walk.h"
+#include "protocols/harness.h"
+#include "protocols/historyless_race.h"
+#include "protocols/register_race.h"
+
+namespace randsync {
+namespace {
+
+void BM_StepThroughput(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  FaaConsensusProtocol protocol;
+  Configuration config =
+      make_initial_configuration(protocol, alternating_inputs(n), 1);
+  RandomScheduler sched(7);
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    const auto pid = sched.next(config);
+    if (!pid) {
+      state.PauseTiming();
+      config = make_initial_configuration(protocol, alternating_inputs(n), 1);
+      state.ResumeTiming();
+      continue;
+    }
+    benchmark::DoNotOptimize(config.step(*pid));
+    ++steps;
+  }
+  state.counters["steps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_StepThroughput)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_ConfigurationClone(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const HistorylessRaceProtocol protocol = HistorylessRaceProtocol::mixed(4);
+  Configuration config(protocol.make_space(2));
+  for (std::size_t i = 0; i < n; ++i) {
+    config.add_process(protocol.make_process(2, i, i % 2 ? 1 : 0, i));
+  }
+  for (auto _ : state) {
+    Configuration copy = config.clone();
+    benchmark::DoNotOptimize(copy.num_processes());
+  }
+}
+BENCHMARK(BM_ConfigurationClone)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_CloneAdversaryEndToEnd(benchmark::State& state) {
+  const std::size_t r = static_cast<std::size_t>(state.range(0));
+  RegisterRaceProtocol protocol(RaceVariant::kRoundVoting, r);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    CloneAdversary::Options opt;
+    opt.seed = ++seed;
+    const AttackResult result = CloneAdversary(opt).attack(protocol);
+    benchmark::DoNotOptimize(result.processes_used);
+  }
+}
+BENCHMARK(BM_CloneAdversaryEndToEnd)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_GeneralAdversaryEndToEnd(benchmark::State& state) {
+  const std::size_t r = static_cast<std::size_t>(state.range(0));
+  const HistorylessRaceProtocol protocol = HistorylessRaceProtocol::mixed(r);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    GeneralAdversary::Options opt;
+    opt.seed = ++seed;
+    const GeneralAttackResult result = GeneralAdversary(opt).attack(protocol);
+    benchmark::DoNotOptimize(result.processes_used);
+  }
+}
+BENCHMARK(BM_GeneralAdversaryEndToEnd)->Arg(2)->Arg(4)->Arg(6);
+
+}  // namespace
+}  // namespace randsync
+
+BENCHMARK_MAIN();

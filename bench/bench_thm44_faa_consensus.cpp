@@ -1,0 +1,71 @@
+// E7 -- Theorem 4.4: randomized consensus from a SINGLE fetch&add
+// register.  The three counters of E6 are packed into bit fields of one
+// value; FETCH&ADD(0) reads all of them atomically.  This is the
+// upper-bound half of Corollary 4.5's separation: one fetch&add
+// instance vs Omega(sqrt n) historyless instances.
+//
+// This bench is also a google-benchmark microbenchmark: it reports
+// simulated-step throughput for the protocol at several n.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "protocols/drift_walk.h"
+
+namespace randsync {
+namespace {
+
+void print_table() {
+  bench::banner(
+      "E7 / Theorem 4.4: consensus from ONE fetch&add register");
+  std::printf("%4s %-12s %8s %12s %12s %12s %9s\n", "n", "scheduler",
+              "trials", "mean steps", "max steps", "steps/proc", "space");
+  bench::rule(80);
+  FaaConsensusProtocol protocol;
+  for (std::size_t n : {2U, 4U, 8U, 16U, 32U, 64U}) {
+    for (auto kind :
+         {bench::SchedulerKind::kRandom, bench::SchedulerKind::kContention}) {
+      const auto stats = bench::measure(protocol, n, kind, 20, 8'000'000);
+      std::printf("%4zu %-12s %8zu %12.0f %12zu %12.0f %9zu%s\n", n,
+                  bench::to_string(kind), stats.trials,
+                  stats.mean_total_steps, stats.max_total_steps,
+                  stats.mean_steps_per_process,
+                  protocol.make_space(n)->size(),
+                  stats.failures ? "  FAILURES!" : "");
+    }
+  }
+  std::printf(
+      "\nspace column: ONE object, for every n -- versus the Omega(sqrt n)\n"
+      "historyless lower bound of E5.  fetch&add has deterministic\n"
+      "consensus number 2, yet randomized it matches compare&swap.\n\n");
+}
+
+void BM_FaaConsensus(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  FaaConsensusProtocol protocol;
+  std::uint64_t seed = 1;
+  std::size_t total_steps = 0;
+  for (auto _ : state) {
+    RandomScheduler sched(++seed);
+    const auto inputs = alternating_inputs(n);
+    const ConsensusRun run =
+        run_consensus(protocol, inputs, sched, 8'000'000, seed);
+    benchmark::DoNotOptimize(run.decision);
+    total_steps += run.total_steps;
+  }
+  state.counters["sim_steps_per_run"] =
+      static_cast<double>(total_steps) / state.iterations();
+}
+BENCHMARK(BM_FaaConsensus)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace randsync
+
+int main(int argc, char** argv) {
+  randsync::print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

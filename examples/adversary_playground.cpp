@@ -1,0 +1,74 @@
+// adversary_playground: step through the clone adversary's case
+// analysis against a protocol family of your choice.
+//
+//   $ ./adversary_playground [variant] [r] [seed]
+//
+//   variant: fw (first-writer), rv (round-voting), cc (conciliator),
+//            bd (bidirectional-voting)
+//
+// Prints the proof-level narrative -- which Lemma 3.1 case fired at
+// each level (Figure 1's simple combining, Figure 3's clone-stash
+// growth, Figure 4's incomparable extension) -- followed by the
+// constructed inconsistent execution and its independent audit.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/bounds.h"
+#include "core/clone_adversary.h"
+#include "protocols/register_race.h"
+#include "verify/trace_audit.h"
+
+int main(int argc, char** argv) {
+  using namespace randsync;
+  RaceVariant variant = RaceVariant::kRoundVoting;
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "fw") == 0) {
+      variant = RaceVariant::kFirstWriter;
+    } else if (std::strcmp(argv[1], "cc") == 0) {
+      variant = RaceVariant::kConciliator;
+    } else if (std::strcmp(argv[1], "bd") == 0) {
+      variant = RaceVariant::kBidirectional;
+    }
+  }
+  const std::size_t r =
+      variant == RaceVariant::kFirstWriter
+          ? 1
+          : (argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4);
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2026;
+
+  RegisterRaceProtocol protocol(variant, r);
+  std::printf("prey:   %s\n", protocol.name().c_str());
+  std::printf("budget: %zu identical processes (Lemma 3.2)\n\n",
+              clone_adversary_processes(r));
+
+  CloneAdversary::Options opt;
+  opt.seed = seed;
+  const AttackResult result = CloneAdversary(opt).attack(protocol);
+  if (!result.success) {
+    std::printf("adversary failed: %s\n", result.failure.c_str());
+    return 1;
+  }
+
+  std::printf("case analysis:\n");
+  for (const std::string& line : result.narrative) {
+    std::printf("  %s\n", line.c_str());
+  }
+  std::printf(
+      "\nresources: %zu processes stepped, %zu clones, recursion depth "
+      "%zu, %zu incomparable cases\n",
+      result.processes_used, result.clones_created, result.depth,
+      result.incomparable_cases);
+
+  std::printf("\nconstructed execution (%zu steps):\n%s",
+              result.execution.size(), result.execution.render(40).c_str());
+  std::printf("\ninconsistent: %s\n",
+              result.execution.inconsistent() ? "YES" : "no");
+
+  const auto audit = audit_trace(*protocol.make_space(2), result.execution);
+  std::printf("independent object-semantics audit: %s\n",
+              audit.ok ? "PASS" : audit.detail.c_str());
+  return 0;
+}

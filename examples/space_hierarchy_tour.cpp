@@ -1,0 +1,63 @@
+// space_hierarchy_tour: a guided walk through the paper's separation.
+//
+//   $ ./space_hierarchy_tour
+//
+// For each primitive in the Section 4 table, runs the matching
+// consensus protocol from this repository (where one exists), prints
+// the object count it used, and contrasts it with the Omega(sqrt n)
+// lower bound for historyless objects -- the whole paper on one screen.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/bounds.h"
+#include "core/separation.h"
+#include "protocols/drift_walk.h"
+#include "protocols/harness.h"
+#include "protocols/register_walk.h"
+#include "protocols/single_object.h"
+
+namespace {
+
+void demo(const char* heading, const randsync::ConsensusProtocol& protocol,
+          std::size_t n) {
+  using namespace randsync;
+  RandomScheduler scheduler(7);
+  const auto inputs = alternating_inputs(n);
+  const ConsensusRun run =
+      run_consensus(protocol, inputs, scheduler, 8'000'000, 3);
+  std::printf("  %-28s n=%-3zu objects=%-4zu steps/proc=%-6.0f %s\n",
+              heading, n, protocol.make_space(n)->size(),
+              static_cast<double>(run.total_steps) / n,
+              (run.all_decided && run.consistent && run.valid)
+                  ? "consensus reached"
+                  : "FAILED");
+}
+
+}  // namespace
+
+int main() {
+  using namespace randsync;
+
+  std::printf("%s\n", render_separation_table(separation_table()).c_str());
+
+  std::printf("live demonstrations (n = 16):\n");
+  demo("compare&swap (det.)", CasConsensusProtocol(), 16);
+  demo("fetch&add (randomized)", FaaConsensusProtocol(), 16);
+  demo("bounded counters", CounterWalkProtocol(), 16);
+  demo("read-write registers", RegisterWalkProtocol(), 16);
+
+  std::printf("\nthe lower-bound curve for historyless objects:\n  n:    ");
+  for (std::size_t n : {16U, 64U, 256U, 1024U, 4096U}) {
+    std::printf("%8zu", n);
+  }
+  std::printf("\n  r >=  ");
+  for (std::size_t n : {16U, 64U, 256U, 1024U, 4096U}) {
+    std::printf("%8zu", min_historyless_objects(n));
+  }
+  std::printf(
+      "\n\nregisters pay Omega(sqrt n) objects; one fetch&add pays 1.\n"
+      "That separation -- invisible to the deterministic wait-free\n"
+      "hierarchy, where fetch&add sits at level 2 -- is the paper.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "core/bivalence.h"
+
+#include <unordered_map>
+
+#include "protocols/harness.h"
+
+namespace randsync {
+namespace {
+
+struct CycleSearch {
+  const CycleSearchOptions& options;
+  NonTerminationCertificate result;
+  // state hash -> depth on the current DFS path (SIZE_MAX = finished).
+  std::unordered_map<std::uint64_t, std::size_t> status;
+  std::vector<ProcessId> path;
+
+  explicit CycleSearch(const CycleSearchOptions& opt) : options(opt) {}
+
+  bool dfs(const Configuration& config, std::size_t depth) {
+    if (result.found) {
+      return true;
+    }
+    if (depth >= options.max_depth ||
+        status.size() >= options.max_states) {
+      return false;
+    }
+    const std::uint64_t key = config.state_hash();
+    if (const auto it = status.find(key); it != status.end()) {
+      if (it->second != SIZE_MAX) {
+        // Back-edge to a configuration on the current path: the path
+        // segment from that depth onward is a decision-free cycle.
+        const std::size_t entry_depth = it->second;
+        result.found = true;
+        result.prefix.assign(path.begin(),
+                             path.begin() +
+                                 static_cast<std::ptrdiff_t>(entry_depth));
+        result.cycle.assign(path.begin() +
+                                static_cast<std::ptrdiff_t>(entry_depth),
+                            path.end());
+        return true;
+      }
+      return false;  // already explored from here without finding one
+    }
+    status[key] = depth;
+    ++result.states_explored;
+    for (ProcessId pid = 0; pid < config.num_processes(); ++pid) {
+      if (config.decided(pid)) {
+        continue;
+      }
+      Configuration child = config.clone();
+      const Step step = child.step(pid);
+      if (step.decided) {
+        continue;  // decisions leave the undecided region
+      }
+      path.push_back(pid);
+      if (dfs(child, depth + 1)) {
+        return true;
+      }
+      path.pop_back();
+    }
+    status[key] = SIZE_MAX;
+    return false;
+  }
+};
+
+}  // namespace
+
+NonTerminationCertificate find_nondeciding_cycle(
+    const ConsensusProtocol& protocol, std::span<const int> inputs,
+    const CycleSearchOptions& options) {
+  Configuration initial =
+      make_initial_configuration(protocol, inputs, options.seed);
+  CycleSearch search(options);
+  search.dfs(initial, 0);
+  return std::move(search.result);
+}
+
+Configuration replay_certificate(const ConsensusProtocol& protocol,
+                                 std::span<const int> inputs,
+                                 const NonTerminationCertificate& certificate,
+                                 std::size_t laps, std::uint64_t seed) {
+  Configuration config = make_initial_configuration(protocol, inputs, seed);
+  for (ProcessId pid : certificate.prefix) {
+    config.step(pid);
+  }
+  for (std::size_t lap = 0; lap < laps; ++lap) {
+    for (ProcessId pid : certificate.cycle) {
+      config.step(pid);
+    }
+  }
+  return config;
+}
+
+}  // namespace randsync

@@ -1,0 +1,61 @@
+// Non-termination certificates for deterministic protocols: the
+// FLP / Loui-Abu-Amara fact the paper's introduction builds on ("it is
+// impossible to solve n-process consensus using read-write registers
+// for n > 1" [2, 15, 26]) -- deterministic register protocols that are
+// SAFE must admit infinite executions in which nobody ever decides.
+//
+// For a deterministic protocol with finitely many reachable
+// configurations, that is witnessed by a CYCLE in the undecided region
+// of the configuration graph: a reachable configuration C and a
+// nonempty schedule sigma with C --sigma--> C and no decision along the
+// way.  An adversary looping sigma forever starves every process.
+//
+// find_nondeciding_cycle() searches the configuration graph (DFS with
+// an explicit on-path stack) for exactly that witness, and the result
+// can be replayed step by step -- the liveness analogue of the safety
+// witnesses the explorer produces.  Randomization is the escape: coin
+// flips make the "cycle" leak probability toward decision, which is the
+// whole reason the paper studies RANDOMIZED space complexity.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "protocols/protocol.h"
+#include "runtime/configuration.h"
+
+namespace randsync {
+
+/// A witness that a protocol admits an infinite decision-free run.
+struct NonTerminationCertificate {
+  bool found = false;
+  /// Schedule from the initial configuration to the cycle entry.
+  std::vector<ProcessId> prefix;
+  /// Nonempty schedule returning the configuration to itself (by state
+  /// hash) with no decision along the way.
+  std::vector<ProcessId> cycle;
+  std::size_t states_explored = 0;
+};
+
+/// Search limits.
+struct CycleSearchOptions {
+  std::size_t max_states = 500'000;
+  std::size_t max_depth = 256;
+  std::uint64_t seed = 1;
+};
+
+/// Find a reachable decision-free cycle of `protocol` (deterministic
+/// protocols only: a fixed coin seed makes the configuration graph a
+/// deterministic transition system over scheduler choices).
+[[nodiscard]] NonTerminationCertificate find_nondeciding_cycle(
+    const ConsensusProtocol& protocol, std::span<const int> inputs,
+    const CycleSearchOptions& options);
+
+/// Replay prefix + k laps of the cycle; returns the final configuration
+/// so callers can assert that nobody decided.
+[[nodiscard]] Configuration replay_certificate(
+    const ConsensusProtocol& protocol, std::span<const int> inputs,
+    const NonTerminationCertificate& certificate, std::size_t laps,
+    std::uint64_t seed);
+
+}  // namespace randsync

@@ -1,0 +1,56 @@
+// The quantitative bounds of the paper, as executable formulas.
+//
+// These are used by the adversaries (budgets), the benches (expected
+// thresholds) and the separation analysis.
+#pragma once
+
+#include <cstddef>
+
+namespace randsync {
+
+/// Theorem 3.3: at most r*r - r + 1 identical processes can solve
+/// randomized consensus using r read-write registers.
+[[nodiscard]] constexpr std::size_t max_identical_processes(std::size_t r) {
+  return r * r - r + 1;
+}
+
+/// Lemma 3.2: with r*r - r + 2 identical processes, the clone adversary
+/// derails ANY nondeterministic-solo-terminating protocol on r
+/// read-write registers.
+[[nodiscard]] constexpr std::size_t clone_adversary_processes(std::size_t r) {
+  return r * r - r + 2;
+}
+
+/// Lemma 3.6: no implementation of consensus satisfying nondeterministic
+/// solo termination from r historyless objects using 3r^2 + r or more
+/// processes.
+[[nodiscard]] constexpr std::size_t general_adversary_processes(
+    std::size_t r) {
+  return 3 * r * r + r;
+}
+
+/// Lemma 3.4's process-set requirement: |P| >= (r^2 + r - v^2 + v)/2
+/// + e * |V-bar intersect U|.
+[[nodiscard]] constexpr std::size_t interruptible_process_requirement(
+    std::size_t r, std::size_t v, std::size_t e,
+    std::size_t vbar_cap_u) {
+  return (r * r + r - v * v + v) / 2 + e * vbar_cap_u;
+}
+
+/// Theorem 3.7: the largest historyless object count r that n processes
+/// can *fail to* refute -- i.e. the lower bound on objects: any correct
+/// n-process implementation needs MORE than the largest r with
+/// 3r^2 + r <= n objects... inverted: returns the minimal r such that an
+/// n-process consensus implementation from historyless objects could
+/// exist (the Omega(sqrt(n)) curve).
+[[nodiscard]] constexpr std::size_t min_historyless_objects(std::size_t n) {
+  // smallest r with 3r^2 + r > n  =>  any correct implementation uses
+  // at least that many objects.
+  std::size_t r = 0;
+  while (3 * r * r + r <= n) {
+    ++r;
+  }
+  return r;
+}
+
+}  // namespace randsync

@@ -1,0 +1,346 @@
+#include "core/clone_adversary.h"
+
+#include <map>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "runtime/executor.h"
+
+namespace randsync {
+namespace {
+
+/// One side of the combining argument: the invariant is that, from the
+/// current configuration, a block write to `regs` by `writers` followed
+/// by a solo run of `runner` decides `decides`.
+struct Side {
+  std::set<ObjectId> regs;
+  std::vector<std::pair<ObjectId, ProcessId>> writers;  // one per reg
+  ProcessId runner = 0;  // appears in writers
+  Value decides = 0;
+};
+
+struct Ctx {
+  Configuration config;
+  Trace trace;
+  std::size_t clones = 0;
+  std::size_t max_depth_seen = 0;
+  std::size_t incomparable = 0;
+  std::vector<std::string> narrative;
+  CloneAdversary::Options opt;
+
+  explicit Ctx(Configuration c, CloneAdversary::Options o)
+      : config(std::move(c)), opt(o) {}
+
+  void note(std::string line) { narrative.push_back(std::move(line)); }
+};
+
+std::string regs_to_string(const std::set<ObjectId>& regs) {
+  std::string out = "{";
+  for (ObjectId reg : regs) {
+    if (out.size() > 1) {
+      out += ",";
+    }
+    out += "R" + std::to_string(reg);
+  }
+  return out + "}";
+}
+
+[[noreturn]] void fail(const std::string& why) {
+  throw std::runtime_error("clone adversary: " + why);
+}
+
+bool is_subset(const std::set<ObjectId>& a, const std::set<ObjectId>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+/// Run `pid` solo on `config` until it decides; append steps to `trace`.
+/// Throws on budget exhaustion (a nondeterministic-solo-termination
+/// failure within the budget).
+Value solo_decide(Configuration& config, ProcessId pid, std::size_t budget,
+                  Trace& trace) {
+  for (std::size_t i = 0; i < budget; ++i) {
+    if (config.decided(pid)) {
+      return config.process(pid).decision();
+    }
+    trace.append(config.step(pid));
+  }
+  if (config.decided(pid)) {
+    return config.process(pid).decision();
+  }
+  fail("P" + std::to_string(pid) +
+       " did not terminate solo within the step budget");
+}
+
+/// Add a clone of `pid` to the configuration; returns its id.
+ProcessId add_clone(Ctx& ctx, ProcessId pid) {
+  ++ctx.clones;
+  return ctx.config.add_process(ctx.config.process(pid).clone());
+}
+
+bool combine(Ctx& ctx, Side a, Side b, std::size_t depth);
+
+/// Handle the case small.regs subset-of large.regs.
+bool subset_case(Ctx& ctx, Side small, Side large, std::size_t depth) {
+  // Stash a clone of every block writer first: the block write is the
+  // "last write" to each register of `small` until the runner itself
+  // overwrites one.
+  ctx.note("subset case: " + regs_to_string(small.regs) + " (decides " +
+           std::to_string(small.decides) + ") within " +
+           regs_to_string(large.regs) + " (decides " +
+           std::to_string(large.decides) + "); block write + stash clones");
+  std::map<ObjectId, ProcessId> stash;
+  for (const auto& [reg, pid] : small.writers) {
+    stash[reg] = add_clone(ctx, pid);
+  }
+  ctx.trace.append(block_write(ctx.config, small.writers));
+
+  // Run the runner solo; stop before any nontrivial operation outside
+  // large.regs; keep stashing clones before writes to small.regs.
+  const ProcessId runner = small.runner;
+  for (std::size_t step = 0;; ++step) {
+    if (step >= ctx.opt.solo_max_steps) {
+      fail("runner P" + std::to_string(runner) +
+           " neither decided nor left the large register set in budget");
+    }
+    if (ctx.config.decided(runner)) {
+      break;
+    }
+    const auto poised = ctx.config.poised_at(runner);
+    if (poised && !large.regs.contains(*poised)) {
+      // Growth case (Figure 3): the side becomes V' = V + {R} with the
+      // stashed clones as writers and the runner covering R.
+      ctx.note("  runner P" + std::to_string(runner) +
+               " left the large set at R" + std::to_string(*poised) +
+               " -> grow (Figure 3)");
+      Side grown;
+      grown.regs = small.regs;
+      grown.regs.insert(*poised);
+      for (ObjectId reg : small.regs) {
+        grown.writers.emplace_back(reg, stash.at(reg));
+      }
+      grown.writers.emplace_back(*poised, runner);
+      grown.runner = runner;
+      grown.decides = small.decides;
+      return combine(ctx, std::move(grown), std::move(large), depth + 1);
+    }
+    if (poised && small.regs.contains(*poised)) {
+      stash[*poised] = add_clone(ctx, runner);
+    }
+    ctx.trace.append(ctx.config.step(runner));
+  }
+
+  // Simple combining (Figure 1): the runner decided without any
+  // nontrivial operation outside large.regs; the block write to
+  // large.regs obliterates everything the small side did.
+  ctx.note("  runner decided inside the large set -> simple combining "
+           "(Figure 1): block write obliterates the small side");
+  const Value d_small = ctx.config.process(runner).decision();
+  if (d_small != small.decides) {
+    fail("invariant violation: small side decided " + std::to_string(d_small) +
+         " instead of " + std::to_string(small.decides));
+  }
+  ctx.trace.append(block_write(ctx.config, large.writers));
+  const Value d_large = solo_decide(ctx.config, large.runner,
+                                    ctx.opt.solo_max_steps, ctx.trace);
+  if (d_large != large.decides) {
+    fail("invariant violation: large side decided " + std::to_string(d_large) +
+         " instead of " + std::to_string(large.decides));
+  }
+  return d_small != d_large;
+}
+
+/// Extend `base`'s writers to cover `target_regs` using clones of the
+/// other side's writers; returns the extended writer list.
+std::vector<std::pair<ObjectId, ProcessId>> extend_writers(
+    Ctx& ctx, const Side& base, const Side& other) {
+  auto writers = base.writers;
+  for (const auto& [reg, pid] : other.writers) {
+    if (!base.regs.contains(reg)) {
+      const ProcessId cpid = add_clone(ctx, pid);
+      if (ctx.config.poised_at(cpid) != reg) {
+        fail("clone of P" + std::to_string(pid) + " is not poised at R" +
+             std::to_string(reg));
+      }
+      writers.emplace_back(reg, cpid);
+    }
+  }
+  return writers;
+}
+
+/// Probe (on a cloned configuration): block write by `writers`, then a
+/// solo run of `runner`.  Returns the decided value.
+Value probe_decision(const Ctx& ctx,
+                     const std::vector<std::pair<ObjectId, ProcessId>>& writers,
+                     ProcessId runner) {
+  Configuration probe = ctx.config.clone();
+  Trace scratch = block_write(probe, writers);
+  return solo_decide(probe, runner, ctx.opt.solo_max_steps, scratch);
+}
+
+bool combine(Ctx& ctx, Side a, Side b, std::size_t depth) {
+  ctx.max_depth_seen = std::max(ctx.max_depth_seen, depth);
+  if (depth > ctx.opt.max_depth) {
+    fail("recursion depth exceeded");
+  }
+  if (is_subset(a.regs, b.regs)) {
+    return subset_case(ctx, std::move(a), std::move(b), depth);
+  }
+  if (is_subset(b.regs, a.regs)) {
+    return subset_case(ctx, std::move(b), std::move(a), depth);
+  }
+
+  // Incomparable sets (Figure 4): extend one side to U = V union W with
+  // clones of the other side's writers, probe which value the extended
+  // side decides, and recurse accordingly.
+  ++ctx.incomparable;
+  std::set<ObjectId> u = a.regs;
+  u.insert(b.regs.begin(), b.regs.end());
+  ctx.note("incomparable case (Figure 4): " + regs_to_string(a.regs) +
+           " vs " + regs_to_string(b.regs) + " -> extend to U = " +
+           regs_to_string(u));
+
+  const auto extended_a = extend_writers(ctx, a, b);
+  const Value da = probe_decision(ctx, extended_a, a.runner);
+  if (da == a.decides) {
+    Side a2{u, extended_a, a.runner, a.decides};
+    return combine(ctx, std::move(a2), std::move(b), depth + 1);
+  }
+
+  const auto extended_b = extend_writers(ctx, b, a);
+  const Value db = probe_decision(ctx, extended_b, b.runner);
+  if (db == b.decides) {
+    Side b2{u, extended_b, b.runner, b.decides};
+    return combine(ctx, std::move(a), std::move(b2), depth + 1);
+  }
+
+  // Both extended probes decided the *other* side's value: pair the two
+  // extended sides (both over U) against each other, with decision
+  // labels matching what the probes established.
+  Side a3{u, extended_b, b.runner, db};  // db == a.decides
+  Side b3{u, extended_a, a.runner, da};  // da == b.decides
+  return combine(ctx, std::move(a3), std::move(b3), depth + 1);
+}
+
+bool has_nontrivial_op(const Configuration& config, const Trace& trace) {
+  for (const Step& step : trace.steps()) {
+    if (step.inv.object == kNoObject) {
+      continue;
+    }
+    if (!config.space().type(step.inv.object).is_trivial(step.inv.op)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+AttackResult CloneAdversary::attack(const ConsensusProtocol& protocol) const {
+  AttackResult result;
+  try {
+    if (!protocol.identical_processes()) {
+      fail("requires identical processes (Section 3.1 hypothesis)");
+    }
+    if (!protocol.fixed_space()) {
+      fail("requires a fixed-space protocol (space independent of n)");
+    }
+    auto space = protocol.make_space(2);
+    if (!space->all_historyless()) {
+      fail("requires historyless objects");
+    }
+    // Section 3.1 is stated for read-write registers, and the restriction
+    // is load-bearing here: the combining argument re-executes a side's
+    // block write after foreign steps, which is only sound when the
+    // block-write responses are context-independent.  WRITE acks are;
+    // SWAP/TEST&SET responses are not (that is what the interruptible
+    // executions of Section 3.2 / the GeneralAdversary are for).
+    for (ObjectId obj = 0; obj < space->size(); ++obj) {
+      const ObjectType& type = space->type(obj);
+      for (OpKind kind :
+           {OpKind::kSwap, OpKind::kTestAndSet, OpKind::kFetchAdd,
+            OpKind::kCompareAndSwap, OpKind::kIncrement, OpKind::kDecrement,
+            OpKind::kReset}) {
+        if (type.supports(kind)) {
+          fail("requires read-write registers only; object " +
+               std::to_string(obj) + " (" + type.name() + ") supports " +
+               to_string(kind));
+        }
+      }
+    }
+
+    Ctx ctx(Configuration(space), options_);
+    const ProcessId p = ctx.config.add_process(
+        protocol.make_process(2, 0, 0, derive_seed(options_.seed, 0)));
+    const ProcessId q = ctx.config.add_process(
+        protocol.make_process(2, 1, 1, derive_seed(options_.seed, 1)));
+
+    // Lemma 3.2 bootstrap: probe the two solo executions.
+    Configuration probe_p = ctx.config.clone();
+    Trace alpha;
+    const Value dp =
+        solo_decide(probe_p, p, options_.solo_max_steps, alpha);
+    if (dp != 0) {
+      fail("solo run of the input-0 process decided 1 (validity bug in the "
+           "protocol under test)");
+    }
+    Configuration probe_q = ctx.config.clone();
+    Trace beta;
+    const Value dq =
+        solo_decide(probe_q, q, options_.solo_max_steps, beta);
+    if (dq != 1) {
+      fail("solo run of the input-1 process decided 0 (validity bug in the "
+           "protocol under test)");
+    }
+
+    bool success = false;
+    if (!has_nontrivial_op(ctx.config, alpha)) {
+      // Alpha performs no nontrivial operation: alpha followed by beta
+      // already decides both values.
+      (void)solo_decide(ctx.config, p, options_.solo_max_steps, ctx.trace);
+      (void)solo_decide(ctx.config, q, options_.solo_max_steps, ctx.trace);
+      success = true;
+    } else if (!has_nontrivial_op(ctx.config, beta)) {
+      (void)solo_decide(ctx.config, q, options_.solo_max_steps, ctx.trace);
+      (void)solo_decide(ctx.config, p, options_.solo_max_steps, ctx.trace);
+      success = true;
+    } else {
+      // Gamma prefix: run each process up to (not including) its first
+      // nontrivial operation; reads see only initial values, so the
+      // interleaving is indistinguishable from each solo run.
+      if (run_until_poised_outside(ctx.config, p, {}, options_.solo_max_steps,
+                                   ctx.trace) != PoiseOutcome::kPoisedOutside) {
+        fail("input-0 process failed to reach its first write");
+      }
+      if (run_until_poised_outside(ctx.config, q, {}, options_.solo_max_steps,
+                                   ctx.trace) != PoiseOutcome::kPoisedOutside) {
+        fail("input-1 process failed to reach its first write");
+      }
+      const ObjectId rp = *ctx.config.poised_at(p);
+      const ObjectId rq = *ctx.config.poised_at(q);
+      Side side_a{{rp}, {{rp, p}}, p, 0};
+      Side side_b{{rq}, {{rq, q}}, q, 1};
+      success = combine(ctx, std::move(side_a), std::move(side_b), 0);
+    }
+
+    result.success = success && ctx.trace.inconsistent();
+    result.execution = std::move(ctx.trace);
+    result.clones_created = ctx.clones;
+    result.depth = ctx.max_depth_seen;
+    result.incomparable_cases = ctx.incomparable;
+    result.narrative = std::move(ctx.narrative);
+    std::unordered_set<ProcessId> stepped;
+    for (const Step& step : result.execution.steps()) {
+      stepped.insert(step.pid);
+    }
+    result.processes_used = stepped.size();
+    if (!result.success) {
+      result.failure = "constructed execution is not inconsistent";
+    }
+  } catch (const std::exception& e) {
+    result.success = false;
+    result.failure = e.what();
+  }
+  return result;
+}
+
+}  // namespace randsync

@@ -1,0 +1,293 @@
+#include "core/general_adversary.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "core/bounds.h"
+#include "runtime/executor.h"
+
+namespace randsync {
+namespace {
+
+[[noreturn]] void fail(const std::string& why) {
+  throw std::runtime_error("general adversary: " + why);
+}
+
+/// One side of Lemma 3.5: an interruptible-execution program (with some
+/// prefix of pieces possibly already executed) plus its process set and
+/// expected decision.
+struct GSide {
+  InterruptibleExecution exec;
+  std::size_t next_piece = 0;  ///< first unexecuted piece
+  Value decides = -1;
+
+  [[nodiscard]] const std::set<ObjectId>& v() const {
+    return exec.pieces.at(next_piece).objects;
+  }
+  [[nodiscard]] bool last_piece() const {
+    return next_piece + 1 == exec.pieces.size();
+  }
+};
+
+struct Ctx {
+  Configuration config;
+  Trace trace;
+  InterruptibleOptions iopt;
+  std::size_t pieces_executed = 0;
+  std::size_t rebuilds = 0;
+  std::size_t max_depth = 512;
+  std::vector<std::string> narrative;
+
+  Ctx(Configuration c, const GeneralAdversaryOptions& o)
+      : config(std::move(c)),
+        iopt{o.solo_max_steps, 512},
+        max_depth(o.max_depth) {}
+
+  void note(std::string line) { narrative.push_back(std::move(line)); }
+};
+
+std::string objs_to_string(const std::set<ObjectId>& objs) {
+  std::string out = "{";
+  for (ObjectId obj : objs) {
+    if (out.size() > 1) {
+      out += ",";
+    }
+    out += "R" + std::to_string(obj);
+  }
+  return out + "}";
+}
+
+bool is_subset(const std::set<ObjectId>& a, const std::set<ObjectId>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+/// Execute all remaining pieces of `side` on the real configuration and
+/// check its decision.
+void finish_side(Ctx& ctx, GSide& side) {
+  std::optional<Value> decided;
+  for (std::size_t i = side.next_piece; i < side.exec.pieces.size(); ++i) {
+    const auto d =
+        execute_piece(ctx.config, side.exec.pieces[i], ctx.trace, ctx.iopt);
+    ++ctx.pieces_executed;
+    if (d && !decided) {
+      decided = d;
+    }
+  }
+  if (!decided) {
+    fail("side expected to decide " + std::to_string(side.decides) +
+         " produced no decision");
+  }
+  if (*decided != side.decides) {
+    fail("side expected to decide " + std::to_string(side.decides) +
+         " decided " + std::to_string(*decided) +
+         " (invariant violation -- the splicing argument failed)");
+  }
+}
+
+/// Collect `count` processes poised at `obj`, preferring members of
+/// `prefer`, excluding `exclude`; returns the chosen pids (which may
+/// already belong to `prefer`).
+std::vector<ProcessId> gather_poised(const Configuration& config,
+                                     ObjectId obj, std::size_t count,
+                                     const std::set<ProcessId>& prefer,
+                                     const std::set<ProcessId>& exclude) {
+  std::vector<ProcessId> chosen;
+  for (ProcessId pid : prefer) {
+    if (chosen.size() == count) {
+      return chosen;
+    }
+    if (config.poised_at(pid) == obj) {
+      chosen.push_back(pid);
+    }
+  }
+  for (ProcessId pid = 0; pid < config.num_processes(); ++pid) {
+    if (chosen.size() == count) {
+      return chosen;
+    }
+    if (prefer.contains(pid) || exclude.contains(pid)) {
+      continue;
+    }
+    if (config.poised_at(pid) == obj) {
+      chosen.push_back(pid);
+    }
+  }
+  if (chosen.size() < count) {
+    fail("needed " + std::to_string(count) + " processes poised at R" +
+         std::to_string(obj) + ", found " + std::to_string(chosen.size()) +
+         " (excess capacity exhausted)");
+  }
+  return chosen;
+}
+
+/// Lemma 3.5's incomparable case, one side: extend `base`'s member set
+/// to cover `grown_v` using processes poised at the missing objects
+/// (drawn from the other side's excess capacity), then rebuild an
+/// interruptible execution over the grown set.
+GSide rebuild_side(Ctx& ctx, const GSide& base, const GSide& other,
+                   const std::set<ObjectId>& grown_v) {
+  const std::size_t r = ctx.config.num_objects();
+  const std::size_t vbar_grown = r - grown_v.size();
+
+  std::set<ProcessId> members = base.exec.members;
+  for (ObjectId obj : grown_v) {
+    if (base.v().contains(obj)) {
+      continue;  // base's own surplus covers these (checked by Lemma 3.4)
+    }
+    for (ProcessId pid :
+         gather_poised(ctx.config, obj, vbar_grown + 1, members,
+                       other.exec.members)) {
+      members.insert(pid);
+    }
+  }
+
+  // The rebuilt side must carry excess capacity for the OTHER side's
+  // future extensions: U = complement of other.v().
+  std::set<ObjectId> capacity;
+  for (ObjectId obj = 0; obj < r; ++obj) {
+    if (!other.v().contains(obj)) {
+      capacity.insert(obj);
+    }
+  }
+
+  ++ctx.rebuilds;
+  GSide grown;
+  grown.exec = build_interruptible(ctx.config, grown_v, std::move(members),
+                                   capacity, ctx.iopt);
+  grown.next_piece = 0;
+  grown.decides = grown.exec.decides;
+  return grown;
+}
+
+/// Lemma 3.5: interleave side `a` (deciding a.decides) and side `b`
+/// into one execution on ctx.config deciding both values.
+void combine(Ctx& ctx, GSide a, GSide b, std::size_t depth) {
+  if (depth > ctx.max_depth) {
+    fail("recursion depth exceeded");
+  }
+  if (is_subset(a.v(), b.v())) {
+    const Piece& piece = a.exec.pieces[a.next_piece];
+    ctx.note("subset case: execute piece with V = " +
+             objs_to_string(piece.objects) + " of the side deciding " +
+             std::to_string(a.decides));
+    const auto decided = execute_piece(ctx.config, piece, ctx.trace, ctx.iopt);
+    ++ctx.pieces_executed;
+    if (decided) {
+      if (*decided != a.decides) {
+        fail("piece decided " + std::to_string(*decided) + ", expected " +
+             std::to_string(a.decides));
+      }
+      ctx.note("  decided " + std::to_string(*decided) +
+               "; finish the other side (block writes obliterate)");
+      finish_side(ctx, b);
+      return;
+    }
+    if (a.last_piece()) {
+      fail("final piece of a side produced no decision");
+    }
+    ++a.next_piece;
+    combine(ctx, std::move(a), std::move(b), depth + 1);
+    return;
+  }
+  if (is_subset(b.v(), a.v())) {
+    combine(ctx, std::move(b), std::move(a), depth + 1);
+    return;
+  }
+
+  // Incomparable initial object sets: rebuild over the union.
+  std::set<ObjectId> grown_v = a.v();
+  grown_v.insert(b.v().begin(), b.v().end());
+  ctx.note("incomparable case: " + objs_to_string(a.v()) + " vs " +
+           objs_to_string(b.v()) + " -> rebuild over " +
+           objs_to_string(grown_v));
+
+  GSide a2 = rebuild_side(ctx, a, b, grown_v);
+  if (a2.decides == a.decides) {
+    combine(ctx, std::move(a2), std::move(b), depth + 1);
+    return;
+  }
+  GSide b2 = rebuild_side(ctx, b, a, grown_v);
+  if (b2.decides == b.decides) {
+    combine(ctx, std::move(a), std::move(b2), depth + 1);
+    return;
+  }
+  // a2 decided b's value and b2 decided a's value: pair the two rebuilt
+  // sides against each other (both now over the same object set).
+  combine(ctx, std::move(b2), std::move(a2), depth + 1);
+}
+
+}  // namespace
+
+GeneralAttackResult GeneralAdversary::attack(
+    const ConsensusProtocol& protocol) const {
+  GeneralAttackResult result;
+  try {
+    if (!protocol.fixed_space()) {
+      fail("requires a fixed-space protocol (space independent of n)");
+    }
+    auto space = protocol.make_space(2);
+    if (!space->all_historyless()) {
+      fail("requires historyless objects (Theorem 3.7 hypothesis)");
+    }
+    const std::size_t r = space->size();
+    const std::size_t pool = general_adversary_processes(r);  // 3r^2 + r
+    const std::size_t half = pool / 2;
+
+    Ctx ctx(Configuration(space), options_);
+    std::set<ProcessId> p_set;
+    std::set<ProcessId> q_set;
+    for (std::size_t i = 0; i < half; ++i) {
+      p_set.insert(ctx.config.add_process(
+          protocol.make_process(2, i, 0, derive_seed(options_.seed, i))));
+    }
+    for (std::size_t i = 0; i < pool - half; ++i) {
+      q_set.insert(ctx.config.add_process(protocol.make_process(
+          2, half + i, 1, derive_seed(options_.seed, half + i))));
+    }
+    result.processes_created = pool;
+
+    std::set<ObjectId> all_objects;
+    for (ObjectId obj = 0; obj < r; ++obj) {
+      all_objects.insert(obj);
+    }
+
+    // Lemma 3.6: alpha by the all-0 side, beta by the all-1 side, each
+    // with excess capacity r for the full object set.
+    GSide side_a;
+    side_a.exec = build_interruptible(ctx.config, {}, p_set, all_objects,
+                                      ctx.iopt);
+    side_a.decides = side_a.exec.decides;
+    if (side_a.decides != 0) {
+      fail("all-0 side decided 1 (validity bug in the protocol under test)");
+    }
+    GSide side_b;
+    side_b.exec = build_interruptible(ctx.config, {}, q_set, all_objects,
+                                      ctx.iopt);
+    side_b.decides = side_b.exec.decides;
+    if (side_b.decides != 1) {
+      fail("all-1 side decided 0 (validity bug in the protocol under test)");
+    }
+
+    combine(ctx, std::move(side_a), std::move(side_b), 0);
+
+    result.execution = std::move(ctx.trace);
+    result.pieces_executed = ctx.pieces_executed;
+    result.rebuilds = ctx.rebuilds;
+    result.narrative = std::move(ctx.narrative);
+    std::unordered_set<ProcessId> stepped;
+    for (const Step& step : result.execution.steps()) {
+      stepped.insert(step.pid);
+    }
+    result.processes_used = stepped.size();
+    result.success = result.execution.inconsistent();
+    if (!result.success) {
+      result.failure = "constructed execution is not inconsistent";
+    }
+  } catch (const std::exception& e) {
+    result.success = false;
+    result.failure = e.what();
+  }
+  return result;
+}
+
+}  // namespace randsync

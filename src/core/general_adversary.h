@@ -1,0 +1,77 @@
+// The executable form of the paper's MAIN RESULT (Section 3.2):
+// Lemma 3.5 (combining two interruptible executions of opposite
+// decision), Lemma 3.6 (with 3r^2 + r processes, r historyless objects
+// cannot implement consensus under nondeterministic solo termination)
+// and hence Theorem 3.7 (the Omega(sqrt(n)) space lower bound).
+//
+// Given ANY fixed-space protocol over historyless objects (processes
+// need NOT be identical -- this is the general case), the adversary:
+//
+//   1. creates 3r^2+r processes, half with input 0 (set P), half with
+//      input 1 (set Q);
+//   2. uses Lemma 3.4 (core/interruptible.h) to construct an
+//      interruptible execution alpha by P deciding 0 and one beta by Q
+//      deciding 1, each with the excess capacity the other will need;
+//   3. interleaves them per Lemma 3.5's case analysis:
+//        - if alpha's first piece's object set V is contained in beta's
+//          W, alpha's piece executes: the block write to W that opens
+//          beta's next piece will obliterate it (historylessness);
+//        - for incomparable V and W, both sides are rebuilt from the
+//          current configuration over V' = W' = V union W, drawing the
+//          processes poised at the missing objects from the other
+//          side's excess capacity; probe decisions steer which rebuilt
+//          side replaces which;
+//   4. commits the chosen pieces to the real configuration, producing a
+//      single execution that decides both 0 and 1.
+//
+// As with the clone adversary, probes run on cloned configurations and
+// all predicted decisions are asserted at execution time.
+#pragma once
+
+#include <string>
+
+#include "core/interruptible.h"
+#include "protocols/protocol.h"
+
+namespace randsync {
+
+/// Outcome of a general-adversary attack (mirrors AttackResult in
+/// core/clone_adversary.h; kept separate so the two harnesses can evolve
+/// independently).
+struct GeneralAttackResult {
+  bool success = false;
+  Trace execution;
+  std::size_t processes_used = 0;   ///< distinct pids stepping in execution
+  std::size_t processes_created = 0;  ///< total pool (3r^2 + r)
+  std::size_t pieces_executed = 0;
+  std::size_t rebuilds = 0;  ///< incomparable-case reconstructions
+  /// Narrative of the Lemma 3.5 case analysis, one line per decision.
+  std::vector<std::string> narrative;
+  std::string failure;
+};
+
+/// Tuning knobs for the general adversary.
+struct GeneralAdversaryOptions {
+  std::size_t solo_max_steps = 200'000;
+  std::size_t max_depth = 512;
+  std::uint64_t seed = 1;
+};
+
+/// The Section 3.2 adversary (Lemmas 3.4-3.6).  Requires fixed_space()
+/// and an all-historyless object space; identical processes are NOT
+/// required.
+class GeneralAdversary {
+ public:
+  using Options = GeneralAdversaryOptions;
+
+  explicit GeneralAdversary(Options options = Options())
+      : options_(options) {}
+
+  [[nodiscard]] GeneralAttackResult attack(
+      const ConsensusProtocol& protocol) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace randsync

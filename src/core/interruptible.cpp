@@ -1,0 +1,210 @@
+#include "core/interruptible.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "runtime/executor.h"
+
+namespace randsync {
+namespace {
+
+[[noreturn]] void fail(const std::string& why) {
+  throw std::runtime_error("interruptible execution: " + why);
+}
+
+}  // namespace
+
+std::optional<Value> execute_piece(Configuration& config, const Piece& piece,
+                                   Trace& trace,
+                                   const InterruptibleOptions& options) {
+  trace.append(block_write(config, piece.block));
+  std::optional<Value> decided;
+  for (ProcessId pid : piece.runners) {
+    const PoiseOutcome outcome = run_until_poised_outside(
+        config, pid, piece.objects, options.solo_max_steps, trace);
+    if (outcome == PoiseOutcome::kBudget) {
+      fail("runner P" + std::to_string(pid) +
+           " exhausted its budget inside the piece");
+    }
+    if (outcome == PoiseOutcome::kDecided && !decided) {
+      decided = config.process(pid).decision();
+    }
+  }
+  return decided;
+}
+
+InterruptibleExecution build_interruptible(
+    const Configuration& start_config, std::set<ObjectId> initial_objects,
+    std::set<ProcessId> members, const std::set<ObjectId>& capacity_objects,
+    const InterruptibleOptions& options) {
+  Configuration config = start_config.clone();
+  const std::size_t r = config.num_objects();
+
+  InterruptibleExecution result;
+  result.members = members;
+
+  std::set<ObjectId> v = std::move(initial_objects);
+  std::set<ProcessId> active = std::move(members);
+
+  for (std::size_t level = 0; level < options.max_pieces; ++level) {
+    const std::size_t vbar = r - v.size();
+
+    // --- Select P-hat: vbar+1 processes of `active` poised at each
+    // object of V (one of each group becomes the block writer P1).
+    Piece piece;
+    piece.objects = v;
+    std::set<ProcessId> phat;
+    for (ObjectId obj : v) {
+      std::size_t found = 0;
+      for (ProcessId pid : active) {
+        if (found == vbar + 1) {
+          break;
+        }
+        if (!phat.contains(pid) && config.poised_at(pid) == obj) {
+          if (found == 0) {
+            piece.block.emplace_back(obj, pid);  // P1 member
+          }
+          phat.insert(pid);
+          ++found;
+        }
+      }
+      if (found < vbar + 1) {
+        fail("need " + std::to_string(vbar + 1) + " processes poised at R" +
+             std::to_string(obj) + ", found " + std::to_string(found));
+      }
+    }
+
+    // Runners: everyone in `active` outside P-hat, in pid order.
+    for (ProcessId pid : active) {
+      if (!phat.contains(pid)) {
+        piece.runners.push_back(pid);
+      }
+    }
+
+    // --- Execute the piece on the construction's private configuration.
+    Trace scratch;
+    const std::optional<Value> decided =
+        execute_piece(config, piece, scratch, options);
+    result.pieces.push_back(piece);
+    if (decided) {
+      result.decides = *decided;
+      return result;
+    }
+    if (v.size() == r) {
+      // All objects covered: runners cannot be poised outside, so a
+      // decision was the only way this piece could end.
+      fail("no decision with every object already in V (process set "
+           "exhausted: " +
+           std::to_string(piece.runners.size()) + " runners)");
+    }
+
+    // --- Count, per object outside V, the runners poised there, and
+    // find the index i of the proof's counting argument.
+    //
+    // Picking i with |Y| + |Z| = vbar - i + 1 grows V to V' with
+    // |V'| = r - i + 1, i.e. vbar' = i - 1.  Objects in the capacity
+    // set U must, beyond the i processes the next piece's P-hat needs,
+    // leave vbar' = i - 1 processes poised as *reserved excess
+    // capacity*: Lemma 3.5's extensions gather, at an object added when
+    // the side's set was V', at most vbar(union)+1 <= r - |V'| = i - 1
+    // processes (the union of two incomparable sets is strictly larger
+    // than each).  So the thresholds are: count >= i for objects
+    // outside U, count >= 2i - 1 for objects in U, reserving i - 1.
+    std::map<ObjectId, std::size_t> poised_count;
+    for (ProcessId pid : piece.runners) {
+      const auto obj = config.poised_at(pid);
+      if (!obj) {
+        fail("undecided runner P" + std::to_string(pid) +
+             " is not poised nontrivially after the piece");
+      }
+      if (v.contains(*obj)) {
+        fail("runner P" + std::to_string(pid) +
+             " is poised inside V after the piece");
+      }
+      ++poised_count[*obj];
+    }
+
+    std::optional<std::size_t> chosen_i;
+    std::vector<ObjectId> y_set;
+    std::vector<ObjectId> z_set;
+    for (std::size_t i = 1; i <= vbar; ++i) {
+      // How many poised processes a capacity object must supply: i for
+      // the next P-hat plus the reservation the policy dictates.
+      const std::size_t reserve =
+          options.policy == ReservePolicy::kAdaptive ? i - 1
+                                                     : options.flat_excess;
+      std::vector<ObjectId> y_cand;
+      std::vector<ObjectId> z_cand;
+      for (const auto& [obj, count] : poised_count) {
+        const bool in_u = capacity_objects.contains(obj);
+        if (in_u && count >= reserve + i) {
+          z_cand.push_back(obj);
+        } else if (!in_u && count >= i) {
+          y_cand.push_back(obj);
+        }
+      }
+      if (y_cand.size() + z_cand.size() >= vbar - i + 1) {
+        chosen_i = i;
+        const std::size_t needed = vbar - i + 1;
+        for (ObjectId obj : y_cand) {
+          if (y_set.size() == std::min(needed, y_cand.size())) {
+            break;
+          }
+          y_set.push_back(obj);
+        }
+        for (ObjectId obj : z_cand) {
+          if (y_set.size() + z_set.size() == needed) {
+            break;
+          }
+          z_set.push_back(obj);
+        }
+        break;
+      }
+    }
+    if (!chosen_i) {
+      fail("counting argument failed: process set too small for the "
+           "remaining objects (|active| = " +
+           std::to_string(active.size()) + ", vbar = " +
+           std::to_string(vbar) + ")");
+    }
+
+    // --- Grow V and shrink the active set: drop the block writers P1
+    // and reserve i-1 processes poised at each Z object.  Reserved
+    // processes leave the side entirely (they are removed from the
+    // member set below), staying poised forever: they ARE the side's
+    // excess capacity for U, available to the other side's extensions.
+    for (const auto& [obj, pid] : piece.block) {
+      (void)obj;
+      active.erase(pid);
+    }
+    const std::size_t reserve_per_object =
+        options.policy == ReservePolicy::kAdaptive ? *chosen_i - 1
+                                                   : options.flat_excess;
+    for (ObjectId obj : z_set) {
+      std::size_t reserved = 0;
+      for (ProcessId pid : piece.runners) {
+        if (reserved == reserve_per_object) {
+          break;
+        }
+        if (active.contains(pid) && config.poised_at(pid) == obj) {
+          active.erase(pid);
+          result.members.erase(pid);
+          ++reserved;
+        }
+      }
+      if (reserved < reserve_per_object) {
+        fail("could not reserve excess capacity at R" + std::to_string(obj));
+      }
+    }
+    for (ObjectId obj : y_set) {
+      v.insert(obj);
+    }
+    for (ObjectId obj : z_set) {
+      v.insert(obj);
+    }
+  }
+  fail("piece limit exceeded");
+}
+
+}  // namespace randsync

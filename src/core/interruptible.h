@@ -1,0 +1,118 @@
+// Interruptible executions (Definitions 3.1 and 3.2) and the Lemma 3.4
+// construction.
+//
+// An interruptible execution alpha = alpha_1 ... alpha_k from C satisfies:
+//   * alpha_i begins with a block write to an object set V_i by processes
+//     that take no further steps in alpha;
+//   * all nontrivial operations in alpha_i are on objects in V_i;
+//   * V = V_1 strictly-subset ... strictly-subset V_k;
+//   * after alpha, some process has decided.
+//
+// Because the objects are historyless, the opening block write of a piece
+// re-fixes the values of V_i no matter what foreign operations (confined
+// to V_i) were spliced in before it: this is what lets the general
+// adversary interleave two interruptible executions of opposite decision
+// into one inconsistent execution (Lemma 3.5).
+//
+// We represent an interruptible execution as a *program*, not a recorded
+// trace: each piece stores its block-write pairs and the ordered list of
+// runner processes, each of which is re-run "until it decides or is
+// poised (nontrivially) outside V_i".  Re-executing the program from any
+// configuration indistinguishable to its processes reproduces the same
+// steps; every expectation (poisedness at block writes, final decision)
+// is asserted at execution time, never assumed.
+//
+// Excess capacity (Definition 3.2) materializes as reserved processes:
+// the construction excludes, at each piece, e processes poised at each
+// newly-added object in U from the continuing process set, so they stay
+// poised and available for the other side's extensions in Lemma 3.5.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "runtime/configuration.h"
+#include "runtime/trace.h"
+
+namespace randsync {
+
+/// One piece alpha_i of an interruptible execution.
+struct Piece {
+  /// Opening block write: (object, process) pairs, one per object of
+  /// `objects`; these processes take no further steps in the execution.
+  std::vector<std::pair<ObjectId, ProcessId>> block;
+  /// Remaining processes of the side, run in order, each until it
+  /// decides or is poised nontrivially outside `objects`.
+  std::vector<ProcessId> runners;
+  /// V_i: the set all nontrivial operations of this piece live in.
+  std::set<ObjectId> objects;
+};
+
+/// An interruptible execution program together with its metadata.
+struct InterruptibleExecution {
+  std::vector<Piece> pieces;
+  std::set<ProcessId> members;  ///< the process set P
+  Value decides = -1;           ///< the value decided by the last piece
+};
+
+/// How excess capacity is reserved during Lemma 3.4's construction.
+enum class ReservePolicy {
+  /// Reserve r - |V'| processes per newly-added capacity object -- the
+  /// exact amount any later Lemma 3.5 extension can demand.  This is
+  /// the policy the adversaries use; it finishes within the paper's
+  /// 3r^2 + r pool even in the worst case where identical processes
+  /// pile onto one object per piece.
+  kAdaptive,
+  /// Reserve a flat `flat_excess` per capacity object (the paper's
+  /// literal "e" accounting).  With exact-minimum process pools this
+  /// can strand the final piece without runners (no process left to
+  /// decide); kept for the ablation bench, which demonstrates exactly
+  /// that boundary effect.  See DESIGN.md.
+  kPaperFlat,
+};
+
+/// Tuning parameters shared by the interruptible machinery.
+struct InterruptibleOptions {
+  std::size_t solo_max_steps = 200'000;
+  std::size_t max_pieces = 512;
+  ReservePolicy policy = ReservePolicy::kAdaptive;
+  std::size_t flat_excess = 0;  ///< the e of kPaperFlat
+};
+
+/// Lemma 3.4: construct an interruptible execution with initial object
+/// set `initial_objects` and process set `members`, with excess capacity
+/// for `capacity_objects` (the set U), starting from `config`.
+///
+/// Excess capacity is reserved adaptively: when the construction grows
+/// the object set to V' by adding an object of U, it freezes
+/// r - |V'| processes poised at that object and removes them from the
+/// returned member set -- enough for any later Lemma 3.5 extension,
+/// which gathers at most r - |union| + 1 <= r - |V'| processes there
+/// (the union of two incomparable sets is strictly larger than each).
+/// This per-object sizing (instead of the paper's flat e) is what lets
+/// the construction finish within the paper's 3r^2 + r process pool in
+/// the worst case where identical processes pile onto one object per
+/// piece; see DESIGN.md.
+///
+/// The construction runs on a clone of `config` (the argument is not
+/// modified) and returns the piece program plus the decided value.
+/// Throws std::runtime_error with a diagnostic if the preconditions
+/// cannot be met (insufficient processes, budget exhaustion, or a
+/// nondeterministic-solo-termination failure).
+[[nodiscard]] InterruptibleExecution build_interruptible(
+    const Configuration& config, std::set<ObjectId> initial_objects,
+    std::set<ProcessId> members, const std::set<ObjectId>& capacity_objects,
+    const InterruptibleOptions& options);
+
+/// Execute one piece on `config`, appending steps to `trace`.  Returns
+/// the first decision observed during the piece, if any.  Throws if a
+/// block writer is not poised as recorded or a runner exhausts the step
+/// budget.
+std::optional<Value> execute_piece(Configuration& config, const Piece& piece,
+                                   Trace& trace,
+                                   const InterruptibleOptions& options);
+
+}  // namespace randsync

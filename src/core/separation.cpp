@@ -1,0 +1,94 @@
+#include "core/separation.h"
+
+#include <sstream>
+
+#include "objects/algebra.h"
+#include "objects/compare_and_swap.h"
+#include "objects/counter.h"
+#include "objects/fetch_add.h"
+#include "objects/fetch_inc.h"
+#include "objects/register.h"
+#include "objects/sticky_bit.h"
+#include "objects/swap_register.h"
+#include "objects/test_and_set.h"
+
+namespace randsync {
+
+std::vector<PrimitiveProfile> separation_table() {
+  std::vector<PrimitiveProfile> table;
+  table.push_back({"rw-register", rw_register_type(), true, true, 1,
+                   "n (register-walk)", "Omega(sqrt n)",
+                   "Thm 3.7; O(n) upper [9]"});
+  table.push_back({"swap-register", swap_register_type(), true, true, 2,
+                   "n (via register-walk; swap supports write/read)",
+                   "Omega(sqrt n)", "Thm 3.7"});
+  table.push_back({"test&set", test_and_set_type(), true, true, 2,
+                   "n/a (t&s alone cannot publish values)",
+                   "Omega(sqrt n)", "Thm 3.7"});
+  table.push_back({"fetch&add", fetch_add_type(), false, true, 2,
+                   "1 (faa-consensus)", "1", "Thm 4.4 / Cor 4.5"});
+  table.push_back({"fetch&inc", fetch_inc_type(), false, true, 2,
+                   "1 per [7,8] (unpublished; see faa-consensus)", "1",
+                   "Thm 4.4 / Cor 4.5"});
+  table.push_back({"bounded counter", bounded_counter_type(-3, 3), false,
+                   true, 1, "1 (one-counter-walk; 3 in counter-walk)",
+                   "1", "Thm 4.2 / Cor 4.3"});
+  table.push_back({"compare&swap", compare_and_swap_type(), false, false,
+                   kInfinityConsensus, "1 (cas-consensus, deterministic)",
+                   "1", "Herlihy [20] / Cor 4.1"});
+  table.push_back({"sticky bit", sticky_bit_type(), false, false,
+                   kInfinityConsensus, "1 (sticky-consensus, deterministic)",
+                   "1", "Plotkin; remembers FIRST op"});
+  return table;
+}
+
+bool verify_algebraic_claims(const std::vector<PrimitiveProfile>& table,
+                             std::string& mismatch) {
+  const auto sweep = default_value_sweep();
+  for (const auto& row : table) {
+    if (check_historyless(*row.type, sweep) != row.historyless) {
+      mismatch = row.name + ": historyless claim";
+      return false;
+    }
+    if (check_interfering(*row.type, sweep) != row.interfering) {
+      mismatch = row.name + ": interfering claim";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string render_separation_table(
+    const std::vector<PrimitiveProfile>& table) {
+  std::ostringstream out;
+  auto col = [&out](const std::string& s, std::size_t width) {
+    out << s;
+    for (std::size_t i = s.size(); i < width; ++i) {
+      out << ' ';
+    }
+    out << "| ";
+  };
+  col("primitive", 17);
+  col("historyless", 12);
+  col("interfering", 12);
+  col("det. cons. #", 13);
+  col("rand. space upper", 42);
+  col("rand. space lower", 18);
+  out << "source\n";
+  out << std::string(140, '-') << "\n";
+  for (const auto& row : table) {
+    col(row.name, 17);
+    col(row.historyless ? "yes" : "no", 12);
+    col(row.interfering ? "yes" : "no", 12);
+    col(row.consensus_number == kInfinityConsensus
+            ? "infinity"
+            : std::to_string(row.consensus_number),
+        13);
+    col(row.randomized_upper, 42);
+    col(row.randomized_lower, 18);
+    out << row.source << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace randsync

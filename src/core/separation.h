@@ -1,0 +1,60 @@
+// The Section 4 separation results, as a machine-checkable table.
+//
+// For each synchronization primitive the paper discusses, the profile
+// records its algebraic class (historyless / interfering -- verified
+// empirically against the definitions by verify_claims()), its
+// deterministic consensus number (Herlihy's hierarchy), and its
+// randomized space complexity for n-process binary consensus: the
+// upper bound realized by a protocol in this repository, and the lower
+// bound implied by Theorem 3.7 (+ Theorem 2.1 for non-historyless
+// types implemented FROM historyless ones).
+//
+// The headline separation (Section 4): swap and fetch&add both have
+// deterministic consensus number 2, yet ONE fetch&add register solves
+// randomized n-process consensus while swap registers need
+// Omega(sqrt(n)) instances -- and fetch&add is randomized-equivalent to
+// compare&swap, which towers above it deterministically.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "runtime/object_type.h"
+
+namespace randsync {
+
+/// Deterministic consensus number; kInfinity encodes "n for all n".
+inline constexpr std::size_t kInfinityConsensus = static_cast<std::size_t>(-1);
+
+/// One row of the separation table.
+struct PrimitiveProfile {
+  std::string name;
+  ObjectTypePtr type;
+  bool historyless = false;
+  bool interfering = false;
+  /// Herlihy's deterministic consensus number.
+  std::size_t consensus_number = 1;
+  /// Instances sufficient for randomized n-process consensus, as
+  /// realized by a protocol in src/protocols ("1", "3", "n", ...).
+  std::string randomized_upper;
+  /// The implied lower bound on instances.
+  std::string randomized_lower;
+  /// Which paper artifact establishes the row.
+  std::string source;
+};
+
+/// The table implied by Section 4.
+[[nodiscard]] std::vector<PrimitiveProfile> separation_table();
+
+/// Re-derive each row's algebraic columns from the object semantics
+/// (empirical checks over value sweeps); returns false and fills
+/// `mismatch` if any claimed classification disagrees.
+[[nodiscard]] bool verify_algebraic_claims(
+    const std::vector<PrimitiveProfile>& table, std::string& mismatch);
+
+/// Render the table as aligned text (for benches and examples).
+[[nodiscard]] std::string render_separation_table(
+    const std::vector<PrimitiveProfile>& table);
+
+}  // namespace randsync

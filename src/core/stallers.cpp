@@ -1,0 +1,214 @@
+#include "core/stallers.h"
+
+#include "protocols/drift_walk.h"
+
+namespace randsync {
+namespace {
+
+// Round layout of RoundsConsensusProtocol: [C, A0, A1, B] per round.
+enum class RoundsReg { kConciliator, kFlag, kClean };
+
+RoundsReg classify(ObjectId obj) {
+  switch (obj % 4) {
+    case 0:
+      return RoundsReg::kConciliator;
+    case 3:
+      return RoundsReg::kClean;
+    default:
+      return RoundsReg::kFlag;
+  }
+}
+
+}  // namespace
+
+std::optional<ProcessId> RoundsKillerScheduler::next(
+    const Configuration& config) {
+  // Keep the processes in ROUND LOCKSTEP: only processes currently in
+  // the minimal round are eligible.  A process that raced ahead into a
+  // fresh round would find its adopt-commit instance uncontended and
+  // legitimately commit.
+  std::vector<ProcessId> live;
+  ObjectId min_round = ~ObjectId{0};
+  for (ProcessId pid = 0; pid < config.num_processes(); ++pid) {
+    if (!config.decided(pid)) {
+      min_round =
+          std::min(min_round, config.process(pid).poised().object / 4);
+    }
+  }
+  for (ProcessId pid = 0; pid < config.num_processes(); ++pid) {
+    if (!config.decided(pid) &&
+        config.process(pid).poised().object / 4 == min_round) {
+      live.push_back(pid);
+    }
+  }
+  if (live.empty()) {
+    return std::nullopt;
+  }
+
+  // A conciliator writer must complete its own read before anyone else
+  // touches that register.
+  if (last_ && !config.decided(*last_)) {
+    const Invocation inv = config.process(*last_).poised();
+    if (classify(inv.object) == RoundsReg::kConciliator &&
+        inv.op.kind == OpKind::kRead) {
+      const ProcessId pid = *last_;
+      last_.reset();
+      return pid;
+    }
+  }
+  last_.reset();
+
+  // Priority 1: conciliator readers while the register is still empty
+  // (they keep their own preference).
+  for (ProcessId pid : live) {
+    const Invocation inv = config.process(pid).poised();
+    if (classify(inv.object) == RoundsReg::kConciliator &&
+        inv.op.kind == OpKind::kRead && config.value(inv.object) == 0) {
+      return pid;
+    }
+  }
+  // Priority 2: adopt-commit flag writers (set BOTH flags before any
+  // flag read, so everyone lands in the adopt-own branch).
+  for (ProcessId pid : live) {
+    const Invocation inv = config.process(pid).poised();
+    if (classify(inv.object) == RoundsReg::kFlag &&
+        inv.op.kind == OpKind::kWrite) {
+      return pid;
+    }
+  }
+  // Priority 3: conciliator writers -- remember them so their read
+  // comes immediately next.
+  for (ProcessId pid : live) {
+    const Invocation inv = config.process(pid).poised();
+    if (classify(inv.object) == RoundsReg::kConciliator &&
+        inv.op.kind == OpKind::kWrite) {
+      last_ = pid;
+      return pid;
+    }
+  }
+  // Priority 4: everything else (flag reads, clean-register reads).
+  return live.front();
+}
+
+std::optional<ProcessId> WalkStallerScheduler::next(
+    const Configuration& config) {
+  if (config.decided(target_)) {
+    return std::nullopt;  // stall failed; stop and let the caller report
+  }
+  const Value c = cursor_(config);
+
+  // Census of the reservoir (everyone but the target): who is loaded
+  // with which move, who is mid-read ("zero": stepping them moves
+  // nothing and re-rolls their next flip).
+  std::vector<ProcessId> up;
+  std::vector<ProcessId> down;
+  std::vector<ProcessId> zero;
+  for (ProcessId pid = 0; pid < config.num_processes(); ++pid) {
+    if (pid == target_ || config.decided(pid)) {
+      continue;
+    }
+    switch (move_direction_(config.process(pid).poised())) {
+      case 1:
+        up.push_back(pid);
+        break;
+      case -1:
+        down.push_back(pid);
+        break;
+      default:
+        zero.push_back(pid);
+        break;
+    }
+  }
+
+  // 1. Off-center: apply a loaded opposing mover, or reload toward one.
+  if (c >= 1) {
+    if (!down.empty()) {
+      return down.front();
+    }
+    if (!zero.empty()) {
+      return zero.front();
+    }
+  } else if (c <= -1) {
+    if (!up.empty()) {
+      return up.front();
+    }
+    if (!zero.empty()) {
+      return zero.front();
+    }
+  }
+
+  // 2. Stock keeping.  Wrong-sign moves are parked, but the parked
+  // population drifts (each correction cycle parks ~1 wrong roll while
+  // consumption only happens when the cursor crosses to the other
+  // side), and a reservoir with no process left in a read phase cannot
+  // mint fresh rolls.  So whenever the read-phase stock is empty, SPEND
+  // one parked move -- from the over-stocked side when the cursor has
+  // room, otherwise toward the center -- recycling that process into
+  // its read phase.  The margin keeps the spending-induced excursions
+  // far from the decision bands.
+  if (zero.empty() && (!up.empty() || !down.empty())) {
+    const bool prefer_down = down.size() >= up.size();
+    const Value margin = margin_;
+    if (prefer_down && !down.empty() && c - 1 >= -margin) {
+      return down.front();
+    }
+    if (!up.empty() && c + 1 <= margin) {
+      return up.front();
+    }
+    if (!down.empty() && c - 1 >= -margin) {
+      return down.front();
+    }
+    // Over the margin on both sides is impossible; toward-center spend:
+    if (c > 0 && !down.empty()) {
+      return down.front();
+    }
+    if (c < 0 && !up.empty()) {
+      return up.front();
+    }
+  }
+
+  // 3. Burn the target's own steps.
+  ++target_steps_;
+  return target_;
+}
+
+WalkStallerScheduler make_counter_walk_staller(ProcessId target) {
+  return WalkStallerScheduler(
+      target,
+      [](const Configuration& config) { return config.value(2); },
+      [](const Invocation& inv) {
+        if (inv.object != 2) {
+          return 0;
+        }
+        if (inv.op.kind == OpKind::kIncrement) {
+          return 1;
+        }
+        if (inv.op.kind == OpKind::kDecrement) {
+          return -1;
+        }
+        return 0;
+      });
+}
+
+WalkStallerScheduler make_faa_walk_staller(ProcessId target) {
+  constexpr Value kCursorUnit = Value{1} << 32;
+  return WalkStallerScheduler(
+      target,
+      [](const Configuration& config) {
+        return FaaConsensusProtocol::decode_cursor(config.value(0));
+      },
+      [](const Invocation& inv) {
+        if (inv.object != 0 || inv.op.kind != OpKind::kFetchAdd) {
+          return 0;
+        }
+        if (inv.op.arg0 == kCursorUnit) {
+          return 1;
+        }
+        if (inv.op.arg0 == -kCursorUnit) {
+          return -1;
+        }
+        return 0;
+      });
+}
+
+}  // namespace randsync

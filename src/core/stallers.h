@@ -1,0 +1,91 @@
+// Protocol-aware strong-adversary schedulers ("stallers").
+//
+// The paper's model allows a *strong adaptive adversary*: the scheduler
+// sees all process states, including the outcome of every coin flip
+// already taken (each flip is folded into the poised operation).  The
+// randomized protocols in this repository decide in short expected time
+// under oblivious schedulers (random, round-robin, contention), but
+// local-coin protocols are NOT robust against adaptive scheduling -- a
+// scheduler that inspects poised operations can cancel coin flips
+// against each other.  These stallers demonstrate that honestly:
+//
+//   * RoundsKillerScheduler -- against the conciliator/adopt-commit
+//     protocol with two processes, it orders each round so that both
+//     processes keep their own preferences (readers before writers in
+//     the conciliator; both adopt-commit flags set before either reads),
+//     driving the protocol through its entire round budget undecided.
+//
+//   * WalkStallerScheduler -- against the drift-walk protocols, it
+//     tries to keep a target process undecided by re-centering the
+//     cursor: whenever the walk drifts, it schedules an opposing move
+//     from its reservoir of other processes (reloading them through
+//     their read phases, parking wrong-sign rolls, and recycling parked
+//     stock to keep minting fresh flips).
+//
+// The two have OPPOSITE outcomes, and that is the point.  The rounds
+// killer succeeds forever: conciliator coin flips are local, so the
+// adversary can order each round to cancel them.  The walk staller can
+// only DELAY: every coin flip ever taken lands either in the shared
+// cursor or in the parked buffer, and the buffer holds at most one
+// pending move per process -- the same <= n-1 stale-moves accounting
+// that makes the protocol's decisions safe also caps the adversary's
+// censorship.  The sum of all flips is an unbounded fair walk, so the
+// cursor must eventually cross a decision band no matter how moves are
+// filtered.  The drift-walk cursor is a *global* shared coin in
+// exactly the sense Aspnes [6] proves necessary for adversary-robust
+// randomized consensus; bench_adversarial_termination measures the
+// delay factor the strongest staller achieves.
+#pragma once
+
+#include <functional>
+
+#include "runtime/scheduler.h"
+
+namespace randsync {
+
+/// Strong adversary against RoundsConsensusProtocol with 2 processes:
+/// preserves preference disagreement through every round.
+class RoundsKillerScheduler final : public Scheduler {
+ public:
+  std::optional<ProcessId> next(const Configuration& config) override;
+
+ private:
+  std::optional<ProcessId> last_;  ///< writer that must complete its read
+};
+
+/// Strong adversary against the drift-walk protocols: starves decisions
+/// by cancelling cursor movement.
+class WalkStallerScheduler final : public Scheduler {
+ public:
+  /// `cursor` reads the current walk position from the configuration;
+  /// `move_direction` classifies a poised invocation as +1 / -1 / 0
+  /// (not a move).  `target` is the process to keep undecided.
+  WalkStallerScheduler(ProcessId target,
+                       std::function<Value(const Configuration&)> cursor,
+                       std::function<int(const Invocation&)> move_direction)
+      : target_(target),
+        cursor_(std::move(cursor)),
+        move_direction_(std::move(move_direction)) {}
+
+  std::optional<ProcessId> next(const Configuration& config) override;
+
+  /// Steps the target has been allocated so far.
+  [[nodiscard]] std::size_t target_steps() const { return target_steps_; }
+
+ private:
+  ProcessId target_;
+  std::function<Value(const Configuration&)> cursor_;
+  std::function<int(const Invocation&)> move_direction_;
+  std::size_t target_steps_ = 0;
+  Value margin_ = 6;  ///< max |cursor| the stock-keeping spends allow
+};
+
+/// Ready-made staller for CounterWalkProtocol (cursor = object 2).
+[[nodiscard]] WalkStallerScheduler make_counter_walk_staller(
+    ProcessId target);
+
+/// Ready-made staller for FaaConsensusProtocol (cursor packed in
+/// object 0's bit field).
+[[nodiscard]] WalkStallerScheduler make_faa_walk_staller(ProcessId target);
+
+}  // namespace randsync

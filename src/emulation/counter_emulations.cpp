@@ -1,0 +1,509 @@
+#include "emulation/counter_emulations.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "objects/compare_and_swap.h"
+#include "objects/counter.h"
+#include "objects/fetch_add.h"
+#include "objects/register.h"
+#include "runtime/process.h"
+
+namespace randsync {
+namespace {
+
+[[noreturn]] void unsupported(const std::string& emulation, const Op& op) {
+  throw std::logic_error(emulation + ": unsupported operation " +
+                         to_string(op));
+}
+
+// --- counter from n single-writer registers ------------------------------
+
+class RegisterCounterObject final : public VirtualObject {
+ public:
+  RegisterCounterObject(ObjectId first_slot, std::size_t slots)
+      : first_slot_(first_slot), slots_(slots) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "counter-from-registers";
+  }
+  [[nodiscard]] std::size_t base_instances() const override { return slots_; }
+  [[nodiscard]] std::unique_ptr<OpProcedure> start(
+      const Op& op, std::size_t pid) const override;
+
+  [[nodiscard]] ObjectId slot(std::size_t pid) const {
+    if (pid >= slots_) {
+      throw std::out_of_range("counter-from-registers: pid " +
+                              std::to_string(pid) + " has no slot");
+    }
+    return first_slot_ + pid;
+  }
+  [[nodiscard]] ObjectId first_slot() const { return first_slot_; }
+  [[nodiscard]] std::size_t slots() const { return slots_; }
+
+ private:
+  ObjectId first_slot_;
+  std::size_t slots_;
+};
+
+// INC/DEC: read own slot, then write the adjusted value back (the slot
+// is single-writer, so the read value cannot change in between).
+class SlotUpdateProcedure final : public OpProcedure {
+ public:
+  SlotUpdateProcedure(ObjectId slot, Value delta)
+      : slot_(slot), delta_(delta) {}
+
+  [[nodiscard]] bool done() const override { return phase_ == Phase::kDone; }
+  [[nodiscard]] Value result() const override { return 0; }  // ack
+  [[nodiscard]] Invocation poised() const override {
+    if (phase_ == Phase::kRead) {
+      return {slot_, Op::read()};
+    }
+    return {slot_, Op::write(current_ + delta_)};
+  }
+  void on_response(Value response) override {
+    if (phase_ == Phase::kRead) {
+      current_ = response;
+      phase_ = Phase::kWrite;
+      return;
+    }
+    phase_ = Phase::kDone;
+  }
+  [[nodiscard]] std::unique_ptr<OpProcedure> clone() const override {
+    return std::make_unique<SlotUpdateProcedure>(*this);
+  }
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return hash_combine(static_cast<std::uint64_t>(phase_),
+                        static_cast<std::uint64_t>(current_));
+  }
+
+ private:
+  enum class Phase { kRead, kWrite, kDone };
+  ObjectId slot_;
+  Value delta_;
+  Value current_ = 0;
+  Phase phase_ = Phase::kRead;
+};
+
+// READ: collect all slots and sum.
+class CollectSumProcedure final : public OpProcedure {
+ public:
+  CollectSumProcedure(ObjectId first, std::size_t count)
+      : first_(first), count_(count) {}
+
+  [[nodiscard]] bool done() const override { return index_ == count_; }
+  [[nodiscard]] Value result() const override { return sum_; }
+  [[nodiscard]] Invocation poised() const override {
+    return {first_ + index_, Op::read()};
+  }
+  void on_response(Value response) override {
+    sum_ += response;
+    ++index_;
+  }
+  [[nodiscard]] std::unique_ptr<OpProcedure> clone() const override {
+    return std::make_unique<CollectSumProcedure>(*this);
+  }
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return hash_combine(index_, static_cast<std::uint64_t>(sum_));
+  }
+
+ private:
+  ObjectId first_;
+  std::size_t count_;
+  std::size_t index_ = 0;
+  Value sum_ = 0;
+};
+
+std::unique_ptr<OpProcedure> RegisterCounterObject::start(
+    const Op& op, std::size_t pid) const {
+  switch (op.kind) {
+    case OpKind::kIncrement:
+      return std::make_unique<SlotUpdateProcedure>(slot(pid), 1);
+    case OpKind::kDecrement:
+      return std::make_unique<SlotUpdateProcedure>(slot(pid), -1);
+    case OpKind::kRead:
+      return std::make_unique<CollectSumProcedure>(first_slot_, slots_);
+    default:
+      unsupported(name(), op);
+  }
+}
+
+// --- atomic counter from registers (double collect) ----------------------
+
+// Slot packing: (seq << 24) | (contribution + kContribBias).  Sequence
+// numbers grow with each update; 40 bits of seq and 24 bits of biased
+// contribution are ample for any test execution.
+constexpr Value kAtomicContribBias = Value{1} << 23;
+constexpr Value kAtomicContribMask = (Value{1} << 24) - 1;
+
+Value pack_slot(Value seq, Value contrib) {
+  return (seq << 24) | (contrib + kAtomicContribBias);
+}
+Value slot_seq(Value packed) { return packed >> 24; }
+Value slot_contrib(Value packed) {
+  if (packed == 0) {
+    return 0;  // unwritten slot
+  }
+  return (packed & kAtomicContribMask) - kAtomicContribBias;
+}
+
+// INC/DEC: read own slot, rewrite with seq+1.
+class AtomicSlotUpdate final : public OpProcedure {
+ public:
+  AtomicSlotUpdate(ObjectId slot, Value delta) : slot_(slot), delta_(delta) {}
+  [[nodiscard]] bool done() const override { return phase_ == Phase::kDone; }
+  [[nodiscard]] Value result() const override { return 0; }
+  [[nodiscard]] Invocation poised() const override {
+    if (phase_ == Phase::kRead) {
+      return {slot_, Op::read()};
+    }
+    return {slot_, Op::write(pack_slot(slot_seq(current_) + 1,
+                                       slot_contrib(current_) + delta_))};
+  }
+  void on_response(Value response) override {
+    if (phase_ == Phase::kRead) {
+      current_ = response;
+      phase_ = Phase::kWrite;
+      return;
+    }
+    phase_ = Phase::kDone;
+  }
+  [[nodiscard]] std::unique_ptr<OpProcedure> clone() const override {
+    return std::make_unique<AtomicSlotUpdate>(*this);
+  }
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return hash_combine(static_cast<std::uint64_t>(phase_),
+                        static_cast<std::uint64_t>(current_));
+  }
+
+ private:
+  enum class Phase { kRead, kWrite, kDone };
+  ObjectId slot_;
+  Value delta_;
+  Value current_ = 0;
+  Phase phase_ = Phase::kRead;
+};
+
+// READ: collect all slots repeatedly until two consecutive collects
+// agree on every slot (sequence numbers included); the agreed snapshot
+// existed at every instant between the two collects.
+class DoubleCollectRead final : public OpProcedure {
+ public:
+  DoubleCollectRead(ObjectId first, std::size_t count)
+      : first_(first), previous_(count, -1), current_(count, -1) {}
+
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] Value result() const override { return sum_; }
+  [[nodiscard]] Invocation poised() const override {
+    return {first_ + index_, Op::read()};
+  }
+  void on_response(Value response) override {
+    current_[index_] = response;
+    ++index_;
+    if (index_ < current_.size()) {
+      return;
+    }
+    if (current_ == previous_) {
+      sum_ = 0;
+      for (Value packed : current_) {
+        sum_ += slot_contrib(packed);
+      }
+      done_ = true;
+      return;
+    }
+    if (++rounds_ > kMaxRounds) {
+      throw std::runtime_error(
+          "double-collect read starved beyond " +
+          std::to_string(kMaxRounds) + " rounds (obstruction-freedom "
+          "budget; raise it or reduce update pressure)");
+    }
+    previous_ = current_;
+    index_ = 0;
+  }
+  [[nodiscard]] std::unique_ptr<OpProcedure> clone() const override {
+    return std::make_unique<DoubleCollectRead>(*this);
+  }
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    std::uint64_t h = hash_combine(index_, rounds_);
+    for (Value v : current_) {
+      h = hash_combine(h, static_cast<std::uint64_t>(v));
+    }
+    return h;
+  }
+
+ private:
+  static constexpr std::size_t kMaxRounds = 100'000;
+  ObjectId first_;
+  std::vector<Value> previous_;
+  std::vector<Value> current_;
+  std::size_t index_ = 0;
+  std::size_t rounds_ = 0;
+  Value sum_ = 0;
+  bool done_ = false;
+};
+
+class AtomicRegisterCounterObject final : public VirtualObject {
+ public:
+  AtomicRegisterCounterObject(ObjectId first_slot, std::size_t slots)
+      : first_slot_(first_slot), slots_(slots) {}
+  [[nodiscard]] std::string name() const override {
+    return "atomic-counter-from-registers";
+  }
+  [[nodiscard]] std::size_t base_instances() const override { return slots_; }
+  [[nodiscard]] std::unique_ptr<OpProcedure> start(
+      const Op& op, std::size_t pid) const override {
+    if (pid >= slots_) {
+      throw std::out_of_range("atomic-counter: pid has no slot");
+    }
+    switch (op.kind) {
+      case OpKind::kIncrement:
+        return std::make_unique<AtomicSlotUpdate>(first_slot_ + pid, 1);
+      case OpKind::kDecrement:
+        return std::make_unique<AtomicSlotUpdate>(first_slot_ + pid, -1);
+      case OpKind::kRead:
+        return std::make_unique<DoubleCollectRead>(first_slot_, slots_);
+      default:
+        unsupported(name(), op);
+    }
+  }
+
+ private:
+  ObjectId first_slot_;
+  std::size_t slots_;
+};
+
+// --- single-base-object procedures ----------------------------------------
+
+// Executes exactly one base operation and forwards (a transform of) its
+// response.
+class OneStepProcedure final : public OpProcedure {
+ public:
+  using Transform = Value (*)(Value);
+  OneStepProcedure(Invocation inv, Transform transform)
+      : inv_(inv), transform_(transform) {}
+
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] Value result() const override { return result_; }
+  [[nodiscard]] Invocation poised() const override { return inv_; }
+  void on_response(Value response) override {
+    result_ = transform_ ? transform_(response) : response;
+    done_ = true;
+  }
+  [[nodiscard]] std::unique_ptr<OpProcedure> clone() const override {
+    return std::make_unique<OneStepProcedure>(*this);
+  }
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return hash_combine(done_ ? 1U : 0U, static_cast<std::uint64_t>(result_));
+  }
+
+ private:
+  Invocation inv_;
+  Transform transform_;
+  Value result_ = 0;
+  bool done_ = false;
+};
+
+class FaaCounterObject final : public VirtualObject {
+ public:
+  explicit FaaCounterObject(ObjectId base) : base_(base) {}
+  [[nodiscard]] std::string name() const override {
+    return "counter-from-faa";
+  }
+  [[nodiscard]] std::size_t base_instances() const override { return 1; }
+  [[nodiscard]] std::unique_ptr<OpProcedure> start(
+      const Op& op, std::size_t) const override {
+    switch (op.kind) {
+      // INC/DEC acknowledge with 0, matching the counter specification
+      // (the underlying FETCH&ADD's old-value response is discarded).
+      case OpKind::kIncrement:
+        return std::make_unique<OneStepProcedure>(
+            Invocation{base_, Op::fetch_add(1)},
+            +[](Value) { return Value{0}; });
+      case OpKind::kDecrement:
+        return std::make_unique<OneStepProcedure>(
+            Invocation{base_, Op::fetch_add(-1)},
+            +[](Value) { return Value{0}; });
+      case OpKind::kRead:
+        return std::make_unique<OneStepProcedure>(
+            Invocation{base_, Op::fetch_add(0)}, nullptr);
+      default:
+        unsupported(name(), op);
+    }
+  }
+
+ private:
+  ObjectId base_;
+};
+
+// --- fetch&add from one CAS register (lock-free retry loop) --------------
+
+class FaaFromCasProcedure final : public OpProcedure {
+ public:
+  FaaFromCasProcedure(ObjectId base, Value delta)
+      : base_(base), delta_(delta) {}
+
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] Value result() const override { return old_; }
+  [[nodiscard]] Invocation poised() const override {
+    if (phase_ == Phase::kRead) {
+      return {base_, Op::read()};
+    }
+    return {base_, Op::compare_and_swap(old_, old_ + delta_)};
+  }
+  void on_response(Value response) override {
+    if (phase_ == Phase::kRead) {
+      old_ = response;
+      if (delta_ == 0) {
+        done_ = true;  // pure read needs no CAS
+        return;
+      }
+      phase_ = Phase::kCas;
+      return;
+    }
+    if (response == 1) {
+      done_ = true;  // CAS succeeded: old_ is the fetched value
+      return;
+    }
+    phase_ = Phase::kRead;  // contention: retry (lock-free)
+  }
+  [[nodiscard]] std::unique_ptr<OpProcedure> clone() const override {
+    return std::make_unique<FaaFromCasProcedure>(*this);
+  }
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return hash_combine(
+        hash_combine(static_cast<std::uint64_t>(phase_), done_ ? 1U : 0U),
+        static_cast<std::uint64_t>(old_));
+  }
+
+ private:
+  enum class Phase { kRead, kCas };
+  ObjectId base_;
+  Value delta_;
+  Value old_ = 0;
+  Phase phase_ = Phase::kRead;
+  bool done_ = false;
+};
+
+class FaaFromCasObject final : public VirtualObject {
+ public:
+  explicit FaaFromCasObject(ObjectId base) : base_(base) {}
+  [[nodiscard]] std::string name() const override { return "faa-from-cas"; }
+  [[nodiscard]] std::size_t base_instances() const override { return 1; }
+  [[nodiscard]] std::unique_ptr<OpProcedure> start(
+      const Op& op, std::size_t) const override {
+    switch (op.kind) {
+      case OpKind::kFetchAdd:
+        return std::make_unique<FaaFromCasProcedure>(base_, op.arg0);
+      case OpKind::kRead:
+        return std::make_unique<FaaFromCasProcedure>(base_, 0);
+      default:
+        unsupported(name(), op);
+    }
+  }
+
+ private:
+  ObjectId base_;
+};
+
+// --- test&set from one CAS register ----------------------------------------
+
+class TsFromCasObject final : public VirtualObject {
+ public:
+  explicit TsFromCasObject(ObjectId base) : base_(base) {}
+  [[nodiscard]] std::string name() const override { return "ts-from-cas"; }
+  [[nodiscard]] std::size_t base_instances() const override { return 1; }
+  [[nodiscard]] std::unique_ptr<OpProcedure> start(
+      const Op& op, std::size_t) const override {
+    switch (op.kind) {
+      case OpKind::kTestAndSet:
+        // CAS(0,1) responds 1 exactly when we won, i.e. the old value
+        // was 0 -- so the test&set response is the inverted CAS result.
+        return std::make_unique<OneStepProcedure>(
+            Invocation{base_, Op::compare_and_swap(0, 1)},
+            +[](Value cas_won) { return cas_won == 1 ? Value{0} : Value{1}; });
+      case OpKind::kRead:
+        return std::make_unique<OneStepProcedure>(
+            Invocation{base_, Op::read()}, nullptr);
+      default:
+        unsupported(name(), op);
+    }
+  }
+
+ private:
+  ObjectId base_;
+};
+
+}  // namespace
+
+bool CounterFromRegistersFactory::handles(const ObjectType& type) const {
+  return type.supports(OpKind::kIncrement);
+}
+
+VirtualObjectPtr CounterFromRegistersFactory::emulate(
+    const ObjectTypePtr& type, std::size_t n, ObjectSpace& space) const {
+  if (!handles(*type)) {
+    throw std::invalid_argument(name() + " cannot emulate " + type->name());
+  }
+  const ObjectId first = space.add_many(rw_register_type(), n);
+  return std::make_shared<const RegisterCounterObject>(first, n);
+}
+
+bool AtomicCounterFromRegistersFactory::handles(
+    const ObjectType& type) const {
+  return type.supports(OpKind::kIncrement);
+}
+
+VirtualObjectPtr AtomicCounterFromRegistersFactory::emulate(
+    const ObjectTypePtr& type, std::size_t n, ObjectSpace& space) const {
+  if (!handles(*type)) {
+    throw std::invalid_argument(name() + " cannot emulate " + type->name());
+  }
+  const ObjectId first = space.add_many(rw_register_type(), n);
+  return std::make_shared<const AtomicRegisterCounterObject>(first, n);
+}
+
+bool CounterFromFaaFactory::handles(const ObjectType& type) const {
+  return type.supports(OpKind::kIncrement);
+}
+
+VirtualObjectPtr CounterFromFaaFactory::emulate(const ObjectTypePtr& type,
+                                                std::size_t,
+                                                ObjectSpace& space) const {
+  if (!handles(*type)) {
+    throw std::invalid_argument(name() + " cannot emulate " + type->name());
+  }
+  const ObjectId base = space.add(fetch_add_type());
+  return std::make_shared<const FaaCounterObject>(base);
+}
+
+bool FaaFromCasFactory::handles(const ObjectType& type) const {
+  return type.supports(OpKind::kFetchAdd);
+}
+
+VirtualObjectPtr FaaFromCasFactory::emulate(const ObjectTypePtr& type,
+                                            std::size_t,
+                                            ObjectSpace& space) const {
+  if (!handles(*type)) {
+    throw std::invalid_argument(name() + " cannot emulate " + type->name());
+  }
+  const ObjectId base =
+      space.add(std::make_shared<const CompareAndSwapType>(
+          type->initial_value()));
+  return std::make_shared<const FaaFromCasObject>(base);
+}
+
+bool TsFromCasFactory::handles(const ObjectType& type) const {
+  return type.supports(OpKind::kTestAndSet);
+}
+
+VirtualObjectPtr TsFromCasFactory::emulate(const ObjectTypePtr& type,
+                                           std::size_t,
+                                           ObjectSpace& space) const {
+  if (!handles(*type)) {
+    throw std::invalid_argument(name() + " cannot emulate " + type->name());
+  }
+  const ObjectId base = space.add(compare_and_swap_type());
+  return std::make_shared<const TsFromCasObject>(base);
+}
+
+}  // namespace randsync

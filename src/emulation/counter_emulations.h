@@ -1,0 +1,92 @@
+// Emulations of counters and fetch&add registers.
+//
+//   * CounterFromRegistersFactory -- a counter from n single-writer
+//     read-write registers: INC/DEC read-then-rewrite the caller's own
+//     slot (race-free: the slot is single-writer); READ collects all n
+//     slots and sums.  The collect is not an atomic snapshot, so the
+//     emulated counter is a *weak* counter: a read overlapping updates
+//     may miss or include them.  This matches the deterministic
+//     register-based counters the paper cites ([9], [30] -- exact
+//     linearizable counters from registers are a separate, harder
+//     problem), and it is sufficient for the drift-walk consensus
+//     protocol, whose safety argument only needs update monotonicity
+//     (see protocols/register_walk.h).  RESET is not supported.
+//   * CounterFromFaaFactory -- a counter from ONE fetch&add register
+//     (INC -> FA(+1), DEC -> FA(-1), READ -> FA(0)); exact and atomic.
+//   * FaaFromCasFactory -- a fetch&add register from ONE compare&swap
+//     register via the classic lock-free retry loop (READ then
+//     CAS(old, old+delta)); non-blocking, exactly the hypothesis of
+//     Theorem 2.1.
+#pragma once
+
+#include "emulation/emulation.h"
+
+namespace randsync {
+
+/// Counter (INC/DEC/READ) from n single-writer read-write registers.
+class CounterFromRegistersFactory final : public EmulationFactory {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "counter-from-registers";
+  }
+  [[nodiscard]] bool handles(const ObjectType& type) const override;
+  [[nodiscard]] VirtualObjectPtr emulate(const ObjectTypePtr& type,
+                                         std::size_t n,
+                                         ObjectSpace& space) const override;
+  [[nodiscard]] bool uniform() const override { return false; }  // slots
+};
+
+/// Counter from n single-writer registers with ATOMIC (linearizable)
+/// reads via double collect: each slot carries a sequence number, and a
+/// READ repeats the collect until two consecutive collects return
+/// identical sequence vectors -- the values then all coexisted at one
+/// instant between the collects (the classic Afek-et-al observation,
+/// the paper's reference [3]).  Updates are wait-free; reads are
+/// obstruction-free (they retry while updates keep landing) with a loud
+/// budget error, never a stale answer.  Contrast with
+/// CounterFromRegistersFactory's weak single collect.
+class AtomicCounterFromRegistersFactory final : public EmulationFactory {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "atomic-counter-from-registers";
+  }
+  [[nodiscard]] bool handles(const ObjectType& type) const override;
+  [[nodiscard]] VirtualObjectPtr emulate(const ObjectTypePtr& type,
+                                         std::size_t n,
+                                         ObjectSpace& space) const override;
+  [[nodiscard]] bool uniform() const override { return false; }  // slots
+};
+
+/// Counter from one fetch&add register.
+class CounterFromFaaFactory final : public EmulationFactory {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "counter-from-faa";
+  }
+  [[nodiscard]] bool handles(const ObjectType& type) const override;
+  [[nodiscard]] VirtualObjectPtr emulate(const ObjectTypePtr& type,
+                                         std::size_t n,
+                                         ObjectSpace& space) const override;
+};
+
+/// Fetch&add register from one compare&swap register (lock-free loop).
+class FaaFromCasFactory final : public EmulationFactory {
+ public:
+  [[nodiscard]] std::string name() const override { return "faa-from-cas"; }
+  [[nodiscard]] bool handles(const ObjectType& type) const override;
+  [[nodiscard]] VirtualObjectPtr emulate(const ObjectTypePtr& type,
+                                         std::size_t n,
+                                         ObjectSpace& space) const override;
+};
+
+/// Test&set register from one compare&swap register.
+class TsFromCasFactory final : public EmulationFactory {
+ public:
+  [[nodiscard]] std::string name() const override { return "ts-from-cas"; }
+  [[nodiscard]] bool handles(const ObjectType& type) const override;
+  [[nodiscard]] VirtualObjectPtr emulate(const ObjectTypePtr& type,
+                                         std::size_t n,
+                                         ObjectSpace& space) const override;
+};
+
+}  // namespace randsync

@@ -1,0 +1,182 @@
+#include "emulation/emulated_protocol.h"
+
+#include <stdexcept>
+
+#include "runtime/process.h"
+
+namespace randsync {
+namespace {
+
+/// Wraps an inner consensus process; expands each virtual operation into
+/// its emulation procedure over base objects.
+class EmulatedProcess final : public ConsensusProcess {
+ public:
+  EmulatedProcess(std::unique_ptr<ConsensusProcess> inner, std::size_t pid,
+                  std::vector<VirtualObjectPtr> objects,
+                  std::unique_ptr<CoinSource> coin)
+      : ConsensusProcess(inner->input(), std::move(coin)),
+        inner_(std::move(inner)),
+        pid_(pid),
+        objects_(std::move(objects)) {}
+
+  EmulatedProcess(const EmulatedProcess& other)
+      : ConsensusProcess(other),
+        inner_(clone_inner(other)),
+        pid_(other.pid_),
+        objects_(other.objects_),
+        procedure_(other.procedure_ ? other.procedure_->clone() : nullptr) {}
+
+  [[nodiscard]] bool decided() const override { return inner_->decided(); }
+  [[nodiscard]] Value decision() const override { return inner_->decision(); }
+
+  [[nodiscard]] Invocation poised() const override {
+    ensure_procedure();
+    if (procedure_) {
+      return procedure_->poised();
+    }
+    return inner_->poised();  // internal (no-object) step
+  }
+
+  void on_response(Value response) override {
+    ensure_procedure();
+    if (!procedure_) {
+      inner_->on_response(response);  // internal step passthrough
+      return;
+    }
+    procedure_->on_response(response);
+    if (procedure_->done()) {
+      inner_->on_response(procedure_->result());
+      procedure_.reset();
+    }
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<EmulatedProcess>(*this);
+  }
+
+  void reseed(std::uint64_t seed) override { inner_->reseed(seed); }
+
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    std::uint64_t h = inner_->state_hash();
+    if (procedure_) {
+      h = hash_combine(h, procedure_->state_hash());
+    }
+    return h;
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    return "emulated(" + inner_->describe() + ")";
+  }
+
+ private:
+  static std::unique_ptr<ConsensusProcess> clone_inner(
+      const EmulatedProcess& other) {
+    auto cloned = other.inner_->clone();
+    // Process::clone returns unique_ptr<Process>; the dynamic type is
+    // the inner consensus process.
+    auto* as_consensus = dynamic_cast<ConsensusProcess*>(cloned.get());
+    if (as_consensus == nullptr) {
+      throw std::logic_error("inner clone is not a ConsensusProcess");
+    }
+    (void)cloned.release();
+    return std::unique_ptr<ConsensusProcess>(as_consensus);
+  }
+
+  /// Start the procedure for the inner process's poised virtual
+  /// operation, if it targets a virtual object and none is in flight.
+  void ensure_procedure() const {
+    if (procedure_ || inner_->decided()) {
+      return;
+    }
+    const Invocation inv = inner_->poised();
+    if (inv.object == kNoObject) {
+      return;  // internal step, no object involved
+    }
+    procedure_ = objects_.at(inv.object)->start(inv.op, pid_);
+  }
+
+  std::unique_ptr<ConsensusProcess> inner_;
+  std::size_t pid_;
+  std::vector<VirtualObjectPtr> objects_;
+  mutable std::unique_ptr<OpProcedure> procedure_;
+};
+
+}  // namespace
+
+EmulatedProtocol::EmulatedProtocol(
+    std::shared_ptr<const ConsensusProtocol> inner,
+    std::vector<EmulationFactoryPtr> factories)
+    : inner_(std::move(inner)), factories_(std::move(factories)) {
+  if (!inner_) {
+    throw std::invalid_argument("EmulatedProtocol needs an inner protocol");
+  }
+  if (factories_.empty()) {
+    throw std::invalid_argument("EmulatedProtocol needs factories");
+  }
+}
+
+std::string EmulatedProtocol::name() const {
+  std::string names;
+  for (const auto& factory : factories_) {
+    if (!names.empty()) {
+      names += "+";
+    }
+    names += factory->name();
+  }
+  return inner_->name() + " over [" + names + "]";
+}
+
+EmulatedProtocol::Build EmulatedProtocol::build(std::size_t n) const {
+  Build out;
+  const auto virtual_space = inner_->make_space(n);
+  auto base_space = std::make_shared<ObjectSpace>();
+  for (ObjectId obj = 0; obj < virtual_space->size(); ++obj) {
+    const ObjectTypePtr type = virtual_space->type_ptr(obj);
+    VirtualObjectPtr emulated;
+    for (const auto& factory : factories_) {
+      if (factory->handles(*type)) {
+        emulated = factory->emulate(type, n, *base_space);
+        break;
+      }
+    }
+    if (!emulated) {
+      throw std::invalid_argument("no emulation factory handles " +
+                                  type->name());
+    }
+    out.objects.push_back(std::move(emulated));
+  }
+  out.space = std::move(base_space);
+  return out;
+}
+
+ObjectSpacePtr EmulatedProtocol::make_space(std::size_t n) const {
+  return build(n).space;
+}
+
+std::unique_ptr<ConsensusProcess> EmulatedProtocol::make_process(
+    std::size_t n, std::size_t pid_hint, int input,
+    std::uint64_t seed) const {
+  Build built = build(n);
+  return std::make_unique<EmulatedProcess>(
+      inner_->make_process(n, pid_hint, input, seed), pid_hint,
+      std::move(built.objects), std::make_unique<SplitMixCoin>(seed ^ 0x5A5A));
+}
+
+std::size_t EmulatedProtocol::total_base_instances(std::size_t n) const {
+  return build(n).space->size();
+}
+
+std::size_t EmulatedProtocol::virtual_instances(std::size_t n) const {
+  return inner_->make_space(n)->size();
+}
+
+bool EmulatedProtocol::all_uniform() const {
+  for (const auto& factory : factories_) {
+    if (!factory->uniform()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace randsync

@@ -1,0 +1,66 @@
+// EmulatedProtocol: rewrite any ConsensusProtocol so that every one of
+// its shared objects is replaced by an emulation from base objects --
+// the executable substitution step of Theorem 2.1's proof.
+//
+// Processes of the inner protocol are wrapped in an adapter: when the
+// inner process is poised at virtual object X, the adapter runs the
+// emulation's OpProcedure for that operation against the base objects,
+// then feeds the virtual response back to the inner process.  The
+// adapter is a Process like any other -- clonable, schedulable,
+// attackable -- so emulated protocols compose with every harness in the
+// repository.
+//
+// Instance accounting: total_base_instances() is the f(n)*h(n) of
+// Theorem 2.1; bench_thm21_composition reports it against g(n)/f(n).
+#pragma once
+
+#include <vector>
+
+#include "emulation/emulation.h"
+#include "protocols/protocol.h"
+
+namespace randsync {
+
+/// A consensus protocol whose objects are emulated from base objects.
+class EmulatedProtocol final : public ConsensusProtocol {
+ public:
+  /// Wrap `inner`, emulating each of its objects with the first factory
+  /// in `factories` that handles the object's type.  Throws
+  /// std::invalid_argument if some object has no handler.
+  EmulatedProtocol(std::shared_ptr<const ConsensusProtocol> inner,
+                   std::vector<EmulationFactoryPtr> factories);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] ObjectSpacePtr make_space(std::size_t n) const override;
+  [[nodiscard]] std::unique_ptr<ConsensusProcess> make_process(
+      std::size_t n, std::size_t pid_hint, int input,
+      std::uint64_t seed) const override;
+  [[nodiscard]] bool identical_processes() const override {
+    // Uniform emulations (no per-process slots) preserve the inner
+    // protocol's identical-process property.
+    return inner_->identical_processes() && all_uniform();
+  }
+  [[nodiscard]] bool fixed_space() const override {
+    return inner_->fixed_space() && all_uniform();
+  }
+
+  /// Base instances used for an n-process system (Theorem 2.1's
+  /// f(n) * h(n) product, summed over the inner objects).
+  [[nodiscard]] std::size_t total_base_instances(std::size_t n) const;
+
+  /// Number of inner (virtual) object instances, i.e. f(n).
+  [[nodiscard]] std::size_t virtual_instances(std::size_t n) const;
+
+ private:
+  struct Build {
+    ObjectSpacePtr space;
+    std::vector<VirtualObjectPtr> objects;  // indexed by virtual id
+  };
+  [[nodiscard]] Build build(std::size_t n) const;
+  [[nodiscard]] bool all_uniform() const;
+
+  std::shared_ptr<const ConsensusProtocol> inner_;
+  std::vector<EmulationFactoryPtr> factories_;
+};
+
+}  // namespace randsync

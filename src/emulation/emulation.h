@@ -1,0 +1,104 @@
+// Object-from-object emulation: the machinery behind Theorem 2.1.
+//
+//   "Suppose f(n) instances of X solve n-process randomized consensus
+//    and g(n) instances of Y are required.  Then any randomized
+//    non-blocking implementation of X by Y for n processes requires
+//    g(n)/f(n) instances of Y."
+//
+// The proof substitutes, inside a consensus implementation from X, an
+// implementation of each X-instance from Y-instances.  This module makes
+// that substitution executable: a VirtualObject describes how one
+// instance of a type is represented by base objects, and an OpProcedure
+// is the per-operation state machine (the procedure F_i of Section 2)
+// that a process runs, step by step, against those base objects.
+// EmulatedProtocol (emulation/emulated_protocol.h) rewrites any
+// ConsensusProtocol so its operations run through such procedures,
+// preserving clonability -- emulated processes still work under every
+// scheduler and adversary in this repository.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "runtime/object_space.h"
+#include "runtime/types.h"
+
+namespace randsync {
+
+/// The in-flight state machine of one emulated operation: a sequence of
+/// base-object steps ending with the virtual operation's response.
+class OpProcedure {
+ public:
+  virtual ~OpProcedure() = default;
+
+  /// True once the virtual operation has completed.
+  [[nodiscard]] virtual bool done() const = 0;
+
+  /// The virtual operation's response.  Precondition: done().
+  [[nodiscard]] virtual Value result() const = 0;
+
+  /// The next base-object step.  Precondition: !done().
+  [[nodiscard]] virtual Invocation poised() const = 0;
+
+  /// Deliver the response of the poised base step.
+  virtual void on_response(Value response) = 0;
+
+  /// Deep copy (procedures live inside clonable processes).
+  [[nodiscard]] virtual std::unique_ptr<OpProcedure> clone() const = 0;
+
+  /// Hash of the procedure state, folded into the process state hash.
+  [[nodiscard]] virtual std::uint64_t state_hash() const = 0;
+};
+
+/// One emulated object instance: the base objects representing it plus a
+/// factory for operation procedures.  Immutable after construction and
+/// shared by all processes.
+class VirtualObject {
+ public:
+  virtual ~VirtualObject() = default;
+
+  /// Short description, e.g. "counter-from-registers".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Number of base-object instances this emulation occupies (the h(n)
+  /// of Theorem 2.1's accounting).
+  [[nodiscard]] virtual std::size_t base_instances() const = 0;
+
+  /// Begin executing `op` on behalf of process `pid` (the process index
+  /// is what lets single-writer-slot emulations address "their" slot).
+  [[nodiscard]] virtual std::unique_ptr<OpProcedure> start(
+      const Op& op, std::size_t pid) const = 0;
+};
+
+using VirtualObjectPtr = std::shared_ptr<const VirtualObject>;
+
+/// Factory: builds the emulation of one instance of `type` for an
+/// n-process system, appending its base objects to `space`.
+class EmulationFactory {
+ public:
+  virtual ~EmulationFactory() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// True if this factory can emulate objects of the given type.
+  [[nodiscard]] virtual bool handles(const ObjectType& type) const = 0;
+
+  /// Build the emulation of one `type` instance; appends base objects
+  /// to `space` and returns the virtual-object descriptor.
+  [[nodiscard]] virtual VirtualObjectPtr emulate(const ObjectTypePtr& type,
+                                                 std::size_t n,
+                                                 ObjectSpace& space) const = 0;
+
+  /// True if the emulation's base-object count is independent of n AND
+  /// its procedures do not address per-process slots.  When every
+  /// factory used by an EmulatedProtocol has this property (and the
+  /// inner protocol does too), the emulated protocol remains a
+  /// fixed-space identical-process protocol -- and thus remains inside
+  /// the lower-bound theorems' scope: the adversaries attack THROUGH
+  /// the emulation layer.
+  [[nodiscard]] virtual bool uniform() const { return true; }
+};
+
+using EmulationFactoryPtr = std::shared_ptr<const EmulationFactory>;
+
+}  // namespace randsync

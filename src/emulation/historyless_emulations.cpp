@@ -1,0 +1,223 @@
+#include "emulation/historyless_emulations.h"
+
+#include <stdexcept>
+
+#include "objects/compare_and_swap.h"
+#include "objects/swap_register.h"
+#include "runtime/process.h"
+
+namespace randsync {
+namespace {
+
+class OneBaseStep final : public OpProcedure {
+ public:
+  explicit OneBaseStep(Invocation inv) : inv_(inv) {}
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] Value result() const override { return result_; }
+  [[nodiscard]] Invocation poised() const override { return inv_; }
+  void on_response(Value response) override {
+    result_ = response;
+    done_ = true;
+  }
+  [[nodiscard]] std::unique_ptr<OpProcedure> clone() const override {
+    return std::make_unique<OneBaseStep>(*this);
+  }
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return hash_combine(done_ ? 1U : 0U, static_cast<std::uint64_t>(result_));
+  }
+
+ private:
+  Invocation inv_;
+  Value result_ = 0;
+  bool done_ = false;
+};
+
+// Executes one base step and acknowledges with 0 (for WRITE fronts).
+class AckStep final : public OpProcedure {
+ public:
+  explicit AckStep(Invocation inv) : inv_(inv) {}
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] Value result() const override { return 0; }
+  [[nodiscard]] Invocation poised() const override { return inv_; }
+  void on_response(Value) override { done_ = true; }
+  [[nodiscard]] std::unique_ptr<OpProcedure> clone() const override {
+    return std::make_unique<AckStep>(*this);
+  }
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return done_ ? 1U : 0U;
+  }
+
+ private:
+  Invocation inv_;
+  bool done_ = false;
+};
+
+class TsFromSwapObject final : public VirtualObject {
+ public:
+  explicit TsFromSwapObject(ObjectId base) : base_(base) {}
+  [[nodiscard]] std::string name() const override { return "ts-from-swap"; }
+  [[nodiscard]] std::size_t base_instances() const override { return 1; }
+  [[nodiscard]] std::unique_ptr<OpProcedure> start(
+      const Op& op, std::size_t) const override {
+    switch (op.kind) {
+      case OpKind::kTestAndSet:
+        // SWAP(1): the response is exactly the test&set response (the
+        // old bit), and the register is left at 1 either way.
+        return std::make_unique<OneBaseStep>(Invocation{base_, Op::swap(1)});
+      case OpKind::kRead:
+        return std::make_unique<OneBaseStep>(Invocation{base_, Op::read()});
+      default:
+        throw std::logic_error("ts-from-swap: unsupported " + to_string(op));
+    }
+  }
+
+ private:
+  ObjectId base_;
+};
+
+// SWAP(v) from CAS: read, then CAS(old, v); retry on interference.
+class SwapFromCasProcedure final : public OpProcedure {
+ public:
+  /// `ack` makes result() return 0 (WRITE semantics) instead of the
+  /// old value (SWAP semantics).
+  SwapFromCasProcedure(ObjectId base, Value desired, bool ack)
+      : base_(base), desired_(desired), ack_(ack) {}
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] Value result() const override { return ack_ ? 0 : old_; }
+  [[nodiscard]] Invocation poised() const override {
+    if (phase_ == Phase::kRead) {
+      return {base_, Op::read()};
+    }
+    return {base_, Op::compare_and_swap(old_, desired_)};
+  }
+  void on_response(Value response) override {
+    if (phase_ == Phase::kRead) {
+      old_ = response;
+      if (old_ == desired_) {
+        done_ = true;  // swap to the same value: nothing to change
+        return;
+      }
+      phase_ = Phase::kCas;
+      return;
+    }
+    if (response == 1) {
+      done_ = true;
+      return;
+    }
+    phase_ = Phase::kRead;
+  }
+  [[nodiscard]] std::unique_ptr<OpProcedure> clone() const override {
+    return std::make_unique<SwapFromCasProcedure>(*this);
+  }
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return hash_combine(
+        hash_combine(static_cast<std::uint64_t>(phase_), done_ ? 1U : 0U),
+        static_cast<std::uint64_t>(old_));
+  }
+
+ private:
+  enum class Phase { kRead, kCas };
+  ObjectId base_;
+  Value desired_;
+  bool ack_;
+  Value old_ = 0;
+  Phase phase_ = Phase::kRead;
+  bool done_ = false;
+};
+
+class SwapFromCasObject final : public VirtualObject {
+ public:
+  explicit SwapFromCasObject(ObjectId base) : base_(base) {}
+  [[nodiscard]] std::string name() const override { return "swap-from-cas"; }
+  [[nodiscard]] std::size_t base_instances() const override { return 1; }
+  [[nodiscard]] std::unique_ptr<OpProcedure> start(
+      const Op& op, std::size_t) const override {
+    switch (op.kind) {
+      case OpKind::kSwap:
+        return std::make_unique<SwapFromCasProcedure>(base_, op.arg0, false);
+      case OpKind::kWrite:
+        // A write is a swap acknowledging with 0.
+        return std::make_unique<SwapFromCasProcedure>(base_, op.arg0, true);
+      case OpKind::kRead:
+        return std::make_unique<OneBaseStep>(Invocation{base_, Op::read()});
+      default:
+        throw std::logic_error("swap-from-cas: unsupported " + to_string(op));
+    }
+  }
+
+ private:
+  ObjectId base_;
+};
+
+class RwFromSwapObject final : public VirtualObject {
+ public:
+  explicit RwFromSwapObject(ObjectId base) : base_(base) {}
+  [[nodiscard]] std::string name() const override { return "rw-from-swap"; }
+  [[nodiscard]] std::size_t base_instances() const override { return 1; }
+  [[nodiscard]] std::unique_ptr<OpProcedure> start(
+      const Op& op, std::size_t) const override {
+    switch (op.kind) {
+      case OpKind::kWrite:
+        // SWAP writes the value; the rw-register WRITE acks with 0, so
+        // the swap's old-value response must be discarded.
+        return std::make_unique<AckStep>(Invocation{base_, Op::swap(op.arg0)});
+      case OpKind::kRead:
+        return std::make_unique<OneBaseStep>(Invocation{base_, Op::read()});
+      default:
+        throw std::logic_error("rw-from-swap: unsupported " + to_string(op));
+    }
+  }
+
+ private:
+  ObjectId base_;
+};
+
+}  // namespace
+
+bool RwFromSwapFactory::handles(const ObjectType& type) const {
+  return type.supports(OpKind::kWrite) && type.supports(OpKind::kRead) &&
+         !type.supports(OpKind::kSwap) &&
+         !type.supports(OpKind::kCompareAndSwap);
+}
+
+VirtualObjectPtr RwFromSwapFactory::emulate(const ObjectTypePtr& type,
+                                            std::size_t,
+                                            ObjectSpace& space) const {
+  if (!handles(*type)) {
+    throw std::invalid_argument(name() + " cannot emulate " + type->name());
+  }
+  const ObjectId base = space.add(
+      std::make_shared<const SwapRegisterType>(type->initial_value()));
+  return std::make_shared<const RwFromSwapObject>(base);
+}
+
+bool TsFromSwapFactory::handles(const ObjectType& type) const {
+  return type.supports(OpKind::kTestAndSet);
+}
+
+VirtualObjectPtr TsFromSwapFactory::emulate(const ObjectTypePtr& type,
+                                            std::size_t,
+                                            ObjectSpace& space) const {
+  if (!handles(*type)) {
+    throw std::invalid_argument(name() + " cannot emulate " + type->name());
+  }
+  const ObjectId base = space.add(swap_register_type());
+  return std::make_shared<const TsFromSwapObject>(base);
+}
+
+bool SwapFromCasFactory::handles(const ObjectType& type) const {
+  return type.supports(OpKind::kSwap);
+}
+
+VirtualObjectPtr SwapFromCasFactory::emulate(const ObjectTypePtr& type,
+                                             std::size_t,
+                                             ObjectSpace& space) const {
+  if (!handles(*type)) {
+    throw std::invalid_argument(name() + " cannot emulate " + type->name());
+  }
+  const ObjectId base = space.add(
+      std::make_shared<const CompareAndSwapType>(type->initial_value()));
+  return std::make_shared<const SwapFromCasObject>(base);
+}
+
+}  // namespace randsync

@@ -1,0 +1,50 @@
+// Emulations among the historyless and read-modify-write types:
+//
+//   * TsFromSwapFactory  -- a test&set register from ONE swap register:
+//     TEST&SET = SWAP(1) (the old value is the response); READ = READ.
+//     Both types are historyless, and one instance suffices: within the
+//     historyless class, space translates freely -- the Omega(sqrt n)
+//     bound cannot be dodged by switching primitives inside the class.
+//   * SwapFromCasFactory -- a swap register from ONE compare&swap
+//     register via the lock-free read/CAS retry loop (like fetch&add
+//     from CAS); going UP the hierarchy also costs one instance, which
+//     is Theorem 2.1's h(n) = 1 in the cheap direction.
+#pragma once
+
+#include "emulation/emulation.h"
+
+namespace randsync {
+
+/// Test&set register from one swap register.
+class TsFromSwapFactory final : public EmulationFactory {
+ public:
+  [[nodiscard]] std::string name() const override { return "ts-from-swap"; }
+  [[nodiscard]] bool handles(const ObjectType& type) const override;
+  [[nodiscard]] VirtualObjectPtr emulate(const ObjectTypePtr& type,
+                                         std::size_t n,
+                                         ObjectSpace& space) const override;
+};
+
+/// Read-write register from one swap register (WRITE = SWAP with the
+/// response discarded): going DOWN the hierarchy inside the historyless
+/// class costs one instance for one instance.
+class RwFromSwapFactory final : public EmulationFactory {
+ public:
+  [[nodiscard]] std::string name() const override { return "rw-from-swap"; }
+  [[nodiscard]] bool handles(const ObjectType& type) const override;
+  [[nodiscard]] VirtualObjectPtr emulate(const ObjectTypePtr& type,
+                                         std::size_t n,
+                                         ObjectSpace& space) const override;
+};
+
+/// Swap register from one compare&swap register (lock-free loop).
+class SwapFromCasFactory final : public EmulationFactory {
+ public:
+  [[nodiscard]] std::string name() const override { return "swap-from-cas"; }
+  [[nodiscard]] bool handles(const ObjectType& type) const override;
+  [[nodiscard]] VirtualObjectPtr emulate(const ObjectTypePtr& type,
+                                         std::size_t n,
+                                         ObjectSpace& space) const override;
+};
+
+}  // namespace randsync

@@ -1,0 +1,60 @@
+#include "emulation/passthrough.h"
+
+#include <memory>
+
+#include "runtime/process.h"
+
+namespace randsync {
+namespace {
+
+class ForwardProcedure final : public OpProcedure {
+ public:
+  explicit ForwardProcedure(Invocation inv) : inv_(inv) {}
+
+  [[nodiscard]] bool done() const override { return done_; }
+  [[nodiscard]] Value result() const override { return result_; }
+  [[nodiscard]] Invocation poised() const override { return inv_; }
+  void on_response(Value response) override {
+    result_ = response;
+    done_ = true;
+  }
+  [[nodiscard]] std::unique_ptr<OpProcedure> clone() const override {
+    return std::make_unique<ForwardProcedure>(*this);
+  }
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return hash_combine(done_ ? 1U : 0U, static_cast<std::uint64_t>(result_));
+  }
+
+ private:
+  Invocation inv_;
+  Value result_ = 0;
+  bool done_ = false;
+};
+
+class PassthroughObject final : public VirtualObject {
+ public:
+  explicit PassthroughObject(ObjectId base) : base_(base) {}
+  [[nodiscard]] std::string name() const override { return "passthrough"; }
+  [[nodiscard]] std::size_t base_instances() const override { return 1; }
+  [[nodiscard]] std::unique_ptr<OpProcedure> start(
+      const Op& op, std::size_t) const override {
+    return std::make_unique<ForwardProcedure>(Invocation{base_, op});
+  }
+
+ private:
+  ObjectId base_;
+};
+
+}  // namespace
+
+bool PassthroughFactory::handles(const ObjectType&) const { return true; }
+
+VirtualObjectPtr PassthroughFactory::emulate(const ObjectTypePtr& type,
+                                             std::size_t,
+                                             ObjectSpace& space) const {
+  // Share the exact type object so semantics and initial value match.
+  const ObjectId base = space.add(type);
+  return std::make_shared<const PassthroughObject>(base);
+}
+
+}  // namespace randsync

@@ -1,0 +1,22 @@
+// Passthrough "emulation": represents an object by one base object of
+// the same type, forwarding every operation unchanged.  Used to leave
+// part of a protocol's object space un-emulated when only specific
+// types are being substituted (Theorem 2.1 replaces instances of X;
+// everything else stays as is).
+#pragma once
+
+#include "emulation/emulation.h"
+
+namespace randsync {
+
+/// Forwards every operation to an identical base object.
+class PassthroughFactory final : public EmulationFactory {
+ public:
+  [[nodiscard]] std::string name() const override { return "passthrough"; }
+  [[nodiscard]] bool handles(const ObjectType& type) const override;
+  [[nodiscard]] VirtualObjectPtr emulate(const ObjectTypePtr& type,
+                                         std::size_t n,
+                                         ObjectSpace& space) const override;
+};
+
+}  // namespace randsync

@@ -1,0 +1,116 @@
+#include "objects/algebra.h"
+
+namespace randsync {
+namespace {
+
+// Clamp a sweep value into something the type can legally hold: we probe
+// with the type's own initial value plus the results of applying sample
+// ops, so every probed value is reachable.
+std::vector<Value> reachable_values(const ObjectType& type,
+                                    std::span<const Value> seed_sweep) {
+  std::vector<Value> values;
+  values.push_back(type.initial_value());
+  // Expand by applying each sample op to each known value a few rounds.
+  const auto ops = type.sample_ops();
+  for (int round = 0; round < 3; ++round) {
+    const std::size_t snapshot = values.size();
+    for (std::size_t i = 0; i < snapshot; ++i) {
+      for (const Op& op : ops) {
+        Value v = values[i];
+        (void)type.apply(op, v);
+        values.push_back(v);
+      }
+    }
+  }
+  // Also include any seed values the type accepts as-is (registers hold
+  // arbitrary values; counters reach them via repeated INC/DEC).
+  for (Value v : seed_sweep) {
+    if (type.is_legal_value(v)) {
+      values.push_back(v);
+    }
+  }
+  return values;
+}
+
+}  // namespace
+
+std::vector<Value> default_value_sweep() {
+  return {0, 1, -1, 2, 3, 5, 7, -3, 42, 1000};
+}
+
+bool check_trivial(const ObjectType& type, const Op& op,
+                   std::span<const Value> sweep) {
+  for (Value x : reachable_values(type, sweep)) {
+    Value v = x;
+    (void)type.apply(op, v);
+    if (v != x) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool check_overwrites(const ObjectType& type, const Op& later,
+                      const Op& earlier, std::span<const Value> sweep) {
+  for (Value x : reachable_values(type, sweep)) {
+    Value via_both = x;
+    (void)type.apply(earlier, via_both);
+    (void)type.apply(later, via_both);
+    Value via_later = x;
+    (void)type.apply(later, via_later);
+    if (via_both != via_later) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool check_commutes(const ObjectType& type, const Op& a, const Op& b,
+                    std::span<const Value> sweep) {
+  for (Value x : reachable_values(type, sweep)) {
+    Value ab = x;
+    (void)type.apply(a, ab);
+    (void)type.apply(b, ab);
+    Value ba = x;
+    (void)type.apply(b, ba);
+    (void)type.apply(a, ba);
+    if (ab != ba) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool check_historyless(const ObjectType& type, std::span<const Value> sweep) {
+  const auto ops = type.sample_ops();
+  for (const Op& f : ops) {
+    if (type.is_trivial(f)) {
+      continue;
+    }
+    for (const Op& g : ops) {
+      if (type.is_trivial(g)) {
+        continue;
+      }
+      if (!check_overwrites(type, f, g, sweep)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool check_interfering(const ObjectType& type, std::span<const Value> sweep) {
+  const auto ops = type.sample_ops();
+  for (const Op& a : ops) {
+    for (const Op& b : ops) {
+      if (!check_commutes(type, a, b, sweep) &&
+          !check_overwrites(type, a, b, sweep) &&
+          !check_overwrites(type, b, a, sweep)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace randsync

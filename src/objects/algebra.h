@@ -1,0 +1,47 @@
+// Empirical verification of the algebraic operation classification of
+// Section 2: trivial, overwrites, commutes, historyless, interfering.
+//
+// Each ObjectType *claims* answers via its virtual methods; the checkers
+// here test those claims by brute force over a sweep of object values and
+// the type's sample operations.  The test suite runs every concrete type
+// through these checkers, so the classification the lower bound relies on
+// (e.g. "swap registers are historyless, fetch&add registers are not") is
+// machine-checked rather than asserted.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "runtime/object_type.h"
+
+namespace randsync {
+
+/// Default value sweep used by the empirical checks.
+[[nodiscard]] std::vector<Value> default_value_sweep();
+
+/// Empirically: does `op` leave every value in `sweep` unchanged?
+[[nodiscard]] bool check_trivial(const ObjectType& type, const Op& op,
+                                 std::span<const Value> sweep);
+
+/// Empirically: is apply(later, apply(earlier, x)) == apply(later, x) as
+/// a state transformation, for every x in `sweep`?
+[[nodiscard]] bool check_overwrites(const ObjectType& type, const Op& later,
+                                    const Op& earlier,
+                                    std::span<const Value> sweep);
+
+/// Empirically: do `a` and `b` lead to the same final state in either
+/// order, for every x in `sweep`?
+[[nodiscard]] bool check_commutes(const ObjectType& type, const Op& a,
+                                  const Op& b, std::span<const Value> sweep);
+
+/// Empirically: do all nontrivial sample operations pairwise overwrite
+/// one another (the definition of historyless)?
+[[nodiscard]] bool check_historyless(const ObjectType& type,
+                                     std::span<const Value> sweep);
+
+/// Empirically: does every pair of sample operations either commute or
+/// overwrite one another (the definition of an interfering set)?
+[[nodiscard]] bool check_interfering(const ObjectType& type,
+                                     std::span<const Value> sweep);
+
+}  // namespace randsync

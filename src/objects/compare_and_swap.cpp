@@ -1,0 +1,100 @@
+#include "objects/compare_and_swap.h"
+
+#include <cassert>
+
+namespace randsync {
+
+bool CompareAndSwapType::supports(OpKind kind) const {
+  return kind == OpKind::kRead || kind == OpKind::kWrite ||
+         kind == OpKind::kCompareAndSwap;
+}
+
+Value CompareAndSwapType::apply(const Op& op, Value& value) const {
+  assert(supports(op.kind));
+  switch (op.kind) {
+    case OpKind::kRead:
+      return value;
+    case OpKind::kWrite:
+      value = op.arg0;
+      return 0;
+    case OpKind::kCompareAndSwap:
+      if (value == op.arg0) {
+        value = op.arg1;
+        return 1;
+      }
+      return 0;
+    default:
+      return 0;
+  }
+}
+
+bool CompareAndSwapType::is_trivial(const Op& op) const {
+  return op.kind == OpKind::kRead ||
+         (op.kind == OpKind::kCompareAndSwap && op.arg0 == op.arg1);
+}
+
+namespace {
+
+// The state transformations of READ/WRITE/CAS are the identity, a
+// constant map, and a one-point patch.  Two such maps agree everywhere
+// iff they agree on the operations' own argument values plus one fresh
+// point, so evaluating on that finite probe set decides overwriting and
+// commutation *exactly*.
+std::vector<Value> probe_points(const Op& a, const Op& b) {
+  std::vector<Value> pts{a.arg0, a.arg1, b.arg0, b.arg1};
+  Value fresh = 0;
+  for (bool collides = true; collides;) {
+    collides = false;
+    for (Value p : pts) {
+      if (p == fresh) {
+        ++fresh;
+        collides = true;
+      }
+    }
+  }
+  pts.push_back(fresh);
+  return pts;
+}
+
+}  // namespace
+
+bool CompareAndSwapType::overwrites(const Op& later, const Op& earlier) const {
+  for (Value x : probe_points(later, earlier)) {
+    Value via_both = x;
+    (void)apply(earlier, via_both);
+    (void)apply(later, via_both);
+    Value via_later = x;
+    (void)apply(later, via_later);
+    if (via_both != via_later) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CompareAndSwapType::commutes(const Op& a, const Op& b) const {
+  for (Value x : probe_points(a, b)) {
+    Value ab = x;
+    (void)apply(a, ab);
+    (void)apply(b, ab);
+    Value ba = x;
+    (void)apply(b, ba);
+    (void)apply(a, ba);
+    if (ab != ba) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Op> CompareAndSwapType::sample_ops() const {
+  return {Op::read(), Op::write(3), Op::compare_and_swap(0, 1),
+          Op::compare_and_swap(1, 2), Op::compare_and_swap(2, 2)};
+}
+
+ObjectTypePtr compare_and_swap_type() {
+  static const auto kInstance = std::make_shared<const CompareAndSwapType>();
+  return kInstance;
+}
+
+}  // namespace randsync

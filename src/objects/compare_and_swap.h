@@ -1,0 +1,40 @@
+// Compare&swap register.
+//
+// CAS(expected, desired) responds 1 and installs `desired` when the value
+// equals `expected`, otherwise responds 0 and leaves the value unchanged.
+// CAS operations neither commute nor overwrite in general, so the type is
+// neither historyless nor interfering; a single (bounded) compare&swap
+// register solves deterministic n-process consensus (Herlihy), which via
+// Theorem 2.1 gives Corollary 4.1.
+#pragma once
+
+#include <memory>
+
+#include "runtime/object_type.h"
+
+namespace randsync {
+
+/// Compare&swap register type (READ / CAS / WRITE).
+class CompareAndSwapType final : public ObjectType {
+ public:
+  explicit CompareAndSwapType(Value initial = 0) : initial_(initial) {}
+
+  [[nodiscard]] std::string name() const override { return "compare&swap"; }
+  [[nodiscard]] Value initial_value() const override { return initial_; }
+  [[nodiscard]] bool supports(OpKind kind) const override;
+  Value apply(const Op& op, Value& value) const override;
+  [[nodiscard]] bool is_trivial(const Op& op) const override;
+  [[nodiscard]] bool overwrites(const Op& later,
+                                const Op& earlier) const override;
+  [[nodiscard]] bool commutes(const Op& a, const Op& b) const override;
+  [[nodiscard]] bool historyless() const override { return false; }
+  [[nodiscard]] std::vector<Op> sample_ops() const override;
+
+ private:
+  Value initial_;
+};
+
+/// Shared singleton instance with initial value 0.
+[[nodiscard]] ObjectTypePtr compare_and_swap_type();
+
+}  // namespace randsync

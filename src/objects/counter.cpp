@@ -1,0 +1,134 @@
+#include "objects/counter.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace randsync {
+namespace {
+
+bool counter_supports(OpKind kind) {
+  return kind == OpKind::kRead || kind == OpKind::kIncrement ||
+         kind == OpKind::kDecrement || kind == OpKind::kReset;
+}
+
+bool counter_trivial(const Op& op) { return op.kind == OpKind::kRead; }
+
+// RESET overwrites everything; INC/DEC overwrite only trivial ops.
+bool counter_overwrites(const Op& later, const Op& earlier) {
+  if (later.kind == OpKind::kReset) {
+    return true;
+  }
+  if (counter_trivial(later)) {
+    return counter_trivial(earlier);
+  }
+  return counter_trivial(earlier);
+}
+
+// INC, DEC and READ all commute pairwise; RESET commutes only with READ
+// and itself.
+bool counter_commutes(const Op& a, const Op& b) {
+  if (counter_trivial(a) || counter_trivial(b)) {
+    return true;
+  }
+  const bool a_reset = a.kind == OpKind::kReset;
+  const bool b_reset = b.kind == OpKind::kReset;
+  if (a_reset || b_reset) {
+    return a_reset && b_reset;
+  }
+  return true;  // INC/DEC pairs
+}
+
+}  // namespace
+
+bool CounterType::supports(OpKind kind) const { return counter_supports(kind); }
+
+Value CounterType::apply(const Op& op, Value& value) const {
+  assert(supports(op.kind));
+  switch (op.kind) {
+    case OpKind::kRead:
+      return value;
+    case OpKind::kIncrement:
+      ++value;
+      return 0;
+    case OpKind::kDecrement:
+      --value;
+      return 0;
+    case OpKind::kReset:
+      value = 0;
+      return 0;
+    default:
+      return 0;
+  }
+}
+
+bool CounterType::is_trivial(const Op& op) const { return counter_trivial(op); }
+
+bool CounterType::overwrites(const Op& later, const Op& earlier) const {
+  return counter_overwrites(later, earlier);
+}
+
+bool CounterType::commutes(const Op& a, const Op& b) const {
+  return counter_commutes(a, b);
+}
+
+std::vector<Op> CounterType::sample_ops() const {
+  return {Op::read(), Op::increment(), Op::decrement(), Op::reset()};
+}
+
+BoundedCounterType::BoundedCounterType(Value lo, Value hi) : lo_(lo), hi_(hi) {
+  if (lo > 0 || hi < 0 || lo >= hi) {
+    throw std::invalid_argument("bounded counter range must contain 0");
+  }
+}
+
+bool BoundedCounterType::supports(OpKind kind) const {
+  return counter_supports(kind);
+}
+
+Value BoundedCounterType::apply(const Op& op, Value& value) const {
+  assert(supports(op.kind));
+  const Value range = hi_ - lo_ + 1;
+  switch (op.kind) {
+    case OpKind::kRead:
+      return value;
+    case OpKind::kIncrement:
+      value = (value + 1 > hi_) ? lo_ : value + 1;
+      return 0;
+    case OpKind::kDecrement:
+      value = (value - 1 < lo_) ? hi_ : value - 1;
+      return 0;
+    case OpKind::kReset:
+      value = 0;
+      return 0;
+    default:
+      (void)range;
+      return 0;
+  }
+}
+
+bool BoundedCounterType::is_trivial(const Op& op) const {
+  return counter_trivial(op);
+}
+
+bool BoundedCounterType::overwrites(const Op& later, const Op& earlier) const {
+  return counter_overwrites(later, earlier);
+}
+
+bool BoundedCounterType::commutes(const Op& a, const Op& b) const {
+  return counter_commutes(a, b);
+}
+
+std::vector<Op> BoundedCounterType::sample_ops() const {
+  return {Op::read(), Op::increment(), Op::decrement(), Op::reset()};
+}
+
+ObjectTypePtr counter_type() {
+  static const auto kInstance = std::make_shared<const CounterType>();
+  return kInstance;
+}
+
+ObjectTypePtr bounded_counter_type(Value lo, Value hi) {
+  return std::make_shared<const BoundedCounterType>(lo, hi);
+}
+
+}  // namespace randsync

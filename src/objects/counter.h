@@ -1,0 +1,71 @@
+// Shared counters (Section 2 of the paper, after [Aspnes-Herlihy 90,
+// Moran-Taubenfeld-Yadin 92]).
+//
+// A counter holds an integer and supports INC, DEC, RESET (nontrivial,
+// fixed-acknowledgement) and READ (trivial).  INC and DEC commute with
+// one another but do not overwrite, so counters are interfering but NOT
+// historyless.  A bounded counter restricts values to a range [lo, hi]
+// and wraps modulo the range size.  One bounded counter solves
+// randomized n-process consensus (Theorem 4.2, due to Aspnes), which
+// with Theorem 3.7 yields the separation of Corollary 4.3.
+#pragma once
+
+#include <memory>
+
+#include "runtime/object_type.h"
+
+namespace randsync {
+
+/// Unbounded counter type (READ / INC / DEC / RESET).
+class CounterType final : public ObjectType {
+ public:
+  [[nodiscard]] std::string name() const override { return "counter"; }
+  [[nodiscard]] Value initial_value() const override { return 0; }
+  [[nodiscard]] bool supports(OpKind kind) const override;
+  Value apply(const Op& op, Value& value) const override;
+  [[nodiscard]] bool is_trivial(const Op& op) const override;
+  [[nodiscard]] bool overwrites(const Op& later,
+                                const Op& earlier) const override;
+  [[nodiscard]] bool commutes(const Op& a, const Op& b) const override;
+  [[nodiscard]] bool historyless() const override { return false; }
+  [[nodiscard]] std::vector<Op> sample_ops() const override;
+};
+
+/// Bounded counter whose values lie in [lo, hi]; INC and DEC wrap
+/// modulo the range size (the paper: "operations are performed modulo
+/// the size of that range").
+class BoundedCounterType final : public ObjectType {
+ public:
+  /// Requires lo <= 0 <= hi (the initial value 0 must be in range).
+  BoundedCounterType(Value lo, Value hi);
+
+  [[nodiscard]] std::string name() const override { return "bounded-counter"; }
+  [[nodiscard]] Value initial_value() const override { return 0; }
+  [[nodiscard]] bool supports(OpKind kind) const override;
+  Value apply(const Op& op, Value& value) const override;
+  [[nodiscard]] bool is_trivial(const Op& op) const override;
+  [[nodiscard]] bool overwrites(const Op& later,
+                                const Op& earlier) const override;
+  [[nodiscard]] bool commutes(const Op& a, const Op& b) const override;
+  [[nodiscard]] bool historyless() const override { return false; }
+  [[nodiscard]] std::vector<Op> sample_ops() const override;
+
+  [[nodiscard]] bool is_legal_value(Value value) const override {
+    return value >= lo_ && value <= hi_;
+  }
+
+  [[nodiscard]] Value lo() const { return lo_; }
+  [[nodiscard]] Value hi() const { return hi_; }
+
+ private:
+  Value lo_;
+  Value hi_;
+};
+
+/// Shared singleton unbounded-counter instance.
+[[nodiscard]] ObjectTypePtr counter_type();
+
+/// A bounded counter over [lo, hi].
+[[nodiscard]] ObjectTypePtr bounded_counter_type(Value lo, Value hi);
+
+}  // namespace randsync

@@ -1,0 +1,51 @@
+#include "objects/fetch_add.h"
+
+#include <cassert>
+
+namespace randsync {
+
+bool FetchAddType::supports(OpKind kind) const {
+  return kind == OpKind::kRead || kind == OpKind::kFetchAdd;
+}
+
+Value FetchAddType::apply(const Op& op, Value& value) const {
+  assert(supports(op.kind));
+  switch (op.kind) {
+    case OpKind::kRead:
+      return value;
+    case OpKind::kFetchAdd: {
+      const Value old = value;
+      value += op.arg0;
+      return old;
+    }
+    default:
+      return 0;
+  }
+}
+
+bool FetchAddType::is_trivial(const Op& op) const {
+  return op.kind == OpKind::kRead ||
+         (op.kind == OpKind::kFetchAdd && op.arg0 == 0);
+}
+
+bool FetchAddType::overwrites(const Op& later, const Op& earlier) const {
+  // FETCH&ADD(d) overwrites f' only when f' is trivial: the earlier
+  // delta persists in the value otherwise.
+  return is_trivial(earlier) || (is_trivial(later) && is_trivial(earlier));
+}
+
+bool FetchAddType::commutes(const Op& /*a*/, const Op& /*b*/) const {
+  // Addition commutes unconditionally (READ is trivial, deltas add).
+  return true;
+}
+
+std::vector<Op> FetchAddType::sample_ops() const {
+  return {Op::read(), Op::fetch_add(1), Op::fetch_add(-1), Op::fetch_add(5)};
+}
+
+ObjectTypePtr fetch_add_type() {
+  static const auto kInstance = std::make_shared<const FetchAddType>();
+  return kInstance;
+}
+
+}  // namespace randsync

@@ -1,0 +1,40 @@
+// Fetch&add register.
+//
+// FETCH&ADD(d) responds with the old value and adds d.  FETCH&ADD
+// operations commute with one another but do NOT overwrite one another,
+// so the type is *not* historyless -- it is an interfering type.  A
+// single fetch&add register solves randomized n-process consensus
+// (Theorem 4.4), which combined with Theorem 3.7 yields the separation
+// of Corollary 4.5.
+#pragma once
+
+#include <memory>
+
+#include "runtime/object_type.h"
+
+namespace randsync {
+
+/// Fetch&add register type (READ / FETCH&ADD).
+class FetchAddType final : public ObjectType {
+ public:
+  explicit FetchAddType(Value initial = 0) : initial_(initial) {}
+
+  [[nodiscard]] std::string name() const override { return "fetch&add"; }
+  [[nodiscard]] Value initial_value() const override { return initial_; }
+  [[nodiscard]] bool supports(OpKind kind) const override;
+  Value apply(const Op& op, Value& value) const override;
+  [[nodiscard]] bool is_trivial(const Op& op) const override;
+  [[nodiscard]] bool overwrites(const Op& later,
+                                const Op& earlier) const override;
+  [[nodiscard]] bool commutes(const Op& a, const Op& b) const override;
+  [[nodiscard]] bool historyless() const override { return false; }
+  [[nodiscard]] std::vector<Op> sample_ops() const override;
+
+ private:
+  Value initial_;
+};
+
+/// Shared singleton instance with initial value 0.
+[[nodiscard]] ObjectTypePtr fetch_add_type();
+
+}  // namespace randsync

@@ -1,0 +1,65 @@
+#include "objects/fetch_inc.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace randsync {
+
+FetchIncType::FetchIncType(Value direction) : direction_(direction) {
+  if (direction != 1 && direction != -1) {
+    throw std::invalid_argument("fetch&inc direction must be +1 or -1");
+  }
+}
+
+bool FetchIncType::supports(OpKind kind) const {
+  return kind == OpKind::kRead || kind == OpKind::kFetchAdd;
+}
+
+Value FetchIncType::apply(const Op& op, Value& value) const {
+  assert(supports(op.kind));
+  switch (op.kind) {
+    case OpKind::kRead:
+      return value;
+    case OpKind::kFetchAdd: {
+      if (op.arg0 != direction_ && op.arg0 != 0) {
+        throw std::logic_error(name() + " only supports delta " +
+                               std::to_string(direction_));
+      }
+      const Value old = value;
+      value += op.arg0;
+      return old;
+    }
+    default:
+      return 0;
+  }
+}
+
+bool FetchIncType::is_trivial(const Op& op) const {
+  return op.kind == OpKind::kRead ||
+         (op.kind == OpKind::kFetchAdd && op.arg0 == 0);
+}
+
+bool FetchIncType::overwrites(const Op& later, const Op& earlier) const {
+  (void)later;
+  return is_trivial(earlier);
+}
+
+bool FetchIncType::commutes(const Op&, const Op&) const {
+  return true;  // reads are trivial, the only delta is fixed
+}
+
+std::vector<Op> FetchIncType::sample_ops() const {
+  return {Op::read(), Op::fetch_add(direction_), Op::fetch_add(0)};
+}
+
+ObjectTypePtr fetch_inc_type() {
+  static const auto kInstance = std::make_shared<const FetchIncType>(1);
+  return kInstance;
+}
+
+ObjectTypePtr fetch_dec_type() {
+  static const auto kInstance = std::make_shared<const FetchIncType>(-1);
+  return kInstance;
+}
+
+}  // namespace randsync

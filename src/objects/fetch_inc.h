@@ -1,0 +1,55 @@
+// Fetch&increment and fetch&decrement registers (Theorem 4.4 names
+// them alongside fetch&add).
+//
+// FETCH&INC responds with the old value and adds one; FETCH&DEC
+// subtracts one.  Like fetch&add they are interfering but not
+// historyless, and successive operations return distinct responses, so
+// each has deterministic consensus number exactly 2.  Theorem 4.4's
+// randomized upper bound for these types routes through the
+// one-counter construction of [8] (private communication), which is
+// not recoverable from the paper; the separation table records that
+// honestly (see EXPERIMENTS.md).
+//
+// Modeled as restricted fetch&add: the op is OpKind::kFetchAdd with a
+// fixed delta (+1 / -1); supports() accepts the kind and apply()
+// enforces the delta.
+#pragma once
+
+#include <memory>
+
+#include "runtime/object_type.h"
+
+namespace randsync {
+
+/// Fetch&increment (direction +1) or fetch&decrement (-1) register.
+class FetchIncType final : public ObjectType {
+ public:
+  /// `direction` must be +1 (fetch&inc) or -1 (fetch&dec).
+  explicit FetchIncType(Value direction);
+
+  [[nodiscard]] std::string name() const override {
+    return direction_ > 0 ? "fetch&inc" : "fetch&dec";
+  }
+  [[nodiscard]] Value initial_value() const override { return 0; }
+  [[nodiscard]] bool supports(OpKind kind) const override;
+  Value apply(const Op& op, Value& value) const override;
+  [[nodiscard]] bool is_trivial(const Op& op) const override;
+  [[nodiscard]] bool overwrites(const Op& later,
+                                const Op& earlier) const override;
+  [[nodiscard]] bool commutes(const Op& a, const Op& b) const override;
+  [[nodiscard]] bool historyless() const override { return false; }
+  [[nodiscard]] std::vector<Op> sample_ops() const override;
+
+  [[nodiscard]] Value direction() const { return direction_; }
+
+ private:
+  Value direction_;
+};
+
+/// Shared singleton fetch&increment instance.
+[[nodiscard]] ObjectTypePtr fetch_inc_type();
+
+/// Shared singleton fetch&decrement instance.
+[[nodiscard]] ObjectTypePtr fetch_dec_type();
+
+}  // namespace randsync

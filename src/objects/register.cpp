@@ -1,0 +1,55 @@
+#include "objects/register.h"
+
+#include <cassert>
+
+namespace randsync {
+
+bool RwRegisterType::supports(OpKind kind) const {
+  return kind == OpKind::kRead || kind == OpKind::kWrite;
+}
+
+Value RwRegisterType::apply(const Op& op, Value& value) const {
+  assert(supports(op.kind));
+  switch (op.kind) {
+    case OpKind::kRead:
+      return value;
+    case OpKind::kWrite:
+      value = op.arg0;
+      return 0;
+    default:
+      return 0;
+  }
+}
+
+bool RwRegisterType::is_trivial(const Op& op) const {
+  return op.kind == OpKind::kRead;
+}
+
+bool RwRegisterType::overwrites(const Op& later, const Op& earlier) const {
+  // WRITE(x) overwrites any operation; READ overwrites only other
+  // trivial operations in the degenerate sense f(f'(x)) = f(x) = x.
+  if (later.kind == OpKind::kWrite) {
+    return true;
+  }
+  return is_trivial(later) && is_trivial(earlier);
+}
+
+bool RwRegisterType::commutes(const Op& a, const Op& b) const {
+  if (is_trivial(a) || is_trivial(b)) {
+    return true;
+  }
+  // WRITE(x) and WRITE(y) commute only when x == y.
+  return a.arg0 == b.arg0;
+}
+
+std::vector<Op> RwRegisterType::sample_ops() const {
+  return {Op::read(), Op::write(0), Op::write(1), Op::write(7),
+          Op::write(-3)};
+}
+
+ObjectTypePtr rw_register_type() {
+  static const auto kInstance = std::make_shared<const RwRegisterType>();
+  return kInstance;
+}
+
+}  // namespace randsync

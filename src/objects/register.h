@@ -1,0 +1,40 @@
+// Read-write register: the canonical historyless object.
+//
+// Operations: READ (trivial) and WRITE(x).  The paper allows registers of
+// unbounded size; values here are 64-bit, which is unbounded for every
+// execution constructed in this repository (see DESIGN.md).
+#pragma once
+
+#include <memory>
+
+#include "runtime/object_type.h"
+
+namespace randsync {
+
+/// Read-write register type.  WRITE overwrites WRITE, so the type is
+/// historyless; {READ, WRITE} is also an interfering set.
+class RwRegisterType final : public ObjectType {
+ public:
+  /// A register whose initial value is `initial` (0 by default, matching
+  /// the paper's convention of a known initial state).
+  explicit RwRegisterType(Value initial = 0) : initial_(initial) {}
+
+  [[nodiscard]] std::string name() const override { return "rw-register"; }
+  [[nodiscard]] Value initial_value() const override { return initial_; }
+  [[nodiscard]] bool supports(OpKind kind) const override;
+  Value apply(const Op& op, Value& value) const override;
+  [[nodiscard]] bool is_trivial(const Op& op) const override;
+  [[nodiscard]] bool overwrites(const Op& later,
+                                const Op& earlier) const override;
+  [[nodiscard]] bool commutes(const Op& a, const Op& b) const override;
+  [[nodiscard]] bool historyless() const override { return true; }
+  [[nodiscard]] std::vector<Op> sample_ops() const override;
+
+ private:
+  Value initial_;
+};
+
+/// Shared singleton instance with initial value 0.
+[[nodiscard]] ObjectTypePtr rw_register_type();
+
+}  // namespace randsync

@@ -1,0 +1,63 @@
+#include "objects/sticky_bit.h"
+
+#include <cassert>
+
+namespace randsync {
+
+bool StickyBitType::supports(OpKind kind) const {
+  return kind == OpKind::kRead || kind == OpKind::kWrite;
+}
+
+Value StickyBitType::apply(const Op& op, Value& value) const {
+  assert(supports(op.kind));
+  switch (op.kind) {
+    case OpKind::kRead:
+      return value;
+    case OpKind::kWrite:
+      if (value == 0 && (op.arg0 == 1 || op.arg0 == 2)) {
+        value = op.arg0;
+      }
+      return value;  // responds with the (possibly pre-stuck) value
+    default:
+      return 0;
+  }
+}
+
+bool StickyBitType::is_trivial(const Op& op) const {
+  if (op.kind == OpKind::kRead) {
+    return true;
+  }
+  // A write of anything outside {1,2} never changes the value.
+  return op.arg0 != 1 && op.arg0 != 2;
+}
+
+bool StickyBitType::overwrites(const Op& later, const Op& earlier) const {
+  if (is_trivial(later)) {
+    return is_trivial(earlier);
+  }
+  // WRITE(x) after WRITE(y != x) leaves y: nothing nontrivial is ever
+  // overwritten -- the FIRST write wins.
+  if (is_trivial(earlier)) {
+    return true;
+  }
+  return later.arg0 == earlier.arg0;
+}
+
+bool StickyBitType::commutes(const Op& a, const Op& b) const {
+  if (is_trivial(a) || is_trivial(b)) {
+    return true;
+  }
+  // Distinct sticks do not commute (first one wins); identical ones do.
+  return a.arg0 == b.arg0;
+}
+
+std::vector<Op> StickyBitType::sample_ops() const {
+  return {Op::read(), Op::write(1), Op::write(2), Op::write(0)};
+}
+
+ObjectTypePtr sticky_bit_type() {
+  static const auto kInstance = std::make_shared<const StickyBitType>();
+  return kInstance;
+}
+
+}  // namespace randsync

@@ -1,0 +1,42 @@
+// Sticky bit: a write-once register (Plotkin's "sticky byte" restricted
+// to one bit).  Values: 0 = unset, 1, 2 = stuck at bit 0 / bit 1.
+//
+// STICK(x) (modeled as WRITE(x+1)) installs x+1 if the bit is unset and
+// responds with the resulting value either way; READ is trivial.  A
+// second write does NOT overwrite the first -- f(f'(v)) = f'(v) != f(v)
+// when f' stuck first -- so the type is NOT historyless (it remembers
+// the FIRST nontrivial operation rather than the last: the exact
+// opposite of the paper's historyless class, and the reason one sticky
+// bit deterministically solves n-process consensus while Omega(sqrt n)
+// swap registers are needed).
+#pragma once
+
+#include <memory>
+
+#include "runtime/object_type.h"
+
+namespace randsync {
+
+/// Write-once bit (READ / WRITE, where WRITE sticks and responds with
+/// the post-operation value).
+class StickyBitType final : public ObjectType {
+ public:
+  [[nodiscard]] std::string name() const override { return "sticky-bit"; }
+  [[nodiscard]] Value initial_value() const override { return 0; }
+  [[nodiscard]] bool supports(OpKind kind) const override;
+  Value apply(const Op& op, Value& value) const override;
+  [[nodiscard]] bool is_trivial(const Op& op) const override;
+  [[nodiscard]] bool overwrites(const Op& later,
+                                const Op& earlier) const override;
+  [[nodiscard]] bool commutes(const Op& a, const Op& b) const override;
+  [[nodiscard]] bool historyless() const override { return false; }
+  [[nodiscard]] std::vector<Op> sample_ops() const override;
+  [[nodiscard]] bool is_legal_value(Value value) const override {
+    return value >= 0 && value <= 2;
+  }
+};
+
+/// Shared singleton instance.
+[[nodiscard]] ObjectTypePtr sticky_bit_type();
+
+}  // namespace randsync

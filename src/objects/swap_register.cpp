@@ -1,0 +1,57 @@
+#include "objects/swap_register.h"
+
+#include <cassert>
+
+namespace randsync {
+
+bool SwapRegisterType::supports(OpKind kind) const {
+  return kind == OpKind::kRead || kind == OpKind::kWrite ||
+         kind == OpKind::kSwap;
+}
+
+Value SwapRegisterType::apply(const Op& op, Value& value) const {
+  assert(supports(op.kind));
+  switch (op.kind) {
+    case OpKind::kRead:
+      return value;
+    case OpKind::kWrite:
+      value = op.arg0;
+      return 0;
+    case OpKind::kSwap: {
+      const Value old = value;
+      value = op.arg0;
+      return old;
+    }
+    default:
+      return 0;
+  }
+}
+
+bool SwapRegisterType::is_trivial(const Op& op) const {
+  return op.kind == OpKind::kRead;
+}
+
+bool SwapRegisterType::overwrites(const Op& later, const Op& earlier) const {
+  if (later.kind == OpKind::kWrite || later.kind == OpKind::kSwap) {
+    return true;  // the resulting value is later.arg0 regardless of earlier
+  }
+  return is_trivial(later) && is_trivial(earlier);
+}
+
+bool SwapRegisterType::commutes(const Op& a, const Op& b) const {
+  if (is_trivial(a) || is_trivial(b)) {
+    return true;
+  }
+  return a.arg0 == b.arg0;
+}
+
+std::vector<Op> SwapRegisterType::sample_ops() const {
+  return {Op::read(), Op::write(2), Op::swap(1), Op::swap(5), Op::write(-1)};
+}
+
+ObjectTypePtr swap_register_type() {
+  static const auto kInstance = std::make_shared<const SwapRegisterType>();
+  return kInstance;
+}
+
+}  // namespace randsync

@@ -1,0 +1,41 @@
+// Swap register: a historyless object strictly between read-write
+// registers and fetch&add in deterministic power.
+//
+// Operations: READ (trivial), WRITE(x), and SWAP(x), which writes x and
+// responds with the previous value.  SWAP, WRITE and TEST&SET all
+// overwrite one another, so the type is historyless; starting from a
+// known value, two successive SWAP(1)s return different responses, which
+// is why a swap register solves deterministic 2-process consensus
+// (Section 4 of the paper).
+#pragma once
+
+#include <memory>
+
+#include "runtime/object_type.h"
+
+namespace randsync {
+
+/// Swap register type (READ / WRITE / SWAP).
+class SwapRegisterType final : public ObjectType {
+ public:
+  explicit SwapRegisterType(Value initial = 0) : initial_(initial) {}
+
+  [[nodiscard]] std::string name() const override { return "swap-register"; }
+  [[nodiscard]] Value initial_value() const override { return initial_; }
+  [[nodiscard]] bool supports(OpKind kind) const override;
+  Value apply(const Op& op, Value& value) const override;
+  [[nodiscard]] bool is_trivial(const Op& op) const override;
+  [[nodiscard]] bool overwrites(const Op& later,
+                                const Op& earlier) const override;
+  [[nodiscard]] bool commutes(const Op& a, const Op& b) const override;
+  [[nodiscard]] bool historyless() const override { return true; }
+  [[nodiscard]] std::vector<Op> sample_ops() const override;
+
+ private:
+  Value initial_;
+};
+
+/// Shared singleton instance with initial value 0.
+[[nodiscard]] ObjectTypePtr swap_register_type();
+
+}  // namespace randsync

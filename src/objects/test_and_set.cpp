@@ -1,0 +1,53 @@
+#include "objects/test_and_set.h"
+
+#include <cassert>
+
+namespace randsync {
+
+bool TestAndSetType::supports(OpKind kind) const {
+  return kind == OpKind::kRead || kind == OpKind::kTestAndSet;
+}
+
+Value TestAndSetType::apply(const Op& op, Value& value) const {
+  assert(supports(op.kind));
+  assert(value == 0 || value == 1);
+  switch (op.kind) {
+    case OpKind::kRead:
+      return value;
+    case OpKind::kTestAndSet: {
+      const Value old = value;
+      value = 1;
+      return old;
+    }
+    default:
+      return 0;
+  }
+}
+
+bool TestAndSetType::is_trivial(const Op& op) const {
+  return op.kind == OpKind::kRead;
+}
+
+bool TestAndSetType::overwrites(const Op& later, const Op& earlier) const {
+  if (later.kind == OpKind::kTestAndSet) {
+    return true;  // result is 1 regardless of the earlier operation
+  }
+  return is_trivial(later) && is_trivial(earlier);
+}
+
+bool TestAndSetType::commutes(const Op& /*a*/, const Op& /*b*/) const {
+  // TEST&SET commutes with itself (both orders leave the value 1) and
+  // trivially with READ.
+  return true;
+}
+
+std::vector<Op> TestAndSetType::sample_ops() const {
+  return {Op::read(), Op::test_and_set()};
+}
+
+ObjectTypePtr test_and_set_type() {
+  static const auto kInstance = std::make_shared<const TestAndSetType>();
+  return kInstance;
+}
+
+}  // namespace randsync

@@ -1,0 +1,39 @@
+// Test&set register: values {0, 1}, initial value 0.
+//
+// TEST&SET responds with the old value and sets the value to 1; it is
+// idempotent, hence overwrites itself, so the type is historyless.  A
+// single test&set register solves deterministic 2-process consensus but
+// (like all historyless objects) is subject to the Omega(sqrt(n)) space
+// lower bound for randomized n-process consensus.
+#pragma once
+
+#include <memory>
+
+#include "runtime/object_type.h"
+
+namespace randsync {
+
+/// Test&set register type (READ / TEST&SET).  READ is included as a
+/// trivial operation, matching the paper's use of test&set registers
+/// alongside reads.
+class TestAndSetType final : public ObjectType {
+ public:
+  [[nodiscard]] std::string name() const override { return "test&set"; }
+  [[nodiscard]] Value initial_value() const override { return 0; }
+  [[nodiscard]] bool supports(OpKind kind) const override;
+  Value apply(const Op& op, Value& value) const override;
+  [[nodiscard]] bool is_trivial(const Op& op) const override;
+  [[nodiscard]] bool overwrites(const Op& later,
+                                const Op& earlier) const override;
+  [[nodiscard]] bool commutes(const Op& a, const Op& b) const override;
+  [[nodiscard]] bool historyless() const override { return true; }
+  [[nodiscard]] std::vector<Op> sample_ops() const override;
+  [[nodiscard]] bool is_legal_value(Value value) const override {
+    return value == 0 || value == 1;
+  }
+};
+
+/// Shared singleton instance.
+[[nodiscard]] ObjectTypePtr test_and_set_type();
+
+}  // namespace randsync

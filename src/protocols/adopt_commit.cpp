@@ -1,0 +1,62 @@
+#include "protocols/adopt_commit.h"
+
+#include "objects/register.h"
+
+namespace randsync {
+
+AdoptCommitRegisters allocate_adopt_commit(ObjectSpace& space) {
+  AdoptCommitRegisters regs;
+  regs.a0 = space.add(rw_register_type());
+  regs.a1 = space.add(rw_register_type());
+  regs.b = space.add(rw_register_type());
+  return regs;
+}
+
+Invocation AdoptCommitProcess::poised() const {
+  const ObjectId own = input() == 0 ? regs_.a0 : regs_.a1;
+  const ObjectId other = input() == 0 ? regs_.a1 : regs_.a0;
+  switch (phase_) {
+    case Phase::kSetFlag:
+      return {own, Op::write(1)};
+    case Phase::kReadOther:
+    case Phase::kReRead:
+      return {other, Op::read()};
+    case Phase::kWriteClean:
+      return {regs_.b, Op::write(input() + 1)};
+    case Phase::kReadB:
+      return {regs_.b, Op::read()};
+  }
+  return {regs_.b, Op::read()};
+}
+
+void AdoptCommitProcess::on_response(Value response) {
+  switch (phase_) {
+    case Phase::kSetFlag:
+      phase_ = Phase::kReadOther;
+      return;
+    case Phase::kReadOther:
+      phase_ = response == 0 ? Phase::kWriteClean : Phase::kReadB;
+      return;
+    case Phase::kWriteClean:
+      phase_ = Phase::kReRead;
+      return;
+    case Phase::kReRead:
+      committed_ = response == 0;
+      decide(input());
+      return;
+    case Phase::kReadB:
+      committed_ = false;
+      decide(response != 0 ? response - 1 : input());
+      return;
+  }
+}
+
+std::uint64_t AdoptCommitProcess::state_hash() const {
+  std::uint64_t h = hash_combine(static_cast<std::uint64_t>(phase_),
+                                 static_cast<std::uint64_t>(input()));
+  h = hash_combine(h, committed_ ? 1U : 0U);
+  h = hash_combine(h, base_hash());
+  return h;
+}
+
+}  // namespace randsync

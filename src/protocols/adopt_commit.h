@@ -1,0 +1,110 @@
+// Adopt-commit: the agreement-detection gadget behind round-based
+// randomized consensus (Gafni's commit-adopt; the structure underlying
+// Aspnes-Herlihy [9] seen through the modern conciliator/adopt-commit
+// decomposition).
+//
+// An adopt-commit object supports one operation per process,
+// AdoptCommit(v) for v in {0,1}, returning (decision, value) where
+// decision is COMMIT or ADOPT, such that
+//
+//   * Validity:    every returned value is some process's input;
+//   * Coherence:   if any process returns (COMMIT, v), every process
+//                  returns value v (committed or adopted);
+//   * Convergence: if all inputs equal v, every process returns
+//                  (COMMIT, v).
+//
+// Unlike consensus, adopt-commit is deterministically wait-free from
+// read-write registers.  This implementation uses three multi-writer
+// registers per instance:
+//
+//   A0, A1 : "input v was proposed" flags;
+//   B      : the clean-candidate register.
+//
+//   AdoptCommit(v):
+//     1. A[v] := 1
+//     2. x := A[1-v]
+//     3. if x == 0:                      // no opponent seen: clean
+//          B := v+1
+//          if A[1-v] still 0 -> (COMMIT, v)
+//          else              -> (ADOPT, v)
+//        else:
+//          y := B
+//          if y != 0 -> (ADOPT, y-1)     // follow the clean candidate
+//          else      -> (ADOPT, v)      // nobody clean yet: keep own
+//
+// Why coherence holds: a committer C with value v wrote A[v] and B=v+1,
+// then re-read A[1-v] == 0 at time t.  (i) No process commits 1-v: it
+// would need to read A[v] == 0 after t's past -- impossible, A[v] was
+// set before t and flags are monotone.  (ii) Any process returning via
+// the x != 0 branch read A[1-v] after some opponent set it, i.e. after
+// t; by then B holds a clean candidate.  Every clean B-writer saw the
+// opposite flag unset, and after t only v-cleaners can exist... the
+// fine-grained interleavings are NOT argued here by hand: the test
+// suite verifies all three properties EXHAUSTIVELY over every schedule
+// for up to 4 processes (tests/adopt_commit_test.cpp), which is the
+// authoritative check.
+//
+// RoundsConsensusProtocol (protocols/rounds_consensus.h) composes these
+// gadgets with a conciliator into full randomized consensus whose
+// safety rests only on coherence + validity.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "runtime/object_space.h"
+#include "runtime/process.h"
+
+namespace randsync {
+
+/// Result of one AdoptCommit operation.
+struct AdoptCommitOutcome {
+  bool committed = false;
+  int value = 0;
+};
+
+/// The three registers of one adopt-commit instance, by base object id.
+struct AdoptCommitRegisters {
+  ObjectId a0 = 0;  ///< "0 was proposed" flag
+  ObjectId a1 = 0;  ///< "1 was proposed" flag
+  ObjectId b = 0;   ///< clean-candidate register (0 = empty, v+1)
+};
+
+/// Allocate one instance's registers in `space`.
+[[nodiscard]] AdoptCommitRegisters allocate_adopt_commit(ObjectSpace& space);
+
+/// A process executing a single AdoptCommit(v) operation; "decides"
+/// the returned VALUE (0/1) and exposes the commit flag separately.
+/// Used directly by the gadget's exhaustive tests and embedded (as a
+/// phase) inside RoundsConsensusProtocol.
+class AdoptCommitProcess final : public ConsensusProcess {
+ public:
+  AdoptCommitProcess(AdoptCommitRegisters regs, int input,
+                     std::unique_ptr<CoinSource> coin)
+      : ConsensusProcess(input, std::move(coin)), regs_(regs) {}
+
+  [[nodiscard]] Invocation poised() const override;
+  void on_response(Value response) override;
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<AdoptCommitProcess>(*this);
+  }
+  [[nodiscard]] std::uint64_t state_hash() const override;
+
+  /// Valid once decided(): did this process COMMIT (vs adopt)?
+  [[nodiscard]] bool committed() const { return committed_; }
+
+ private:
+  enum class Phase {
+    kSetFlag,     // A[v] := 1
+    kReadOther,   // x := A[1-v]
+    kWriteClean,  // B := v+1        (x == 0 branch)
+    kReRead,      //   re-read A[1-v]
+    kReadB,       // y := B          (x != 0 branch)
+  };
+
+  AdoptCommitRegisters regs_;
+  Phase phase_ = Phase::kSetFlag;
+  bool committed_ = false;
+};
+
+}  // namespace randsync

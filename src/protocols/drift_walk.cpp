@@ -1,0 +1,274 @@
+#include "protocols/drift_walk.h"
+
+#include <stdexcept>
+
+#include "objects/counter.h"
+#include "objects/fetch_add.h"
+
+namespace randsync {
+
+WalkAction walk_rule(Value c0, Value c1, Value position, std::size_t n) {
+  const Value band = static_cast<Value>(n);
+  if (position >= 2 * band) {
+    return WalkAction::kDecide1;
+  }
+  if (position <= -2 * band) {
+    return WalkAction::kDecide0;
+  }
+  // Position bands must be checked before the counter rules: this is
+  // what makes decisions irrevocable (see the header comment).
+  if (position >= band) {
+    return WalkAction::kMoveUp;
+  }
+  if (position <= -band) {
+    return WalkAction::kMoveDown;
+  }
+  if (c1 == 0) {
+    return WalkAction::kMoveDown;
+  }
+  if (c0 == 0) {
+    return WalkAction::kMoveUp;
+  }
+  return WalkAction::kFlip;
+}
+
+namespace {
+
+// --- three-counter realization -----------------------------------------
+
+// Objects: 0 = c0, 1 = c1, 2 = cursor.
+class CounterWalkProcess final : public ConsensusProcess {
+ public:
+  CounterWalkProcess(std::size_t n, int input,
+                     std::unique_ptr<CoinSource> coin)
+      : ConsensusProcess(input, std::move(coin)), n_(n) {}
+
+  [[nodiscard]] Invocation poised() const override {
+    switch (phase_) {
+      case Phase::kRegister:
+        return {static_cast<ObjectId>(input()), Op::increment()};
+      case Phase::kReadC0:
+        return {0, Op::read()};
+      case Phase::kReadC1:
+        return {1, Op::read()};
+      case Phase::kReadCursor:
+        return {2, Op::read()};
+      case Phase::kMoveUp:
+        return {2, Op::increment()};
+      case Phase::kMoveDown:
+        return {2, Op::decrement()};
+    }
+    return {2, Op::read()};
+  }
+
+  void on_response(Value response) override {
+    switch (phase_) {
+      case Phase::kRegister:
+        phase_ = Phase::kReadC0;
+        return;
+      case Phase::kReadC0:
+        c0_ = response;
+        phase_ = Phase::kReadC1;
+        return;
+      case Phase::kReadC1:
+        c1_ = response;
+        phase_ = Phase::kReadCursor;
+        return;
+      case Phase::kReadCursor:
+        act(walk_rule(c0_, c1_, response, n_));
+        return;
+      case Phase::kMoveUp:
+      case Phase::kMoveDown:
+        phase_ = Phase::kReadC0;
+        return;
+    }
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<CounterWalkProcess>(*this);
+  }
+
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    std::uint64_t h = hash_combine(static_cast<std::uint64_t>(phase_),
+                                   static_cast<std::uint64_t>(c0_));
+    h = hash_combine(h, static_cast<std::uint64_t>(c1_));
+    h = hash_combine(h, base_hash());
+    return h;
+  }
+
+ private:
+  enum class Phase {
+    kRegister,
+    kReadC0,
+    kReadC1,
+    kReadCursor,
+    kMoveUp,
+    kMoveDown
+  };
+
+  void act(WalkAction action) {
+    switch (action) {
+      case WalkAction::kDecide0:
+        decide(0);
+        return;
+      case WalkAction::kDecide1:
+        decide(1);
+        return;
+      case WalkAction::kMoveUp:
+        phase_ = Phase::kMoveUp;
+        return;
+      case WalkAction::kMoveDown:
+        phase_ = Phase::kMoveDown;
+        return;
+      case WalkAction::kFlip:
+        phase_ = coin().flip() ? Phase::kMoveUp : Phase::kMoveDown;
+        return;
+    }
+  }
+
+  std::size_t n_;
+  Value c0_ = 0;
+  Value c1_ = 0;
+  Phase phase_ = Phase::kRegister;
+};
+
+// --- packed fetch&add realization ----------------------------------------
+
+constexpr Value kC1Shift = 16;
+constexpr Value kCursorShift = 32;
+constexpr Value kCursorBias = Value{1} << 27;
+constexpr Value kFieldMask = (Value{1} << 16) - 1;
+constexpr Value kCursorMask = (Value{1} << 29) - 1;
+
+class FaaWalkProcess final : public ConsensusProcess {
+ public:
+  FaaWalkProcess(std::size_t n, int input, std::unique_ptr<CoinSource> coin)
+      : ConsensusProcess(input, std::move(coin)), n_(n) {}
+
+  [[nodiscard]] Invocation poised() const override {
+    switch (phase_) {
+      case Phase::kRegister:
+        return {0, Op::fetch_add(input() == 0 ? Value{1}
+                                              : Value{1} << kC1Shift)};
+      case Phase::kRead:
+        // FETCH&ADD(0) reads the whole packed state atomically.  (It is
+        // a trivial operation: adding zero never changes the value.)
+        return {0, Op::fetch_add(0)};
+      case Phase::kMoveUp:
+        return {0, Op::fetch_add(Value{1} << kCursorShift)};
+      case Phase::kMoveDown:
+        return {0, Op::fetch_add(-(Value{1} << kCursorShift))};
+    }
+    return {0, Op::fetch_add(0)};
+  }
+
+  void on_response(Value response) override {
+    switch (phase_) {
+      case Phase::kRegister:
+        phase_ = Phase::kRead;
+        return;
+      case Phase::kRead:
+        act(walk_rule(FaaConsensusProtocol::decode_c0(response),
+                      FaaConsensusProtocol::decode_c1(response),
+                      FaaConsensusProtocol::decode_cursor(response), n_));
+        return;
+      case Phase::kMoveUp:
+      case Phase::kMoveDown:
+        phase_ = Phase::kRead;
+        return;
+    }
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<FaaWalkProcess>(*this);
+  }
+
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return hash_combine(static_cast<std::uint64_t>(phase_),
+                        base_hash());
+  }
+
+ private:
+  enum class Phase { kRegister, kRead, kMoveUp, kMoveDown };
+
+  void act(WalkAction action) {
+    switch (action) {
+      case WalkAction::kDecide0:
+        decide(0);
+        return;
+      case WalkAction::kDecide1:
+        decide(1);
+        return;
+      case WalkAction::kMoveUp:
+        phase_ = Phase::kMoveUp;
+        return;
+      case WalkAction::kMoveDown:
+        phase_ = Phase::kMoveDown;
+        return;
+      case WalkAction::kFlip:
+        phase_ = coin().flip() ? Phase::kMoveUp : Phase::kMoveDown;
+        return;
+    }
+  }
+
+  std::size_t n_;
+  Phase phase_ = Phase::kRegister;
+};
+
+void check_n(std::size_t n) {
+  if (n == 0 || n >= (1U << 15)) {
+    throw std::invalid_argument(
+        "drift-walk protocols support 1 <= n < 32768 processes");
+  }
+}
+
+}  // namespace
+
+ObjectSpacePtr CounterWalkProtocol::make_space(std::size_t n) const {
+  check_n(n);
+  const Value bound = static_cast<Value>(n);
+  auto space = std::make_shared<ObjectSpace>();
+  // c0 and c1 range over [0, n]; lo must be <= 0, so use [-1, n] and
+  // rely on the protocol never decrementing them.  The cursor ranges
+  // over [-3n, 3n] exactly as the paper states.
+  space->add(bounded_counter_type(-1, bound));
+  space->add(bounded_counter_type(-1, bound));
+  space->add(bounded_counter_type(-3 * bound, 3 * bound));
+  return space;
+}
+
+std::unique_ptr<ConsensusProcess> CounterWalkProtocol::make_process(
+    std::size_t n, std::size_t, int input, std::uint64_t seed) const {
+  check_n(n);
+  return std::make_unique<CounterWalkProcess>(
+      n, input, std::make_unique<SplitMixCoin>(seed));
+}
+
+ObjectSpacePtr FaaConsensusProtocol::make_space(std::size_t n) const {
+  check_n(n);
+  auto space = std::make_shared<ObjectSpace>();
+  space->add(std::make_shared<const FetchAddType>(kCursorBias
+                                                  << kCursorShift));
+  return space;
+}
+
+std::unique_ptr<ConsensusProcess> FaaConsensusProtocol::make_process(
+    std::size_t n, std::size_t, int input, std::uint64_t seed) const {
+  check_n(n);
+  return std::make_unique<FaaWalkProcess>(
+      n, input, std::make_unique<SplitMixCoin>(seed));
+}
+
+Value FaaConsensusProtocol::decode_c0(Value packed) {
+  return packed & kFieldMask;
+}
+
+Value FaaConsensusProtocol::decode_c1(Value packed) {
+  return (packed >> kC1Shift) & kFieldMask;
+}
+
+Value FaaConsensusProtocol::decode_cursor(Value packed) {
+  return ((packed >> kCursorShift) & kCursorMask) - kCursorBias;
+}
+
+}  // namespace randsync

@@ -1,0 +1,96 @@
+// Randomized consensus via a bounded random walk with deterministic
+// drift bands -- Aspnes' counter-based algorithm as described in the
+// preamble to Theorem 4.2:
+//
+//   "Aspnes [7] gives a randomized algorithm for n-process binary
+//    consensus using three bounded counters: the first two keep track of
+//    the number of processes with input 0 and input 1 respectively, and
+//    the third is used as the cursor for a random walk.  The first two
+//    counters assume values between 0 and n, while the third assumes
+//    values between -3n and 3n."
+//
+// Protocol (each process):
+//   1. register:  INC c[input];
+//   2. loop:      read c0, c1 and the cursor position p, then
+//        p >= 2n  -> decide 1          p <= -2n -> decide 0
+//        p >= n   -> INC cursor        p <= -n  -> DEC cursor
+//        c1 == 0  -> DEC cursor        c0 == 0  -> INC cursor
+//        else     -> coin flip, INC or DEC cursor.
+//
+// Why it is safe (machine-checked by the test suite, argued here):
+//   * Consistency: suppose some process reads p >= 2n and decides 1.  At
+//     most n-1 other processes hold one stale DEC each (computed from an
+//     older read), so the cursor never drops below 2n-(n-1) = n+1; every
+//     subsequent read therefore sees p >= n and -- because the position
+//     bands are checked BEFORE the counter rules -- emits INC or decides
+//     1.  No process can ever read p <= -2n.  Symmetrically for 0.
+//   * Validity: if every input is 0, c1 stays 0 forever, so every move
+//     is DEC until p <= -2n; p >= n is unreachable, so 1 is undecidable.
+//   * Bounds: decisions happen at |p| >= 2n and at most n-1 stale moves
+//     can push past a band, so |p| <= 3n-1: the counters never wrap.
+//   * Solo termination: a solo process performs an unbiased +-1 walk
+//     and hits a band in expected O(n^2) of its own steps.
+//
+// Two realizations share this rule:
+//   * CounterWalkProtocol -- three bounded counters (Theorem 4.2's
+//     space: O(1) counter instances; the one-counter refinement the
+//     paper attributes to private communication [8] is not codable from
+//     the paper, see DESIGN.md);
+//   * FaaConsensusProtocol -- ONE fetch&add register (Theorem 4.4): the
+//     three counters are packed into bit fields of a single value, and
+//     FETCH&ADD(0) reads all three atomically.
+#pragma once
+
+#include "protocols/protocol.h"
+
+namespace randsync {
+
+/// What the walk rule tells a process to do next.
+enum class WalkAction {
+  kDecide0,
+  kDecide1,
+  kMoveUp,
+  kMoveDown,
+  kFlip,  ///< move by fair coin flip
+};
+
+/// The shared decision/drift rule on an observed (c0, c1, position).
+[[nodiscard]] WalkAction walk_rule(Value c0, Value c1, Value position,
+                                   std::size_t n);
+
+/// Theorem 4.2 realization: three bounded counters.
+class CounterWalkProtocol final : public ConsensusProtocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "counter-walk"; }
+  [[nodiscard]] ObjectSpacePtr make_space(std::size_t n) const override;
+  [[nodiscard]] std::unique_ptr<ConsensusProcess> make_process(
+      std::size_t n, std::size_t pid_hint, int input,
+      std::uint64_t seed) const override;
+  [[nodiscard]] bool identical_processes() const override { return true; }
+  [[nodiscard]] bool fixed_space() const override { return true; }
+};
+
+/// Theorem 4.4 realization: one fetch&add register with the three
+/// counters packed into disjoint bit fields.
+///
+/// Packing (value = c0 + c1*2^16 + (cursor+2^27)*2^32):
+///   bits  0..15  c0          (n < 2^15 enforced)
+///   bits 16..31  c1
+///   bits 32..60  cursor + 2^27 (bias keeps the field nonnegative)
+class FaaConsensusProtocol final : public ConsensusProtocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "faa-consensus"; }
+  [[nodiscard]] ObjectSpacePtr make_space(std::size_t n) const override;
+  [[nodiscard]] std::unique_ptr<ConsensusProcess> make_process(
+      std::size_t n, std::size_t pid_hint, int input,
+      std::uint64_t seed) const override;
+  [[nodiscard]] bool identical_processes() const override { return true; }
+  [[nodiscard]] bool fixed_space() const override { return true; }
+
+  /// Field decoding helpers (exposed for tests and benches).
+  [[nodiscard]] static Value decode_c0(Value packed);
+  [[nodiscard]] static Value decode_c1(Value packed);
+  [[nodiscard]] static Value decode_cursor(Value packed);
+};
+
+}  // namespace randsync

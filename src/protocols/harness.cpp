@@ -1,0 +1,61 @@
+#include "protocols/harness.h"
+
+#include <algorithm>
+
+namespace randsync {
+
+Configuration make_initial_configuration(const ConsensusProtocol& protocol,
+                                         std::span<const int> inputs,
+                                         std::uint64_t seed) {
+  Configuration config(protocol.make_space(inputs.size()));
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    config.add_process(protocol.make_process(inputs.size(), i, inputs[i],
+                                             derive_seed(seed, i)));
+  }
+  return config;
+}
+
+ConsensusRun run_consensus(const ConsensusProtocol& protocol,
+                           std::span<const int> inputs, Scheduler& scheduler,
+                           std::size_t max_steps, std::uint64_t seed) {
+  Configuration config = make_initial_configuration(protocol, inputs, seed);
+  ConsensusRun run;
+  RunResult driven = run_until_all_decided(config, scheduler, max_steps);
+  run.all_decided = driven.all_decided;
+  run.total_steps = driven.steps;
+  run.trace = std::move(driven.trace);
+  for (ProcessId pid = 0; pid < config.num_processes(); ++pid) {
+    run.max_steps_by_one =
+        std::max(run.max_steps_by_one, run.trace.steps_by(pid));
+    if (!config.decided(pid)) {
+      continue;
+    }
+    const Value d = config.process(pid).decision();
+    if (run.decision == -1) {
+      run.decision = d;
+    } else if (run.decision != d) {
+      run.consistent = false;
+    }
+    const bool matches_some_input =
+        std::any_of(inputs.begin(), inputs.end(),
+                    [d](int input) { return static_cast<Value>(input) == d; });
+    if (!matches_some_input) {
+      run.valid = false;
+    }
+  }
+  return run;
+}
+
+std::vector<int> alternating_inputs(std::size_t n) {
+  std::vector<int> inputs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inputs[i] = static_cast<int>(i % 2);
+  }
+  return inputs;
+}
+
+std::vector<int> constant_inputs(std::size_t n, int value) {
+  return std::vector<int>(n, value);
+}
+
+}  // namespace randsync

@@ -1,0 +1,49 @@
+// Harness for running consensus protocols under a scheduler and checking
+// the two correctness conditions of Section 2:
+//
+//   Consistency: all DECIDE operations return the same value.
+//   Validity:    the returned value is some process's input.
+//
+// The harness also gathers the step statistics the benchmarks report.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "protocols/protocol.h"
+#include "runtime/configuration.h"
+#include "runtime/executor.h"
+#include "runtime/scheduler.h"
+
+namespace randsync {
+
+/// Result of one consensus run.
+struct ConsensusRun {
+  bool all_decided = false;  ///< every process returned within the budget
+  bool consistent = true;    ///< no two decisions differ
+  bool valid = true;         ///< every decision equals some input
+  Value decision = -1;       ///< the agreed value (when consistent)
+  std::size_t total_steps = 0;
+  std::size_t max_steps_by_one = 0;  ///< max steps any single process took
+  std::uint64_t total_flips = 0;     ///< coin flips (when measurable)
+  Trace trace;
+};
+
+/// Build the initial configuration of `protocol` for the given inputs.
+[[nodiscard]] Configuration make_initial_configuration(
+    const ConsensusProtocol& protocol, std::span<const int> inputs,
+    std::uint64_t seed);
+
+/// Run the protocol to completion (or `max_steps`) under `scheduler`,
+/// checking consistency and validity of every decision.
+ConsensusRun run_consensus(const ConsensusProtocol& protocol,
+                           std::span<const int> inputs, Scheduler& scheduler,
+                           std::size_t max_steps, std::uint64_t seed);
+
+/// Convenience: alternating 0/1 inputs for n processes.
+[[nodiscard]] std::vector<int> alternating_inputs(std::size_t n);
+
+/// Convenience: all-equal inputs for n processes.
+[[nodiscard]] std::vector<int> constant_inputs(std::size_t n, int value);
+
+}  // namespace randsync

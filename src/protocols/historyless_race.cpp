@@ -1,0 +1,185 @@
+#include "protocols/historyless_race.h"
+
+#include <stdexcept>
+
+#include "objects/register.h"
+#include "objects/swap_register.h"
+#include "objects/test_and_set.h"
+
+namespace randsync {
+namespace {
+
+constexpr Value kEmpty = 0;
+
+class SweepProcess final : public ConsensusProcess {
+ public:
+  /// `reverse` makes the sweep run right-to-left (bidirectional mode).
+  SweepProcess(std::vector<HistorylessKind> recipe, int input, bool reverse,
+               std::unique_ptr<CoinSource> coin)
+      : ConsensusProcess(input, std::move(coin)),
+        recipe_(std::move(recipe)),
+        pref_(input),
+        reverse_(reverse),
+        cursor_(reverse ? recipe_.size() - 1 : 0) {}
+
+  [[nodiscard]] Invocation poised() const override {
+    switch (recipe_[cursor_]) {
+      case HistorylessKind::kRwRegister:
+        return claiming_ ? Invocation{cursor_, Op::write(pref_ + 1)}
+                         : Invocation{cursor_, Op::read()};
+      case HistorylessKind::kSwapRegister:
+        return {cursor_, Op::swap(pref_ + 1)};
+      case HistorylessKind::kTestAndSet:
+        return {cursor_, Op::test_and_set()};
+    }
+    return {cursor_, Op::read()};
+  }
+
+  void on_response(Value response) override {
+    switch (recipe_[cursor_]) {
+      case HistorylessKind::kRwRegister:
+        if (claiming_) {
+          claiming_ = false;
+          advance();
+          return;
+        }
+        if (response == kEmpty) {
+          claiming_ = true;
+          return;
+        }
+        pref_ = static_cast<int>(response - 1);
+        advance();
+        return;
+      case HistorylessKind::kSwapRegister:
+        if (response != kEmpty) {
+          pref_ = static_cast<int>(response - 1);
+        }
+        advance();
+        return;
+      case HistorylessKind::kTestAndSet:
+        advance();  // responses carry no value; preference kept
+        return;
+    }
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<SweepProcess>(*this);
+  }
+
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    std::uint64_t h = hash_combine(static_cast<std::uint64_t>(pref_),
+                                   static_cast<std::uint64_t>(cursor_));
+    h = hash_combine(h, claiming_ ? 1U : 0U);
+    h = hash_combine(h, reverse_ ? 4U : 0U);
+    h = hash_combine(h, base_hash());
+    return h;
+  }
+
+ private:
+  void advance() {
+    ++visited_;
+    if (visited_ >= recipe_.size()) {
+      decide(pref_);
+      return;
+    }
+    cursor_ = reverse_ ? cursor_ - 1 : cursor_ + 1;
+  }
+
+  std::vector<HistorylessKind> recipe_;
+  int pref_;
+  bool reverse_;
+  ObjectId cursor_;
+  std::size_t visited_ = 0;
+  bool claiming_ = false;
+};
+
+}  // namespace
+
+HistorylessRaceProtocol::HistorylessRaceProtocol(
+    std::vector<HistorylessKind> recipe)
+    : recipe_(std::move(recipe)) {
+  if (recipe_.empty()) {
+    throw std::invalid_argument("historyless race needs at least one object");
+  }
+}
+
+HistorylessRaceProtocol HistorylessRaceProtocol::mixed(std::size_t r) {
+  std::vector<HistorylessKind> recipe;
+  recipe.reserve(r);
+  for (std::size_t i = 0; i < r; ++i) {
+    switch (i % 3) {
+      case 0:
+        recipe.push_back(HistorylessKind::kRwRegister);
+        break;
+      case 1:
+        recipe.push_back(HistorylessKind::kSwapRegister);
+        break;
+      default:
+        recipe.push_back(HistorylessKind::kTestAndSet);
+        break;
+    }
+  }
+  return HistorylessRaceProtocol(std::move(recipe));
+}
+
+HistorylessRaceProtocol HistorylessRaceProtocol::swaps(std::size_t r) {
+  return HistorylessRaceProtocol(
+      std::vector<HistorylessKind>(r, HistorylessKind::kSwapRegister));
+}
+
+HistorylessRaceProtocol HistorylessRaceProtocol::bidirectional(
+    std::size_t r) {
+  HistorylessRaceProtocol protocol = mixed(r);
+  protocol.bidirectional_ = true;
+  return protocol;
+}
+
+std::string HistorylessRaceProtocol::name() const {
+  std::size_t rw = 0;
+  std::size_t swap = 0;
+  std::size_t ts = 0;
+  for (HistorylessKind kind : recipe_) {
+    switch (kind) {
+      case HistorylessKind::kRwRegister:
+        ++rw;
+        break;
+      case HistorylessKind::kSwapRegister:
+        ++swap;
+        break;
+      case HistorylessKind::kTestAndSet:
+        ++ts;
+        break;
+    }
+  }
+  return std::string(bidirectional_ ? "bidirectional-race" :
+                                      "historyless-race") +
+         "(rw=" + std::to_string(rw) + ",swap=" + std::to_string(swap) +
+         ",ts=" + std::to_string(ts) + ")";
+}
+
+ObjectSpacePtr HistorylessRaceProtocol::make_space(std::size_t) const {
+  auto space = std::make_shared<ObjectSpace>();
+  for (HistorylessKind kind : recipe_) {
+    switch (kind) {
+      case HistorylessKind::kRwRegister:
+        space->add(rw_register_type());
+        break;
+      case HistorylessKind::kSwapRegister:
+        space->add(swap_register_type());
+        break;
+      case HistorylessKind::kTestAndSet:
+        space->add(test_and_set_type());
+        break;
+    }
+  }
+  return space;
+}
+
+std::unique_ptr<ConsensusProcess> HistorylessRaceProtocol::make_process(
+    std::size_t, std::size_t, int input, std::uint64_t seed) const {
+  const bool reverse = bidirectional_ && input == 1;
+  return std::make_unique<SweepProcess>(recipe_, input, reverse,
+                                        std::make_unique<SplitMixCoin>(seed));
+}
+
+}  // namespace randsync

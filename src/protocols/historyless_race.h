@@ -1,0 +1,67 @@
+// Fixed-space preys over general historyless objects (swap, test&set,
+// read-write mixes) for the general-case adversary (Lemmas 3.4-3.6).
+//
+// Like the register races, these families use a constant object count r
+// independent of the number of processes and identical processes, so
+// Theorem 3.7 applies: with 3*r*r + r processes they cannot be correct,
+// and the GeneralAdversary constructs the witnessing execution.
+#pragma once
+
+#include <vector>
+
+#include "protocols/protocol.h"
+
+namespace randsync {
+
+/// Object kinds available to a historyless-race space recipe.
+enum class HistorylessKind {
+  kRwRegister,
+  kSwapRegister,
+  kTestAndSet,
+};
+
+/// A sweep protocol over an arbitrary mix of historyless objects.
+///
+/// Each process sweeps the objects left to right carrying a preference:
+///   * rw-register:  READ; claim if empty (WRITE pref+1), else adopt;
+///   * swap-register: SWAP(pref+1); adopt the response if nonempty;
+///   * test&set:      TEST&SET; the response carries no value, so the
+///                    preference is kept either way.
+/// After the sweep the process decides its preference.  Validity holds
+/// because preferences only ever flow from inputs.
+class HistorylessRaceProtocol final : public ConsensusProtocol {
+ public:
+  explicit HistorylessRaceProtocol(std::vector<HistorylessKind> recipe);
+
+  /// Convenience: r objects cycling rw, swap, test&set, rw, ...
+  [[nodiscard]] static HistorylessRaceProtocol mixed(std::size_t r);
+
+  /// Convenience: r swap registers.
+  [[nodiscard]] static HistorylessRaceProtocol swaps(std::size_t r);
+
+  /// Directional variant: input-0 processes sweep the objects
+  /// left-to-right, input-1 processes right-to-left.  Still an
+  /// identical-process protocol in the Section 3.1 sense (behaviour
+  /// depends only on input, state and coin), but the two input camps
+  /// poise at opposite ends of the object array, which drives the
+  /// general adversary through Lemma 3.5's incomparable-object-set case
+  /// (the rebuild-over-the-union machinery the symmetric preys never
+  /// need).
+  [[nodiscard]] static HistorylessRaceProtocol bidirectional(std::size_t r);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] ObjectSpacePtr make_space(std::size_t n) const override;
+  [[nodiscard]] std::unique_ptr<ConsensusProcess> make_process(
+      std::size_t n, std::size_t pid_hint, int input,
+      std::uint64_t seed) const override;
+  [[nodiscard]] bool identical_processes() const override { return true; }
+  [[nodiscard]] bool fixed_space() const override { return true; }
+
+  [[nodiscard]] std::size_t objects() const { return recipe_.size(); }
+
+ private:
+  std::vector<HistorylessKind> recipe_;
+  bool bidirectional_ = false;
+};
+
+}  // namespace randsync

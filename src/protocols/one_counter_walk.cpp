@@ -1,0 +1,117 @@
+#include "protocols/one_counter_walk.h"
+
+#include <stdexcept>
+
+#include "objects/counter.h"
+
+namespace randsync {
+namespace {
+
+class OneCounterProcess final : public ConsensusProcess {
+ public:
+  OneCounterProcess(std::size_t n, int input,
+                    std::unique_ptr<CoinSource> coin)
+      : ConsensusProcess(input, std::move(coin)), n_(n) {}
+
+  [[nodiscard]] Invocation poised() const override {
+    switch (phase_) {
+      case Phase::kRead:
+        return {0, Op::read()};
+      case Phase::kMoveUp:
+        return {0, Op::increment()};
+      case Phase::kMoveDown:
+        return {0, Op::decrement()};
+    }
+    return {0, Op::read()};
+  }
+
+  void on_response(Value response) override {
+    switch (phase_) {
+      case Phase::kRead: {
+        const Value band = static_cast<Value>(n_);
+        const Value p = response;
+        // Decision and drift bands first -- this ordering is the
+        // entire consistency argument (see the header).
+        if (p >= 2 * band) {
+          decide(1);
+          return;
+        }
+        if (p <= -2 * band) {
+          decide(0);
+          return;
+        }
+        if (p >= band) {
+          phase_ = Phase::kMoveUp;
+          return;
+        }
+        if (p <= -band) {
+          phase_ = Phase::kMoveDown;
+          return;
+        }
+        // Free zone: locked processes push toward their own input;
+        // evidence of the other camp unlocks the fair walk.
+        if (locked_) {
+          if ((input() == 0 && p > 0) || (input() == 1 && p < 0)) {
+            locked_ = false;  // the other camp exists: start flipping
+          }
+        }
+        if (locked_) {
+          // Push toward our own input, but only on heads: the lazy
+          // timing desynchronizes the two camps (under a strict
+          // alternation, deterministic opposing pushes would read 0
+          // forever).  Tails re-reads -- a trivial step, so validity's
+          // "locked 0-processes only ever move DOWN" is untouched.
+          if (coin().flip()) {
+            phase_ = input() == 0 ? Phase::kMoveDown : Phase::kMoveUp;
+          }
+          return;
+        }
+        phase_ = coin().flip() ? Phase::kMoveUp : Phase::kMoveDown;
+        return;
+      }
+      case Phase::kMoveUp:
+      case Phase::kMoveDown:
+        phase_ = Phase::kRead;
+        return;
+    }
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<OneCounterProcess>(*this);
+  }
+
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    std::uint64_t h = hash_combine(static_cast<std::uint64_t>(phase_),
+                                   locked_ ? 1U : 0U);
+    h = hash_combine(h, static_cast<std::uint64_t>(input()));
+    h = hash_combine(h, base_hash());
+    return h;
+  }
+
+ private:
+  enum class Phase { kRead, kMoveUp, kMoveDown };
+  std::size_t n_;
+  bool locked_ = true;
+  Phase phase_ = Phase::kRead;
+};
+
+}  // namespace
+
+ObjectSpacePtr OneCounterWalkProtocol::make_space(std::size_t n) const {
+  if (n == 0 || n >= (1U << 15)) {
+    throw std::invalid_argument(
+        "one-counter-walk supports 1 <= n < 32768 processes");
+  }
+  const Value bound = static_cast<Value>(n);
+  auto space = std::make_shared<ObjectSpace>();
+  space->add(bounded_counter_type(-3 * bound, 3 * bound));
+  return space;
+}
+
+std::unique_ptr<ConsensusProcess> OneCounterWalkProtocol::make_process(
+    std::size_t n, std::size_t, int input, std::uint64_t seed) const {
+  return std::make_unique<OneCounterProcess>(
+      n, input, std::make_unique<SplitMixCoin>(seed));
+}
+
+}  // namespace randsync

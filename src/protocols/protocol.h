@@ -1,0 +1,54 @@
+// Consensus protocol families.
+//
+// A ConsensusProtocol describes an implementation of n-process binary
+// consensus (Section 2): the shared objects it uses and a factory for
+// process state machines.  Two kinds of families live in this directory:
+//
+//   * honest protocols whose space grows with n (or whose objects are
+//     not historyless) -- the upper bounds of Section 4; and
+//   * fixed-space historyless protocols ("preys") that accept unlimited
+//     processes -- Theorem 3.7 says every such protocol is incorrect
+//     once enough processes participate, and the executable adversaries
+//     in src/core construct the witnessing inconsistent execution.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "runtime/object_space.h"
+#include "runtime/process.h"
+
+namespace randsync {
+
+/// A family of binary-consensus implementations, one per process count.
+class ConsensusProtocol {
+ public:
+  virtual ~ConsensusProtocol() = default;
+
+  /// Family name, e.g. "faa-consensus".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// The shared objects an instance for `n` processes uses.  For
+  /// fixed-space families the result does not depend on n.
+  [[nodiscard]] virtual ObjectSpacePtr make_space(std::size_t n) const = 0;
+
+  /// A fresh process with the given input and coin seed.  `pid_hint` is
+  /// the index the process will occupy; identical-process families
+  /// ignore it.
+  [[nodiscard]] virtual std::unique_ptr<ConsensusProcess> make_process(
+      std::size_t n, std::size_t pid_hint, int input,
+      std::uint64_t seed) const = 0;
+
+  /// True if process behaviour depends only on (input, state, coin) --
+  /// never on the process index.  This is the Section 3.1 hypothesis
+  /// that enables cloning.
+  [[nodiscard]] virtual bool identical_processes() const = 0;
+
+  /// True if the family's object space is the same for every n (such
+  /// families accept arbitrarily many processes, which is what the
+  /// lower-bound adversaries exploit).
+  [[nodiscard]] virtual bool fixed_space() const = 0;
+};
+
+}  // namespace randsync

@@ -1,0 +1,134 @@
+#include "protocols/register_race.h"
+
+#include <stdexcept>
+
+#include "objects/register.h"
+
+namespace randsync {
+namespace {
+
+// Register encoding: 0 means "empty", v+1 means "claimed with value v".
+constexpr Value kEmpty = 0;
+
+// The race process sweeps registers left to right.  At each register it
+// first reads; an empty register may be claimed with the current
+// preference (always, for deterministic variants; coin-gated for the
+// conciliator), while a claimed register's value is adopted as the new
+// preference.  After the sweep the process decides its preference.
+class RaceProcess final : public ConsensusProcess {
+ public:
+  RaceProcess(RaceVariant variant, std::size_t registers, int input,
+              std::unique_ptr<CoinSource> coin)
+      : ConsensusProcess(input, std::move(coin)),
+        variant_(variant),
+        registers_(registers),
+        pref_(input),
+        reverse_(variant == RaceVariant::kBidirectional && input == 1),
+        cursor_(reverse_ ? registers - 1 : 0) {}
+
+  [[nodiscard]] Invocation poised() const override {
+    if (phase_ == Phase::kRead) {
+      return {cursor_, Op::read()};
+    }
+    return {cursor_, Op::write(pref_ + 1)};
+  }
+
+  void on_response(Value response) override {
+    if (phase_ == Phase::kRead) {
+      if (response == kEmpty) {
+        const bool claim =
+            variant_ != RaceVariant::kConciliator || coin().flip();
+        if (claim) {
+          phase_ = Phase::kWrite;
+          return;
+        }
+        advance();
+        return;
+      }
+      pref_ = static_cast<int>(response - 1);
+      advance();
+      return;
+    }
+    // Write completed; move to the next register.
+    phase_ = Phase::kRead;
+    advance();
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<RaceProcess>(*this);
+  }
+
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    std::uint64_t h = hash_combine(static_cast<std::uint64_t>(pref_),
+                                   static_cast<std::uint64_t>(cursor_));
+    h = hash_combine(h, static_cast<std::uint64_t>(phase_ == Phase::kWrite));
+    h = hash_combine(h, base_hash());
+    return h;
+  }
+
+  [[nodiscard]] std::string describe() const override {
+    return "race(pref=" + std::to_string(pref_) +
+           ", cursor=" + std::to_string(cursor_) + ")";
+  }
+
+ private:
+  enum class Phase { kRead, kWrite };
+
+  void advance() {
+    ++visited_;
+    if (visited_ >= registers_) {
+      decide(pref_);
+      return;
+    }
+    cursor_ = reverse_ ? cursor_ - 1 : cursor_ + 1;
+  }
+
+  RaceVariant variant_;
+  std::size_t registers_;
+  int pref_;
+  bool reverse_;
+  ObjectId cursor_;
+  std::size_t visited_ = 0;
+  Phase phase_ = Phase::kRead;
+};
+
+}  // namespace
+
+RegisterRaceProtocol::RegisterRaceProtocol(RaceVariant variant,
+                                           std::size_t registers)
+    : variant_(variant), registers_(registers) {
+  if (registers == 0) {
+    throw std::invalid_argument("register race needs at least one register");
+  }
+  if (variant == RaceVariant::kFirstWriter && registers != 1) {
+    throw std::invalid_argument("first-writer uses exactly one register");
+  }
+}
+
+std::string RegisterRaceProtocol::name() const {
+  switch (variant_) {
+    case RaceVariant::kFirstWriter:
+      return "first-writer";
+    case RaceVariant::kRoundVoting:
+      return "round-voting(r=" + std::to_string(registers_) + ")";
+    case RaceVariant::kConciliator:
+      return "conciliator(r=" + std::to_string(registers_) + ")";
+    case RaceVariant::kBidirectional:
+      return "bidirectional-voting(r=" + std::to_string(registers_) + ")";
+  }
+  return "register-race";
+}
+
+ObjectSpacePtr RegisterRaceProtocol::make_space(std::size_t) const {
+  auto space = std::make_shared<ObjectSpace>();
+  space->add_many(rw_register_type(), registers_);
+  return space;
+}
+
+std::unique_ptr<ConsensusProcess> RegisterRaceProtocol::make_process(
+    std::size_t, std::size_t, int input, std::uint64_t seed) const {
+  return std::make_unique<RaceProcess>(variant_, registers_, input,
+                                       std::make_unique<SplitMixCoin>(seed));
+}
+
+}  // namespace randsync

@@ -1,0 +1,56 @@
+// Fixed-space read-write register protocols ("preys").
+//
+// These families use a constant number r of read-write registers,
+// independent of the number of participating processes, with identical
+// processes (behaviour depends only on input, state and coin -- never on
+// a process index).  Each satisfies nondeterministic solo termination
+// and validity of solo runs.  By Theorem 3.3 none of them can be a
+// correct consensus implementation once r*r - r + 2 identical processes
+// participate -- and the CloneAdversary (src/core/clone_adversary.h)
+// mechanically constructs the inconsistent execution that proves it.
+//
+// Three variants:
+//   * FirstWriterProtocol      -- 1 register, winner-take-all;
+//   * RoundVotingProtocol(r)   -- deterministic left-to-right adoption
+//                                 race across r registers;
+//   * ConciliatorProtocol(r)   -- Chor-Israeli-Li-style randomized race:
+//                                 like round voting, but a coin flip
+//                                 decides whether to claim an empty
+//                                 register or pass it by.
+#pragma once
+
+#include "protocols/protocol.h"
+
+namespace randsync {
+
+/// Which register-race variant a family instance uses.
+enum class RaceVariant {
+  kFirstWriter,    ///< single register, first writer wins
+  kRoundVoting,    ///< deterministic adoption race over r registers
+  kConciliator,    ///< randomized (coin-gated) adoption race
+  kBidirectional,  ///< input-0 sweeps left-to-right, input-1 right-to-left
+                   ///< (drives the adversaries' incomparable-set cases)
+};
+
+/// Family of fixed-space identical-process register protocols.
+class RegisterRaceProtocol final : public ConsensusProtocol {
+ public:
+  /// `registers` is the fixed space size r (must be 1 for kFirstWriter).
+  RegisterRaceProtocol(RaceVariant variant, std::size_t registers);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] ObjectSpacePtr make_space(std::size_t n) const override;
+  [[nodiscard]] std::unique_ptr<ConsensusProcess> make_process(
+      std::size_t n, std::size_t pid_hint, int input,
+      std::uint64_t seed) const override;
+  [[nodiscard]] bool identical_processes() const override { return true; }
+  [[nodiscard]] bool fixed_space() const override { return true; }
+
+  [[nodiscard]] std::size_t registers() const { return registers_; }
+
+ private:
+  RaceVariant variant_;
+  std::size_t registers_;
+};
+
+}  // namespace randsync

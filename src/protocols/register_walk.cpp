@@ -1,0 +1,156 @@
+#include "protocols/register_walk.h"
+
+#include <stdexcept>
+
+#include "objects/register.h"
+#include "protocols/drift_walk.h"
+
+namespace randsync {
+namespace {
+
+constexpr Value kContribBias = Value{1} << 40;
+
+class RegisterWalkProcess final : public ConsensusProcess {
+ public:
+  RegisterWalkProcess(std::size_t n, std::size_t pid, int input,
+                      std::unique_ptr<CoinSource> coin)
+      : ConsensusProcess(input, std::move(coin)), n_(n), pid_(pid) {}
+
+  [[nodiscard]] Invocation poised() const override {
+    switch (phase_) {
+      case Phase::kRegister:
+        return {static_cast<ObjectId>(pid_),
+                Op::write(RegisterWalkProtocol::encode(input() == 0,
+                                                       input() == 1, 0))};
+      case Phase::kCollect:
+        return {static_cast<ObjectId>(cursor_), Op::read()};
+      case Phase::kMove:
+        return {static_cast<ObjectId>(pid_),
+                Op::write(RegisterWalkProtocol::encode(
+                    input() == 0, input() == 1, contrib_ + move_))};
+    }
+    return {static_cast<ObjectId>(pid_), Op::read()};
+  }
+
+  void on_response(Value response) override {
+    switch (phase_) {
+      case Phase::kRegister:
+        begin_collect();
+        return;
+      case Phase::kCollect: {
+        sum_c0_ += RegisterWalkProtocol::decode_flag0(response) ? 1 : 0;
+        sum_c1_ += RegisterWalkProtocol::decode_flag1(response) ? 1 : 0;
+        sum_pos_ += RegisterWalkProtocol::decode_contrib(response);
+        ++cursor_;
+        if (cursor_ < n_) {
+          return;
+        }
+        act(walk_rule(sum_c0_, sum_c1_, sum_pos_, n_));
+        return;
+      }
+      case Phase::kMove:
+        contrib_ += move_;
+        begin_collect();
+        return;
+    }
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<RegisterWalkProcess>(*this);
+  }
+
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    std::uint64_t h = hash_combine(static_cast<std::uint64_t>(phase_),
+                                   static_cast<std::uint64_t>(cursor_));
+    h = hash_combine(h, static_cast<std::uint64_t>(contrib_));
+    h = hash_combine(h, static_cast<std::uint64_t>(sum_pos_));
+    h = hash_combine(h, base_hash());
+    return h;
+  }
+
+ private:
+  enum class Phase { kRegister, kCollect, kMove };
+
+  void begin_collect() {
+    phase_ = Phase::kCollect;
+    cursor_ = 0;
+    sum_c0_ = 0;
+    sum_c1_ = 0;
+    sum_pos_ = 0;
+  }
+
+  void act(WalkAction action) {
+    switch (action) {
+      case WalkAction::kDecide0:
+        decide(0);
+        return;
+      case WalkAction::kDecide1:
+        decide(1);
+        return;
+      case WalkAction::kMoveUp:
+        move_ = 1;
+        phase_ = Phase::kMove;
+        return;
+      case WalkAction::kMoveDown:
+        move_ = -1;
+        phase_ = Phase::kMove;
+        return;
+      case WalkAction::kFlip:
+        move_ = coin().flip() ? 1 : -1;
+        phase_ = Phase::kMove;
+        return;
+    }
+  }
+
+  std::size_t n_;
+  std::size_t pid_;
+  Phase phase_ = Phase::kRegister;
+  std::size_t cursor_ = 0;  // collect index
+  Value contrib_ = 0;       // my cursor contribution (mirrors my register)
+  Value move_ = 0;
+  Value sum_c0_ = 0;
+  Value sum_c1_ = 0;
+  Value sum_pos_ = 0;
+};
+
+}  // namespace
+
+ObjectSpacePtr RegisterWalkProtocol::make_space(std::size_t n) const {
+  if (n == 0) {
+    throw std::invalid_argument("register-walk needs n >= 1");
+  }
+  auto space = std::make_shared<ObjectSpace>();
+  space->add_many(rw_register_type(), n);
+  return space;
+}
+
+std::unique_ptr<ConsensusProcess> RegisterWalkProtocol::make_process(
+    std::size_t n, std::size_t pid_hint, int input,
+    std::uint64_t seed) const {
+  if (pid_hint >= n) {
+    throw std::invalid_argument("register-walk pid out of range");
+  }
+  return std::make_unique<RegisterWalkProcess>(
+      n, pid_hint, input, std::make_unique<SplitMixCoin>(seed));
+}
+
+Value RegisterWalkProtocol::encode(bool flag0, bool flag1, Value contrib) {
+  return (flag0 ? 1 : 0) | (flag1 ? 2 : 0) | ((contrib + kContribBias) << 2);
+}
+
+bool RegisterWalkProtocol::decode_flag0(Value packed) {
+  return (packed & 1) != 0;
+}
+
+bool RegisterWalkProtocol::decode_flag1(Value packed) {
+  return (packed & 2) != 0;
+}
+
+Value RegisterWalkProtocol::decode_contrib(Value packed) {
+  if (packed == 0) {
+    return 0;  // unwritten register: no contribution
+  }
+  return (packed >> 2) - kContribBias;
+}
+
+}  // namespace randsync

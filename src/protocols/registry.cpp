@@ -1,0 +1,147 @@
+#include "protocols/registry.h"
+
+#include "protocols/drift_walk.h"
+#include "protocols/historyless_race.h"
+#include "protocols/one_counter_walk.h"
+#include "protocols/register_race.h"
+#include "protocols/register_walk.h"
+#include "protocols/retry_race.h"
+#include "protocols/rounds_consensus.h"
+#include "protocols/shared_coin.h"
+#include "protocols/single_object.h"
+
+namespace randsync {
+namespace {
+
+using Ptr = std::shared_ptr<const ConsensusProtocol>;
+using Param = std::optional<std::size_t>;
+
+Ptr make_faa(Param) { return std::make_shared<FaaConsensusProtocol>(); }
+Ptr make_one_counter(Param) {
+  return std::make_shared<OneCounterWalkProtocol>();
+}
+Ptr make_counter_walk(Param) {
+  return std::make_shared<CounterWalkProtocol>();
+}
+Ptr make_register_walk(Param) {
+  return std::make_shared<RegisterWalkProtocol>();
+}
+Ptr make_rounds(Param p) {
+  return std::make_shared<RoundsConsensusProtocol>(p.value_or(64));
+}
+Ptr make_cas(Param) { return std::make_shared<CasConsensusProtocol>(); }
+Ptr make_sticky(Param) {
+  return std::make_shared<StickyConsensusProtocol>();
+}
+Ptr make_swap_pair(Param) { return std::make_shared<SwapPairProtocol>(); }
+Ptr make_ts_pair(Param) {
+  return std::make_shared<TestAndSetPairProtocol>();
+}
+Ptr make_faa_pair(Param) { return std::make_shared<FaaPairProtocol>(); }
+Ptr make_shared_coin(Param p) {
+  return std::make_shared<SharedCoinProtocol>(p.value_or(2));
+}
+Ptr make_first_writer(Param) {
+  return std::make_shared<RegisterRaceProtocol>(RaceVariant::kFirstWriter,
+                                                1);
+}
+Ptr make_round_voting(Param p) {
+  return std::make_shared<RegisterRaceProtocol>(RaceVariant::kRoundVoting,
+                                                p.value_or(3));
+}
+Ptr make_conciliator(Param p) {
+  return std::make_shared<RegisterRaceProtocol>(RaceVariant::kConciliator,
+                                                p.value_or(3));
+}
+Ptr make_bidirectional(Param p) {
+  return std::make_shared<RegisterRaceProtocol>(RaceVariant::kBidirectional,
+                                                p.value_or(3));
+}
+Ptr make_mixed(Param p) {
+  return std::make_shared<HistorylessRaceProtocol>(
+      HistorylessRaceProtocol::mixed(p.value_or(3)));
+}
+Ptr make_swaps(Param p) {
+  return std::make_shared<HistorylessRaceProtocol>(
+      HistorylessRaceProtocol::swaps(p.value_or(3)));
+}
+Ptr make_bidi_mixed(Param p) {
+  return std::make_shared<HistorylessRaceProtocol>(
+      HistorylessRaceProtocol::bidirectional(p.value_or(3)));
+}
+Ptr make_retry_race(Param) { return std::make_shared<RetryRaceProtocol>(); }
+
+}  // namespace
+
+const std::vector<ProtocolEntry>& protocol_registry() {
+  static const std::vector<ProtocolEntry> kRegistry = {
+      {"faa-consensus",
+       "randomized n-consensus from ONE fetch&add register (Thm 4.4)",
+       &make_faa, true, true},
+      {"one-counter-walk",
+       "randomized n-consensus from ONE bounded counter (Thm 4.2, "
+       "reconstruction of [8])",
+       &make_one_counter, true, true},
+      {"counter-walk",
+       "randomized n-consensus from three bounded counters (Thm 4.2 as "
+       "described)",
+       &make_counter_walk, true, true},
+      {"register-walk",
+       "randomized n-consensus from n read-write registers ([9])",
+       &make_register_walk, true, true},
+      {"rounds-consensus",
+       "conciliator + adopt-commit rounds over registers (param: round "
+       "budget)",
+       &make_rounds, true, true},
+      {"cas-consensus",
+       "deterministic n-consensus from one compare&swap register (Herlihy)",
+       &make_cas, false, true},
+      {"sticky-consensus",
+       "deterministic n-consensus from one sticky bit", &make_sticky, false,
+       true},
+      {"swap-pair", "deterministic 2-process consensus from one swap register",
+       &make_swap_pair, false, true},
+      {"ts-pair",
+       "deterministic 2-process consensus from test&set + proposal "
+       "registers",
+       &make_ts_pair, false, true},
+      {"faa-pair",
+       "deterministic 2-process consensus from one fetch&add register",
+       &make_faa_pair, false, true},
+      {"shared-coin",
+       "weak shared coin from n registers (param: vote threshold K)",
+       &make_shared_coin, true, false},
+      {"first-writer", "PREY: first writer wins on one register",
+       &make_first_writer, false, false},
+      {"round-voting", "PREY: adoption race over r registers (param: r)",
+       &make_round_voting, false, false},
+      {"conciliator", "PREY: coin-gated adoption race (param: r)",
+       &make_conciliator, true, false},
+      {"bidirectional-voting",
+       "PREY: input-directed register race (param: r)", &make_bidirectional,
+       false, false},
+      {"historyless-mixed",
+       "PREY: sweep over mixed rw/swap/test&set objects (param: r)",
+       &make_mixed, false, false},
+      {"historyless-swaps", "PREY: sweep over r swap registers (param: r)",
+       &make_swaps, false, false},
+      {"bidirectional-mixed",
+       "PREY: input-directed mixed historyless sweep (param: r)",
+       &make_bidi_mixed, false, false},
+      {"retry-race",
+       "safe-but-not-live deterministic 2-process protocol (E13)",
+       &make_retry_race, false, false},
+  };
+  return kRegistry;
+}
+
+const ProtocolEntry* find_protocol(const std::string& name) {
+  for (const ProtocolEntry& entry : protocol_registry()) {
+    if (entry.name == name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace randsync

@@ -1,0 +1,34 @@
+// Protocol registry: every consensus protocol in the repository,
+// constructible by name.  Backs the randsync CLI tool and name-driven
+// tests; the single authoritative list of what this library ships.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "protocols/protocol.h"
+
+namespace randsync {
+
+/// One registry entry.
+struct ProtocolEntry {
+  std::string name;         ///< CLI name, e.g. "faa-consensus"
+  std::string description;  ///< one-line summary
+  /// Construct an instance; `param` is the family parameter where one
+  /// exists (register count r, round budget K) and is ignored
+  /// otherwise.  A nullopt param selects the documented default.
+  std::shared_ptr<const ConsensusProtocol> (*make)(
+      std::optional<std::size_t> param);
+  bool randomized = true;   ///< uses coin flips
+  bool correct = true;      ///< a genuine consensus protocol (vs a prey)
+};
+
+/// All registered protocols, in presentation order.
+[[nodiscard]] const std::vector<ProtocolEntry>& protocol_registry();
+
+/// Look up by name; nullptr if unknown.
+[[nodiscard]] const ProtocolEntry* find_protocol(const std::string& name);
+
+}  // namespace randsync

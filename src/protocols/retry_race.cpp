@@ -1,0 +1,84 @@
+#include "protocols/retry_race.h"
+
+#include <stdexcept>
+
+#include "objects/register.h"
+
+namespace randsync {
+namespace {
+
+class RetryProcess final : public ConsensusProcess {
+ public:
+  RetryProcess(std::size_t pid, int input, std::unique_ptr<CoinSource> coin)
+      : ConsensusProcess(input, std::move(coin)), pid_(pid) {}
+
+  [[nodiscard]] Invocation poised() const override {
+    switch (phase_) {
+      case Phase::kWrite:
+        return {static_cast<ObjectId>(pid_), Op::write(input() + 1)};
+      case Phase::kReadOther:
+        return {static_cast<ObjectId>(1 - pid_), Op::read()};
+      case Phase::kErase:
+        return {static_cast<ObjectId>(pid_), Op::write(0)};
+    }
+    return {static_cast<ObjectId>(pid_), Op::read()};
+  }
+
+  void on_response(Value response) override {
+    switch (phase_) {
+      case Phase::kWrite:
+        phase_ = Phase::kReadOther;
+        return;
+      case Phase::kReadOther:
+        if (response == 0 || response == input() + 1) {
+          decide(input());
+          return;
+        }
+        phase_ = Phase::kErase;  // conflict: back off and retry
+        return;
+      case Phase::kErase:
+        phase_ = Phase::kWrite;
+        return;
+    }
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<RetryProcess>(*this);
+  }
+
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    std::uint64_t h = hash_combine(static_cast<std::uint64_t>(pid_),
+                                   static_cast<std::uint64_t>(phase_));
+    h = hash_combine(h, static_cast<std::uint64_t>(input()));
+    h = hash_combine(h, base_hash());
+    return h;
+  }
+
+ private:
+  enum class Phase { kWrite, kReadOther, kErase };
+  std::size_t pid_;
+  Phase phase_ = Phase::kWrite;
+};
+
+}  // namespace
+
+ObjectSpacePtr RetryRaceProtocol::make_space(std::size_t n) const {
+  if (n != 2) {
+    throw std::invalid_argument("retry-race is a 2-process protocol");
+  }
+  auto space = std::make_shared<ObjectSpace>();
+  space->add_many(rw_register_type(), 2);
+  return space;
+}
+
+std::unique_ptr<ConsensusProcess> RetryRaceProtocol::make_process(
+    std::size_t n, std::size_t pid_hint, int input,
+    std::uint64_t seed) const {
+  if (n != 2 || pid_hint >= 2) {
+    throw std::invalid_argument("retry-race is a 2-process protocol");
+  }
+  return std::make_unique<RetryProcess>(
+      pid_hint, input, std::make_unique<SplitMixCoin>(seed));
+}
+
+}  // namespace randsync

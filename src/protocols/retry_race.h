@@ -1,0 +1,46 @@
+// RetryRace: a SAFE deterministic 2-process register protocol that is
+// necessarily not live -- the concrete face of the impossibility results
+// the paper's introduction builds on ("it is impossible to solve
+// n-process consensus using read-write registers for n > 1"
+// [2, 15, 26]).
+//
+// Each process owns one register slot (0 = empty, v+1 = preference v):
+//
+//   loop: write own preference to own slot;
+//         read the other slot:
+//           empty or equal -> DECIDE own preference;
+//           conflict       -> erase own slot and retry.
+//
+// Consistency and validity hold in every execution (the explorer
+// verifies them exhaustively), but an adversary can interleave the two
+// processes so that both forever write, observe conflict, and erase --
+// a decision-free CYCLE through the configuration space, which
+// core/bivalence.h finds and certifies.  Determinism is exactly what
+// makes the cycle airtight; a coin flip anywhere would leak probability
+// out of it, which is why the paper studies randomized protocols.
+//
+// The protocol also violates nondeterministic solo termination: a
+// process that has observed a conflict retries forever even running
+// solo (the other's value sits in its slot).  It therefore lies outside
+// the lower bound's hypotheses -- broken in the liveness dimension the
+// theorems take for granted.
+#pragma once
+
+#include "protocols/protocol.h"
+
+namespace randsync {
+
+/// Safe-but-not-live deterministic 2-process register consensus
+/// attempt.
+class RetryRaceProtocol final : public ConsensusProtocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "retry-race"; }
+  [[nodiscard]] ObjectSpacePtr make_space(std::size_t n) const override;
+  [[nodiscard]] std::unique_ptr<ConsensusProcess> make_process(
+      std::size_t n, std::size_t pid_hint, int input,
+      std::uint64_t seed) const override;
+  [[nodiscard]] bool identical_processes() const override { return false; }
+  [[nodiscard]] bool fixed_space() const override { return false; }
+};
+
+}  // namespace randsync

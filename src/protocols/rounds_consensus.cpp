@@ -1,0 +1,145 @@
+#include "protocols/rounds_consensus.h"
+
+#include <stdexcept>
+
+#include "objects/register.h"
+
+namespace randsync {
+namespace {
+
+// Register layout per round: [C, A0, A1, B].
+constexpr std::size_t kRegsPerRound = 4;
+
+class RoundsProcess final : public ConsensusProcess {
+ public:
+  RoundsProcess(std::size_t max_rounds, ExhaustionPolicy policy, int input,
+                std::unique_ptr<CoinSource> coin)
+      : ConsensusProcess(input, std::move(coin)),
+        max_rounds_(max_rounds),
+        policy_(policy),
+        pref_(input) {
+    begin_round();
+  }
+
+  [[nodiscard]] Invocation poised() const override {
+    const ObjectId base = round_ * kRegsPerRound;
+    const ObjectId own_flag = base + 1 + static_cast<ObjectId>(pref_);
+    const ObjectId other_flag = base + 1 + static_cast<ObjectId>(1 - pref_);
+    switch (phase_) {
+      case Phase::kConcWrite:
+        return {base, Op::write(pref_ + 1)};
+      case Phase::kConcRead:
+        return {base, Op::read()};
+      case Phase::kAcSetFlag:
+        return {own_flag, Op::write(1)};
+      case Phase::kAcReadOther:
+      case Phase::kAcReRead:
+        return {other_flag, Op::read()};
+      case Phase::kAcWriteClean:
+        return {base + 3, Op::write(pref_ + 1)};
+      case Phase::kAcReadB:
+        return {base + 3, Op::read()};
+    }
+    return {base, Op::read()};
+  }
+
+  void on_response(Value response) override {
+    switch (phase_) {
+      case Phase::kConcWrite:
+        phase_ = Phase::kConcRead;
+        return;
+      case Phase::kConcRead:
+        if (response != 0) {
+          pref_ = static_cast<int>(response - 1);
+        }
+        phase_ = Phase::kAcSetFlag;
+        return;
+      case Phase::kAcSetFlag:
+        phase_ = Phase::kAcReadOther;
+        return;
+      case Phase::kAcReadOther:
+        phase_ = response == 0 ? Phase::kAcWriteClean : Phase::kAcReadB;
+        return;
+      case Phase::kAcWriteClean:
+        phase_ = Phase::kAcReRead;
+        return;
+      case Phase::kAcReRead:
+        if (response == 0) {
+          decide(pref_);  // COMMIT
+          return;
+        }
+        next_round(pref_);  // ADOPT own value
+        return;
+      case Phase::kAcReadB:
+        next_round(response != 0 ? static_cast<int>(response - 1) : pref_);
+        return;
+    }
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<RoundsProcess>(*this);
+  }
+
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    std::uint64_t h = hash_combine(static_cast<std::uint64_t>(round_),
+                                   static_cast<std::uint64_t>(phase_));
+    h = hash_combine(h, static_cast<std::uint64_t>(pref_));
+    h = hash_combine(h, base_hash());
+    return h;
+  }
+
+ private:
+  enum class Phase {
+    kConcWrite,
+    kConcRead,
+    kAcSetFlag,
+    kAcReadOther,
+    kAcWriteClean,
+    kAcReRead,
+    kAcReadB,
+  };
+
+  void begin_round() {
+    // Randomized conciliator entry: on heads, post our preference
+    // before reading; on tails, just read (and adopt if present).
+    phase_ = coin().flip() ? Phase::kConcWrite : Phase::kConcRead;
+  }
+
+  void next_round(int adopted) {
+    pref_ = adopted;
+    ++round_;
+    if (round_ >= max_rounds_) {
+      if (policy_ == ExhaustionPolicy::kDecideAnyway) {
+        decide(pref_);  // Monte Carlo: terminate, possibly inconsistently
+        return;
+      }
+      throw std::runtime_error(
+          "rounds-consensus: round budget exhausted (" +
+          std::to_string(max_rounds_) +
+          " rounds) -- raise max_rounds or fix the scheduler");
+    }
+    begin_round();
+  }
+
+  std::size_t max_rounds_;
+  ExhaustionPolicy policy_;
+  int pref_;
+  std::size_t round_ = 0;
+  Phase phase_ = Phase::kConcRead;
+};
+
+}  // namespace
+
+ObjectSpacePtr RoundsConsensusProtocol::make_space(std::size_t) const {
+  auto space = std::make_shared<ObjectSpace>();
+  space->add_many(rw_register_type(), max_rounds_ * kRegsPerRound);
+  return space;
+}
+
+std::unique_ptr<ConsensusProcess> RoundsConsensusProtocol::make_process(
+    std::size_t, std::size_t, int input, std::uint64_t seed) const {
+  return std::make_unique<RoundsProcess>(
+      max_rounds_, policy_, input, std::make_unique<SplitMixCoin>(seed));
+}
+
+}  // namespace randsync

@@ -1,0 +1,82 @@
+// Round-based randomized consensus from multi-writer registers: the
+// conciliator / adopt-commit architecture (the modern decomposition of
+// Aspnes-Herlihy-style protocols [9]).
+//
+// Round k uses four registers: a conciliator register C_k and one
+// adopt-commit instance (A0_k, A1_k, B_k; see protocols/adopt_commit.h).
+// Each process, carrying preference p:
+//
+//   1. conciliate: flip a coin; on heads write p into C_k; then read
+//      C_k and adopt its value if nonempty.  (Preserves unanimity; the
+//      randomized write breaks symmetric ties with positive
+//      probability.)
+//   2. adopt-commit: run AdoptCommit_k(p).  On COMMIT, decide the
+//      value; on ADOPT, carry the value to round k+1.
+//
+// SAFETY rests only on the gadget's exhaustively verified properties:
+// if anyone commits v at round k, coherence makes every AC_k output v,
+// so every process enters round k+1 unanimous on v, the conciliator
+// preserves unanimity, and convergence commits v at k+1 -- no other
+// value is ever decidable.  Validity: preferences only flow from
+// inputs.  TERMINATION is probabilistic (each round ends agreement
+// with positive probability under the tested schedulers); rounds are
+// pre-allocated and exhausting them is a loud error, never a silent
+// wrong answer.
+//
+// This is the repository's second register-based consensus (besides
+// protocols/register_walk.h): space O(max_rounds) multi-writer
+// registers, independent of n.  NOTE this does NOT contradict Theorem
+// 3.7: the protocol is randomized wait-free only in expectation OVER
+// ROUNDS, and with the fixed round budget it is not a correct
+// fixed-space consensus object -- runs that exhaust the budget abort.
+// (Theorem 3.7 in fact predicts exactly that no fixed budget can work
+// for unboundedly many processes.)
+#pragma once
+
+#include "protocols/protocol.h"
+
+namespace randsync {
+
+/// What a process does when the round budget runs out.
+enum class ExhaustionPolicy {
+  /// Abort loudly (a liveness failure, never a wrong answer).  This is
+  /// the Las Vegas discipline the paper's model requires: "no
+  /// executions of an implementation may give an incorrect answer ...
+  /// we do not consider Monte Carlo implementations" (Section 2).
+  kAbort,
+  /// Decide the current preference anyway -- a MONTE CARLO consensus
+  /// that always terminates but can violate consistency.  Provided
+  /// exactly to demonstrate what the paper's model exclusion rules
+  /// out: bench_monte_carlo measures its error rate.
+  kDecideAnyway,
+};
+
+/// Conciliator + adopt-commit rounds over multi-writer registers.
+class RoundsConsensusProtocol final : public ConsensusProtocol {
+ public:
+  explicit RoundsConsensusProtocol(
+      std::size_t max_rounds = 64,
+      ExhaustionPolicy policy = ExhaustionPolicy::kAbort)
+      : max_rounds_(max_rounds), policy_(policy) {}
+
+  [[nodiscard]] std::string name() const override {
+    return std::string(policy_ == ExhaustionPolicy::kAbort
+                           ? "rounds-consensus(K="
+                           : "monte-carlo-rounds(K=") +
+           std::to_string(max_rounds_) + ")";
+  }
+  [[nodiscard]] ObjectSpacePtr make_space(std::size_t n) const override;
+  [[nodiscard]] std::unique_ptr<ConsensusProcess> make_process(
+      std::size_t n, std::size_t pid_hint, int input,
+      std::uint64_t seed) const override;
+  [[nodiscard]] bool identical_processes() const override { return true; }
+  [[nodiscard]] bool fixed_space() const override { return true; }
+
+  [[nodiscard]] std::size_t max_rounds() const { return max_rounds_; }
+
+ private:
+  std::size_t max_rounds_;
+  ExhaustionPolicy policy_;
+};
+
+}  // namespace randsync

@@ -1,0 +1,104 @@
+#include "protocols/shared_coin.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "objects/register.h"
+
+namespace randsync {
+namespace {
+
+constexpr Value kVoteBias = Value{1} << 40;
+
+class CoinProcess final : public ConsensusProcess {
+ public:
+  CoinProcess(std::size_t n, std::size_t pid, std::size_t threshold,
+              int input, std::unique_ptr<CoinSource> coin)
+      : ConsensusProcess(input, std::move(coin)),
+        n_(n),
+        pid_(pid),
+        threshold_(static_cast<Value>(threshold * n)) {}
+
+  [[nodiscard]] Invocation poised() const override {
+    if (phase_ == Phase::kPublish) {
+      return {static_cast<ObjectId>(pid_), Op::write(votes_ + kVoteBias)};
+    }
+    return {static_cast<ObjectId>(cursor_), Op::read()};
+  }
+
+  void on_response(Value response) override {
+    if (phase_ == Phase::kPublish) {
+      phase_ = Phase::kCollect;
+      cursor_ = 0;
+      sum_ = 0;
+      return;
+    }
+    if (response != 0) {
+      sum_ += response - kVoteBias;
+    }
+    ++cursor_;
+    if (cursor_ < n_) {
+      return;
+    }
+    if (sum_ >= threshold_) {
+      decide(1);
+      return;
+    }
+    if (sum_ <= -threshold_) {
+      decide(0);
+      return;
+    }
+    votes_ += coin().flip() ? 1 : -1;
+    phase_ = Phase::kPublish;
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<CoinProcess>(*this);
+  }
+
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    std::uint64_t h = hash_combine(static_cast<std::uint64_t>(phase_),
+                                   static_cast<std::uint64_t>(cursor_));
+    h = hash_combine(h, static_cast<std::uint64_t>(votes_));
+    h = hash_combine(h, base_hash());
+    return h;
+  }
+
+ private:
+  enum class Phase { kPublish, kCollect };
+
+  std::size_t n_;
+  std::size_t pid_;
+  Value threshold_;
+  Phase phase_ = Phase::kPublish;
+  std::size_t cursor_ = 0;
+  Value votes_ = 0;
+  Value sum_ = 0;
+};
+
+}  // namespace
+
+std::string SharedCoinProtocol::name() const {
+  return "shared-coin(K=" + std::to_string(threshold_) + ")";
+}
+
+ObjectSpacePtr SharedCoinProtocol::make_space(std::size_t n) const {
+  if (n == 0) {
+    throw std::invalid_argument("shared-coin needs n >= 1");
+  }
+  auto space = std::make_shared<ObjectSpace>();
+  space->add_many(rw_register_type(), n);
+  return space;
+}
+
+std::unique_ptr<ConsensusProcess> SharedCoinProtocol::make_process(
+    std::size_t n, std::size_t pid_hint, int input,
+    std::uint64_t seed) const {
+  if (pid_hint >= n) {
+    throw std::invalid_argument("shared-coin pid out of range");
+  }
+  return std::make_unique<CoinProcess>(n, pid_hint, threshold_, input,
+                                       std::make_unique<SplitMixCoin>(seed));
+}
+
+}  // namespace randsync

@@ -1,0 +1,42 @@
+// Weak shared coin by local-vote pooling (the building block of
+// register-based randomized consensus, cf. Aspnes-Herlihy [9]).
+//
+// Each process owns one register holding its cumulative vote (sum of its
+// local fair +-1 flips).  A process repeatedly flips, publishes its new
+// cumulative vote with a single atomic write, collects all registers,
+// and outputs the sign of the total once |total| >= threshold * n.
+//
+// This is a *weak* coin: all processes agree on the output with
+// probability bounded away from 1/2-noise (higher thresholds raise the
+// agreement probability at quadratically higher cost), and each output
+// value occurs with probability >= some constant.  The coin is NOT a
+// consensus object -- there is no validity -- but it plugs into the
+// ConsensusProtocol interface (inputs are ignored) so the same harness,
+// schedulers and benches can drive it.  bench_shared_coin measures the
+// agreement and bias statistics.
+#pragma once
+
+#include "protocols/protocol.h"
+
+namespace randsync {
+
+/// Weak shared coin from n single-writer registers.
+class SharedCoinProtocol final : public ConsensusProtocol {
+ public:
+  /// The coin terminates when |sum of votes| >= threshold_numerator * n.
+  explicit SharedCoinProtocol(std::size_t threshold_numerator = 2)
+      : threshold_(threshold_numerator) {}
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] ObjectSpacePtr make_space(std::size_t n) const override;
+  [[nodiscard]] std::unique_ptr<ConsensusProcess> make_process(
+      std::size_t n, std::size_t pid_hint, int input,
+      std::uint64_t seed) const override;
+  [[nodiscard]] bool identical_processes() const override { return false; }
+  [[nodiscard]] bool fixed_space() const override { return false; }
+
+ private:
+  std::size_t threshold_;
+};
+
+}  // namespace randsync

@@ -1,0 +1,269 @@
+#include "protocols/single_object.h"
+
+#include <stdexcept>
+
+#include "objects/compare_and_swap.h"
+#include "objects/fetch_add.h"
+#include "objects/sticky_bit.h"
+#include "objects/register.h"
+#include "objects/swap_register.h"
+#include "objects/test_and_set.h"
+
+namespace randsync {
+namespace {
+
+constexpr Value kEmpty = 0;  // shared "undecided" encoding; v+1 = value v
+
+// --- CAS consensus -----------------------------------------------------
+// CAS(empty, input+1); on success decide input, otherwise READ the
+// winner's value and decide it.
+class CasProcess final : public ConsensusProcess {
+ public:
+  CasProcess(int input, std::unique_ptr<CoinSource> coin)
+      : ConsensusProcess(input, std::move(coin)) {}
+
+  [[nodiscard]] Invocation poised() const override {
+    if (phase_ == Phase::kCas) {
+      return {0, Op::compare_and_swap(kEmpty, input() + 1)};
+    }
+    return {0, Op::read()};
+  }
+
+  void on_response(Value response) override {
+    if (phase_ == Phase::kCas) {
+      if (response == 1) {
+        decide(input());
+        return;
+      }
+      phase_ = Phase::kRead;
+      return;
+    }
+    decide(response - 1);
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<CasProcess>(*this);
+  }
+
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return hash_combine(static_cast<std::uint64_t>(phase_ == Phase::kRead),
+                        base_hash());
+  }
+
+ private:
+  enum class Phase { kCas, kRead };
+  Phase phase_ = Phase::kCas;
+};
+
+// --- swap-pair consensus ------------------------------------------------
+// SWAP(input+1); response empty means "I was first": decide own input,
+// otherwise decide the response's value.
+class SwapPairProcess final : public ConsensusProcess {
+ public:
+  SwapPairProcess(int input, std::unique_ptr<CoinSource> coin)
+      : ConsensusProcess(input, std::move(coin)) {}
+
+  [[nodiscard]] Invocation poised() const override {
+    return {0, Op::swap(input() + 1)};
+  }
+
+  void on_response(Value response) override {
+    decide(response == kEmpty ? input() : response - 1);
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<SwapPairProcess>(*this);
+  }
+
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return base_hash();
+  }
+};
+
+// --- sticky-bit consensus --------------------------------------------------
+// One STICK: the response is the stuck value, i.e. the winner's input.
+class StickyProcess final : public ConsensusProcess {
+ public:
+  StickyProcess(int input, std::unique_ptr<CoinSource> coin)
+      : ConsensusProcess(input, std::move(coin)) {}
+
+  [[nodiscard]] Invocation poised() const override {
+    return {0, Op::write(input() + 1)};
+  }
+
+  void on_response(Value response) override { decide(response - 1); }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<StickyProcess>(*this);
+  }
+
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return base_hash();
+  }
+};
+
+// --- fetch&add pair consensus ----------------------------------------------
+// Add 1 + 2*input; response 0 means "first".  The second accessor's
+// response encodes the first's input exactly; a third accessor sees a
+// sum that does not (consensus number 2).
+class FaaPairProcess final : public ConsensusProcess {
+ public:
+  FaaPairProcess(int input, std::unique_ptr<CoinSource> coin)
+      : ConsensusProcess(input, std::move(coin)) {}
+
+  [[nodiscard]] Invocation poised() const override {
+    return {0, Op::fetch_add(1 + 2 * input())};
+  }
+
+  void on_response(Value response) override {
+    if (response == 0) {
+      decide(input());
+      return;
+    }
+    // With two processes, response = 1 + 2*first_input.  With more, the
+    // decode below is ill-founded -- which is the point: the explorer
+    // exhibits the resulting violation for n = 3.
+    decide(static_cast<Value>(((response - 1) / 2) % 2));
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<FaaPairProcess>(*this);
+  }
+
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return base_hash();
+  }
+};
+
+// --- test&set pair consensus ---------------------------------------------
+// Objects: R0 = test&set, R1/R2 = proposal registers of P0/P1.
+// P_i: WRITE input to R(1+i); TEST&SET; winner decides own input, loser
+// reads the other's proposal.
+class TsPairProcess final : public ConsensusProcess {
+ public:
+  TsPairProcess(std::size_t pid, int input, std::unique_ptr<CoinSource> coin)
+      : ConsensusProcess(input, std::move(coin)), pid_(pid) {}
+
+  [[nodiscard]] Invocation poised() const override {
+    switch (phase_) {
+      case Phase::kPublish:
+        return {1 + pid_, Op::write(input() + 1)};
+      case Phase::kCompete:
+        return {0, Op::test_and_set()};
+      case Phase::kReadOther:
+        return {1 + (1 - pid_), Op::read()};
+    }
+    return {0, Op::read()};
+  }
+
+  void on_response(Value response) override {
+    switch (phase_) {
+      case Phase::kPublish:
+        phase_ = Phase::kCompete;
+        return;
+      case Phase::kCompete:
+        if (response == 0) {
+          decide(input());  // won the test&set
+          return;
+        }
+        phase_ = Phase::kReadOther;
+        return;
+      case Phase::kReadOther:
+        if (response == kEmpty) {
+          // The winner must have published before competing; an empty
+          // proposal register would indicate a harness misuse.
+          throw std::logic_error("ts-pair: winner's proposal missing");
+        }
+        decide(response - 1);
+        return;
+    }
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<TsPairProcess>(*this);
+  }
+
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return hash_combine(
+        hash_combine(static_cast<std::uint64_t>(pid_),
+                     static_cast<std::uint64_t>(phase_)),
+        base_hash());
+  }
+
+ private:
+  enum class Phase { kPublish, kCompete, kReadOther };
+  std::size_t pid_;
+  Phase phase_ = Phase::kPublish;
+};
+
+}  // namespace
+
+ObjectSpacePtr CasConsensusProtocol::make_space(std::size_t) const {
+  auto space = std::make_shared<ObjectSpace>();
+  space->add(compare_and_swap_type());
+  return space;
+}
+
+std::unique_ptr<ConsensusProcess> CasConsensusProtocol::make_process(
+    std::size_t, std::size_t, int input, std::uint64_t seed) const {
+  return std::make_unique<CasProcess>(input,
+                                      std::make_unique<SplitMixCoin>(seed));
+}
+
+ObjectSpacePtr SwapPairProtocol::make_space(std::size_t) const {
+  auto space = std::make_shared<ObjectSpace>();
+  space->add(swap_register_type());
+  return space;
+}
+
+std::unique_ptr<ConsensusProcess> SwapPairProtocol::make_process(
+    std::size_t, std::size_t, int input, std::uint64_t seed) const {
+  return std::make_unique<SwapPairProcess>(
+      input, std::make_unique<SplitMixCoin>(seed));
+}
+
+ObjectSpacePtr StickyConsensusProtocol::make_space(std::size_t) const {
+  auto space = std::make_shared<ObjectSpace>();
+  space->add(sticky_bit_type());
+  return space;
+}
+
+std::unique_ptr<ConsensusProcess> StickyConsensusProtocol::make_process(
+    std::size_t, std::size_t, int input, std::uint64_t seed) const {
+  return std::make_unique<StickyProcess>(
+      input, std::make_unique<SplitMixCoin>(seed));
+}
+
+ObjectSpacePtr FaaPairProtocol::make_space(std::size_t) const {
+  auto space = std::make_shared<ObjectSpace>();
+  space->add(fetch_add_type());
+  return space;
+}
+
+std::unique_ptr<ConsensusProcess> FaaPairProtocol::make_process(
+    std::size_t, std::size_t, int input, std::uint64_t seed) const {
+  return std::make_unique<FaaPairProcess>(
+      input, std::make_unique<SplitMixCoin>(seed));
+}
+
+ObjectSpacePtr TestAndSetPairProtocol::make_space(std::size_t n) const {
+  if (n != 2) {
+    throw std::invalid_argument("ts-pair is a 2-process protocol");
+  }
+  auto space = std::make_shared<ObjectSpace>();
+  space->add(test_and_set_type());
+  space->add_many(rw_register_type(), 2);
+  return space;
+}
+
+std::unique_ptr<ConsensusProcess> TestAndSetPairProtocol::make_process(
+    std::size_t n, std::size_t pid_hint, int input,
+    std::uint64_t seed) const {
+  if (n != 2 || pid_hint >= 2) {
+    throw std::invalid_argument("ts-pair is a 2-process protocol");
+  }
+  return std::make_unique<TsPairProcess>(
+      pid_hint, input, std::make_unique<SplitMixCoin>(seed));
+}
+
+}  // namespace randsync

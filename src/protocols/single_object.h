@@ -1,0 +1,93 @@
+// Single-object deterministic consensus protocols (Section 4 context).
+//
+//   * CasConsensusProtocol -- n-process consensus from ONE bounded
+//     compare&swap register (Herlihy [20, Theorem 5]); deterministic and
+//     wait-free in exactly 2 steps per process.  With Theorem 3.7 this
+//     yields Corollary 4.1.
+//   * SwapPairProtocol -- 2-process consensus from ONE swap register:
+//     successive SWAP(x)s return different responses, so the first
+//     accessor is identified and its value adopted.  Deterministically
+//     correct for n = 2 only; the repository's explorer exhibits the
+//     inconsistency for n = 3 (swap has consensus number 2).
+//   * TestAndSetPairProtocol -- 2-process consensus from one test&set
+//     register plus two read-write registers (the classic construction).
+#pragma once
+
+#include "protocols/protocol.h"
+
+namespace randsync {
+
+/// Herlihy's one-CAS-register n-process consensus.
+class CasConsensusProtocol final : public ConsensusProtocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "cas-consensus"; }
+  [[nodiscard]] ObjectSpacePtr make_space(std::size_t n) const override;
+  [[nodiscard]] std::unique_ptr<ConsensusProcess> make_process(
+      std::size_t n, std::size_t pid_hint, int input,
+      std::uint64_t seed) const override;
+  [[nodiscard]] bool identical_processes() const override { return true; }
+  [[nodiscard]] bool fixed_space() const override { return true; }
+};
+
+/// One-swap-register consensus; correct for exactly 2 processes.
+class SwapPairProtocol final : public ConsensusProtocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "swap-pair"; }
+  [[nodiscard]] ObjectSpacePtr make_space(std::size_t n) const override;
+  [[nodiscard]] std::unique_ptr<ConsensusProcess> make_process(
+      std::size_t n, std::size_t pid_hint, int input,
+      std::uint64_t seed) const override;
+  [[nodiscard]] bool identical_processes() const override { return true; }
+  [[nodiscard]] bool fixed_space() const override { return true; }
+};
+
+/// One-sticky-bit n-process deterministic consensus: STICK(input), then
+/// decide whatever stuck.  One step per process, wait-free for every n.
+/// The sticky bit is the mirror image of a historyless object -- it
+/// remembers the FIRST nontrivial operation -- which is exactly why the
+/// Omega(sqrt n) lower bound does not touch it.
+class StickyConsensusProtocol final : public ConsensusProtocol {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "sticky-consensus";
+  }
+  [[nodiscard]] ObjectSpacePtr make_space(std::size_t n) const override;
+  [[nodiscard]] std::unique_ptr<ConsensusProcess> make_process(
+      std::size_t n, std::size_t pid_hint, int input,
+      std::uint64_t seed) const override;
+  [[nodiscard]] bool identical_processes() const override { return true; }
+  [[nodiscard]] bool fixed_space() const override { return true; }
+};
+
+/// One-fetch&add-register DETERMINISTIC 2-process consensus: each
+/// process adds 1 + 2*input; the first accessor (response 0) decides
+/// its own input, the second decodes the first's input from the
+/// response.  For three processes the third accessor sees only the SUM
+/// of the first two contributions, which does not reveal who was first
+/// -- the explorer exhibits the violation (fetch&add has deterministic
+/// consensus number 2, Section 4).
+class FaaPairProtocol final : public ConsensusProtocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "faa-pair"; }
+  [[nodiscard]] ObjectSpacePtr make_space(std::size_t n) const override;
+  [[nodiscard]] std::unique_ptr<ConsensusProcess> make_process(
+      std::size_t n, std::size_t pid_hint, int input,
+      std::uint64_t seed) const override;
+  [[nodiscard]] bool identical_processes() const override { return true; }
+  [[nodiscard]] bool fixed_space() const override { return true; }
+};
+
+/// Test&set + two registers consensus; correct for exactly 2 processes.
+/// Processes are NOT identical (each owns a register slot).
+class TestAndSetPairProtocol final : public ConsensusProtocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "ts-pair"; }
+  [[nodiscard]] ObjectSpacePtr make_space(std::size_t n) const override;
+  [[nodiscard]] std::unique_ptr<ConsensusProcess> make_process(
+      std::size_t n, std::size_t pid_hint, int input,
+      std::uint64_t seed) const override;
+  [[nodiscard]] bool identical_processes() const override { return false; }
+  [[nodiscard]] bool fixed_space() const override { return false; }
+};
+
+}  // namespace randsync

@@ -1,0 +1,47 @@
+#include "runtime/coin.h"
+
+namespace randsync {
+
+std::uint64_t CoinSource::below(std::uint64_t bound) {
+  // Rejection sampling over the top of the range to avoid modulo bias.
+  const std::uint64_t limit = ~0ULL - (~0ULL % bound);
+  std::uint64_t word = next();
+  while (word >= limit) {
+    word = next();
+  }
+  return word % bound;
+}
+
+std::uint64_t SplitMixCoin::next() {
+  ++flips_;
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+FixedCoin::FixedCoin(std::vector<std::uint64_t> words,
+                     std::uint64_t fallback_seed)
+    : words_(std::move(words)), fallback_(fallback_seed) {}
+
+std::uint64_t FixedCoin::next() {
+  ++flips_;
+  if (pos_ < words_.size()) {
+    return words_[pos_++];
+  }
+  return fallback_.next();
+}
+
+void FixedCoin::reseed(std::uint64_t seed) {
+  words_.clear();
+  pos_ = 0;
+  fallback_.reseed(seed);
+  flips_ = 0;
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t salt) {
+  SplitMixCoin mix(base ^ (salt * 0xD1B54A32D192ED03ULL + 0x2545F4914F6CDD1DULL));
+  return mix.next();
+}
+
+}  // namespace randsync

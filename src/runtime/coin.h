@@ -1,0 +1,94 @@
+// Coin sources: the only source of randomness in the simulator.
+//
+// Processes own a CoinSource as part of their clonable state, so a clone
+// (Section 3.1's proof device) replays exactly the same flips as the
+// original until their executions diverge.  The nondeterministic solo
+// termination oracle searches over reseedings, realizing the paper's
+// "there exists a finite solo execution" as a bounded search.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace randsync {
+
+/// Abstract stream of random words.  Deterministic given its state; deep
+/// copies replay the same stream.
+class CoinSource {
+ public:
+  virtual ~CoinSource() = default;
+
+  /// Next uniform 64-bit word.
+  virtual std::uint64_t next() = 0;
+
+  /// Deep copy: the clone produces the same future stream.
+  [[nodiscard]] virtual std::unique_ptr<CoinSource> clone() const = 0;
+
+  /// Reseed the stream (used by the solo-termination oracle to explore
+  /// alternative coin-flip outcomes, i.e. the nondeterminism of
+  /// "nondeterministic solo termination").
+  virtual void reseed(std::uint64_t seed) = 0;
+
+  /// Number of words drawn so far (for work accounting).
+  [[nodiscard]] virtual std::uint64_t flips() const = 0;
+
+  /// Fair coin flip derived from next().
+  [[nodiscard]] bool flip() { return (next() & 1U) != 0U; }
+
+  /// Uniform value in [0, bound) (bound > 0).  Uses rejection sampling,
+  /// so the result is exactly uniform.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound);
+};
+
+/// SplitMix64: tiny, high-quality, trivially clonable PRNG.
+class SplitMixCoin final : public CoinSource {
+ public:
+  explicit SplitMixCoin(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() override;
+  [[nodiscard]] std::unique_ptr<CoinSource> clone() const override {
+    return std::make_unique<SplitMixCoin>(*this);
+  }
+  void reseed(std::uint64_t seed) override {
+    state_ = seed;
+    flips_ = 0;
+  }
+  [[nodiscard]] std::uint64_t flips() const override { return flips_; }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t flips_ = 0;
+};
+
+/// A prescribed finite stream of words; after exhaustion, falls back to
+/// a SplitMix64 stream seeded from the prescription.  Used by the
+/// exhaustive explorer to enumerate coin outcomes.
+class FixedCoin final : public CoinSource {
+ public:
+  explicit FixedCoin(std::vector<std::uint64_t> words,
+                     std::uint64_t fallback_seed = 0x9E3779B97F4A7C15ULL);
+
+  std::uint64_t next() override;
+  [[nodiscard]] std::unique_ptr<CoinSource> clone() const override {
+    return std::make_unique<FixedCoin>(*this);
+  }
+  void reseed(std::uint64_t seed) override;
+  [[nodiscard]] std::uint64_t flips() const override { return flips_; }
+
+  /// True if all prescribed words have been consumed.
+  [[nodiscard]] bool exhausted() const { return pos_ >= words_.size(); }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t pos_ = 0;
+  SplitMixCoin fallback_;
+  std::uint64_t flips_ = 0;
+};
+
+/// Splitmix-based hash for deriving independent seeds (e.g. per-process
+/// seeds from a run seed).
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base,
+                                        std::uint64_t salt);
+
+}  // namespace randsync

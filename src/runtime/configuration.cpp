@@ -1,0 +1,114 @@
+#include "runtime/configuration.h"
+
+#include <stdexcept>
+
+namespace randsync {
+
+Configuration::Configuration(ObjectSpacePtr space)
+    : space_(std::move(space)) {
+  if (!space_) {
+    throw std::invalid_argument("configuration needs an object space");
+  }
+  values_ = space_->initial_values();
+}
+
+Configuration Configuration::clone() const {
+  Configuration copy(space_);
+  copy.values_ = values_;
+  copy.procs_.reserve(procs_.size());
+  for (const auto& proc : procs_) {
+    copy.procs_.push_back(proc->clone());
+  }
+  return copy;
+}
+
+ProcessId Configuration::add_process(ProcessPtr process) {
+  if (!process) {
+    throw std::invalid_argument("null process");
+  }
+  procs_.push_back(std::move(process));
+  return procs_.size() - 1;
+}
+
+Step Configuration::step(ProcessId pid) {
+  Process& proc = *procs_.at(pid);
+  if (proc.decided()) {
+    throw std::logic_error("step() on a decided process");
+  }
+  const Invocation inv = proc.poised();
+  Value response = 0;
+  if (inv.object != kNoObject) {
+    const ObjectType& type = space_->type(inv.object);
+    if (!type.supports(inv.op.kind)) {
+      throw std::logic_error("object " + std::to_string(inv.object) + " (" +
+                             type.name() + ") does not support " +
+                             to_string(inv.op.kind));
+    }
+    response = type.apply(inv.op, values_.at(inv.object));
+  }
+  proc.on_response(response);
+  Step record{pid, inv, response, std::nullopt};
+  if (proc.decided()) {
+    record.decided = proc.decision();
+  }
+  return record;
+}
+
+std::optional<ObjectId> Configuration::poised_at(ProcessId pid) const {
+  const Process& proc = *procs_.at(pid);
+  if (proc.decided()) {
+    return std::nullopt;
+  }
+  const Invocation inv = proc.poised();
+  if (inv.object == kNoObject) {
+    return std::nullopt;
+  }
+  if (space_->type(inv.object).is_trivial(inv.op)) {
+    return std::nullopt;
+  }
+  return inv.object;
+}
+
+std::vector<ProcessId> Configuration::processes_poised_at(ObjectId obj) const {
+  std::vector<ProcessId> out;
+  for (ProcessId pid = 0; pid < procs_.size(); ++pid) {
+    if (poised_at(pid) == obj) {
+      out.push_back(pid);
+    }
+  }
+  return out;
+}
+
+bool Configuration::all_decided() const {
+  for (const auto& proc : procs_) {
+    if (!proc->decided()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t Configuration::state_hash() const {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (Value v : values_) {
+    h = hash_combine(h, static_cast<std::uint64_t>(v));
+  }
+  for (const auto& proc : procs_) {
+    h = hash_combine(h, proc->state_hash());
+  }
+  return h;
+}
+
+std::string Configuration::describe_values() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += std::to_string(values_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace randsync

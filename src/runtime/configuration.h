@@ -1,0 +1,98 @@
+// Configurations: the global state of the simulated system.
+//
+// "The configuration at any point in an execution is given by the state
+// of all processes and the value of all objects" (Section 2).  A
+// Configuration owns the object values and the process objects; it can be
+// deep-cloned, which is what lets the lower-bound adversaries rewind,
+// branch and splice executions exactly as the proofs do.
+//
+// Objects are linearizable by construction: step() applies the poised
+// operation atomically and delivers its response in the same step.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "runtime/object_space.h"
+#include "runtime/process.h"
+#include "runtime/trace.h"
+
+namespace randsync {
+
+/// Global state: object values plus all process states.
+class Configuration {
+ public:
+  /// An empty configuration over `space` with all objects at their
+  /// initial values and no processes.
+  explicit Configuration(ObjectSpacePtr space);
+
+  Configuration(Configuration&&) noexcept = default;
+  Configuration& operator=(Configuration&&) noexcept = default;
+  Configuration(const Configuration&) = delete;
+  Configuration& operator=(const Configuration&) = delete;
+
+  /// Deep copy (clones every process and copies all object values).
+  [[nodiscard]] Configuration clone() const;
+
+  /// Add a process; returns its ProcessId.  The adversaries use this to
+  /// introduce clones mid-execution.
+  ProcessId add_process(ProcessPtr process);
+
+  /// Number of processes (including decided ones and clones).
+  [[nodiscard]] std::size_t num_processes() const { return procs_.size(); }
+
+  /// Number of shared objects (the space-complexity measure r).
+  [[nodiscard]] std::size_t num_objects() const { return space_->size(); }
+
+  [[nodiscard]] const ObjectSpace& space() const { return *space_; }
+  [[nodiscard]] ObjectSpacePtr space_ptr() const { return space_; }
+
+  /// Current value of object `id`.
+  [[nodiscard]] Value value(ObjectId id) const { return values_.at(id); }
+
+  /// The process with id `pid` (const access for poised/decided queries).
+  [[nodiscard]] const Process& process(ProcessId pid) const {
+    return *procs_.at(pid);
+  }
+
+  /// Mutable process access (reseeding by the solo oracle).
+  [[nodiscard]] Process& process_mut(ProcessId pid) { return *procs_.at(pid); }
+
+  /// Perform one step of process `pid`: apply its poised operation to
+  /// the target object, deliver the response, and return the Step
+  /// record.  Precondition: !process(pid).decided().
+  Step step(ProcessId pid);
+
+  /// The object at which `pid` is poised with a NONTRIVIAL operation, or
+  /// nullopt if the process is decided, poised at a trivial operation,
+  /// or performing an internal step.  This is the paper's "P is poised
+  /// at R" predicate.
+  [[nodiscard]] std::optional<ObjectId> poised_at(ProcessId pid) const;
+
+  /// All processes (among `candidates`, or all if empty) poised
+  /// nontrivially at object `obj`.
+  [[nodiscard]] std::vector<ProcessId> processes_poised_at(ObjectId obj) const;
+
+  /// True if process `pid` has decided.
+  [[nodiscard]] bool decided(ProcessId pid) const {
+    return procs_.at(pid)->decided();
+  }
+
+  /// True if every process has decided.
+  [[nodiscard]] bool all_decided() const;
+
+  /// Hash of object values and protocol-visible process states; used by
+  /// the exhaustive explorer for revisit detection.
+  [[nodiscard]] std::uint64_t state_hash() const;
+
+  /// One-line rendering of object values, e.g. "[0, 3, 1]".
+  [[nodiscard]] std::string describe_values() const;
+
+ private:
+  ObjectSpacePtr space_;
+  std::vector<Value> values_;
+  std::vector<ProcessPtr> procs_;
+};
+
+}  // namespace randsync

@@ -1,0 +1,108 @@
+#include "runtime/executor.h"
+
+#include <stdexcept>
+
+namespace randsync {
+
+RunResult run_until_all_decided(Configuration& config, Scheduler& scheduler,
+                                std::size_t max_steps) {
+  RunResult result;
+  while (result.steps < max_steps) {
+    if (config.all_decided()) {
+      result.all_decided = true;
+      return result;
+    }
+    const auto pid = scheduler.next(config);
+    if (!pid) {
+      break;
+    }
+    result.trace.append(config.step(*pid));
+    ++result.steps;
+  }
+  result.all_decided = config.all_decided();
+  return result;
+}
+
+SoloResult run_solo(Configuration& config, ProcessId pid,
+                    std::size_t max_steps) {
+  SoloResult result;
+  for (std::size_t i = 0; i < max_steps; ++i) {
+    if (config.decided(pid)) {
+      break;
+    }
+    result.trace.append(config.step(pid));
+  }
+  if (config.decided(pid)) {
+    result.terminated = true;
+    result.decision = config.process(pid).decision();
+  }
+  return result;
+}
+
+SoloResult solo_terminate(Configuration& config, ProcessId pid,
+                          std::size_t max_steps, std::size_t retries,
+                          std::uint64_t reseed_base) {
+  if (config.decided(pid)) {
+    SoloResult done;
+    done.terminated = true;
+    done.decision = config.process(pid).decision();
+    return done;
+  }
+  const Configuration checkpoint = config.clone();
+  for (std::size_t attempt = 0; attempt <= retries; ++attempt) {
+    if (attempt > 0) {
+      config = checkpoint.clone();
+      config.process_mut(pid).reseed(derive_seed(reseed_base, attempt));
+    }
+    SoloResult result = run_solo(config, pid, max_steps);
+    if (result.terminated) {
+      return result;
+    }
+  }
+  throw std::runtime_error(
+      "solo_terminate: no terminating solo execution found for P" +
+      std::to_string(pid) + " within " + std::to_string(retries) +
+      " reseedings x " + std::to_string(max_steps) +
+      " steps; the protocol under test appears to violate nondeterministic "
+      "solo termination");
+}
+
+Trace block_write(Configuration& config,
+                  const std::vector<std::pair<ObjectId, ProcessId>>& writers) {
+  Trace trace;
+  for (const auto& [obj, pid] : writers) {
+    const auto poised = config.poised_at(pid);
+    if (poised != obj) {
+      throw std::logic_error(
+          "block_write: P" + std::to_string(pid) +
+          " is not poised (nontrivially) at R" + std::to_string(obj));
+    }
+    trace.append(config.step(pid));
+  }
+  return trace;
+}
+
+PoiseOutcome run_until_poised_outside(Configuration& config, ProcessId pid,
+                                      const std::set<ObjectId>& inside,
+                                      std::size_t max_steps, Trace& trace) {
+  for (std::size_t i = 0; i < max_steps; ++i) {
+    if (config.decided(pid)) {
+      return PoiseOutcome::kDecided;
+    }
+    const auto poised = config.poised_at(pid);
+    if (poised && !inside.contains(*poised)) {
+      return PoiseOutcome::kPoisedOutside;
+    }
+    trace.append(config.step(pid));
+  }
+  if (config.decided(pid)) {
+    return PoiseOutcome::kDecided;
+  }
+  const auto poised = config.poised_at(pid);
+  if (poised && !inside.contains(*poised)) {
+    return PoiseOutcome::kPoisedOutside;
+  }
+  return PoiseOutcome::kBudget;
+}
+
+}  // namespace randsync

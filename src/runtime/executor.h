@@ -1,0 +1,92 @@
+// Execution drivers: run loops, solo executions, block writes.
+//
+// These helpers realize the execution fragments the paper's proofs are
+// built from:
+//
+//   * run_until_all_decided -- drive a configuration under a scheduler;
+//   * run_solo / SoloOracle -- the paper's *solo executions* and the
+//     nondeterministic solo termination property (Section 2), realized
+//     as a bounded search over coin reseedings;
+//   * block_write -- "a sequence of v consecutive non-trivial operations
+//     by v different processes on the v different objects" (Section 3);
+//   * run_until_poised_outside -- run a process solo until it decides or
+//     is poised (nontrivially) at an object outside a given set; this is
+//     the step rule used throughout Lemma 3.4's construction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "runtime/configuration.h"
+#include "runtime/scheduler.h"
+#include "runtime/trace.h"
+
+namespace randsync {
+
+/// Outcome of a driven run.
+struct RunResult {
+  Trace trace;
+  bool all_decided = false;
+  std::size_t steps = 0;
+};
+
+/// Step the configuration under `scheduler` until every process decides,
+/// the scheduler stops, or `max_steps` is reached.
+RunResult run_until_all_decided(Configuration& config, Scheduler& scheduler,
+                                std::size_t max_steps);
+
+/// Outcome of a solo run.
+struct SoloResult {
+  bool terminated = false;   ///< the process decided within the budget
+  Value decision = 0;        ///< valid when terminated
+  Trace trace;               ///< the steps performed
+};
+
+/// Run process `pid` solo until it decides or `max_steps` elapse.
+/// Mutates `config`.
+SoloResult run_solo(Configuration& config, ProcessId pid,
+                    std::size_t max_steps);
+
+/// The nondeterministic solo termination oracle: find a terminating solo
+/// execution of `pid` from `config`.
+///
+/// Tries the process's current coin stream first; on step-budget
+/// exhaustion, rewinds to the starting configuration and retries with a
+/// reseeded coin (exploring the nondeterminism the property quantifies
+/// over).  Throws std::runtime_error if no terminating solo execution is
+/// found within `retries` attempts -- that would mean the protocol under
+/// test does not satisfy nondeterministic solo termination within the
+/// budget, which the adversaries must surface, never mask.
+///
+/// On success, `config` holds the post-execution configuration.
+SoloResult solo_terminate(Configuration& config, ProcessId pid,
+                          std::size_t max_steps, std::size_t retries,
+                          std::uint64_t reseed_base);
+
+/// Perform a block write: each (object, pid) pair in order performs the
+/// process's poised nontrivial operation, which must target that object.
+/// Throws std::logic_error if some process is not poised as claimed.
+Trace block_write(Configuration& config,
+                  const std::vector<std::pair<ObjectId, ProcessId>>& writers);
+
+/// Outcome of run_until_poised_outside.
+enum class PoiseOutcome {
+  kDecided,        ///< the process decided
+  kPoisedOutside,  ///< poised nontrivially at an object outside the set
+  kBudget,         ///< step budget exhausted first
+};
+
+/// Run `pid` solo, but stop *before* it performs any nontrivial
+/// operation on an object outside `inside`: afterwards the process has
+/// either decided or is poised (nontrivially) at an object not in
+/// `inside`.  Trivial operations and operations on objects in `inside`
+/// are executed freely.  This is the "run until decided or poised at an
+/// object in V-bar" rule of Lemma 3.4.
+PoiseOutcome run_until_poised_outside(Configuration& config, ProcessId pid,
+                                      const std::set<ObjectId>& inside,
+                                      std::size_t max_steps, Trace& trace);
+
+}  // namespace randsync

@@ -1,0 +1,60 @@
+#include "runtime/object_space.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace randsync {
+
+ObjectId ObjectSpace::add(ObjectTypePtr type) {
+  if (!type) {
+    throw std::invalid_argument("null object type");
+  }
+  types_.push_back(std::move(type));
+  return types_.size() - 1;
+}
+
+ObjectId ObjectSpace::add_many(const ObjectTypePtr& type, std::size_t count) {
+  if (count == 0) {
+    throw std::invalid_argument("add_many requires count > 0");
+  }
+  const ObjectId first = add(type);
+  for (std::size_t i = 1; i < count; ++i) {
+    add(type);
+  }
+  return first;
+}
+
+std::vector<Value> ObjectSpace::initial_values() const {
+  std::vector<Value> values;
+  values.reserve(types_.size());
+  for (const auto& type : types_) {
+    values.push_back(type->initial_value());
+  }
+  return values;
+}
+
+bool ObjectSpace::all_historyless() const {
+  for (const auto& type : types_) {
+    if (!type->historyless()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ObjectSpace::describe() const {
+  std::map<std::string, std::size_t> counts;
+  for (const auto& type : types_) {
+    ++counts[type->name()];
+  }
+  std::string out;
+  for (const auto& [name, count] : counts) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += std::to_string(count) + " x " + name;
+  }
+  return out.empty() ? "(no objects)" : out;
+}
+
+}  // namespace randsync

@@ -1,0 +1,59 @@
+// ObjectSpace: the fixed set of shared-object instances a protocol uses.
+//
+// The space records each instance's type; instance *values* live in the
+// Configuration so that configurations can be cloned cheaply.  The space
+// is immutable after construction and shared by reference between all
+// configurations of a run -- the space complexity the paper measures is
+// exactly size() of this object.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/object_type.h"
+
+namespace randsync {
+
+/// The set of shared objects Y_1..Y_m used by an implementation.
+class ObjectSpace {
+ public:
+  ObjectSpace() = default;
+
+  /// Append an instance of `type`; returns its ObjectId.
+  ObjectId add(ObjectTypePtr type);
+
+  /// Append `count` instances of `type`; returns the first ObjectId.
+  ObjectId add_many(const ObjectTypePtr& type, std::size_t count);
+
+  /// Number of object instances (the paper's space measure r).
+  [[nodiscard]] std::size_t size() const { return types_.size(); }
+
+  /// Type of instance `id`.
+  [[nodiscard]] const ObjectType& type(ObjectId id) const {
+    return *types_.at(id);
+  }
+
+  /// Shared handle to the type of instance `id` (for emulations that
+  /// must co-own a type object).
+  [[nodiscard]] ObjectTypePtr type_ptr(ObjectId id) const {
+    return types_.at(id);
+  }
+
+  /// Initial values of all instances, in id order.
+  [[nodiscard]] std::vector<Value> initial_values() const;
+
+  /// True if every instance is of a historyless type (the hypothesis of
+  /// Theorem 3.7).
+  [[nodiscard]] bool all_historyless() const;
+
+  /// One-line inventory, e.g. "3 x rw-register, 1 x test&set".
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<ObjectTypePtr> types_;
+};
+
+using ObjectSpacePtr = std::shared_ptr<const ObjectSpace>;
+
+}  // namespace randsync

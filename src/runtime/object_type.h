@@ -1,0 +1,85 @@
+// Object types: the semantics and algebraic classification of shared
+// objects (Section 2 of the paper).
+//
+// An object type defines a set of possible values and the operations that
+// can be applied.  The paper classifies operations algebraically:
+//
+//   * an operation is *trivial* if it never changes the value;
+//   * f *overwrites* f' if f(f'(x)) = f(x) for every value x;
+//   * f and f' *commute* if f(f'(x)) = f'(f(x)) for every value x;
+//   * a type is *historyless* if all its nontrivial operations pairwise
+//     overwrite one another (the value depends only on the last
+//     nontrivial operation applied);
+//   * a set of operations is *interfering* if every pair either commutes
+//     or overwrites one another.
+//
+// ObjectType exposes exact per-kind answers where the type knows them
+// (is_trivial, overwrites, commutes); `check_*` helpers in
+// object_algebra.h verify those claims empirically over value sweeps and
+// are exercised by the test suite.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/types.h"
+
+namespace randsync {
+
+/// Semantics of one shared-object type (read-write register, swap
+/// register, test&set register, fetch&add register, compare&swap
+/// register, counter, bounded counter).
+///
+/// Object *values* live in the Configuration; an ObjectType is immutable
+/// and shared between all instances of the type.
+class ObjectType {
+ public:
+  virtual ~ObjectType() = default;
+
+  /// Short human-readable type name, e.g. "rw-register".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// The value an object of this type holds before any operation.
+  [[nodiscard]] virtual Value initial_value() const = 0;
+
+  /// True if this type understands operations of the given kind.
+  [[nodiscard]] virtual bool supports(OpKind kind) const = 0;
+
+  /// Apply `op` to an object whose value is `value`; returns the
+  /// response and updates `value` in place.  Precondition:
+  /// supports(op.kind).
+  virtual Value apply(const Op& op, Value& value) const = 0;
+
+  /// True if `op` never changes the value of any object of this type.
+  [[nodiscard]] virtual bool is_trivial(const Op& op) const = 0;
+
+  /// True if, for every value x, applying `earlier` then `later` leaves
+  /// the object in the same state as applying `later` alone.
+  [[nodiscard]] virtual bool overwrites(const Op& later,
+                                        const Op& earlier) const = 0;
+
+  /// True if the two operations commute on every value of this type.
+  [[nodiscard]] virtual bool commutes(const Op& a, const Op& b) const = 0;
+
+  /// True if the type is historyless: all nontrivial operations
+  /// pairwise overwrite one another.  The main lower bound (Theorem 3.7)
+  /// applies exactly to objects for which this returns true.
+  [[nodiscard]] virtual bool historyless() const = 0;
+
+  /// A small set of representative operations of this type, used by the
+  /// empirical algebra checks and by property tests.
+  [[nodiscard]] virtual std::vector<Op> sample_ops() const = 0;
+
+  /// True if `value` is in this type's value set.  Types with restricted
+  /// value sets (test&set: {0,1}; bounded counters: [lo,hi]) override
+  /// this so empirical checks never probe unreachable states.
+  [[nodiscard]] virtual bool is_legal_value(Value value) const {
+    (void)value;
+    return true;
+  }
+};
+
+using ObjectTypePtr = std::shared_ptr<const ObjectType>;
+
+}  // namespace randsync

@@ -1,0 +1,142 @@
+// Processes: clonable sequential step machines.
+//
+// A process is the paper's "sequential thread of control": its state
+// determines the operation (and target object) it will apply when next
+// allocated a step -- it is then *poised* at that object.  Coin flips are
+// internal operations folded into state transitions; each process owns a
+// CoinSource as part of its clonable state.
+//
+// Clonability is load-bearing: the lower-bound adversaries of Section 3
+// deep-copy processes mid-execution ("cloning"), rewind configurations,
+// and splice executions.  Process state must therefore be value-semantic
+// and never reference the configuration it lives in.
+//
+// Convention: all coin flips are drawn inside on_response() (or the
+// constructor), never inside poised(); poised() is a pure function of
+// the process state, as the model requires.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "runtime/coin.h"
+#include "runtime/types.h"
+
+namespace randsync {
+
+/// 64-bit FNV-1a-style hash combiner for state_hash implementations.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t h,
+                                                   std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// A sequential process in the simulated shared-memory system.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  /// True once the process has returned from its operation (for
+  /// consensus processes: once it has decided).
+  [[nodiscard]] virtual bool decided() const = 0;
+
+  /// The decided value.  Precondition: decided().
+  [[nodiscard]] virtual Value decision() const = 0;
+
+  /// The operation the process will perform when next allocated a step.
+  /// Pure function of process state.  Precondition: !decided().
+  [[nodiscard]] virtual Invocation poised() const = 0;
+
+  /// Deliver the response of the poised operation and advance the
+  /// process state (possibly drawing coin flips).
+  virtual void on_response(Value response) = 0;
+
+  /// Deep copy.  The copy replays the same coin flips as the original
+  /// until their executions diverge -- exactly the paper's "clone".
+  [[nodiscard]] virtual std::unique_ptr<Process> clone() const = 0;
+
+  /// Reseed this process's coin source.  Used by the solo-termination
+  /// oracle to explore alternative coin-flip outcomes.
+  virtual void reseed(std::uint64_t seed) = 0;
+
+  /// Hash of the protocol-visible state (excluding coin-source
+  /// internals); used by the exhaustive explorer to detect revisits.
+  [[nodiscard]] virtual std::uint64_t state_hash() const = 0;
+
+  /// One-line state description for traces and debugging.
+  [[nodiscard]] virtual std::string describe() const { return "<process>"; }
+};
+
+using ProcessPtr = std::unique_ptr<Process>;
+
+/// Base class for processes executing a binary-consensus DECIDE
+/// operation: holds the input bit, the decision, and the coin source.
+class ConsensusProcess : public Process {
+ public:
+  ConsensusProcess(int input, std::unique_ptr<CoinSource> coin)
+      : input_(input), coin_(std::move(coin)) {
+    if (input != 0 && input != 1) {
+      throw std::invalid_argument("consensus input must be 0 or 1");
+    }
+    if (!coin_) {
+      throw std::invalid_argument("consensus process needs a coin source");
+    }
+  }
+
+  /// The private input value of this process's DECIDE operation.
+  [[nodiscard]] int input() const { return input_; }
+
+  [[nodiscard]] bool decided() const override { return decision_.has_value(); }
+
+  [[nodiscard]] Value decision() const override {
+    if (!decision_) {
+      throw std::logic_error("decision() on an undecided process");
+    }
+    return *decision_;
+  }
+
+  void reseed(std::uint64_t seed) override { coin_->reseed(seed); }
+
+ protected:
+  /// Copy constructor clones the coin source (deep copy).
+  ConsensusProcess(const ConsensusProcess& other)
+      : input_(other.input_),
+        decision_(other.decision_),
+        coin_(other.coin_->clone()) {}
+
+  /// Record the decision; the value must satisfy validity at the
+  /// protocol level (this base class only range-checks it).
+  void decide(Value v) {
+    if (v != 0 && v != 1) {
+      throw std::logic_error("consensus decision must be 0 or 1");
+    }
+    decision_ = v;
+  }
+
+  /// The process-owned randomness stream.
+  [[nodiscard]] CoinSource& coin() { return *coin_; }
+
+  /// Base contribution to state_hash(): input, decision status, and the
+  /// number of coin flips consumed so far.  The flip count matters for
+  /// soundness of hash-memoized exploration: two states that agree on
+  /// protocol variables but have consumed different numbers of flips
+  /// draw DIFFERENT futures from the (deterministic) stream and must
+  /// not be conflated.
+  [[nodiscard]] std::uint64_t base_hash() const {
+    std::uint64_t h = hash_combine(static_cast<std::uint64_t>(input_),
+                                   decision_ ? 1U + static_cast<std::uint64_t>(
+                                                        *decision_)
+                                             : 0U);
+    return hash_combine(h, coin_->flips());
+  }
+
+ private:
+  int input_;
+  std::optional<Value> decision_;
+  std::unique_ptr<CoinSource> coin_;
+};
+
+}  // namespace randsync

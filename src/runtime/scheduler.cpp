@@ -1,0 +1,103 @@
+#include "runtime/scheduler.h"
+
+#include <algorithm>
+
+namespace randsync {
+namespace {
+
+std::vector<ProcessId> undecided(const Configuration& config) {
+  std::vector<ProcessId> out;
+  for (ProcessId pid = 0; pid < config.num_processes(); ++pid) {
+    if (!config.decided(pid)) {
+      out.push_back(pid);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<ProcessId> RoundRobinScheduler::next(
+    const Configuration& config) {
+  const std::size_t n = config.num_processes();
+  for (std::size_t tried = 0; tried < n; ++tried) {
+    const ProcessId pid = cursor_;
+    cursor_ = (cursor_ + 1) % n;
+    if (!config.decided(pid)) {
+      return pid;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ProcessId> RandomScheduler::next(const Configuration& config) {
+  const auto live = undecided(config);
+  if (live.empty()) {
+    return std::nullopt;
+  }
+  return live[coin_.below(live.size())];
+}
+
+std::optional<ProcessId> SoloSequentialScheduler::next(
+    const Configuration& config) {
+  for (ProcessId pid = 0; pid < config.num_processes(); ++pid) {
+    if (!config.decided(pid)) {
+      return pid;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ProcessId> ContentionScheduler::next(
+    const Configuration& config) {
+  const auto live = undecided(config);
+  if (live.empty()) {
+    return std::nullopt;
+  }
+  // Find an object at which two or more undecided processes are poised;
+  // alternate among the poised group to maximize interference.
+  for (ObjectId obj = 0; obj < config.num_objects(); ++obj) {
+    const auto poised = config.processes_poised_at(obj);
+    if (poised.size() >= 2) {
+      return poised[coin_.below(poised.size())];
+    }
+  }
+  return live[coin_.below(live.size())];
+}
+
+std::optional<ProcessId> CrashScheduler::next(const Configuration& config) {
+  std::vector<ProcessId> live;
+  for (ProcessId pid = 0; pid < config.num_processes(); ++pid) {
+    if (config.decided(pid)) {
+      continue;
+    }
+    if (std::find(crashed_.begin(), crashed_.end(), pid) != crashed_.end()) {
+      continue;
+    }
+    live.push_back(pid);
+  }
+  if (live.empty()) {
+    return std::nullopt;
+  }
+  // Crash somebody occasionally, but never the last live process (the
+  // wait-free guarantee is about NON-faulty processes finishing).
+  if (crashed_.size() < max_crashes_ && live.size() > 1 &&
+      coin_.below(100) < crash_percent_) {
+    const std::size_t victim = coin_.below(live.size());
+    crashed_.push_back(live[victim]);
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+  return live[coin_.below(live.size())];
+}
+
+std::optional<ProcessId> FixedScheduler::next(const Configuration& config) {
+  while (pos_ < order_.size()) {
+    const ProcessId pid = order_[pos_++];
+    if (pid < config.num_processes() && !config.decided(pid)) {
+      return pid;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace randsync

@@ -1,0 +1,111 @@
+// Schedulers: the adversary that chooses which process steps next.
+//
+// Asynchrony in the model (Section 2) is exactly the scheduler's freedom:
+// processes "can halt or display arbitrary variations in speed".  A
+// Scheduler picks the next process to step among the undecided ones; the
+// lower-bound adversaries of src/core do not use this interface (they
+// drive configurations directly), but protocol tests and benchmarks
+// exercise protocols under the schedulers here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "runtime/coin.h"
+#include "runtime/configuration.h"
+
+namespace randsync {
+
+/// Picks the next process to run.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// The next process to step, or nullopt when no undecided process
+  /// remains (or the scheduler chooses to stop the run).
+  virtual std::optional<ProcessId> next(const Configuration& config) = 0;
+};
+
+/// Steps processes 0..n-1 cyclically, skipping decided ones.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  std::optional<ProcessId> next(const Configuration& config) override;
+
+ private:
+  ProcessId cursor_ = 0;
+};
+
+/// Picks a uniformly random undecided process.
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : coin_(seed) {}
+  std::optional<ProcessId> next(const Configuration& config) override;
+
+ private:
+  SplitMixCoin coin_;
+};
+
+/// Runs one process solo until it decides, then the next, etc. -- the
+/// sequential (contention-free) schedule.
+class SoloSequentialScheduler final : public Scheduler {
+ public:
+  std::optional<ProcessId> next(const Configuration& config) override;
+};
+
+/// An adversarial scheduler that tries to prolong randomized consensus:
+/// whenever two undecided processes are poised at the same object with
+/// nontrivial operations, it alternates between groups with opposite
+/// preferences; otherwise it behaves randomly.  This is a heuristic
+/// strong adversary used to stress protocols in tests and benchmarks.
+class ContentionScheduler final : public Scheduler {
+ public:
+  explicit ContentionScheduler(std::uint64_t seed) : coin_(seed) {}
+  std::optional<ProcessId> next(const Configuration& config) override;
+
+ private:
+  SplitMixCoin coin_;
+};
+
+/// Randomly crashes up to `max_crashes` processes mid-run ("a process
+/// may become faulty at a given point in an execution, in which case it
+/// performs no subsequent operations" -- Section 2) and schedules the
+/// survivors uniformly.  Wait-free protocols must still let every
+/// non-crashed process decide; the run ends when they all have.
+class CrashScheduler final : public Scheduler {
+ public:
+  CrashScheduler(std::uint64_t seed, std::size_t max_crashes,
+                 std::uint32_t crash_percent = 2)
+      : coin_(seed), max_crashes_(max_crashes),
+        crash_percent_(crash_percent) {}
+
+  std::optional<ProcessId> next(const Configuration& config) override;
+
+  /// Processes crashed so far.
+  [[nodiscard]] const std::vector<ProcessId>& crashed() const {
+    return crashed_;
+  }
+
+ private:
+  SplitMixCoin coin_;
+  std::size_t max_crashes_;
+  std::uint32_t crash_percent_;
+  std::vector<ProcessId> crashed_;
+};
+
+/// Replays a fixed schedule (sequence of pids); stops at the end of the
+/// prescription or when every process has decided.  Used by tests to
+/// pin down specific interleavings.
+class FixedScheduler final : public Scheduler {
+ public:
+  explicit FixedScheduler(std::vector<ProcessId> order)
+      : order_(std::move(order)) {}
+  std::optional<ProcessId> next(const Configuration& config) override;
+
+ private:
+  std::vector<ProcessId> order_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace randsync

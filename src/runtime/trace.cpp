@@ -1,0 +1,66 @@
+#include "runtime/trace.h"
+
+namespace randsync {
+
+std::string to_string(const Step& step) {
+  std::string out = "P" + std::to_string(step.pid) + ": " +
+                    to_string(step.inv) + " -> " +
+                    std::to_string(step.response);
+  if (step.decided) {
+    out += " [decides " + std::to_string(*step.decided) + "]";
+  }
+  return out;
+}
+
+void Trace::append(const Trace& other) {
+  steps_.insert(steps_.end(), other.steps_.begin(), other.steps_.end());
+}
+
+std::vector<Value> Trace::decisions() const {
+  std::vector<Value> out;
+  for (const Step& step : steps_) {
+    if (step.decided) {
+      out.push_back(*step.decided);
+    }
+  }
+  return out;
+}
+
+bool Trace::inconsistent() const {
+  bool saw0 = false;
+  bool saw1 = false;
+  for (const Step& step : steps_) {
+    if (step.decided) {
+      saw0 = saw0 || *step.decided == 0;
+      saw1 = saw1 || *step.decided == 1;
+    }
+  }
+  return saw0 && saw1;
+}
+
+std::size_t Trace::steps_by(ProcessId pid) const {
+  std::size_t count = 0;
+  for (const Step& step : steps_) {
+    if (step.pid == pid) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string Trace::render(std::size_t max_lines) const {
+  std::string out;
+  std::size_t shown = 0;
+  for (const Step& step : steps_) {
+    if (shown == max_lines) {
+      out += "  ... (" + std::to_string(steps_.size() - shown) +
+             " more steps)\n";
+      break;
+    }
+    out += "  " + to_string(step) + "\n";
+    ++shown;
+  }
+  return out;
+}
+
+}  // namespace randsync

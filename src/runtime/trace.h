@@ -1,0 +1,64 @@
+// Execution traces.
+//
+// An execution is an interleaving of process steps (Section 2).  A Trace
+// records each step as (process, invocation, response) plus decision
+// events, so adversary-constructed executions -- including the spliced
+// inconsistent executions of Section 3 -- can be printed, audited and
+// checked for the consistency/validity conditions.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/types.h"
+
+namespace randsync {
+
+/// One step of an execution.
+struct Step {
+  ProcessId pid = 0;
+  Invocation inv;
+  Value response = 0;
+  /// Set when this step caused the process to decide.
+  std::optional<Value> decided;
+};
+
+/// Render one step, e.g. "P3: R1.SWAP(2) -> 0 [decides 1]".
+[[nodiscard]] std::string to_string(const Step& step);
+
+/// An execution: an ordered sequence of steps.
+class Trace {
+ public:
+  void append(Step step) { steps_.push_back(std::move(step)); }
+
+  /// Concatenate another trace onto this one.
+  void append(const Trace& other);
+
+  [[nodiscard]] std::size_t size() const { return steps_.size(); }
+  [[nodiscard]] bool empty() const { return steps_.empty(); }
+  [[nodiscard]] const Step& operator[](std::size_t i) const {
+    return steps_[i];
+  }
+  [[nodiscard]] const std::vector<Step>& steps() const { return steps_; }
+
+  /// All decisions recorded in this trace, in execution order.
+  [[nodiscard]] std::vector<Value> decisions() const;
+
+  /// True if the trace contains two decisions with different values --
+  /// i.e. it witnesses a violation of the consistency condition.  This
+  /// is what the lower-bound adversaries construct.
+  [[nodiscard]] bool inconsistent() const;
+
+  /// Number of steps performed by process `pid`.
+  [[nodiscard]] std::size_t steps_by(ProcessId pid) const;
+
+  /// Multi-line rendering (capped at `max_lines`, with an ellipsis).
+  [[nodiscard]] std::string render(std::size_t max_lines = 200) const;
+
+ private:
+  std::vector<Step> steps_;
+};
+
+}  // namespace randsync

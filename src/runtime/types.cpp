@@ -1,0 +1,50 @@
+#include "runtime/types.h"
+
+namespace randsync {
+
+std::string to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kRead:
+      return "READ";
+    case OpKind::kWrite:
+      return "WRITE";
+    case OpKind::kSwap:
+      return "SWAP";
+    case OpKind::kTestAndSet:
+      return "TEST&SET";
+    case OpKind::kFetchAdd:
+      return "FETCH&ADD";
+    case OpKind::kCompareAndSwap:
+      return "CAS";
+    case OpKind::kIncrement:
+      return "INC";
+    case OpKind::kDecrement:
+      return "DEC";
+    case OpKind::kReset:
+      return "RESET";
+  }
+  return "?";
+}
+
+std::string to_string(const Op& op) {
+  switch (op.kind) {
+    case OpKind::kWrite:
+    case OpKind::kSwap:
+    case OpKind::kFetchAdd:
+      return to_string(op.kind) + "(" + std::to_string(op.arg0) + ")";
+    case OpKind::kCompareAndSwap:
+      return to_string(op.kind) + "(" + std::to_string(op.arg0) + "," +
+             std::to_string(op.arg1) + ")";
+    default:
+      return to_string(op.kind);
+  }
+}
+
+std::string to_string(const Invocation& inv) {
+  if (inv.object == kNoObject) {
+    return "internal." + to_string(inv.op);
+  }
+  return "R" + std::to_string(inv.object) + "." + to_string(inv.op);
+}
+
+}  // namespace randsync

@@ -1,0 +1,85 @@
+// Core value and operation types for the simulated shared-memory system.
+//
+// The model follows Section 2 of Fich, Herlihy & Shavit, "On the Space
+// Complexity of Randomized Synchronization" (PODC 1993): a collection of
+// sequential processes communicate by applying operations to linearizable
+// shared objects.  An operation is described by an OpKind plus up to two
+// integer arguments; objects hold a single 64-bit Value (the paper allows
+// unbounded registers -- 64 bits is "unbounded enough" for every execution
+// we construct, and overflow is asserted against, never wrapped silently).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace randsync {
+
+/// Value stored in (and returned by) a shared object.
+using Value = std::int64_t;
+
+/// Index of a shared object within an ObjectSpace.
+using ObjectId = std::size_t;
+
+/// Index of a process within a Configuration.
+using ProcessId = std::size_t;
+
+/// Sentinel meaning "no object" (used by poised() for internal steps).
+inline constexpr ObjectId kNoObject = static_cast<ObjectId>(-1);
+
+/// The primitive operations understood by the object type library.
+///
+/// The classification of Section 2 of the paper (trivial / commuting /
+/// overwriting / historyless / interfering) is defined over these.
+enum class OpKind : std::uint8_t {
+  kRead,            ///< trivial; responds with the current value
+  kWrite,           ///< sets value to arg0; responds with 0 (ack)
+  kSwap,            ///< sets value to arg0; responds with the old value
+  kTestAndSet,      ///< responds with old value, sets value to 1
+  kFetchAdd,        ///< responds with old value, adds arg0
+  kCompareAndSwap,  ///< if value==arg0 sets to arg1 and responds 1, else 0
+  kIncrement,       ///< counter += 1; responds with 0 (ack)
+  kDecrement,       ///< counter -= 1; responds with 0 (ack)
+  kReset,           ///< counter = 0; responds with 0 (ack)
+};
+
+/// Human-readable name of an operation kind ("READ", "SWAP", ...).
+[[nodiscard]] std::string to_string(OpKind kind);
+
+/// A concrete operation: a kind plus its (up to two) arguments.
+struct Op {
+  OpKind kind = OpKind::kRead;
+  Value arg0 = 0;  ///< write/swap value, fetch&add delta, CAS expected
+  Value arg1 = 0;  ///< CAS desired
+
+  [[nodiscard]] static Op read() { return {OpKind::kRead, 0, 0}; }
+  [[nodiscard]] static Op write(Value v) { return {OpKind::kWrite, v, 0}; }
+  [[nodiscard]] static Op swap(Value v) { return {OpKind::kSwap, v, 0}; }
+  [[nodiscard]] static Op test_and_set() { return {OpKind::kTestAndSet, 0, 0}; }
+  [[nodiscard]] static Op fetch_add(Value d) { return {OpKind::kFetchAdd, d, 0}; }
+  [[nodiscard]] static Op compare_and_swap(Value expected, Value desired) {
+    return {OpKind::kCompareAndSwap, expected, desired};
+  }
+  [[nodiscard]] static Op increment() { return {OpKind::kIncrement, 0, 0}; }
+  [[nodiscard]] static Op decrement() { return {OpKind::kDecrement, 0, 0}; }
+  [[nodiscard]] static Op reset() { return {OpKind::kReset, 0, 0}; }
+
+  friend bool operator==(const Op&, const Op&) = default;
+};
+
+/// Render an operation, e.g. "WRITE(3)" or "CAS(0,7)".
+[[nodiscard]] std::string to_string(const Op& op);
+
+/// What a process will do when next allocated a step: an operation applied
+/// to a particular object.  This is the observable part of being "poised".
+struct Invocation {
+  ObjectId object = kNoObject;
+  Op op;
+
+  friend bool operator==(const Invocation&, const Invocation&) = default;
+};
+
+/// Render an invocation, e.g. "R2.WRITE(3)".
+[[nodiscard]] std::string to_string(const Invocation& inv);
+
+}  // namespace randsync

@@ -1,0 +1,128 @@
+#include "verify/explorer.h"
+
+#include <unordered_map>
+
+#include "protocols/harness.h"
+
+namespace randsync {
+namespace {
+
+constexpr std::uint8_t kZeroReachable = 1;
+constexpr std::uint8_t kOneReachable = 2;
+
+struct Search {
+  const ExploreOptions& options;
+  std::span<const int> inputs;
+  std::unordered_map<std::uint64_t, std::uint8_t> memo;
+  ExploreResult result;
+  std::vector<ProcessId> path;
+  bool aborted = false;  // violation found: unwind
+
+  explicit Search(const ExploreOptions& opt, std::span<const int> in)
+      : options(opt), inputs(in) {}
+
+  /// Decisions already made in `config`; flags violations.
+  std::uint8_t decided_mask(const Configuration& config) {
+    std::uint8_t mask = 0;
+    for (ProcessId pid = 0; pid < config.num_processes(); ++pid) {
+      if (!config.decided(pid)) {
+        continue;
+      }
+      const Value d = config.process(pid).decision();
+      bool matches_input = false;
+      for (int input : inputs) {
+        if (static_cast<Value>(input) == d) {
+          matches_input = true;
+        }
+      }
+      if (!matches_input) {
+        result.safe = false;
+        result.violation_kind = "validity";
+        result.violation_schedule = path;
+        aborted = true;
+        return mask;
+      }
+      mask |= (d == 0) ? kZeroReachable : kOneReachable;
+    }
+    if (mask == (kZeroReachable | kOneReachable)) {
+      result.safe = false;
+      result.violation_kind = "consistency";
+      result.violation_schedule = path;
+      aborted = true;
+    }
+    return mask;
+  }
+
+  std::uint8_t dfs(const Configuration& config, std::size_t depth) {
+    if (aborted) {
+      return 0;
+    }
+    result.deepest = std::max(result.deepest, depth);
+    std::uint8_t mask = decided_mask(config);
+    if (aborted) {
+      return mask;
+    }
+    if (config.all_decided()) {
+      return mask;
+    }
+    if (depth >= options.max_depth || memo.size() >= options.max_states) {
+      result.complete = false;
+      return mask;
+    }
+    const std::uint64_t key = config.state_hash();
+    if (const auto it = memo.find(key); it != memo.end()) {
+      return it->second;
+    }
+    ++result.states;
+    for (ProcessId pid = 0; pid < config.num_processes(); ++pid) {
+      if (config.decided(pid)) {
+        continue;
+      }
+      Configuration child = config.clone();
+      child.step(pid);
+      path.push_back(pid);
+      mask |= dfs(child, depth + 1);
+      path.pop_back();
+      if (aborted) {
+        return mask;
+      }
+    }
+    memo[key] = mask;
+    if (mask == kZeroReachable) {
+      ++result.zero_valent;
+    } else if (mask == kOneReachable) {
+      ++result.one_valent;
+    } else if (mask == (kZeroReachable | kOneReachable)) {
+      ++result.bivalent;
+    }
+    return mask;
+  }
+};
+
+}  // namespace
+
+ExploreResult explore(const ConsensusProtocol& protocol,
+                      std::span<const int> inputs,
+                      const ExploreOptions& options) {
+  Configuration initial =
+      make_initial_configuration(protocol, inputs, options.seed);
+  Search search(options, inputs);
+  search.dfs(initial, 0);
+  // The violation schedule witnesses the state AFTER the final step of
+  // the path; record it as found.
+  return std::move(search.result);
+}
+
+Trace replay_schedule(const ConsensusProtocol& protocol,
+                      std::span<const int> inputs,
+                      std::span<const ProcessId> schedule,
+                      std::uint64_t seed) {
+  Configuration config = make_initial_configuration(protocol, inputs, seed);
+  Trace trace;
+  for (ProcessId pid : schedule) {
+    trace.append(config.step(pid));
+  }
+  return trace;
+}
+
+}  // namespace randsync

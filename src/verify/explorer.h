@@ -1,0 +1,75 @@
+// Exhaustive schedule exploration for small protocol instances.
+//
+// The explorer enumerates every interleaving of process steps from a
+// protocol's initial configuration (up to a depth/state budget),
+// checking the two consensus conditions in every reachable
+// configuration:
+//
+//   * consistency -- no reachable configuration contains two processes
+//     that decided different values;
+//   * validity    -- no reachable decision differs from every input.
+//
+// It also classifies configurations by *valence* (the set of decision
+// values reachable from them): a configuration from which both 0 and 1
+// are reachable is bivalent.  For deterministic protocols the
+// exploration is complete over all schedules; for randomized protocols
+// the processes' coin streams are fixed by their seeds, so the result
+// covers all schedules for that coin assignment (re-run with other
+// seeds to sample the coin space -- the property tests do).  State
+// hashes include each process's consumed-flip count (see
+// ConsensusProcess::base_hash), so memoization never conflates states
+// whose future coin draws differ.
+//
+// States are memoized by Configuration::state_hash(); a 64-bit hash
+// collision could in principle mask a path, which is acceptable for a
+// testing tool (a found violation is always real: it comes with a
+// concrete schedule that replays).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "protocols/protocol.h"
+#include "runtime/configuration.h"
+
+namespace randsync {
+
+/// Limits for an exploration.
+struct ExploreOptions {
+  std::size_t max_depth = 64;         ///< steps per path
+  std::size_t max_states = 2'000'000; ///< distinct memoized states
+  std::uint64_t seed = 1;             ///< protocol process seeds
+};
+
+/// Result of an exploration.
+struct ExploreResult {
+  bool safe = true;       ///< no consistency/validity violation reachable
+  bool complete = true;   ///< space exhausted within the budgets
+  std::size_t states = 0; ///< distinct configurations visited
+  std::size_t deepest = 0;
+  /// Valence statistics over visited configurations.
+  std::size_t zero_valent = 0;
+  std::size_t one_valent = 0;
+  std::size_t bivalent = 0;
+  /// Witness schedule (pids to step from the initial configuration)
+  /// reaching a violation, when !safe.
+  std::vector<ProcessId> violation_schedule;
+  std::string violation_kind;  ///< "consistency" or "validity"
+};
+
+/// Exhaustively explore `protocol` with the given inputs.
+[[nodiscard]] ExploreResult explore(const ConsensusProtocol& protocol,
+                                    std::span<const int> inputs,
+                                    const ExploreOptions& options);
+
+/// Replay a schedule from the initial configuration; returns the trace.
+/// Used to confirm violation witnesses.
+[[nodiscard]] Trace replay_schedule(const ConsensusProtocol& protocol,
+                                    std::span<const int> inputs,
+                                    std::span<const ProcessId> schedule,
+                                    std::uint64_t seed);
+
+}  // namespace randsync

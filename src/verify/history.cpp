@@ -1,0 +1,132 @@
+#include "verify/history.h"
+
+#include <stdexcept>
+
+#include "runtime/configuration.h"
+#include "runtime/scheduler.h"
+
+namespace randsync {
+namespace {
+
+/// A process that issues its script's operations through the emulated
+/// object's procedures, one base step at a time.
+class VirtualClient final : public Process {
+ public:
+  VirtualClient(VirtualObjectPtr object, std::vector<Op> script,
+                std::size_t pid)
+      : object_(std::move(object)), script_(std::move(script)), pid_(pid) {}
+
+  VirtualClient(const VirtualClient& other)
+      : object_(other.object_),
+        script_(other.script_),
+        pid_(other.pid_),
+        index_(other.index_),
+        last_result_(other.last_result_),
+        procedure_(other.procedure_ ? other.procedure_->clone() : nullptr) {}
+
+  [[nodiscard]] bool decided() const override {
+    return index_ >= script_.size();
+  }
+  [[nodiscard]] Value decision() const override { return 0; }
+
+  [[nodiscard]] Invocation poised() const override {
+    ensure_procedure();
+    return procedure_->poised();
+  }
+
+  void on_response(Value response) override {
+    ensure_procedure();
+    procedure_->on_response(response);
+    if (procedure_->done()) {
+      last_result_ = procedure_->result();
+      procedure_.reset();
+      ++index_;
+    }
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<VirtualClient>(*this);
+  }
+  void reseed(std::uint64_t) override {}
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    std::uint64_t h = hash_combine(index_, pid_);
+    if (procedure_) {
+      h = hash_combine(h, procedure_->state_hash());
+    }
+    return h;
+  }
+
+  /// Number of completed operations.
+  [[nodiscard]] std::size_t ops_done() const { return index_; }
+  /// Result of the most recently completed operation.
+  [[nodiscard]] Value last_result() const { return last_result_; }
+  /// The k-th scripted operation.
+  [[nodiscard]] const Op& scripted(std::size_t k) const { return script_[k]; }
+
+ private:
+  void ensure_procedure() const {
+    if (!procedure_) {
+      procedure_ = object_->start(script_[index_], pid_);
+    }
+  }
+
+  VirtualObjectPtr object_;
+  std::vector<Op> script_;
+  std::size_t pid_;
+  std::size_t index_ = 0;
+  Value last_result_ = 0;
+  mutable std::unique_ptr<OpProcedure> procedure_;
+};
+
+}  // namespace
+
+std::vector<OpRecord> record_history(const VirtualObjectPtr& object,
+                                     ObjectSpacePtr base_space,
+                                     std::span<const ClientScript> scripts,
+                                     std::uint64_t seed) {
+  Configuration config(std::move(base_space));
+  std::vector<VirtualClient*> clients;
+  for (std::size_t c = 0; c < scripts.size(); ++c) {
+    auto client =
+        std::make_unique<VirtualClient>(object, scripts[c].ops, c);
+    clients.push_back(client.get());
+    config.add_process(std::move(client));
+  }
+
+  std::vector<OpRecord> history;
+  std::vector<std::size_t> in_flight_since(scripts.size(), 0);
+  std::vector<bool> in_flight(scripts.size(), false);
+  RandomScheduler scheduler(seed);
+  std::size_t time = 0;
+  constexpr std::size_t kMaxSteps = 1'000'000;
+  while (time < kMaxSteps) {
+    const auto pid = scheduler.next(config);
+    if (!pid) {
+      break;
+    }
+    const std::size_t c = *pid;
+    const std::size_t before = clients[c]->ops_done();
+    if (!in_flight[c]) {
+      in_flight[c] = true;
+      in_flight_since[c] = time;
+    }
+    config.step(*pid);
+    ++time;
+    if (clients[c]->ops_done() > before) {
+      OpRecord record;
+      record.client = c;
+      record.op = clients[c]->scripted(before);
+      record.response = clients[c]->last_result();
+      record.invoked = in_flight_since[c];
+      record.responded = time - 1;
+      history.push_back(record);
+      in_flight[c] = false;
+    }
+  }
+  if (time >= kMaxSteps) {
+    throw std::runtime_error("record_history: step budget exhausted");
+  }
+  return history;
+}
+
+}  // namespace randsync

@@ -1,0 +1,29 @@
+// Concurrent-history recording for emulated objects: drive a set of
+// clients, each issuing a script of (virtual) operations against one
+// emulated object, under a seeded random scheduler; produce the
+// OpRecord history consumed by the linearizability checker.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "emulation/emulation.h"
+#include "verify/linearizability.h"
+
+namespace randsync {
+
+/// The operations one client issues, in order.
+struct ClientScript {
+  std::vector<Op> ops;
+};
+
+/// Run the clients' scripts to completion against `object` (whose base
+/// objects live in `base_space`), interleaving them with a random
+/// scheduler seeded by `seed`; returns the completed-operation history
+/// with global step timestamps.
+[[nodiscard]] std::vector<OpRecord> record_history(
+    const VirtualObjectPtr& object, ObjectSpacePtr base_space,
+    std::span<const ClientScript> scripts, std::uint64_t seed);
+
+}  // namespace randsync

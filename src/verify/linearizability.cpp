@@ -1,0 +1,79 @@
+#include "verify/linearizability.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "runtime/process.h"
+
+namespace randsync {
+namespace {
+
+struct Checker {
+  std::span<const OpRecord> history;
+  const ObjectType& spec;
+  std::unordered_set<std::uint64_t> failed;  // (mask, value) combos
+
+  Checker(std::span<const OpRecord> h, const ObjectType& s)
+      : history(h), spec(s) {
+    if (h.size() > 24) {
+      throw std::invalid_argument(
+          "linearizability checker supports at most 24 operations");
+    }
+  }
+
+  [[nodiscard]] std::uint64_t key(std::uint32_t mask, Value value) const {
+    return (static_cast<std::uint64_t>(mask) << 32) ^
+           (static_cast<std::uint64_t>(value) & 0xFFFFFFFFULL);
+  }
+
+  /// Can the operations outside `done_mask` be linearized starting from
+  /// object value `value`?
+  bool search(std::uint32_t done_mask, Value value) {
+    if (done_mask == (1U << history.size()) - 1) {
+      return true;
+    }
+    if (failed.contains(key(done_mask, value))) {
+      return false;
+    }
+    // The earliest response among un-linearized operations: any
+    // operation invoked after it cannot be linearized next (some
+    // operation must be linearized before its own response).
+    std::size_t earliest_response = SIZE_MAX;
+    for (std::size_t i = 0; i < history.size(); ++i) {
+      if ((done_mask & (1U << i)) == 0) {
+        earliest_response = std::min(earliest_response,
+                                     history[i].responded);
+      }
+    }
+    for (std::size_t i = 0; i < history.size(); ++i) {
+      if ((done_mask & (1U << i)) != 0) {
+        continue;
+      }
+      if (history[i].invoked > earliest_response) {
+        continue;  // real-time order forbids linearizing i next
+      }
+      Value next = value;
+      const Value response = spec.apply(history[i].op, next);
+      if (response != history[i].response) {
+        continue;
+      }
+      if (search(done_mask | (1U << i), next)) {
+        return true;
+      }
+    }
+    failed.insert(key(done_mask, value));
+    return false;
+  }
+};
+
+}  // namespace
+
+bool linearizable(std::span<const OpRecord> history, const ObjectType& spec) {
+  if (history.empty()) {
+    return true;
+  }
+  Checker checker(history, spec);
+  return checker.search(0, spec.initial_value());
+}
+
+}  // namespace randsync

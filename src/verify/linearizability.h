@@ -1,0 +1,36 @@
+// Linearizability checking (Herlihy-Wing), used to validate the object
+// emulations of src/emulation against their sequential specifications.
+//
+// A history is a set of completed operations with invocation/response
+// timestamps (global step indices).  The checker searches for a
+// linearization: a total order of the operations, consistent with the
+// real-time partial order (op A precedes op B when A's response is
+// before B's invocation), under which every response matches a
+// sequential run of the specification object.  Classic Wing-Gong
+// backtracking with memoization on (linearized-set, object value);
+// intended for small histories (up to ~24 operations).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "runtime/object_type.h"
+
+namespace randsync {
+
+/// One completed operation in a concurrent history.
+struct OpRecord {
+  std::size_t client = 0;   ///< issuing client (informational)
+  Op op;                    ///< the (virtual) operation
+  Value response = 0;       ///< observed response
+  std::size_t invoked = 0;  ///< global step index of the invocation
+  std::size_t responded = 0;  ///< global step index of the response
+};
+
+/// True if `history` is linearizable with respect to the sequential
+/// semantics of `spec` starting from its initial value.
+[[nodiscard]] bool linearizable(std::span<const OpRecord> history,
+                                const ObjectType& spec);
+
+}  // namespace randsync

@@ -1,0 +1,76 @@
+#include "verify/minimize.h"
+
+#include <stdexcept>
+
+#include "protocols/harness.h"
+
+namespace randsync {
+namespace {
+
+/// Replay `schedule`; true if it is executable and the trace decides
+/// both values.  Steps scheduling a decided (or out-of-range) process
+/// make the candidate invalid.
+bool replays_inconsistent(const ConsensusProtocol& protocol,
+                          std::span<const int> inputs,
+                          const std::vector<ProcessId>& schedule,
+                          std::uint64_t seed) {
+  Configuration config = make_initial_configuration(protocol, inputs, seed);
+  Trace trace;
+  for (ProcessId pid : schedule) {
+    if (pid >= config.num_processes() || config.decided(pid)) {
+      return false;
+    }
+    trace.append(config.step(pid));
+  }
+  return trace.inconsistent();
+}
+
+}  // namespace
+
+MinimizedWitness minimize_schedule(const ConsensusProtocol& protocol,
+                                   std::span<const int> inputs,
+                                   std::span<const ProcessId> schedule,
+                                   std::uint64_t seed) {
+  MinimizedWitness result;
+  result.schedule.assign(schedule.begin(), schedule.end());
+  result.original_steps = schedule.size();
+  if (!replays_inconsistent(protocol, inputs, result.schedule, seed)) {
+    throw std::invalid_argument(
+        "minimize_schedule: the input schedule does not replay to an "
+        "inconsistent trace");
+  }
+
+  // Greedy chunked deletion: try removing halves, then quarters, down
+  // to single steps, restarting whenever a removal succeeds.
+  std::size_t chunk = result.schedule.size() / 2;
+  while (chunk >= 1) {
+    bool removed_any = false;
+    for (std::size_t start = 0; start + 1 <= result.schedule.size();) {
+      const std::size_t len = std::min(chunk, result.schedule.size() - start);
+      std::vector<ProcessId> candidate;
+      candidate.reserve(result.schedule.size() - len);
+      candidate.insert(candidate.end(), result.schedule.begin(),
+                       result.schedule.begin() +
+                           static_cast<std::ptrdiff_t>(start));
+      candidate.insert(candidate.end(),
+                       result.schedule.begin() +
+                           static_cast<std::ptrdiff_t>(start + len),
+                       result.schedule.end());
+      ++result.replays;
+      if (!candidate.empty() &&
+          replays_inconsistent(protocol, inputs, candidate, seed)) {
+        result.schedule = std::move(candidate);
+        removed_any = true;
+        // keep start in place: the next chunk now occupies it
+      } else {
+        start += len;
+      }
+    }
+    if (!removed_any) {
+      chunk /= 2;
+    }
+  }
+  return result;
+}
+
+}  // namespace randsync

@@ -1,0 +1,36 @@
+// Witness minimization: shrink a violation schedule to a locally
+// minimal one (classic ddmin-style greedy deletion).
+//
+// The explorer and the adversaries produce concrete schedules that end
+// in a consistency/validity violation; those witnesses can contain
+// steps irrelevant to the bug.  minimize_schedule removes steps while
+// the replayed schedule still (a) stays executable (never steps a
+// decided process) and (b) still exhibits an inconsistent trace.  The
+// result replays deterministically, like every witness in this
+// repository.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "protocols/protocol.h"
+#include "runtime/types.h"
+
+namespace randsync {
+
+/// Result of a minimization.
+struct MinimizedWitness {
+  std::vector<ProcessId> schedule;  ///< locally minimal witness
+  std::size_t original_steps = 0;
+  std::size_t replays = 0;  ///< replay attempts spent minimizing
+};
+
+/// Greedily remove schedule entries while the replay (from the
+/// protocol's initial configuration with `seed`) remains executable and
+/// inconsistent.  `schedule` must itself replay to an inconsistent
+/// trace; throws std::invalid_argument otherwise.
+[[nodiscard]] MinimizedWitness minimize_schedule(
+    const ConsensusProtocol& protocol, std::span<const int> inputs,
+    std::span<const ProcessId> schedule, std::uint64_t seed);
+
+}  // namespace randsync

@@ -1,0 +1,57 @@
+#include "verify/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace randsync {
+namespace {
+
+double nearest_rank(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+}  // namespace
+
+Summary summarize(std::vector<double> samples) {
+  Summary out;
+  out.count = samples.size();
+  if (samples.empty()) {
+    return out;
+  }
+  std::sort(samples.begin(), samples.end());
+  double sum = 0;
+  for (double s : samples) {
+    sum += s;
+  }
+  out.mean = sum / static_cast<double>(samples.size());
+  double var = 0;
+  for (double s : samples) {
+    var += (s - out.mean) * (s - out.mean);
+  }
+  out.stddev = std::sqrt(var / static_cast<double>(samples.size()));
+  out.min = samples.front();
+  out.max = samples.back();
+  out.p50 = nearest_rank(samples, 0.50);
+  out.p90 = nearest_rank(samples, 0.90);
+  out.p99 = nearest_rank(samples, 0.99);
+  return out;
+}
+
+std::string to_string(const Summary& summary) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof buffer,
+                "n=%zu mean=%.1f sd=%.1f min=%.0f p50=%.0f p90=%.0f "
+                "p99=%.0f max=%.0f",
+                summary.count, summary.mean, summary.stddev, summary.min,
+                summary.p50, summary.p90, summary.p99, summary.max);
+  return buffer;
+}
+
+}  // namespace randsync

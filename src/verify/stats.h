@@ -1,0 +1,32 @@
+// Small statistics toolkit for the measurement harnesses: summary
+// statistics (mean, standard deviation, percentiles) over samples of
+// run lengths.  The randomized protocols' termination guarantees are
+// about EXPECTED steps; benches report distributions, not just means,
+// so heavy tails are visible.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace randsync {
+
+/// Summary of a sample of nonnegative measurements.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+/// Compute the summary (percentiles by nearest-rank on a sorted copy).
+[[nodiscard]] Summary summarize(std::vector<double> samples);
+
+/// One-line rendering, e.g. "n=17 mean=12.3 sd=4.5 p50=11 p90=20 max=31".
+[[nodiscard]] std::string to_string(const Summary& summary);
+
+}  // namespace randsync

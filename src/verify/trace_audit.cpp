@@ -1,0 +1,36 @@
+#include "verify/trace_audit.h"
+
+namespace randsync {
+
+TraceAudit audit_trace(const ObjectSpace& space, const Trace& trace) {
+  TraceAudit audit;
+  std::vector<Value> values = space.initial_values();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Step& step = trace[i];
+    if (step.inv.object == kNoObject) {
+      continue;
+    }
+    if (step.inv.object >= space.size()) {
+      audit.ok = false;
+      audit.first_mismatch = i;
+      audit.detail = "step references object R" +
+                     std::to_string(step.inv.object) + " outside the space";
+      return audit;
+    }
+    const Value expected =
+        space.type(step.inv.object).apply(step.inv.op,
+                                          values[step.inv.object]);
+    ++audit.steps_checked;
+    if (expected != step.response) {
+      audit.ok = false;
+      audit.first_mismatch = i;
+      audit.detail = "step " + std::to_string(i) + " (" + to_string(step) +
+                     "): replay produced response " +
+                     std::to_string(expected);
+      return audit;
+    }
+  }
+  return audit;
+}
+
+}  // namespace randsync

@@ -1,0 +1,34 @@
+// Trace auditing: confirm that a recorded execution is internally
+// consistent with the object semantics.
+//
+// Every adversary-constructed execution in this repository is a real
+// run of real processes, but the audit provides an independent check:
+// replaying only the OBJECT side of the trace (applying each step's
+// operation to a fresh copy of the object values) must reproduce every
+// recorded response.  A mismatch would mean the trace was fabricated or
+// the runtime applied an operation non-atomically.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "runtime/object_space.h"
+#include "runtime/trace.h"
+
+namespace randsync {
+
+/// Result of auditing a trace.
+struct TraceAudit {
+  bool ok = true;
+  std::size_t steps_checked = 0;
+  /// Index of the first mismatching step and a description, when !ok.
+  std::optional<std::size_t> first_mismatch;
+  std::string detail;
+};
+
+/// Replay `trace`'s operations against fresh object values from `space`
+/// and compare every response.
+[[nodiscard]] TraceAudit audit_trace(const ObjectSpace& space,
+                                     const Trace& trace);
+
+}  // namespace randsync

@@ -1,0 +1,147 @@
+// Exhaustive verification of the adopt-commit gadget: validity,
+// coherence and convergence are checked over EVERY schedule for up to
+// four processes and every input pattern.  This exhaustive check is the
+// authoritative argument for the gadget's correctness (the header
+// sketch is only intuition), and it is what the safety of
+// RoundsConsensusProtocol rests on.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <unordered_set>
+
+#include "protocols/adopt_commit.h"
+#include "runtime/configuration.h"
+
+namespace randsync {
+namespace {
+
+struct AcCheck {
+  std::size_t terminal_states = 0;
+  bool validity = true;
+  bool coherence = true;
+  bool convergence = true;
+};
+
+void check_terminal(const Configuration& config,
+                    const std::vector<int>& inputs, AcCheck& out) {
+  ++out.terminal_states;
+  std::optional<Value> committed_value;
+  bool all_committed = true;
+  std::vector<Value> values;
+  for (ProcessId pid = 0; pid < config.num_processes(); ++pid) {
+    const auto& proc =
+        dynamic_cast<const AdoptCommitProcess&>(config.process(pid));
+    const Value v = proc.decision();
+    values.push_back(v);
+    // Validity: the returned value is some process's input.
+    bool matches = false;
+    for (int input : inputs) {
+      matches = matches || static_cast<Value>(input) == v;
+    }
+    out.validity = out.validity && matches;
+    if (proc.committed()) {
+      if (committed_value && *committed_value != v) {
+        out.coherence = false;  // two commits with different values
+      }
+      committed_value = v;
+    } else {
+      all_committed = false;
+    }
+  }
+  // Coherence: a committed value forces every returned value.
+  if (committed_value) {
+    for (Value v : values) {
+      out.coherence = out.coherence && v == *committed_value;
+    }
+  }
+  // Convergence: unanimous inputs -> everyone commits that input.
+  const bool unanimous =
+      std::all_of(inputs.begin(), inputs.end(),
+                  [&](int x) { return x == inputs[0]; });
+  if (unanimous) {
+    out.convergence =
+        out.convergence && all_committed && committed_value &&
+        *committed_value == static_cast<Value>(inputs[0]);
+  }
+}
+
+AcCheck explore_adopt_commit(const std::vector<int>& inputs) {
+  auto space = std::make_shared<ObjectSpace>();
+  const AdoptCommitRegisters regs = allocate_adopt_commit(*space);
+  Configuration initial(space);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    initial.add_process(std::make_unique<AdoptCommitProcess>(
+        regs, inputs[i], std::make_unique<SplitMixCoin>(i)));
+  }
+  AcCheck out;
+  std::unordered_set<std::uint64_t> seen;
+  std::function<void(const Configuration&)> dfs =
+      [&](const Configuration& config) {
+        if (config.all_decided()) {
+          check_terminal(config, inputs, out);
+          return;
+        }
+        if (!seen.insert(config.state_hash()).second) {
+          return;
+        }
+        for (ProcessId pid = 0; pid < config.num_processes(); ++pid) {
+          if (config.decided(pid)) {
+            continue;
+          }
+          Configuration child = config.clone();
+          child.step(pid);
+          dfs(child);
+        }
+      };
+  dfs(initial);
+  return out;
+}
+
+std::vector<std::vector<int>> all_input_patterns(std::size_t n) {
+  std::vector<std::vector<int>> patterns;
+  for (std::size_t bits = 0; bits < (1U << n); ++bits) {
+    std::vector<int> inputs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      inputs[i] = static_cast<int>((bits >> i) & 1U);
+    }
+    patterns.push_back(std::move(inputs));
+  }
+  return patterns;
+}
+
+class AdoptCommitExhaustive : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AdoptCommitExhaustive, ValidityCoherenceConvergence) {
+  const std::size_t n = GetParam();
+  for (const auto& inputs : all_input_patterns(n)) {
+    const AcCheck check = explore_adopt_commit(inputs);
+    EXPECT_GT(check.terminal_states, 0U);
+    EXPECT_TRUE(check.validity) << "n=" << n;
+    EXPECT_TRUE(check.coherence) << "n=" << n;
+    EXPECT_TRUE(check.convergence) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ns, AdoptCommitExhaustive,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(AdoptCommit, SoloAlwaysCommits) {
+  for (int input : {0, 1}) {
+    auto space = std::make_shared<ObjectSpace>();
+    const auto regs = allocate_adopt_commit(*space);
+    Configuration config(space);
+    const auto pid = config.add_process(std::make_unique<AdoptCommitProcess>(
+        regs, input, std::make_unique<SplitMixCoin>(1)));
+    while (!config.decided(pid)) {
+      config.step(pid);
+    }
+    const auto& proc =
+        dynamic_cast<const AdoptCommitProcess&>(config.process(pid));
+    EXPECT_TRUE(proc.committed());
+    EXPECT_EQ(proc.decision(), input);
+  }
+}
+
+}  // namespace
+}  // namespace randsync

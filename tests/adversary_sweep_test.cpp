@@ -1,0 +1,106 @@
+// Property sweeps for the two lower-bound adversaries: every (family,
+// register count, seed) combination must yield an audited inconsistent
+// execution within the paper's process budgets.  These are the broad
+// regression nets behind the targeted tests in clone_adversary_test.cpp
+// and general_adversary_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/bounds.h"
+#include "core/clone_adversary.h"
+#include "core/general_adversary.h"
+#include "protocols/historyless_race.h"
+#include "protocols/register_race.h"
+#include "verify/trace_audit.h"
+
+namespace randsync {
+namespace {
+
+// --------------------------------------------------------------------
+// Clone adversary sweep (Section 3.1): rw-register families.
+
+struct CloneCase {
+  RaceVariant variant;
+  std::size_t r;
+};
+
+class CloneSweep
+    : public ::testing::TestWithParam<std::tuple<CloneCase, int>> {};
+
+TEST_P(CloneSweep, AuditedInconsistencyWithinBudget) {
+  const auto& [c, seed_index] = GetParam();
+  RegisterRaceProtocol protocol(c.variant, c.r);
+  CloneAdversary::Options opt;
+  opt.seed = derive_seed(0x51EE9, seed_index);
+  const AttackResult result = CloneAdversary(opt).attack(protocol);
+  ASSERT_TRUE(result.success) << protocol.name() << ": " << result.failure;
+  EXPECT_TRUE(result.execution.inconsistent());
+  EXPECT_LE(result.processes_used, clone_adversary_processes(c.r));
+  const auto audit = audit_trace(*protocol.make_space(2), result.execution);
+  EXPECT_TRUE(audit.ok) << audit.detail;
+}
+
+std::vector<CloneCase> clone_cases() {
+  std::vector<CloneCase> cases;
+  cases.push_back({RaceVariant::kFirstWriter, 1});
+  for (std::size_t r = 1; r <= 7; ++r) {
+    cases.push_back({RaceVariant::kRoundVoting, r});
+    cases.push_back({RaceVariant::kConciliator, r});
+    if (r >= 2) {
+      cases.push_back({RaceVariant::kBidirectional, r});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, CloneSweep,
+    ::testing::Combine(::testing::ValuesIn(clone_cases()),
+                       ::testing::Range(0, 4)));
+
+// --------------------------------------------------------------------
+// General adversary sweep (Section 3.2): historyless mixes.
+
+enum class MixKind { kMixed, kSwaps, kBidirectional };
+
+class GeneralSweep
+    : public ::testing::TestWithParam<std::tuple<MixKind, int, int>> {};
+
+TEST_P(GeneralSweep, AuditedInconsistencyWithinBudget) {
+  const auto& [kind, r_int, seed_index] = GetParam();
+  const std::size_t r = static_cast<std::size_t>(r_int);
+  std::unique_ptr<HistorylessRaceProtocol> protocol;
+  switch (kind) {
+    case MixKind::kMixed:
+      protocol = std::make_unique<HistorylessRaceProtocol>(
+          HistorylessRaceProtocol::mixed(r));
+      break;
+    case MixKind::kSwaps:
+      protocol = std::make_unique<HistorylessRaceProtocol>(
+          HistorylessRaceProtocol::swaps(r));
+      break;
+    case MixKind::kBidirectional:
+      protocol = std::make_unique<HistorylessRaceProtocol>(
+          HistorylessRaceProtocol::bidirectional(r));
+      break;
+  }
+  GeneralAdversary::Options opt;
+  opt.seed = derive_seed(0x6E6E6, seed_index);
+  const GeneralAttackResult result = GeneralAdversary(opt).attack(*protocol);
+  ASSERT_TRUE(result.success) << protocol->name() << ": " << result.failure;
+  EXPECT_TRUE(result.execution.inconsistent());
+  EXPECT_LE(result.processes_used, general_adversary_processes(r));
+  const auto audit = audit_trace(*protocol->make_space(2), result.execution);
+  EXPECT_TRUE(audit.ok) << audit.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, GeneralSweep,
+    ::testing::Combine(::testing::Values(MixKind::kMixed, MixKind::kSwaps,
+                                         MixKind::kBidirectional),
+                       ::testing::Range(1, 6), ::testing::Range(0, 3)));
+
+}  // namespace
+}  // namespace randsync

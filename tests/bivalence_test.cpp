@@ -1,0 +1,99 @@
+// Tests for the non-termination certificate machinery and the
+// retry-race protocol: safety holds over every schedule, yet the
+// adversary finds a decision-free cycle -- the deterministic
+// impossibility [2,15,26] that motivates the paper's randomized model.
+
+#include <gtest/gtest.h>
+
+#include "core/bivalence.h"
+#include "protocols/harness.h"
+#include "protocols/retry_race.h"
+#include "protocols/single_object.h"
+#include "runtime/executor.h"
+#include "verify/explorer.h"
+
+namespace randsync {
+namespace {
+
+TEST(RetryRace, SafeOverAllSchedulesForEveryInputPattern) {
+  RetryRaceProtocol protocol;
+  for (const auto& inputs :
+       {std::vector<int>{0, 1}, std::vector<int>{1, 0},
+        std::vector<int>{0, 0}, std::vector<int>{1, 1}}) {
+    ExploreOptions opt;
+    opt.max_depth = 40;
+    const auto result = explore(protocol, inputs, opt);
+    EXPECT_TRUE(result.safe) << inputs[0] << inputs[1];
+    // NOTE: completeness is not expected -- the protocol has infinite
+    // executions, but the state space is finite so memoization
+    // terminates the search.
+  }
+}
+
+TEST(RetryRace, UnanimousInputsDecideEverywhere) {
+  RetryRaceProtocol protocol;
+  RoundRobinScheduler sched;
+  Configuration config =
+      make_initial_configuration(protocol, std::vector<int>{1, 1}, 1);
+  const RunResult run = run_until_all_decided(config, sched, 1000);
+  EXPECT_TRUE(run.all_decided);
+}
+
+TEST(Bivalence, FindsDecisionFreeCycleInRetryRace) {
+  RetryRaceProtocol protocol;
+  const std::vector<int> inputs{0, 1};
+  CycleSearchOptions opt;
+  const auto certificate = find_nondeciding_cycle(protocol, inputs, opt);
+  ASSERT_TRUE(certificate.found);
+  EXPECT_FALSE(certificate.cycle.empty());
+
+  // Replay the cycle many times: the configuration must keep cycling
+  // with nobody deciding -- a concrete infinite starvation schedule.
+  const Configuration end =
+      replay_certificate(protocol, inputs, certificate, 100, opt.seed);
+  EXPECT_FALSE(end.decided(0));
+  EXPECT_FALSE(end.decided(1));
+
+  // And the state genuinely repeats.
+  const Configuration one_lap =
+      replay_certificate(protocol, inputs, certificate, 1, opt.seed);
+  const Configuration two_laps =
+      replay_certificate(protocol, inputs, certificate, 2, opt.seed);
+  EXPECT_EQ(one_lap.state_hash(), two_laps.state_hash());
+}
+
+TEST(Bivalence, WaitFreeProtocolsHaveNoSuchCycle) {
+  // CAS consensus decides within 2 steps per process: its undecided
+  // region is acyclic, so no certificate can exist.
+  CasConsensusProtocol protocol;
+  const std::vector<int> inputs{0, 1, 1};
+  const auto certificate =
+      find_nondeciding_cycle(protocol, inputs, CycleSearchOptions{});
+  EXPECT_FALSE(certificate.found);
+  EXPECT_GT(certificate.states_explored, 0U);
+}
+
+TEST(Bivalence, StickyConsensusHasNoCycleEither) {
+  StickyConsensusProtocol protocol;
+  const std::vector<int> inputs{0, 1};
+  EXPECT_FALSE(
+      find_nondeciding_cycle(protocol, inputs, CycleSearchOptions{}).found);
+}
+
+TEST(RetryRace, ViolatesSoloTerminationAfterConflict) {
+  // After observing a conflict, a process retries forever even solo --
+  // outside the lower bound's nondeterministic-solo-termination
+  // hypothesis, and the oracle must say so.
+  RetryRaceProtocol protocol;
+  Configuration config =
+      make_initial_configuration(protocol, std::vector<int>{0, 1}, 1);
+  // P0 writes; P1 writes; P0 reads (conflict).
+  config.step(0);
+  config.step(1);
+  config.step(0);
+  EXPECT_THROW(solo_terminate(config, 0, 1000, 2, 9),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace randsync

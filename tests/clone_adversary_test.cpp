@@ -1,0 +1,138 @@
+// Tests for the Section 3.1 executable lower bound: the CloneAdversary
+// must construct a genuinely inconsistent execution against every
+// fixed-space identical-process read-write-register protocol, within
+// the process budget of Lemma 3.2 (r*r - r + 2).
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.h"
+#include "core/clone_adversary.h"
+#include "protocols/register_race.h"
+#include "protocols/single_object.h"
+#include "runtime/executor.h"
+
+namespace randsync {
+namespace {
+
+void expect_broken(const ConsensusProtocol& protocol, std::size_t r,
+                   std::uint64_t seed) {
+  CloneAdversary::Options opt;
+  opt.seed = seed;
+  CloneAdversary adversary(opt);
+  const AttackResult result = adversary.attack(protocol);
+  ASSERT_TRUE(result.success)
+      << protocol.name() << " (seed " << seed << "): " << result.failure;
+  EXPECT_TRUE(result.execution.inconsistent()) << protocol.name();
+  // Theorem 3.3 / Lemma 3.2: the construction needs at most r^2 - r + 2
+  // identical processes.
+  EXPECT_LE(result.processes_used, clone_adversary_processes(r))
+      << protocol.name() << ": execution used " << result.processes_used
+      << " processes, bound is " << clone_adversary_processes(r);
+  // The execution must contain at least one decision of each value.
+  const auto decisions = result.execution.decisions();
+  EXPECT_GE(decisions.size(), 2U);
+}
+
+TEST(CloneAdversary, BreaksFirstWriter) {
+  RegisterRaceProtocol protocol(RaceVariant::kFirstWriter, 1);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    expect_broken(protocol, 1, seed);
+  }
+}
+
+TEST(CloneAdversary, BreaksRoundVotingAcrossRegisterCounts) {
+  for (std::size_t r = 1; r <= 6; ++r) {
+    RegisterRaceProtocol protocol(RaceVariant::kRoundVoting, r);
+    expect_broken(protocol, r, 42);
+  }
+}
+
+TEST(CloneAdversary, BreaksConciliatorAcrossRegisterCountsAndSeeds) {
+  for (std::size_t r = 1; r <= 5; ++r) {
+    RegisterRaceProtocol protocol(RaceVariant::kConciliator, r);
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      expect_broken(protocol, r, seed);
+    }
+  }
+}
+
+TEST(CloneAdversary, BreaksBidirectionalRacesViaIncomparableCase) {
+  // Input-directed sweeps make the two sides' register sets grow from
+  // opposite ends, forcing the Figure 4 incomparable case; the attack
+  // must still land within the Lemma 3.2 budget.
+  std::size_t total_incomparable = 0;
+  for (std::size_t r = 2; r <= 6; ++r) {
+    RegisterRaceProtocol protocol(RaceVariant::kBidirectional, r);
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      CloneAdversary::Options opt;
+      opt.seed = seed;
+      const AttackResult result = CloneAdversary(opt).attack(protocol);
+      ASSERT_TRUE(result.success)
+          << protocol.name() << " seed=" << seed << ": " << result.failure;
+      EXPECT_LE(result.processes_used, clone_adversary_processes(r));
+      total_incomparable += result.incomparable_cases;
+    }
+  }
+  EXPECT_GT(total_incomparable, 0U)
+      << "the Figure 4 case never fired; it would be dead code";
+}
+
+TEST(CloneAdversary, ConstructedExecutionReplaysOnFreshConfiguration) {
+  // The trace is a real execution: replaying its schedule from a fresh
+  // initial configuration (same protocol seeds) reproduces it exactly.
+  RegisterRaceProtocol protocol(RaceVariant::kRoundVoting, 3);
+  CloneAdversary adversary({.solo_max_steps = 200'000,
+                            .max_depth = 256,
+                            .seed = 7});
+  const AttackResult result = adversary.attack(protocol);
+  ASSERT_TRUE(result.success) << result.failure;
+  // Note: the replay cannot reconstruct clone processes (they are
+  // created mid-run by the adversary), so we only check the trace's
+  // internal consistency here: every step's response matches a replay
+  // over object values.
+  auto space = protocol.make_space(2);
+  std::vector<Value> values = space->initial_values();
+  for (const Step& step : result.execution.steps()) {
+    if (step.inv.object == kNoObject) {
+      continue;
+    }
+    const Value expect = space->type(step.inv.object)
+                             .apply(step.inv.op, values.at(step.inv.object));
+    EXPECT_EQ(expect, step.response) << to_string(step);
+  }
+}
+
+TEST(CloneAdversary, RejectsNonHistorylessProtocols) {
+  CasConsensusProtocol protocol;  // correct consensus; CAS not historyless
+  CloneAdversary adversary;
+  const AttackResult result = adversary.attack(protocol);
+  EXPECT_FALSE(result.success);
+  EXPECT_NE(result.failure.find("historyless"), std::string::npos);
+}
+
+TEST(CloneAdversary, RejectsGrowingSpaceProtocols) {
+  // swap-pair is fixed-space but its object is a swap register: Section
+  // 3.1's technique requires read-write registers.
+  SwapPairProtocol protocol;
+  CloneAdversary adversary;
+  const AttackResult result = adversary.attack(protocol);
+  EXPECT_FALSE(result.success);
+  EXPECT_NE(result.failure.find("read-write"), std::string::npos);
+}
+
+TEST(CloneAdversary, ProcessBudgetGrowsQuadratically) {
+  // The measured processes_used stays within r^2 - r + 2 for every r;
+  // this is the Theorem 3.3 curve the bench reports.
+  for (std::size_t r = 1; r <= 6; ++r) {
+    RegisterRaceProtocol protocol(RaceVariant::kRoundVoting, r);
+    CloneAdversary adversary({.solo_max_steps = 200'000,
+                              .max_depth = 256,
+                              .seed = 3});
+    const AttackResult result = adversary.attack(protocol);
+    ASSERT_TRUE(result.success) << result.failure;
+    EXPECT_LE(result.processes_used, clone_adversary_processes(r));
+  }
+}
+
+}  // namespace
+}  // namespace randsync

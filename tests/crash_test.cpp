@@ -1,0 +1,114 @@
+// Wait-freedom under crash faults: "a process may become faulty at a
+// given point in an execution, in which case it performs no subsequent
+// operations" (Section 2).  A wait-free implementation guarantees every
+// NON-faulty process finishes regardless of how many others halt --
+// these tests crash up to n-1 processes mid-run and require all
+// survivors to decide, consistently and validly.
+
+#include <gtest/gtest.h>
+
+#include "protocols/drift_walk.h"
+#include "protocols/harness.h"
+#include "protocols/one_counter_walk.h"
+#include "protocols/register_walk.h"
+#include "protocols/single_object.h"
+
+namespace randsync {
+namespace {
+
+struct CrashOutcome {
+  bool survivors_decided = true;
+  bool consistent = true;
+  bool valid = true;
+  std::size_t crashes = 0;
+};
+
+CrashOutcome run_with_crashes(const ConsensusProtocol& protocol,
+                              std::size_t n, std::uint64_t seed) {
+  const auto inputs = alternating_inputs(n);
+  Configuration config = make_initial_configuration(protocol, inputs, seed);
+  CrashScheduler scheduler(seed, n - 1, 3);
+  constexpr std::size_t kMaxSteps = 8'000'000;
+  std::size_t steps = 0;
+  while (steps < kMaxSteps) {
+    const auto pid = scheduler.next(config);
+    if (!pid) {
+      break;
+    }
+    config.step(*pid);
+    ++steps;
+  }
+  CrashOutcome outcome;
+  outcome.crashes = scheduler.crashed().size();
+  Value first = -1;
+  for (ProcessId pid = 0; pid < config.num_processes(); ++pid) {
+    const bool crashed =
+        std::find(scheduler.crashed().begin(), scheduler.crashed().end(),
+                  pid) != scheduler.crashed().end();
+    if (!config.decided(pid)) {
+      if (!crashed) {
+        outcome.survivors_decided = false;
+      }
+      continue;
+    }
+    const Value d = config.process(pid).decision();
+    if (first == -1) {
+      first = d;
+    }
+    outcome.consistent = outcome.consistent && d == first;
+    outcome.valid =
+        outcome.valid && (d == 0 || d == 1) &&
+        std::find(inputs.begin(), inputs.end(), static_cast<int>(d)) !=
+            inputs.end();
+  }
+  return outcome;
+}
+
+constexpr const char* kProtocolNames[] = {"faa", "counter_walk",
+                                          "register_walk", "cas",
+                                          "one_counter"};
+
+class CrashToleranceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CrashToleranceTest, SurvivorsAlwaysDecide) {
+  const auto [proto_index, seed_index] = GetParam();
+  const std::uint64_t seed = derive_seed(0xC8A5, seed_index);
+  const FaaConsensusProtocol faa;
+  const CounterWalkProtocol walk;
+  const RegisterWalkProtocol regs;
+  const CasConsensusProtocol cas;
+  const OneCounterWalkProtocol one_counter;
+  const ConsensusProtocol* protocols[] = {&faa, &walk, &regs, &cas,
+                                          &one_counter};
+  const ConsensusProtocol& protocol = *protocols[proto_index];
+  for (std::size_t n : {3U, 6U, 10U}) {
+    const CrashOutcome outcome = run_with_crashes(protocol, n, seed);
+    EXPECT_TRUE(outcome.survivors_decided)
+        << protocol.name() << " n=" << n << " crashes=" << outcome.crashes;
+    EXPECT_TRUE(outcome.consistent) << protocol.name() << " n=" << n;
+    EXPECT_TRUE(outcome.valid) << protocol.name() << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, CrashToleranceTest,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Range(0, 6)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return std::string(kProtocolNames[std::get<0>(info.param)]) +
+             "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(CrashScheduler, ActuallyCrashesProcesses) {
+  // Sanity: across seeds, some run must experience at least one crash
+  // (otherwise the tests above exercise nothing).
+  FaaConsensusProtocol protocol;
+  std::size_t total_crashes = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    total_crashes += run_with_crashes(protocol, 10, seed).crashes;
+  }
+  EXPECT_GT(total_crashes, 0U);
+}
+
+}  // namespace
+}  // namespace randsync

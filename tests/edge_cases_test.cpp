@@ -1,0 +1,209 @@
+// Edge-case coverage across the runtime, harness and core helpers:
+// error paths, renderers, bounds, and scheduler subtleties that the
+// mainline tests don't reach.
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.h"
+#include "emulation/emulated_protocol.h"
+#include "emulation/passthrough.h"
+#include "objects/counter.h"
+#include "objects/register.h"
+#include "protocols/harness.h"
+#include "protocols/register_race.h"
+#include "protocols/single_object.h"
+#include "runtime/executor.h"
+#include "support/script_process.h"
+#include "verify/stats.h"
+
+namespace randsync {
+namespace {
+
+using testing::ScriptProcess;
+
+TEST(Rendering, OpAndInvocationStrings) {
+  EXPECT_EQ(to_string(Op::read()), "READ");
+  EXPECT_EQ(to_string(Op::write(3)), "WRITE(3)");
+  EXPECT_EQ(to_string(Op::swap(-2)), "SWAP(-2)");
+  EXPECT_EQ(to_string(Op::test_and_set()), "TEST&SET");
+  EXPECT_EQ(to_string(Op::fetch_add(7)), "FETCH&ADD(7)");
+  EXPECT_EQ(to_string(Op::compare_and_swap(1, 2)), "CAS(1,2)");
+  EXPECT_EQ(to_string(Op::increment()), "INC");
+  EXPECT_EQ(to_string(Op::decrement()), "DEC");
+  EXPECT_EQ(to_string(Op::reset()), "RESET");
+  EXPECT_EQ(to_string(Invocation{3, Op::write(1)}), "R3.WRITE(1)");
+  EXPECT_EQ(to_string(Invocation{kNoObject, Op::read()}), "internal.READ");
+}
+
+TEST(Rendering, StepAndTraceStrings) {
+  Step step{2, {1, Op::swap(5)}, 7, Value{1}};
+  EXPECT_EQ(to_string(step), "P2: R1.SWAP(5) -> 7 [decides 1]");
+  Trace trace;
+  for (int i = 0; i < 5; ++i) {
+    trace.append(Step{0, {0, Op::read()}, 0, std::nullopt});
+  }
+  const std::string rendered = trace.render(3);
+  EXPECT_NE(rendered.find("more steps"), std::string::npos);
+}
+
+TEST(Rendering, ConfigurationValueDescription) {
+  auto space = std::make_shared<ObjectSpace>();
+  space->add_many(rw_register_type(), 2);
+  Configuration config(space);
+  EXPECT_EQ(config.describe_values(), "[0, 0]");
+}
+
+TEST(ObjectSpaceErrors, NullTypeAndZeroCount) {
+  ObjectSpace space;
+  EXPECT_THROW(space.add(nullptr), std::invalid_argument);
+  EXPECT_THROW(space.add_many(rw_register_type(), 0),
+               std::invalid_argument);
+  EXPECT_EQ(space.describe(), "(no objects)");
+}
+
+TEST(ConfigurationErrors, RequiresSpace) {
+  EXPECT_THROW(Configuration(nullptr), std::invalid_argument);
+}
+
+TEST(ConfigurationErrors, NullProcess) {
+  auto space = std::make_shared<ObjectSpace>();
+  space->add(rw_register_type());
+  Configuration config(space);
+  EXPECT_THROW(config.add_process(nullptr), std::invalid_argument);
+}
+
+TEST(ExecutorEdges, RunUntilPoisedOutsideBudget) {
+  // A process that reads forever never decides nor poises nontrivially:
+  // the helper must report budget exhaustion.
+  auto space = std::make_shared<ObjectSpace>();
+  space->add(rw_register_type());
+  Configuration config(space);
+  std::vector<Invocation> script(100, Invocation{0, Op::read()});
+  const auto pid = config.add_process(
+      std::make_unique<ScriptProcess>(script, 0));
+  Trace trace;
+  EXPECT_EQ(run_until_poised_outside(config, pid, {}, 10, trace),
+            PoiseOutcome::kBudget);
+}
+
+TEST(ExecutorEdges, BlockWriteOrderIsRespected) {
+  auto space = std::make_shared<ObjectSpace>();
+  space->add_many(rw_register_type(), 2);
+  Configuration config(space);
+  const auto a = config.add_process(std::make_unique<ScriptProcess>(
+      std::vector<Invocation>{{0, Op::write(1)}}, 0));
+  const auto b = config.add_process(std::make_unique<ScriptProcess>(
+      std::vector<Invocation>{{1, Op::write(2)}}, 0));
+  const Trace trace = block_write(config, {{1, b}, {0, a}});
+  EXPECT_EQ(trace[0].pid, b);
+  EXPECT_EQ(trace[1].pid, a);
+}
+
+TEST(SchedulerEdges, FixedSchedulerSkipsDecidedAndStops) {
+  auto space = std::make_shared<ObjectSpace>();
+  space->add(rw_register_type());
+  Configuration config(space);
+  const auto pid = config.add_process(std::make_unique<ScriptProcess>(
+      std::vector<Invocation>{{0, Op::read()}}, 0));
+  FixedScheduler sched({pid, pid, pid});
+  EXPECT_EQ(sched.next(config), pid);
+  config.step(pid);  // decides
+  EXPECT_EQ(sched.next(config), std::nullopt);
+}
+
+TEST(SchedulerEdges, ContentionFallsBackWhenNoContention) {
+  auto space = std::make_shared<ObjectSpace>();
+  space->add_many(rw_register_type(), 2);
+  Configuration config(space);
+  config.add_process(std::make_unique<ScriptProcess>(
+      std::vector<Invocation>{{0, Op::write(1)}}, 0));
+  ContentionScheduler sched(1);
+  EXPECT_TRUE(sched.next(config).has_value());
+}
+
+TEST(HarnessHelpers, InputPatterns) {
+  EXPECT_EQ(alternating_inputs(4), (std::vector<int>{0, 1, 0, 1}));
+  EXPECT_EQ(constant_inputs(3, 1), (std::vector<int>{1, 1, 1}));
+}
+
+TEST(HarnessHelpers, RunDetectsInvalidDecision) {
+  // first-writer with all-1 inputs must decide 1; check the harness
+  // validity logic itself by feeding a unanimous pattern.
+  RegisterRaceProtocol protocol(RaceVariant::kFirstWriter, 1);
+  RoundRobinScheduler sched;
+  const ConsensusRun run = run_consensus(
+      protocol, constant_inputs(3, 1), sched, 10'000, 1);
+  EXPECT_TRUE(run.valid);
+  EXPECT_EQ(run.decision, 1);
+}
+
+TEST(ConsensusProcessErrors, RejectsBadInputsAndDecisions) {
+  EXPECT_THROW(
+      CasConsensusProtocol().make_process(2, 0, 7, 1),
+      std::invalid_argument);
+  auto proc = CasConsensusProtocol().make_process(2, 0, 1, 1);
+  EXPECT_THROW((void)proc->decision(), std::logic_error);
+}
+
+TEST(BoundsEdges, SmallValues) {
+  EXPECT_EQ(min_historyless_objects(0), 1U);   // 3*0+0 <= 0 -> r=1
+  EXPECT_EQ(min_historyless_objects(3), 1U);   // 3*1+1=4 > 3
+  EXPECT_EQ(min_historyless_objects(4), 2U);   // 4 <= 4 -> need r=2
+  EXPECT_EQ(clone_adversary_processes(1), 2U);
+}
+
+TEST(StatsEdges, EmptyAndSingleton) {
+  EXPECT_EQ(summarize({}).count, 0U);
+  const Summary one = summarize({5.0});
+  EXPECT_EQ(one.count, 1U);
+  EXPECT_EQ(one.p50, 5.0);
+  EXPECT_EQ(one.p99, 5.0);
+  EXPECT_EQ(one.stddev, 0.0);
+}
+
+TEST(StatsEdges, PercentilesOrdered) {
+  std::vector<double> samples;
+  for (int i = 100; i >= 1; --i) {
+    samples.push_back(i);
+  }
+  const Summary s = summarize(std::move(samples));
+  EXPECT_EQ(s.count, 100U);
+  EXPECT_LE(s.min, s.p50);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+  EXPECT_LE(s.p99, s.max);
+  EXPECT_EQ(s.p50, 50);
+  EXPECT_EQ(s.p90, 90);
+  EXPECT_NE(to_string(s).find("p90=90"), std::string::npos);
+}
+
+TEST(EmulatedProtocolErrors, RequiresInnerAndFactories) {
+  EXPECT_THROW(EmulatedProtocol(nullptr, {std::make_shared<PassthroughFactory>()}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      EmulatedProtocol(std::make_shared<CasConsensusProtocol>(), {}),
+      std::invalid_argument);
+}
+
+TEST(ProtocolErrors, PairProtocolsRejectWrongN) {
+  EXPECT_THROW((void)TestAndSetPairProtocol().make_space(3),
+               std::invalid_argument);
+  EXPECT_THROW((void)TestAndSetPairProtocol().make_process(3, 0, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(RegisterRaceProtocol(RaceVariant::kFirstWriter, 2),
+               std::invalid_argument);
+  EXPECT_THROW(RegisterRaceProtocol(RaceVariant::kRoundVoting, 0),
+               std::invalid_argument);
+}
+
+TEST(CounterEdges, ResetOverwritesEverything) {
+  const auto type = counter_type();
+  EXPECT_TRUE(type->overwrites(Op::reset(), Op::increment()));
+  EXPECT_TRUE(type->overwrites(Op::reset(), Op::reset()));
+  EXPECT_FALSE(type->overwrites(Op::increment(), Op::decrement()));
+  EXPECT_FALSE(type->commutes(Op::reset(), Op::increment()));
+  EXPECT_TRUE(type->commutes(Op::reset(), Op::read()));
+}
+
+}  // namespace
+}  // namespace randsync

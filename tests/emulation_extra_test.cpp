@@ -1,0 +1,246 @@
+// Additional emulation coverage: historyless-to-historyless and
+// up-the-hierarchy emulations, fetch&inc/fetch&dec types, and the Monte
+// Carlo rounds variant.
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.h"
+#include "core/general_adversary.h"
+#include "emulation/counter_emulations.h"
+#include "emulation/emulated_protocol.h"
+#include "emulation/historyless_emulations.h"
+#include "emulation/passthrough.h"
+#include "objects/algebra.h"
+#include "objects/fetch_inc.h"
+#include "objects/swap_register.h"
+#include "objects/test_and_set.h"
+#include "protocols/harness.h"
+#include "objects/counter.h"
+#include "objects/register.h"
+#include "protocols/drift_walk.h"
+#include "protocols/register_walk.h"
+#include "protocols/register_race.h"
+#include "protocols/rounds_consensus.h"
+#include "protocols/single_object.h"
+#include "verify/history.h"
+#include "verify/linearizability.h"
+
+namespace randsync {
+namespace {
+
+TEST(FetchIncType, SemanticsAndClassification) {
+  const auto inc = fetch_inc_type();
+  Value v = 0;
+  EXPECT_EQ(inc->apply(Op::fetch_add(1), v), 0);
+  EXPECT_EQ(inc->apply(Op::fetch_add(1), v), 1);
+  EXPECT_EQ(inc->apply(Op::read(), v), 2);
+  EXPECT_THROW(inc->apply(Op::fetch_add(5), v), std::logic_error);
+
+  const auto dec = fetch_dec_type();
+  Value w = 0;
+  EXPECT_EQ(dec->apply(Op::fetch_add(-1), w), 0);
+  EXPECT_EQ(w, -1);
+
+  const auto sweep = default_value_sweep();
+  EXPECT_FALSE(check_historyless(*inc, sweep));
+  EXPECT_TRUE(check_interfering(*inc, sweep));
+  EXPECT_FALSE(check_historyless(*dec, sweep));
+}
+
+TEST(FetchIncType, SuccessiveResponsesDiffer) {
+  // The Section 4 property giving consensus number >= 2.
+  const auto type = fetch_inc_type();
+  for (Value start : {0, 7, -3}) {
+    Value v = start;
+    EXPECT_NE(type->apply(Op::fetch_add(1), v),
+              type->apply(Op::fetch_add(1), v));
+  }
+}
+
+TEST(HistorylessEmulation, TsFromSwapIsLinearizable) {
+  TsFromSwapFactory factory;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    auto space = std::make_shared<ObjectSpace>();
+    const auto object = factory.emulate(test_and_set_type(), 3, *space);
+    const std::vector<ClientScript> scripts{
+        {{Op::test_and_set(), Op::read()}},
+        {{Op::test_and_set()}},
+        {{Op::read(), Op::test_and_set()}},
+    };
+    const auto history = record_history(object, space, scripts, seed);
+    EXPECT_TRUE(linearizable(history, *test_and_set_type()))
+        << "seed " << seed;
+  }
+}
+
+TEST(HistorylessEmulation, SwapFromCasIsLinearizable) {
+  SwapFromCasFactory factory;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    auto space = std::make_shared<ObjectSpace>();
+    const auto object = factory.emulate(swap_register_type(), 3, *space);
+    const std::vector<ClientScript> scripts{
+        {{Op::swap(1), Op::read()}},
+        {{Op::swap(2), Op::swap(3)}},
+        {{Op::write(5), Op::read()}},
+    };
+    const auto history = record_history(object, space, scripts, seed);
+    EXPECT_TRUE(linearizable(history, *swap_register_type()))
+        << "seed " << seed;
+  }
+}
+
+TEST(HistorylessEmulation, TsPairOverSwapEmulatedTestAndSet) {
+  // 2-process consensus keeps working when its test&set register is
+  // emulated from a swap register (Theorem 2.1 inside the historyless
+  // class: one instance for one instance).
+  EmulatedProtocol protocol(
+      std::make_shared<TestAndSetPairProtocol>(),
+      {std::make_shared<TsFromSwapFactory>(),
+       std::make_shared<PassthroughFactory>()});
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    for (const auto& inputs :
+         {std::vector<int>{0, 1}, std::vector<int>{1, 0}}) {
+      RandomScheduler sched(seed);
+      const ConsensusRun run =
+          run_consensus(protocol, inputs, sched, 100'000, seed);
+      ASSERT_TRUE(run.all_decided);
+      EXPECT_TRUE(run.consistent);
+      EXPECT_TRUE(run.valid);
+    }
+  }
+  EXPECT_EQ(protocol.total_base_instances(2), 3U);
+}
+
+TEST(HistorylessEmulation, SwapPairOverCasEmulatedSwap) {
+  EmulatedProtocol protocol(std::make_shared<SwapPairProtocol>(),
+                            {std::make_shared<SwapFromCasFactory>()});
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    ContentionScheduler sched(seed);
+    const ConsensusRun run = run_consensus(
+        protocol, std::vector<int>{1, 0}, sched, 100'000, seed);
+    ASSERT_TRUE(run.all_decided);
+    EXPECT_TRUE(run.consistent);
+    EXPECT_TRUE(run.valid);
+  }
+  EXPECT_EQ(protocol.total_base_instances(2), 1U);
+}
+
+TEST(HistorylessEmulation, RwFromSwapBacksTheRegisterWalk) {
+  // Run full randomized consensus (register-walk) with every register
+  // emulated from a swap register: one historyless instance per
+  // historyless instance -- space translates freely inside the class.
+  EmulatedProtocol protocol(std::make_shared<RegisterWalkProtocol>(),
+                            {std::make_shared<RwFromSwapFactory>()});
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    RandomScheduler sched(seed);
+    const ConsensusRun run = run_consensus(
+        protocol, alternating_inputs(4), sched, 4'000'000, seed);
+    ASSERT_TRUE(run.all_decided);
+    EXPECT_TRUE(run.consistent);
+    EXPECT_TRUE(run.valid);
+  }
+  EXPECT_EQ(protocol.total_base_instances(4), 4U);
+}
+
+TEST(HistorylessEmulation, RwFromSwapIsLinearizable) {
+  RwFromSwapFactory factory;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto space = std::make_shared<ObjectSpace>();
+    const auto object = factory.emulate(rw_register_type(), 3, *space);
+    const std::vector<ClientScript> scripts{
+        {{Op::write(1), Op::read()}},
+        {{Op::write(2), Op::read(), Op::write(3)}},
+        {{Op::read(), Op::read()}},
+    };
+    const auto history = record_history(object, space, scripts, seed);
+    EXPECT_TRUE(linearizable(history, *rw_register_type()))
+        << "seed " << seed;
+  }
+}
+
+TEST(AtomicCounter, DoubleCollectHistoriesAreAlwaysLinearizable) {
+  // Unlike the weak collect counter, the double-collect variant's READs
+  // are linearizable in EVERY interleaving: the agreed snapshot existed
+  // at an instant between the two identical collects.
+  AtomicCounterFromRegistersFactory factory;
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    auto space = std::make_shared<ObjectSpace>();
+    const auto object = factory.emulate(counter_type(), 3, *space);
+    const std::vector<ClientScript> scripts{
+        {{Op::increment(), Op::read(), Op::decrement(), Op::read()}},
+        {{Op::decrement(), Op::increment()}},
+        {{Op::read(), Op::increment(), Op::read()}},
+    };
+    const auto history = record_history(object, space, scripts, seed);
+    EXPECT_EQ(history.size(), 9U);
+    EXPECT_TRUE(linearizable(history, *counter_type())) << "seed " << seed;
+  }
+}
+
+TEST(AtomicCounter, BacksTheCounterWalk) {
+  // Full randomized consensus over atomically-emulated counters: the
+  // strongest register-only composition in the repository.
+  EmulatedProtocol protocol(
+      std::make_shared<CounterWalkProtocol>(),
+      {std::make_shared<AtomicCounterFromRegistersFactory>()});
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    RandomScheduler sched(seed);
+    const ConsensusRun run = run_consensus(
+        protocol, alternating_inputs(4), sched, 8'000'000, seed);
+    ASSERT_TRUE(run.all_decided) << seed;
+    EXPECT_TRUE(run.consistent);
+    EXPECT_TRUE(run.valid);
+  }
+  EXPECT_EQ(protocol.total_base_instances(4), 12U);
+}
+
+TEST(HistorylessEmulation, TheLowerBoundAppliesThroughEmulationLayers) {
+  // A fixed-space identical-process register prey, with every register
+  // emulated from a swap register, is STILL a fixed-space historyless
+  // protocol -- and the general adversary breaks it through the
+  // emulation layer, within the same 3r^2+r budget.
+  const std::size_t r = 3;
+  EmulatedProtocol protocol(
+      std::make_shared<RegisterRaceProtocol>(RaceVariant::kRoundVoting, r),
+      {std::make_shared<RwFromSwapFactory>()});
+  ASSERT_TRUE(protocol.fixed_space());
+  ASSERT_TRUE(protocol.identical_processes());
+  ASSERT_TRUE(protocol.make_space(2)->all_historyless());
+  GeneralAdversary::Options opt;
+  opt.seed = 21;
+  const auto result = GeneralAdversary(opt).attack(protocol);
+  ASSERT_TRUE(result.success) << result.failure;
+  EXPECT_TRUE(result.execution.inconsistent());
+  EXPECT_LE(result.processes_used, general_adversary_processes(r));
+}
+
+TEST(HistorylessEmulation, SlotBasedEmulationsStayOutOfScope) {
+  // Slot-based emulations grow with n and break identicalness: the
+  // emulated protocol reports itself out of the adversaries' scope.
+  EmulatedProtocol protocol(
+      std::make_shared<CounterWalkProtocol>(),
+      {std::make_shared<CounterFromRegistersFactory>()});
+  EXPECT_FALSE(protocol.fixed_space());
+  EXPECT_FALSE(protocol.identical_processes());
+}
+
+TEST(MonteCarlo, TerminatesUnderBenignSchedulersWithoutErrors) {
+  RoundsConsensusProtocol protocol(32, ExhaustionPolicy::kDecideAnyway);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    RandomScheduler sched(seed);
+    const ConsensusRun run = run_consensus(
+        protocol, alternating_inputs(4), sched, 1'000'000, seed);
+    ASSERT_TRUE(run.all_decided);
+    EXPECT_TRUE(run.consistent);
+    EXPECT_TRUE(run.valid);
+  }
+}
+
+TEST(MonteCarlo, NameDistinguishesThePolicies) {
+  EXPECT_NE(RoundsConsensusProtocol(8).name(),
+            RoundsConsensusProtocol(8, ExhaustionPolicy::kDecideAnyway)
+                .name());
+}
+
+}  // namespace
+}  // namespace randsync

@@ -1,0 +1,139 @@
+// Tests for the Theorem 2.1 emulation framework: consensus protocols
+// keep working when their objects are replaced by emulations from other
+// object types, and the instance accounting matches the theorem.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "emulation/counter_emulations.h"
+#include "emulation/emulated_protocol.h"
+#include "emulation/passthrough.h"
+#include "protocols/drift_walk.h"
+#include "protocols/harness.h"
+#include "protocols/single_object.h"
+
+namespace randsync {
+namespace {
+
+constexpr std::size_t kMaxSteps = 4'000'000;
+
+void exercise_safety(const ConsensusProtocol& protocol, std::size_t n,
+                     std::uint64_t seed) {
+  for (int pattern = 0; pattern < 3; ++pattern) {
+    std::vector<int> inputs = pattern == 0   ? constant_inputs(n, 0)
+                              : pattern == 1 ? constant_inputs(n, 1)
+                                             : alternating_inputs(n);
+    RandomScheduler sched(derive_seed(seed, pattern));
+    ConsensusRun run =
+        run_consensus(protocol, inputs, sched, kMaxSteps, seed);
+    ASSERT_TRUE(run.all_decided) << protocol.name() << " pattern " << pattern;
+    EXPECT_TRUE(run.consistent) << protocol.name();
+    EXPECT_TRUE(run.valid) << protocol.name();
+    if (pattern < 2) {
+      EXPECT_EQ(run.decision, pattern) << protocol.name();
+    }
+  }
+}
+
+TEST(Emulation, CounterWalkOverFaaCounters) {
+  EmulatedProtocol protocol(
+      std::make_shared<CounterWalkProtocol>(),
+      {std::make_shared<CounterFromFaaFactory>()});
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    exercise_safety(protocol, 6, seed);
+  }
+  // Three bounded counters -> three fetch&add registers.
+  EXPECT_EQ(protocol.virtual_instances(6), 3U);
+  EXPECT_EQ(protocol.total_base_instances(6), 3U);
+}
+
+TEST(Emulation, CounterWalkOverRegisterCounters) {
+  // The headline Theorem 2.1 composition: counter-based randomized
+  // consensus where every counter is itself built from n single-writer
+  // registers -- consensus from read-write registers alone.
+  EmulatedProtocol protocol(
+      std::make_shared<CounterWalkProtocol>(),
+      {std::make_shared<CounterFromRegistersFactory>()});
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    exercise_safety(protocol, 5, seed);
+  }
+  EXPECT_EQ(protocol.total_base_instances(5), 15U);  // 3 counters x n slots
+}
+
+TEST(Emulation, FaaConsensusOverCas) {
+  EmulatedProtocol protocol(std::make_shared<FaaConsensusProtocol>(),
+                            {std::make_shared<FaaFromCasFactory>()});
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    exercise_safety(protocol, 6, seed);
+  }
+  EXPECT_EQ(protocol.total_base_instances(6), 1U);  // one CAS register
+}
+
+TEST(Emulation, TsPairOverCasWithPassthroughRegisters) {
+  EmulatedProtocol protocol(
+      std::make_shared<TestAndSetPairProtocol>(),
+      {std::make_shared<TsFromCasFactory>(),
+       std::make_shared<PassthroughFactory>()});
+  exercise_safety(protocol, 2, 17);
+  EXPECT_EQ(protocol.total_base_instances(2), 3U);
+}
+
+TEST(Emulation, EmulatedProcessesSurviveContention) {
+  // The CAS retry loop must make progress (lock-freedom) even when the
+  // contention scheduler keeps processes clashing on the register.
+  EmulatedProtocol protocol(std::make_shared<FaaConsensusProtocol>(),
+                            {std::make_shared<FaaFromCasFactory>()});
+  ContentionScheduler sched(99);
+  ConsensusRun run = run_consensus(protocol, alternating_inputs(8), sched,
+                                   kMaxSteps, 123);
+  ASSERT_TRUE(run.all_decided);
+  EXPECT_TRUE(run.consistent);
+  EXPECT_TRUE(run.valid);
+}
+
+TEST(Emulation, CloneMidProcedurePreservesState) {
+  // Adversaries clone processes at arbitrary points, including in the
+  // middle of an emulated operation's procedure.
+  EmulatedProtocol protocol(
+      std::make_shared<CounterWalkProtocol>(),
+      {std::make_shared<CounterFromRegistersFactory>()});
+  Configuration config = make_initial_configuration(
+      protocol, std::vector<int>{0, 1, 0}, 5);
+  // Step P0 partway into its first procedure.
+  config.step(0);
+  config.step(0);
+  const auto pre_inv = config.process(0).poised();
+  const auto clone_pid = config.add_process(config.process(0).clone());
+  EXPECT_EQ(config.process(clone_pid).poised(), pre_inv);
+  // Advancing the original must not affect the clone.
+  config.step(0);
+  EXPECT_EQ(config.process(clone_pid).poised(), pre_inv);
+}
+
+TEST(Emulation, AccountingMatchesTheorem21Shape) {
+  // Theorem 2.1: f(n) instances of X solve consensus; replacing each by
+  // h(n) instances of Y gives f(n)*h(n) instances of Y.
+  const auto inner = std::make_shared<CounterWalkProtocol>();
+  EmulatedProtocol protocol(inner,
+                            {std::make_shared<CounterFromRegistersFactory>()});
+  for (std::size_t n : {4U, 8U, 16U}) {
+    const std::size_t f = protocol.virtual_instances(n);
+    const std::size_t total = protocol.total_base_instances(n);
+    EXPECT_EQ(total, f * n);  // h(n) = n registers per counter
+  }
+}
+
+TEST(Emulation, RejectsUnhandledTypes) {
+  EXPECT_THROW(
+      {
+        EmulatedProtocol protocol(
+            std::make_shared<CasConsensusProtocol>(),
+            {std::make_shared<CounterFromFaaFactory>()});
+        (void)protocol.make_space(4);
+      },
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace randsync

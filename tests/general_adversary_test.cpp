@@ -1,0 +1,213 @@
+// Tests for the main result made executable: the GeneralAdversary
+// (Lemmas 3.4-3.6 / Theorem 3.7) constructs inconsistent executions
+// against fixed-space protocols over arbitrary historyless objects,
+// within the 3r^2 + r process budget.
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.h"
+#include "core/general_adversary.h"
+#include "core/interruptible.h"
+#include "protocols/drift_walk.h"
+#include "protocols/historyless_race.h"
+#include "protocols/register_race.h"
+#include "protocols/register_walk.h"
+#include "protocols/rounds_consensus.h"
+#include "protocols/single_object.h"
+
+namespace randsync {
+namespace {
+
+void expect_broken(const ConsensusProtocol& protocol, std::size_t r,
+                   std::uint64_t seed) {
+  GeneralAdversary::Options opt;
+  opt.seed = seed;
+  GeneralAdversary adversary(opt);
+  const GeneralAttackResult result = adversary.attack(protocol);
+  ASSERT_TRUE(result.success)
+      << protocol.name() << " (seed " << seed << "): " << result.failure;
+  EXPECT_TRUE(result.execution.inconsistent()) << protocol.name();
+  EXPECT_LE(result.processes_used, general_adversary_processes(r))
+      << protocol.name();
+}
+
+TEST(GeneralAdversary, BreaksMixedHistorylessRaces) {
+  for (std::size_t r = 1; r <= 5; ++r) {
+    expect_broken(HistorylessRaceProtocol::mixed(r), r, 11);
+  }
+}
+
+TEST(GeneralAdversary, BreaksSwapRaces) {
+  for (std::size_t r = 1; r <= 4; ++r) {
+    expect_broken(HistorylessRaceProtocol::swaps(r), r, 5);
+  }
+}
+
+TEST(GeneralAdversary, BreaksRegisterRacesToo) {
+  // The general machinery subsumes the read-write case.
+  expect_broken(RegisterRaceProtocol(RaceVariant::kFirstWriter, 1), 1, 3);
+  expect_broken(RegisterRaceProtocol(RaceVariant::kRoundVoting, 3), 3, 3);
+  expect_broken(RegisterRaceProtocol(RaceVariant::kConciliator, 3), 3, 3);
+}
+
+TEST(GeneralAdversary, BreaksAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    expect_broken(HistorylessRaceProtocol::mixed(3), 3, seed);
+  }
+}
+
+TEST(GeneralAdversary, BreaksBidirectionalRacesViaRebuilds) {
+  // The bidirectional prey makes the two sides poise at DIFFERENT
+  // objects (even pids sweep left-to-right, odd right-to-left), forcing
+  // Lemma 3.5's incomparable-object-set case: the adversary must
+  // rebuild sides over the union using the reserved excess capacity.
+  for (std::size_t r = 2; r <= 5; ++r) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const auto prey = HistorylessRaceProtocol::bidirectional(r);
+      GeneralAdversary::Options opt;
+      opt.seed = seed;
+      const auto result = GeneralAdversary(opt).attack(prey);
+      ASSERT_TRUE(result.success)
+          << prey.name() << " r=" << r << " seed=" << seed << ": "
+          << result.failure;
+      EXPECT_LE(result.processes_used, general_adversary_processes(r));
+    }
+  }
+}
+
+TEST(GeneralAdversary, BidirectionalRacesExerciseTheRebuildPath) {
+  // At least one (r, seed) combination must actually go through the
+  // incomparable case -- otherwise the rebuild machinery is dead code.
+  std::size_t total_rebuilds = 0;
+  for (std::size_t r = 2; r <= 5; ++r) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      const auto prey = HistorylessRaceProtocol::bidirectional(r);
+      GeneralAdversary::Options opt;
+      opt.seed = seed;
+      const auto result = GeneralAdversary(opt).attack(prey);
+      if (result.success) {
+        total_rebuilds += result.rebuilds;
+      }
+    }
+  }
+  EXPECT_GT(total_rebuilds, 0U);
+}
+
+TEST(GeneralAdversary, RejectsNonHistorylessSpaces) {
+  FaaConsensusProtocol protocol;  // correct; fetch&add not historyless
+  GeneralAdversary adversary;
+  const auto result = adversary.attack(protocol);
+  EXPECT_FALSE(result.success);
+  EXPECT_NE(result.failure.find("historyless"), std::string::npos);
+}
+
+TEST(GeneralAdversary, RejectsGrowingSpaces) {
+  // register-walk's space grows with n: the theorem does not apply to
+  // it (and indeed it is correct consensus), so the adversary must
+  // refuse rather than misfire.
+  RegisterWalkProtocol protocol;
+  GeneralAdversary adversary;
+  const auto result = adversary.attack(protocol);
+  EXPECT_FALSE(result.success);
+  EXPECT_NE(result.failure.find("fixed-space"), std::string::npos);
+}
+
+TEST(GeneralAdversary, BreaksSwapPairWithManyProcesses) {
+  // swap-pair is CORRECT for 2 processes but is a fixed-space
+  // historyless protocol, so with 3r^2+r = 4 processes the adversary
+  // must find an inconsistency -- the theorem in its sharpest form:
+  // a correct 2-process protocol cannot scale.
+  SwapPairProtocol protocol;
+  GeneralAdversary adversary;
+  const auto result = adversary.attack(protocol);
+  ASSERT_TRUE(result.success) << result.failure;
+  EXPECT_TRUE(result.execution.inconsistent());
+}
+
+TEST(GeneralAdversary, RoundBudgetedConsensusCannotEscapeTheTheorem) {
+  // rounds-consensus with a small budget is a FIXED-SPACE historyless
+  // protocol satisfying nondeterministic solo termination, so Theorem
+  // 3.7 applies: with 3r^2+r processes it cannot be correct.  The
+  // failure mode is either an inconsistent execution or a round-budget
+  // abort (itself a liveness violation) -- never a clean run.
+  RoundsConsensusProtocol protocol(2);  // 8 registers
+  GeneralAdversary::Options opt;
+  opt.seed = 3;
+  const auto result = GeneralAdversary(opt).attack(protocol);
+  EXPECT_TRUE(result.success ||
+              result.failure.find("round budget exhausted") !=
+                  std::string::npos)
+      << result.failure;
+}
+
+TEST(InterruptibleExecution, PieceSetsStrictlyIncrease) {
+  // Definition 3.1: V_1 strictly-subset V_2 strictly-subset ... V_k.
+  HistorylessRaceProtocol protocol = HistorylessRaceProtocol::mixed(4);
+  auto space = protocol.make_space(2);
+  Configuration config(space);
+  std::set<ProcessId> members;
+  const std::size_t pool = general_adversary_processes(4) / 2;
+  for (std::size_t i = 0; i < pool; ++i) {
+    members.insert(
+        config.add_process(protocol.make_process(2, i, 0, 1000 + i)));
+  }
+  std::set<ObjectId> all{0, 1, 2, 3};
+  InterruptibleOptions opt;
+  const auto exec =
+      build_interruptible(config, {}, members, all, opt);
+  ASSERT_FALSE(exec.pieces.empty());
+  EXPECT_EQ(exec.decides, 0);  // all members have input 0
+  for (std::size_t i = 1; i < exec.pieces.size(); ++i) {
+    const auto& prev = exec.pieces[i - 1].objects;
+    const auto& cur = exec.pieces[i].objects;
+    EXPECT_TRUE(std::includes(cur.begin(), cur.end(), prev.begin(),
+                              prev.end()));
+    EXPECT_GT(cur.size(), prev.size());
+  }
+  // Block writers take no further steps: no block writer of piece i may
+  // appear as a runner or writer in a later piece.
+  std::set<ProcessId> retired;
+  for (const auto& piece : exec.pieces) {
+    for (const auto& [obj, pid] : piece.block) {
+      (void)obj;
+      EXPECT_FALSE(retired.contains(pid));
+    }
+    for (ProcessId pid : piece.runners) {
+      EXPECT_FALSE(retired.contains(pid));
+    }
+    for (const auto& [obj, pid] : piece.block) {
+      (void)obj;
+      retired.insert(pid);
+    }
+  }
+}
+
+TEST(InterruptibleExecution, ReExecutesIdenticallyOnClone) {
+  HistorylessRaceProtocol protocol = HistorylessRaceProtocol::swaps(3);
+  auto space = protocol.make_space(2);
+  Configuration config(space);
+  std::set<ProcessId> members;
+  for (std::size_t i = 0; i < general_adversary_processes(3) / 2; ++i) {
+    members.insert(config.add_process(protocol.make_process(2, i, 1, i)));
+  }
+  std::set<ObjectId> all{0, 1, 2};
+  InterruptibleOptions opt;
+  const auto exec = build_interruptible(config, {}, members, all, opt);
+  // Replay the program on a clone of the original configuration: every
+  // piece must execute cleanly and the same decision must appear.
+  Configuration replay = config.clone();
+  Trace trace;
+  std::optional<Value> decided;
+  for (const auto& piece : exec.pieces) {
+    const auto d = execute_piece(replay, piece, trace, opt);
+    if (d && !decided) {
+      decided = d;
+    }
+  }
+  ASSERT_TRUE(decided.has_value());
+  EXPECT_EQ(*decided, exec.decides);
+  EXPECT_EQ(exec.decides, 1);
+}
+
+}  // namespace
+}  // namespace randsync

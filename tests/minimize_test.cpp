@@ -1,0 +1,66 @@
+// Tests for witness-schedule minimization.
+
+#include <gtest/gtest.h>
+
+#include "core/clone_adversary.h"
+#include "protocols/register_race.h"
+#include "verify/explorer.h"
+#include "verify/minimize.h"
+
+namespace randsync {
+namespace {
+
+TEST(Minimize, ShrinksExplorerWitnesses) {
+  RegisterRaceProtocol protocol(RaceVariant::kRoundVoting, 2);
+  const std::vector<int> inputs{0, 1};
+  ExploreOptions opt;
+  opt.max_depth = 32;
+  const auto exploration = explore(protocol, inputs, opt);
+  ASSERT_FALSE(exploration.safe);
+
+  const auto minimized = minimize_schedule(
+      protocol, inputs, exploration.violation_schedule, opt.seed);
+  EXPECT_LE(minimized.schedule.size(), exploration.violation_schedule.size());
+  EXPECT_GE(minimized.schedule.size(), 2U);  // two decisions at least
+  // The minimized schedule still replays to an inconsistency.
+  const Trace witness =
+      replay_schedule(protocol, inputs, minimized.schedule, opt.seed);
+  EXPECT_TRUE(witness.inconsistent());
+  // Local minimality: removing any single step breaks the witness.
+  for (std::size_t i = 0; i < minimized.schedule.size(); ++i) {
+    std::vector<ProcessId> candidate = minimized.schedule;
+    candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+    bool still_bad = true;
+    try {
+      const Trace t = replay_schedule(protocol, inputs, candidate, opt.seed);
+      still_bad = t.inconsistent();
+    } catch (const std::logic_error&) {
+      still_bad = false;  // became non-executable
+    }
+    EXPECT_FALSE(still_bad) << "step " << i << " was removable";
+  }
+}
+
+TEST(Minimize, RejectsNonWitnesses) {
+  RegisterRaceProtocol protocol(RaceVariant::kRoundVoting, 2);
+  const std::vector<int> inputs{0, 1};
+  const std::vector<ProcessId> benign{0, 1};
+  EXPECT_THROW(minimize_schedule(protocol, inputs, benign, 1),
+               std::invalid_argument);
+}
+
+TEST(Minimize, FirstWriterWitnessReachesTheKnownMinimum) {
+  // The first-writer violation needs exactly 4 steps (two reads of the
+  // empty register, two writes/decisions).
+  RegisterRaceProtocol protocol(RaceVariant::kFirstWriter, 1);
+  const std::vector<int> inputs{0, 1};
+  ExploreOptions opt;
+  const auto exploration = explore(protocol, inputs, opt);
+  ASSERT_FALSE(exploration.safe);
+  const auto minimized = minimize_schedule(
+      protocol, inputs, exploration.violation_schedule, opt.seed);
+  EXPECT_EQ(minimized.schedule.size(), 4U);
+}
+
+}  // namespace
+}  // namespace randsync

@@ -1,0 +1,186 @@
+// Mutation tests (negative controls): deliberately broken variants of
+// the protocols must be CAUGHT by the verification apparatus.  If these
+// tests ever start failing, the safety checkers have gone blind.
+
+#include <gtest/gtest.h>
+
+#include "objects/counter.h"
+#include "protocols/harness.h"
+#include "protocols/drift_walk.h"
+#include "protocols/protocol.h"
+
+namespace randsync {
+namespace {
+
+// The drift walk WITHOUT its drift bands: decisions still at |p| >= 2n,
+// but in between every (registered) process flips freely.  The missing
+// bands break irrevocability: after someone reads p >= 2n and decides
+// 1, the others' unbiased walk can wander all the way down to -2n and
+// decide 0.  (This is the mutation the drift_walk.h safety argument
+// warns about.)
+class BrokenWalkProcess final : public ConsensusProcess {
+ public:
+  BrokenWalkProcess(std::size_t n, int input,
+                    std::unique_ptr<CoinSource> coin)
+      : ConsensusProcess(input, std::move(coin)), n_(n) {}
+
+  [[nodiscard]] Invocation poised() const override {
+    switch (phase_) {
+      case Phase::kRegister:
+        return {static_cast<ObjectId>(input()), Op::increment()};
+      case Phase::kReadC0:
+        return {0, Op::read()};
+      case Phase::kReadC1:
+        return {1, Op::read()};
+      case Phase::kReadCursor:
+        return {2, Op::read()};
+      case Phase::kMoveUp:
+        return {2, Op::increment()};
+      case Phase::kMoveDown:
+        return {2, Op::decrement()};
+    }
+    return {2, Op::read()};
+  }
+
+  void on_response(Value response) override {
+    switch (phase_) {
+      case Phase::kRegister:
+        phase_ = Phase::kReadC0;
+        return;
+      case Phase::kReadC0:
+        c0_ = response;
+        phase_ = Phase::kReadC1;
+        return;
+      case Phase::kReadC1:
+        c1_ = response;
+        phase_ = Phase::kReadCursor;
+        return;
+      case Phase::kReadCursor: {
+        const Value band = static_cast<Value>(n_);
+        if (response >= 2 * band) {
+          decide(1);
+          return;
+        }
+        if (response <= -2 * band) {
+          decide(0);
+          return;
+        }
+        // MUTATION: no drift bands.  Validity rules kept, then flip.
+        if (c1_ == 0) {
+          phase_ = Phase::kMoveDown;
+          return;
+        }
+        if (c0_ == 0) {
+          phase_ = Phase::kMoveUp;
+          return;
+        }
+        phase_ = coin().flip() ? Phase::kMoveUp : Phase::kMoveDown;
+        return;
+      }
+      case Phase::kMoveUp:
+      case Phase::kMoveDown:
+        phase_ = Phase::kReadC0;
+        return;
+    }
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<BrokenWalkProcess>(*this);
+  }
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    std::uint64_t h = hash_combine(static_cast<std::uint64_t>(phase_),
+                                   static_cast<std::uint64_t>(c0_));
+    h = hash_combine(h, static_cast<std::uint64_t>(c1_));
+    return hash_combine(h, base_hash());
+  }
+
+ private:
+  enum class Phase {
+    kRegister,
+    kReadC0,
+    kReadC1,
+    kReadCursor,
+    kMoveUp,
+    kMoveDown
+  };
+  std::size_t n_;
+  Value c0_ = 0;
+  Value c1_ = 0;
+  Phase phase_ = Phase::kRegister;
+};
+
+class BrokenWalkProtocol final : public ConsensusProtocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "broken-walk"; }
+  [[nodiscard]] ObjectSpacePtr make_space(std::size_t n) const override {
+    auto space = std::make_shared<ObjectSpace>();
+    const Value bound = static_cast<Value>(n);
+    space->add(bounded_counter_type(-1, bound));
+    space->add(bounded_counter_type(-1, bound));
+    // Wide cursor range so the broken walk's wandering is visible as an
+    // inconsistency rather than masked by counter wraparound.
+    space->add(bounded_counter_type(-100 * bound, 100 * bound));
+    return space;
+  }
+  [[nodiscard]] std::unique_ptr<ConsensusProcess> make_process(
+      std::size_t n, std::size_t, int input,
+      std::uint64_t seed) const override {
+    return std::make_unique<BrokenWalkProcess>(
+        n, input, std::make_unique<SplitMixCoin>(seed));
+  }
+  [[nodiscard]] bool identical_processes() const override { return true; }
+  [[nodiscard]] bool fixed_space() const override { return true; }
+};
+
+TEST(Mutation, BandlessWalkIsCaughtByStressRuns) {
+  // Keep stepping the remaining processes after the first decision: the
+  // unbiased walk must eventually cross the opposite band.
+  BrokenWalkProtocol protocol;
+  const std::size_t n = 2;
+  std::size_t violations = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Configuration config =
+        make_initial_configuration(protocol, alternating_inputs(n), seed);
+    RandomScheduler sched(seed);
+    std::size_t steps = 0;
+    while (steps < 200'000 && !config.all_decided()) {
+      const auto pid = sched.next(config);
+      if (!pid) {
+        break;
+      }
+      config.step(*pid);
+      ++steps;
+    }
+    if (!config.all_decided()) {
+      continue;
+    }
+    Value first = config.process(0).decision();
+    for (ProcessId pid = 1; pid < n; ++pid) {
+      if (config.process(pid).decision() != first) {
+        ++violations;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(violations, 0U)
+      << "the band-less walk mutation was never caught; the stress "
+         "apparatus has gone blind";
+}
+
+TEST(Mutation, RealWalkSurvivesTheSameStress) {
+  // Control: the un-mutated protocol under the identical regimen shows
+  // zero violations.
+  CounterWalkProtocol protocol;
+  const std::size_t n = 3;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    RandomScheduler sched(seed);
+    const ConsensusRun run = run_consensus(
+        protocol, alternating_inputs(n), sched, 200'000, seed);
+    ASSERT_TRUE(run.all_decided) << seed;
+    EXPECT_TRUE(run.consistent) << seed;
+    EXPECT_TRUE(run.valid) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace randsync

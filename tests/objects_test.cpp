@@ -1,0 +1,230 @@
+// Unit tests for the shared-object type library and the Section 2
+// algebraic classification (trivial / overwrites / commutes /
+// historyless / interfering).
+
+#include <gtest/gtest.h>
+
+#include "objects/algebra.h"
+#include "objects/compare_and_swap.h"
+#include "objects/counter.h"
+#include "objects/fetch_add.h"
+#include "objects/register.h"
+#include "objects/sticky_bit.h"
+#include "objects/swap_register.h"
+#include "objects/test_and_set.h"
+
+namespace randsync {
+namespace {
+
+TEST(RwRegister, ReadAndWriteSemantics) {
+  const auto type = rw_register_type();
+  Value v = type->initial_value();
+  EXPECT_EQ(v, 0);
+  EXPECT_EQ(type->apply(Op::read(), v), 0);
+  EXPECT_EQ(type->apply(Op::write(42), v), 0);
+  EXPECT_EQ(v, 42);
+  EXPECT_EQ(type->apply(Op::read(), v), 42);
+  EXPECT_EQ(v, 42);
+}
+
+TEST(RwRegister, SupportsOnlyReadWrite) {
+  const auto type = rw_register_type();
+  EXPECT_TRUE(type->supports(OpKind::kRead));
+  EXPECT_TRUE(type->supports(OpKind::kWrite));
+  EXPECT_FALSE(type->supports(OpKind::kSwap));
+  EXPECT_FALSE(type->supports(OpKind::kTestAndSet));
+  EXPECT_FALSE(type->supports(OpKind::kFetchAdd));
+  EXPECT_FALSE(type->supports(OpKind::kCompareAndSwap));
+}
+
+TEST(SwapRegister, SwapReturnsOldValue) {
+  const auto type = swap_register_type();
+  Value v = 0;
+  EXPECT_EQ(type->apply(Op::swap(1), v), 0);
+  EXPECT_EQ(v, 1);
+  EXPECT_EQ(type->apply(Op::swap(5), v), 1);
+  EXPECT_EQ(v, 5);
+}
+
+TEST(SwapRegister, SuccessiveSwapsReturnDifferentResponses) {
+  // Section 4: "a register with the value 0 returns different values
+  // from successive applications of SWAP(1)" -- the property that gives
+  // swap registers deterministic consensus number 2.
+  const auto type = swap_register_type();
+  Value v = 0;
+  const Value first = type->apply(Op::swap(1), v);
+  const Value second = type->apply(Op::swap(1), v);
+  EXPECT_NE(first, second);
+}
+
+TEST(TestAndSet, SemanticsAndIdempotence) {
+  const auto type = test_and_set_type();
+  Value v = type->initial_value();
+  EXPECT_EQ(v, 0);
+  EXPECT_EQ(type->apply(Op::test_and_set(), v), 0);  // wins
+  EXPECT_EQ(v, 1);
+  EXPECT_EQ(type->apply(Op::test_and_set(), v), 1);  // loses
+  EXPECT_EQ(v, 1);
+  EXPECT_EQ(type->apply(Op::read(), v), 1);
+}
+
+TEST(FetchAdd, ReturnsOldValueAndAccumulates) {
+  const auto type = fetch_add_type();
+  Value v = 0;
+  EXPECT_EQ(type->apply(Op::fetch_add(3), v), 0);
+  EXPECT_EQ(type->apply(Op::fetch_add(-1), v), 3);
+  EXPECT_EQ(v, 2);
+}
+
+TEST(FetchAdd, SuccessiveFetchAddsReturnDifferentResponses) {
+  // The Section 4 property: FETCH&ADD applied twice from any starting
+  // value returns different responses, giving consensus number >= 2.
+  const auto type = fetch_add_type();
+  for (Value start : {0, 5, -7}) {
+    Value v = start;
+    const Value first = type->apply(Op::fetch_add(1), v);
+    const Value second = type->apply(Op::fetch_add(1), v);
+    EXPECT_NE(first, second);
+  }
+}
+
+TEST(CompareAndSwap, SucceedsOnlyOnExpected) {
+  const auto type = compare_and_swap_type();
+  Value v = 0;
+  EXPECT_EQ(type->apply(Op::compare_and_swap(1, 9), v), 0);
+  EXPECT_EQ(v, 0);
+  EXPECT_EQ(type->apply(Op::compare_and_swap(0, 9), v), 1);
+  EXPECT_EQ(v, 9);
+  EXPECT_EQ(type->apply(Op::compare_and_swap(0, 7), v), 0);
+  EXPECT_EQ(v, 9);
+}
+
+TEST(Counter, IncDecResetRead) {
+  const auto type = counter_type();
+  Value v = 0;
+  type->apply(Op::increment(), v);
+  type->apply(Op::increment(), v);
+  type->apply(Op::decrement(), v);
+  EXPECT_EQ(type->apply(Op::read(), v), 1);
+  type->apply(Op::reset(), v);
+  EXPECT_EQ(v, 0);
+}
+
+TEST(BoundedCounter, WrapsModuloRangeSize) {
+  const auto type = bounded_counter_type(-2, 2);
+  Value v = 0;
+  for (int i = 0; i < 2; ++i) {
+    type->apply(Op::increment(), v);
+  }
+  EXPECT_EQ(v, 2);
+  type->apply(Op::increment(), v);
+  EXPECT_EQ(v, -2);  // wrapped
+  type->apply(Op::decrement(), v);
+  EXPECT_EQ(v, 2);  // wrapped back
+}
+
+TEST(BoundedCounter, RejectsRangeWithoutZero) {
+  EXPECT_THROW(BoundedCounterType(1, 5), std::invalid_argument);
+  EXPECT_THROW(BoundedCounterType(-5, -1), std::invalid_argument);
+  EXPECT_THROW(BoundedCounterType(3, 3), std::invalid_argument);
+}
+
+TEST(StickyBit, FirstWriteWinsForever) {
+  const auto type = sticky_bit_type();
+  Value v = type->initial_value();
+  EXPECT_EQ(type->apply(Op::write(2), v), 2);  // stick at 1 (encoded 2)
+  EXPECT_EQ(v, 2);
+  EXPECT_EQ(type->apply(Op::write(1), v), 2);  // rejected: already stuck
+  EXPECT_EQ(v, 2);
+  EXPECT_EQ(type->apply(Op::read(), v), 2);
+}
+
+TEST(StickyBit, RemembersFirstNotLastOperation) {
+  // The mirror image of historylessness: no nontrivial operation
+  // overwrites a different nontrivial operation.
+  const auto type = sticky_bit_type();
+  EXPECT_FALSE(type->overwrites(Op::write(1), Op::write(2)));
+  EXPECT_FALSE(type->overwrites(Op::write(2), Op::write(1)));
+  EXPECT_TRUE(type->overwrites(Op::write(1), Op::write(1)));
+  EXPECT_FALSE(type->historyless());
+}
+
+// ---------------------------------------------------------------------
+// Algebraic classification: each type's claimed properties are verified
+// empirically against the definitions of Section 2.
+
+struct TypeCase {
+  const char* label;
+  ObjectTypePtr type;
+  bool historyless;
+  bool interfering;
+};
+
+class AlgebraTest : public ::testing::TestWithParam<TypeCase> {};
+
+TEST_P(AlgebraTest, TrivialityClaimsMatchSemantics) {
+  const auto& type = *GetParam().type;
+  const auto sweep = default_value_sweep();
+  for (const Op& op : type.sample_ops()) {
+    EXPECT_EQ(type.is_trivial(op), check_trivial(type, op, sweep))
+        << type.name() << " " << to_string(op);
+  }
+}
+
+TEST_P(AlgebraTest, OverwriteClaimsMatchSemantics) {
+  const auto& type = *GetParam().type;
+  const auto sweep = default_value_sweep();
+  for (const Op& f : type.sample_ops()) {
+    for (const Op& g : type.sample_ops()) {
+      EXPECT_EQ(type.overwrites(f, g), check_overwrites(type, f, g, sweep))
+          << type.name() << " later=" << to_string(f)
+          << " earlier=" << to_string(g);
+    }
+  }
+}
+
+TEST_P(AlgebraTest, CommuteClaimsMatchSemantics) {
+  const auto& type = *GetParam().type;
+  const auto sweep = default_value_sweep();
+  for (const Op& a : type.sample_ops()) {
+    for (const Op& b : type.sample_ops()) {
+      EXPECT_EQ(type.commutes(a, b), check_commutes(type, a, b, sweep))
+          << type.name() << " a=" << to_string(a) << " b=" << to_string(b);
+    }
+  }
+}
+
+TEST_P(AlgebraTest, HistorylessClassification) {
+  const auto& param = GetParam();
+  const auto sweep = default_value_sweep();
+  EXPECT_EQ(param.type->historyless(),
+            check_historyless(*param.type, sweep))
+      << param.label;
+  EXPECT_EQ(param.type->historyless(), param.historyless) << param.label;
+}
+
+TEST_P(AlgebraTest, InterferingClassification) {
+  const auto& param = GetParam();
+  const auto sweep = default_value_sweep();
+  EXPECT_EQ(check_interfering(*param.type, sweep), param.interfering)
+      << param.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, AlgebraTest,
+    ::testing::Values(
+        TypeCase{"rw_register", rw_register_type(), true, true},
+        TypeCase{"swap_register", swap_register_type(), true, true},
+        TypeCase{"test_and_set", test_and_set_type(), true, true},
+        TypeCase{"fetch_add", fetch_add_type(), false, true},
+        TypeCase{"compare_and_swap", compare_and_swap_type(), false, false},
+        TypeCase{"counter", counter_type(), false, true},
+        TypeCase{"bounded_counter", bounded_counter_type(-3, 3), false,
+                 true},
+        TypeCase{"sticky_bit", sticky_bit_type(), false, false}),
+    [](const ::testing::TestParamInfo<TypeCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace randsync

@@ -1,0 +1,222 @@
+// Cross-cutting property tests: determinism of the whole stack, object
+// semantic laws over value sweeps, walk-rule case coverage, and
+// decision-distribution sanity for the randomized protocols.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/clone_adversary.h"
+#include "core/general_adversary.h"
+#include "objects/compare_and_swap.h"
+#include "objects/counter.h"
+#include "objects/register.h"
+#include "objects/sticky_bit.h"
+#include "objects/swap_register.h"
+#include "objects/test_and_set.h"
+#include "protocols/drift_walk.h"
+#include "protocols/harness.h"
+#include "protocols/historyless_race.h"
+#include "protocols/one_counter_walk.h"
+#include "protocols/register_race.h"
+
+namespace randsync {
+namespace {
+
+// --------------------------------------------------------------------
+// Determinism: everything is a pure function of seeds.
+
+TEST(Determinism, ConsensusRunsReplayExactly) {
+  OneCounterWalkProtocol protocol;
+  auto run_once = [&] {
+    RandomScheduler sched(33);
+    return run_consensus(protocol, alternating_inputs(6), sched, 1'000'000,
+                         44);
+  };
+  const ConsensusRun a = run_once();
+  const ConsensusRun b = run_once();
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].pid, b.trace[i].pid);
+    EXPECT_EQ(a.trace[i].inv, b.trace[i].inv);
+    EXPECT_EQ(a.trace[i].response, b.trace[i].response);
+  }
+  EXPECT_EQ(a.decision, b.decision);
+}
+
+TEST(Determinism, CloneAdversaryAttacksReplayExactly) {
+  RegisterRaceProtocol protocol(RaceVariant::kConciliator, 3);
+  CloneAdversary::Options opt;
+  opt.seed = 77;
+  const AttackResult a = CloneAdversary(opt).attack(protocol);
+  const AttackResult b = CloneAdversary(opt).attack(protocol);
+  ASSERT_TRUE(a.success);
+  ASSERT_TRUE(b.success);
+  ASSERT_EQ(a.execution.size(), b.execution.size());
+  for (std::size_t i = 0; i < a.execution.size(); ++i) {
+    EXPECT_EQ(a.execution[i].pid, b.execution[i].pid);
+    EXPECT_EQ(a.execution[i].response, b.execution[i].response);
+  }
+  EXPECT_EQ(a.narrative, b.narrative);
+}
+
+TEST(Determinism, GeneralAdversaryAttacksReplayExactly) {
+  const auto protocol = HistorylessRaceProtocol::mixed(3);
+  GeneralAdversary::Options opt;
+  opt.seed = 13;
+  const auto a = GeneralAdversary(opt).attack(protocol);
+  const auto b = GeneralAdversary(opt).attack(protocol);
+  ASSERT_TRUE(a.success);
+  EXPECT_EQ(a.execution.size(), b.execution.size());
+  EXPECT_EQ(a.processes_used, b.processes_used);
+  EXPECT_EQ(a.rebuilds, b.rebuilds);
+}
+
+TEST(Determinism, CloneThenIdenticalScheduleGivesIdenticalTraces) {
+  // A cloned configuration driven by the same schedule produces the
+  // same steps -- the foundation under every probe-then-commit pattern.
+  const auto protocol = HistorylessRaceProtocol::mixed(4);
+  Configuration config =
+      make_initial_configuration(protocol, alternating_inputs(6), 5);
+  for (ProcessId pid : {0U, 1U, 2U}) {
+    config.step(pid);  // advance into an interesting state
+  }
+  Configuration copy = config.clone();
+  const std::vector<ProcessId> schedule{3, 4, 0, 5, 1, 2, 0, 3};
+  for (ProcessId pid : schedule) {
+    const Step x = config.step(pid);
+    const Step y = copy.step(pid);
+    EXPECT_EQ(x.inv, y.inv);
+    EXPECT_EQ(x.response, y.response);
+    EXPECT_EQ(x.decided, y.decided);
+  }
+  EXPECT_EQ(config.state_hash(), copy.state_hash());
+}
+
+// --------------------------------------------------------------------
+// Object semantic laws over value sweeps.
+
+class ValueSweep : public ::testing::TestWithParam<Value> {};
+
+TEST_P(ValueSweep, RegisterWriteReadRoundTrip) {
+  const Value v = GetParam();
+  const auto type = rw_register_type();
+  Value state = 0;
+  type->apply(Op::write(v), state);
+  EXPECT_EQ(type->apply(Op::read(), state), v);
+}
+
+TEST_P(ValueSweep, SwapReturnsPreviousAcrossChains) {
+  const Value v = GetParam();
+  const auto type = swap_register_type();
+  Value state = 0;
+  EXPECT_EQ(type->apply(Op::swap(v), state), 0);
+  EXPECT_EQ(type->apply(Op::swap(99), state), v);
+}
+
+TEST_P(ValueSweep, CasSucceedsExactlyOnExpected) {
+  const Value v = GetParam();
+  const auto type = compare_and_swap_type();
+  Value state = v;
+  EXPECT_EQ(type->apply(Op::compare_and_swap(v + 1, 7), state), 0);
+  EXPECT_EQ(state, v);
+  EXPECT_EQ(type->apply(Op::compare_and_swap(v, 7), state), 1);
+  EXPECT_EQ(state, 7);
+}
+
+TEST_P(ValueSweep, CounterIncDecCancel) {
+  const Value v = GetParam();
+  const auto type = counter_type();
+  Value state = v;
+  type->apply(Op::increment(), state);
+  type->apply(Op::decrement(), state);
+  EXPECT_EQ(state, v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, ValueSweep,
+                         ::testing::Values(0, 1, -1, 5, 41, -1000, 65536));
+
+TEST(ObjectLaws, BoundedCounterCycleLength) {
+  // INC applied (range size) times returns to the start, for any range.
+  for (Value hi : {1, 2, 5, 9}) {
+    const auto type = bounded_counter_type(-hi, hi);
+    Value state = 0;
+    const Value range = 2 * hi + 1;
+    for (Value i = 0; i < range; ++i) {
+      type->apply(Op::increment(), state);
+    }
+    EXPECT_EQ(state, 0) << "hi=" << hi;
+  }
+}
+
+TEST(ObjectLaws, StickyFirstWriteWinsForAllOrders) {
+  const auto type = sticky_bit_type();
+  for (Value first : {1, 2}) {
+    for (Value second : {1, 2}) {
+      Value state = 0;
+      type->apply(Op::write(first), state);
+      type->apply(Op::write(second), state);
+      EXPECT_EQ(state, first);
+    }
+  }
+}
+
+TEST(ObjectLaws, TestAndSetAbsorbs) {
+  const auto type = test_and_set_type();
+  Value state = 0;
+  for (int i = 0; i < 5; ++i) {
+    type->apply(Op::test_and_set(), state);
+    EXPECT_EQ(state, 1);
+  }
+}
+
+// --------------------------------------------------------------------
+// Walk-rule case coverage: sweep the full observation grid.
+
+TEST(WalkRuleSweep, DecisionsOnlyAtTwoNAndBandsAreMonotone) {
+  const std::size_t n = 6;
+  const Value band = static_cast<Value>(n);
+  for (Value c0 = 0; c0 <= 3; ++c0) {
+    for (Value c1 = 0; c1 <= 3; ++c1) {
+      for (Value p = -3 * band; p <= 3 * band; ++p) {
+        const WalkAction action = walk_rule(c0, c1, p, n);
+        if (p >= 2 * band) {
+          EXPECT_EQ(action, WalkAction::kDecide1);
+        } else if (p <= -2 * band) {
+          EXPECT_EQ(action, WalkAction::kDecide0);
+        } else if (p >= band) {
+          EXPECT_EQ(action, WalkAction::kMoveUp);
+        } else if (p <= -band) {
+          EXPECT_EQ(action, WalkAction::kMoveDown);
+        } else if (c1 == 0) {
+          EXPECT_EQ(action, WalkAction::kMoveDown);
+        } else if (c0 == 0) {
+          EXPECT_EQ(action, WalkAction::kMoveUp);
+        } else {
+          EXPECT_EQ(action, WalkAction::kFlip);
+        }
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------
+// Decision distribution: with symmetric inputs both outcomes occur.
+
+TEST(DecisionDistribution, BothValuesWinAcrossSeeds) {
+  OneCounterWalkProtocol protocol;
+  std::size_t zeros = 0;
+  std::size_t ones = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    RandomScheduler sched(derive_seed(1, seed));
+    const ConsensusRun run = run_consensus(
+        protocol, alternating_inputs(4), sched, 1'000'000, seed);
+    ASSERT_TRUE(run.all_decided && run.consistent);
+    (run.decision == 0 ? zeros : ones) += 1;
+  }
+  EXPECT_GT(zeros, 0U);
+  EXPECT_GT(ones, 0U);
+}
+
+}  // namespace
+}  // namespace randsync

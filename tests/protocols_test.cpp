@@ -1,0 +1,269 @@
+// Integration and property tests for the consensus protocol suite.
+//
+// Every protocol is driven under several schedulers and seeds; safety
+// (consistency + validity) is asserted on every run, termination and
+// step statistics on the terminating ones.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "protocols/drift_walk.h"
+#include "protocols/harness.h"
+#include "protocols/historyless_race.h"
+#include "protocols/register_race.h"
+#include "protocols/one_counter_walk.h"
+#include "protocols/register_walk.h"
+#include "protocols/rounds_consensus.h"
+#include "protocols/shared_coin.h"
+#include "protocols/single_object.h"
+
+namespace randsync {
+namespace {
+
+constexpr std::size_t kMaxSteps = 2'000'000;
+
+enum class SchedKind { kRoundRobin, kRandom, kContention, kSolo };
+
+std::unique_ptr<Scheduler> make_scheduler(SchedKind kind,
+                                          std::uint64_t seed) {
+  switch (kind) {
+    case SchedKind::kRoundRobin:
+      return std::make_unique<RoundRobinScheduler>();
+    case SchedKind::kRandom:
+      return std::make_unique<RandomScheduler>(seed);
+    case SchedKind::kContention:
+      return std::make_unique<ContentionScheduler>(seed);
+    case SchedKind::kSolo:
+      return std::make_unique<SoloSequentialScheduler>();
+  }
+  return nullptr;
+}
+
+// Run protocol with all input patterns under one scheduler kind; assert
+// safety always, and termination + validity-of-unanimous-runs.
+void exercise(const ConsensusProtocol& protocol, std::size_t n,
+              SchedKind kind, std::uint64_t seed) {
+  for (int pattern = 0; pattern < 3; ++pattern) {
+    std::vector<int> inputs = pattern == 0   ? constant_inputs(n, 0)
+                              : pattern == 1 ? constant_inputs(n, 1)
+                                             : alternating_inputs(n);
+    auto scheduler = make_scheduler(kind, derive_seed(seed, pattern));
+    ConsensusRun run =
+        run_consensus(protocol, inputs, *scheduler, kMaxSteps, seed);
+    ASSERT_TRUE(run.consistent)
+        << protocol.name() << " n=" << n << " pattern=" << pattern;
+    ASSERT_TRUE(run.valid)
+        << protocol.name() << " n=" << n << " pattern=" << pattern;
+    ASSERT_TRUE(run.all_decided)
+        << protocol.name() << " n=" << n << " pattern=" << pattern
+        << " did not terminate within " << kMaxSteps << " steps";
+    if (pattern < 2) {
+      EXPECT_EQ(run.decision, pattern)
+          << protocol.name() << ": unanimous inputs must decide that value";
+    }
+  }
+}
+
+struct ProtocolCase {
+  const char* label;
+  std::shared_ptr<const ConsensusProtocol> protocol;
+  std::size_t max_n;  ///< largest process count the protocol is correct for
+};
+
+class ProtocolSafetyTest
+    : public ::testing::TestWithParam<std::tuple<ProtocolCase, int>> {};
+
+TEST_P(ProtocolSafetyTest, SafeAndLiveUnderAllSchedulers) {
+  const auto& [pcase, seed_index] = GetParam();
+  const std::uint64_t seed = derive_seed(0xABCD, seed_index);
+  for (std::size_t n : {std::size_t{2}, std::size_t{3}, std::size_t{8}}) {
+    if (n > pcase.max_n) {
+      continue;
+    }
+    for (SchedKind kind : {SchedKind::kRoundRobin, SchedKind::kRandom,
+                           SchedKind::kContention, SchedKind::kSolo}) {
+      exercise(*pcase.protocol, n, kind, seed);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HonestProtocols, ProtocolSafetyTest,
+    ::testing::Combine(
+        ::testing::Values(
+            ProtocolCase{"cas", std::make_shared<CasConsensusProtocol>(), 64},
+            ProtocolCase{"swap_pair", std::make_shared<SwapPairProtocol>(),
+                         2},
+            ProtocolCase{"ts_pair",
+                         std::make_shared<TestAndSetPairProtocol>(), 2},
+            ProtocolCase{"counter_walk",
+                         std::make_shared<CounterWalkProtocol>(), 64},
+            ProtocolCase{"faa", std::make_shared<FaaConsensusProtocol>(), 64},
+            ProtocolCase{"register_walk",
+                         std::make_shared<RegisterWalkProtocol>(), 64},
+            ProtocolCase{"rounds",
+                         std::make_shared<RoundsConsensusProtocol>(), 64},
+            ProtocolCase{"sticky",
+                         std::make_shared<StickyConsensusProtocol>(), 64},
+            ProtocolCase{"faa_pair", std::make_shared<FaaPairProtocol>(),
+                         2},
+            ProtocolCase{"one_counter",
+                         std::make_shared<OneCounterWalkProtocol>(), 64}),
+        ::testing::Range(0, 5)),
+    [](const ::testing::TestParamInfo<std::tuple<ProtocolCase, int>>& info) {
+      return std::string(std::get<0>(info.param).label) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Scaling: the honest randomized protocols stay safe and terminating at
+// larger n under the adversarial contention scheduler.
+
+class ProtocolScalingTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ProtocolScalingTest, CounterWalkScales) {
+  const std::size_t n = GetParam();
+  CounterWalkProtocol protocol;
+  ContentionScheduler sched(n * 7919);
+  ConsensusRun run = run_consensus(protocol, alternating_inputs(n), sched,
+                                   kMaxSteps, 99);
+  EXPECT_TRUE(run.consistent);
+  EXPECT_TRUE(run.valid);
+  EXPECT_TRUE(run.all_decided);
+}
+
+TEST_P(ProtocolScalingTest, RoundsConsensusScales) {
+  const std::size_t n = GetParam();
+  RoundsConsensusProtocol protocol(128);
+  RandomScheduler sched(n * 977);
+  ConsensusRun run = run_consensus(protocol, alternating_inputs(n), sched,
+                                   kMaxSteps, 5);
+  EXPECT_TRUE(run.consistent);
+  EXPECT_TRUE(run.valid);
+  EXPECT_TRUE(run.all_decided);
+}
+
+TEST_P(ProtocolScalingTest, OneCounterWalkScales) {
+  const std::size_t n = GetParam();
+  OneCounterWalkProtocol protocol;
+  ContentionScheduler sched(n * 4241);
+  ConsensusRun run = run_consensus(protocol, alternating_inputs(n), sched,
+                                   kMaxSteps, 17);
+  EXPECT_TRUE(run.consistent);
+  EXPECT_TRUE(run.valid);
+  EXPECT_TRUE(run.all_decided);
+}
+
+TEST_P(ProtocolScalingTest, FaaConsensusScales) {
+  const std::size_t n = GetParam();
+  FaaConsensusProtocol protocol;
+  RandomScheduler sched(n * 31337);
+  ConsensusRun run = run_consensus(protocol, alternating_inputs(n), sched,
+                                   kMaxSteps, 7);
+  EXPECT_TRUE(run.consistent);
+  EXPECT_TRUE(run.valid);
+  EXPECT_TRUE(run.all_decided);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ns, ProtocolScalingTest,
+                         ::testing::Values(4, 8, 16, 24));
+
+// ---------------------------------------------------------------------
+// Drift-walk rule unit tests (the safety-critical decision order).
+
+TEST(WalkRule, PositionBandsPrecedeCounterRules) {
+  // Even with c1 == 0 (which alone would say "move down"), a position
+  // in the upward drift band must move up: this ordering is what makes
+  // decisions irrevocable.
+  EXPECT_EQ(walk_rule(5, 0, 6, 5), WalkAction::kMoveUp);
+  EXPECT_EQ(walk_rule(0, 5, -6, 5), WalkAction::kMoveDown);
+}
+
+TEST(WalkRule, DecisionAtTwoN) {
+  EXPECT_EQ(walk_rule(1, 1, 10, 5), WalkAction::kDecide1);
+  EXPECT_EQ(walk_rule(1, 1, -10, 5), WalkAction::kDecide0);
+  EXPECT_EQ(walk_rule(1, 1, 9, 5), WalkAction::kMoveUp);
+  EXPECT_EQ(walk_rule(1, 1, -9, 5), WalkAction::kMoveDown);
+}
+
+TEST(WalkRule, UnanimityDrift) {
+  EXPECT_EQ(walk_rule(3, 0, 0, 5), WalkAction::kMoveDown);
+  EXPECT_EQ(walk_rule(0, 3, 0, 5), WalkAction::kMoveUp);
+  EXPECT_EQ(walk_rule(2, 3, 0, 5), WalkAction::kFlip);
+}
+
+TEST(FaaPacking, RoundTripsFields) {
+  FaaConsensusProtocol protocol;
+  auto space = protocol.make_space(16);
+  Value packed = space->type(0).initial_value();
+  EXPECT_EQ(FaaConsensusProtocol::decode_c0(packed), 0);
+  EXPECT_EQ(FaaConsensusProtocol::decode_c1(packed), 0);
+  EXPECT_EQ(FaaConsensusProtocol::decode_cursor(packed), 0);
+  // Simulate field updates by fetch&add deltas.
+  packed += 3;                   // c0 += 3
+  packed += Value{2} << 16;      // c1 += 2
+  packed += Value{5} << 32;      // cursor += 5
+  packed -= Value{9} << 32;      // cursor -= 9
+  EXPECT_EQ(FaaConsensusProtocol::decode_c0(packed), 3);
+  EXPECT_EQ(FaaConsensusProtocol::decode_c1(packed), 2);
+  EXPECT_EQ(FaaConsensusProtocol::decode_cursor(packed), -4);
+}
+
+TEST(RegisterWalkPacking, RoundTripsFields) {
+  const Value packed = RegisterWalkProtocol::encode(true, false, -17);
+  EXPECT_TRUE(RegisterWalkProtocol::decode_flag0(packed));
+  EXPECT_FALSE(RegisterWalkProtocol::decode_flag1(packed));
+  EXPECT_EQ(RegisterWalkProtocol::decode_contrib(packed), -17);
+  EXPECT_EQ(RegisterWalkProtocol::decode_contrib(0), 0);  // unwritten
+}
+
+// ---------------------------------------------------------------------
+// Preys: safety holds for SMALL process counts / benign schedules (they
+// look plausible), while src/core's adversaries break them at scale --
+// see adversary tests.  Here: solo termination and unanimous validity.
+
+class PreyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreyTest, PreysSoloTerminateAndRespectUnanimousValidity) {
+  const std::uint64_t seed = derive_seed(0xFEED, GetParam());
+  const std::vector<std::shared_ptr<ConsensusProtocol>> preys = {
+      std::make_shared<RegisterRaceProtocol>(RaceVariant::kFirstWriter, 1),
+      std::make_shared<RegisterRaceProtocol>(RaceVariant::kRoundVoting, 3),
+      std::make_shared<RegisterRaceProtocol>(RaceVariant::kConciliator, 4),
+      std::make_shared<HistorylessRaceProtocol>(
+          HistorylessRaceProtocol::mixed(5)),
+      std::make_shared<HistorylessRaceProtocol>(
+          HistorylessRaceProtocol::swaps(3)),
+  };
+  for (const auto& prey : preys) {
+    for (int value : {0, 1}) {
+      SoloSequentialScheduler sched;
+      ConsensusRun run = run_consensus(*prey, constant_inputs(6, value),
+                                       sched, 100'000, seed);
+      ASSERT_TRUE(run.all_decided) << prey->name();
+      EXPECT_TRUE(run.consistent) << prey->name();
+      EXPECT_EQ(run.decision, value) << prey->name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreyTest, ::testing::Range(0, 3));
+
+// The shared coin: all processes output, and outputs are 0/1.  (The
+// coin gives no validity guarantee; agreement statistics are measured
+// by bench_shared_coin.)
+TEST(SharedCoin, TerminatesAndOutputsBits) {
+  SharedCoinProtocol coin(2);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    RandomScheduler sched(seed);
+    ConsensusRun run = run_consensus(coin, alternating_inputs(6), sched,
+                                     kMaxSteps, seed);
+    ASSERT_TRUE(run.all_decided);
+    EXPECT_TRUE(run.decision == 0 || run.decision == 1);
+  }
+}
+
+}  // namespace
+}  // namespace randsync

@@ -1,0 +1,71 @@
+// The protocol registry: every entry constructs, runs (honest entries
+// decide safely at small n), and matches its own claims.
+
+#include <gtest/gtest.h>
+
+#include "protocols/harness.h"
+#include "protocols/registry.h"
+
+namespace randsync {
+namespace {
+
+TEST(Registry, NamesAreUniqueAndFindable) {
+  const auto& registry = protocol_registry();
+  EXPECT_GE(registry.size(), 15U);
+  for (const auto& entry : registry) {
+    const ProtocolEntry* found = find_protocol(entry.name);
+    ASSERT_NE(found, nullptr) << entry.name;
+    EXPECT_EQ(found->name, entry.name);
+  }
+  EXPECT_EQ(find_protocol("no-such-protocol"), nullptr);
+}
+
+TEST(Registry, EveryEntryConstructsWithDefaultAndExplicitParam) {
+  for (const auto& entry : protocol_registry()) {
+    const auto with_default = entry.make(std::nullopt);
+    ASSERT_NE(with_default, nullptr) << entry.name;
+    EXPECT_FALSE(with_default->name().empty());
+    const auto with_param = entry.make(4);
+    ASSERT_NE(with_param, nullptr) << entry.name;
+  }
+}
+
+TEST(Registry, HonestEntriesDecideSafelyAtSmallScale) {
+  for (const auto& entry : protocol_registry()) {
+    if (!entry.correct) {
+      continue;
+    }
+    const auto protocol = entry.make(std::nullopt);
+    // Pair protocols only support n == 2; use 2 for everyone (valid).
+    const std::size_t n = 2;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      RandomScheduler sched(seed);
+      const ConsensusRun run = run_consensus(
+          *protocol, alternating_inputs(n), sched, 2'000'000, seed);
+      ASSERT_TRUE(run.all_decided) << entry.name << " seed " << seed;
+      EXPECT_TRUE(run.consistent) << entry.name;
+      EXPECT_TRUE(run.valid) << entry.name;
+    }
+  }
+}
+
+TEST(Registry, RandomizedFlagMatchesCoinUsage) {
+  // Deterministic entries must behave identically across process coin
+  // seeds (the protocol seed only feeds the coin source).
+  for (const auto& entry : protocol_registry()) {
+    if (entry.randomized || !entry.correct) {
+      continue;
+    }
+    const auto protocol = entry.make(std::nullopt);
+    auto run_with = [&](std::uint64_t proc_seed) {
+      RoundRobinScheduler sched;
+      return run_consensus(*protocol, alternating_inputs(2), sched,
+                           100'000, proc_seed)
+          .total_steps;
+    };
+    EXPECT_EQ(run_with(1), run_with(999)) << entry.name;
+  }
+}
+
+}  // namespace
+}  // namespace randsync

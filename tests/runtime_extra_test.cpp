@@ -1,0 +1,154 @@
+// Additional runtime coverage: coin sources, trace auditing, crash
+// scheduler determinism, and configuration state hashing.
+
+#include <gtest/gtest.h>
+
+#include "objects/register.h"
+#include "protocols/harness.h"
+#include "protocols/register_race.h"
+#include "runtime/coin.h"
+#include "verify/trace_audit.h"
+
+namespace randsync {
+namespace {
+
+TEST(Coin, SplitMixIsDeterministicPerSeed) {
+  SplitMixCoin a(42);
+  SplitMixCoin b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  SplitMixCoin c(43);
+  bool differs = false;
+  SplitMixCoin a2(42);
+  for (int i = 0; i < 100; ++i) {
+    differs = differs || a2.next() != c.next();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Coin, CloneReplaysTheSameStream) {
+  SplitMixCoin original(7);
+  (void)original.next();
+  (void)original.next();
+  auto copy = original.clone();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(original.next(), copy->next());
+  }
+}
+
+TEST(Coin, ReseedResetsTheStream) {
+  SplitMixCoin coin(1);
+  const auto first = coin.next();
+  coin.reseed(1);
+  EXPECT_EQ(coin.next(), first);
+  EXPECT_EQ(coin.flips(), 1U);
+}
+
+TEST(Coin, FixedCoinPlaysPrescriptionThenFallsBack) {
+  FixedCoin coin({10, 20, 30});
+  EXPECT_EQ(coin.next(), 10U);
+  EXPECT_EQ(coin.next(), 20U);
+  EXPECT_FALSE(coin.exhausted());
+  EXPECT_EQ(coin.next(), 30U);
+  EXPECT_TRUE(coin.exhausted());
+  (void)coin.next();  // fallback stream, no crash
+  EXPECT_EQ(coin.flips(), 4U);
+}
+
+TEST(Coin, BelowIsInRangeAndCoversValues) {
+  SplitMixCoin coin(99);
+  bool seen[7] = {};
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = coin.below(7);
+    ASSERT_LT(v, 7U);
+    seen[v] = true;
+  }
+  for (bool s : seen) {
+    EXPECT_TRUE(s);  // all residues appear over 1000 draws
+  }
+}
+
+TEST(Coin, DeriveSeedSeparatesSalts) {
+  EXPECT_NE(derive_seed(1, 0), derive_seed(1, 1));
+  EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+  EXPECT_EQ(derive_seed(5, 9), derive_seed(5, 9));
+}
+
+TEST(TraceAudit, AcceptsGenuineRuns) {
+  RegisterRaceProtocol protocol(RaceVariant::kRoundVoting, 3);
+  RandomScheduler sched(4);
+  const auto inputs = alternating_inputs(5);
+  const ConsensusRun run =
+      run_consensus(protocol, inputs, sched, 100'000, 11);
+  ASSERT_TRUE(run.all_decided);
+  const auto audit = audit_trace(*protocol.make_space(5), run.trace);
+  EXPECT_TRUE(audit.ok) << audit.detail;
+  EXPECT_GT(audit.steps_checked, 0U);
+}
+
+TEST(TraceAudit, RejectsTamperedResponses) {
+  auto space = std::make_shared<ObjectSpace>();
+  space->add(rw_register_type());
+  Trace trace;
+  trace.append(Step{0, {0, Op::write(5)}, 0, std::nullopt});
+  trace.append(Step{1, {0, Op::read()}, 99, std::nullopt});  // lie
+  const auto audit = audit_trace(*space, trace);
+  EXPECT_FALSE(audit.ok);
+  ASSERT_TRUE(audit.first_mismatch.has_value());
+  EXPECT_EQ(*audit.first_mismatch, 1U);
+}
+
+TEST(TraceAudit, RejectsOutOfSpaceObjects) {
+  auto space = std::make_shared<ObjectSpace>();
+  space->add(rw_register_type());
+  Trace trace;
+  trace.append(Step{0, {7, Op::read()}, 0, std::nullopt});
+  const auto audit = audit_trace(*space, trace);
+  EXPECT_FALSE(audit.ok);
+}
+
+TEST(Configuration, StateHashDistinguishesValuesAndStates) {
+  RegisterRaceProtocol protocol(RaceVariant::kRoundVoting, 2);
+  const std::vector<int> inputs{0, 1};
+  Configuration a = make_initial_configuration(protocol, inputs, 1);
+  Configuration b = make_initial_configuration(protocol, inputs, 1);
+  EXPECT_EQ(a.state_hash(), b.state_hash());
+  b.step(0);
+  EXPECT_NE(a.state_hash(), b.state_hash());
+}
+
+TEST(CrashScheduler, NeverCrashesTheLastLiveProcess) {
+  RegisterRaceProtocol protocol(RaceVariant::kConciliator, 2);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto inputs = alternating_inputs(4);
+    Configuration config =
+        make_initial_configuration(protocol, inputs, seed);
+    CrashScheduler sched(seed, 4, 50);  // aggressive crashing
+    std::size_t steps = 0;
+    while (steps < 100'000) {
+      const auto pid = sched.next(config);
+      if (!pid) {
+        break;
+      }
+      config.step(*pid);
+      ++steps;
+    }
+    EXPECT_LE(sched.crashed().size(), 3U);  // at most n-1
+    // At least one process is not crashed; since preys always solo
+    // terminate, the run must have ended with that survivor decided.
+    bool some_survivor_decided = false;
+    for (ProcessId pid = 0; pid < config.num_processes(); ++pid) {
+      const bool crashed =
+          std::find(sched.crashed().begin(), sched.crashed().end(), pid) !=
+          sched.crashed().end();
+      if (!crashed && config.decided(pid)) {
+        some_survivor_decided = true;
+      }
+    }
+    EXPECT_TRUE(some_survivor_decided);
+  }
+}
+
+}  // namespace
+}  // namespace randsync

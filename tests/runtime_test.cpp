@@ -1,0 +1,270 @@
+// Unit tests for the runtime substrate: configurations, stepping,
+// poising, cloning, schedulers, traces, block writes, and the
+// solo-termination oracle.
+
+#include <gtest/gtest.h>
+
+#include "objects/register.h"
+#include "objects/swap_register.h"
+#include "objects/test_and_set.h"
+#include "runtime/configuration.h"
+#include "runtime/executor.h"
+#include "runtime/scheduler.h"
+#include "support/script_process.h"
+
+namespace randsync {
+namespace {
+
+using testing::ScriptProcess;
+
+ObjectSpacePtr two_registers() {
+  auto space = std::make_shared<ObjectSpace>();
+  space->add_many(rw_register_type(), 2);
+  return space;
+}
+
+TEST(Configuration, InitialValuesComeFromTypes) {
+  auto space = std::make_shared<ObjectSpace>();
+  space->add(rw_register_type());
+  space->add(std::make_shared<const RwRegisterType>(7));
+  Configuration config(std::move(space));
+  EXPECT_EQ(config.value(0), 0);
+  EXPECT_EQ(config.value(1), 7);
+}
+
+TEST(Configuration, StepAppliesPoisedOperationAtomically) {
+  Configuration config(two_registers());
+  const auto pid = config.add_process(std::make_unique<ScriptProcess>(
+      std::vector<Invocation>{{0, Op::write(5)}, {0, Op::read()}}, 1));
+  Step s1 = config.step(pid);
+  EXPECT_EQ(s1.inv.op.kind, OpKind::kWrite);
+  EXPECT_EQ(config.value(0), 5);
+  Step s2 = config.step(pid);
+  EXPECT_EQ(s2.response, 5);
+  EXPECT_TRUE(s2.decided.has_value());
+  EXPECT_EQ(*s2.decided, 1);
+  EXPECT_TRUE(config.all_decided());
+}
+
+TEST(Configuration, StepOnDecidedProcessThrows) {
+  Configuration config(two_registers());
+  const auto pid = config.add_process(std::make_unique<ScriptProcess>(
+      std::vector<Invocation>{{0, Op::read()}}, 0));
+  config.step(pid);
+  EXPECT_THROW(config.step(pid), std::logic_error);
+}
+
+TEST(Configuration, UnsupportedOperationThrows) {
+  Configuration config(two_registers());
+  const auto pid = config.add_process(std::make_unique<ScriptProcess>(
+      std::vector<Invocation>{{0, Op::test_and_set()}}, 0));
+  EXPECT_THROW(config.step(pid), std::logic_error);
+}
+
+TEST(Configuration, PoisedAtReportsOnlyNontrivialOperations) {
+  Configuration config(two_registers());
+  const auto reader = config.add_process(std::make_unique<ScriptProcess>(
+      std::vector<Invocation>{{0, Op::read()}}, 0));
+  const auto writer = config.add_process(std::make_unique<ScriptProcess>(
+      std::vector<Invocation>{{1, Op::write(3)}}, 0));
+  EXPECT_EQ(config.poised_at(reader), std::nullopt);
+  EXPECT_EQ(config.poised_at(writer), std::optional<ObjectId>(1));
+  EXPECT_TRUE(config.processes_poised_at(0).empty());
+  EXPECT_EQ(config.processes_poised_at(1),
+            std::vector<ProcessId>{writer});
+}
+
+TEST(Configuration, InternalStepsTouchNoObject) {
+  Configuration config(two_registers());
+  const auto pid = config.add_process(std::make_unique<ScriptProcess>(
+      std::vector<Invocation>{{kNoObject, Op::read()}, {0, Op::write(1)}},
+      0));
+  EXPECT_EQ(config.poised_at(pid), std::nullopt);
+  const Step s = config.step(pid);
+  EXPECT_EQ(s.inv.object, kNoObject);
+  EXPECT_EQ(config.value(0), 0);
+}
+
+TEST(Configuration, CloneIsDeepAndIndependent) {
+  Configuration config(two_registers());
+  const auto pid = config.add_process(std::make_unique<ScriptProcess>(
+      std::vector<Invocation>{{0, Op::write(1)}, {1, Op::write(2)}}, 0));
+  Configuration copy = config.clone();
+  config.step(pid);
+  EXPECT_EQ(config.value(0), 1);
+  EXPECT_EQ(copy.value(0), 0);  // copy unaffected
+  copy.step(pid);
+  copy.step(pid);
+  EXPECT_TRUE(copy.decided(pid));
+  EXPECT_FALSE(config.decided(pid));
+}
+
+TEST(Configuration, CloneOfPoisedProcessStaysPoisedAtSameInvocation) {
+  // The paper's cloning device: a copy of a process poised to write is
+  // itself poised to perform exactly the same write.
+  Configuration config(two_registers());
+  const auto pid = config.add_process(std::make_unique<ScriptProcess>(
+      std::vector<Invocation>{{0, Op::write(9)}}, 0));
+  const auto clone_pid = config.add_process(config.process(pid).clone());
+  EXPECT_EQ(config.process(clone_pid).poised(),
+            config.process(pid).poised());
+  config.step(pid);
+  EXPECT_EQ(config.value(0), 9);
+  // Overwrite with something else, then let the clone re-establish it.
+  const auto other = config.add_process(std::make_unique<ScriptProcess>(
+      std::vector<Invocation>{{0, Op::write(100)}}, 0));
+  config.step(other);
+  EXPECT_EQ(config.value(0), 100);
+  config.step(clone_pid);
+  EXPECT_EQ(config.value(0), 9);
+}
+
+TEST(BlockWrite, FixesValuesAndRecordsTrace) {
+  Configuration config(two_registers());
+  const auto p0 = config.add_process(std::make_unique<ScriptProcess>(
+      std::vector<Invocation>{{0, Op::write(11)}}, 0));
+  const auto p1 = config.add_process(std::make_unique<ScriptProcess>(
+      std::vector<Invocation>{{1, Op::write(22)}}, 0));
+  const Trace trace = block_write(config, {{0, p0}, {1, p1}});
+  EXPECT_EQ(trace.size(), 2U);
+  EXPECT_EQ(config.value(0), 11);
+  EXPECT_EQ(config.value(1), 22);
+}
+
+TEST(BlockWrite, ThrowsIfProcessNotPoisedAsClaimed) {
+  Configuration config(two_registers());
+  const auto p0 = config.add_process(std::make_unique<ScriptProcess>(
+      std::vector<Invocation>{{0, Op::read()}}, 0));
+  EXPECT_THROW(block_write(config, {{0, p0}}), std::logic_error);
+}
+
+TEST(RunUntilPoisedOutside, StopsBeforeLeavingTheSet) {
+  auto space = std::make_shared<ObjectSpace>();
+  space->add_many(rw_register_type(), 3);
+  Configuration config(space);
+  const auto pid = config.add_process(std::make_unique<ScriptProcess>(
+      std::vector<Invocation>{{0, Op::write(1)},
+                              {1, Op::read()},
+                              {0, Op::write(2)},
+                              {2, Op::write(3)},
+                              {0, Op::write(4)}},
+      0));
+  Trace trace;
+  const auto outcome =
+      run_until_poised_outside(config, pid, {0, 1}, 100, trace);
+  EXPECT_EQ(outcome, PoiseOutcome::kPoisedOutside);
+  EXPECT_EQ(trace.size(), 3U);  // two writes to R0 plus the read of R1
+  EXPECT_EQ(config.poised_at(pid), std::optional<ObjectId>(2));
+  EXPECT_EQ(config.value(2), 0);  // the outside write did NOT happen
+}
+
+TEST(RunUntilPoisedOutside, ReportsDecision) {
+  Configuration config(two_registers());
+  const auto pid = config.add_process(std::make_unique<ScriptProcess>(
+      std::vector<Invocation>{{0, Op::write(1)}}, 1));
+  Trace trace;
+  EXPECT_EQ(run_until_poised_outside(config, pid, {0}, 100, trace),
+            PoiseOutcome::kDecided);
+}
+
+TEST(Schedulers, RoundRobinVisitsAllUndecided) {
+  Configuration config(two_registers());
+  for (int i = 0; i < 3; ++i) {
+    config.add_process(std::make_unique<ScriptProcess>(
+        std::vector<Invocation>{{0, Op::read()}, {0, Op::read()}}, 0));
+  }
+  RoundRobinScheduler sched;
+  RunResult result = run_until_all_decided(config, sched, 100);
+  EXPECT_TRUE(result.all_decided);
+  EXPECT_EQ(result.steps, 6U);
+  for (ProcessId pid = 0; pid < 3; ++pid) {
+    EXPECT_EQ(result.trace.steps_by(pid), 2U);
+  }
+}
+
+TEST(Schedulers, FixedScheduleIsReplayedExactly) {
+  Configuration config(two_registers());
+  const auto a = config.add_process(std::make_unique<ScriptProcess>(
+      std::vector<Invocation>{{0, Op::write(1)}, {0, Op::write(3)}}, 0));
+  const auto b = config.add_process(std::make_unique<ScriptProcess>(
+      std::vector<Invocation>{{0, Op::write(2)}}, 0));
+  FixedScheduler sched({a, b, a});
+  RunResult result = run_until_all_decided(config, sched, 100);
+  EXPECT_TRUE(result.all_decided);
+  EXPECT_EQ(config.value(0), 3);
+}
+
+TEST(Schedulers, RandomSchedulerIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    Configuration config(two_registers());
+    for (int i = 0; i < 4; ++i) {
+      config.add_process(std::make_unique<ScriptProcess>(
+          std::vector<Invocation>{{0, Op::write(i)}, {1, Op::write(i)}},
+          0));
+    }
+    RandomScheduler sched(seed);
+    RunResult r = run_until_all_decided(config, sched, 100);
+    std::vector<ProcessId> order;
+    for (const Step& s : r.trace.steps()) {
+      order.push_back(s.pid);
+    }
+    return order;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(SoloOracle, FindsTerminatingExecution) {
+  Configuration config(two_registers());
+  const auto pid = config.add_process(std::make_unique<ScriptProcess>(
+      std::vector<Invocation>{{0, Op::write(1)}, {1, Op::write(2)}}, 1));
+  SoloResult result = solo_terminate(config, pid, 100, 5, 1);
+  EXPECT_TRUE(result.terminated);
+  EXPECT_EQ(result.decision, 1);
+  EXPECT_EQ(result.trace.size(), 2U);
+}
+
+TEST(SoloOracle, SurfacesNonTermination) {
+  // A process that never decides: poised at R0.WRITE forever.
+  class Spinner final : public Process {
+   public:
+    [[nodiscard]] bool decided() const override { return false; }
+    [[nodiscard]] Value decision() const override {
+      throw std::logic_error("undecided");
+    }
+    [[nodiscard]] Invocation poised() const override {
+      return {0, Op::write(1)};
+    }
+    void on_response(Value) override {}
+    [[nodiscard]] std::unique_ptr<Process> clone() const override {
+      return std::make_unique<Spinner>(*this);
+    }
+    void reseed(std::uint64_t) override {}
+    [[nodiscard]] std::uint64_t state_hash() const override { return 0; }
+  };
+  Configuration config(two_registers());
+  const auto pid = config.add_process(std::make_unique<Spinner>());
+  EXPECT_THROW(solo_terminate(config, pid, 50, 3, 1), std::runtime_error);
+}
+
+TEST(Trace, InconsistencyDetection) {
+  Trace trace;
+  EXPECT_FALSE(trace.inconsistent());
+  trace.append(Step{0, {0, Op::read()}, 0, Value{0}});
+  EXPECT_FALSE(trace.inconsistent());
+  trace.append(Step{1, {0, Op::read()}, 0, Value{1}});
+  EXPECT_TRUE(trace.inconsistent());
+}
+
+TEST(ObjectSpace, DescribeAndHistoryless) {
+  ObjectSpace space;
+  space.add_many(rw_register_type(), 2);
+  space.add(swap_register_type());
+  space.add(test_and_set_type());
+  EXPECT_TRUE(space.all_historyless());
+  EXPECT_EQ(space.size(), 4U);
+  EXPECT_NE(space.describe().find("rw-register"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace randsync

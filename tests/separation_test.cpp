@@ -1,0 +1,98 @@
+// Tests for the Section 4 separation analysis and the bound formulas.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.h"
+#include "core/separation.h"
+
+namespace randsync {
+namespace {
+
+TEST(Bounds, Formulas) {
+  EXPECT_EQ(max_identical_processes(1), 1U);
+  EXPECT_EQ(max_identical_processes(3), 7U);
+  EXPECT_EQ(clone_adversary_processes(3), 8U);
+  EXPECT_EQ(general_adversary_processes(1), 4U);
+  EXPECT_EQ(general_adversary_processes(5), 80U);
+}
+
+TEST(Bounds, GeneralPoolIsAlwaysEven) {
+  // Lemma 3.6 partitions 3r^2 + r processes into two equal halves;
+  // r(3r + 1) is even for every r.
+  for (std::size_t r = 1; r <= 100; ++r) {
+    EXPECT_EQ(general_adversary_processes(r) % 2, 0U) << r;
+  }
+}
+
+TEST(Bounds, MinObjectsIsTheInverseOfTheBreakCurve) {
+  for (std::size_t n : {1U, 10U, 100U, 1000U, 12345U}) {
+    const std::size_t r = min_historyless_objects(n);
+    EXPECT_GT(general_adversary_processes(r), n);
+    if (r > 0) {
+      EXPECT_LE(general_adversary_processes(r - 1), n);
+    }
+  }
+}
+
+TEST(Bounds, MinObjectsGrowsLikeSqrtN) {
+  // Omega(sqrt n): the ratio min_objects / sqrt(n/3) tends to 1.
+  const std::size_t n = 3'000'000;
+  const std::size_t r = min_historyless_objects(n);
+  const double expected = std::sqrt(static_cast<double>(n) / 3.0);
+  EXPECT_NEAR(static_cast<double>(r) / expected, 1.0, 0.01);
+}
+
+TEST(Separation, TableAlgebraicClaimsVerify) {
+  const auto table = separation_table();
+  std::string mismatch;
+  EXPECT_TRUE(verify_algebraic_claims(table, mismatch)) << mismatch;
+}
+
+TEST(Separation, TableCoversTheHeadlinePrimitives) {
+  const auto table = separation_table();
+  ASSERT_GE(table.size(), 6U);
+  bool has_faa = false;
+  bool has_cas = false;
+  bool has_swap = false;
+  for (const auto& row : table) {
+    has_faa = has_faa || row.name == "fetch&add";
+    has_cas = has_cas || row.name == "compare&swap";
+    has_swap = has_swap || row.name == "swap-register";
+  }
+  EXPECT_TRUE(has_faa && has_cas && has_swap);
+}
+
+TEST(Separation, HeadlineSeparationIsVisibleInTheTable) {
+  // swap (consensus number 2, historyless -> Omega(sqrt n)) versus
+  // fetch&add (consensus number 2, one instance suffices).
+  const auto table = separation_table();
+  const PrimitiveProfile* swap_row = nullptr;
+  const PrimitiveProfile* faa_row = nullptr;
+  for (const auto& row : table) {
+    if (row.name == "swap-register") {
+      swap_row = &row;
+    }
+    if (row.name == "fetch&add") {
+      faa_row = &row;
+    }
+  }
+  ASSERT_NE(swap_row, nullptr);
+  ASSERT_NE(faa_row, nullptr);
+  EXPECT_EQ(swap_row->consensus_number, faa_row->consensus_number);
+  EXPECT_TRUE(swap_row->historyless);
+  EXPECT_FALSE(faa_row->historyless);
+  EXPECT_NE(swap_row->randomized_lower, faa_row->randomized_lower);
+}
+
+TEST(Separation, RenderedTableMentionsEveryRow) {
+  const auto table = separation_table();
+  const std::string rendered = render_separation_table(table);
+  for (const auto& row : table) {
+    EXPECT_NE(rendered.find(row.name), std::string::npos) << row.name;
+  }
+}
+
+}  // namespace
+}  // namespace randsync

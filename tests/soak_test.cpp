@@ -1,0 +1,63 @@
+// Soak: the full honest-protocol battery at a larger scale than the
+// unit tests use, under the contention scheduler.  Kept to a few
+// seconds; guards against regressions that only show at scale.
+
+#include <gtest/gtest.h>
+
+#include "protocols/drift_walk.h"
+#include "protocols/harness.h"
+#include "protocols/one_counter_walk.h"
+#include "protocols/register_walk.h"
+#include "protocols/rounds_consensus.h"
+#include "protocols/single_object.h"
+
+namespace randsync {
+namespace {
+
+TEST(Soak, AllRandomizedProtocolsAtNThirtyTwo) {
+  const std::size_t n = 32;
+  OneCounterWalkProtocol one_counter;
+  FaaConsensusProtocol faa;
+  CounterWalkProtocol counter_walk;
+  RoundsConsensusProtocol rounds(128);
+  const ConsensusProtocol* protocols[] = {&one_counter, &faa, &counter_walk,
+                                          &rounds};
+  for (const auto* protocol : protocols) {
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      ContentionScheduler sched(derive_seed(0x50AC, seed));
+      const ConsensusRun run = run_consensus(
+          *protocol, alternating_inputs(n), sched, 16'000'000, seed);
+      ASSERT_TRUE(run.all_decided) << protocol->name() << " seed " << seed;
+      EXPECT_TRUE(run.consistent) << protocol->name();
+      EXPECT_TRUE(run.valid) << protocol->name();
+    }
+  }
+}
+
+TEST(Soak, RegisterWalkAtNTwentyFour) {
+  RegisterWalkProtocol protocol;  // collects are n reads: heavier
+  RandomScheduler sched(5);
+  const ConsensusRun run = run_consensus(protocol, alternating_inputs(24),
+                                         sched, 32'000'000, 5);
+  ASSERT_TRUE(run.all_decided);
+  EXPECT_TRUE(run.consistent);
+  EXPECT_TRUE(run.valid);
+}
+
+TEST(Soak, DeterministicProtocolsAtNFiveHundredTwelve) {
+  CasConsensusProtocol cas;
+  StickyConsensusProtocol sticky;
+  for (const ConsensusProtocol* protocol :
+       {static_cast<const ConsensusProtocol*>(&cas),
+        static_cast<const ConsensusProtocol*>(&sticky)}) {
+    RoundRobinScheduler sched;
+    const ConsensusRun run = run_consensus(
+        *protocol, alternating_inputs(512), sched, 1'000'000, 1);
+    ASSERT_TRUE(run.all_decided) << protocol->name();
+    EXPECT_TRUE(run.consistent);
+    EXPECT_TRUE(run.valid);
+  }
+}
+
+}  // namespace
+}  // namespace randsync

@@ -1,0 +1,70 @@
+// Test support: a process that executes a fixed script of invocations.
+//
+// ScriptProcess performs each invocation in order and then decides a
+// prescribed value (or the last response, if so configured).  It gives
+// tests precise control over poising and stepping without dragging in a
+// real protocol.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "runtime/process.h"
+
+namespace randsync::testing {
+
+class ScriptProcess final : public Process {
+ public:
+  /// Performs `script` in order, then decides `decision`.
+  ScriptProcess(std::vector<Invocation> script, Value decision)
+      : script_(std::move(script)), decision_(decision) {}
+
+  /// If `decide_last_response` is true, decides the response of the
+  /// final invocation instead of a fixed value.
+  ScriptProcess(std::vector<Invocation> script, Value decision,
+                bool decide_last_response)
+      : script_(std::move(script)),
+        decision_(decision),
+        decide_last_response_(decide_last_response) {}
+
+  [[nodiscard]] bool decided() const override { return pos_ >= script_.size(); }
+
+  [[nodiscard]] Value decision() const override {
+    if (!decided()) {
+      throw std::logic_error("ScriptProcess not yet decided");
+    }
+    return decision_;
+  }
+
+  [[nodiscard]] Invocation poised() const override {
+    if (decided()) {
+      throw std::logic_error("ScriptProcess::poised after decision");
+    }
+    return script_[pos_];
+  }
+
+  void on_response(Value response) override {
+    ++pos_;
+    if (decided() && decide_last_response_) {
+      decision_ = response;
+    }
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<ScriptProcess>(*this);
+  }
+
+  void reseed(std::uint64_t) override {}
+
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return hash_combine(pos_, static_cast<std::uint64_t>(decision_));
+  }
+
+ private:
+  std::vector<Invocation> script_;
+  Value decision_;
+  bool decide_last_response_ = false;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace randsync::testing

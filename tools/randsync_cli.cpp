@@ -1,0 +1,360 @@
+// randsync -- command-line front end for the library.
+//
+//   randsync list
+//       catalog of every protocol (honest and prey), by name.
+//
+//   randsync run <protocol> [n] [--param=K] [--seed=S]
+//                [--scheduler=random|rr|contention|crash]
+//       run one consensus execution and report decision, safety,
+//       step counts, and the first steps of the trace.
+//
+//   randsync attack <protocol> [--param=r] [--seed=S] [--general]
+//       unleash the Section 3.1 clone adversary (or, with --general,
+//       the Section 3.2 adversary) and print the case-analysis
+//       narrative plus the inconsistent execution.
+//
+//   randsync explore <protocol> <inputs> [--param=K] [--depth=D]
+//       exhaustive schedule exploration; inputs like "011".
+//
+//   randsync stall <walk-protocol> [--seed=S]
+//       pit the strong-adversary walk staller against faa-consensus or
+//       counter-walk and report the delay it achieves (A2).
+//
+//   randsync cycle <protocol> <inputs01> [--param=K]
+//       search for a decision-free cycle (the E13 non-termination
+//       certificate) and replay it.
+//
+//   randsync table
+//       the Section 4 separation table, algebra re-verified.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/bounds.h"
+#include "core/bivalence.h"
+#include "core/clone_adversary.h"
+#include "core/stallers.h"
+#include "core/general_adversary.h"
+#include "core/separation.h"
+#include "protocols/harness.h"
+#include "protocols/registry.h"
+#include "verify/explorer.h"
+#include "verify/minimize.h"
+#include "verify/trace_audit.h"
+
+namespace randsync {
+namespace {
+
+struct Flags {
+  std::optional<std::size_t> param;
+  std::uint64_t seed = 1;
+  std::string scheduler = "random";
+  std::size_t depth = 64;
+  bool general = false;
+};
+
+Flags parse_flags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--param=", 0) == 0) {
+      flags.param = std::strtoul(arg.c_str() + 8, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      flags.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--scheduler=", 0) == 0) {
+      flags.scheduler = arg.substr(12);
+    } else if (arg.rfind("--depth=", 0) == 0) {
+      flags.depth = std::strtoul(arg.c_str() + 8, nullptr, 10);
+    } else if (arg == "--general") {
+      flags.general = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+int cmd_list() {
+  std::printf("%-22s %-4s %-6s %s\n", "name", "rand", "kind", "description");
+  std::printf("%s\n", std::string(100, '-').c_str());
+  for (const ProtocolEntry& entry : protocol_registry()) {
+    std::printf("%-22s %-4s %-6s %s\n", entry.name.c_str(),
+                entry.randomized ? "yes" : "no",
+                entry.correct ? "ok" : "prey", entry.description.c_str());
+  }
+  return 0;
+}
+
+std::unique_ptr<Scheduler> make_sched(const std::string& kind,
+                                      std::uint64_t seed, std::size_t n) {
+  if (kind == "rr") {
+    return std::make_unique<RoundRobinScheduler>();
+  }
+  if (kind == "contention") {
+    return std::make_unique<ContentionScheduler>(seed);
+  }
+  if (kind == "crash") {
+    return std::make_unique<CrashScheduler>(seed, n > 1 ? n - 1 : 0);
+  }
+  return std::make_unique<RandomScheduler>(seed);
+}
+
+int cmd_run(const ProtocolEntry& entry, std::size_t n, const Flags& flags) {
+  const auto protocol = entry.make(flags.param);
+  const auto inputs = alternating_inputs(n);
+  auto scheduler = make_sched(flags.scheduler, flags.seed, n);
+  std::printf("protocol:  %s\n", protocol->name().c_str());
+  std::printf("objects:   %s\n", protocol->make_space(n)->describe().c_str());
+  std::printf("scheduler: %s, seed %llu\n\n", flags.scheduler.c_str(),
+              static_cast<unsigned long long>(flags.seed));
+  const ConsensusRun run =
+      run_consensus(*protocol, inputs, *scheduler, 8'000'000, flags.seed);
+  std::printf("all decided: %s\n", run.all_decided ? "yes" : "NO");
+  std::printf("consistent:  %s\n", run.consistent ? "yes" : "NO");
+  std::printf("valid:       %s\n", run.valid ? "yes" : "NO");
+  if (run.all_decided) {
+    std::printf("decision:    %lld\n", static_cast<long long>(run.decision));
+  }
+  std::printf("steps:       %zu total, %zu max by one process\n",
+              run.total_steps, run.max_steps_by_one);
+  std::printf("\ntrace head:\n%s", run.trace.render(12).c_str());
+  return (run.all_decided && run.consistent && run.valid) ? 0 : 1;
+}
+
+int cmd_attack(const ProtocolEntry& entry, const Flags& flags) {
+  const auto protocol = entry.make(flags.param);
+  const std::size_t r = protocol->make_space(2)->size();
+  if (flags.general) {
+    GeneralAdversary::Options opt;
+    opt.seed = flags.seed;
+    const auto result = GeneralAdversary(opt).attack(*protocol);
+    if (!result.success) {
+      std::printf("general adversary failed: %s\n", result.failure.c_str());
+      return 1;
+    }
+    for (const std::string& line : result.narrative) {
+      std::printf("  %s\n", line.c_str());
+    }
+    std::printf(
+        "general adversary (Lemmas 3.4-3.6) broke %s:\n"
+        "  pool %zu (= 3r^2+r for r=%zu), %zu stepped, %zu pieces, "
+        "%zu rebuilds\n",
+        protocol->name().c_str(), result.processes_created, r,
+        result.processes_used, result.pieces_executed, result.rebuilds);
+    std::printf("  execution: %zu steps, inconsistent=%s\n",
+                result.execution.size(),
+                result.execution.inconsistent() ? "YES" : "no");
+    const auto audit =
+        audit_trace(*protocol->make_space(2), result.execution);
+    std::printf("  audit: %s\n", audit.ok ? "PASS" : audit.detail.c_str());
+    return 0;
+  }
+  CloneAdversary::Options opt;
+  opt.seed = flags.seed;
+  const AttackResult result = CloneAdversary(opt).attack(*protocol);
+  if (!result.success) {
+    std::printf("clone adversary failed: %s\n", result.failure.c_str());
+    std::printf("(try --general for non-register or non-identical "
+                "protocols)\n");
+    return 1;
+  }
+  std::printf("clone adversary (Lemmas 3.1-3.2) broke %s:\n",
+              protocol->name().c_str());
+  for (const std::string& line : result.narrative) {
+    std::printf("  %s\n", line.c_str());
+  }
+  std::printf(
+      "  %zu processes stepped (budget %zu), %zu clones, depth %zu\n",
+      result.processes_used, clone_adversary_processes(r),
+      result.clones_created, result.depth);
+  std::printf("\nexecution (%zu steps):\n%s", result.execution.size(),
+              result.execution.render(30).c_str());
+  return 0;
+}
+
+int cmd_explore(const ProtocolEntry& entry, const std::string& input_bits,
+                const Flags& flags) {
+  const auto protocol = entry.make(flags.param);
+  std::vector<int> inputs;
+  for (char c : input_bits) {
+    if (c != '0' && c != '1') {
+      std::fprintf(stderr, "inputs must be a 0/1 string, e.g. 011\n");
+      return 2;
+    }
+    inputs.push_back(c - '0');
+  }
+  ExploreOptions opt;
+  opt.max_depth = flags.depth;
+  opt.seed = flags.seed;
+  const auto result = explore(*protocol, inputs, opt);
+  std::printf("%s, inputs %s:\n", protocol->name().c_str(),
+              input_bits.c_str());
+  std::printf("  states=%zu deepest=%zu complete=%s\n", result.states,
+              result.deepest, result.complete ? "yes" : "no");
+  std::printf("  safe=%s  valence: 0-valent=%zu 1-valent=%zu bivalent=%zu\n",
+              result.safe ? "yes" : "NO", result.zero_valent,
+              result.one_valent, result.bivalent);
+  if (!result.safe) {
+    const auto minimized = minimize_schedule(
+        *protocol, inputs, result.violation_schedule, opt.seed);
+    std::printf("  %s violation; minimal witness (%zu steps, shrunk from "
+                "%zu):\n",
+                result.violation_kind.c_str(), minimized.schedule.size(),
+                minimized.original_steps);
+    const Trace witness =
+        replay_schedule(*protocol, inputs, minimized.schedule, opt.seed);
+    std::printf("%s", witness.render(20).c_str());
+  }
+  return result.safe ? 0 : 1;
+}
+
+int cmd_stall(const ProtocolEntry& entry, const Flags& flags) {
+  const auto protocol = entry.make(flags.param);
+  const bool is_faa = entry.name == "faa-consensus";
+  const bool is_counter = entry.name == "counter-walk";
+  if (!is_faa && !is_counter) {
+    std::fprintf(stderr,
+                 "stall supports faa-consensus and counter-walk (the "
+                 "protocol-aware stallers)\n");
+    return 2;
+  }
+  const std::size_t n = 12;
+  Configuration config = make_initial_configuration(
+      *protocol, alternating_inputs(n), flags.seed);
+  WalkStallerScheduler staller =
+      is_faa ? make_faa_walk_staller(0) : make_counter_walk_staller(0);
+  std::size_t steps = 0;
+  while (steps < 600'000 && !config.decided(0)) {
+    const auto pid = staller.next(config);
+    if (!pid) {
+      break;
+    }
+    config.step(*pid);
+    ++steps;
+  }
+  std::printf("staller vs %s (n=%zu, target P0):\n", protocol->name().c_str(),
+              n);
+  std::printf("  target steps under stall: %zu\n", staller.target_steps());
+  std::printf("  target decided anyway:    %s\n",
+              config.decided(0) ? "YES (global coin cannot be censored "
+                                  "forever)"
+                                : "no (budget reached first)");
+  return 0;
+}
+
+int cmd_cycle(const ProtocolEntry& entry, const std::string& input_bits,
+              const Flags& flags) {
+  const auto protocol = entry.make(flags.param);
+  std::vector<int> inputs;
+  for (char c : input_bits) {
+    inputs.push_back(c - '0');
+  }
+  CycleSearchOptions opt;
+  opt.seed = flags.seed;
+  const auto certificate = find_nondeciding_cycle(*protocol, inputs, opt);
+  std::printf("%s, inputs %s: ", protocol->name().c_str(),
+              input_bits.c_str());
+  if (!certificate.found) {
+    std::printf("no decision-free cycle (%zu states explored)\n",
+                certificate.states_explored);
+    return 1;
+  }
+  std::printf("decision-free cycle found (prefix %zu, cycle %zu)\n",
+              certificate.prefix.size(), certificate.cycle.size());
+  std::printf("  cycle schedule: ");
+  for (ProcessId pid : certificate.cycle) {
+    std::printf("P%zu ", pid);
+  }
+  const Configuration end =
+      replay_certificate(*protocol, inputs, certificate, 500, opt.seed);
+  bool any_decided = false;
+  for (ProcessId pid = 0; pid < end.num_processes(); ++pid) {
+    any_decided = any_decided || end.decided(pid);
+  }
+  std::printf("\n  after 500 laps: %s\n",
+              any_decided ? "someone decided (unexpected)"
+                          : "still nobody has decided");
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  randsync list\n"
+      "  randsync run <protocol> [n] [--param=K] [--seed=S] "
+      "[--scheduler=random|rr|contention|crash]\n"
+      "  randsync attack <protocol> [--param=r] [--seed=S] [--general]\n"
+      "  randsync explore <protocol> <inputs01> [--param=K] [--depth=D]\n"
+      "  randsync stall <walk-protocol> [--seed=S]\n"
+      "  randsync cycle <protocol> <inputs01> [--param=K]\n"
+      "  randsync table\n");
+  return 2;
+}
+
+int run_main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  if (command == "list") {
+    return cmd_list();
+  }
+  if (command == "table") {
+    const auto table = separation_table();
+    std::string mismatch;
+    std::printf("%s", render_separation_table(table).c_str());
+    std::printf("algebra re-verified: %s\n",
+                verify_algebraic_claims(table, mismatch)
+                    ? "PASS"
+                    : mismatch.c_str());
+    return 0;
+  }
+  if (argc < 3) {
+    return usage();
+  }
+  const ProtocolEntry* entry = find_protocol(argv[2]);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "unknown protocol '%s'; see `randsync list`\n",
+                 argv[2]);
+    return 2;
+  }
+  if (command == "run") {
+    std::size_t n = 8;
+    int flag_start = 3;
+    if (argc > 3 && argv[3][0] != '-') {
+      n = std::strtoul(argv[3], nullptr, 10);
+      flag_start = 4;
+    }
+    return cmd_run(*entry, n, parse_flags(argc, argv, flag_start));
+  }
+  if (command == "attack") {
+    return cmd_attack(*entry, parse_flags(argc, argv, 3));
+  }
+  if (command == "explore") {
+    if (argc < 4) {
+      return usage();
+    }
+    return cmd_explore(*entry, argv[3], parse_flags(argc, argv, 4));
+  }
+  if (command == "stall") {
+    return cmd_stall(*entry, parse_flags(argc, argv, 3));
+  }
+  if (command == "cycle") {
+    if (argc < 4) {
+      return usage();
+    }
+    return cmd_cycle(*entry, argv[3], parse_flags(argc, argv, 4));
+  }
+  return usage();
+}
+
+}  // namespace
+}  // namespace randsync
+
+int main(int argc, char** argv) { return randsync::run_main(argc, argv); }
