@@ -20,6 +20,7 @@
 // this bench is that theorem's shape, measured.
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench_common.h"
 #include "core/stallers.h"
@@ -74,38 +75,43 @@ std::size_t random_target_steps(const ConsensusProtocol& protocol,
   return target_steps;
 }
 
-int run() {
+int run(const bench::BenchOptions& opt) {
   bench::banner("A2 / adversarial termination: strong schedulers vs coins");
+  bench::JsonReporter report("bench_adversarial_termination",
+                             opt.effective_threads());
+  const auto start = bench::Clock::now();
 
   // --- local coin: rounds-consensus vs the round killer.
   std::printf("rounds-consensus(K=24) vs RoundsKiller (2 processes):\n");
-  std::size_t killed = 0;
-  const std::size_t kill_trials = 10;
-  for (std::uint64_t seed = 0; seed < kill_trials; ++seed) {
-    RoundsConsensusProtocol protocol(24);
-    Configuration config = make_initial_configuration(
-        protocol, std::vector<int>{0, 1}, seed);
-    RoundsKillerScheduler killer;
-    bool exhausted = false;
-    try {
-      std::size_t steps = 0;
-      while (steps < 100'000) {
-        const auto pid = killer.next(config);
-        if (!pid) {
-          break;
+  const std::size_t kill_trials = opt.trials_or(10);
+  const std::vector<char> kill_outcomes = parallel_map_trials<char>(
+      kill_trials, opt.threads, [](std::size_t t) -> char {
+        RoundsConsensusProtocol protocol(24);
+        Configuration config = make_initial_configuration(
+            protocol, std::vector<int>{0, 1}, trial_seed(0xA2A2, t));
+        RoundsKillerScheduler killer;
+        try {
+          std::size_t steps = 0;
+          while (steps < 100'000) {
+            const auto pid = killer.next(config);
+            if (!pid) {
+              break;
+            }
+            config.step(*pid);
+            ++steps;
+          }
+        } catch (const std::exception&) {
+          return 1;  // round budget exhausted: stalled forever
         }
-        config.step(*pid);
-        ++steps;
-      }
-    } catch (const std::exception&) {
-      exhausted = true;  // round budget exhausted: stalled forever
-    }
-    if (exhausted) {
-      ++killed;
-    }
-  }
+        return 0;
+      });
+  const std::size_t killed = static_cast<std::size_t>(
+      std::count(kill_outcomes.begin(), kill_outcomes.end(), 1));
   std::printf("  stalled through the ENTIRE round budget: %zu / %zu runs\n\n",
               killed, kill_trials);
+  report.add("rounds_killer")
+      .count("trials", kill_trials)
+      .count("stalled", killed);
 
   // --- global coin: drift walks vs the walk staller.
   std::printf("drift walks vs WalkStaller (n = 12, target = P0):\n");
@@ -120,24 +126,44 @@ int run() {
   };
   const Case cases[] = {{"counter-walk", &counter_walk, false},
                         {"faa-consensus", &faa_walk, true}};
+  constexpr std::size_t kSeeds = 4;
+  struct StallRow {
+    std::size_t baseline = 0;
+    StallOutcome stalled;
+  };
+  // One fan-out task per (case, seed): each runs the benign baseline
+  // and the stalled execution back to back, independently seeded.
+  const std::vector<StallRow> stall_rows = parallel_map_trials<StallRow>(
+      std::size(cases) * kSeeds, opt.threads, [&](std::size_t i) {
+        const Case& c = cases[i / kSeeds];
+        const std::uint64_t seed = i % kSeeds;
+        StallRow row;
+        row.baseline = random_target_steps(*c.protocol, 12, seed, 600'000);
+        row.stalled = run_stalled(
+            *c.protocol, 12, seed,
+            c.faa ? make_faa_walk_staller(0) : make_counter_walk_staller(0),
+            600'000);
+        return row;
+      });
   bool all_decided = true;
-  for (const Case& c : cases) {
-    for (std::uint64_t seed = 0; seed < 4; ++seed) {
-      const std::size_t baseline =
-          random_target_steps(*c.protocol, 12, seed, 600'000);
-      const StallOutcome stalled = run_stalled(
-          *c.protocol, 12, seed,
-          c.faa ? make_faa_walk_staller(0) : make_counter_walk_staller(0),
-          600'000);
-      all_decided = all_decided && stalled.decided;
-      std::printf("  %-14s %8llu | %14zu %14zu %8.1f%s\n", c.label,
-                  static_cast<unsigned long long>(seed), baseline,
-                  stalled.target_steps,
-                  baseline ? static_cast<double>(stalled.target_steps) /
-                                 static_cast<double>(baseline)
-                           : 0.0,
-                  stalled.decided ? "" : "  UNDECIDED");
-    }
+  for (std::size_t i = 0; i < stall_rows.size(); ++i) {
+    const Case& c = cases[i / kSeeds];
+    const std::uint64_t seed = i % kSeeds;
+    const StallRow& row = stall_rows[i];
+    all_decided = all_decided && row.stalled.decided;
+    std::printf("  %-14s %8llu | %14zu %14zu %8.1f%s\n", c.label,
+                static_cast<unsigned long long>(seed), row.baseline,
+                row.stalled.target_steps,
+                row.baseline ? static_cast<double>(row.stalled.target_steps) /
+                                   static_cast<double>(row.baseline)
+                             : 0.0,
+                row.stalled.decided ? "" : "  UNDECIDED");
+    report.add("walk_staller")
+        .field("protocol", c.label)
+        .count("seed", seed)
+        .count("baseline_target_steps", row.baseline)
+        .count("stalled_target_steps", row.stalled.target_steps)
+        .field("decided", row.stalled.decided);
   }
 
   // --- bounded-step determinism is immune by construction.
@@ -151,10 +177,14 @@ int run() {
       "at one pending move per process (the same accounting that makes\n"
       "their decisions safe).\n",
       killed, kill_trials, all_decided ? "all runs decided" : "UNEXPECTED");
+  report.add("total").field("wall_seconds", bench::seconds_since(start));
+  report.write(opt);
   return (killed == kill_trials && all_decided) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace randsync
 
-int main() { return randsync::run(); }
+int main(int argc, char** argv) {
+  return randsync::run(randsync::bench::parse_bench_args(argc, argv));
+}

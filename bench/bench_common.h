@@ -2,19 +2,230 @@
 //
 // Each bench binary regenerates one artifact of the paper (see
 // DESIGN.md's experiment index and EXPERIMENTS.md for recorded
-// results); the helpers here gather run statistics and print aligned
-// tables.
+// results).  This header provides:
+//
+//   * measure()        -- aggregate statistics over repeated seeded
+//                         consensus runs, fanned out across threads by
+//                         the deterministic parallel trial engine
+//                         (runtime/parallel.h): results are
+//                         bit-identical for every thread count;
+//   * BenchOptions     -- the common --threads/--trials/--json flags;
+//   * JsonReporter     -- the machine-readable --json output
+//                         (schema documented in bench/README.md);
+//   * table formatting (rule, banner).
 #pragma once
 
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <numeric>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "protocols/harness.h"
+#include "runtime/parallel.h"
 
 namespace randsync::bench {
+
+// --------------------------------------------------------------------
+// Command-line options shared by the experiment drivers.
+
+/// Flags: --threads=N (0 = hardware concurrency), --trials=N (0 = bench
+/// default), --json[=FILE] (machine-readable report to FILE or stdout).
+struct BenchOptions {
+  std::size_t threads = 0;
+  std::size_t trials = 0;
+  bool json = false;
+  std::string json_path;
+
+  /// `trials` if set on the command line, else the bench's default.
+  [[nodiscard]] std::size_t trials_or(std::size_t fallback) const {
+    return trials == 0 ? fallback : trials;
+  }
+
+  /// The thread count the parallel engine will actually use.
+  [[nodiscard]] std::size_t effective_threads() const {
+    return threads == 0 ? default_thread_count() : threads;
+  }
+};
+
+inline BenchOptions parse_bench_args(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      opt.threads = static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + std::strlen("--threads="), nullptr, 10));
+    } else if (arg.rfind("--trials=", 0) == 0) {
+      opt.trials = static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + std::strlen("--trials="), nullptr, 10));
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      opt.json = true;
+      opt.json_path = arg.substr(std::strlen("--json="));
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag: %s\nusage: %s [--threads=N] [--trials=N] "
+                   "[--json[=FILE]]\n",
+                   arg.c_str(), argv[0]);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+/// Monotonic wall-clock seconds elapsed since `start`.
+using Clock = std::chrono::steady_clock;
+inline double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// --------------------------------------------------------------------
+// Machine-readable reporting (--json).  Schema: bench/README.md.
+
+/// One JSON scalar; doubles render with %.17g so equal stats render to
+/// equal text (the determinism tests compare reports literally).
+using JsonValue = std::variant<bool, std::int64_t, std::uint64_t, double,
+                               std::string>;
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string to_json(const JsonValue& v) {
+  struct Render {
+    std::string operator()(bool b) const { return b ? "true" : "false"; }
+    std::string operator()(std::int64_t i) const { return std::to_string(i); }
+    std::string operator()(std::uint64_t u) const { return std::to_string(u); }
+    std::string operator()(double d) const {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      return buf;
+    }
+    std::string operator()(const std::string& s) const {
+      return "\"" + json_escape(s) + "\"";
+    }
+  };
+  return std::visit(Render{}, v);
+}
+
+/// Collects named records of ordered (key, value) fields and renders
+/// the whole report as one JSON object.  Rendering is a pure function
+/// of the recorded fields: two reporters with identical records render
+/// identical text regardless of thread count or timing.
+class JsonReporter {
+ public:
+  class Record {
+   public:
+    explicit Record(std::string name) {
+      fields_.emplace_back("name", std::move(name));
+    }
+    Record& field(const std::string& key, JsonValue value) {
+      fields_.emplace_back(key, std::move(value));
+      return *this;
+    }
+    /// Convenience for size_t counters (maps to uint64).
+    Record& count(const std::string& key, std::size_t value) {
+      return field(key, static_cast<std::uint64_t>(value));
+    }
+    [[nodiscard]] std::string render() const {
+      std::string out = "{";
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (i > 0) {
+          out += ", ";
+        }
+        out += "\"" + json_escape(fields_[i].first) +
+               "\": " + to_json(fields_[i].second);
+      }
+      return out + "}";
+    }
+
+   private:
+    std::vector<std::pair<std::string, JsonValue>> fields_;
+  };
+
+  JsonReporter(std::string bench, std::size_t threads)
+      : bench_(std::move(bench)), threads_(threads) {}
+
+  /// Start a new record; returned reference is valid until the next add.
+  Record& add(const std::string& name) {
+    records_.emplace_back(name);
+    return records_.back();
+  }
+
+  [[nodiscard]] std::string render() const {
+    std::string out = "{\n";
+    out += "  \"bench\": \"" + json_escape(bench_) + "\",\n";
+    out += "  \"schema_version\": 1,\n";
+    out += "  \"threads\": " + std::to_string(threads_) + ",\n";
+    out += "  \"records\": [\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      out += "    " + records_[i].render();
+      out += (i + 1 < records_.size()) ? ",\n" : "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  /// Emit the report if --json was given: to opt.json_path, else stdout.
+  void write(const BenchOptions& opt) const {
+    if (!opt.json) {
+      return;
+    }
+    const std::string text = render();
+    if (opt.json_path.empty()) {
+      std::fputs(text.c_str(), stdout);
+      return;
+    }
+    std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", opt.json_path.c_str());
+      std::exit(1);
+    }
+    std::fputs(text.c_str(), f);
+    std::fclose(f);
+  }
+
+ private:
+  std::string bench_;
+  std::size_t threads_;
+  std::vector<Record> records_;
+};
+
+// --------------------------------------------------------------------
+// Aggregate consensus-run statistics.
 
 /// Aggregate statistics over repeated consensus runs.
 struct RunStats {
@@ -24,7 +235,20 @@ struct RunStats {
   std::size_t max_total_steps = 0;
   double mean_steps_per_process = 0;
   std::size_t max_steps_one_process = 0;
+
+  friend bool operator==(const RunStats&, const RunStats&) = default;
 };
+
+/// Append the deterministic RunStats fields to a JSON record.
+inline JsonReporter::Record& add_stats(JsonReporter::Record& rec,
+                                       const RunStats& stats) {
+  return rec.count("trials", stats.trials)
+      .count("failures", stats.failures)
+      .field("mean_total_steps", stats.mean_total_steps)
+      .count("max_total_steps", stats.max_total_steps)
+      .field("mean_steps_per_process", stats.mean_steps_per_process)
+      .count("max_steps_one_process", stats.max_steps_one_process);
+}
 
 enum class SchedulerKind { kRandom, kContention, kRoundRobin };
 
@@ -40,38 +264,60 @@ inline const char* to_string(SchedulerKind kind) {
   return "?";
 }
 
-/// Run `trials` independent consensus executions and aggregate.
+inline std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                                 std::uint64_t seed) {
+  switch (kind) {
+    case SchedulerKind::kRandom:
+      return std::make_unique<RandomScheduler>(seed);
+    case SchedulerKind::kContention:
+      return std::make_unique<ContentionScheduler>(seed);
+    case SchedulerKind::kRoundRobin:
+      return std::make_unique<RoundRobinScheduler>();
+  }
+  return nullptr;
+}
+
+/// Run `trials` independent consensus executions on up to `threads`
+/// threads and aggregate.  Each trial's seed is trial_seed(0xBE7C4, t, n)
+/// -- a pure function of the trial index and the sweep stream n, so the
+/// aggregate is bit-identical for every thread count (trial outcomes
+/// land in index-addressed slots and are folded serially in trial
+/// order; see runtime/parallel.h).
 inline RunStats measure(const ConsensusProtocol& protocol, std::size_t n,
                         SchedulerKind kind, std::size_t trials,
-                        std::size_t max_steps = 4'000'000) {
+                        std::size_t max_steps = 4'000'000,
+                        std::size_t threads = 1) {
+  struct Trial {
+    bool ok = false;
+    std::size_t total_steps = 0;
+    std::size_t max_steps_by_one = 0;
+  };
+  const std::vector<Trial> outcomes = parallel_map_trials<Trial>(
+      trials, threads, [&](std::size_t t) {
+        const std::uint64_t seed = trial_seed(0xBE7C4, t, n);
+        const auto scheduler = make_scheduler(kind, seed);
+        const auto inputs = alternating_inputs(n);
+        const ConsensusRun run =
+            run_consensus(protocol, inputs, *scheduler, max_steps, seed);
+        Trial out;
+        out.ok = run.all_decided && run.consistent && run.valid;
+        out.total_steps = run.total_steps;
+        out.max_steps_by_one = run.max_steps_by_one;
+        return out;
+      });
+
   RunStats stats;
   stats.trials = trials;
   std::vector<double> steps;
-  for (std::size_t t = 0; t < trials; ++t) {
-    const std::uint64_t seed = derive_seed(0xBE7C4, t * 1000 + n);
-    std::unique_ptr<Scheduler> scheduler;
-    switch (kind) {
-      case SchedulerKind::kRandom:
-        scheduler = std::make_unique<RandomScheduler>(seed);
-        break;
-      case SchedulerKind::kContention:
-        scheduler = std::make_unique<ContentionScheduler>(seed);
-        break;
-      case SchedulerKind::kRoundRobin:
-        scheduler = std::make_unique<RoundRobinScheduler>();
-        break;
-    }
-    const auto inputs = alternating_inputs(n);
-    const ConsensusRun run =
-        run_consensus(protocol, inputs, *scheduler, max_steps, seed);
-    if (!run.all_decided || !run.consistent || !run.valid) {
+  for (const Trial& trial : outcomes) {  // serial fold, trial order
+    if (!trial.ok) {
       ++stats.failures;
       continue;
     }
-    steps.push_back(static_cast<double>(run.total_steps));
-    stats.max_total_steps = std::max(stats.max_total_steps, run.total_steps);
+    steps.push_back(static_cast<double>(trial.total_steps));
+    stats.max_total_steps = std::max(stats.max_total_steps, trial.total_steps);
     stats.max_steps_one_process =
-        std::max(stats.max_steps_one_process, run.max_steps_by_one);
+        std::max(stats.max_steps_one_process, trial.max_steps_by_one);
   }
   if (!steps.empty()) {
     stats.mean_total_steps =

@@ -28,57 +28,87 @@ struct ErrorRate {
 };
 
 ErrorRate measure_errors(std::size_t rounds, bool adversarial,
-                         std::size_t trials) {
+                         std::size_t trials, std::size_t threads) {
   RoundsConsensusProtocol protocol(rounds, ExhaustionPolicy::kDecideAnyway);
+  struct Trial {
+    bool terminated = false;
+    bool inconsistent = false;
+  };
+  // One independent execution per trial; the seed is a pure function of
+  // the trial index (stream = rounds), so the fan-out is deterministic.
+  const std::vector<Trial> outcomes = parallel_map_trials<Trial>(
+      trials, threads, [&](std::size_t t) {
+        const std::uint64_t seed = trial_seed(0xA3A3, t, rounds);
+        const std::vector<int> inputs{0, 1};
+        Configuration config =
+            make_initial_configuration(protocol, inputs, seed);
+        std::unique_ptr<Scheduler> scheduler;
+        if (adversarial) {
+          scheduler = std::make_unique<RoundsKillerScheduler>();
+        } else {
+          scheduler = std::make_unique<RandomScheduler>(seed);
+        }
+        std::size_t steps = 0;
+        while (steps < 1'000'000 && !config.all_decided()) {
+          const auto pid = scheduler->next(config);
+          if (!pid) {
+            break;
+          }
+          config.step(*pid);
+          ++steps;
+        }
+        Trial out;
+        if (!config.all_decided()) {
+          return out;
+        }
+        out.terminated = true;
+        out.inconsistent =
+            config.process(0).decision() != config.process(1).decision();
+        return out;
+      });
   ErrorRate rate;
   rate.trials = trials;
-  for (std::uint64_t seed = 0; seed < trials; ++seed) {
-    const std::vector<int> inputs{0, 1};
-    Configuration config =
-        make_initial_configuration(protocol, inputs, seed);
-    std::unique_ptr<Scheduler> scheduler;
-    if (adversarial) {
-      scheduler = std::make_unique<RoundsKillerScheduler>();
-    } else {
-      scheduler = std::make_unique<RandomScheduler>(seed);
-    }
-    std::size_t steps = 0;
-    while (steps < 1'000'000 && !config.all_decided()) {
-      const auto pid = scheduler->next(config);
-      if (!pid) {
-        break;
-      }
-      config.step(*pid);
-      ++steps;
-    }
-    if (!config.all_decided()) {
-      continue;
-    }
-    ++rate.terminated;
-    if (config.process(0).decision() != config.process(1).decision()) {
-      ++rate.inconsistent;
-    }
+  for (const Trial& trial : outcomes) {
+    rate.terminated += trial.terminated ? 1 : 0;
+    rate.inconsistent += trial.inconsistent ? 1 : 0;
   }
   return rate;
 }
 
-int run() {
+int run(const bench::BenchOptions& opt) {
   bench::banner(
       "A3 / the Monte Carlo exclusion (Section 2): decide-anyway rounds");
   std::printf("%8s %-14s %8s %12s %14s\n", "rounds", "scheduler", "trials",
               "terminated", "inconsistent");
   bench::rule(64);
+  bench::JsonReporter report("bench_monte_carlo", opt.effective_threads());
+  const std::size_t trials = opt.trials_or(40);
+  const auto start = bench::Clock::now();
   for (std::size_t rounds : {4U, 8U, 16U}) {
     for (bool adversarial : {false, true}) {
-      const ErrorRate rate = measure_errors(rounds, adversarial, 40);
+      const auto cell_start = bench::Clock::now();
+      const ErrorRate rate =
+          measure_errors(rounds, adversarial, trials, opt.threads);
+      const double wall = bench::seconds_since(cell_start);
       std::printf("%8zu %-14s %8zu %12zu %13zu%%\n", rounds,
                   adversarial ? "killer" : "random", rate.trials,
                   rate.terminated,
                   rate.terminated
                       ? 100 * rate.inconsistent / rate.terminated
                       : 0);
+      report.add("error_rate")
+          .count("rounds", rounds)
+          .field("scheduler", adversarial ? "killer" : "random")
+          .count("trials", rate.trials)
+          .count("terminated", rate.terminated)
+          .count("inconsistent", rate.inconsistent)
+          .field("wall_seconds", wall)
+          .field("trials_per_sec",
+                 wall > 0 ? static_cast<double>(rate.trials) / wall : 0.0);
     }
   }
+  report.add("total").field("wall_seconds", bench::seconds_since(start));
+  report.write(opt);
   std::printf(
       "\nUnder benign schedulers the budget is never exhausted and errors\n"
       "are absent; under the strong adversary EVERY run terminates\n"
@@ -92,4 +122,6 @@ int run() {
 }  // namespace
 }  // namespace randsync
 
-int main() { return randsync::run(); }
+int main(int argc, char** argv) {
+  return randsync::run(randsync::bench::parse_bench_args(argc, argv));
+}

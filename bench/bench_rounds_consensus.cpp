@@ -13,26 +13,39 @@
 namespace randsync {
 namespace {
 
-int run() {
+int run(const bench::BenchOptions& opt) {
   bench::banner(
       "B1 / conciliator + adopt-commit rounds over multi-writer registers");
   std::printf("%4s %-12s %8s %12s %12s %10s\n", "n", "scheduler", "trials",
               "mean steps", "steps/proc", "registers");
   bench::rule(70);
   RoundsConsensusProtocol protocol(64);
+  bench::JsonReporter report("bench_rounds_consensus",
+                             opt.effective_threads());
+  const std::size_t trials = opt.trials_or(20);
   bool all_ok = true;
+  const auto start = bench::Clock::now();
   for (std::size_t n : {2U, 4U, 8U, 16U, 32U}) {
     for (auto kind :
          {bench::SchedulerKind::kRandom, bench::SchedulerKind::kContention}) {
-      const auto stats = bench::measure(protocol, n, kind, 20, 4'000'000);
+      const auto cell_start = bench::Clock::now();
+      const auto stats =
+          bench::measure(protocol, n, kind, trials, 4'000'000, opt.threads);
+      const double wall = bench::seconds_since(cell_start);
       all_ok = all_ok && stats.failures == 0;
       std::printf("%4zu %-12s %8zu %12.0f %12.0f %10zu%s\n", n,
                   bench::to_string(kind), stats.trials,
                   stats.mean_total_steps, stats.mean_steps_per_process,
                   protocol.make_space(n)->size(),
                   stats.failures ? "  FAILURES!" : "");
+      auto& rec = report.add("rounds_consensus");
+      bench::add_stats(
+          rec.count("n", n).field("scheduler", bench::to_string(kind)), stats)
+          .field("wall_seconds", wall);
     }
   }
+  report.add("total").field("wall_seconds", bench::seconds_since(start));
+  report.write(opt);
   std::printf(
       "\nsafety rests ONLY on the adopt-commit gadget, whose coherence/\n"
       "validity/convergence are verified EXHAUSTIVELY over all schedules\n"
@@ -47,4 +60,6 @@ int run() {
 }  // namespace
 }  // namespace randsync
 
-int main() { return randsync::run(); }
+int main(int argc, char** argv) {
+  return randsync::run(randsync::bench::parse_bench_args(argc, argv));
+}

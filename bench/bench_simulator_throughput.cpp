@@ -1,84 +1,217 @@
-// B3 -- simulator micro-throughput (google-benchmark): raw step rate,
-// configuration cloning cost, and end-to-end adversary runtime.  These
-// numbers bound how large an n or r the experiment harnesses can sweep
-// in reasonable wall-clock time; they are about THIS simulator, not the
-// paper.
+// B3 -- simulator micro-throughput: raw step rate, configuration
+// cloning cost (fresh clones and buffer-reusing clone_into), end-to-end
+// adversary runtime, and the parallel trial engine's sweep throughput.
+// These numbers bound how large an n or r the experiment harnesses can
+// sweep in reasonable wall-clock time; they are about THIS simulator,
+// not the paper.
+//
+// With --json=FILE the bench emits the machine-readable perf record
+// (schema: bench/README.md); the checked-in baseline lives at
+// bench/baselines/BENCH_simulator.json and is the perf trajectory
+// future PRs compare against.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
 
+#include "bench_common.h"
 #include "core/clone_adversary.h"
 #include "core/general_adversary.h"
 #include "protocols/drift_walk.h"
-#include "protocols/harness.h"
 #include "protocols/historyless_race.h"
 #include "protocols/register_race.h"
+#include "protocols/rounds_consensus.h"
 
 namespace randsync {
 namespace {
 
-void BM_StepThroughput(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  FaaConsensusProtocol protocol;
-  Configuration config =
-      make_initial_configuration(protocol, alternating_inputs(n), 1);
-  RandomScheduler sched(7);
-  std::size_t steps = 0;
-  for (auto _ : state) {
-    const auto pid = sched.next(config);
-    if (!pid) {
-      state.PauseTiming();
-      config = make_initial_configuration(protocol, alternating_inputs(n), 1);
-      state.ResumeTiming();
-      continue;
+// Fixed work quanta: each section performs a deterministic amount of
+// simulated work and reports wall time + rate, so two runs differ only
+// in timing fields, never in work done.
+constexpr std::size_t kStepBatch = 400'000;
+constexpr std::size_t kCloneBatch = 20'000;
+constexpr std::size_t kAttackBatch = 400;
+
+void bench_steps(bench::JsonReporter& report) {
+  std::printf("%-28s %10s %14s %12s\n", "section", "arg", "wall (s)",
+              "rate/sec");
+  bench::rule(70);
+  for (std::size_t n : {4U, 32U, 256U}) {
+    FaaConsensusProtocol protocol;
+    Configuration config =
+        make_initial_configuration(protocol, alternating_inputs(n), 1);
+    RandomScheduler sched(7);
+    const auto start = bench::Clock::now();
+    std::size_t steps = 0;
+    while (steps < kStepBatch) {
+      const auto pid = sched.next(config);
+      if (!pid) {
+        config = make_initial_configuration(protocol, alternating_inputs(n), 1);
+        continue;
+      }
+      config.step(*pid);
+      ++steps;
     }
-    benchmark::DoNotOptimize(config.step(*pid));
-    ++steps;
+    const double wall = bench::seconds_since(start);
+    const double rate = static_cast<double>(steps) / wall;
+    std::printf("%-28s %10zu %14.4f %12.0f\n", "step_throughput", n, wall,
+                rate);
+    report.add("step_throughput")
+        .count("n", n)
+        .count("steps", steps)
+        .field("wall_seconds", wall)
+        .field("steps_per_sec", rate);
   }
-  state.counters["steps"] = static_cast<double>(steps);
 }
-BENCHMARK(BM_StepThroughput)->Arg(4)->Arg(32)->Arg(256);
 
-void BM_ConfigurationClone(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  const HistorylessRaceProtocol protocol = HistorylessRaceProtocol::mixed(4);
-  Configuration config(protocol.make_space(2));
-  for (std::size_t i = 0; i < n; ++i) {
-    config.add_process(protocol.make_process(2, i, i % 2 ? 1 : 0, i));
-  }
-  for (auto _ : state) {
-    Configuration copy = config.clone();
-    benchmark::DoNotOptimize(copy.num_processes());
-  }
-}
-BENCHMARK(BM_ConfigurationClone)->Arg(8)->Arg(64)->Arg(512);
+void bench_clones(bench::JsonReporter& report) {
+  for (std::size_t n : {8U, 64U, 512U}) {
+    const HistorylessRaceProtocol protocol = HistorylessRaceProtocol::mixed(4);
+    Configuration config(protocol.make_space(2));
+    for (std::size_t i = 0; i < n; ++i) {
+      config.add_process(protocol.make_process(2, i, i % 2 ? 1 : 0, i));
+    }
+    const std::size_t clones = kCloneBatch / (n / 8);
 
-void BM_CloneAdversaryEndToEnd(benchmark::State& state) {
-  const std::size_t r = static_cast<std::size_t>(state.range(0));
-  RegisterRaceProtocol protocol(RaceVariant::kRoundVoting, r);
-  std::uint64_t seed = 0;
-  for (auto _ : state) {
-    CloneAdversary::Options opt;
-    opt.seed = ++seed;
-    const AttackResult result = CloneAdversary(opt).attack(protocol);
-    benchmark::DoNotOptimize(result.processes_used);
-  }
-}
-BENCHMARK(BM_CloneAdversaryEndToEnd)->Arg(2)->Arg(4)->Arg(6);
+    auto start = bench::Clock::now();
+    for (std::size_t i = 0; i < clones; ++i) {
+      Configuration copy = config.clone();
+      if (copy.num_processes() != n) {
+        std::abort();
+      }
+    }
+    double wall = bench::seconds_since(start);
+    double rate = static_cast<double>(clones) / wall;
+    std::printf("%-28s %10zu %14.4f %12.0f\n", "configuration_clone", n, wall,
+                rate);
+    report.add("configuration_clone")
+        .count("n", n)
+        .count("clones", clones)
+        .field("wall_seconds", wall)
+        .field("clones_per_sec", rate);
 
-void BM_GeneralAdversaryEndToEnd(benchmark::State& state) {
-  const std::size_t r = static_cast<std::size_t>(state.range(0));
-  const HistorylessRaceProtocol protocol = HistorylessRaceProtocol::mixed(r);
-  std::uint64_t seed = 0;
-  for (auto _ : state) {
-    GeneralAdversary::Options opt;
-    opt.seed = ++seed;
-    const GeneralAttackResult result = GeneralAdversary(opt).attack(protocol);
-    benchmark::DoNotOptimize(result.processes_used);
+    // The buffer-reusing rewind path (solo oracle, branch loops).
+    Configuration scratch = config.clone();
+    start = bench::Clock::now();
+    for (std::size_t i = 0; i < clones; ++i) {
+      config.clone_into(scratch);
+      if (scratch.num_processes() != n) {
+        std::abort();
+      }
+    }
+    wall = bench::seconds_since(start);
+    rate = static_cast<double>(clones) / wall;
+    std::printf("%-28s %10zu %14.4f %12.0f\n", "configuration_clone_into", n,
+                wall, rate);
+    report.add("configuration_clone_into")
+        .count("n", n)
+        .count("clones", clones)
+        .field("wall_seconds", wall)
+        .field("clones_per_sec", rate);
   }
 }
-BENCHMARK(BM_GeneralAdversaryEndToEnd)->Arg(2)->Arg(4)->Arg(6);
+
+void bench_adversaries(bench::JsonReporter& report) {
+  for (std::size_t r : {2U, 4U, 6U}) {
+    const std::size_t attacks = kAttackBatch / r;
+    RegisterRaceProtocol clone_prey(RaceVariant::kRoundVoting, r);
+    auto start = bench::Clock::now();
+    for (std::size_t i = 0; i < attacks; ++i) {
+      CloneAdversary::Options opt;
+      opt.seed = i + 1;
+      const AttackResult result = CloneAdversary(opt).attack(clone_prey);
+      if (!result.success) {
+        std::abort();
+      }
+    }
+    double wall = bench::seconds_since(start);
+    std::printf("%-28s %10zu %14.4f %12.0f\n", "clone_adversary_attack", r,
+                wall, static_cast<double>(attacks) / wall);
+    report.add("clone_adversary_attack")
+        .count("r", r)
+        .count("attacks", attacks)
+        .field("wall_seconds", wall)
+        .field("attacks_per_sec", static_cast<double>(attacks) / wall);
+
+    const HistorylessRaceProtocol general_prey =
+        HistorylessRaceProtocol::mixed(r);
+    start = bench::Clock::now();
+    for (std::size_t i = 0; i < attacks; ++i) {
+      GeneralAdversary::Options opt;
+      opt.seed = i + 1;
+      const GeneralAttackResult result =
+          GeneralAdversary(opt).attack(general_prey);
+      if (!result.success) {
+        std::abort();
+      }
+    }
+    wall = bench::seconds_since(start);
+    std::printf("%-28s %10zu %14.4f %12.0f\n", "general_adversary_attack", r,
+                wall, static_cast<double>(attacks) / wall);
+    report.add("general_adversary_attack")
+        .count("r", r)
+        .count("attacks", attacks)
+        .field("wall_seconds", wall)
+        .field("attacks_per_sec", static_cast<double>(attacks) / wall);
+  }
+}
+
+bool bench_parallel_sweep(bench::JsonReporter& report,
+                          const bench::BenchOptions& opt) {
+  // A bench_monte_carlo-shaped sweep (independent seeded consensus
+  // trials), serial vs fanned out: same trials, same seeds, so the
+  // aggregates must be bit-identical and only wall time may move.
+  const std::size_t trials = opt.trials_or(64);
+  const std::size_t threads = opt.effective_threads();
+  RoundsConsensusProtocol protocol(64);
+
+  auto start = bench::Clock::now();
+  const bench::RunStats serial = bench::measure(
+      protocol, 8, bench::SchedulerKind::kContention, trials, 4'000'000, 1);
+  const double serial_wall = bench::seconds_since(start);
+
+  start = bench::Clock::now();
+  const bench::RunStats parallel =
+      bench::measure(protocol, 8, bench::SchedulerKind::kContention, trials,
+                     4'000'000, threads);
+  const double parallel_wall = bench::seconds_since(start);
+
+  const bool identical = serial == parallel;
+  const double speedup = parallel_wall > 0 ? serial_wall / parallel_wall : 0;
+  std::printf("%-28s %10zu %14.4f %12.0f\n", "trial_sweep_serial", trials,
+              serial_wall, static_cast<double>(trials) / serial_wall);
+  std::printf("%-28s %10zu %14.4f %12.0f\n", "trial_sweep_parallel", trials,
+              parallel_wall, static_cast<double>(trials) / parallel_wall);
+  std::printf("  -> %zu thread(s): speedup %.2fx, aggregates %s\n", threads,
+              speedup, identical ? "BIT-IDENTICAL" : "DIVERGED (BUG!)");
+  auto& rec = report.add("trial_sweep");
+  bench::add_stats(rec.count("threads", threads), parallel)
+      .field("serial_wall_seconds", serial_wall)
+      .field("parallel_wall_seconds", parallel_wall)
+      .field("speedup", speedup)
+      .field("serial_trials_per_sec",
+             static_cast<double>(trials) / serial_wall)
+      .field("parallel_trials_per_sec",
+             static_cast<double>(trials) / parallel_wall)
+      .field("bit_identical", identical);
+  return identical;
+}
+
+int run(const bench::BenchOptions& opt) {
+  bench::banner("B3 / simulator micro-throughput");
+  bench::JsonReporter report("bench_simulator_throughput",
+                             opt.effective_threads());
+  const auto start = bench::Clock::now();
+  bench_steps(report);
+  bench_clones(report);
+  bench_adversaries(report);
+  const bool identical = bench_parallel_sweep(report, opt);
+  report.add("total").field("wall_seconds", bench::seconds_since(start));
+  report.write(opt);
+  return identical ? 0 : 1;
+}
 
 }  // namespace
 }  // namespace randsync
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return randsync::run(randsync::bench::parse_bench_args(argc, argv));
+}

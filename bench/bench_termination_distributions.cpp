@@ -22,25 +22,41 @@ namespace randsync {
 namespace {
 
 Summary distribution(const ConsensusProtocol& protocol, std::size_t n,
-                     std::size_t trials) {
-  std::vector<double> samples;
-  for (std::size_t t = 0; t < trials; ++t) {
-    const std::uint64_t seed = derive_seed(0xD157, t * 131 + n);
-    ContentionScheduler sched(seed);
-    const auto inputs = alternating_inputs(n);
-    const ConsensusRun run =
-        run_consensus(protocol, inputs, sched, 8'000'000, seed);
-    if (run.all_decided && run.consistent && run.valid) {
-      samples.push_back(static_cast<double>(run.total_steps));
+                     std::size_t trials, std::size_t threads) {
+  struct Trial {
+    bool ok = false;
+    double steps = 0;
+  };
+  // trial_seed mixes t and n through separate derive_seed stages, so
+  // (trial, n) pairs cannot collide the way t * 131 + n packings do.
+  const std::vector<Trial> outcomes = parallel_map_trials<Trial>(
+      trials, threads, [&](std::size_t t) {
+        const std::uint64_t seed = trial_seed(0xD157, t, n);
+        ContentionScheduler sched(seed);
+        const auto inputs = alternating_inputs(n);
+        const ConsensusRun run =
+            run_consensus(protocol, inputs, sched, 8'000'000, seed);
+        Trial out;
+        out.ok = run.all_decided && run.consistent && run.valid;
+        out.steps = static_cast<double>(run.total_steps);
+        return out;
+      });
+  std::vector<double> samples;  // folded serially, in trial order
+  for (const Trial& trial : outcomes) {
+    if (trial.ok) {
+      samples.push_back(trial.steps);
     }
   }
   return summarize(std::move(samples));
 }
 
-int run() {
+int run(const bench::BenchOptions& opt) {
   bench::banner("B2 / termination-time distributions (contention scheduler, "
                 "100 runs per cell)");
-  const std::size_t trials = 100;
+  const std::size_t trials = opt.trials_or(100);
+  bench::JsonReporter report("bench_termination_distributions",
+                             opt.effective_threads());
+  const auto start = bench::Clock::now();
   OneCounterWalkProtocol one_counter;
   FaaConsensusProtocol faa;
   CounterWalkProtocol counter_walk;
@@ -63,7 +79,23 @@ int run() {
     std::printf("  %-18s %8s %8s %8s %8s %8s %8s\n", "protocol", "mean",
                 "sd", "p50", "p90", "p99", "max");
     for (const Row& row : rows) {
-      const Summary s = distribution(*row.protocol, n, trials);
+      const auto cell_start = bench::Clock::now();
+      const Summary s = distribution(*row.protocol, n, trials, opt.threads);
+      const double wall = bench::seconds_since(cell_start);
+      report.add("distribution")
+          .field("protocol", row.label)
+          .count("n", n)
+          .count("trials", trials)
+          .count("safe_runs", s.count)
+          .field("mean", s.mean)
+          .field("stddev", s.stddev)
+          .field("p50", s.p50)
+          .field("p90", s.p90)
+          .field("p99", s.p99)
+          .field("max", s.max)
+          .field("wall_seconds", wall)
+          .field("trials_per_sec",
+                 wall > 0 ? static_cast<double>(trials) / wall : 0.0);
       if (s.count < trials) {
         std::printf("  %-18s INCOMPLETE (%zu/%zu safe runs)\n", row.label,
                     s.count, trials);
@@ -74,6 +106,8 @@ int run() {
     }
     std::printf("\n");
   }
+  report.add("total").field("wall_seconds", bench::seconds_since(start));
+  report.write(opt);
   std::printf(
       "Geometric-ish tails (p99 a small multiple of p50) are what\n"
       "'finite EXPECTED steps' buys; the deterministic rows have zero\n"
@@ -84,4 +118,6 @@ int run() {
 }  // namespace
 }  // namespace randsync
 
-int main() { return randsync::run(); }
+int main(int argc, char** argv) {
+  return randsync::run(randsync::bench::parse_bench_args(argc, argv));
+}

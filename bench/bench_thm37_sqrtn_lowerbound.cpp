@@ -25,31 +25,74 @@
 namespace randsync {
 namespace {
 
-int run() {
+int run(const bench::BenchOptions& opt) {
   bench::banner(
       "E5 / Lemma 3.6: 3r^2 + r processes break ANY r historyless objects");
   std::printf("%3s %10s | %-12s %-12s %-12s  (processes used)\n", "r",
               "3r^2+r", "mixed", "swaps", "conciliator");
   bench::rule();
+  bench::JsonReporter report("bench_thm37_sqrtn_lowerbound",
+                             opt.effective_threads());
+  const auto start = bench::Clock::now();
+  constexpr std::size_t kMaxR = 6;
+  constexpr std::size_t kFamilies = 3;
+  struct Attack {
+    bool ok = false;
+    std::size_t used = 0;
+    double wall_seconds = 0;
+  };
+  // The 6 x 3 attack grid is embarrassingly parallel: every cell
+  // constructs its own protocol and adversary (seed a pure function of
+  // the cell), so the fan-out is deterministic.
+  const std::vector<Attack> attacks = parallel_map_trials<Attack>(
+      kMaxR * kFamilies, opt.threads, [&](std::size_t cell) {
+        const std::size_t r = cell / kFamilies + 1;
+        const std::size_t family = cell % kFamilies;
+        std::unique_ptr<ConsensusProtocol> protocol;
+        switch (family) {
+          case 0:
+            protocol = std::make_unique<HistorylessRaceProtocol>(
+                HistorylessRaceProtocol::mixed(r));
+            break;
+          case 1:
+            protocol = std::make_unique<HistorylessRaceProtocol>(
+                HistorylessRaceProtocol::swaps(r));
+            break;
+          default:
+            protocol = std::make_unique<RegisterRaceProtocol>(
+                RaceVariant::kConciliator, r);
+        }
+        const auto cell_start = bench::Clock::now();
+        GeneralAdversary adversary({.solo_max_steps = 500'000,
+                                    .max_depth = 512,
+                                    .seed = 31 + r});
+        const auto result = adversary.attack(*protocol);
+        // Independent audit: every constructed execution must replay
+        // cleanly against the object semantics.
+        const auto audit =
+            audit_trace(*protocol->make_space(2), result.execution);
+        Attack out;
+        out.ok = result.success && audit.ok &&
+                 result.processes_used <= general_adversary_processes(r);
+        out.used = result.success ? result.processes_used : 0;
+        out.wall_seconds = bench::seconds_since(cell_start);
+        return out;
+      });
   bool all_ok = true;
-  for (std::size_t r = 1; r <= 6; ++r) {
-    std::size_t used[3] = {0, 0, 0};
-    const HistorylessRaceProtocol mixed = HistorylessRaceProtocol::mixed(r);
-    const HistorylessRaceProtocol swaps = HistorylessRaceProtocol::swaps(r);
-    const RegisterRaceProtocol conc(RaceVariant::kConciliator, r);
-    const ConsensusProtocol* protocols[3] = {&mixed, &swaps, &conc};
-    for (int i = 0; i < 3; ++i) {
-      GeneralAdversary adversary({.solo_max_steps = 500'000,
-                                  .max_depth = 512,
-                                  .seed = 31 + r});
-      const auto result = adversary.attack(*protocols[i]);
-      // Independent audit: every constructed execution must replay
-      // cleanly against the object semantics.
-      const auto audit =
-          audit_trace(*protocols[i]->make_space(2), result.execution);
-      all_ok = all_ok && result.success && audit.ok &&
-               result.processes_used <= general_adversary_processes(r);
-      used[i] = result.success ? result.processes_used : 0;
+  const char* family_names[kFamilies] = {"mixed", "swaps", "conciliator"};
+  for (std::size_t r = 1; r <= kMaxR; ++r) {
+    std::size_t used[kFamilies] = {0, 0, 0};
+    for (std::size_t family = 0; family < kFamilies; ++family) {
+      const Attack& attack = attacks[(r - 1) * kFamilies + family];
+      all_ok = all_ok && attack.ok;
+      used[family] = attack.used;
+      report.add("general_adversary_attack")
+          .count("r", r)
+          .field("family", family_names[family])
+          .count("budget", general_adversary_processes(r))
+          .count("processes_used", attack.used)
+          .field("ok", attack.ok)
+          .field("wall_seconds", attack.wall_seconds);
     }
     std::printf("%3zu %10zu | %-12zu %-12zu %-12zu\n", r,
                 general_adversary_processes(r), used[0], used[1], used[2]);
@@ -72,10 +115,14 @@ int run() {
       "objects -- read-write registers of unbounded size, swap registers,\n"
       "test&set registers, and mixes -- needs at least the 'min objects'\n"
       "column.  Contrast: ONE fetch&add register suffices (E7).\n");
+  report.add("total").field("wall_seconds", bench::seconds_since(start));
+  report.write(opt);
   return all_ok ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace randsync
 
-int main() { return randsync::run(); }
+int main(int argc, char** argv) {
+  return randsync::run(randsync::bench::parse_bench_args(argc, argv));
+}

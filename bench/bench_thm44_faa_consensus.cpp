@@ -4,10 +4,8 @@
 // upper-bound half of Corollary 4.5's separation: one fetch&add
 // instance vs Omega(sqrt n) historyless instances.
 //
-// This bench is also a google-benchmark microbenchmark: it reports
-// simulated-step throughput for the protocol at several n.
-
-#include <benchmark/benchmark.h>
+// Also reports end-to-end run throughput for the protocol at several n
+// (and per-bench JSON via --json; schema in bench/README.md).
 
 #include <cstdio>
 
@@ -17,23 +15,32 @@
 namespace randsync {
 namespace {
 
-void print_table() {
+void print_table(const bench::BenchOptions& opt,
+                 bench::JsonReporter& report) {
   bench::banner(
       "E7 / Theorem 4.4: consensus from ONE fetch&add register");
   std::printf("%4s %-12s %8s %12s %12s %12s %9s\n", "n", "scheduler",
               "trials", "mean steps", "max steps", "steps/proc", "space");
   bench::rule(80);
   FaaConsensusProtocol protocol;
+  const std::size_t trials = opt.trials_or(20);
   for (std::size_t n : {2U, 4U, 8U, 16U, 32U, 64U}) {
     for (auto kind :
          {bench::SchedulerKind::kRandom, bench::SchedulerKind::kContention}) {
-      const auto stats = bench::measure(protocol, n, kind, 20, 8'000'000);
+      const auto cell_start = bench::Clock::now();
+      const auto stats =
+          bench::measure(protocol, n, kind, trials, 8'000'000, opt.threads);
+      const double wall = bench::seconds_since(cell_start);
       std::printf("%4zu %-12s %8zu %12.0f %12zu %12.0f %9zu%s\n", n,
                   bench::to_string(kind), stats.trials,
                   stats.mean_total_steps, stats.max_total_steps,
                   stats.mean_steps_per_process,
                   protocol.make_space(n)->size(),
                   stats.failures ? "  FAILURES!" : "");
+      auto& rec = report.add("faa_consensus");
+      bench::add_stats(
+          rec.count("n", n).field("scheduler", bench::to_string(kind)), stats)
+          .field("wall_seconds", wall);
     }
   }
   std::printf(
@@ -42,30 +49,49 @@ void print_table() {
       "consensus number 2, yet randomized it matches compare&swap.\n\n");
 }
 
-void BM_FaaConsensus(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
+void run_throughput(bench::JsonReporter& report) {
+  std::printf("end-to-end run throughput (random scheduler):\n");
+  std::printf("%4s %8s %14s %14s %16s\n", "n", "runs", "wall (s)",
+              "runs/sec", "sim steps/run");
   FaaConsensusProtocol protocol;
-  std::uint64_t seed = 1;
-  std::size_t total_steps = 0;
-  for (auto _ : state) {
-    RandomScheduler sched(++seed);
-    const auto inputs = alternating_inputs(n);
-    const ConsensusRun run =
-        run_consensus(protocol, inputs, sched, 8'000'000, seed);
-    benchmark::DoNotOptimize(run.decision);
-    total_steps += run.total_steps;
+  for (std::size_t n : {2U, 8U, 32U}) {
+    const std::size_t runs = 512 / n;
+    std::size_t total_steps = 0;
+    const auto start = bench::Clock::now();
+    for (std::size_t i = 0; i < runs; ++i) {
+      const std::uint64_t seed = trial_seed(0xE7, i, n);
+      RandomScheduler sched(seed);
+      const auto inputs = alternating_inputs(n);
+      const ConsensusRun run =
+          run_consensus(protocol, inputs, sched, 8'000'000, seed);
+      total_steps += run.total_steps;
+    }
+    const double wall = bench::seconds_since(start);
+    const double steps_per_run =
+        static_cast<double>(total_steps) / static_cast<double>(runs);
+    std::printf("%4zu %8zu %14.4f %14.0f %16.0f\n", n, runs, wall,
+                static_cast<double>(runs) / wall, steps_per_run);
+    report.add("faa_run_throughput")
+        .count("n", n)
+        .count("runs", runs)
+        .field("wall_seconds", wall)
+        .field("runs_per_sec", static_cast<double>(runs) / wall)
+        .field("sim_steps_per_run", steps_per_run);
   }
-  state.counters["sim_steps_per_run"] =
-      static_cast<double>(total_steps) / state.iterations();
 }
-BENCHMARK(BM_FaaConsensus)->Arg(2)->Arg(8)->Arg(32);
+
+int run(const bench::BenchOptions& opt) {
+  bench::JsonReporter report("bench_thm44_faa_consensus",
+                             opt.effective_threads());
+  print_table(opt, report);
+  run_throughput(report);
+  report.write(opt);
+  return 0;
+}
 
 }  // namespace
 }  // namespace randsync
 
 int main(int argc, char** argv) {
-  randsync::print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return randsync::run(randsync::bench::parse_bench_args(argc, argv));
 }

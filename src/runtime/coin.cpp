@@ -44,4 +44,9 @@ std::uint64_t derive_seed(std::uint64_t base, std::uint64_t salt) {
   return mix.next();
 }
 
+std::uint64_t trial_seed(std::uint64_t base, std::uint64_t trial,
+                         std::uint64_t stream) {
+  return derive_seed(derive_seed(base, trial), stream);
+}
+
 }  // namespace randsync

@@ -91,4 +91,14 @@ class FixedCoin final : public CoinSource {
 [[nodiscard]] std::uint64_t derive_seed(std::uint64_t base,
                                         std::uint64_t salt);
 
+/// Canonical per-trial seed for statistical sweeps: a pure function of
+/// (base, trial, stream), with trial and stream mixed through SEPARATE
+/// derive_seed stages so distinct (trial, stream) pairs never collide
+/// (unlike ad-hoc linear packings such as trial * 1000 + stream).
+/// `stream` distinguishes sweeps sharing a base, e.g. the process count
+/// n of a table row.  Used by the parallel trial engine: seeds depend
+/// only on the trial index, never on thread identity.
+[[nodiscard]] std::uint64_t trial_seed(std::uint64_t base, std::uint64_t trial,
+                                       std::uint64_t stream = 0);
+
 }  // namespace randsync

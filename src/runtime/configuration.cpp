@@ -12,14 +12,28 @@ Configuration::Configuration(ObjectSpacePtr space)
   values_ = space_->initial_values();
 }
 
-Configuration Configuration::clone() const {
-  Configuration copy(space_);
-  copy.values_ = values_;
-  copy.procs_.reserve(procs_.size());
-  for (const auto& proc : procs_) {
-    copy.procs_.push_back(proc->clone());
+Configuration::Configuration(CloneTag, const Configuration& other)
+    : space_(other.space_), values_(other.values_) {
+  procs_.reserve(other.procs_.size());
+  for (const auto& proc : other.procs_) {
+    procs_.push_back(proc->clone());
   }
-  return copy;
+}
+
+Configuration Configuration::clone() const {
+  return Configuration(CloneTag{}, *this);
+}
+
+void Configuration::clone_into(Configuration& out) const {
+  if (&out == this) {
+    return;
+  }
+  out.space_ = space_;
+  out.values_ = values_;  // reuses out's buffer when capacity suffices
+  out.procs_.resize(procs_.size());
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    out.procs_[i] = procs_[i]->clone();
+  }
 }
 
 ProcessId Configuration::add_process(ProcessPtr process) {
@@ -72,6 +86,17 @@ std::optional<ObjectId> Configuration::poised_at(ProcessId pid) const {
 std::vector<ProcessId> Configuration::processes_poised_at(ObjectId obj) const {
   std::vector<ProcessId> out;
   for (ProcessId pid = 0; pid < procs_.size(); ++pid) {
+    if (poised_at(pid) == obj) {
+      out.push_back(pid);
+    }
+  }
+  return out;
+}
+
+std::vector<ProcessId> Configuration::processes_poised_at(
+    ObjectId obj, std::span<const ProcessId> candidates) const {
+  std::vector<ProcessId> out;
+  for (ProcessId pid : candidates) {
     if (poised_at(pid) == obj) {
       out.push_back(pid);
     }

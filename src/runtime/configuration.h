@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "runtime/object_space.h"
@@ -34,6 +35,12 @@ class Configuration {
 
   /// Deep copy (clones every process and copies all object values).
   [[nodiscard]] Configuration clone() const;
+
+  /// Deep copy into an existing configuration, reusing its value and
+  /// process vector buffers.  This is the allocation-lean variant for
+  /// rewind loops (solo oracle, branch exploration) that repeatedly
+  /// overwrite a scratch configuration with a checkpoint.
+  void clone_into(Configuration& out) const;
 
   /// Add a process; returns its ProcessId.  The adversaries use this to
   /// introduce clones mid-execution.
@@ -70,9 +77,13 @@ class Configuration {
   /// at R" predicate.
   [[nodiscard]] std::optional<ObjectId> poised_at(ProcessId pid) const;
 
-  /// All processes (among `candidates`, or all if empty) poised
-  /// nontrivially at object `obj`.
+  /// All processes poised nontrivially at object `obj`.
   [[nodiscard]] std::vector<ProcessId> processes_poised_at(ObjectId obj) const;
+
+  /// The subset of `candidates` poised nontrivially at object `obj`
+  /// (in candidate order, duplicates preserved).
+  [[nodiscard]] std::vector<ProcessId> processes_poised_at(
+      ObjectId obj, std::span<const ProcessId> candidates) const;
 
   /// True if process `pid` has decided.
   [[nodiscard]] bool decided(ProcessId pid) const {
@@ -90,6 +101,12 @@ class Configuration {
   [[nodiscard]] std::string describe_values() const;
 
  private:
+  // Clone fast path: copy `other` directly, skipping the public
+  // constructor's initial_values() rebuild (one allocation plus one
+  // virtual call per object that clone() would immediately overwrite).
+  struct CloneTag {};
+  Configuration(CloneTag, const Configuration& other);
+
   ObjectSpacePtr space_;
   std::vector<Value> values_;
   std::vector<ProcessPtr> procs_;

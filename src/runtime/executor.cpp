@@ -51,7 +51,7 @@ SoloResult solo_terminate(Configuration& config, ProcessId pid,
   const Configuration checkpoint = config.clone();
   for (std::size_t attempt = 0; attempt <= retries; ++attempt) {
     if (attempt > 0) {
-      config = checkpoint.clone();
+      checkpoint.clone_into(config);  // rewind, reusing config's buffers
       config.process_mut(pid).reseed(derive_seed(reseed_base, attempt));
     }
     SoloResult result = run_solo(config, pid, max_steps);

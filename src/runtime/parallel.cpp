@@ -1,0 +1,152 @@
+#include "runtime/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace randsync {
+
+std::size_t default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+// One batch at a time: workers park on a condition variable between
+// batches; for_each publishes {count, fn}, bumps a generation counter,
+// and joins the drain through a completion count.  Indices are claimed
+// through an atomic cursor, so load-balancing is dynamic while results
+// stay index-addressed (determinism lives in the trial contract, not
+// in the assignment of trials to workers).
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::vector<std::thread> workers;
+
+  // Batch state, guarded by mu except for the atomic cursor.
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t count = 0;
+  std::atomic<std::size_t> cursor{0};
+  std::size_t completed = 0;
+  std::uint64_t generation = 0;
+  std::exception_ptr error;
+  bool stopping = false;
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::unique_lock<std::mutex> lock(mu);
+      work_cv.wait(lock, [&] { return stopping || generation != seen; });
+      if (stopping) {
+        return;
+      }
+      seen = generation;
+      const auto* batch_fn = fn;
+      const std::size_t batch_count = count;
+      lock.unlock();
+      drain(batch_fn, batch_count);
+    }
+  }
+
+  void drain(const std::function<void(std::size_t)>* batch_fn,
+             std::size_t batch_count) {
+    std::size_t done_here = 0;
+    std::exception_ptr first_error;
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batch_count) {
+        break;
+      }
+      try {
+        (*batch_fn)(i);
+      } catch (...) {
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+      ++done_here;
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    completed += done_here;
+    if (first_error && !error) {
+      error = first_error;
+    }
+    if (completed == batch_count) {
+      done_cv.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(std::make_unique<Impl>()) {
+  const std::size_t n = threads == 0 ? default_thread_count() : threads;
+  impl_->workers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    impl_->workers.emplace_back([impl = impl_.get()] { impl->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& worker : impl_->workers) {
+    worker.join();
+  }
+}
+
+std::size_t ThreadPool::size() const { return impl_->workers.size(); }
+
+void ThreadPool::for_each(std::size_t count,
+                          const std::function<void(std::size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->fn = &fn;
+  impl_->count = count;
+  impl_->cursor.store(0, std::memory_order_relaxed);
+  impl_->completed = 0;
+  impl_->error = nullptr;
+  ++impl_->generation;
+  lock.unlock();
+  impl_->work_cv.notify_all();
+
+  lock.lock();
+  impl_->done_cv.wait(lock, [&] { return impl_->completed == count; });
+  impl_->fn = nullptr;
+  const std::exception_ptr error = impl_->error;
+  lock.unlock();
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+void parallel_trials(std::size_t count, std::size_t threads,
+                     const std::function<void(std::size_t)>& fn) {
+  const std::size_t requested =
+      threads == 0 ? default_thread_count() : threads;
+  const std::size_t effective = std::min(requested, count);
+  if (effective <= 1) {
+    for (std::size_t t = 0; t < count; ++t) {
+      fn(t);
+    }
+    return;
+  }
+  // Cache one pool per requested size so repeated sweeps (the common
+  // bench shape: one measure() per table cell) reuse warm workers.
+  // thread_local keeps the cache race-free and lets a worker-invoked
+  // sweep (always effective == 1 in practice) stay independent.
+  thread_local std::unique_ptr<ThreadPool> pool;
+  if (!pool || pool->size() != effective) {
+    pool = std::make_unique<ThreadPool>(effective);
+  }
+  pool->for_each(count, fn);
+}
+
+}  // namespace randsync

@@ -1,0 +1,87 @@
+// Deterministic parallel trial engine.
+//
+// Every statistical experiment in this repository is a set of
+// *independent, seeded* executions: consensus runs, adversary attacks,
+// Monte Carlo samples.  This header provides the thread-pool primitive
+// that fans such trial sets out across OS threads while keeping results
+// bit-identical for EVERY thread count, including 1:
+//
+//   * per-trial seeds are derived purely from the trial index (see
+//     trial_seed in runtime/coin.h) -- never from thread identity,
+//     scheduling order, wall-clock, or any other execution accident;
+//   * each trial writes only to its own index-addressed slot, and
+//     aggregation happens serially in trial order after the fan-out --
+//     so floating-point reduction order is fixed regardless of which
+//     worker ran which trial.
+//
+// The simulated processes/configurations themselves stay strictly
+// single-threaded (the proofs' semantics are untouched); only the
+// embarrassingly-parallel trial layer above them is threaded.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace randsync {
+
+/// Hardware thread count (>= 1 even when the runtime reports 0).
+[[nodiscard]] std::size_t default_thread_count();
+
+/// A small fixed-size pool of worker threads executing index batches.
+///
+/// The pool runs one batch at a time: for_each(count, fn) hands indices
+/// 0..count-1 to the workers through a shared atomic cursor and blocks
+/// until every index has been processed.  `fn` must be safe to call
+/// concurrently for distinct indices; the first exception any trial
+/// throws is rethrown in the caller once the batch drains.
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (0 picks default_thread_count()).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Run fn(i) for every i in [0, count); blocks until done.
+  void for_each(std::size_t count,
+                const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Run fn(trial) for every trial in [0, count) on up to `threads`
+/// threads (0 picks default_thread_count()).  With an effective thread
+/// count of 1 the trials run inline on the caller, in index order --
+/// the serial path IS the 1-thread path, there is no separate code.
+///
+/// Determinism contract: fn(t) must depend only on t (derive any
+/// randomness via trial_seed(base, t, ...)) and write only to
+/// per-trial state, e.g. slot t of a pre-sized vector.  Under that
+/// contract the observable results are bit-identical across thread
+/// counts.  Pools are cached per requested size, so repeated sweeps
+/// reuse the same workers.
+void parallel_trials(std::size_t count, std::size_t threads,
+                     const std::function<void(std::size_t)>& fn);
+
+/// Map fn over [0, count) into an index-ordered vector of results.
+/// Result must be default-constructible; fn(t) -> results[t].
+template <typename Result, typename Fn>
+[[nodiscard]] std::vector<Result> parallel_map_trials(std::size_t count,
+                                                      std::size_t threads,
+                                                      Fn&& fn) {
+  std::vector<Result> results(count);
+  parallel_trials(count, threads, [&results, &fn](std::size_t t) {
+    results[t] = fn(t);
+  });
+  return results;
+}
+
+}  // namespace randsync

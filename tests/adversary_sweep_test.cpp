@@ -3,20 +3,44 @@
 // execution within the paper's process budgets.  These are the broad
 // regression nets behind the targeted tests in clone_adversary_test.cpp
 // and general_adversary_test.cpp.
+//
+// The grid is embarrassingly parallel -- each attack constructs its own
+// protocol and adversary from a seed that is a pure function of the
+// grid index -- so it fans out through the deterministic parallel trial
+// engine (runtime/parallel.h).  Workers only fill index-addressed
+// outcome slots; every gtest assertion runs on the main thread.
 
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "core/bounds.h"
 #include "core/clone_adversary.h"
 #include "core/general_adversary.h"
 #include "protocols/historyless_race.h"
 #include "protocols/register_race.h"
+#include "runtime/parallel.h"
 #include "verify/trace_audit.h"
 
 namespace randsync {
 namespace {
+
+struct SweepOutcome {
+  bool success = false;
+  bool inconsistent = false;
+  bool within_budget = false;
+  bool audit_ok = false;
+  std::string label;
+  std::string detail;
+
+  [[nodiscard]] bool ok() const {
+    return success && inconsistent && within_budget && audit_ok;
+  }
+};
 
 // --------------------------------------------------------------------
 // Clone adversary sweep (Section 3.1): rw-register families.
@@ -25,22 +49,6 @@ struct CloneCase {
   RaceVariant variant;
   std::size_t r;
 };
-
-class CloneSweep
-    : public ::testing::TestWithParam<std::tuple<CloneCase, int>> {};
-
-TEST_P(CloneSweep, AuditedInconsistencyWithinBudget) {
-  const auto& [c, seed_index] = GetParam();
-  RegisterRaceProtocol protocol(c.variant, c.r);
-  CloneAdversary::Options opt;
-  opt.seed = derive_seed(0x51EE9, seed_index);
-  const AttackResult result = CloneAdversary(opt).attack(protocol);
-  ASSERT_TRUE(result.success) << protocol.name() << ": " << result.failure;
-  EXPECT_TRUE(result.execution.inconsistent());
-  EXPECT_LE(result.processes_used, clone_adversary_processes(c.r));
-  const auto audit = audit_trace(*protocol.make_space(2), result.execution);
-  EXPECT_TRUE(audit.ok) << audit.detail;
-}
 
 std::vector<CloneCase> clone_cases() {
   std::vector<CloneCase> cases;
@@ -55,52 +63,101 @@ std::vector<CloneCase> clone_cases() {
   return cases;
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Families, CloneSweep,
-    ::testing::Combine(::testing::ValuesIn(clone_cases()),
-                       ::testing::Range(0, 4)));
+TEST(CloneSweep, AuditedInconsistencyWithinBudgetAcrossAllFamilies) {
+  const std::vector<CloneCase> cases = clone_cases();
+  constexpr std::size_t kSeeds = 4;
+  const std::vector<SweepOutcome> outcomes =
+      parallel_map_trials<SweepOutcome>(
+          cases.size() * kSeeds, default_thread_count(), [&](std::size_t i) {
+            const CloneCase& c = cases[i / kSeeds];
+            const int seed_index = static_cast<int>(i % kSeeds);
+            RegisterRaceProtocol protocol(c.variant, c.r);
+            SweepOutcome out;
+            out.label = protocol.name() + " seed_index=" +
+                        std::to_string(seed_index);
+            try {
+              CloneAdversary::Options opt;
+              opt.seed = derive_seed(0x51EE9, seed_index);
+              const AttackResult result = CloneAdversary(opt).attack(protocol);
+              out.success = result.success;
+              out.detail = result.failure;
+              out.inconsistent = result.execution.inconsistent();
+              out.within_budget =
+                  result.processes_used <= clone_adversary_processes(c.r);
+              const auto audit =
+                  audit_trace(*protocol.make_space(2), result.execution);
+              out.audit_ok = audit.ok;
+              if (!audit.ok) {
+                out.detail += audit.detail;
+              }
+            } catch (const std::exception& e) {
+              out.detail = std::string("threw: ") + e.what();
+            }
+            return out;
+          });
+  for (const SweepOutcome& out : outcomes) {
+    EXPECT_TRUE(out.ok()) << out.label << ": " << out.detail;
+  }
+}
 
 // --------------------------------------------------------------------
 // General adversary sweep (Section 3.2): historyless mixes.
 
 enum class MixKind { kMixed, kSwaps, kBidirectional };
 
-class GeneralSweep
-    : public ::testing::TestWithParam<std::tuple<MixKind, int, int>> {};
-
-TEST_P(GeneralSweep, AuditedInconsistencyWithinBudget) {
-  const auto& [kind, r_int, seed_index] = GetParam();
-  const std::size_t r = static_cast<std::size_t>(r_int);
-  std::unique_ptr<HistorylessRaceProtocol> protocol;
+HistorylessRaceProtocol make_mix(MixKind kind, std::size_t r) {
   switch (kind) {
     case MixKind::kMixed:
-      protocol = std::make_unique<HistorylessRaceProtocol>(
-          HistorylessRaceProtocol::mixed(r));
-      break;
+      return HistorylessRaceProtocol::mixed(r);
     case MixKind::kSwaps:
-      protocol = std::make_unique<HistorylessRaceProtocol>(
-          HistorylessRaceProtocol::swaps(r));
-      break;
+      return HistorylessRaceProtocol::swaps(r);
     case MixKind::kBidirectional:
-      protocol = std::make_unique<HistorylessRaceProtocol>(
-          HistorylessRaceProtocol::bidirectional(r));
-      break;
+      return HistorylessRaceProtocol::bidirectional(r);
   }
-  GeneralAdversary::Options opt;
-  opt.seed = derive_seed(0x6E6E6, seed_index);
-  const GeneralAttackResult result = GeneralAdversary(opt).attack(*protocol);
-  ASSERT_TRUE(result.success) << protocol->name() << ": " << result.failure;
-  EXPECT_TRUE(result.execution.inconsistent());
-  EXPECT_LE(result.processes_used, general_adversary_processes(r));
-  const auto audit = audit_trace(*protocol->make_space(2), result.execution);
-  EXPECT_TRUE(audit.ok) << audit.detail;
+  throw std::logic_error("unknown mix kind");
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Mixes, GeneralSweep,
-    ::testing::Combine(::testing::Values(MixKind::kMixed, MixKind::kSwaps,
-                                         MixKind::kBidirectional),
-                       ::testing::Range(1, 6), ::testing::Range(0, 3)));
+TEST(GeneralSweep, AuditedInconsistencyWithinBudgetAcrossAllMixes) {
+  const MixKind kinds[] = {MixKind::kMixed, MixKind::kSwaps,
+                           MixKind::kBidirectional};
+  constexpr std::size_t kMaxR = 5;   // r in [1, 5]
+  constexpr std::size_t kSeeds = 3;  // seed_index in [0, 2]
+  const std::size_t grid = std::size(kinds) * kMaxR * kSeeds;
+  const std::vector<SweepOutcome> outcomes =
+      parallel_map_trials<SweepOutcome>(
+          grid, default_thread_count(), [&](std::size_t i) {
+            const MixKind kind = kinds[i / (kMaxR * kSeeds)];
+            const std::size_t r = (i / kSeeds) % kMaxR + 1;
+            const int seed_index = static_cast<int>(i % kSeeds);
+            const HistorylessRaceProtocol protocol = make_mix(kind, r);
+            SweepOutcome out;
+            out.label = protocol.name() + " seed_index=" +
+                        std::to_string(seed_index);
+            try {
+              GeneralAdversary::Options opt;
+              opt.seed = derive_seed(0x6E6E6, seed_index);
+              const GeneralAttackResult result =
+                  GeneralAdversary(opt).attack(protocol);
+              out.success = result.success;
+              out.detail = result.failure;
+              out.inconsistent = result.execution.inconsistent();
+              out.within_budget =
+                  result.processes_used <= general_adversary_processes(r);
+              const auto audit =
+                  audit_trace(*protocol.make_space(2), result.execution);
+              out.audit_ok = audit.ok;
+              if (!audit.ok) {
+                out.detail += audit.detail;
+              }
+            } catch (const std::exception& e) {
+              out.detail = std::string("threw: ") + e.what();
+            }
+            return out;
+          });
+  for (const SweepOutcome& out : outcomes) {
+    EXPECT_TRUE(out.ok()) << out.label << ": " << out.detail;
+  }
+}
 
 }  // namespace
 }  // namespace randsync

@@ -1,0 +1,219 @@
+// The deterministic parallel trial engine (runtime/parallel.h) and the
+// runtime pieces this PR optimized for it:
+//
+//   * bit-identical aggregates (RunStats AND rendered JSON) for 1, 2,
+//     and hardware_concurrency threads on a fixed protocol/seed sweep;
+//   * a stress fan-out with far more trials than threads, checking
+//     every index runs exactly once;
+//   * exception propagation from worker to caller;
+//   * trial_seed collision-freedom (the bench_common seed fix);
+//   * Configuration::clone_into equivalence with clone();
+//   * the processes_poised_at candidate-filter overload.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "bench_common.h"
+#include "protocols/drift_walk.h"
+#include "protocols/rounds_consensus.h"
+#include "runtime/parallel.h"
+
+namespace randsync {
+namespace {
+
+// --------------------------------------------------------------------
+// Engine basics.
+
+TEST(ParallelTrials, RunsEveryIndexExactlyOnceWithMoreTrialsThanThreads) {
+  constexpr std::size_t kTrials = 257;  // deliberately not a multiple
+  for (std::size_t threads : {1U, 2U, 7U}) {
+    std::vector<std::atomic<int>> hits(kTrials);
+    parallel_trials(kTrials, threads, [&](std::size_t t) {
+      hits[t].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t t = 0; t < kTrials; ++t) {
+      ASSERT_EQ(hits[t].load(), 1) << "trial " << t << " @ " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ParallelTrials, ZeroTrialsIsANoOp) {
+  parallel_trials(0, 4, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelTrials, ZeroThreadsMeansHardwareConcurrency) {
+  std::atomic<std::size_t> calls{0};
+  parallel_trials(10, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 10U);
+  EXPECT_GE(default_thread_count(), 1U);
+}
+
+TEST(ParallelTrials, PropagatesTheFirstWorkerException) {
+  for (std::size_t threads : {1U, 4U}) {
+    EXPECT_THROW(
+        parallel_trials(32, threads,
+                        [](std::size_t t) {
+                          if (t == 17) {
+                            throw std::runtime_error("trial 17 failed");
+                          }
+                        }),
+        std::runtime_error)
+        << threads << " threads";
+  }
+}
+
+TEST(ThreadPool, IsReusableAcrossBatches) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3U);
+  for (int batch = 0; batch < 5; ++batch) {
+    std::atomic<std::size_t> sum{0};
+    pool.for_each(100, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 4950U) << "batch " << batch;
+  }
+}
+
+// --------------------------------------------------------------------
+// Determinism: the acceptance property of this engine.
+
+TEST(ParallelDeterminism, RunStatsBitIdenticalAcrossThreadCounts) {
+  RoundsConsensusProtocol protocol(64);
+  const std::size_t trials = 24;
+  const bench::RunStats serial =
+      bench::measure(protocol, 6, bench::SchedulerKind::kContention, trials,
+                     4'000'000, 1);
+  ASSERT_EQ(serial.failures, 0U);
+  ASSERT_GT(serial.mean_total_steps, 0.0);
+  for (std::size_t threads :
+       {std::size_t{2}, std::size_t{3}, default_thread_count()}) {
+    const bench::RunStats threaded =
+        bench::measure(protocol, 6, bench::SchedulerKind::kContention, trials,
+                       4'000'000, threads);
+    // operator== compares every field, doubles bitwise-equal included:
+    // the serial fold in trial order makes FP reduction order fixed.
+    EXPECT_EQ(serial, threaded) << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminism, JsonReportBitIdenticalAcrossThreadCounts) {
+  FaaConsensusProtocol protocol;
+  const auto render = [&](std::size_t threads) {
+    bench::JsonReporter report("determinism_probe", 1);
+    for (std::size_t n : {2U, 8U}) {
+      const bench::RunStats stats =
+          bench::measure(protocol, n, bench::SchedulerKind::kRandom, 16,
+                         4'000'000, threads);
+      auto& rec = report.add("cell");
+      bench::add_stats(rec.count("n", n), stats);
+    }
+    return report.render();
+  };
+  const std::string serial = render(1);
+  EXPECT_NE(serial.find("\"mean_total_steps\""), std::string::npos);
+  EXPECT_EQ(serial, render(2));
+  EXPECT_EQ(serial, render(default_thread_count()));
+}
+
+TEST(ParallelDeterminism, MapTrialsFillsSlotsInIndexOrder) {
+  const auto square = [](std::size_t t) { return t * t; };
+  const std::vector<std::size_t> serial =
+      parallel_map_trials<std::size_t>(100, 1, square);
+  const std::vector<std::size_t> threaded =
+      parallel_map_trials<std::size_t>(100, 5, square);
+  EXPECT_EQ(serial, threaded);
+  EXPECT_EQ(serial[99], 99U * 99U);
+}
+
+// --------------------------------------------------------------------
+// trial_seed: the bench_common seed-derivation fix.
+
+TEST(TrialSeed, DoesNotCollideWhereLinearPackingsDo) {
+  // The old packing derive_seed(base, t * 1000 + n) collided for
+  // (t=1, n=0) vs (t=0, n=1000); trial_seed must keep them apart.
+  EXPECT_NE(trial_seed(0xBE7C4, 1, 0), trial_seed(0xBE7C4, 0, 1000));
+  EXPECT_NE(trial_seed(0xBE7C4, 1, 131), trial_seed(0xBE7C4, 2, 0));
+}
+
+TEST(TrialSeed, IsInjectiveOnASweepSizedGrid) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t t = 0; t < 200; ++t) {
+    for (std::uint64_t n : {0U, 1U, 2U, 4U, 8U, 16U, 32U, 131U, 1000U}) {
+      EXPECT_TRUE(seen.insert(trial_seed(0xBE7C4, t, n)).second)
+          << "collision at t=" << t << " n=" << n;
+    }
+  }
+}
+
+TEST(TrialSeed, IsAPureFunctionOfItsArguments) {
+  EXPECT_EQ(trial_seed(1, 2, 3), trial_seed(1, 2, 3));
+  EXPECT_NE(trial_seed(1, 2, 3), trial_seed(2, 2, 3));
+  EXPECT_NE(trial_seed(1, 2, 3), trial_seed(1, 3, 2));
+}
+
+// --------------------------------------------------------------------
+// The clone hot path.
+
+TEST(CloneInto, MatchesCloneStateExactly) {
+  RoundsConsensusProtocol protocol(16);
+  Configuration config =
+      make_initial_configuration(protocol, alternating_inputs(8), 42);
+  RandomScheduler sched(9);
+  for (int i = 0; i < 40; ++i) {
+    const auto pid = sched.next(config);
+    ASSERT_TRUE(pid.has_value());
+    config.step(*pid);
+  }
+  const Configuration fresh = config.clone();
+  Configuration reused =
+      make_initial_configuration(protocol, alternating_inputs(8), 7);
+  config.clone_into(reused);
+  EXPECT_EQ(fresh.state_hash(), reused.state_hash());
+  EXPECT_EQ(fresh.state_hash(), config.state_hash());
+  EXPECT_EQ(fresh.describe_values(), reused.describe_values());
+  EXPECT_EQ(fresh.num_processes(), reused.num_processes());
+
+  // The clone is deep: stepping the copy leaves the original alone.
+  const std::uint64_t before = config.state_hash();
+  const auto pid = sched.next(reused);
+  ASSERT_TRUE(pid.has_value());
+  reused.step(*pid);
+  EXPECT_EQ(config.state_hash(), before);
+}
+
+TEST(CloneInto, GrowsAndShrinksTheDestination) {
+  RoundsConsensusProtocol protocol(16);
+  const Configuration small =
+      make_initial_configuration(protocol, alternating_inputs(2), 1);
+  const Configuration big =
+      make_initial_configuration(protocol, alternating_inputs(12), 1);
+  Configuration scratch =
+      make_initial_configuration(protocol, alternating_inputs(4), 1);
+  big.clone_into(scratch);
+  EXPECT_EQ(scratch.state_hash(), big.state_hash());
+  small.clone_into(scratch);
+  EXPECT_EQ(scratch.state_hash(), small.state_hash());
+  EXPECT_EQ(scratch.num_processes(), 2U);
+}
+
+// --------------------------------------------------------------------
+// processes_poised_at candidate filtering.
+
+TEST(ProcessesPoisedAt, CandidateOverloadFiltersAndPreservesOrder) {
+  FaaConsensusProtocol protocol;  // everyone starts poised at object 0
+  Configuration config =
+      make_initial_configuration(protocol, alternating_inputs(4), 3);
+  const auto all = config.processes_poised_at(0);
+  ASSERT_EQ(all.size(), 4U);
+  const std::vector<ProcessId> candidates = {3, 1};
+  const auto filtered = config.processes_poised_at(0, candidates);
+  EXPECT_EQ(filtered, (std::vector<ProcessId>{3, 1}));
+  const auto none = config.processes_poised_at(0, std::vector<ProcessId>{});
+  EXPECT_TRUE(none.empty());
+}
+
+}  // namespace
+}  // namespace randsync

@@ -1,8 +1,13 @@
 // Soak: the full honest-protocol battery at a larger scale than the
 // unit tests use, under the contention scheduler.  Kept to a few
-// seconds; guards against regressions that only show at scale.
+// seconds; guards against regressions that only show at scale.  The
+// independent (protocol, seed) trials fan out across threads via the
+// deterministic parallel engine; assertions stay on the main thread.
 
 #include <gtest/gtest.h>
+
+#include <iterator>
+#include <vector>
 
 #include "protocols/drift_walk.h"
 #include "protocols/harness.h"
@@ -10,6 +15,7 @@
 #include "protocols/register_walk.h"
 #include "protocols/rounds_consensus.h"
 #include "protocols/single_object.h"
+#include "runtime/parallel.h"
 
 namespace randsync {
 namespace {
@@ -22,15 +28,29 @@ TEST(Soak, AllRandomizedProtocolsAtNThirtyTwo) {
   RoundsConsensusProtocol rounds(128);
   const ConsensusProtocol* protocols[] = {&one_counter, &faa, &counter_walk,
                                           &rounds};
-  for (const auto* protocol : protocols) {
-    for (std::uint64_t seed = 0; seed < 3; ++seed) {
-      ContentionScheduler sched(derive_seed(0x50AC, seed));
-      const ConsensusRun run = run_consensus(
-          *protocol, alternating_inputs(n), sched, 16'000'000, seed);
-      ASSERT_TRUE(run.all_decided) << protocol->name() << " seed " << seed;
-      EXPECT_TRUE(run.consistent) << protocol->name();
-      EXPECT_TRUE(run.valid) << protocol->name();
-    }
+  constexpr std::size_t kSeeds = 3;
+  struct Outcome {
+    bool all_decided = false;
+    bool consistent = false;
+    bool valid = false;
+  };
+  const std::vector<Outcome> outcomes = parallel_map_trials<Outcome>(
+      std::size(protocols) * kSeeds, default_thread_count(),
+      [&](std::size_t i) {
+        const ConsensusProtocol* protocol = protocols[i / kSeeds];
+        const std::uint64_t seed = i % kSeeds;
+        ContentionScheduler sched(derive_seed(0x50AC, seed));
+        const ConsensusRun run = run_consensus(
+            *protocol, alternating_inputs(n), sched, 16'000'000, seed);
+        return Outcome{run.all_decided, run.consistent, run.valid};
+      });
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const ConsensusProtocol* protocol = protocols[i / kSeeds];
+    const std::uint64_t seed = i % kSeeds;
+    ASSERT_TRUE(outcomes[i].all_decided)
+        << protocol->name() << " seed " << seed;
+    EXPECT_TRUE(outcomes[i].consistent) << protocol->name();
+    EXPECT_TRUE(outcomes[i].valid) << protocol->name();
   }
 }
 
