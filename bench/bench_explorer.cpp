@@ -1,0 +1,151 @@
+// B4 -- exhaustive explorer throughput and reduction strength: a grid
+// of registry instances x {full, POR} x {1, N threads}.  Two numbers
+// matter per cell: wall time (states/sec) and the reduction ratio
+// (POR states as a fraction of the full graph).  The bench doubles as
+// a cross-config agreement check -- every instance's ExploreResult must
+// be bit-identical across thread counts and verdict-identical across
+// reduction modes -- and exits 1 if any configuration disagrees.
+//
+// With --json=FILE the bench emits the machine-readable record
+// (schema: bench/README.md); the checked-in baseline lives at
+// bench/baselines/BENCH_explorer.json.  The states/transitions fields
+// are deterministic -- only the timing fields may move between runs.
+
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "bench_common.h"
+#include "protocols/registry.h"
+#include "verify/explorer.h"
+
+namespace randsync {
+namespace {
+
+struct GridCase {
+  const char* protocol;
+  std::optional<std::size_t> param;
+  std::size_t n;
+  std::size_t depth;
+  bool unanimous;  ///< all-zero inputs (PREY races only violate on
+                   ///< mixed inputs; a violation aborts the run and
+                   ///< would measure abort timing, not exploration)
+};
+
+// Small-but-real instances: the PREY races complete, the randomized
+// walks are depth-truncated frontiers (the explorer's worst case: wide
+// levels of short-lived configurations).
+const std::vector<GridCase>& grid() {
+  static const std::vector<GridCase> cases = {
+      {"conciliator", 3, 4, 64, true},
+      {"conciliator", 5, 3, 64, true},
+      {"historyless-swaps", 4, 4, 64, true},
+      {"round-voting", 3, 4, 64, true},
+      {"counter-walk", std::nullopt, 3, 24, false},
+      {"register-walk", std::nullopt, 3, 24, false},
+  };
+  return cases;
+}
+
+ExploreResult run_one(const GridCase& c, bool reduction, std::size_t threads) {
+  const auto protocol = find_protocol(c.protocol)->make(c.param);
+  std::vector<int> inputs;
+  for (std::size_t i = 0; i < c.n; ++i) {
+    inputs.push_back(c.unanimous ? 0 : static_cast<int>(i % 2));
+  }
+  ExploreOptions opt;
+  opt.max_depth = c.depth;
+  opt.seed = 1;
+  opt.reduction = reduction;
+  opt.threads = threads;
+  return explore(*protocol, inputs, opt);
+}
+
+int run(const bench::BenchOptions& opt) {
+  bench::banner("B4 / exhaustive explorer: reduction strength + scaling");
+  const std::size_t threads = opt.effective_threads();
+  bench::JsonReporter report("bench_explorer", threads);
+  bool agree = true;
+
+  std::printf("%-24s %6s %9s %12s %12s %10s %8s\n", "instance", "mode",
+              "states", "transitions", "states/sec", "wall (s)", "ratio");
+  bench::rule(88);
+  for (const GridCase& c : grid()) {
+    std::optional<ExploreResult> full;
+    for (const bool reduction : {false, true}) {
+      auto start = bench::Clock::now();
+      const ExploreResult serial = run_one(c, reduction, 1);
+      const double serial_wall = bench::seconds_since(start);
+
+      start = bench::Clock::now();
+      const ExploreResult threaded = run_one(c, reduction, threads);
+      const double threaded_wall = bench::seconds_since(start);
+
+      // Agreement, part 1: bit-identical results across thread counts.
+      if (serial != threaded) {
+        std::fprintf(stderr, "DIVERGED (BUG!): %s n=%zu %s @%zu threads\n",
+                     c.protocol, c.n, reduction ? "por" : "full", threads);
+        agree = false;
+      }
+      // Agreement, part 2: reduction preserves verdict and reachable
+      // decisions (counts describe the reduced graph and may differ).
+      if (reduction && full) {
+        if (serial.safe != full->safe ||
+            (serial.safe && serial.complete && full->complete &&
+             (serial.zero_reachable != full->zero_reachable ||
+              serial.one_reachable != full->one_reachable))) {
+          std::fprintf(stderr, "DIVERGED (BUG!): %s n=%zu por vs full\n",
+                       c.protocol, c.n);
+          agree = false;
+        }
+      }
+      if (!reduction) {
+        full = serial;
+      }
+
+      const double ratio =
+          reduction && full && full->states > 0
+              ? static_cast<double>(serial.states) /
+                    static_cast<double>(full->states)
+              : 1.0;
+      const char* mode = reduction ? "por" : "full";
+      char instance[64];
+      std::snprintf(instance, sizeof(instance), "%s n=%zu d=%zu", c.protocol,
+                    c.n, c.depth);
+      std::printf("%-24s %6s %9zu %12zu %12.0f %10.4f %7.0f%%\n", instance,
+                  mode, serial.states, serial.transitions,
+                  static_cast<double>(serial.states) / serial_wall,
+                  serial_wall, ratio * 100.0);
+
+      report.add("explore")
+          .field("protocol", std::string(c.protocol))
+          .count("n", c.n)
+          .count("depth", c.depth)
+          .field("reduction", reduction)
+          .count("states", serial.states)
+          .count("transitions", serial.transitions)
+          .count("deepest", serial.deepest)
+          .field("complete", serial.complete)
+          .field("safe", serial.safe)
+          .field("reduction_ratio", ratio)
+          .field("serial_wall_seconds", serial_wall)
+          .field("threaded_wall_seconds", threaded_wall)
+          .field("serial_states_per_sec",
+                 static_cast<double>(serial.states) / serial_wall)
+          .field("speedup",
+                 threaded_wall > 0 ? serial_wall / threaded_wall : 0.0);
+    }
+  }
+  std::printf("  -> cross-config agreement (%zu thread(s)): %s\n", threads,
+              agree ? "OK" : "DIVERGED (BUG!)");
+  report.add("agreement").field("ok", agree).count("threads", threads);
+  report.write(opt);
+  return agree ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace randsync
+
+int main(int argc, char** argv) {
+  return randsync::run(randsync::bench::parse_bench_args(argc, argv));
+}

@@ -87,6 +87,19 @@ bool CompareAndSwapType::commutes(const Op& a, const Op& b) const {
   return true;
 }
 
+bool CompareAndSwapType::independent(const Op& a, const Op& b) const {
+  // Exact, via the same finite probe set as overwrites()/commutes():
+  // final values AND responses of READ/WRITE/CAS pairs are constant in
+  // the start value outside the operations' own arguments, so agreeing
+  // on the arguments plus one fresh point decides agreement everywhere.
+  for (Value x : probe_points(a, b)) {
+    if (!independent_at(a, b, x)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 std::vector<Op> CompareAndSwapType::sample_ops() const {
   return {Op::read(), Op::write(3), Op::compare_and_swap(0, 1),
           Op::compare_and_swap(1, 2), Op::compare_and_swap(2, 2)};

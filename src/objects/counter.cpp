@@ -38,6 +38,26 @@ bool counter_commutes(const Op& a, const Op& b) {
   return true;  // INC/DEC pairs
 }
 
+// INC/DEC mixes are independent: their acknowledgements are the fixed
+// value 0 and +1/-1 commute (modularly, for the bounded counter -- the
+// wraparound IS arithmetic mod the range size).  RESET pairs likewise.
+// RESET against INC/DEC does not commute, and READ next to any
+// nontrivial op sees an order-dependent value.
+bool counter_independent(const Op& a, const Op& b) {
+  if (counter_trivial(a) && counter_trivial(b)) {
+    return true;
+  }
+  if (counter_trivial(a) || counter_trivial(b)) {
+    return false;
+  }
+  const bool a_reset = a.kind == OpKind::kReset;
+  const bool b_reset = b.kind == OpKind::kReset;
+  if (a_reset || b_reset) {
+    return a_reset && b_reset;
+  }
+  return true;  // INC/DEC pairs
+}
+
 }  // namespace
 
 bool CounterType::supports(OpKind kind) const { return counter_supports(kind); }
@@ -69,6 +89,10 @@ bool CounterType::overwrites(const Op& later, const Op& earlier) const {
 
 bool CounterType::commutes(const Op& a, const Op& b) const {
   return counter_commutes(a, b);
+}
+
+bool CounterType::independent(const Op& a, const Op& b) const {
+  return counter_independent(a, b);
 }
 
 std::vector<Op> CounterType::sample_ops() const {
@@ -116,6 +140,10 @@ bool BoundedCounterType::overwrites(const Op& later, const Op& earlier) const {
 
 bool BoundedCounterType::commutes(const Op& a, const Op& b) const {
   return counter_commutes(a, b);
+}
+
+bool BoundedCounterType::independent(const Op& a, const Op& b) const {
+  return counter_independent(a, b);
 }
 
 std::vector<Op> BoundedCounterType::sample_ops() const {

@@ -42,6 +42,21 @@ bool RwRegisterType::commutes(const Op& a, const Op& b) const {
   return a.arg0 == b.arg0;
 }
 
+bool RwRegisterType::independent(const Op& a, const Op& b) const {
+  if (is_trivial(a) && is_trivial(b)) {
+    return true;
+  }
+  // Two WRITEs of the SAME value: both orders leave that value and both
+  // responses are the fixed acknowledgement 0.  (This is the sound core
+  // of the Section 3 block-write observation: overwriting writes hide
+  // their order -- but only equal writes hide it from the final state
+  // too, which is what exhaustive exploration must preserve.)  A READ
+  // next to a WRITE is never independent: the READ's response exposes
+  // the order.
+  return a.kind == OpKind::kWrite && b.kind == OpKind::kWrite &&
+         a.arg0 == b.arg0;
+}
+
 std::vector<Op> RwRegisterType::sample_ops() const {
   return {Op::read(), Op::write(0), Op::write(1), Op::write(7),
           Op::write(-3)};

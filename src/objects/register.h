@@ -27,6 +27,7 @@ class RwRegisterType final : public ObjectType {
   [[nodiscard]] bool overwrites(const Op& later,
                                 const Op& earlier) const override;
   [[nodiscard]] bool commutes(const Op& a, const Op& b) const override;
+  [[nodiscard]] bool independent(const Op& a, const Op& b) const override;
   [[nodiscard]] bool historyless() const override { return true; }
   [[nodiscard]] std::vector<Op> sample_ops() const override;
 

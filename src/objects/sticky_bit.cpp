@@ -51,6 +51,19 @@ bool StickyBitType::commutes(const Op& a, const Op& b) const {
   return a.arg0 == b.arg0;
 }
 
+bool StickyBitType::independent(const Op& a, const Op& b) const {
+  if (is_trivial(a) && is_trivial(b)) {
+    return true;
+  }
+  if (is_trivial(a) || is_trivial(b)) {
+    return false;  // a trivial op responds with the value: order-sensitive
+  }
+  // Equal sticks: from 0 both orders install arg0 and both respond
+  // arg0; from a stuck value both respond that value.  Distinct sticks
+  // race for the first-writer slot.
+  return a.arg0 == b.arg0;
+}
+
 std::vector<Op> StickyBitType::sample_ops() const {
   return {Op::read(), Op::write(1), Op::write(2), Op::write(0)};
 }

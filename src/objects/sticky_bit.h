@@ -29,6 +29,7 @@ class StickyBitType final : public ObjectType {
   [[nodiscard]] bool overwrites(const Op& later,
                                 const Op& earlier) const override;
   [[nodiscard]] bool commutes(const Op& a, const Op& b) const override;
+  [[nodiscard]] bool independent(const Op& a, const Op& b) const override;
   [[nodiscard]] bool historyless() const override { return false; }
   [[nodiscard]] std::vector<Op> sample_ops() const override;
   [[nodiscard]] bool is_legal_value(Value value) const override {

@@ -45,6 +45,17 @@ bool SwapRegisterType::commutes(const Op& a, const Op& b) const {
   return a.arg0 == b.arg0;
 }
 
+bool SwapRegisterType::independent(const Op& a, const Op& b) const {
+  if (is_trivial(a) && is_trivial(b)) {
+    return true;
+  }
+  // Equal WRITEs are order-blind (fixed ack, same final value).  SWAP is
+  // never independent with a nontrivial neighbour: its response is the
+  // previous value, which exposes the order.
+  return a.kind == OpKind::kWrite && b.kind == OpKind::kWrite &&
+         a.arg0 == b.arg0;
+}
+
 std::vector<Op> SwapRegisterType::sample_ops() const {
   return {Op::read(), Op::write(2), Op::swap(1), Op::swap(5), Op::write(-1)};
 }

@@ -75,6 +75,19 @@ class SweepProcess final : public ConsensusProcess {
     return h;
   }
 
+  // Monotone sweep: every future access stays in the unvisited segment
+  // (swaps and test&sets are nontrivial, reads may become claim-writes).
+  [[nodiscard]] Footprint future_footprint() const override {
+    Footprint fp = Footprint::nothing();
+    if (reverse_) {
+      fp.add_range(0, cursor_, /*reads=*/true, /*writes=*/true);
+    } else {
+      fp.add_range(cursor_, static_cast<ObjectId>(recipe_.size() - 1),
+                   /*reads=*/true, /*writes=*/true);
+    }
+    return fp;
+  }
+
  private:
   void advance() {
     ++visited_;

@@ -71,6 +71,20 @@ class RaceProcess final : public ConsensusProcess {
            ", cursor=" + std::to_string(cursor_) + ")";
   }
 
+  // The sweep is monotone: the cursor only moves towards its end of the
+  // row and never returns, so every future access (read OR claim-write,
+  // whatever the coins and responses) lands in the remaining segment.
+  [[nodiscard]] Footprint future_footprint() const override {
+    Footprint fp = Footprint::nothing();
+    if (reverse_) {
+      fp.add_range(0, cursor_, /*reads=*/true, /*writes=*/true);
+    } else {
+      fp.add_range(cursor_, static_cast<ObjectId>(registers_ - 1),
+                   /*reads=*/true, /*writes=*/true);
+    }
+    return fp;
+  }
+
  private:
   enum class Phase { kRead, kWrite };
 

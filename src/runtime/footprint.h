@@ -1,0 +1,99 @@
+// Footprints: conservative summaries of the objects a process may still
+// access in ANY continuation of its current state.
+//
+// The partial-order-reduced explorer (verify/por.h) builds persistent
+// sets: a subset P of the enabled processes such that no process outside
+// P can ever interact with the next step of a member of P.  Deciding
+// "can ever interact" needs more than the outsiders' CURRENT poised
+// invocations -- a process poised at object B may access object A two
+// steps later -- so each process advertises an over-approximation of its
+// remaining accesses.  Soundness contract: the footprint must cover
+// every invocation the process could perform from its current state
+// onward, across all coin outcomes and all response values.  The
+// all-covering default (everything()) is always sound and simply
+// disables reduction around the process; monotone-sweep protocols
+// override Process::future_footprint() with the exact remaining range
+// (see protocols/register_race.cpp).
+//
+// "Reads" here means trivial operations (they never change the value),
+// "writes" means nontrivial ones, matching the paper's Section 2
+// classification that the conflict rules in verify/por.cpp rely on.
+#pragma once
+
+#include <vector>
+
+#include "runtime/types.h"
+
+namespace randsync {
+
+/// A set of (object range, access mode) claims, or "everything".
+class Footprint {
+ public:
+  /// Covers every object with every access mode (the sound default).
+  [[nodiscard]] static Footprint everything() { return Footprint(true); }
+
+  /// Covers nothing (a process that will never access an object again).
+  [[nodiscard]] static Footprint nothing() { return Footprint(false); }
+
+  /// Add objects first..last (inclusive) with the given access modes.
+  void add_range(ObjectId first, ObjectId last, bool reads, bool writes) {
+    if (first > last || (!reads && !writes)) {
+      return;
+    }
+    ranges_.push_back(Range{first, last, reads, writes});
+  }
+
+  /// Add a single object with the given access modes.
+  void add(ObjectId obj, bool reads, bool writes) {
+    add_range(obj, obj, reads, writes);
+  }
+
+  /// True if this footprint covers everything (no reduction possible).
+  [[nodiscard]] bool unbounded() const { return unbounded_; }
+
+  /// May the process still perform a trivial operation on `obj`?
+  [[nodiscard]] bool may_read(ObjectId obj) const {
+    if (unbounded_) {
+      return true;
+    }
+    for (const Range& r : ranges_) {
+      if (r.reads && obj >= r.first && obj <= r.last) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// May the process still perform a nontrivial operation on `obj`?
+  [[nodiscard]] bool may_write(ObjectId obj) const {
+    if (unbounded_) {
+      return true;
+    }
+    for (const Range& r : ranges_) {
+      if (r.writes && obj >= r.first && obj <= r.last) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// May the process still touch `obj` at all?
+  [[nodiscard]] bool may_access(ObjectId obj) const {
+    return may_read(obj) || may_write(obj);
+  }
+
+ private:
+  explicit Footprint(bool unbounded) : unbounded_(unbounded) {}
+
+  struct Range {
+    ObjectId first;
+    ObjectId last;
+    bool reads;
+    bool writes;
+  };
+
+  bool unbounded_;
+  std::vector<Range> ranges_;
+};
+
+}  // namespace randsync

@@ -62,6 +62,44 @@ class ObjectType {
   /// True if the two operations commute on every value of this type.
   [[nodiscard]] virtual bool commutes(const Op& a, const Op& b) const = 0;
 
+  /// True if `a` and `b` are *value-independent*: from every value this
+  /// object can actually hold (any value reachable from initial_value()
+  /// through supported operations -- for a bounded counter that is the
+  /// [lo, hi] range, not all of Value), applying them in either order
+  /// yields the same final value AND gives each operation the same
+  /// response.  This is strictly stronger than commutes(): two
+  /// FETCH&ADDs commute as state transformations, but their responses
+  /// expose the order.
+  ///
+  /// The partial-order-reduced explorer (verify/por.h) may only swap
+  /// adjacent steps whose invocations are independent, so overrides
+  /// MUST stay sound: under-approximating independence merely costs
+  /// reduction, over-approximating it hides states.  The base default
+  /// -- both operations trivial -- is sound for every type: neither
+  /// operation changes the value, so each response is computed against
+  /// the same value in both orders.
+  [[nodiscard]] virtual bool independent(const Op& a, const Op& b) const {
+    return is_trivial(a) && is_trivial(b);
+  }
+
+  /// Exact independence of `a` and `b` at the specific value `value`:
+  /// simulates both orders and compares the final values and both
+  /// responses.  Sharper than independent() -- e.g. two TEST&SETs are
+  /// independent at value 1 but not at 0 -- which is what sleep-set
+  /// inheritance wants.  Precondition: supports() both kinds and the
+  /// arguments are legal for this type (callers pass genuinely poised
+  /// invocations).
+  [[nodiscard]] bool independent_at(const Op& a, const Op& b,
+                                    Value value) const {
+    Value ab = value;
+    const Value ab_ra = apply(a, ab);
+    const Value ab_rb = apply(b, ab);
+    Value ba = value;
+    const Value ba_rb = apply(b, ba);
+    const Value ba_ra = apply(a, ba);
+    return ab == ba && ab_ra == ba_ra && ab_rb == ba_rb;
+  }
+
   /// True if the type is historyless: all nontrivial operations
   /// pairwise overwrite one another.  The main lower bound (Theorem 3.7)
   /// applies exactly to objects for which this returns true.

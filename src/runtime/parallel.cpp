@@ -21,6 +21,14 @@ std::size_t default_thread_count() {
 // through an atomic cursor, so load-balancing is dynamic while results
 // stay index-addressed (determinism lives in the trial contract, not
 // in the assignment of trials to workers).
+//
+// A worker that is slow to park can still be inside drain() -- holding
+// the shared cursor -- when the NEXT batch is published.  Resetting the
+// cursor under it would let the straggler claim fresh indices against
+// the stale limit (so they never run) and fold its stale completions
+// into the new batch's count, deadlocking the joiner.  for_each
+// therefore refuses to publish until `active` drops to zero: every
+// worker that entered the previous batch has fully left drain().
 struct ThreadPool::Impl {
   std::mutex mu;
   std::condition_variable work_cv;
@@ -32,6 +40,7 @@ struct ThreadPool::Impl {
   std::size_t count = 0;
   std::atomic<std::size_t> cursor{0};
   std::size_t completed = 0;
+  std::size_t active = 0;  ///< workers currently inside drain()
   std::uint64_t generation = 0;
   std::exception_ptr error;
   bool stopping = false;
@@ -45,6 +54,7 @@ struct ThreadPool::Impl {
         return;
       }
       seen = generation;
+      ++active;
       const auto* batch_fn = fn;
       const std::size_t batch_count = count;
       lock.unlock();
@@ -72,10 +82,11 @@ struct ThreadPool::Impl {
     }
     std::lock_guard<std::mutex> lock(mu);
     completed += done_here;
+    --active;
     if (first_error && !error) {
       error = first_error;
     }
-    if (completed == batch_count) {
+    if (completed == batch_count || active == 0) {
       done_cv.notify_all();
     }
   }
@@ -108,6 +119,9 @@ void ThreadPool::for_each(std::size_t count,
     return;
   }
   std::unique_lock<std::mutex> lock(impl_->mu);
+  // Wait out stragglers from the previous batch before touching the
+  // cursor they may still be claiming from (see Impl comment).
+  impl_->done_cv.wait(lock, [&] { return impl_->active == 0; });
   impl_->fn = &fn;
   impl_->count = count;
   impl_->cursor.store(0, std::memory_order_relaxed);

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "runtime/coin.h"
+#include "runtime/footprint.h"
 #include "runtime/types.h"
 
 namespace randsync {
@@ -65,6 +66,18 @@ class Process {
   /// Hash of the protocol-visible state (excluding coin-source
   /// internals); used by the exhaustive explorer to detect revisits.
   [[nodiscard]] virtual std::uint64_t state_hash() const = 0;
+
+  /// Over-approximation of every object this process may access -- and
+  /// how -- from its CURRENT state onward, across all coin outcomes and
+  /// all response values (see runtime/footprint.h for the soundness
+  /// contract).  The default covers everything, which is always sound
+  /// but disables persistent-set reduction around this process;
+  /// monotone-sweep protocols override it with the exact remaining
+  /// range.  Precondition: !decided() (a decided process takes no
+  /// further steps, so callers never ask).
+  [[nodiscard]] virtual Footprint future_footprint() const {
+    return Footprint::everything();
+  }
 
   /// One-line state description for traces and debugging.
   [[nodiscard]] virtual std::string describe() const { return "<process>"; }

@@ -1,101 +1,449 @@
 #include "verify/explorer.h"
 
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
 #include "protocols/harness.h"
+#include "runtime/parallel.h"
+#include "verify/por.h"
 
 namespace randsync {
 namespace {
 
-constexpr std::uint8_t kZeroReachable = 1;
-constexpr std::uint8_t kOneReachable = 2;
+constexpr std::uint8_t kZeroDecided = 1;
+constexpr std::uint8_t kOneDecided = 2;
+constexpr std::uint32_t kNoParent = 0xFFFFFFFFu;
 
-struct Search {
-  const ExploreOptions& options;
+std::uint64_t bit(ProcessId pid) { return std::uint64_t{1} << pid; }
+
+/// Bookkeeping for one discovered configuration.  Configurations are
+/// NOT retained (only hashes are); a node needed again is rebuilt by
+/// replaying its parent chain from the initial configuration.
+struct Node {
+  std::uint64_t hash = 0;
+  std::uint32_t parent = kNoParent;
+  std::uint32_t level = 0;
+  std::uint16_t step_pid = 0;    ///< pid stepped by parent to reach here
+  std::uint8_t decided_mask = 0; ///< decision values present (bit0=0,bit1=1)
+  bool expanded = false;
+  std::uint64_t sleep = 0;      ///< current sleep set (only shrinks)
+  std::uint64_t persistent = 0; ///< candidates chosen across expansions
+  std::uint64_t explored = 0;   ///< pids actually stepped from here
+  std::uint64_t enabled = 0;    ///< undecided pids (fixed per state)
+};
+
+/// One unit of worker fan-out: expand `node`'s configuration.
+struct Task {
+  std::uint32_t node = 0;
+  std::uint64_t sleep = 0;          ///< node sleep, read at build time
+  std::uint64_t already = 0;        ///< node.explored, read at build time
+  std::uint64_t restrict_mask = 0;  ///< 0 = first visit (choose candidates)
+  std::uint8_t decided_mask = 0;
+  std::optional<Configuration> config;
+};
+
+/// One stepped child, produced by a worker, consumed by the merge.
+struct ChildOut {
+  ProcessId pid = 0;
+  std::uint64_t hash = 0;
+  std::uint64_t sleep = 0;       ///< sleep set for the child
+  std::uint8_t decided_mask = 0; ///< parent mask plus this step's decision
+  bool validity_violation = false;
+  bool all_decided = false;
+  /// Present unless the seen-set probe already knew the hash (the merge
+  /// re-checks; a probe miss is authoritative-by-then because only the
+  /// merge inserts).
+  std::optional<Configuration> config;
+};
+
+/// A worker's complete output for one task.  Pure function of the task
+/// (plus read-only probes of the seen set used only to drop configs).
+struct Expansion {
+  std::uint32_t node = 0;
+  std::uint64_t stepped = 0;
+  std::uint64_t candidates = 0;
+  std::uint64_t enabled = 0;
+  bool first_visit = false;
+  std::vector<ChildOut> children;
+};
+
+struct Engine {
+  const ConsensusProtocol& protocol;
   std::span<const int> inputs;
-  std::unordered_map<std::uint64_t, std::uint8_t> memo;
+  const ExploreOptions& options;
+  const std::size_t threads;
+
+  Configuration root;  ///< pristine initial configuration (for replays)
+  std::vector<Node> nodes;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  ShardedSeenSet seen;
   ExploreResult result;
-  std::vector<ProcessId> path;
-  bool aborted = false;  // violation found: unwind
+  bool aborted = false;  ///< violation found or state budget exhausted
 
-  explicit Search(const ExploreOptions& opt, std::span<const int> in)
-      : options(opt), inputs(in) {}
+  // Requeue accumulator for the batch being merged: node -> restrict
+  // mask, first-occurrence order.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> requeues;
+  std::unordered_map<std::uint32_t, std::size_t> requeue_index;
 
-  /// Decisions already made in `config`; flags violations.
-  std::uint8_t decided_mask(const Configuration& config) {
-    std::uint8_t mask = 0;
-    for (ProcessId pid = 0; pid < config.num_processes(); ++pid) {
-      if (!config.decided(pid)) {
-        continue;
+  // Fresh nodes to expand next batch, with their configurations.
+  std::vector<std::pair<std::uint32_t, Configuration>> next_fresh;
+
+  Engine(const ConsensusProtocol& proto, std::span<const int> in,
+         const ExploreOptions& opt)
+      : protocol(proto),
+        inputs(in),
+        options(opt),
+        threads(opt.threads == 0 ? default_thread_count() : opt.threads),
+        root(make_initial_configuration(proto, in, opt.seed)) {}
+
+  bool valid_decision(Value d) const {
+    for (int input : inputs) {
+      if (static_cast<Value>(input) == d) {
+        return true;
       }
-      const Value d = config.process(pid).decision();
-      bool matches_input = false;
-      for (int input : inputs) {
-        if (static_cast<Value>(input) == d) {
-          matches_input = true;
-        }
-      }
-      if (!matches_input) {
-        result.safe = false;
-        result.violation_kind = "validity";
-        result.violation_schedule = path;
-        aborted = true;
-        return mask;
-      }
-      mask |= (d == 0) ? kZeroReachable : kOneReachable;
     }
-    if (mask == (kZeroReachable | kOneReachable)) {
-      result.safe = false;
-      result.violation_kind = "consistency";
-      result.violation_schedule = path;
-      aborted = true;
-    }
-    return mask;
+    return false;
   }
 
-  std::uint8_t dfs(const Configuration& config, std::size_t depth) {
-    if (aborted) {
-      return 0;
+  /// Schedule from the initial configuration to `node`, plus `extra`
+  /// appended when >= 0.
+  std::vector<ProcessId> schedule_to(std::uint32_t node, int extra) const {
+    std::vector<ProcessId> schedule;
+    for (std::uint32_t at = node; at != 0; at = nodes[at].parent) {
+      schedule.push_back(nodes[at].step_pid);
     }
-    result.deepest = std::max(result.deepest, depth);
-    std::uint8_t mask = decided_mask(config);
-    if (aborted) {
-      return mask;
+    std::reverse(schedule.begin(), schedule.end());
+    if (extra >= 0) {
+      schedule.push_back(static_cast<ProcessId>(extra));
     }
-    if (config.all_decided()) {
-      return mask;
+    return schedule;
+  }
+
+  /// Rebuild `node`'s configuration by replaying its parent chain.
+  Configuration rebuild(std::uint32_t node) const {
+    Configuration config = root.clone();
+    for (ProcessId pid : schedule_to(node, -1)) {
+      (void)config.step(pid);
     }
-    if (depth >= options.max_depth || memo.size() >= options.max_states) {
-      result.complete = false;
-      return mask;
+    return config;
+  }
+
+  void record_violation(const char* kind, std::uint32_t parent,
+                        ProcessId pid) {
+    result.safe = false;
+    result.violation_kind = kind;
+    result.violation_schedule = schedule_to(parent, static_cast<int>(pid));
+    aborted = true;
+  }
+
+  void add_requeue(std::uint32_t node, std::uint64_t restrict_mask) {
+    const auto it = requeue_index.find(node);
+    if (it != requeue_index.end()) {
+      requeues[it->second].second |= restrict_mask;
+      return;
     }
-    const std::uint64_t key = config.state_hash();
-    if (const auto it = memo.find(key); it != memo.end()) {
-      return it->second;
-    }
-    ++result.states;
+    requeue_index.emplace(node, requeues.size());
+    requeues.emplace_back(node, restrict_mask);
+  }
+
+  /// Worker side: clone-and-step every candidate of `task`.  Touches no
+  /// engine state except read-only probes of the seen set.
+  Expansion expand(const Task& task) const {
+    Expansion out;
+    out.node = task.node;
+    const Configuration& config = *task.config;
+
+    std::vector<ProcessId> enabled_list;
     for (ProcessId pid = 0; pid < config.num_processes(); ++pid) {
-      if (config.decided(pid)) {
-        continue;
+      if (!config.decided(pid)) {
+        enabled_list.push_back(pid);
+        out.enabled |= bit(pid);
+      }
+    }
+
+    std::vector<ProcessId> candidates;
+    if (task.restrict_mask == 0) {
+      out.first_visit = true;
+      candidates =
+          options.reduction ? persistent_set(config) : enabled_list;
+    } else {
+      for (ProcessId pid : enabled_list) {
+        if (task.restrict_mask & bit(pid)) {
+          candidates.push_back(pid);
+        }
+      }
+    }
+    for (ProcessId pid : candidates) {
+      out.candidates |= bit(pid);
+    }
+
+    // `running` accumulates earlier siblings: sleeping pids plus every
+    // candidate already stepped (now or in a previous visit).  A later
+    // sibling's child sleeps on each independent earlier sibling -- the
+    // earlier sibling's subtree covers the commuted interleavings.
+    std::uint64_t running = task.sleep;
+    for (ProcessId pid : candidates) {
+      const std::uint64_t b = bit(pid);
+      if (running & b) {
+        continue;  // sleeping: covered elsewhere
+      }
+      if (task.already & b) {
+        running |= b;
+        continue;  // explored by a previous visit of this node
+      }
+      std::uint64_t child_sleep = 0;
+      if (options.reduction && running != 0) {
+        for (ProcessId q : enabled_list) {
+          if ((running & bit(q)) && steps_independent_at(config, q, pid)) {
+            child_sleep |= bit(q);
+          }
+        }
       }
       Configuration child = config.clone();
-      child.step(pid);
-      path.push_back(pid);
-      mask |= dfs(child, depth + 1);
-      path.pop_back();
+      const Step step = child.step(pid);
+      ChildOut c;
+      c.pid = pid;
+      c.hash = child.state_hash();
+      c.sleep = child_sleep;
+      c.decided_mask = task.decided_mask;
+      if (step.decided) {
+        if (!valid_decision(*step.decided)) {
+          c.validity_violation = true;
+        }
+        c.decided_mask |= (*step.decided == 0) ? kZeroDecided : kOneDecided;
+      }
+      c.all_decided = child.all_decided();
+      if (!seen.find(c.hash)) {
+        c.config = std::move(child);
+      }
+      out.children.push_back(std::move(c));
+      running |= b;
+      out.stepped |= b;
+    }
+    return out;
+  }
+
+  /// Merge one expansion into the graph.  Runs serially, in frontier
+  /// order -- every observable outcome is decided here, which is what
+  /// makes the result independent of the thread count.
+  void merge(Expansion& e) {
+    bool fresh_progress = false;
+    for (ChildOut& c : e.children) {
       if (aborted) {
-        return mask;
+        return;
+      }
+      ++result.transitions;
+      const std::optional<std::uint32_t> existing = seen.find(c.hash);
+      if (!existing) {
+        if (nodes.size() >= options.max_states) {
+          result.complete = false;
+          aborted = true;
+          return;
+        }
+        assert(c.config.has_value());
+        const auto id = static_cast<std::uint32_t>(nodes.size());
+        Node node;
+        node.hash = c.hash;
+        node.parent = e.node;
+        node.level = nodes[e.node].level + 1;
+        node.step_pid = static_cast<std::uint16_t>(c.pid);
+        node.decided_mask = c.decided_mask;
+        node.sleep = c.sleep;
+        nodes.push_back(node);
+        seen.insert(c.hash, id);
+        edges.emplace_back(e.node, id);
+        result.deepest = std::max<std::size_t>(result.deepest, node.level);
+        fresh_progress = true;
+        if (c.validity_violation) {
+          record_violation("validity", e.node, c.pid);
+          return;
+        }
+        if (c.decided_mask == (kZeroDecided | kOneDecided)) {
+          record_violation("consistency", e.node, c.pid);
+          return;
+        }
+        if (!c.all_decided) {
+          if (node.level < options.max_depth) {
+            next_fresh.emplace_back(id, std::move(*c.config));
+          } else {
+            result.complete = false;
+          }
+        }
+      } else {
+        const std::uint32_t id = *existing;
+        edges.emplace_back(e.node, id);
+        Node& child = nodes[id];
+        if (!child.expanded) {
+          fresh_progress = true;  // still pending or queued: will expand
+        }
+        if (options.reduction) {
+          // Sleep-set state caching: arriving with a smaller sleep set
+          // means more of the child's futures must be explored
+          // (Godefroid's covering fix).  Shrink, and if the child has
+          // already expanded, requeue the now-uncovered candidates;
+          // unexpanded children pick up the fresh sleep when their task
+          // is built or via their own post-expansion cover check.
+          const std::uint64_t met = c.sleep & child.sleep;
+          if (met != child.sleep) {
+            child.sleep = met;
+            if (child.expanded) {
+              const std::uint64_t extra =
+                  child.persistent & ~met & ~child.explored;
+              if (extra != 0) {
+                add_requeue(id, child.explored | extra);
+              }
+            }
+          }
+        }
       }
     }
-    memo[key] = mask;
-    if (mask == kZeroReachable) {
-      ++result.zero_valent;
-    } else if (mask == kOneReachable) {
-      ++result.one_valent;
-    } else if (mask == (kZeroReachable | kOneReachable)) {
-      ++result.bivalent;
+
+    Node& node = nodes[e.node];
+    node.explored |= e.stepped;
+    node.persistent |= e.candidates;
+    node.enabled = e.enabled;
+    node.expanded = true;
+    if (!options.reduction) {
+      return;
     }
-    return mask;
+    // Cover check with the CURRENT sleep set: candidates skipped because
+    // they slept at task-build time must run if a merge earlier in this
+    // batch shrank our sleep set in the meantime.
+    const std::uint64_t uncovered =
+        node.persistent & ~node.sleep & ~node.explored;
+    if (uncovered != 0) {
+      add_requeue(e.node, node.explored | uncovered);
+    }
+    // Queue proviso (the "ignoring problem"): deadlock preservation
+    // needs no proviso, but if a reduced expansion produced no fresh
+    // work at all we re-expand with everything enabled, so no process
+    // is deferred around a cycle indefinitely.  `explored` strictly
+    // grows on every requeue, so this terminates.
+    if (!fresh_progress) {
+      const std::uint64_t rest = node.enabled & ~node.explored & ~node.sleep;
+      if (rest != 0) {
+        add_requeue(e.node, node.explored | rest);
+      }
+    }
+  }
+
+  ExploreResult run() {
+    if (root.num_processes() > 64) {
+      throw std::invalid_argument(
+          "explore(): at most 64 processes (reduction masks are 64-bit)");
+    }
+
+    // Root node.  Scan its decisions directly (later nodes update the
+    // mask incrementally, one step at a time).
+    Node root_node;
+    root_node.hash = root.state_hash();
+    for (ProcessId pid = 0; pid < root.num_processes(); ++pid) {
+      if (!root.decided(pid)) {
+        continue;
+      }
+      const Value d = root.process(pid).decision();
+      if (!valid_decision(d)) {
+        result.safe = false;
+        result.violation_kind = "validity";
+        aborted = true;
+      }
+      root_node.decided_mask |= (d == 0) ? kZeroDecided : kOneDecided;
+    }
+    if (root_node.decided_mask == (kZeroDecided | kOneDecided)) {
+      result.safe = false;
+      result.violation_kind = "consistency";
+      aborted = true;
+    }
+    nodes.push_back(root_node);
+    seen.insert(root_node.hash, 0);
+    result.states = 1;
+
+    if (!aborted && !root.all_decided()) {
+      if (options.max_depth == 0) {
+        result.complete = false;
+      } else {
+        next_fresh.emplace_back(0, root.clone());
+      }
+    }
+
+    while (!aborted && (!next_fresh.empty() || !requeues.empty())) {
+      // Build this batch's tasks: fresh nodes first (they carry their
+      // configurations), then requeues (configurations replayed from
+      // the root).  Sleep/explored are read HERE, after the previous
+      // merge, so tasks see the freshest possible sleep sets.
+      std::vector<Task> tasks;
+      tasks.reserve(next_fresh.size() + requeues.size());
+      for (auto& [id, config] : next_fresh) {
+        Task task;
+        task.node = id;
+        task.sleep = nodes[id].sleep;
+        task.already = nodes[id].explored;
+        task.restrict_mask = 0;
+        task.decided_mask = nodes[id].decided_mask;
+        task.config = std::move(config);
+        tasks.push_back(std::move(task));
+      }
+      for (const auto& [id, restrict_mask] : requeues) {
+        Task task;
+        task.node = id;
+        task.sleep = nodes[id].sleep;
+        task.already = nodes[id].explored;
+        task.restrict_mask = restrict_mask;
+        task.decided_mask = nodes[id].decided_mask;
+        task.config = rebuild(id);
+        tasks.push_back(std::move(task));
+      }
+      next_fresh.clear();
+      requeues.clear();
+      requeue_index.clear();
+
+      std::vector<Expansion> expansions = parallel_map_trials<Expansion>(
+          tasks.size(), threads,
+          [this, &tasks](std::size_t t) { return expand(tasks[t]); });
+
+      for (Expansion& e : expansions) {
+        if (aborted) {
+          break;
+        }
+        merge(e);
+      }
+    }
+
+    result.states = nodes.size();
+
+    // Valence: propagate reachable-decision masks backwards over the
+    // discovered edges to a fixpoint.  (The graph can have cycles --
+    // randomized walks revisit states -- so this is iterative, not one
+    // reverse-topological pass.)
+    std::vector<std::uint8_t> mask(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      mask[i] = nodes[i].decided_mask;
+    }
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (const auto& [from, to] : edges) {
+        const std::uint8_t merged = mask[from] | mask[to];
+        if (merged != mask[from]) {
+          mask[from] = merged;
+          changed = true;
+        }
+      }
+    }
+    for (const std::uint8_t m : mask) {
+      if (m == kZeroDecided) {
+        ++result.zero_valent;
+      } else if (m == kOneDecided) {
+        ++result.one_valent;
+      } else if (m == (kZeroDecided | kOneDecided)) {
+        ++result.bivalent;
+      }
+    }
+    result.zero_reachable = (mask[0] & kZeroDecided) != 0;
+    result.one_reachable = (mask[0] & kOneDecided) != 0;
+    return std::move(result);
   }
 };
 
@@ -104,13 +452,8 @@ struct Search {
 ExploreResult explore(const ConsensusProtocol& protocol,
                       std::span<const int> inputs,
                       const ExploreOptions& options) {
-  Configuration initial =
-      make_initial_configuration(protocol, inputs, options.seed);
-  Search search(options, inputs);
-  search.dfs(initial, 0);
-  // The violation schedule witnesses the state AFTER the final step of
-  // the path; record it as found.
-  return std::move(search.result);
+  Engine engine(protocol, inputs, options);
+  return engine.run();
 }
 
 Trace replay_schedule(const ConsensusProtocol& protocol,

@@ -1,6 +1,6 @@
 // Exhaustive schedule exploration for small protocol instances.
 //
-// The explorer enumerates every interleaving of process steps from a
+// The explorer enumerates the interleavings of process steps from a
 // protocol's initial configuration (up to a depth/state budget),
 // checking the two consensus conditions in every reachable
 // configuration:
@@ -17,10 +17,34 @@
 // covers all schedules for that coin assignment (re-run with other
 // seeds to sample the coin space -- the property tests do).  State
 // hashes include each process's consumed-flip count (see
-// ConsensusProcess::base_hash), so memoization never conflates states
+// ConsensusProcess::base_hash), so state caching never conflates states
 // whose future coin draws differ.
 //
-// States are memoized by Configuration::state_hash(); a 64-bit hash
+// Engine (see docs/SIMULATOR.md for the full story): an iterative
+// frontier search.  Each round, the pending configurations are expanded
+// in parallel on the ThreadPool of runtime/parallel.h (pure fan-out:
+// workers clone, step, hash, and probe the sharded seen-set), then a
+// SERIAL merge in deterministic frontier order performs all
+// deduplication, node creation, violation detection and scheduling of
+// the next round.  Verdicts, counts and witnesses are therefore
+// bit-identical for every thread count, including 1 -- the same
+// contract as the parallel trial engine.
+//
+// With options.reduction the explorer applies partial-order reduction
+// (verify/por.h): persistent sets prune the expansion of each
+// configuration to a subset of enabled processes that the rest of the
+// system provably cannot interact with, and sleep sets skip
+// transitions whose interleavings a sibling already covers.  Reduction
+// preserves the verdict (safe / violation kind), the reachable decision
+// set of the initial configuration, and all deadlock states; per-state
+// valence COUNTS refer to the reduced graph and are compared only
+// across thread counts, not across reduction modes.  A queue-based
+// cycle proviso re-expands configurations whose reduced exploration
+// made no progress, so nothing is deferred forever (the "ignoring
+// problem"); sleep-set state caching re-explores a cached state on
+// arrival with a smaller sleep set (Godefroid's covering fix).
+//
+// States are cached by Configuration::state_hash(); a 64-bit hash
 // collision could in principle mask a path, which is acceptable for a
 // testing tool (a found violation is always real: it comes with a
 // concrete schedule that replays).
@@ -37,30 +61,44 @@
 
 namespace randsync {
 
-/// Limits for an exploration.
+/// Limits and strategy for an exploration.
 struct ExploreOptions {
   std::size_t max_depth = 64;         ///< steps per path
-  std::size_t max_states = 2'000'000; ///< distinct memoized states
+  std::size_t max_states = 2'000'000; ///< distinct discovered states
   std::uint64_t seed = 1;             ///< protocol process seeds
+  bool reduction = false;  ///< partial-order reduction (persistent+sleep sets)
+  std::size_t threads = 1; ///< expansion workers; 0 = hardware concurrency
 };
 
-/// Result of an exploration.
+/// Result of an exploration.  Deterministic: a pure function of
+/// (protocol, inputs, max_depth, max_states, seed, reduction) -- the
+/// thread count never changes any field.
 struct ExploreResult {
   bool safe = true;       ///< no consistency/validity violation reachable
   bool complete = true;   ///< space exhausted within the budgets
-  std::size_t states = 0; ///< distinct configurations visited
-  std::size_t deepest = 0;
-  /// Valence statistics over visited configurations.
+  std::size_t states = 0; ///< distinct configurations discovered
+  std::size_t transitions = 0;  ///< steps executed (edges, incl. revisits)
+  std::size_t deepest = 0;      ///< deepest first-discovery level
+  /// Valence statistics over discovered configurations (for reduced
+  /// explorations: over the reduced graph).
   std::size_t zero_valent = 0;
   std::size_t one_valent = 0;
   std::size_t bivalent = 0;
+  /// Decision values reachable from the INITIAL configuration.  For
+  /// safe+complete explorations this is preserved by reduction.
+  bool zero_reachable = false;
+  bool one_reachable = false;
   /// Witness schedule (pids to step from the initial configuration)
   /// reaching a violation, when !safe.
   std::vector<ProcessId> violation_schedule;
   std::string violation_kind;  ///< "consistency" or "validity"
+
+  friend bool operator==(const ExploreResult&, const ExploreResult&) = default;
 };
 
-/// Exhaustively explore `protocol` with the given inputs.
+/// Exhaustively explore `protocol` with the given inputs.  Throws
+/// std::invalid_argument for more than 64 processes (the reduction
+/// bookkeeping packs process sets into 64-bit masks).
 [[nodiscard]] ExploreResult explore(const ConsensusProtocol& protocol,
                                     std::span<const int> inputs,
                                     const ExploreOptions& options);

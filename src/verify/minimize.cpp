@@ -7,13 +7,13 @@
 namespace randsync {
 namespace {
 
-/// Replay `schedule`; true if it is executable and the trace decides
-/// both values.  Steps scheduling a decided (or out-of-range) process
-/// make the candidate invalid.
-bool replays_inconsistent(const ConsensusProtocol& protocol,
-                          std::span<const int> inputs,
-                          const std::vector<ProcessId>& schedule,
-                          std::uint64_t seed) {
+/// Replay `schedule`; true if it is executable and its trace violates
+/// `kind`.  Steps scheduling a decided (or out-of-range) process make
+/// the candidate invalid.
+bool replays_violation(const ConsensusProtocol& protocol,
+                       std::span<const int> inputs,
+                       const std::vector<ProcessId>& schedule,
+                       std::uint64_t seed, ViolationKind kind) {
   Configuration config = make_initial_configuration(protocol, inputs, seed);
   Trace trace;
   for (ProcessId pid : schedule) {
@@ -22,22 +22,50 @@ bool replays_inconsistent(const ConsensusProtocol& protocol,
     }
     trace.append(config.step(pid));
   }
-  return trace.inconsistent();
+  if (kind == ViolationKind::kConsistency) {
+    return trace.inconsistent();
+  }
+  for (const Step& step : trace.steps()) {
+    if (!step.decided) {
+      continue;
+    }
+    bool matches_input = false;
+    for (int input : inputs) {
+      if (static_cast<Value>(input) == *step.decided) {
+        matches_input = true;
+        break;
+      }
+    }
+    if (!matches_input) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace
 
+ViolationKind violation_kind_from_string(const std::string& kind) {
+  if (kind == "consistency") {
+    return ViolationKind::kConsistency;
+  }
+  if (kind == "validity") {
+    return ViolationKind::kValidity;
+  }
+  throw std::invalid_argument("unknown violation kind: " + kind);
+}
+
 MinimizedWitness minimize_schedule(const ConsensusProtocol& protocol,
                                    std::span<const int> inputs,
                                    std::span<const ProcessId> schedule,
-                                   std::uint64_t seed) {
+                                   std::uint64_t seed, ViolationKind kind) {
   MinimizedWitness result;
   result.schedule.assign(schedule.begin(), schedule.end());
   result.original_steps = schedule.size();
-  if (!replays_inconsistent(protocol, inputs, result.schedule, seed)) {
+  if (!replays_violation(protocol, inputs, result.schedule, seed, kind)) {
     throw std::invalid_argument(
-        "minimize_schedule: the input schedule does not replay to an "
-        "inconsistent trace");
+        "minimize_schedule: the input schedule does not replay to a "
+        "violation of the requested kind");
   }
 
   // Greedy chunked deletion: try removing halves, then quarters, down
@@ -58,7 +86,7 @@ MinimizedWitness minimize_schedule(const ConsensusProtocol& protocol,
                        result.schedule.end());
       ++result.replays;
       if (!candidate.empty() &&
-          replays_inconsistent(protocol, inputs, candidate, seed)) {
+          replays_violation(protocol, inputs, candidate, seed, kind)) {
         result.schedule = std::move(candidate);
         removed_any = true;
         // keep start in place: the next chunk now occupies it

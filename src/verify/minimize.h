@@ -2,21 +2,34 @@
 // minimal one (classic ddmin-style greedy deletion).
 //
 // The explorer and the adversaries produce concrete schedules that end
-// in a consistency/validity violation; those witnesses can contain
+// in a consistency or validity violation; those witnesses can contain
 // steps irrelevant to the bug.  minimize_schedule removes steps while
 // the replayed schedule still (a) stays executable (never steps a
-// decided process) and (b) still exhibits an inconsistent trace.  The
-// result replays deterministically, like every witness in this
-// repository.
+// decided process) and (b) still exhibits a violation of the SAME kind
+// it was asked to preserve.  The result replays deterministically, like
+// every witness in this repository.
 #pragma once
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "protocols/protocol.h"
 #include "runtime/types.h"
 
 namespace randsync {
+
+/// Which consensus condition a witness violates (and which property the
+/// minimizer must preserve while deleting steps).
+enum class ViolationKind {
+  kConsistency,  ///< two processes decided different values
+  kValidity,     ///< some process decided a value no process input
+};
+
+/// Parse the explorer's violation_kind string ("consistency" or
+/// "validity"); throws std::invalid_argument on anything else.
+[[nodiscard]] ViolationKind violation_kind_from_string(
+    const std::string& kind);
 
 /// Result of a minimization.
 struct MinimizedWitness {
@@ -27,10 +40,11 @@ struct MinimizedWitness {
 
 /// Greedily remove schedule entries while the replay (from the
 /// protocol's initial configuration with `seed`) remains executable and
-/// inconsistent.  `schedule` must itself replay to an inconsistent
-/// trace; throws std::invalid_argument otherwise.
+/// still violates `kind`.  `schedule` must itself replay to such a
+/// violation; throws std::invalid_argument otherwise.
 [[nodiscard]] MinimizedWitness minimize_schedule(
     const ConsensusProtocol& protocol, std::span<const int> inputs,
-    std::span<const ProcessId> schedule, std::uint64_t seed);
+    std::span<const ProcessId> schedule, std::uint64_t seed,
+    ViolationKind kind = ViolationKind::kConsistency);
 
 }  // namespace randsync

@@ -1,0 +1,171 @@
+#include "verify/por.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace randsync {
+
+bool steps_independent_at(const Configuration& config, ProcessId p,
+                          ProcessId q) {
+  if (p == q) {
+    return false;
+  }
+  const Invocation a = config.process(p).poised();
+  const Invocation b = config.process(q).poised();
+  // An internal step touches no shared object; the other process's
+  // response cannot depend on it.  (Each step still only mutates its
+  // own process's state, so the configurations agree in both orders.)
+  if (a.object == kNoObject || b.object == kNoObject) {
+    return true;
+  }
+  if (a.object != b.object) {
+    return true;
+  }
+  const ObjectType& type = config.space().type(a.object);
+  return type.independent_at(a.op, b.op, config.value(a.object));
+}
+
+bool footprint_conflicts(const Footprint& fp, const Invocation& inv,
+                         const ObjectSpace& space) {
+  if (inv.object == kNoObject) {
+    return false;
+  }
+  if (fp.unbounded()) {
+    return true;
+  }
+  if (space.type(inv.object).is_trivial(inv.op)) {
+    // A trivial step is a read: only future nontrivial accesses can
+    // change what it sees (and it cannot affect them back).
+    return fp.may_write(inv.object);
+  }
+  // A nontrivial step changes the value (what the other may read) and
+  // its response can depend on the other's writes: any access counts.
+  return fp.may_access(inv.object);
+}
+
+std::vector<ProcessId> persistent_set(const Configuration& config) {
+  std::vector<ProcessId> enabled;
+  for (ProcessId pid = 0; pid < config.num_processes(); ++pid) {
+    if (!config.decided(pid)) {
+      enabled.push_back(pid);
+    }
+  }
+  if (enabled.size() <= 1) {
+    return enabled;
+  }
+
+  // Poised invocations are queried once; footprints once per process.
+  std::vector<Invocation> poised(enabled.size());
+  std::vector<Footprint> footprint;
+  footprint.reserve(enabled.size());
+  for (std::size_t i = 0; i < enabled.size(); ++i) {
+    poised[i] = config.process(enabled[i]).poised();
+    footprint.push_back(config.process(enabled[i]).future_footprint());
+  }
+
+  // Closure from each seed; keep the smallest (first seed wins ties).
+  std::vector<std::size_t> best;  // indices into `enabled`
+  for (std::size_t i = 0; i < enabled.size(); ++i) {
+    best.push_back(i);
+  }
+  std::vector<char> in(enabled.size(), 0);
+  for (std::size_t seed = 0; seed < enabled.size(); ++seed) {
+    std::fill(in.begin(), in.end(), 0);
+    std::vector<std::size_t> members{seed};
+    in[seed] = 1;
+    bool overflow = false;
+    for (std::size_t k = 0; k < members.size() && !overflow; ++k) {
+      const std::size_t t = members[k];
+      for (std::size_t q = 0; q < enabled.size(); ++q) {
+        if (in[q] || !footprint_conflicts(footprint[q], poised[t],
+                                          config.space())) {
+          continue;
+        }
+        in[q] = 1;
+        members.push_back(q);
+        if (members.size() >= best.size()) {
+          overflow = true;  // cannot beat the incumbent
+          break;
+        }
+      }
+    }
+    if (!overflow && members.size() < best.size()) {
+      std::sort(members.begin(), members.end());
+      best = std::move(members);
+      if (best.size() == 1) {
+        break;
+      }
+    }
+  }
+
+  std::vector<ProcessId> result;
+  result.reserve(best.size());
+  for (std::size_t i : best) {
+    result.push_back(enabled[i]);
+  }
+  return result;
+}
+
+// --------------------------------------------------------------------
+// ShardedSeenSet
+
+struct ShardedSeenSet::Shard {
+  mutable std::mutex mu;
+  std::unordered_map<std::uint64_t, std::uint32_t> map;
+};
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+ShardedSeenSet::ShardedSeenSet(std::size_t shards) {
+  const std::size_t count = round_up_pow2(std::max<std::size_t>(1, shards));
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  mask_ = count - 1;
+}
+
+ShardedSeenSet::~ShardedSeenSet() = default;
+
+ShardedSeenSet::Shard& ShardedSeenSet::shard_for(std::uint64_t hash) const {
+  // state_hash() output is already well mixed; fold the high bits in so
+  // shard choice and bucket choice use different hash slices.
+  return *shards_[(hash ^ (hash >> 32)) & mask_];
+}
+
+std::optional<std::uint32_t> ShardedSeenSet::find(std::uint64_t hash) const {
+  const Shard& shard = shard_for(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(hash);
+  if (it == shard.map.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool ShardedSeenSet::insert(std::uint64_t hash, std::uint32_t id) {
+  Shard& shard = shard_for(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.map.emplace(hash, id).second;
+}
+
+std::size_t ShardedSeenSet::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+}  // namespace randsync

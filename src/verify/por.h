@@ -1,0 +1,96 @@
+// Partial-order reduction primitives for the exhaustive explorer.
+//
+// The paper's Section 3 arguments revolve around which process steps
+// commute: historyless operations on distinct objects, and overwriting
+// block writes whose order is hidden.  That commutation relation is
+// exactly what a partial-order-reduced model checker exploits -- two
+// independent steps need not be interleaved both ways -- and this
+// header packages the three ingredients verify/explorer.cpp uses:
+//
+//   * steps_independent_at -- the exact step-level independence check
+//     (the "diamond" test) at a concrete configuration, built on the
+//     object layer's ObjectType::independent_at oracle;
+//   * persistent_set -- a subset P of the enabled processes such that
+//     nothing outside P can ever interact with a member's pending step,
+//     computed from the processes' future_footprint() claims.  Exploring
+//     only P from a configuration preserves every deadlock
+//     (all-decided) configuration, hence every reachable decision and
+//     every consistency/validity violation (decisions are permanent, so
+//     a violated condition persists into a deadlock state);
+//   * ShardedSeenSet -- the lock-striped hash->node map the parallel
+//     frontier uses for cross-thread revisit probes.
+//
+// Soundness notes.  A persistent set is valid because (a) an enabled
+// consensus process stays enabled until it is stepped (only its own
+// step can decide it), (b) a member's poised invocation is frozen while
+// the member is deferred, and (c) footprints over-approximate every
+// future invocation of the outsiders, so "no footprint conflict" really
+// means no interaction along ANY outsider-only execution.  The cycle
+// proviso (ignoring problem) is the explorer's job, not this header's.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "runtime/configuration.h"
+
+namespace randsync {
+
+/// True if the next steps of `p` and `q` (both enabled) commute at
+/// `config`: executing them in either order reaches the same
+/// configuration and delivers the same responses.  Exact at this
+/// configuration (diamond check on the shared object's current value).
+[[nodiscard]] bool steps_independent_at(const Configuration& config,
+                                        ProcessId p, ProcessId q);
+
+/// True if a process whose remaining accesses are covered by `fp` could
+/// interact with a step performing `inv`: a trivial invocation is
+/// disturbed only by future nontrivial accesses, a nontrivial one by
+/// any future access (its effect changes what the other process reads,
+/// and the other's writes change its response).
+[[nodiscard]] bool footprint_conflicts(const Footprint& fp,
+                                       const Invocation& inv,
+                                       const ObjectSpace& space);
+
+/// A persistent set of `config`'s enabled processes, ascending by pid.
+/// Grown by closure from each enabled seed (an outsider whose footprint
+/// conflicts with a member's poised invocation joins the set); the
+/// smallest closure wins, ties to the lowest seed, so the result is a
+/// pure function of the configuration.  Returns all enabled processes
+/// when no reduction is possible.
+[[nodiscard]] std::vector<ProcessId> persistent_set(
+    const Configuration& config);
+
+/// Lock-striped concurrent map from Configuration::state_hash() to the
+/// explorer's dense node ids.  Workers probe it concurrently during
+/// frontier expansion (shared read path); the serial merge phase is the
+/// only writer.  A probe miss is only a hint -- the merge re-checks --
+/// so the map needs no cross-shard consistency, just per-shard mutual
+/// exclusion (which also keeps the explorer ThreadSanitizer-clean).
+class ShardedSeenSet {
+ public:
+  /// `shards` is rounded up to a power of two (default 64 stripes).
+  explicit ShardedSeenSet(std::size_t shards = 64);
+  ~ShardedSeenSet();  // out of line: Shard is incomplete here
+
+  /// The node id recorded for `hash`, if any.
+  [[nodiscard]] std::optional<std::uint32_t> find(std::uint64_t hash) const;
+
+  /// Record `hash` -> `id`; false (and no change) if already present.
+  bool insert(std::uint64_t hash, std::uint32_t id);
+
+  /// Number of recorded hashes.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Shard;
+  [[nodiscard]] Shard& shard_for(std::uint64_t hash) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t mask_;
+};
+
+}  // namespace randsync

@@ -1,0 +1,96 @@
+// Larger exhaustive-exploration instances (ctest label: exhaustive).
+//
+// These runs push the explorer to tens of thousands of states -- big
+// enough that the parallel frontier and the reduction machinery do real
+// work, small enough to stay in CI.  Each case cross-checks all four
+// {full, POR} x {1, 4 threads} combinations and records the reduction
+// ratio as a regression bound (ratios may IMPROVE; a regression past
+// the bound means the persistent-set or sleep-set machinery broke).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "protocols/registry.h"
+#include "verify/explorer.h"
+
+namespace randsync {
+namespace {
+
+ExploreResult run_explore(const ConsensusProtocol& protocol,
+                          const std::vector<int>& inputs, bool reduction,
+                          std::size_t threads) {
+  ExploreOptions opt;
+  opt.max_depth = 64;
+  opt.seed = 1;
+  opt.reduction = reduction;
+  opt.threads = threads;
+  return explore(protocol, inputs, opt);
+}
+
+struct ExhaustiveCase {
+  const char* protocol;
+  std::optional<std::size_t> param;
+  std::vector<int> inputs;
+  std::size_t full_states;  ///< pinned full-graph size (determinism check)
+  /// POR must explore at most this fraction (in percent) of the full
+  /// state count.
+  std::size_t max_ratio_pct;
+};
+
+class ExplorerExhaustive : public ::testing::TestWithParam<ExhaustiveCase> {};
+
+TEST_P(ExplorerExhaustive, ModesAgreeAtScale) {
+  const ExhaustiveCase& c = GetParam();
+  const auto protocol = find_protocol(c.protocol)->make(c.param);
+
+  const ExploreResult full1 = run_explore(*protocol, c.inputs, false, 1);
+  const ExploreResult full4 = run_explore(*protocol, c.inputs, false, 4);
+  const ExploreResult por1 = run_explore(*protocol, c.inputs, true, 1);
+  const ExploreResult por4 = run_explore(*protocol, c.inputs, true, 4);
+
+  EXPECT_EQ(full1, full4);
+  EXPECT_EQ(por1, por4);
+
+  ASSERT_TRUE(full1.complete);
+  ASSERT_TRUE(por1.complete);
+  EXPECT_TRUE(full1.safe);
+  EXPECT_TRUE(por1.safe);
+  EXPECT_EQ(full1.zero_reachable, por1.zero_reachable);
+  EXPECT_EQ(full1.one_reachable, por1.one_reachable);
+  EXPECT_EQ(full1.bivalent > 0, por1.bivalent > 0);
+
+  // The full graph is exactly reproducible run to run.
+  EXPECT_EQ(full1.states, c.full_states);
+  // Reduction strength regression bound.
+  EXPECT_LE(por1.states * 100, full1.states * c.max_ratio_pct)
+      << "POR explored " << por1.states << " of " << full1.states;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BigInstances, ExplorerExhaustive,
+    ::testing::Values(
+        // conciliator, 4 and 5 processes: the largest safe instances.
+        ExhaustiveCase{"conciliator", 3, {0, 0, 0, 0}, 8264, 60},
+        ExhaustiveCase{"conciliator", 3, {0, 0, 0, 0, 0}, 104172, 56},
+        ExhaustiveCase{"conciliator", 5, {0, 0, 0}, 8716, 50},
+        // swap-register sweeps reduce the hardest.
+        ExhaustiveCase{"historyless-swaps", 3, {0, 0, 0, 0}, 256, 50},
+        ExhaustiveCase{"historyless-swaps", 4, {0, 0, 0, 0}, 625, 46},
+        ExhaustiveCase{"historyless-swaps", 3, {0, 0, 0, 0, 0}, 1024, 48},
+        // register round-voting: modest reduction, bigger graphs.
+        ExhaustiveCase{"round-voting", 3, {0, 0, 0, 0}, 2401, 70},
+        ExhaustiveCase{"bidirectional-voting", 3, {1, 1, 1}, 343, 70}),
+    [](const ::testing::TestParamInfo<ExhaustiveCase>& info) {
+      std::string name = info.param.protocol;
+      for (char& ch : name) {
+        if (ch == '-') {
+          ch = '_';
+        }
+      }
+      return name + "_n" + std::to_string(info.param.inputs.size()) + "_" +
+             std::to_string(info.index);
+    });
+
+}  // namespace
+}  // namespace randsync

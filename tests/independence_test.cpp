@@ -1,0 +1,278 @@
+// Independence oracle tests.
+//
+// The partial-order-reduced explorer trusts two oracles:
+//
+//   * ObjectType::independent(a, b)     -- value-independent commutation
+//     (both orders agree on the final value AND both responses for
+//     EVERY start value);
+//   * steps_independent_at(config,p,q)  -- exact step commutation at a
+//     concrete configuration.
+//
+// A wrong "independent" claim silently prunes real interleavings, so
+// these tests check every claim empirically: execute both orders and
+// compare outcomes.  Claims may be conservative (false negatives are
+// sound); they must never be optimistic.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "objects/algebra.h"
+#include "objects/compare_and_swap.h"
+#include "objects/counter.h"
+#include "objects/fetch_add.h"
+#include "objects/fetch_inc.h"
+#include "objects/register.h"
+#include "objects/sticky_bit.h"
+#include "objects/swap_register.h"
+#include "objects/test_and_set.h"
+#include "protocols/harness.h"
+#include "protocols/registry.h"
+#include "verify/por.h"
+
+namespace randsync {
+namespace {
+
+/// A type under test plus the values to probe.  Independence claims
+/// quantify over the values the object can actually HOLD: a bounded
+/// counter never leaves [lo, hi] (INC/DEC wrap, RESET returns to 0), so
+/// out-of-range probes would test a vacuous case the explorer can never
+/// reach -- and the wrap arithmetic is only modular inside the range.
+struct TypedProbe {
+  ObjectTypePtr type;
+  std::vector<Value> values;
+};
+
+std::vector<Value> generic_probe_values(const ObjectType& type) {
+  std::vector<Value> values = default_value_sweep();
+  values.push_back(type.initial_value());
+  for (const Op& op : type.sample_ops()) {
+    values.push_back(op.arg0);
+    values.push_back(op.arg1);
+  }
+  return values;
+}
+
+std::vector<TypedProbe> all_types() {
+  std::vector<TypedProbe> probes;
+  for (const ObjectTypePtr& type :
+       {rw_register_type(), swap_register_type(), test_and_set_type(),
+        fetch_add_type(), fetch_inc_type(), fetch_dec_type(),
+        compare_and_swap_type(), counter_type(), sticky_bit_type()}) {
+    probes.push_back({type, generic_probe_values(*type)});
+  }
+  probes.push_back({bounded_counter_type(-2, 2), {-2, -1, 0, 1, 2}});
+  return probes;
+}
+
+/// The diamond check, written out directly (independent_at is the
+/// production implementation of the same thing; this duplicates it on
+/// purpose so a bug there cannot hide).
+bool diamond_holds(const ObjectType& type, const Op& a, const Op& b,
+                   Value start) {
+  Value ab = start;
+  const Value ab_ra = type.apply(a, ab);
+  const Value ab_rb = type.apply(b, ab);
+  Value ba = start;
+  const Value ba_rb = type.apply(b, ba);
+  const Value ba_ra = type.apply(a, ba);
+  return ab == ba && ab_ra == ba_ra && ab_rb == ba_rb;
+}
+
+TEST(Independence, ClaimsHoldEmpiricallyOnEveryType) {
+  for (const TypedProbe& probe : all_types()) {
+    const ObjectTypePtr& type = probe.type;
+    const std::vector<Op> ops = type->sample_ops();
+    std::size_t claimed = 0;
+    for (const Op& a : ops) {
+      for (const Op& b : ops) {
+        EXPECT_EQ(type->independent(a, b), type->independent(b, a))
+            << type->name() << ": independence must be symmetric";
+        if (!type->independent(a, b)) {
+          continue;
+        }
+        ++claimed;
+        for (Value v : probe.values) {
+          EXPECT_TRUE(diamond_holds(*type, a, b, v))
+              << type->name() << " claims independent ops but the diamond "
+              << "fails at value " << v;
+          EXPECT_TRUE(type->independent_at(a, b, v))
+              << type->name() << ": independent_at disagrees at " << v;
+        }
+      }
+    }
+    // Non-vacuity: sample_ops always include a trivial pair (read/read
+    // or an identity CAS), so every type claims something.
+    EXPECT_GT(claimed, 0U) << type->name();
+  }
+}
+
+TEST(Independence, RegisterTable) {
+  const ObjectTypePtr reg = rw_register_type();
+  EXPECT_TRUE(reg->independent(Op::read(), Op::read()));
+  EXPECT_TRUE(reg->independent(Op::write(2), Op::write(2)));
+  EXPECT_FALSE(reg->independent(Op::write(1), Op::write(2)));
+  EXPECT_FALSE(reg->independent(Op::read(), Op::write(1)));
+}
+
+TEST(Independence, SwapRegisterTable) {
+  const ObjectTypePtr swap = swap_register_type();
+  EXPECT_TRUE(swap->independent(Op::write(1), Op::write(1)));
+  // SWAP responds with the old value, so even equal-argument swaps
+  // expose their order.
+  EXPECT_FALSE(swap->independent(Op::swap(1), Op::swap(1)));
+  EXPECT_FALSE(swap->independent(Op::read(), Op::swap(1)));
+}
+
+TEST(Independence, StickyBitTable) {
+  const ObjectTypePtr sticky = sticky_bit_type();
+  EXPECT_TRUE(sticky->independent(Op::write(1), Op::write(1)));
+  EXPECT_FALSE(sticky->independent(Op::write(0), Op::write(1)));
+  // Sticky writes respond with the RESULTING value (read-like), so a
+  // trivial op next to a stick is order-sensitive.
+  EXPECT_FALSE(sticky->independent(Op::read(), Op::write(1)));
+}
+
+TEST(Independence, CounterTable) {
+  for (const ObjectTypePtr& counter :
+       {counter_type(), bounded_counter_type(-2, 2)}) {
+    EXPECT_TRUE(counter->independent(Op::increment(), Op::decrement()))
+        << counter->name();
+    EXPECT_TRUE(counter->independent(Op::increment(), Op::increment()))
+        << counter->name();
+    EXPECT_TRUE(counter->independent(Op::reset(), Op::reset()))
+        << counter->name();
+    EXPECT_FALSE(counter->independent(Op::reset(), Op::increment()))
+        << counter->name();
+    EXPECT_FALSE(counter->independent(Op::read(), Op::increment()))
+        << counter->name();
+  }
+  // Bounded wrap is arithmetic modulo the range size, so INC/DEC
+  // commute even at the bounds.
+  const ObjectTypePtr bounded = bounded_counter_type(-2, 2);
+  for (Value v : {-2, -1, 0, 1, 2}) {
+    EXPECT_TRUE(bounded->independent_at(Op::increment(), Op::decrement(), v));
+  }
+}
+
+TEST(Independence, CompareAndSwapTable) {
+  const ObjectTypePtr cas = compare_and_swap_type();
+  EXPECT_FALSE(cas->independent(Op::compare_and_swap(0, 1),
+                                Op::compare_and_swap(0, 2)));
+  EXPECT_FALSE(cas->independent(Op::compare_and_swap(0, 1),
+                                Op::compare_and_swap(1, 2)));
+  // Identity CAS is trivial; two of them commute.
+  EXPECT_TRUE(cas->independent(Op::compare_and_swap(2, 2),
+                               Op::compare_and_swap(2, 2)));
+  EXPECT_TRUE(cas->independent(Op::read(), Op::compare_and_swap(2, 2)));
+  EXPECT_FALSE(cas->independent(Op::write(1), Op::write(2)));
+}
+
+TEST(Independence, TestAndSetAndFetchAddStayConservative) {
+  // These types keep the base-class default: only trivial pairs.
+  EXPECT_FALSE(
+      test_and_set_type()->independent(Op::test_and_set(), Op::test_and_set()));
+  EXPECT_FALSE(
+      fetch_add_type()->independent(Op::fetch_add(1), Op::fetch_add(1)));
+  EXPECT_TRUE(fetch_add_type()->independent(Op::read(), Op::read()));
+}
+
+// ---------------------------------------------------------------------
+// Configuration-level: steps_independent_at must mean that stepping the
+// two processes in either order reaches the SAME configuration with the
+// SAME responses.  Walk random schedule prefixes of every registry
+// protocol and check every claimed-independent enabled pair.
+
+std::uint64_t splitmix(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+TEST(Independence, StepsIndependentAtCommutesAcrossRegistry) {
+  std::size_t checked_pairs = 0;
+  for (const ProtocolEntry& entry : protocol_registry()) {
+    const auto protocol = entry.make(std::nullopt);
+    const std::vector<int> inputs = alternating_inputs(3);
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      std::optional<Configuration> built;
+      try {
+        built = make_initial_configuration(*protocol, inputs, seed);
+      } catch (const std::invalid_argument&) {
+        break;  // fixed-process-count protocol (e.g. ts-pair is 2-only)
+      }
+      Configuration config = std::move(*built);
+      std::uint64_t rng = seed * 0x5151u + 17;
+      for (std::size_t step = 0; step < 40 && !config.all_decided(); ++step) {
+        // Check every enabled pair the oracle calls independent.
+        for (ProcessId p = 0; p < config.num_processes(); ++p) {
+          for (ProcessId q = 0; q < config.num_processes(); ++q) {
+            if (p == q || config.decided(p) || config.decided(q) ||
+                !steps_independent_at(config, p, q)) {
+              continue;
+            }
+            ++checked_pairs;
+            Configuration pq = config.clone();
+            const Step pq_p = pq.step(p);
+            const Step pq_q = pq.step(q);
+            Configuration qp = config.clone();
+            const Step qp_q = qp.step(q);
+            const Step qp_p = qp.step(p);
+            EXPECT_EQ(pq.state_hash(), qp.state_hash())
+                << entry.name << ": independent steps " << p << "," << q
+                << " do not commute (seed " << seed << ", step " << step
+                << ")";
+            EXPECT_EQ(pq_p.response, qp_p.response) << entry.name;
+            EXPECT_EQ(pq_q.response, qp_q.response) << entry.name;
+            EXPECT_EQ(pq_p.decided, qp_p.decided) << entry.name;
+            EXPECT_EQ(pq_q.decided, qp_q.decided) << entry.name;
+          }
+        }
+        // Advance along a pseudorandom enabled step.
+        ProcessId next = static_cast<ProcessId>(splitmix(rng) %
+                                                config.num_processes());
+        while (config.decided(next)) {
+          next = static_cast<ProcessId>((next + 1) % config.num_processes());
+        }
+        (void)config.step(next);
+      }
+    }
+  }
+  // Non-vacuity: the sweep must actually exercise the oracle.
+  EXPECT_GT(checked_pairs, 100U);
+}
+
+// persistent_set must be a subset of the enabled processes, never
+// empty while someone is undecided, and singleton sets (real
+// reduction) must occur somewhere on the sweep protocols.
+TEST(Independence, PersistentSetsAreEnabledSubsetsAndSometimesSmall) {
+  std::size_t singletons = 0;
+  for (const char* name : {"round-voting", "historyless-swaps"}) {
+    const auto protocol = find_protocol(name)->make(std::nullopt);
+    const std::vector<int> inputs{0, 0};
+    Configuration config = make_initial_configuration(*protocol, inputs, 1);
+    std::uint64_t rng = 7;
+    for (std::size_t step = 0; step < 30 && !config.all_decided(); ++step) {
+      const std::vector<ProcessId> persistent = persistent_set(config);
+      ASSERT_FALSE(persistent.empty());
+      for (ProcessId pid : persistent) {
+        EXPECT_FALSE(config.decided(pid));
+      }
+      if (persistent.size() == 1) {
+        ++singletons;
+      }
+      ProcessId next = static_cast<ProcessId>(splitmix(rng) %
+                                              config.num_processes());
+      while (config.decided(next)) {
+        next = static_cast<ProcessId>((next + 1) % config.num_processes());
+      }
+      (void)config.step(next);
+    }
+  }
+  EXPECT_GT(singletons, 0U);
+}
+
+}  // namespace
+}  // namespace randsync

@@ -3,12 +3,69 @@
 #include <gtest/gtest.h>
 
 #include "core/clone_adversary.h"
+#include "objects/register.h"
 #include "protocols/register_race.h"
+#include "runtime/coin.h"
 #include "verify/explorer.h"
 #include "verify/minimize.h"
 
 namespace randsync {
 namespace {
+
+// A deterministic validity-breaker: each process reads the (unused)
+// register `rounds` times, then decides the OPPOSITE of its input.
+// With unanimous inputs every decision is invalid while all decisions
+// AGREE -- a validity violation that is not a consistency violation,
+// which is exactly the case the consistency-only minimizer used to
+// reject.
+class ContrarianProcess final : public ConsensusProcess {
+ public:
+  ContrarianProcess(std::size_t rounds, int input,
+                    std::unique_ptr<CoinSource> coin)
+      : ConsensusProcess(input, std::move(coin)), remaining_(rounds) {}
+
+  [[nodiscard]] Invocation poised() const override { return {0, Op::read()}; }
+
+  void on_response(Value) override {
+    if (--remaining_ == 0) {
+      decide(1 - input());
+    }
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<ContrarianProcess>(*this);
+  }
+
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return hash_combine(remaining_, base_hash());
+  }
+
+ private:
+  std::size_t remaining_;
+};
+
+class ContrarianProtocol final : public ConsensusProtocol {
+ public:
+  explicit ContrarianProtocol(std::size_t rounds) : rounds_(rounds) {}
+
+  [[nodiscard]] std::string name() const override { return "contrarian"; }
+  [[nodiscard]] ObjectSpacePtr make_space(std::size_t) const override {
+    auto space = std::make_shared<ObjectSpace>();
+    space->add(rw_register_type());
+    return space;
+  }
+  [[nodiscard]] std::unique_ptr<ConsensusProcess> make_process(
+      std::size_t, std::size_t, int input,
+      std::uint64_t seed) const override {
+    return std::make_unique<ContrarianProcess>(
+        rounds_, input, std::make_unique<SplitMixCoin>(seed));
+  }
+  [[nodiscard]] bool identical_processes() const override { return true; }
+  [[nodiscard]] bool fixed_space() const override { return true; }
+
+ private:
+  std::size_t rounds_;
+};
 
 TEST(Minimize, ShrinksExplorerWitnesses) {
   RegisterRaceProtocol protocol(RaceVariant::kRoundVoting, 2);
@@ -47,6 +104,70 @@ TEST(Minimize, RejectsNonWitnesses) {
   const std::vector<ProcessId> benign{0, 1};
   EXPECT_THROW(minimize_schedule(protocol, inputs, benign, 1),
                std::invalid_argument);
+}
+
+TEST(Minimize, ViolationKindParsing) {
+  EXPECT_EQ(violation_kind_from_string("consistency"),
+            ViolationKind::kConsistency);
+  EXPECT_EQ(violation_kind_from_string("validity"), ViolationKind::kValidity);
+  EXPECT_THROW(violation_kind_from_string("liveness"), std::invalid_argument);
+}
+
+TEST(Minimize, ShrinksValidityWitnessesToOneProcess) {
+  const std::size_t rounds = 3;
+  ContrarianProtocol protocol(rounds);
+  const std::vector<int> inputs{0, 0};
+  ExploreOptions opt;
+  const auto exploration = explore(protocol, inputs, opt);
+  ASSERT_FALSE(exploration.safe);
+  ASSERT_EQ(exploration.violation_kind, "validity");
+
+  const auto minimized =
+      minimize_schedule(protocol, inputs, exploration.violation_schedule,
+                        opt.seed, ViolationKind::kValidity);
+  // The minimal validity witness is one process running alone to its
+  // (invalid) decision.
+  EXPECT_EQ(minimized.schedule.size(), rounds);
+  const Trace witness =
+      replay_schedule(protocol, inputs, minimized.schedule, opt.seed);
+  bool invalid = false;
+  for (const Step& step : witness.steps()) {
+    if (step.decided && *step.decided != 0) {
+      invalid = true;  // inputs are all 0: deciding 1 breaks validity
+    }
+  }
+  EXPECT_TRUE(invalid);
+}
+
+TEST(Minimize, ValidityWitnessIsNotAConsistencyWitness) {
+  // The contrarian decisions all agree, so asking the minimizer to
+  // preserve a CONSISTENCY violation must be rejected.
+  ContrarianProtocol protocol(3);
+  const std::vector<int> inputs{0, 0};
+  ExploreOptions opt;
+  const auto exploration = explore(protocol, inputs, opt);
+  ASSERT_FALSE(exploration.safe);
+  EXPECT_THROW(
+      (void)minimize_schedule(protocol, inputs,
+                              exploration.violation_schedule, opt.seed,
+                              ViolationKind::kConsistency),
+      std::invalid_argument);
+}
+
+TEST(Minimize, ConsistencyWitnessRejectedAsValidityWitness) {
+  // Dual of the above: a mixed-input consistency violation contains no
+  // invalid decision (both 0 and 1 were inputs).
+  RegisterRaceProtocol protocol(RaceVariant::kFirstWriter, 1);
+  const std::vector<int> inputs{0, 1};
+  ExploreOptions opt;
+  const auto exploration = explore(protocol, inputs, opt);
+  ASSERT_FALSE(exploration.safe);
+  ASSERT_EQ(exploration.violation_kind, "consistency");
+  EXPECT_THROW(
+      (void)minimize_schedule(protocol, inputs,
+                              exploration.violation_schedule, opt.seed,
+                              ViolationKind::kValidity),
+      std::invalid_argument);
 }
 
 TEST(Minimize, FirstWriterWitnessReachesTheKnownMinimum) {

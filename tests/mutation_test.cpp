@@ -8,6 +8,9 @@
 #include "protocols/harness.h"
 #include "protocols/drift_walk.h"
 #include "protocols/protocol.h"
+#include "protocols/registry.h"
+#include "verify/explorer.h"
+#include "verify/minimize.h"
 
 namespace randsync {
 namespace {
@@ -180,6 +183,89 @@ TEST(Mutation, RealWalkSurvivesTheSameStress) {
     EXPECT_TRUE(run.consistent) << seed;
     EXPECT_TRUE(run.valid) << seed;
   }
+}
+
+// ---------------------------------------------------------------------
+// The reduced, parallel explorer must stay just as deadly: every broken
+// registry protocol is hunted with reduction AND 4 threads, and the
+// minimized witness must still replay to a violation of the reported
+// kind.
+
+void expect_por_catches(const ConsensusProtocol& protocol,
+                        const std::vector<int>& inputs, std::size_t depth) {
+  ExploreOptions opt;
+  opt.max_depth = depth;
+  opt.seed = 1;
+  opt.reduction = true;
+  opt.threads = 4;
+  const ExploreResult result = explore(protocol, inputs, opt);
+  ASSERT_FALSE(result.safe)
+      << protocol.name() << ": reduction+parallelism lost the violation";
+
+  const auto minimized = minimize_schedule(
+      protocol, inputs, result.violation_schedule, opt.seed,
+      violation_kind_from_string(result.violation_kind));
+  EXPECT_LE(minimized.schedule.size(), result.violation_schedule.size());
+  const Trace witness =
+      replay_schedule(protocol, inputs, minimized.schedule, opt.seed);
+  if (result.violation_kind == "consistency") {
+    EXPECT_TRUE(witness.inconsistent()) << protocol.name();
+  } else {
+    bool invalid = false;
+    for (const Step& step : witness.steps()) {
+      if (!step.decided) {
+        continue;
+      }
+      bool matches = false;
+      for (int input : inputs) {
+        matches = matches || static_cast<Value>(input) == *step.decided;
+      }
+      invalid = invalid || !matches;
+    }
+    EXPECT_TRUE(invalid) << protocol.name();
+  }
+}
+
+TEST(Mutation, BrokenProtocolsCaughtWithReductionAndThreads) {
+  expect_por_catches(*find_protocol("first-writer")->make(std::nullopt),
+                     {0, 1}, 32);
+  expect_por_catches(*find_protocol("round-voting")->make(2), {0, 1}, 32);
+  expect_por_catches(*find_protocol("swap-pair")->make(std::nullopt),
+                     {0, 1, 0}, 32);
+  expect_por_catches(*find_protocol("faa-pair")->make(std::nullopt),
+                     {1, 1, 0}, 32);
+  expect_por_catches(*find_protocol("bidirectional-voting")->make(3), {0, 1},
+                     40);
+}
+
+TEST(Mutation, BandlessWalkCaughtByReducedParallelExplorer) {
+  // The violation needs ~56 steps just structurally (two registrations,
+  // four net up-moves at 4 steps each, a deciding read triplet, then
+  // eight net down-moves by the loner) plus coin streams that cooperate;
+  // seed 7 first reaches it within depth 72.  Reduction+parallelism
+  // must not lose it.  (Counters give the footprint-less default, so
+  // this also covers the everything-footprint fallback path.)
+  BrokenWalkProtocol protocol;
+  const std::vector<int> inputs = alternating_inputs(2);
+  ExploreOptions opt;
+  opt.max_depth = 72;
+  opt.seed = 7;
+  opt.reduction = true;
+  opt.threads = 4;
+  const ExploreResult reduced = explore(protocol, inputs, opt);
+  ASSERT_FALSE(reduced.safe);
+  EXPECT_EQ(reduced.violation_kind, "consistency");
+
+  // Same hunt, full exploration, one thread: verdicts agree.
+  opt.reduction = false;
+  opt.threads = 1;
+  const ExploreResult full = explore(protocol, inputs, opt);
+  ASSERT_FALSE(full.safe);
+  EXPECT_EQ(full.violation_kind, "consistency");
+
+  const Trace witness =
+      replay_schedule(protocol, inputs, reduced.violation_schedule, opt.seed);
+  EXPECT_TRUE(witness.inconsistent());
 }
 
 }  // namespace

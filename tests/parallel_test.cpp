@@ -67,6 +67,23 @@ TEST(ParallelTrials, PropagatesTheFirstWorkerException) {
   }
 }
 
+// Regression: a worker slow to park could still be draining batch N
+// when batch N+1 reset the shared cursor, stealing fresh indices
+// against the stale limit (they never ran) and folding stale
+// completions into the new batch -- deadlocking the joiner.  The
+// explorer's shape -- thousands of back-to-back tiny batches on one
+// cached pool -- hit this reliably; drive that exact shape.
+TEST(ThreadPool, BackToBackTinyBatchesAllComplete) {
+  ThreadPool pool(4);
+  for (int batch = 0; batch < 50'000; ++batch) {
+    std::atomic<std::size_t> sum{0};
+    pool.for_each(3, [&](std::size_t i) {
+      sum.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(sum.load(), 6U) << "batch " << batch;
+  }
+}
+
 TEST(ThreadPool, IsReusableAcrossBatches) {
   ThreadPool pool(3);
   EXPECT_EQ(pool.size(), 3U);

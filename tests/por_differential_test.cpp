@@ -1,0 +1,220 @@
+// Differential tests for the partial-order-reduced parallel explorer.
+//
+// The explorer promises two separable guarantees:
+//
+//   1. THREADS NEVER MATTER: for a fixed (protocol, inputs, seed,
+//      reduction) the ExploreResult is bit-identical for every thread
+//      count -- full structural equality, not just the verdict.
+//   2. REDUCTION NEVER CHANGES THE ANSWER: POR on/off agree on safety,
+//      the violation kind, and -- for safe complete explorations -- the
+//      decision values reachable from the initial configuration and
+//      whether any bivalent configuration exists.  (Per-state valence
+//      COUNTS legitimately differ: they describe the reduced graph.)
+//
+// Every registry protocol is swept at small sizes and several seeds
+// through the four combinations {full, POR} x {1 thread, 4 threads},
+// and the reduction-strength acceptance bar (<= 50% of the full state
+// count on at least two protocols) is pinned as a regression test.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "protocols/registry.h"
+#include "verify/explorer.h"
+#include "verify/minimize.h"
+
+namespace randsync {
+namespace {
+
+ExploreResult run_explore(const ConsensusProtocol& protocol,
+                          const std::vector<int>& inputs, std::uint64_t seed,
+                          bool reduction, std::size_t threads,
+                          std::size_t depth = 40) {
+  ExploreOptions opt;
+  opt.max_depth = depth;
+  opt.seed = seed;
+  opt.reduction = reduction;
+  opt.threads = threads;
+  return explore(protocol, inputs, opt);
+}
+
+/// A violation witness must replay to a violation of the kind the
+/// explorer reported, whatever mode produced it.
+void expect_witness_replays(const ConsensusProtocol& protocol,
+                            const std::vector<int>& inputs,
+                            const ExploreResult& result, std::uint64_t seed) {
+  ASSERT_FALSE(result.safe);
+  ASSERT_FALSE(result.violation_schedule.empty());
+  const Trace trace = replay_schedule(protocol, inputs,
+                                      result.violation_schedule, seed);
+  if (result.violation_kind == "consistency") {
+    EXPECT_TRUE(trace.inconsistent());
+    return;
+  }
+  ASSERT_EQ(result.violation_kind, "validity");
+  bool invalid_decision = false;
+  for (const Step& step : trace.steps()) {
+    if (!step.decided) {
+      continue;
+    }
+    bool matches = false;
+    for (int input : inputs) {
+      matches = matches || static_cast<Value>(input) == *step.decided;
+    }
+    invalid_decision = invalid_decision || !matches;
+  }
+  EXPECT_TRUE(invalid_decision);
+}
+
+void compare_modes(const ConsensusProtocol& protocol,
+                   const std::vector<int>& inputs, std::uint64_t seed,
+                   const std::string& label, std::size_t depth) {
+  std::optional<ExploreResult> probe;
+  try {
+    probe = run_explore(protocol, inputs, seed, false, 1, depth);
+  } catch (const std::invalid_argument&) {
+    return;  // fixed-process-count protocol (e.g. ts-pair is 2-only)
+  }
+  const ExploreResult full1 = std::move(*probe);
+  const ExploreResult full4 = run_explore(protocol, inputs, seed, false, 4,
+                                          depth);
+  const ExploreResult por1 = run_explore(protocol, inputs, seed, true, 1,
+                                         depth);
+  const ExploreResult por4 = run_explore(protocol, inputs, seed, true, 4,
+                                         depth);
+
+  // Guarantee 1: bit-identical across thread counts, field for field.
+  EXPECT_EQ(full1, full4) << label << " (full)";
+  EXPECT_EQ(por1, por4) << label << " (reduced)";
+
+  // Guarantee 2: reduction preserves the verdict.
+  if (full1.complete && por1.complete) {
+    EXPECT_EQ(full1.safe, por1.safe) << label;
+  } else if (!por1.safe) {
+    // A reduced-mode witness is a real interleaving, so the full
+    // explorer must find a violation too (budgets permitting the
+    // reverse direction is checked only on complete runs above).
+    EXPECT_FALSE(full1.safe) << label;
+  }
+  if (!full1.safe && !por1.safe) {
+    EXPECT_EQ(full1.violation_kind, por1.violation_kind) << label;
+    expect_witness_replays(protocol, inputs, full1, seed);
+    expect_witness_replays(protocol, inputs, por1, seed);
+  }
+  if (full1.safe && por1.safe && full1.complete && por1.complete) {
+    EXPECT_EQ(full1.zero_reachable, por1.zero_reachable) << label;
+    EXPECT_EQ(full1.one_reachable, por1.one_reachable) << label;
+    EXPECT_EQ(full1.bivalent > 0, por1.bivalent > 0) << label;
+  }
+  // POR never explores more than the full graph.  (Only meaningful on
+  // safe runs: a violation aborts each mode at a different point, so
+  // either count can be larger on unsafe instances.)
+  if (full1.safe && por1.safe) {
+    EXPECT_LE(por1.states, full1.states) << label;
+    EXPECT_LE(por1.transitions, full1.transitions) << label;
+  }
+}
+
+TEST(PorDifferential, EveryRegistryProtocolAgreesAcrossModes) {
+  for (const ProtocolEntry& entry : protocol_registry()) {
+    const auto protocol = entry.make(std::nullopt);
+    for (std::size_t n : {2U, 3U}) {
+      // Random-walk protocols explode at n=3 (register-walk reaches
+      // >1M states by depth 40); a shallower bound keeps the sweep
+      // around 50k states per run while still crossing every oracle.
+      const std::size_t depth = n == 2 ? 40 : 24;
+      std::vector<int> mixed;
+      std::vector<int> unanimous;
+      for (std::size_t i = 0; i < n; ++i) {
+        mixed.push_back(i % 2 == 0 ? 0 : 1);
+        unanimous.push_back(0);
+      }
+      const int seeds = entry.randomized ? 3 : 1;
+      for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(seeds);
+           ++seed) {
+        const std::string label = entry.name + " n=" + std::to_string(n) +
+                                  " seed=" + std::to_string(seed);
+        compare_modes(*protocol, mixed, seed, label + " mixed", depth);
+        compare_modes(*protocol, unanimous, seed, label + " unanimous", depth);
+      }
+    }
+  }
+}
+
+// The acceptance bar: on at least two registry protocols the reduced
+// exploration covers the full verdict with at most HALF the states.
+TEST(PorDifferential, ReductionAtMostHalvesHistorylessSwaps) {
+  const auto protocol = find_protocol("historyless-swaps")->make(3);
+  const std::vector<int> inputs{0, 0, 0, 0};
+  const ExploreResult full = run_explore(*protocol, inputs, 1, false, 1, 60);
+  const ExploreResult por = run_explore(*protocol, inputs, 1, true, 1, 60);
+  ASSERT_TRUE(full.complete);
+  ASSERT_TRUE(por.complete);
+  EXPECT_TRUE(full.safe);
+  EXPECT_TRUE(por.safe);
+  EXPECT_EQ(full.zero_reachable, por.zero_reachable);
+  EXPECT_EQ(full.one_reachable, por.one_reachable);
+  EXPECT_LE(por.states * 2, full.states)
+      << "POR explored " << por.states << " of " << full.states;
+}
+
+TEST(PorDifferential, ReductionAtMostHalvesConciliator) {
+  const auto protocol = find_protocol("conciliator")->make(5);
+  const std::vector<int> inputs{0, 0, 0};
+  const ExploreResult full = run_explore(*protocol, inputs, 1, false, 1, 60);
+  const ExploreResult por = run_explore(*protocol, inputs, 1, true, 1, 60);
+  ASSERT_TRUE(full.complete);
+  ASSERT_TRUE(por.complete);
+  EXPECT_TRUE(full.safe);
+  EXPECT_TRUE(por.safe);
+  EXPECT_EQ(full.zero_reachable, por.zero_reachable);
+  EXPECT_EQ(full.one_reachable, por.one_reachable);
+  EXPECT_LE(por.states * 2, full.states)
+      << "POR explored " << por.states << " of " << full.states;
+}
+
+// The determinism contract, asserted explicitly at 8 threads: every
+// field of ExploreResult -- counts included -- matches the 1-thread
+// run, in both reduction modes, on safe and on violating instances.
+TEST(PorDifferential, EightThreadsBitIdenticalToOne) {
+  struct Case {
+    const char* protocol;
+    std::optional<std::size_t> param;
+    std::vector<int> inputs;
+  };
+  const std::vector<Case> cases = {
+      {"conciliator", 3, {0, 0, 0}},        // randomized, safe
+      {"counter-walk", std::nullopt, {0, 1}},  // randomized walk
+      {"round-voting", 2, {0, 1}},          // broken: consistency witness
+      {"first-writer", std::nullopt, {0, 1}},  // broken, minimal
+  };
+  for (const Case& c : cases) {
+    const auto protocol = find_protocol(c.protocol)->make(c.param);
+    for (bool reduction : {false, true}) {
+      const ExploreResult one =
+          run_explore(*protocol, c.inputs, 1, reduction, 1);
+      const ExploreResult eight =
+          run_explore(*protocol, c.inputs, 1, reduction, 8);
+      EXPECT_EQ(one, eight)
+          << c.protocol << (reduction ? " reduced" : " full");
+    }
+  }
+}
+
+// Requesting every core (threads=0) must not change the result either.
+TEST(PorDifferential, HardwareThreadCountMatchesSerial) {
+  const auto protocol = find_protocol("historyless-mixed")->make(3);
+  const std::vector<int> inputs{0, 1};
+  for (bool reduction : {false, true}) {
+    const ExploreResult serial =
+        run_explore(*protocol, inputs, 1, reduction, 1);
+    const ExploreResult all = run_explore(*protocol, inputs, 1, reduction, 0);
+    EXPECT_EQ(serial, all);
+  }
+}
+
+}  // namespace
+}  // namespace randsync

@@ -14,7 +14,10 @@
 //       narrative plus the inconsistent execution.
 //
 //   randsync explore <protocol> <inputs> [--param=K] [--depth=D]
-//       exhaustive schedule exploration; inputs like "011".
+//                    [--por] [--threads=N]
+//       exhaustive schedule exploration; inputs like "011".  --por
+//       enables partial-order reduction, --threads parallelizes the
+//       frontier (same result for every thread count; 0 = all cores).
 //
 //   randsync stall <walk-protocol> [--seed=S]
 //       pit the strong-adversary walk staller against faa-consensus or
@@ -55,6 +58,8 @@ struct Flags {
   std::string scheduler = "random";
   std::size_t depth = 64;
   bool general = false;
+  bool por = false;
+  std::size_t threads = 1;
 };
 
 Flags parse_flags(int argc, char** argv, int first) {
@@ -71,6 +76,10 @@ Flags parse_flags(int argc, char** argv, int first) {
       flags.depth = std::strtoul(arg.c_str() + 8, nullptr, 10);
     } else if (arg == "--general") {
       flags.general = true;
+    } else if (arg == "--por") {
+      flags.por = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      flags.threads = std::strtoul(arg.c_str() + 10, nullptr, 10);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       std::exit(2);
@@ -191,17 +200,21 @@ int cmd_explore(const ProtocolEntry& entry, const std::string& input_bits,
   ExploreOptions opt;
   opt.max_depth = flags.depth;
   opt.seed = flags.seed;
+  opt.reduction = flags.por;
+  opt.threads = flags.threads;
   const auto result = explore(*protocol, inputs, opt);
-  std::printf("%s, inputs %s:\n", protocol->name().c_str(),
-              input_bits.c_str());
-  std::printf("  states=%zu deepest=%zu complete=%s\n", result.states,
-              result.deepest, result.complete ? "yes" : "no");
+  std::printf("%s, inputs %s%s:\n", protocol->name().c_str(),
+              input_bits.c_str(), flags.por ? " (partial-order reduced)" : "");
+  std::printf("  states=%zu transitions=%zu deepest=%zu complete=%s\n",
+              result.states, result.transitions, result.deepest,
+              result.complete ? "yes" : "no");
   std::printf("  safe=%s  valence: 0-valent=%zu 1-valent=%zu bivalent=%zu\n",
               result.safe ? "yes" : "NO", result.zero_valent,
               result.one_valent, result.bivalent);
   if (!result.safe) {
     const auto minimized = minimize_schedule(
-        *protocol, inputs, result.violation_schedule, opt.seed);
+        *protocol, inputs, result.violation_schedule, opt.seed,
+        violation_kind_from_string(result.violation_kind));
     std::printf("  %s violation; minimal witness (%zu steps, shrunk from "
                 "%zu):\n",
                 result.violation_kind.c_str(), minimized.schedule.size(),
@@ -290,7 +303,8 @@ int usage() {
       "  randsync run <protocol> [n] [--param=K] [--seed=S] "
       "[--scheduler=random|rr|contention|crash]\n"
       "  randsync attack <protocol> [--param=r] [--seed=S] [--general]\n"
-      "  randsync explore <protocol> <inputs01> [--param=K] [--depth=D]\n"
+      "  randsync explore <protocol> <inputs01> [--param=K] [--depth=D] "
+      "[--por] [--threads=N]\n"
       "  randsync stall <walk-protocol> [--seed=S]\n"
       "  randsync cycle <protocol> <inputs01> [--param=K]\n"
       "  randsync table\n");
