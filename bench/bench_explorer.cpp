@@ -1,15 +1,17 @@
 // B4 -- exhaustive explorer throughput and reduction strength: a grid
-// of registry instances x {full, POR} x {1, N threads}.  Two numbers
-// matter per cell: wall time (states/sec) and the reduction ratio
-// (POR states as a fraction of the full graph).  The bench doubles as
-// a cross-config agreement check -- every instance's ExploreResult must
+// of registry instances x {full, POR, symmetry, POR+symmetry} x {1, N
+// threads}.  Three numbers matter per cell: wall time (states/sec),
+// the reduction ratio (states as a fraction of the full graph) and the
+// peak seen-set footprint (slot-array bytes).  The bench doubles as a
+// cross-config agreement check -- every instance's ExploreResult must
 // be bit-identical across thread counts and verdict-identical across
 // reduction modes -- and exits 1 if any configuration disagrees.
 //
 // With --json=FILE the bench emits the machine-readable record
 // (schema: bench/README.md); the checked-in baseline lives at
-// bench/baselines/BENCH_explorer.json.  The states/transitions fields
-// are deterministic -- only the timing fields may move between runs.
+// bench/baselines/BENCH_explorer.json.  The states/transitions/seen
+// fields are deterministic -- only the timing fields may move between
+// runs.
 
 #include <cstdio>
 #include <optional>
@@ -47,7 +49,20 @@ const std::vector<GridCase>& grid() {
   return cases;
 }
 
-ExploreResult run_one(const GridCase& c, bool reduction, std::size_t threads) {
+struct Mode {
+  const char* name;
+  bool reduction;
+  bool symmetry;
+};
+
+const Mode kModes[] = {
+    {"full", false, false},
+    {"por", true, false},
+    {"sym", false, true},
+    {"por+sym", true, true},
+};
+
+ExploreResult run_one(const GridCase& c, const Mode& m, std::size_t threads) {
   const auto protocol = find_protocol(c.protocol)->make(c.param);
   std::vector<int> inputs;
   for (std::size_t i = 0; i < c.n; ++i) {
@@ -56,7 +71,8 @@ ExploreResult run_one(const GridCase& c, bool reduction, std::size_t threads) {
   ExploreOptions opt;
   opt.max_depth = c.depth;
   opt.seed = 1;
-  opt.reduction = reduction;
+  opt.reduction = m.reduction;
+  opt.symmetry = m.symmetry;
   opt.threads = threads;
   return explore(*protocol, inputs, opt);
 }
@@ -67,64 +83,71 @@ int run(const bench::BenchOptions& opt) {
   bench::JsonReporter report("bench_explorer", threads);
   bool agree = true;
 
-  std::printf("%-24s %6s %9s %12s %12s %10s %8s\n", "instance", "mode",
-              "states", "transitions", "states/sec", "wall (s)", "ratio");
-  bench::rule(88);
+  std::printf("%-24s %8s %9s %12s %12s %10s %10s %7s\n", "instance", "mode",
+              "states", "transitions", "states/sec", "wall (s)", "seen KiB",
+              "ratio");
+  bench::rule(100);
   for (const GridCase& c : grid()) {
     std::optional<ExploreResult> full;
-    for (const bool reduction : {false, true}) {
+    for (const Mode& m : kModes) {
       auto start = bench::Clock::now();
-      const ExploreResult serial = run_one(c, reduction, 1);
+      const ExploreResult serial = run_one(c, m, 1);
       const double serial_wall = bench::seconds_since(start);
 
       start = bench::Clock::now();
-      const ExploreResult threaded = run_one(c, reduction, threads);
+      const ExploreResult threaded = run_one(c, m, threads);
       const double threaded_wall = bench::seconds_since(start);
 
       // Agreement, part 1: bit-identical results across thread counts.
       if (serial != threaded) {
         std::fprintf(stderr, "DIVERGED (BUG!): %s n=%zu %s @%zu threads\n",
-                     c.protocol, c.n, reduction ? "por" : "full", threads);
+                     c.protocol, c.n, m.name, threads);
         agree = false;
       }
-      // Agreement, part 2: reduction preserves verdict and reachable
-      // decisions (counts describe the reduced graph and may differ).
-      if (reduction && full) {
+      // Agreement, part 2: reduction/symmetry preserve the verdict and
+      // the reachable decisions (counts describe the reduced graph and
+      // may differ).
+      if (full) {
         if (serial.safe != full->safe ||
             (serial.safe && serial.complete && full->complete &&
              (serial.zero_reachable != full->zero_reachable ||
               serial.one_reachable != full->one_reachable))) {
-          std::fprintf(stderr, "DIVERGED (BUG!): %s n=%zu por vs full\n",
-                       c.protocol, c.n);
+          std::fprintf(stderr, "DIVERGED (BUG!): %s n=%zu %s vs full\n",
+                       c.protocol, c.n, m.name);
           agree = false;
         }
-      }
-      if (!reduction) {
+      } else {
         full = serial;
       }
 
       const double ratio =
-          reduction && full && full->states > 0
+          full && full->states > 0
               ? static_cast<double>(serial.states) /
                     static_cast<double>(full->states)
               : 1.0;
-      const char* mode = reduction ? "por" : "full";
       char instance[64];
       std::snprintf(instance, sizeof(instance), "%s n=%zu d=%zu", c.protocol,
                     c.n, c.depth);
-      std::printf("%-24s %6s %9zu %12zu %12.0f %10.4f %7.0f%%\n", instance,
-                  mode, serial.states, serial.transitions,
+      std::printf("%-24s %8s %9zu %12zu %12.0f %10.4f %10.1f %6.0f%%\n",
+                  instance, m.name, serial.states, serial.transitions,
                   static_cast<double>(serial.states) / serial_wall,
-                  serial_wall, ratio * 100.0);
+                  serial_wall,
+                  static_cast<double>(serial.seen_bytes) / 1024.0,
+                  ratio * 100.0);
 
       report.add("explore")
           .field("protocol", std::string(c.protocol))
           .count("n", c.n)
           .count("depth", c.depth)
-          .field("reduction", reduction)
+          .field("mode", std::string(m.name))
+          .field("reduction", m.reduction)
+          .field("symmetry", m.symmetry)
           .count("states", serial.states)
           .count("transitions", serial.transitions)
           .count("deepest", serial.deepest)
+          .count("dedup_hits", serial.dedup_hits)
+          .count("orbit_merges", serial.orbit_merges)
+          .count("seen_bytes", serial.seen_bytes)
           .field("complete", serial.complete)
           .field("safe", serial.safe)
           .field("reduction_ratio", ratio)

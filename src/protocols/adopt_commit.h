@@ -90,6 +90,13 @@ class AdoptCommitProcess final : public ConsensusProcess {
   }
   [[nodiscard]] std::uint64_t state_hash() const override;
 
+  /// Coin-free, so the visible state is a sound orbit key.  Do NOT
+  /// collapse decided processes to their decision here: the commit flag
+  /// outlives the decision (callers inspect committed() afterwards).
+  [[nodiscard]] std::uint64_t symmetry_key() const override {
+    return state_hash();
+  }
+
   /// Valid once decided(): did this process COMMIT (vs adopt)?
   [[nodiscard]] bool committed() const { return committed_; }
 

@@ -75,6 +75,10 @@ class SweepProcess final : public ConsensusProcess {
     return h;
   }
 
+  [[nodiscard]] std::uint64_t symmetry_key() const override {
+    return deterministic_symmetry_key();  // coin-free
+  }
+
   // Monotone sweep: every future access stays in the unvisited segment
   // (swaps and test&sets are nontrivial, reads may become claim-writes).
   [[nodiscard]] Footprint future_footprint() const override {

@@ -15,11 +15,35 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "runtime/object_space.h"
 #include "runtime/process.h"
 
 namespace randsync {
+
+/// Symmetry a protocol instance declares for orbit-collapsing
+/// exploration (verify/symmetry.h).  The declaration is a PROMISE the
+/// protocol makes; the symmetry layer trusts it:
+///
+///   * `processes` -- the system is invariant under permuting process
+///     indices: behaviour depends only on (input, state, coin), never on
+///     the index.  For such protocols two configurations whose process
+///     multisets (of Process::symmetry_key()) and object values agree
+///     reach the same verdicts.  Mirrors identical_processes(), which is
+///     the Section 3.1 hypothesis.
+///   * `object_orbits` -- groups of interchangeable object ids: the
+///     future behaviour of the SYSTEM depends on each group only through
+///     its multiset of values.  This is a strong promise: no process may
+///     hold a cursor, preference or history that tells the group's
+///     members apart (a sweep protocol whose processes walk registers in
+///     index order must NOT declare its registers an orbit).  Sound
+///     examples are write-only sinks and fully-anonymous scratch pads.
+///     Objects not listed are canonicalized by id (no reduction).
+struct SymmetrySpec {
+  bool processes = false;
+  std::vector<std::vector<ObjectId>> object_orbits;
+};
 
 /// A family of binary-consensus implementations, one per process count.
 class ConsensusProtocol {
@@ -49,6 +73,15 @@ class ConsensusProtocol {
   /// families accept arbitrarily many processes, which is what the
   /// lower-bound adversaries exploit).
   [[nodiscard]] virtual bool fixed_space() const = 0;
+
+  /// Symmetry the instance for `n` processes guarantees.  The default
+  /// declares process symmetry exactly when identical_processes() holds
+  /// and no object orbits, which is sound for every protocol in the
+  /// registry; override to declare interchangeable object groups.
+  [[nodiscard]] virtual SymmetrySpec symmetry(std::size_t n) const {
+    (void)n;
+    return SymmetrySpec{identical_processes(), {}};
+  }
 };
 
 }  // namespace randsync

@@ -66,6 +66,17 @@ class RaceProcess final : public ConsensusProcess {
     return h;
   }
 
+  // Only the conciliator variant ever flips; the others are coin-free,
+  // so their orbit key can drop the stream term (and the flip count it
+  // carries), letting processes that converged to the same visible
+  // state share an orbit slot.
+  [[nodiscard]] std::uint64_t symmetry_key() const override {
+    if (variant_ == RaceVariant::kConciliator) {
+      return ConsensusProcess::symmetry_key();
+    }
+    return deterministic_symmetry_key();
+  }
+
   [[nodiscard]] std::string describe() const override {
     return "race(pref=" + std::to_string(pref_) +
            ", cursor=" + std::to_string(cursor_) + ")";

@@ -54,6 +54,10 @@ class RetryProcess final : public ConsensusProcess {
     return h;
   }
 
+  [[nodiscard]] std::uint64_t symmetry_key() const override {
+    return deterministic_symmetry_key();  // coin-free
+  }
+
  private:
   enum class Phase { kWrite, kReadOther, kErase };
   std::size_t pid_;

@@ -50,6 +50,11 @@ class CasProcess final : public ConsensusProcess {
                         base_hash());
   }
 
+  // Never consults the coin, so the visible state alone is the orbit key.
+  [[nodiscard]] std::uint64_t symmetry_key() const override {
+    return deterministic_symmetry_key();
+  }
+
  private:
   enum class Phase { kCas, kRead };
   Phase phase_ = Phase::kCas;
@@ -78,6 +83,10 @@ class SwapPairProcess final : public ConsensusProcess {
   [[nodiscard]] std::uint64_t state_hash() const override {
     return base_hash();
   }
+
+  [[nodiscard]] std::uint64_t symmetry_key() const override {
+    return deterministic_symmetry_key();  // coin-free
+  }
 };
 
 // --- sticky-bit consensus --------------------------------------------------
@@ -99,6 +108,10 @@ class StickyProcess final : public ConsensusProcess {
 
   [[nodiscard]] std::uint64_t state_hash() const override {
     return base_hash();
+  }
+
+  [[nodiscard]] std::uint64_t symmetry_key() const override {
+    return deterministic_symmetry_key();  // coin-free
   }
 };
 
@@ -132,6 +145,10 @@ class FaaPairProcess final : public ConsensusProcess {
 
   [[nodiscard]] std::uint64_t state_hash() const override {
     return base_hash();
+  }
+
+  [[nodiscard]] std::uint64_t symmetry_key() const override {
+    return deterministic_symmetry_key();  // coin-free
   }
 };
 
@@ -188,6 +205,10 @@ class TsPairProcess final : public ConsensusProcess {
         hash_combine(static_cast<std::uint64_t>(pid_),
                      static_cast<std::uint64_t>(phase_)),
         base_hash());
+  }
+
+  [[nodiscard]] std::uint64_t symmetry_key() const override {
+    return deterministic_symmetry_key();  // coin-free
   }
 
  private:

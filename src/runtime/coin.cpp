@@ -20,6 +20,15 @@ std::uint64_t SplitMixCoin::next() {
   return z ^ (z >> 31);
 }
 
+std::uint64_t SplitMixCoin::stream_id() const {
+  // The future stream is a pure function of state_; mix it so equal ids
+  // are (modulo 64-bit collisions) equal states rather than raw seeds.
+  std::uint64_t z = state_ + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 FixedCoin::FixedCoin(std::vector<std::uint64_t> words,
                      std::uint64_t fallback_seed)
     : words_(std::move(words)), fallback_(fallback_seed) {}
@@ -37,6 +46,15 @@ void FixedCoin::reseed(std::uint64_t seed) {
   pos_ = 0;
   fallback_.reseed(seed);
   flips_ = 0;
+}
+
+std::uint64_t FixedCoin::stream_id() const {
+  // Remaining prescription (suffix of words_) plus the fallback stream.
+  std::uint64_t h = fallback_.stream_id();
+  for (std::size_t i = pos_; i < words_.size(); ++i) {
+    h = (h ^ words_[i]) * 0x100000001B3ULL;
+  }
+  return h;
 }
 
 std::uint64_t derive_seed(std::uint64_t base, std::uint64_t salt) {

@@ -33,6 +33,14 @@ class CoinSource {
   /// Number of words drawn so far (for work accounting).
   [[nodiscard]] virtual std::uint64_t flips() const = 0;
 
+  /// Identity of the REMAINING stream: two sources with equal stream_id
+  /// produce the same future sequence of next() words.  The symmetry
+  /// layer folds this into process orbit keys so that two processes are
+  /// only treated as interchangeable when their unconsumed randomness
+  /// agrees (equal visible state with different coin futures must not
+  /// be conflated).
+  [[nodiscard]] virtual std::uint64_t stream_id() const = 0;
+
   /// Fair coin flip derived from next().
   [[nodiscard]] bool flip() { return (next() & 1U) != 0U; }
 
@@ -55,6 +63,7 @@ class SplitMixCoin final : public CoinSource {
     flips_ = 0;
   }
   [[nodiscard]] std::uint64_t flips() const override { return flips_; }
+  [[nodiscard]] std::uint64_t stream_id() const override;
 
  private:
   std::uint64_t state_;
@@ -75,6 +84,7 @@ class FixedCoin final : public CoinSource {
   }
   void reseed(std::uint64_t seed) override;
   [[nodiscard]] std::uint64_t flips() const override { return flips_; }
+  [[nodiscard]] std::uint64_t stream_id() const override;
 
   /// True if all prescribed words have been consumed.
   [[nodiscard]] bool exhausted() const { return pos_ >= words_.size(); }

@@ -1,8 +1,58 @@
 #include "runtime/configuration.h"
 
+#include <cassert>
 #include <stdexcept>
 
 namespace randsync {
+
+namespace {
+
+// The fingerprint is an XOR of one well-mixed term per slot (object
+// value or process state), so a step only swaps the terms it touches.
+// XOR-accumulation demands strong per-slot mixing: unlike the chained
+// hash_combine fold, nothing downstream re-stirs a weak term.  Two
+// independent finalizers give the two 64-bit halves; `lo` uses the
+// splitmix64 finalizer, `hi` the murmur3 fmix64 finalizer with distinct
+// multipliers, so a collision in one half is independent of the other.
+
+inline std::uint64_t mix_lo(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+inline std::uint64_t mix_hi(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+// Accumulator bases (arbitrary nonzero constants; FNV offset basis and
+// a decimal-of-pi word) so the empty configuration is not all-zero.
+constexpr std::uint64_t kBaseLo = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kBaseHi = 0x243F6A8885A308D3ULL;
+// Domain salts keep object slot i and process slot i from colliding.
+constexpr std::uint64_t kObjSalt = 0xA24BAED4963EE407ULL;
+constexpr std::uint64_t kProcSalt = 0x9FB21C651E98DF25ULL;
+
+inline std::uint64_t obj_term(std::size_t index, Value value) {
+  return (static_cast<std::uint64_t>(index) + 1) * kGolden ^
+         (static_cast<std::uint64_t>(value) + kObjSalt);
+}
+
+inline std::uint64_t proc_term(std::size_t index, std::uint64_t state_hash) {
+  return (static_cast<std::uint64_t>(index) + 1) * kGolden ^
+         (state_hash + kProcSalt);
+}
+
+}  // namespace
 
 Configuration::Configuration(ObjectSpacePtr space)
     : space_(std::move(space)) {
@@ -10,10 +60,23 @@ Configuration::Configuration(ObjectSpacePtr space)
     throw std::invalid_argument("configuration needs an object space");
   }
   values_ = space_->initial_values();
+  acc_lo_ = kBaseLo;
+  acc_hi_ = kBaseHi;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const std::uint64_t term = obj_term(i, values_[i]);
+    acc_lo_ ^= mix_lo(term);
+    acc_hi_ ^= mix_hi(term);
+  }
 }
 
 Configuration::Configuration(CloneTag, const Configuration& other)
-    : space_(other.space_), values_(other.values_) {
+    : space_(other.space_),
+      values_(other.values_),
+      acc_lo_(other.acc_lo_),
+      acc_hi_(other.acc_hi_),
+      proc_hash_(other.proc_hash_),
+      proc_stale_(other.proc_stale_),
+      stale_list_(other.stale_list_) {
   procs_.reserve(other.procs_.size());
   for (const auto& proc : other.procs_) {
     procs_.push_back(proc->clone());
@@ -34,6 +97,11 @@ void Configuration::clone_into(Configuration& out) const {
   for (std::size_t i = 0; i < procs_.size(); ++i) {
     out.procs_[i] = procs_[i]->clone();
   }
+  out.acc_lo_ = acc_lo_;
+  out.acc_hi_ = acc_hi_;
+  out.proc_hash_ = proc_hash_;
+  out.proc_stale_ = proc_stale_;
+  out.stale_list_ = stale_list_;
 }
 
 ProcessId Configuration::add_process(ProcessPtr process) {
@@ -41,7 +109,45 @@ ProcessId Configuration::add_process(ProcessPtr process) {
     throw std::invalid_argument("null process");
   }
   procs_.push_back(std::move(process));
-  return procs_.size() - 1;
+  const std::size_t index = procs_.size() - 1;
+  const std::uint64_t h = procs_.back()->state_hash();
+  proc_hash_.push_back(h);
+  proc_stale_.push_back(0);
+  const std::uint64_t term = proc_term(index, h);
+  acc_lo_ ^= mix_lo(term);
+  acc_hi_ ^= mix_hi(term);
+  return index;
+}
+
+void Configuration::mark_proc_dirty(ProcessId pid) {
+  if (pid < proc_stale_.size() && proc_stale_[pid] == 0) {
+    proc_stale_[pid] = 1;
+    stale_list_.push_back(static_cast<std::uint32_t>(pid));
+  }
+}
+
+void Configuration::refresh_proc(ProcessId pid) const {
+  const std::uint64_t fresh = procs_[pid]->state_hash();
+  if (fresh != proc_hash_[pid]) {
+    const std::uint64_t out = proc_term(pid, proc_hash_[pid]);
+    const std::uint64_t in = proc_term(pid, fresh);
+    acc_lo_ ^= mix_lo(out) ^ mix_lo(in);
+    acc_hi_ ^= mix_hi(out) ^ mix_hi(in);
+    proc_hash_[pid] = fresh;
+  }
+}
+
+void Configuration::refresh_dirty() const {
+  if (stale_list_.empty()) {
+    return;
+  }
+  for (std::uint32_t pid : stale_list_) {
+    if (proc_stale_[pid] != 0) {
+      refresh_proc(pid);
+      proc_stale_[pid] = 0;
+    }
+  }
+  stale_list_.clear();
 }
 
 Step Configuration::step(ProcessId pid) {
@@ -58,9 +164,21 @@ Step Configuration::step(ProcessId pid) {
                              type.name() + ") does not support " +
                              to_string(inv.op.kind));
     }
-    response = type.apply(inv.op, values_.at(inv.object));
+    Value& slot = values_.at(inv.object);
+    const Value before = slot;
+    response = type.apply(inv.op, slot);
+    if (slot != before) {
+      const std::uint64_t out = obj_term(inv.object, before);
+      const std::uint64_t in = obj_term(inv.object, slot);
+      acc_lo_ ^= mix_lo(out) ^ mix_lo(in);
+      acc_hi_ ^= mix_hi(out) ^ mix_hi(in);
+    }
   }
   proc.on_response(response);
+  // The process's contribution is refreshed lazily at the next hash
+  // query, so simulation-only paths skip the virtual state_hash() call.
+  mark_proc_dirty(pid);
+  assert(hash_self_check());
   Step record{pid, inv, response, std::nullopt};
   if (proc.decided()) {
     record.decided = proc.decision();
@@ -114,14 +232,34 @@ bool Configuration::all_decided() const {
 }
 
 std::uint64_t Configuration::state_hash() const {
-  std::uint64_t h = 0xCBF29CE484222325ULL;
-  for (Value v : values_) {
-    h = hash_combine(h, static_cast<std::uint64_t>(v));
+  refresh_dirty();
+  return acc_lo_;
+}
+
+StateFingerprint Configuration::state_fingerprint() const {
+  refresh_dirty();
+  return StateFingerprint{acc_lo_, acc_hi_};
+}
+
+StateFingerprint Configuration::recompute_fingerprint() const {
+  StateFingerprint fp{kBaseLo, kBaseHi};
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const std::uint64_t term = obj_term(i, values_[i]);
+    fp.lo ^= mix_lo(term);
+    fp.hi ^= mix_hi(term);
   }
-  for (const auto& proc : procs_) {
-    h = hash_combine(h, proc->state_hash());
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    const std::uint64_t term = proc_term(i, procs_[i]->state_hash());
+    fp.lo ^= mix_lo(term);
+    fp.hi ^= mix_hi(term);
   }
-  return h;
+  return fp;
+}
+
+bool Configuration::hash_self_check() const {
+  refresh_dirty();
+  const StateFingerprint fresh = recompute_fingerprint();
+  return fresh == StateFingerprint{acc_lo_, acc_hi_};
 }
 
 std::string Configuration::describe_values() const {

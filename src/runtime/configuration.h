@@ -21,6 +21,19 @@
 
 namespace randsync {
 
+/// 128-bit state identity: two independent 64-bit mixes of the same
+/// slot contributions.  `lo` alone is the classic 64-bit state_hash();
+/// wide consumers (ExploreOptions::wide_fingerprint) key on both
+/// halves, pushing the collision probability at large frontiers from
+/// birthday-bound-on-64 to birthday-bound-on-128 bits.
+struct StateFingerprint {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const StateFingerprint&,
+                         const StateFingerprint&) = default;
+};
+
 /// Global state: object values plus all process states.
 class Configuration {
  public:
@@ -63,8 +76,13 @@ class Configuration {
     return *procs_.at(pid);
   }
 
-  /// Mutable process access (reseeding by the solo oracle).
-  [[nodiscard]] Process& process_mut(ProcessId pid) { return *procs_.at(pid); }
+  /// Mutable process access (reseeding by the solo oracle).  Marks the
+  /// process's cached hash contribution stale; it is recomputed at the
+  /// next hash query.
+  [[nodiscard]] Process& process_mut(ProcessId pid) {
+    mark_proc_dirty(pid);
+    return *procs_.at(pid);
+  }
 
   /// Perform one step of process `pid`: apply its poised operation to
   /// the target object, deliver the response, and return the Step
@@ -95,7 +113,25 @@ class Configuration {
 
   /// Hash of object values and protocol-visible process states; used by
   /// the exhaustive explorer for revisit detection.
+  ///
+  /// Maintained INCREMENTALLY: every slot (object value or process
+  /// state) contributes an independently mixed term to an XOR
+  /// accumulator (Zobrist style), so step() only swaps the stepped
+  /// process's and the touched object's contributions instead of
+  /// re-folding all r values and n process hashes.  The stepped
+  /// process's term is refreshed lazily at the next hash query, so
+  /// pure simulation paths that never hash pay only the object-term
+  /// swap.  hash_self_check() (and an assert in step() in !NDEBUG
+  /// builds) verifies incremental == full recompute.
   [[nodiscard]] std::uint64_t state_hash() const;
+
+  /// Both halves of the 128-bit identity (lo == state_hash()).
+  [[nodiscard]] StateFingerprint state_fingerprint() const;
+
+  /// True if the incrementally maintained fingerprint equals a full
+  /// from-scratch recompute.  Cheap enough to sprinkle in tests; a
+  /// failure means a mutation path forgot its contribution swap.
+  [[nodiscard]] bool hash_self_check() const;
 
   /// One-line rendering of object values, e.g. "[0, 3, 1]".
   [[nodiscard]] std::string describe_values() const;
@@ -107,9 +143,29 @@ class Configuration {
   struct CloneTag {};
   Configuration(CloneTag, const Configuration& other);
 
+  void mark_proc_dirty(ProcessId pid);
+  // Recompute the contributions of every dirty process (const because
+  // the fingerprint is logically a pure function of the state; the
+  // cache is an implementation detail).
+  void refresh_dirty() const;
+  // Swap one process's cached contribution for its fresh state_hash().
+  void refresh_proc(ProcessId pid) const;
+  // Fold-from-scratch fingerprint, the reference for hash_self_check().
+  [[nodiscard]] StateFingerprint recompute_fingerprint() const;
+
   ObjectSpacePtr space_;
   std::vector<Value> values_;
   std::vector<ProcessPtr> procs_;
+
+  // Incremental fingerprint state: XOR accumulators over per-slot
+  // contributions, cached per-process hashes (so a stale contribution
+  // can be XORed back out), and the list of processes whose cache is
+  // stale.  Mutable: refreshed lazily from const hash queries.
+  mutable std::uint64_t acc_lo_ = 0;
+  mutable std::uint64_t acc_hi_ = 0;
+  mutable std::vector<std::uint64_t> proc_hash_;
+  mutable std::vector<std::uint8_t> proc_stale_;
+  mutable std::vector<std::uint32_t> stale_list_;
 };
 
 }  // namespace randsync

@@ -28,7 +28,8 @@
 
 namespace randsync {
 
-/// 64-bit FNV-1a-style hash combiner for state_hash implementations.
+/// 64-bit golden-ratio hash combiner (boost::hash_combine style) for
+/// state_hash implementations.
 [[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t h,
                                                    std::uint64_t v) {
   h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
@@ -66,6 +67,21 @@ class Process {
   /// Hash of the protocol-visible state (excluding coin-source
   /// internals); used by the exhaustive explorer to detect revisits.
   [[nodiscard]] virtual std::uint64_t state_hash() const = 0;
+
+  /// Orbit key for symmetry-reduced exploration (verify/symmetry.h).
+  /// Contract: two processes of the same protocol with equal keys must
+  /// have IDENTICAL future behaviour -- the same poised invocation and
+  /// the same state transition for every response, recursively --
+  /// across all schedules.  Equality is hash equality, with the same
+  /// 64-bit collision caveat as state_hash().  A process whose future
+  /// consults private randomness MUST fold the identity of its
+  /// unconsumed coin stream into the key (two equal-looking processes
+  /// holding different streams draw different futures); the
+  /// ConsensusProcess default does.  The base default -- the plain
+  /// state hash -- is right for coin-free processes only.
+  [[nodiscard]] virtual std::uint64_t symmetry_key() const {
+    return state_hash();
+  }
 
   /// Over-approximation of every object this process may access -- and
   /// how -- from its CURRENT state onward, across all coin outcomes and
@@ -113,6 +129,20 @@ class ConsensusProcess : public Process {
 
   void reseed(std::uint64_t seed) override { coin_->reseed(seed); }
 
+  /// Default orbit key, sound for every protocol: the visible state
+  /// plus -- for undecided processes -- the identity of the unconsumed
+  /// coin stream.  A decided process takes no further steps, so only
+  /// its decision value can matter to any future; collapsing the rest
+  /// of its state is what lets orbits merge after decisions retire
+  /// processes.  Deterministic protocols (which never flip) override
+  /// this with deterministic_symmetry_key() to drop the stream term.
+  [[nodiscard]] std::uint64_t symmetry_key() const override {
+    if (decided()) {
+      return decided_symmetry_key();
+    }
+    return hash_combine(state_hash(), coin_->stream_id());
+  }
+
  protected:
   /// Copy constructor clones the coin source (deep copy).
   ConsensusProcess(const ConsensusProcess& other)
@@ -131,6 +161,19 @@ class ConsensusProcess : public Process {
 
   /// The process-owned randomness stream.
   [[nodiscard]] CoinSource& coin() { return *coin_; }
+
+  /// Orbit key of a retired process: decided processes with the same
+  /// decision are fully interchangeable whatever path got them there.
+  [[nodiscard]] std::uint64_t decided_symmetry_key() const {
+    return hash_combine(0xD1CEDULL, static_cast<std::uint64_t>(decision()));
+  }
+
+  /// Orbit key for processes that NEVER consult their coin: the visible
+  /// state alone determines the future.  Protocol process classes that
+  /// are deterministic use this as their symmetry_key() override.
+  [[nodiscard]] std::uint64_t deterministic_symmetry_key() const {
+    return decided() ? decided_symmetry_key() : state_hash();
+  }
 
   /// Base contribution to state_hash(): input, decision status, and the
   /// number of coin flips consumed so far.  The flip count matters for

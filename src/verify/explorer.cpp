@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
@@ -9,6 +10,8 @@
 #include "protocols/harness.h"
 #include "runtime/parallel.h"
 #include "verify/por.h"
+#include "verify/state_set.h"
+#include "verify/symmetry.h"
 
 namespace randsync {
 namespace {
@@ -23,7 +26,8 @@ std::uint64_t bit(ProcessId pid) { return std::uint64_t{1} << pid; }
 /// NOT retained (only hashes are); a node needed again is rebuilt by
 /// replaying its parent chain from the initial configuration.
 struct Node {
-  std::uint64_t hash = 0;
+  std::uint64_t hash = 0;  ///< CONCRETE state hash of the stored
+                           ///< representative (orbit-mate detection)
   std::uint32_t parent = kNoParent;
   std::uint32_t level = 0;
   std::uint16_t step_pid = 0;    ///< pid stepped by parent to reach here
@@ -48,14 +52,16 @@ struct Task {
 /// One stepped child, produced by a worker, consumed by the merge.
 struct ChildOut {
   ProcessId pid = 0;
-  std::uint64_t hash = 0;
+  std::uint64_t hash = 0;  ///< concrete state hash
+  StateFingerprint fp;     ///< dedup key (canonical under symmetry)
   std::uint64_t sleep = 0;       ///< sleep set for the child
   std::uint8_t decided_mask = 0; ///< parent mask plus this step's decision
   bool validity_violation = false;
   bool all_decided = false;
-  /// Present unless the seen-set probe already knew the hash (the merge
-  /// re-checks; a probe miss is authoritative-by-then because only the
-  /// merge inserts).
+  /// Present unless the seen-set probe already knew the fingerprint
+  /// (the merge re-checks; a probe miss is authoritative-by-then
+  /// because only the merge inserts).  Always present in
+  /// collision-audit mode, which compares hits structurally.
   std::optional<Configuration> config;
 };
 
@@ -77,9 +83,10 @@ struct Engine {
   const std::size_t threads;
 
   Configuration root;  ///< pristine initial configuration (for replays)
+  const SymmetrySpec spec;  ///< protocol's declared symmetry
   std::vector<Node> nodes;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
-  ShardedSeenSet seen;
+  StateSet seen;
   ExploreResult result;
   bool aborted = false;  ///< violation found or state budget exhausted
 
@@ -97,7 +104,29 @@ struct Engine {
         inputs(in),
         options(opt),
         threads(opt.threads == 0 ? default_thread_count() : opt.threads),
-        root(make_initial_configuration(proto, in, opt.seed)) {}
+        root(make_initial_configuration(proto, in, opt.seed)),
+        spec(proto.symmetry(in.size())) {}
+
+  /// Dedup key of `config`: its canonical orbit fingerprint under
+  /// symmetry, the concrete fingerprint otherwise; `hi` is dropped
+  /// unless wide fingerprints are requested.
+  StateFingerprint fingerprint_of(const Configuration& config,
+                                  SymmetryScratch& scratch) const {
+    StateFingerprint fp = options.symmetry
+                              ? canonical_fingerprint(config, spec, scratch)
+                              : config.state_fingerprint();
+    if (!options.wide_fingerprint) {
+      fp.hi = 0;
+    }
+    return fp;
+  }
+
+  /// The spec the collision audit canonicalizes with: the protocol's
+  /// under symmetry, the trivial one otherwise (signatures must mirror
+  /// whatever identity the dedup keys encode).
+  SymmetrySpec audit_spec() const {
+    return options.symmetry ? spec : SymmetrySpec{};
+  }
 
   bool valid_decision(Value d) const {
     for (int input : inputs) {
@@ -155,6 +184,7 @@ struct Engine {
     Expansion out;
     out.node = task.node;
     const Configuration& config = *task.config;
+    SymmetryScratch scratch;
 
     std::vector<ProcessId> enabled_list;
     for (ProcessId pid = 0; pid < config.num_processes(); ++pid) {
@@ -207,6 +237,7 @@ struct Engine {
       ChildOut c;
       c.pid = pid;
       c.hash = child.state_hash();
+      c.fp = fingerprint_of(child, scratch);
       c.sleep = child_sleep;
       c.decided_mask = task.decided_mask;
       if (step.decided) {
@@ -216,7 +247,7 @@ struct Engine {
         c.decided_mask |= (*step.decided == 0) ? kZeroDecided : kOneDecided;
       }
       c.all_decided = child.all_decided();
-      if (!seen.find(c.hash)) {
+      if (options.collision_audit || !seen.find(c.fp)) {
         c.config = std::move(child);
       }
       out.children.push_back(std::move(c));
@@ -236,7 +267,7 @@ struct Engine {
         return;
       }
       ++result.transitions;
-      const std::optional<std::uint32_t> existing = seen.find(c.hash);
+      const std::optional<std::uint32_t> existing = seen.find(c.fp);
       if (!existing) {
         if (nodes.size() >= options.max_states) {
           result.complete = false;
@@ -253,7 +284,7 @@ struct Engine {
         node.decided_mask = c.decided_mask;
         node.sleep = c.sleep;
         nodes.push_back(node);
-        seen.insert(c.hash, id);
+        seen.insert(c.fp, id);
         edges.emplace_back(e.node, id);
         result.deepest = std::max<std::size_t>(result.deepest, node.level);
         fresh_progress = true;
@@ -274,8 +305,27 @@ struct Engine {
         }
       } else {
         const std::uint32_t id = *existing;
+        ++result.dedup_hits;
         edges.emplace_back(e.node, id);
         Node& child = nodes[id];
+        // An orbit mate: same canonical fingerprint, different concrete
+        // state.  The stored representative stands in for the arrival
+        // (they are related by a symmetry of the system, so reachable
+        // decisions and violations agree).
+        const bool orbit_mate = c.hash != child.hash;
+        if (orbit_mate) {
+          ++result.orbit_merges;
+        }
+        if (options.collision_audit) {
+          // A dedup hit claims canonical equality; verify structurally
+          // by replaying the representative's schedule and comparing
+          // unfolded canonical forms (catches fingerprint collisions).
+          assert(c.config.has_value());
+          if (canonical_signature(*c.config, audit_spec()) !=
+              canonical_signature(rebuild(id), audit_spec())) {
+            ++result.audit_mismatches;
+          }
+        }
         if (!child.expanded) {
           fresh_progress = true;  // still pending or queued: will expand
         }
@@ -286,7 +336,13 @@ struct Engine {
           // already expanded, requeue the now-uncovered candidates;
           // unexpanded children pick up the fresh sleep when their task
           // is built or via their own post-expansion cover check.
-          const std::uint64_t met = c.sleep & child.sleep;
+          //
+          // An arrival from an orbit mate carries sleep-set pid labels
+          // in ITS frame, which an unknown permutation separates from
+          // the representative's frame -- no transfer is sound, so the
+          // arrival counts as sleep-free (the maximal covering demand).
+          const std::uint64_t arriving_sleep = orbit_mate ? 0 : c.sleep;
+          const std::uint64_t met = arriving_sleep & child.sleep;
           if (met != child.sleep) {
             child.sleep = met;
             if (child.expanded) {
@@ -358,7 +414,10 @@ struct Engine {
       aborted = true;
     }
     nodes.push_back(root_node);
-    seen.insert(root_node.hash, 0);
+    {
+      SymmetryScratch scratch;
+      seen.insert(fingerprint_of(root, scratch), 0);
+    }
     result.states = 1;
 
     if (!aborted && !root.all_decided()) {
@@ -413,6 +472,7 @@ struct Engine {
     }
 
     result.states = nodes.size();
+    result.seen_bytes = seen.memory_bytes();
 
     // Valence: propagate reachable-decision masks backwards over the
     // discovered edges to a fixpoint.  (The graph can have cycles --
@@ -454,6 +514,29 @@ ExploreResult explore(const ConsensusProtocol& protocol,
                       const ExploreOptions& options) {
   Engine engine(protocol, inputs, options);
   return engine.run();
+}
+
+std::string explore_summary_line(const ExploreResult& result,
+                                 double wall_seconds) {
+  const double transitions = static_cast<double>(result.transitions);
+  const double hit_rate =
+      transitions > 0 ? static_cast<double>(result.dedup_hits) / transitions
+                      : 0.0;
+  const double collapse =
+      transitions > 0 ? static_cast<double>(result.orbit_merges) / transitions
+                      : 0.0;
+  const double rate = wall_seconds > 0
+                          ? static_cast<double>(result.states) / wall_seconds
+                          : 0.0;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "states=%zu transitions=%zu dedup=%.1f%% orbit-collapse=%.1f%% "
+                "seen=%.1fKiB wall=%.3fs states/s=%.0f",
+                result.states, result.transitions, hit_rate * 100.0,
+                collapse * 100.0,
+                static_cast<double>(result.seen_bytes) / 1024.0, wall_seconds,
+                rate);
+  return buf;
 }
 
 Trace replay_schedule(const ConsensusProtocol& protocol,

@@ -44,10 +44,21 @@
 // problem"); sleep-set state caching re-explores a cached state on
 // arrival with a smaller sleep set (Godefroid's covering fix).
 //
-// States are cached by Configuration::state_hash(); a 64-bit hash
-// collision could in principle mask a path, which is acceptable for a
-// testing tool (a found violation is always real: it comes with a
-// concrete schedule that replays).
+// With options.symmetry the explorer additionally collapses
+// permutation-equivalent states (verify/symmetry.h): dedup keys are
+// canonical orbit fingerprints while every stepped configuration stays
+// CONCRETE, so persistent/sleep sets remain exact and witness schedules
+// replay unchanged.  When a child lands on an already-seen orbit whose
+// stored representative is a DIFFERENT concrete state, its sleep set is
+// conservatively discarded (pid labels do not transfer across the
+// unknown relabeling), which preserves the covering invariant.
+//
+// States are cached by fingerprint (64-bit by default; 128-bit behind
+// options.wide_fingerprint); a hash collision could in principle mask a
+// path, which is acceptable for a testing tool (a found violation is
+// always real: it comes with a concrete schedule that replays).
+// options.collision_audit re-verifies every dedup hit structurally by
+// replaying the stored representative and comparing canonical forms.
 #pragma once
 
 #include <cstdint>
@@ -67,12 +78,18 @@ struct ExploreOptions {
   std::size_t max_states = 2'000'000; ///< distinct discovered states
   std::uint64_t seed = 1;             ///< protocol process seeds
   bool reduction = false;  ///< partial-order reduction (persistent+sleep sets)
+  bool symmetry = false;   ///< orbit-canonical dedup (verify/symmetry.h)
+  bool wide_fingerprint = false;  ///< 128-bit dedup keys instead of 64-bit
+  /// Structurally re-check every dedup hit by replaying the stored
+  /// representative and comparing canonical signatures (slow; debug).
+  bool collision_audit = false;
   std::size_t threads = 1; ///< expansion workers; 0 = hardware concurrency
 };
 
 /// Result of an exploration.  Deterministic: a pure function of
-/// (protocol, inputs, max_depth, max_states, seed, reduction) -- the
-/// thread count never changes any field.
+/// (protocol, inputs, max_depth, max_states, seed, reduction, symmetry,
+/// wide_fingerprint, collision_audit) -- the thread count never changes
+/// any field.
 struct ExploreResult {
   bool safe = true;       ///< no consistency/validity violation reachable
   bool complete = true;   ///< space exhausted within the budgets
@@ -92,9 +109,21 @@ struct ExploreResult {
   /// reaching a violation, when !safe.
   std::vector<ProcessId> violation_schedule;
   std::string violation_kind;  ///< "consistency" or "validity"
+  /// Observability counters (all deterministic per thread count):
+  std::size_t dedup_hits = 0;    ///< transitions landing on a seen state
+  std::size_t orbit_merges = 0;  ///< dedup hits onto a DIFFERENT concrete
+                                 ///< state (symmetry collapses; 0 w/o it)
+  std::size_t seen_bytes = 0;    ///< final seen-set slot-array bytes
+  std::size_t audit_mismatches = 0;  ///< collision_audit failures (want 0)
 
   friend bool operator==(const ExploreResult&, const ExploreResult&) = default;
 };
+
+/// One-line human summary shared by the CLI and bench_explorer:
+/// states, transitions, dedup hit-rate, orbit-collapse ratio, seen-set
+/// bytes, wall time and states/sec.
+[[nodiscard]] std::string explore_summary_line(const ExploreResult& result,
+                                               double wall_seconds);
 
 /// Exhaustively explore `protocol` with the given inputs.  Throws
 /// std::invalid_argument for more than 64 processes (the reduction

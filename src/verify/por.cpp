@@ -1,7 +1,6 @@
 #include "verify/por.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 namespace randsync {
 
@@ -104,68 +103,6 @@ std::vector<ProcessId> persistent_set(const Configuration& config) {
     result.push_back(enabled[i]);
   }
   return result;
-}
-
-// --------------------------------------------------------------------
-// ShardedSeenSet
-
-struct ShardedSeenSet::Shard {
-  mutable std::mutex mu;
-  std::unordered_map<std::uint64_t, std::uint32_t> map;
-};
-
-namespace {
-
-std::size_t round_up_pow2(std::size_t v) {
-  std::size_t p = 1;
-  while (p < v) {
-    p <<= 1;
-  }
-  return p;
-}
-
-}  // namespace
-
-ShardedSeenSet::ShardedSeenSet(std::size_t shards) {
-  const std::size_t count = round_up_pow2(std::max<std::size_t>(1, shards));
-  shards_.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
-  }
-  mask_ = count - 1;
-}
-
-ShardedSeenSet::~ShardedSeenSet() = default;
-
-ShardedSeenSet::Shard& ShardedSeenSet::shard_for(std::uint64_t hash) const {
-  // state_hash() output is already well mixed; fold the high bits in so
-  // shard choice and bucket choice use different hash slices.
-  return *shards_[(hash ^ (hash >> 32)) & mask_];
-}
-
-std::optional<std::uint32_t> ShardedSeenSet::find(std::uint64_t hash) const {
-  const Shard& shard = shard_for(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  const auto it = shard.map.find(hash);
-  if (it == shard.map.end()) {
-    return std::nullopt;
-  }
-  return it->second;
-}
-
-bool ShardedSeenSet::insert(std::uint64_t hash, std::uint32_t id) {
-  Shard& shard = shard_for(hash);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.map.emplace(hash, id).second;
-}
-
-std::size_t ShardedSeenSet::size() const {
-  std::size_t total = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    total += shard->map.size();
-  }
-  return total;
 }
 
 }  // namespace randsync

@@ -16,9 +16,9 @@
 //     only P from a configuration preserves every deadlock
 //     (all-decided) configuration, hence every reachable decision and
 //     every consistency/validity violation (decisions are permanent, so
-//     a violated condition persists into a deadlock state);
-//   * ShardedSeenSet -- the lock-striped hash->node map the parallel
-//     frontier uses for cross-thread revisit probes.
+//     a violated condition persists into a deadlock state).
+//
+// (The explorer's concurrent seen-set lives in verify/state_set.h.)
 //
 // Soundness notes.  A persistent set is valid because (a) an enabled
 // consensus process stays enabled until it is stepped (only its own
@@ -30,9 +30,6 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <mutex>
-#include <optional>
 #include <vector>
 
 #include "runtime/configuration.h"
@@ -63,34 +60,5 @@ namespace randsync {
 /// when no reduction is possible.
 [[nodiscard]] std::vector<ProcessId> persistent_set(
     const Configuration& config);
-
-/// Lock-striped concurrent map from Configuration::state_hash() to the
-/// explorer's dense node ids.  Workers probe it concurrently during
-/// frontier expansion (shared read path); the serial merge phase is the
-/// only writer.  A probe miss is only a hint -- the merge re-checks --
-/// so the map needs no cross-shard consistency, just per-shard mutual
-/// exclusion (which also keeps the explorer ThreadSanitizer-clean).
-class ShardedSeenSet {
- public:
-  /// `shards` is rounded up to a power of two (default 64 stripes).
-  explicit ShardedSeenSet(std::size_t shards = 64);
-  ~ShardedSeenSet();  // out of line: Shard is incomplete here
-
-  /// The node id recorded for `hash`, if any.
-  [[nodiscard]] std::optional<std::uint32_t> find(std::uint64_t hash) const;
-
-  /// Record `hash` -> `id`; false (and no change) if already present.
-  bool insert(std::uint64_t hash, std::uint32_t id);
-
-  /// Number of recorded hashes.
-  [[nodiscard]] std::size_t size() const;
-
- private:
-  struct Shard;
-  [[nodiscard]] Shard& shard_for(std::uint64_t hash) const;
-
-  std::vector<std::unique_ptr<Shard>> shards_;
-  std::uint64_t mask_;
-};
 
 }  // namespace randsync

@@ -1,0 +1,121 @@
+#include "verify/state_set.h"
+
+namespace randsync {
+namespace {
+
+constexpr std::uint32_t kEmptyId = 0xFFFFFFFFu;
+constexpr std::size_t kInitialCapacity = 64;  // per shard, power of two
+// Grow at 70% load: open addressing with linear probing degrades fast
+// beyond that.
+constexpr std::size_t kLoadNum = 7;
+constexpr std::size_t kLoadDen = 10;
+
+std::size_t round_up_pow2(std::size_t x) {
+  std::size_t p = 1;
+  while (p < x) {
+    p <<= 1;
+  }
+  return p;
+}
+
+// Shard selection uses the TOP bits of lo, slot probing the LOW bits,
+// so the two indices are independent even in 64-bit mode (hi == 0).
+// fp.lo is already a strong mix (configuration/symmetry finalizers).
+std::size_t slot_index(const StateFingerprint& fp, std::size_t capacity) {
+  return static_cast<std::size_t>(fp.lo ^ fp.hi) & (capacity - 1);
+}
+
+}  // namespace
+
+StateSet::StateSet(std::size_t shards) {
+  const std::size_t count = round_up_pow2(shards == 0 ? 1 : shards);
+  mask_ = count - 1;
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->slots.resize(kInitialCapacity);
+  }
+}
+
+StateSet::Shard& StateSet::shard_for(StateFingerprint fp) const {
+  const std::size_t index =
+      static_cast<std::size_t>(fp.lo >> 32 ^ fp.hi >> 32) & mask_;
+  return *shards_[index];
+}
+
+void StateSet::grow(Shard& shard) {
+  std::vector<Slot> old = std::move(shard.slots);
+  shard.slots.assign(old.size() * 2, Slot{});
+  const std::size_t capacity = shard.slots.size();
+  for (const Slot& slot : old) {
+    if (slot.id == kEmptyId) {
+      continue;
+    }
+    std::size_t at = slot_index(StateFingerprint{slot.lo, slot.hi}, capacity);
+    while (shard.slots[at].id != kEmptyId) {
+      at = (at + 1) & (capacity - 1);
+    }
+    shard.slots[at] = slot;
+  }
+}
+
+std::optional<std::uint32_t> StateSet::find(StateFingerprint fp) const {
+  Shard& shard = shard_for(fp);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const std::size_t capacity = shard.slots.size();
+  std::size_t at = slot_index(fp, capacity);
+  while (true) {
+    const Slot& slot = shard.slots[at];
+    if (slot.id == kEmptyId) {
+      return std::nullopt;
+    }
+    if (slot.lo == fp.lo && slot.hi == fp.hi) {
+      return slot.id;
+    }
+    at = (at + 1) & (capacity - 1);
+  }
+}
+
+bool StateSet::insert(StateFingerprint fp, std::uint32_t id) {
+  Shard& shard = shard_for(fp);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  if ((shard.used + 1) * kLoadDen > shard.slots.size() * kLoadNum) {
+    grow(shard);
+  }
+  const std::size_t capacity = shard.slots.size();
+  std::size_t at = slot_index(fp, capacity);
+  while (true) {
+    Slot& slot = shard.slots[at];
+    if (slot.id == kEmptyId) {
+      slot.lo = fp.lo;
+      slot.hi = fp.hi;
+      slot.id = id;
+      ++shard.used;
+      return true;
+    }
+    if (slot.lo == fp.lo && slot.hi == fp.hi) {
+      return false;
+    }
+    at = (at + 1) & (capacity - 1);
+  }
+}
+
+std::size_t StateSet::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->used;
+  }
+  return total;
+}
+
+std::size_t StateSet::memory_bytes() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->slots.capacity() * sizeof(Slot);
+  }
+  return total;
+}
+
+}  // namespace randsync

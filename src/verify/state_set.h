@@ -1,0 +1,68 @@
+// Sharded concurrent fingerprint -> node-id store for the explorer.
+//
+// Replaces the unordered_map-per-stripe seen-set: each shard is an
+// open-addressing (linear probe) table of 16-byte slots, so a probe is
+// one mutex plus a short contiguous scan instead of a node-pointer
+// chase, and memory per state is a flat slot instead of a heap node.
+// Workers probe concurrently during frontier expansion; the serial
+// merge phase is the only inserter.  A probe miss is only a hint (the
+// merge re-checks before creating a node), so shards need no cross-
+// shard consistency -- just per-shard mutual exclusion, which also
+// keeps the explorer ThreadSanitizer-clean.
+//
+// Keys are 128-bit StateFingerprints.  The 64-bit explorer mode stores
+// fingerprints with hi == 0; the table is agnostic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "runtime/configuration.h"
+
+namespace randsync {
+
+/// Lock-striped open-addressing map StateFingerprint -> uint32 node id.
+class StateSet {
+ public:
+  /// `shards` is rounded up to a power of two (default 64 stripes).
+  explicit StateSet(std::size_t shards = 64);
+
+  /// The node id recorded for `fp`, if any.
+  [[nodiscard]] std::optional<std::uint32_t> find(StateFingerprint fp) const;
+
+  /// Record `fp` -> `id`; false (and no change) if already present.
+  /// `id` must not be 0xFFFFFFFF (the empty-slot sentinel; the explorer
+  /// caps node ids far below it).
+  bool insert(StateFingerprint fp, std::uint32_t id);
+
+  /// Number of recorded fingerprints.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Total bytes held by the slot arrays (the seen-set's footprint,
+  /// reported by bench and the CLI summary).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  struct Slot {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    std::uint32_t id = 0xFFFFFFFFu;  ///< empty sentinel
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Slot> slots;  ///< power-of-two capacity
+    std::size_t used = 0;
+  };
+
+  [[nodiscard]] Shard& shard_for(StateFingerprint fp) const;
+  static void grow(Shard& shard);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t mask_;
+};
+
+}  // namespace randsync

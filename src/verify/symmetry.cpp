@@ -1,0 +1,145 @@
+#include "verify/symmetry.h"
+
+#include <algorithm>
+
+namespace randsync {
+namespace {
+
+// Same two finalizers as the incremental configuration fingerprint
+// (splitmix64 / murmur3 fmix64): strong per-slot mixing is what makes
+// an XOR-free positional fold safe.
+std::uint64_t mix_lo(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t mix_hi(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+constexpr std::uint64_t kBaseLo = 0x51A7B9C3D5E6F809ULL;
+constexpr std::uint64_t kBaseHi = 0x13198A2E03707344ULL;
+// Domain salts keep an object slot and a process slot from ever
+// producing the same pre-mix term.
+constexpr std::uint64_t kObjSalt = 0x8B72E5D1C3A96F07ULL;
+constexpr std::uint64_t kProcSalt = 0x6C62272E07BB0142ULL;
+// Sentinel folded in place of a dead object's value.  Not a sortable
+// Value: substitution happens before orbit sorting on the Value vector,
+// so dead members of an orbit sort by this marker's Value cast.
+constexpr Value kDeadValue = static_cast<Value>(0x7EADDEADULL);
+
+/// True if some undecided process may still access `obj`.
+bool object_live(const Configuration& config, ObjectId obj,
+                 const std::vector<Footprint>& footprints) {
+  (void)config;
+  for (const Footprint& fp : footprints) {
+    if (fp.may_access(obj)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Canonical slot vector builder shared by fingerprint and signature:
+/// calls `emit(term)` for each canonical slot in canonical order.
+template <typename Emit>
+void canonical_slots(const Configuration& config, const SymmetrySpec& spec,
+                     SymmetryScratch& scratch, Emit&& emit) {
+  const std::size_t r = config.num_objects();
+  const std::size_t n = config.num_processes();
+
+  // Object values, with dead objects masked.  Fast path: any undecided
+  // process with an unbounded footprint keeps every object live.
+  scratch.values.resize(r);
+  for (ObjectId obj = 0; obj < r; ++obj) {
+    scratch.values[obj] = config.value(obj);
+  }
+  bool all_live = false;
+  std::vector<Footprint> footprints;
+  for (ProcessId pid = 0; pid < n && !all_live; ++pid) {
+    if (config.decided(pid)) {
+      continue;
+    }
+    Footprint fp = config.process(pid).future_footprint();
+    if (fp.unbounded()) {
+      all_live = true;
+      break;
+    }
+    footprints.push_back(std::move(fp));
+  }
+  if (!all_live) {
+    for (ObjectId obj = 0; obj < r; ++obj) {
+      if (!object_live(config, obj, footprints)) {
+        scratch.values[obj] = kDeadValue;
+      }
+    }
+  }
+
+  // Declared orbits: sort values within each group (the group's value
+  // multiset is the canonical invariant the protocol promised).
+  for (const std::vector<ObjectId>& orbit : spec.object_orbits) {
+    scratch.keys.clear();
+    for (ObjectId obj : orbit) {
+      scratch.keys.push_back(static_cast<std::uint64_t>(scratch.values[obj]));
+    }
+    std::sort(scratch.keys.begin(), scratch.keys.end());
+    for (std::size_t i = 0; i < orbit.size(); ++i) {
+      scratch.values[orbit[i]] = static_cast<Value>(scratch.keys[i]);
+    }
+  }
+
+  for (ObjectId obj = 0; obj < r; ++obj) {
+    emit((static_cast<std::uint64_t>(obj) + 1) * kGolden ^
+         (static_cast<std::uint64_t>(scratch.values[obj]) + kObjSalt));
+  }
+
+  // Process keys: a sorted multiset under process symmetry (the rank
+  // becomes the position salt, so the fold stays positional), the
+  // concrete vector otherwise.
+  scratch.keys.resize(n);
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    scratch.keys[pid] = config.process(pid).symmetry_key();
+  }
+  if (spec.processes) {
+    std::sort(scratch.keys.begin(), scratch.keys.end());
+  }
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    emit((static_cast<std::uint64_t>(rank) + 1) * kGolden ^
+         (scratch.keys[rank] + kProcSalt));
+  }
+}
+
+}  // namespace
+
+StateFingerprint canonical_fingerprint(const Configuration& config,
+                                       const SymmetrySpec& spec,
+                                       SymmetryScratch& scratch) {
+  StateFingerprint fp{kBaseLo, kBaseHi};
+  canonical_slots(config, spec, scratch, [&fp](std::uint64_t term) {
+    fp.lo ^= mix_lo(term);
+    fp.hi ^= mix_hi(term);
+  });
+  return fp;
+}
+
+std::vector<std::uint64_t> canonical_signature(const Configuration& config,
+                                               const SymmetrySpec& spec) {
+  SymmetryScratch scratch;
+  std::vector<std::uint64_t> out;
+  out.reserve(config.num_objects() + config.num_processes());
+  canonical_slots(config, spec, scratch,
+                  [&out](std::uint64_t term) { out.push_back(term); });
+  return out;
+}
+
+}  // namespace randsync

@@ -1,0 +1,79 @@
+// Symmetry reduction: canonical orbit fingerprints for the explorer.
+//
+// The Section 3.1 lower-bound world is maximally symmetric: identical
+// processes (the cloning hypothesis) racing over interchangeable
+// registers.  Exhaustive exploration of such an instance wastes almost
+// all of its work on permutation-equivalent configurations -- up to n!
+// process relabelings of every state.  Classic symmetry reduction
+// (Clarke et al., Ip & Dill) explores one representative per orbit of
+// the symmetry group; this header computes a canonical fingerprint of
+// a configuration's orbit so the explorer can dedup on it while
+// continuing to step CONCRETE configurations (witness schedules stay
+// replayable, persistent/sleep sets stay exact).
+//
+// What the canonical key folds, given a protocol's SymmetrySpec:
+//
+//   * process symmetry (spec.processes) -- the multiset of
+//     Process::symmetry_key() values replaces the ordered vector.  The
+//     key contract (see runtime/process.h) makes equal keys mean
+//     identical future behaviour, including the identity of unconsumed
+//     coin streams, so two configurations with equal multisets and
+//     equal object values are related by a process permutation that
+//     preserves every future verdict: agreement and validity are
+//     permutation-invariant (validity because all registry inputs are
+//     assigned per-index but checked against the input multiset).
+//
+//   * dead objects (always) -- an object that NO undecided process's
+//     future_footprint() may access again can never influence another
+//     step or a decision; its value is replaced by a sentinel before
+//     hashing.  This is the object-side analogue of retiring decided
+//     processes: once every sweeper has passed a register, states
+//     differing only in that register's value collapse.  Sound by the
+//     footprint contract (it over-approximates all future accesses
+//     across all coins and responses).
+//
+//   * declared object orbits (spec.object_orbits) -- values within an
+//     orbit group are sorted, collapsing states that differ by a
+//     permutation of the group.  Soundness is the PROTOCOL'S promise
+//     (see SymmetrySpec in protocols/protocol.h); it holds only when
+//     future behaviour depends on the group through its value multiset
+//     alone -- no per-id cursors or histories.
+//
+// The fingerprint is a 128-bit two-mixer fold (same construction as
+// Configuration::state_fingerprint); canonical_signature() returns the
+// unfolded slot vector for collision audits (equal signatures are
+// equality of canonical forms, not of hashes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "protocols/protocol.h"
+#include "runtime/configuration.h"
+
+namespace randsync {
+
+/// Scratch buffers for canonicalization, reusable across calls to
+/// avoid per-child allocations in the explorer's hot loop.
+struct SymmetryScratch {
+  std::vector<std::uint64_t> keys;
+  std::vector<Value> values;
+  std::vector<std::uint8_t> live;
+};
+
+/// The canonical 128-bit fingerprint of `config`'s orbit under `spec`.
+/// Two configurations in the same orbit always map to the same
+/// fingerprint; distinct orbits collide only with 128-bit-hash
+/// probability (or 64-bit, if the caller drops `hi`).
+[[nodiscard]] StateFingerprint canonical_fingerprint(
+    const Configuration& config, const SymmetrySpec& spec,
+    SymmetryScratch& scratch);
+
+/// The unfolded canonical form: dead-masked, orbit-sorted object values
+/// followed by the (sorted, under process symmetry) process keys.
+/// Equal vectors <=> equal canonical forms (modulo symmetry_key
+/// collisions), so comparing signatures detects fingerprint collisions.
+[[nodiscard]] std::vector<std::uint64_t> canonical_signature(
+    const Configuration& config, const SymmetrySpec& spec);
+
+}  // namespace randsync

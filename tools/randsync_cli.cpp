@@ -14,9 +14,12 @@
 //       narrative plus the inconsistent execution.
 //
 //   randsync explore <protocol> <inputs> [--param=K] [--depth=D]
-//                    [--por] [--threads=N]
+//                    [--por] [--symmetry] [--wide] [--audit] [--threads=N]
 //       exhaustive schedule exploration; inputs like "011".  --por
-//       enables partial-order reduction, --threads parallelizes the
+//       enables partial-order reduction, --symmetry collapses
+//       permutation-equivalent states (composes with --por), --wide
+//       uses 128-bit dedup fingerprints, --audit structurally
+//       re-checks every dedup hit, --threads parallelizes the
 //       frontier (same result for every thread count; 0 = all cores).
 //
 //   randsync stall <walk-protocol> [--seed=S]
@@ -30,6 +33,7 @@
 //   randsync table
 //       the Section 4 separation table, algebra re-verified.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -59,6 +63,9 @@ struct Flags {
   std::size_t depth = 64;
   bool general = false;
   bool por = false;
+  bool symmetry = false;
+  bool wide = false;
+  bool audit = false;
   std::size_t threads = 1;
 };
 
@@ -78,6 +85,12 @@ Flags parse_flags(int argc, char** argv, int first) {
       flags.general = true;
     } else if (arg == "--por") {
       flags.por = true;
+    } else if (arg == "--symmetry") {
+      flags.symmetry = true;
+    } else if (arg == "--wide") {
+      flags.wide = true;
+    } else if (arg == "--audit") {
+      flags.audit = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
       flags.threads = std::strtoul(arg.c_str() + 10, nullptr, 10);
     } else if (arg.rfind("--", 0) == 0) {
@@ -201,16 +214,34 @@ int cmd_explore(const ProtocolEntry& entry, const std::string& input_bits,
   opt.max_depth = flags.depth;
   opt.seed = flags.seed;
   opt.reduction = flags.por;
+  opt.symmetry = flags.symmetry;
+  opt.wide_fingerprint = flags.wide;
+  opt.collision_audit = flags.audit;
   opt.threads = flags.threads;
+  const auto start = std::chrono::steady_clock::now();
   const auto result = explore(*protocol, inputs, opt);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::string modes;
+  if (flags.por) {
+    modes += " +por";
+  }
+  if (flags.symmetry) {
+    modes += " +symmetry";
+  }
   std::printf("%s, inputs %s%s:\n", protocol->name().c_str(),
-              input_bits.c_str(), flags.por ? " (partial-order reduced)" : "");
-  std::printf("  states=%zu transitions=%zu deepest=%zu complete=%s\n",
-              result.states, result.transitions, result.deepest,
+              input_bits.c_str(), modes.c_str());
+  std::printf("  %s\n", explore_summary_line(result, wall).c_str());
+  std::printf("  deepest=%zu complete=%s\n", result.deepest,
               result.complete ? "yes" : "no");
   std::printf("  safe=%s  valence: 0-valent=%zu 1-valent=%zu bivalent=%zu\n",
               result.safe ? "yes" : "NO", result.zero_valent,
               result.one_valent, result.bivalent);
+  if (flags.audit) {
+    std::printf("  collision audit: %zu mismatches\n",
+                result.audit_mismatches);
+  }
   if (!result.safe) {
     const auto minimized = minimize_schedule(
         *protocol, inputs, result.violation_schedule, opt.seed,
@@ -304,7 +335,7 @@ int usage() {
       "[--scheduler=random|rr|contention|crash]\n"
       "  randsync attack <protocol> [--param=r] [--seed=S] [--general]\n"
       "  randsync explore <protocol> <inputs01> [--param=K] [--depth=D] "
-      "[--por] [--threads=N]\n"
+      "[--por] [--symmetry] [--wide] [--audit] [--threads=N]\n"
       "  randsync stall <walk-protocol> [--seed=S]\n"
       "  randsync cycle <protocol> <inputs01> [--param=K]\n"
       "  randsync table\n");
