@@ -57,6 +57,11 @@ class EmulatedProcess final : public ConsensusProcess {
   void reseed(std::uint64_t seed) override { inner_->reseed(seed); }
 
   [[nodiscard]] std::uint64_t state_hash() const override {
+    // Force the same lazy procedure start that poised() performs:
+    // otherwise the hash would change when a (const) poised() call
+    // materializes procedure_, going stale under the configuration's
+    // incremental fingerprint, which only refreshes stepped processes.
+    ensure_procedure();
     std::uint64_t h = inner_->state_hash();
     if (procedure_) {
       h = hash_combine(h, procedure_->state_hash());

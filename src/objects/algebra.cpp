@@ -1,16 +1,22 @@
 #include "objects/algebra.h"
 
-namespace randsync {
-namespace {
+#include <algorithm>
+#include <limits>
 
-// Clamp a sweep value into something the type can legally hold: we probe
-// with the type's own initial value plus the results of applying sample
-// ops, so every probed value is reachable.
-std::vector<Value> reachable_values(const ObjectType& type,
-                                    std::span<const Value> seed_sweep) {
+namespace randsync {
+
+std::vector<Value> default_value_sweep() {
+  return {0,  1,  -1,   2,    3,
+          5,  7,  -3,   42,   1000,
+          std::numeric_limits<Value>::min(), std::numeric_limits<Value>::max()};
+}
+
+std::vector<Value> reachable_value_closure(const ObjectType& type,
+                                           std::span<const Value> seed_sweep) {
   std::vector<Value> values;
   values.push_back(type.initial_value());
-  // Expand by applying each sample op to each known value a few rounds.
+  // Expand by applying each sample op to each known value a few rounds,
+  // so every probed value is one the type can actually hold.
   const auto ops = type.sample_ops();
   for (int round = 0; round < 3; ++round) {
     const std::size_t snapshot = values.size();
@@ -29,14 +35,20 @@ std::vector<Value> reachable_values(const ObjectType& type,
       values.push_back(v);
     }
   }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
   return values;
 }
 
-}  // namespace
+namespace {
 
-std::vector<Value> default_value_sweep() {
-  return {0, 1, -1, 2, 3, 5, 7, -3, 42, 1000};
+// Local alias so the check_* bodies below keep their original shape.
+std::vector<Value> reachable_values(const ObjectType& type,
+                                    std::span<const Value> seed_sweep) {
+  return reachable_value_closure(type, seed_sweep);
 }
+
+}  // namespace
 
 bool check_trivial(const ObjectType& type, const Op& op,
                    std::span<const Value> sweep) {

@@ -16,8 +16,20 @@
 
 namespace randsync {
 
-/// Default value sweep used by the empirical checks.
+/// Default value sweep used by the empirical checks: small values of
+/// both signs plus the boundary values 0, +-1 and Value min/max, where
+/// wraparound arithmetic is most likely to diverge from a claim.  The
+/// contract audit (verify/contracts.h) records the sweep it ran on so
+/// "passed on sweep S" is reproducible.
 [[nodiscard]] std::vector<Value> default_value_sweep();
+
+/// The values the empirical checks actually probe for `type`: the
+/// type's initial value plus the closure of the sample operations over
+/// it (3 rounds), plus every seed-sweep value the type accepts as-is
+/// (is_legal_value).  Every probed value is therefore reachable.
+/// Deduplicated; order unspecified.
+[[nodiscard]] std::vector<Value> reachable_value_closure(
+    const ObjectType& type, std::span<const Value> seed_sweep);
 
 /// Empirically: does `op` leave every value in `sweep` unchanged?
 [[nodiscard]] bool check_trivial(const ObjectType& type, const Op& op,

@@ -6,6 +6,15 @@
 namespace randsync {
 namespace {
 
+// Two's-complement wrap instead of signed +/-: the empirical algebra
+// sweep probes Value min/max, where `++value` would be UB.  Wrapping
+// keeps INC/DEC a bijection on the value set, so commutes/overwrites
+// claims stay exact at the boundary.
+Value wrap_add(Value v, Value d) {
+  return static_cast<Value>(static_cast<std::uint64_t>(v) +
+                            static_cast<std::uint64_t>(d));
+}
+
 bool counter_supports(OpKind kind) {
   return kind == OpKind::kRead || kind == OpKind::kIncrement ||
          kind == OpKind::kDecrement || kind == OpKind::kReset;
@@ -68,10 +77,10 @@ Value CounterType::apply(const Op& op, Value& value) const {
     case OpKind::kRead:
       return value;
     case OpKind::kIncrement:
-      ++value;
+      value = wrap_add(value, 1);
       return 0;
     case OpKind::kDecrement:
-      --value;
+      value = wrap_add(value, -1);
       return 0;
     case OpKind::kReset:
       value = 0;
@@ -111,21 +120,21 @@ bool BoundedCounterType::supports(OpKind kind) const {
 
 Value BoundedCounterType::apply(const Op& op, Value& value) const {
   assert(supports(op.kind));
-  const Value range = hi_ - lo_ + 1;
+  // Compare against the bound BEFORE stepping: `value + 1` itself
+  // overflows when hi_ is Value max (the extremal registry instance).
   switch (op.kind) {
     case OpKind::kRead:
       return value;
     case OpKind::kIncrement:
-      value = (value + 1 > hi_) ? lo_ : value + 1;
+      value = (value >= hi_) ? lo_ : value + 1;
       return 0;
     case OpKind::kDecrement:
-      value = (value - 1 < lo_) ? hi_ : value - 1;
+      value = (value <= lo_) ? hi_ : value - 1;
       return 0;
     case OpKind::kReset:
       value = 0;
       return 0;
     default:
-      (void)range;
       return 0;
   }
 }

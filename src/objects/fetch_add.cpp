@@ -14,8 +14,12 @@ Value FetchAddType::apply(const Op& op, Value& value) const {
     case OpKind::kRead:
       return value;
     case OpKind::kFetchAdd: {
+      // Two's-complement wrap: the algebra sweep probes Value min/max,
+      // where signed += would be UB; wrapping keeps addition exactly
+      // commutative at the boundary.
       const Value old = value;
-      value += op.arg0;
+      value = static_cast<Value>(static_cast<std::uint64_t>(value) +
+                                 static_cast<std::uint64_t>(op.arg0));
       return old;
     }
     default:

@@ -15,6 +15,12 @@
 namespace randsync {
 
 /// Fetch&add register type (READ / FETCH&ADD).
+///
+/// The trivial-only independence default is EXACT here: two nontrivial
+/// FETCH&ADDs commute as state transformations but their responses
+/// expose the order, and READ next to FETCH&ADD sees an order-dependent
+/// value, so only trivial pairs are value-independent.
+// lint: conservative-default
 class FetchAddType final : public ObjectType {
  public:
   explicit FetchAddType(Value initial = 0) : initial_(initial) {}

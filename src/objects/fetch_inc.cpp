@@ -25,8 +25,11 @@ Value FetchIncType::apply(const Op& op, Value& value) const {
         throw std::logic_error(name() + " only supports delta " +
                                std::to_string(direction_));
       }
+      // Two's-complement wrap, matching fetch&add: the algebra sweep
+      // probes Value min/max where signed += would be UB.
       const Value old = value;
-      value += op.arg0;
+      value = static_cast<Value>(static_cast<std::uint64_t>(value) +
+                                 static_cast<std::uint64_t>(op.arg0));
       return old;
     }
     default:

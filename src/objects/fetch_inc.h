@@ -22,6 +22,11 @@
 namespace randsync {
 
 /// Fetch&increment (direction +1) or fetch&decrement (-1) register.
+///
+/// The trivial-only independence default is EXACT: successive
+/// FETCH&INCs return distinct responses (that is the whole point of the
+/// type), so no nontrivial pair is value-independent.
+// lint: conservative-default
 class FetchIncType final : public ObjectType {
  public:
   /// `direction` must be +1 (fetch&inc) or -1 (fetch&dec).

@@ -16,6 +16,13 @@ namespace randsync {
 /// Test&set register type (READ / TEST&SET).  READ is included as a
 /// trivial operation, matching the paper's use of test&set registers
 /// alongside reads.
+///
+/// The trivial-only independence default is EXACT over the full value
+/// set: TEST&SET pairs disagree on responses at value 0 and READ next
+/// to TEST&SET sees an order-dependent value, so no nontrivial pair is
+/// independent at EVERY value.  (At value 1 specifically they are; the
+/// explorer recovers that sharper fact through independent_at().)
+// lint: conservative-default
 class TestAndSetType final : public ObjectType {
  public:
   [[nodiscard]] std::string name() const override { return "test&set"; }

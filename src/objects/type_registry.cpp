@@ -1,0 +1,39 @@
+#include "objects/type_registry.h"
+
+#include <limits>
+
+#include "objects/compare_and_swap.h"
+#include "objects/counter.h"
+#include "objects/fetch_add.h"
+#include "objects/fetch_inc.h"
+#include "objects/register.h"
+#include "objects/sticky_bit.h"
+#include "objects/swap_register.h"
+#include "objects/test_and_set.h"
+
+namespace randsync {
+
+const std::vector<ObjectTypeEntry>& object_type_registry() {
+  static const std::vector<ObjectTypeEntry> kRegistry = {
+      {"rw-register", rw_register_type(), /*historyless=*/true,
+       /*interfering=*/true},
+      {"swap-register", swap_register_type(), true, true},
+      {"test&set", test_and_set_type(), true, true},
+      {"sticky-bit", sticky_bit_type(), false, false},
+      {"fetch&add", fetch_add_type(), false, true},
+      {"fetch&inc", fetch_inc_type(), false, true},
+      {"fetch&dec", fetch_dec_type(), false, true},
+      {"compare&swap", compare_and_swap_type(), false, false},
+      {"counter", counter_type(), false, true},
+      {"bounded-counter[-3,3]", bounded_counter_type(-3, 3), false, true},
+      // Extremal range: INC at hi / DEC at lo sit one step from signed
+      // overflow, which is exactly where the boundary sweep probes.
+      {"bounded-counter[min,max]",
+       bounded_counter_type(std::numeric_limits<Value>::min(),
+                            std::numeric_limits<Value>::max()),
+       false, true},
+  };
+  return kRegistry;
+}
+
+}  // namespace randsync

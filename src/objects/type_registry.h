@@ -1,0 +1,38 @@
+// Object-type registry: every shared-object type the library ships,
+// with its CLAIMED Section-2 classification attached.
+//
+// The separation table (core/separation.h) presents the paper's
+// results; this registry is the infrastructure-facing list the
+// contract audit (verify/contracts.h) walks: each entry pairs an
+// ObjectType instance with the classification the rest of the system
+// assumes for it, so drift between claim and semantics turns into a
+// named audit finding instead of a silent state-count bug.
+//
+// The two lists deliberately overlap: separation_table() rows carry
+// paper bounds and provenance, registry entries carry only the
+// algebra.  Keep them consistent -- the audit cross-checks both.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/object_type.h"
+
+namespace randsync {
+
+/// One registered object type plus its claimed algebraic class.
+struct ObjectTypeEntry {
+  std::string name;    ///< registry name (matches type->name())
+  ObjectTypePtr type;
+  /// Claimed Section-2 classification, audited empirically:
+  bool historyless = false;  ///< nontrivial ops pairwise overwrite
+  bool interfering = false;  ///< every pair commutes or overwrites
+};
+
+/// All registered object types, in presentation order.  Includes one
+/// representative instance of each parameterized family (the bounded
+/// counter is audited at a small range AND at the Value-min/max range,
+/// where wraparound arithmetic is most likely to go wrong).
+[[nodiscard]] const std::vector<ObjectTypeEntry>& object_type_registry();
+
+}  // namespace randsync

@@ -5,6 +5,10 @@
 #include "objects/counter.h"
 #include "objects/fetch_add.h"
 
+// lint: default-symmetry-key -- processes here draw coins and rely
+// on the ConsensusProcess symmetry_key() default, which folds the
+// unconsumed coin stream id into the orbit key (sound for any
+// randomized protocol; see runtime/process.h).
 namespace randsync {
 
 WalkAction walk_rule(Value c0, Value c1, Value position, std::size_t n) {

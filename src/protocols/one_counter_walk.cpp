@@ -4,6 +4,10 @@
 
 #include "objects/counter.h"
 
+// lint: default-symmetry-key -- processes here draw coins and rely
+// on the ConsensusProcess symmetry_key() default, which folds the
+// unconsumed coin stream id into the orbit key (sound for any
+// randomized protocol; see runtime/process.h).
 namespace randsync {
 namespace {
 

@@ -1,0 +1,402 @@
+#include "verify/contracts.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "objects/algebra.h"
+#include "runtime/coin.h"
+#include "runtime/configuration.h"
+#include "verify/por.h"
+
+namespace randsync {
+namespace {
+
+void add_finding(ContractReport& report, std::string subject,
+                 std::string contract, std::string detail) {
+  report.findings.push_back(
+      {std::move(subject), std::move(contract), std::move(detail)});
+}
+
+// ---------------------------------------------------------------------------
+// Object-level contracts: Section-2 classification claims and the
+// independence oracle, cross-checked against brute-force simulation.
+// ---------------------------------------------------------------------------
+
+void audit_one_object(const ObjectTypeEntry& entry,
+                      std::span<const Value> sweep, ContractReport& report) {
+  const ObjectType& type = *entry.type;
+  const std::string& who = entry.name;
+
+  // Registry hygiene: the entry name must identify the type it carries
+  // (parameterized families append their parameters, e.g.
+  // "bounded-counter[-3,3]").
+  ++report.checks;
+  if (entry.name.rfind(type.name(), 0) != 0) {
+    add_finding(report, who, "registry-name",
+                "registry name does not start with type name \"" +
+                    type.name() + "\"");
+  }
+
+  // Classification claims.  Two layers can drift independently: the
+  // registry entry against the type's own historyless() claim, and that
+  // claim against brute-force simulation.
+  ++report.checks;
+  if (type.historyless() != entry.historyless) {
+    add_finding(report, who, "historyless-claim",
+                std::string("registry claims historyless=") +
+                    (entry.historyless ? "true" : "false") +
+                    " but type::historyless() returns the opposite");
+  }
+  ++report.checks;
+  if (check_historyless(type, sweep) != type.historyless()) {
+    add_finding(report, who, "historyless-empirical",
+                std::string("type claims historyless=") +
+                    (type.historyless() ? "true" : "false") +
+                    " but the brute-force overwrite sweep disagrees; "
+                    "nontrivial sample ops must pairwise overwrite "
+                    "exactly when the claim is true");
+  }
+  ++report.checks;
+  if (check_interfering(type, sweep) != entry.interfering) {
+    add_finding(report, who, "interfering-claim",
+                std::string("registry claims interfering=") +
+                    (entry.interfering ? "true" : "false") +
+                    " but the commute-or-overwrite sweep disagrees");
+  }
+
+  const std::vector<Op> ops = type.sample_ops();
+  const std::vector<Value> closure = reachable_value_closure(type, sweep);
+
+  for (const Op& op : ops) {
+    ++report.checks;
+    if (type.is_trivial(op) != check_trivial(type, op, sweep)) {
+      add_finding(report, who, "trivial-claim",
+                  "is_trivial(" + to_string(op) + ") = " +
+                      (type.is_trivial(op) ? "true" : "false") +
+                      " but applying it over the reachable sweep " +
+                      (type.is_trivial(op) ? "changes" : "never changes") +
+                      " the value");
+    }
+  }
+
+  for (const Op& a : ops) {
+    for (const Op& b : ops) {
+      ++report.checks;
+      if (type.overwrites(a, b) != check_overwrites(type, a, b, sweep)) {
+        add_finding(report, who, "overwrites-claim",
+                    "overwrites(" + to_string(a) + ", " + to_string(b) +
+                        ") = " + (type.overwrites(a, b) ? "true" : "false") +
+                        " but the state-transformation sweep disagrees");
+      }
+      ++report.checks;
+      if (type.commutes(a, b) != check_commutes(type, a, b, sweep)) {
+        add_finding(report, who, "commutes-claim",
+                    "commutes(" + to_string(a) + ", " + to_string(b) +
+                        ") = " + (type.commutes(a, b) ? "true" : "false") +
+                        " but the either-order sweep disagrees");
+      }
+
+      // Independence-oracle soundness.  A claimed-independent pair must
+      // commute as a state transformation AND agree on responses in
+      // both orders at every reachable value: an over-approximation
+      // here makes the partial-order reducer drop real interleavings.
+      ++report.checks;
+      if (type.independent(a, b) != type.independent(b, a)) {
+        add_finding(report, who, "independence-symmetry",
+                    "independent(" + to_string(a) + ", " + to_string(b) +
+                        ") differs from the swapped call");
+      }
+      if (type.independent(a, b)) {
+        ++report.checks;
+        if (!check_commutes(type, a, b, sweep)) {
+          add_finding(report, who, "independence-soundness",
+                      "independent(" + to_string(a) + ", " + to_string(b) +
+                          ") claimed but the ops do not commute");
+        }
+        for (Value v : closure) {
+          ++report.checks;
+          if (!type.independent_at(a, b, v)) {
+            add_finding(report, who, "independence-soundness",
+                        "independent(" + to_string(a) + ", " + to_string(b) +
+                            ") claimed but the order/response diamond "
+                            "fails at value " +
+                            std::to_string(v));
+            break;  // one witness value is actionable enough
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol-level contracts: symmetry_key consistency and step-level
+// independence, on deterministically sampled configurations.
+// ---------------------------------------------------------------------------
+
+/// Equal symmetry keys promise identical future behaviour.  Check the
+/// promise to `depth` steps: both processes must present the same
+/// poised invocation, observe the same response and decision status
+/// when stepped, and carry keys that REMAIN equal afterwards.
+void check_symmetric_pair(const std::string& who, const Configuration& config,
+                          ProcessId p, ProcessId q, std::size_t depth,
+                          ContractReport& report) {
+  Configuration via_p = config.clone();
+  Configuration via_q = config.clone();
+  for (std::size_t d = 0; d < depth; ++d) {
+    const Process& a = via_p.process(p);
+    const Process& b = via_q.process(q);
+    if (a.symmetry_key() != b.symmetry_key()) {
+      // Keys diverged on a previous iteration; that was already
+      // reported, stop following the pair.
+      return;
+    }
+    ++report.checks;
+    if (a.decided() != b.decided()) {
+      add_finding(report, who, "symmetry-key-decided",
+                  "processes " + std::to_string(p) + " and " +
+                      std::to_string(q) +
+                      " share a symmetry key but disagree on decided() "
+                      "at depth " +
+                      std::to_string(d));
+      return;
+    }
+    if (a.decided()) {
+      ++report.checks;
+      if (a.decision() != b.decision()) {
+        add_finding(report, who, "symmetry-key-decision",
+                    "decided processes " + std::to_string(p) + " and " +
+                        std::to_string(q) +
+                        " share a symmetry key but decided differently");
+      }
+      return;  // retired processes take no further steps
+    }
+    ++report.checks;
+    if (a.poised() != b.poised()) {
+      add_finding(report, who, "symmetry-key-poised",
+                  "processes " + std::to_string(p) + " and " +
+                      std::to_string(q) +
+                      " share a symmetry key but are poised at " +
+                      to_string(a.poised()) + " vs " + to_string(b.poised()) +
+                      " (depth " + std::to_string(d) + ")");
+      return;
+    }
+    const Step step_p = via_p.step(p);
+    const Step step_q = via_q.step(q);
+    ++report.checks;
+    if (step_p.response != step_q.response ||
+        step_p.decided != step_q.decided) {
+      add_finding(report, who, "symmetry-key-step",
+                  "stepping key-equal processes " + std::to_string(p) +
+                      " and " + std::to_string(q) + " at " +
+                      to_string(step_p.inv) +
+                      " produced different observables (response " +
+                      std::to_string(step_p.response) + " vs " +
+                      std::to_string(step_q.response) + ", depth " +
+                      std::to_string(d) + ")");
+      return;
+    }
+    ++report.checks;
+    if (via_p.process(p).symmetry_key() != via_q.process(q).symmetry_key()) {
+      add_finding(report, who, "symmetry-key-step",
+                  "keys of processes " + std::to_string(p) + " and " +
+                      std::to_string(q) + " diverged after one step of " +
+                      to_string(step_p.inv) + " (depth " + std::to_string(d) +
+                      "); equal keys must imply equal futures, "
+                      "including the coin stream (see runtime/process.h)");
+      return;
+    }
+  }
+}
+
+/// Claimed type-level independence must survive the exact step-level
+/// diamond at this configuration: this is the claim the partial-order
+/// reducer acts on.
+void check_poised_independence(const std::string& who,
+                               const Configuration& config,
+                               ContractReport& report) {
+  const std::size_t n = config.num_processes();
+  for (ProcessId p = 0; p < n; ++p) {
+    const auto obj_p = config.poised_at(p);
+    if (!obj_p) {
+      continue;
+    }
+    for (ProcessId q = p + 1; q < n; ++q) {
+      const auto obj_q = config.poised_at(q);
+      if (!obj_q || *obj_p != *obj_q) {
+        continue;
+      }
+      const Op op_p = config.process(p).poised().op;
+      const Op op_q = config.process(q).poised().op;
+      const ObjectType& type = config.space().type(*obj_p);
+      if (!type.independent(op_p, op_q)) {
+        continue;
+      }
+      ++report.checks;
+      if (!steps_independent_at(config, p, q)) {
+        add_finding(report, who, "independence-step",
+                    type.name() + " claims independent(" + to_string(op_p) +
+                        ", " + to_string(op_q) +
+                        ") but the step-level diamond fails at object " +
+                        std::to_string(*obj_p) + " value " +
+                        std::to_string(config.value(*obj_p)));
+      }
+    }
+  }
+}
+
+void audit_one_protocol(const ProtocolEntry& entry,
+                        const ContractAuditOptions& options,
+                        ContractReport& report) {
+  const auto protocol = entry.make(std::nullopt);
+  const std::string& who = entry.name;
+  for (std::size_t n : {std::size_t{2}, std::size_t{3}}) {
+    std::optional<Configuration> built;
+    try {
+      Configuration base(protocol->make_space(n));
+      for (std::size_t i = 0; i < n; ++i) {
+        (void)base.add_process(protocol->make_process(
+            n, i, static_cast<int>(i % 2), options.seed + 17 * i));
+      }
+      built.emplace(std::move(base));
+    } catch (const std::invalid_argument&) {
+      continue;  // fixed-arity protocol (e.g. a 2-process pair); skip this n
+    }
+    Configuration& base = *built;
+    for (std::size_t walk = 0; walk < options.walks_per_config; ++walk) {
+      Configuration config = base.clone();
+      SplitMixCoin scheduler(options.seed ^ (0x9E3779B9ULL * (walk + 1)) ^
+                             (n << 32));
+      for (std::size_t s = 0; s < options.walk_steps; ++s) {
+        // Audit the configuration we are standing in...
+        for (ProcessId p = 0; p < n; ++p) {
+          for (ProcessId q = p + 1; q < n; ++q) {
+            if (config.process(p).symmetry_key() ==
+                config.process(q).symmetry_key()) {
+              check_symmetric_pair(who, config, p, q, options.key_depth,
+                                   report);
+            }
+          }
+        }
+        check_poised_independence(who, config, report);
+        // ...then take one scheduler-chosen step.
+        std::vector<ProcessId> enabled;
+        for (ProcessId p = 0; p < n; ++p) {
+          if (!config.decided(p)) {
+            enabled.push_back(p);
+          }
+        }
+        if (enabled.empty()) {
+          break;
+        }
+        (void)config.step(enabled[scheduler.below(enabled.size())]);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering.
+// ---------------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ContractReport audit_object_contracts(std::span<const ObjectTypeEntry> entries,
+                                      std::span<const Value> sweep) {
+  ContractReport report;
+  report.sweep.assign(sweep.begin(), sweep.end());
+  report.sweep_note =
+      "seed sweep; per type the checks probe its closure under sample ops "
+      "(3 rounds) plus legal seed values -- see reachable_value_closure()";
+  for (const ObjectTypeEntry& entry : entries) {
+    ++report.object_types;
+    audit_one_object(entry, sweep, report);
+  }
+  return report;
+}
+
+ContractReport audit_protocol_contracts(std::span<const ProtocolEntry> entries,
+                                        const ContractAuditOptions& options) {
+  ContractReport report;
+  for (const ProtocolEntry& entry : entries) {
+    ++report.protocols;
+    audit_one_protocol(entry, options, report);
+  }
+  return report;
+}
+
+ContractReport audit_contracts(const ContractAuditOptions& options) {
+  const std::vector<Value> sweep = default_value_sweep();
+  ContractReport report = audit_object_contracts(object_type_registry(), sweep);
+  ContractReport protocols =
+      audit_protocol_contracts(protocol_registry(), options);
+  report.protocols = protocols.protocols;
+  report.checks += protocols.checks;
+  report.findings.insert(report.findings.end(),
+                         std::make_move_iterator(protocols.findings.begin()),
+                         std::make_move_iterator(protocols.findings.end()));
+  return report;
+}
+
+std::string render_contract_report(const ContractReport& report, bool json) {
+  std::ostringstream out;
+  if (json) {
+    out << "{\n  \"sweep\": [";
+    for (std::size_t i = 0; i < report.sweep.size(); ++i) {
+      out << (i ? ", " : "") << report.sweep[i];
+    }
+    out << "],\n  \"sweep_note\": \"" << json_escape(report.sweep_note)
+        << "\",\n  \"object_types\": " << report.object_types
+        << ",\n  \"protocols\": " << report.protocols
+        << ",\n  \"checks\": " << report.checks << ",\n  \"findings\": [";
+    for (std::size_t i = 0; i < report.findings.size(); ++i) {
+      const ContractFinding& f = report.findings[i];
+      out << (i ? "," : "") << "\n    {\"subject\": \"" << json_escape(f.subject)
+          << "\", \"contract\": \"" << json_escape(f.contract)
+          << "\", \"detail\": \"" << json_escape(f.detail) << "\"}";
+    }
+    out << (report.findings.empty() ? "" : "\n  ") << "],\n  \"ok\": "
+        << (report.ok() ? "true" : "false") << "\n}\n";
+    return out.str();
+  }
+  out << "contract audit: " << report.object_types << " object types, "
+      << report.protocols << " protocols, " << report.checks << " checks, "
+      << report.findings.size() << " finding"
+      << (report.findings.size() == 1 ? "" : "s") << "\n";
+  out << "sweep:";
+  for (Value v : report.sweep) {
+    out << " " << v;
+  }
+  out << "\n  (" << report.sweep_note << ")\n";
+  for (const ContractFinding& f : report.findings) {
+    out << "  [" << f.contract << "] " << f.subject << ": " << f.detail
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace randsync

@@ -1,0 +1,100 @@
+// Registry-wide contract audit: promote the empirical checkers of
+// objects/algebra.h from "wherever a test happens to look" to a
+// machine-readable sweep over EVERY registered object type and
+// protocol.
+//
+// Three contract families are audited:
+//
+//   1. Classification claims (Section 2).  Each ObjectTypeEntry claims
+//      a historyless/interfering classification and each ObjectType
+//      claims exact is_trivial/overwrites/commutes answers; all are
+//      cross-checked against brute-force simulation over the value
+//      sweep (closed under the type's own sample operations, so every
+//      probed value is reachable).  The lower bound (Theorem 3.7)
+//      applies exactly to historyless types -- a fetch&add masquerading
+//      as a swap is precisely the mis-claim Theorem 4.4 turns on, and
+//      is what this audit exists to catch.
+//
+//   2. Independence-oracle soundness.  ObjectType::independent() feeds
+//      the partial-order reducer; an over-approximation silently hides
+//      states.  Every "independent" claim must pass check_commutes AND
+//      the order/response simulation independent_at() at every swept
+//      value, and every claimed-independent poised pair in sampled
+//      protocol configurations must pass steps_independent_at().
+//
+//   3. symmetry_key consistency.  Equal keys promise identical future
+//      behaviour (runtime/process.h); on sampled configurations, equal
+//      keys must imply identical poised invocations, identical step
+//      observables (response, decision), and keys that REMAIN equal
+//      after stepping, recursively to a small depth.
+//
+// Exposed on the CLI as `randsync audit --contracts [--json]` and run
+// continuously as a ctest; the report records the sweep actually used
+// so "passed on sweep S" is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "objects/type_registry.h"
+#include "protocols/registry.h"
+
+namespace randsync {
+
+/// One audit violation: which subject broke which contract, and how.
+struct ContractFinding {
+  std::string subject;   ///< object type or protocol name
+  std::string contract;  ///< e.g. "historyless-claim", "symmetry-key-step"
+  std::string detail;    ///< actionable description (ops, values, pids)
+};
+
+/// Audit outcome plus enough provenance to reproduce it.
+struct ContractReport {
+  /// The seed value sweep the empirical checks ran on.  Per type it is
+  /// closed under the type's sample operations (3 rounds) and filtered
+  /// through is_legal_value -- see reachable_value_closure().
+  std::vector<Value> sweep;
+  std::string sweep_note;
+  std::size_t object_types = 0;  ///< entries audited
+  std::size_t protocols = 0;     ///< protocol entries audited
+  std::size_t checks = 0;        ///< individual contract checks executed
+  std::vector<ContractFinding> findings;
+
+  [[nodiscard]] bool ok() const { return findings.empty(); }
+};
+
+/// Knobs for the protocol-level sampling (object-level checks are
+/// exhaustive over sample ops x sweep and take no options).
+struct ContractAuditOptions {
+  std::uint64_t seed = 1;           ///< base seed for sampled walks
+  std::size_t walks_per_config = 4; ///< random schedules per instance
+  std::size_t walk_steps = 24;      ///< steps per sampled schedule
+  std::size_t key_depth = 2;        ///< symmetry-key re-check depth
+};
+
+/// Audit the Section-2 classification and independence-oracle claims of
+/// `entries` over `sweep`.  Pass object_type_registry() for the
+/// registry-wide audit, or a single fixture entry in tests.
+[[nodiscard]] ContractReport audit_object_contracts(
+    std::span<const ObjectTypeEntry> entries, std::span<const Value> sweep);
+
+/// Audit symmetry_key consistency and step-level independence claims of
+/// `entries` on sampled configurations.
+[[nodiscard]] ContractReport audit_protocol_contracts(
+    std::span<const ProtocolEntry> entries,
+    const ContractAuditOptions& options);
+
+/// The full registry-wide audit: object_type_registry() over
+/// default_value_sweep(), plus protocol_registry() sampling; reports
+/// are merged.
+[[nodiscard]] ContractReport audit_contracts(
+    const ContractAuditOptions& options = {});
+
+/// Render the report: aligned text, or a JSON object with keys
+/// sweep/sweep_note/object_types/protocols/checks/findings.
+[[nodiscard]] std::string render_contract_report(const ContractReport& report,
+                                                 bool json);
+
+}  // namespace randsync

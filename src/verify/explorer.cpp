@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
@@ -512,7 +513,16 @@ struct Engine {
 ExploreResult explore(const ConsensusProtocol& protocol,
                       std::span<const int> inputs,
                       const ExploreOptions& options) {
-  Engine engine(protocol, inputs, options);
+  ExploreOptions effective = options;
+  // CI hook: RANDSYNC_EXPLORE_AUDIT=1 forces the structural re-check of
+  // every dedup hit, turning any fingerprint collision into a counted
+  // audit_mismatch instead of a silently merged state.  Environment-
+  // driven so the (slow, Debug-only) sweep needs no per-test plumbing.
+  if (const char* audit = std::getenv("RANDSYNC_EXPLORE_AUDIT");
+      audit != nullptr && audit[0] != '\0' && audit[0] != '0') {
+    effective.collision_audit = true;
+  }
+  Engine engine(protocol, inputs, effective);
   return engine.run();
 }
 

@@ -82,6 +82,8 @@ struct ExploreOptions {
   bool wide_fingerprint = false;  ///< 128-bit dedup keys instead of 64-bit
   /// Structurally re-check every dedup hit by replaying the stored
   /// representative and comparing canonical signatures (slow; debug).
+  /// The RANDSYNC_EXPLORE_AUDIT=1 environment variable forces this on
+  /// for every explore() call (the CI Debug job sets it).
   bool collision_audit = false;
   std::size_t threads = 1; ///< expansion workers; 0 = hardware concurrency
 };

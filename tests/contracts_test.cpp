@@ -1,0 +1,285 @@
+// Mutation tests for the registry-wide contract audit
+// (verify/contracts.h): the audit must pass for everything actually
+// registered, and it must CATCH deliberately mis-claimed fixtures --
+// a fetch&add masquerading as a historyless swap, an independence
+// oracle that over-approximates, and a protocol whose symmetry_key
+// ignores state that steers its behaviour.
+#include "verify/contracts.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "objects/algebra.h"
+#include "objects/register.h"
+#include "protocols/protocol.h"
+#include "protocols/registry.h"
+#include "runtime/coin.h"
+#include "runtime/object_space.h"
+
+namespace randsync {
+namespace {
+
+bool has_finding(const ContractReport& report, const std::string& subject,
+                 const std::string& contract) {
+  return std::any_of(report.findings.begin(), report.findings.end(),
+                     [&](const ContractFinding& f) {
+                       return f.subject == subject && f.contract == contract;
+                     });
+}
+
+// ---------------------------------------------------------------------------
+// The audit must be clean for the real registries.
+// ---------------------------------------------------------------------------
+
+TEST(Contracts, RegistryWideAuditIsClean) {
+  const ContractReport report = audit_contracts();
+  for (const ContractFinding& f : report.findings) {
+    ADD_FAILURE() << "[" << f.contract << "] " << f.subject << ": "
+                  << f.detail;
+  }
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.object_types, object_type_registry().size());
+  EXPECT_EQ(report.protocols, protocol_registry().size());
+  EXPECT_GT(report.checks, 1000U);
+  // The report must record the sweep it ran on (reproducibility).
+  EXPECT_EQ(report.sweep, default_value_sweep());
+  EXPECT_FALSE(report.sweep_note.empty());
+}
+
+TEST(Contracts, SweepIncludesBoundaryValues) {
+  const auto sweep = default_value_sweep();
+  for (Value v : {Value{0}, Value{1}, Value{-1},
+                  std::numeric_limits<Value>::min(),
+                  std::numeric_limits<Value>::max()}) {
+    EXPECT_NE(std::find(sweep.begin(), sweep.end(), v), sweep.end())
+        << "sweep must probe boundary value " << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fixture 1: a fetch&add register that CLAIMS to be a historyless swap.
+// Theorem 3.7 applies exactly to historyless types, so this mis-claim
+// is the one the audit exists to catch.
+// ---------------------------------------------------------------------------
+
+class FakeSwapType final : public ObjectType {
+ public:
+  [[nodiscard]] std::string name() const override { return "fake-swap"; }
+  [[nodiscard]] Value initial_value() const override { return 0; }
+  [[nodiscard]] bool supports(OpKind kind) const override {
+    return kind == OpKind::kRead || kind == OpKind::kFetchAdd;
+  }
+  Value apply(const Op& op, Value& value) const override {
+    if (op.kind == OpKind::kRead) {
+      return value;
+    }
+    // fetch&add semantics -- the earlier delta persists in the value,
+    // so nontrivial ops do NOT overwrite one another...
+    const Value old = value;
+    value = static_cast<Value>(static_cast<std::uint64_t>(value) +
+                               static_cast<std::uint64_t>(op.arg0));
+    return old;
+  }
+  [[nodiscard]] bool is_trivial(const Op& op) const override {
+    return op.kind == OpKind::kRead || op.arg0 == 0;
+  }
+  // ...yet the type claims swap-like overwriting and historylessness.
+  [[nodiscard]] bool overwrites(const Op& later,
+                                const Op& earlier) const override {
+    return !is_trivial(later) || is_trivial(earlier);
+  }
+  [[nodiscard]] bool commutes(const Op&, const Op&) const override {
+    return true;
+  }
+  [[nodiscard]] bool historyless() const override { return true; }
+  [[nodiscard]] std::vector<Op> sample_ops() const override {
+    return {Op::read(), Op::fetch_add(1), Op::fetch_add(5)};
+  }
+};
+
+TEST(Contracts, CatchesFetchAddMasqueradingAsHistoryless) {
+  const std::vector<ObjectTypeEntry> fixture = {
+      {"fake-swap", std::make_shared<const FakeSwapType>(),
+       /*historyless=*/true, /*interfering=*/true},
+  };
+  const ContractReport report =
+      audit_object_contracts(fixture, default_value_sweep());
+  ASSERT_FALSE(report.ok());
+  // The mis-claim must surface as a NAMED entry pointing at the type...
+  EXPECT_TRUE(has_finding(report, "fake-swap", "historyless-empirical"));
+  // ...and the lying overwrites() claims are pinpointed op by op.
+  EXPECT_TRUE(has_finding(report, "fake-swap", "overwrites-claim"));
+  // The detail names the offending operations, so the entry is
+  // actionable without rerunning anything.
+  const auto it = std::find_if(
+      report.findings.begin(), report.findings.end(),
+      [](const ContractFinding& f) { return f.contract == "overwrites-claim"; });
+  ASSERT_NE(it, report.findings.end());
+  EXPECT_NE(it->detail.find("FETCH&ADD"), std::string::npos) << it->detail;
+}
+
+// ---------------------------------------------------------------------------
+// Fixture 2: an independence oracle that over-approximates.  Responses
+// of READ next to FETCH&ADD expose the order, so claiming independence
+// would make the partial-order reducer drop real interleavings.
+// ---------------------------------------------------------------------------
+
+class OverclaimingFaaType final : public ObjectType {
+ public:
+  [[nodiscard]] std::string name() const override { return "fetch&add"; }
+  [[nodiscard]] Value initial_value() const override { return 0; }
+  [[nodiscard]] bool supports(OpKind kind) const override {
+    return kind == OpKind::kRead || kind == OpKind::kFetchAdd;
+  }
+  Value apply(const Op& op, Value& value) const override {
+    if (op.kind == OpKind::kRead) {
+      return value;
+    }
+    const Value old = value;
+    value = static_cast<Value>(static_cast<std::uint64_t>(value) +
+                               static_cast<std::uint64_t>(op.arg0));
+    return old;
+  }
+  [[nodiscard]] bool is_trivial(const Op& op) const override {
+    return op.kind == OpKind::kRead || op.arg0 == 0;
+  }
+  // Honest about the state algebra...
+  [[nodiscard]] bool overwrites(const Op& later,
+                                const Op& earlier) const override {
+    (void)later;
+    return is_trivial(earlier);
+  }
+  [[nodiscard]] bool commutes(const Op&, const Op&) const override {
+    return true;
+  }
+  [[nodiscard]] bool historyless() const override { return false; }
+  // ...but WRONG here: READ vs FETCH&ADD responses are order-sensitive.
+  [[nodiscard]] bool independent(const Op&, const Op&) const override {
+    return true;
+  }
+  [[nodiscard]] std::vector<Op> sample_ops() const override {
+    return {Op::read(), Op::fetch_add(1), Op::fetch_add(5)};
+  }
+};
+
+TEST(Contracts, CatchesUnsoundIndependenceOracle) {
+  const std::vector<ObjectTypeEntry> fixture = {
+      {"fetch&add(overclaimed)", std::make_shared<const OverclaimingFaaType>(),
+       /*historyless=*/false, /*interfering=*/true},
+  };
+  const ContractReport report =
+      audit_object_contracts(fixture, default_value_sweep());
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(
+      has_finding(report, "fetch&add(overclaimed)", "independence-soundness"));
+}
+
+// ---------------------------------------------------------------------------
+// Fixture 3: a protocol whose processes steer on hidden per-process
+// state while symmetry_key() pretends they are interchangeable.  Equal
+// keys must imply identical poised invocations; these two differ.
+// ---------------------------------------------------------------------------
+
+class HiddenStyleProcess final : public ConsensusProcess {
+ public:
+  HiddenStyleProcess(int input, std::uint64_t seed)
+      : ConsensusProcess(input, std::make_unique<SplitMixCoin>(seed)),
+        style_(static_cast<Value>(seed)) {}
+
+  [[nodiscard]] Invocation poised() const override {
+    // The written value depends on style_, which neither state_hash()
+    // nor symmetry_key() accounts for: the symmetry contract is broken.
+    return {0, Op::write(style_)};
+  }
+
+  void on_response(Value) override {
+    if (++steps_ >= 2) {
+      decide(input());
+    }
+  }
+
+  [[nodiscard]] std::unique_ptr<Process> clone() const override {
+    return std::make_unique<HiddenStyleProcess>(*this);
+  }
+
+  [[nodiscard]] std::uint64_t state_hash() const override {
+    return hash_combine(base_hash(), static_cast<std::uint64_t>(steps_));
+  }
+
+  // Deliberately WRONG: claims coin-free determinism keyed on visible
+  // state only, hiding both style_ and the coin stream.
+  [[nodiscard]] std::uint64_t symmetry_key() const override {
+    return deterministic_symmetry_key();
+  }
+
+ private:
+  Value style_;
+  int steps_ = 0;
+};
+
+class HiddenStyleProtocol final : public ConsensusProtocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "hidden-style"; }
+  [[nodiscard]] ObjectSpacePtr make_space(std::size_t) const override {
+    auto space = std::make_shared<ObjectSpace>();
+    (void)space->add(rw_register_type());
+    return space;
+  }
+  [[nodiscard]] std::unique_ptr<ConsensusProcess> make_process(
+      std::size_t, std::size_t, int input, std::uint64_t seed) const override {
+    return std::make_unique<HiddenStyleProcess>(input, seed);
+  }
+  [[nodiscard]] bool identical_processes() const override { return true; }
+  [[nodiscard]] bool fixed_space() const override { return true; }
+};
+
+std::shared_ptr<const ConsensusProtocol> make_hidden_style(
+    std::optional<std::size_t>) {
+  return std::make_shared<const HiddenStyleProtocol>();
+}
+
+TEST(Contracts, CatchesSymmetryKeyHidingBehaviour) {
+  const std::vector<ProtocolEntry> fixture = {
+      {"hidden-style", "symmetry-key mutation fixture", &make_hidden_style,
+       /*randomized=*/false, /*correct=*/false},
+  };
+  const ContractReport report =
+      audit_protocol_contracts(fixture, ContractAuditOptions{});
+  ASSERT_FALSE(report.ok());
+  // Same-input processes get distinct seeds, so their hidden styles
+  // differ while their (bogus) keys collide: the audit must see the
+  // poised WRITE values disagree.
+  EXPECT_TRUE(has_finding(report, "hidden-style", "symmetry-key-poised"));
+}
+
+// ---------------------------------------------------------------------------
+// Rendering.
+// ---------------------------------------------------------------------------
+
+TEST(Contracts, RendersTextAndJson) {
+  ContractReport report;
+  report.sweep = {0, 1};
+  report.sweep_note = "note";
+  report.object_types = 2;
+  report.protocols = 3;
+  report.checks = 7;
+  report.findings.push_back({"subj \"x\"", "some-contract", "line1\nline2"});
+  const std::string text = render_contract_report(report, /*json=*/false);
+  EXPECT_NE(text.find("some-contract"), std::string::npos);
+  EXPECT_NE(text.find("1 finding"), std::string::npos);
+  const std::string json = render_contract_report(report, /*json=*/true);
+  EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(json.find("\\\"x\\\""), std::string::npos);  // escaped quote
+  EXPECT_NE(json.find("\\n"), std::string::npos);        // escaped newline
+  ContractReport clean;
+  EXPECT_NE(render_contract_report(clean, true).find("\"ok\": true"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace randsync

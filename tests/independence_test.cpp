@@ -50,6 +50,10 @@ std::vector<Value> generic_probe_values(const ObjectType& type) {
     values.push_back(op.arg0);
     values.push_back(op.arg1);
   }
+  // Only probe values the type can legally hold: test&set asserts its
+  // value set is {0,1}, and independence only matters at reachable
+  // states anyway.
+  std::erase_if(values, [&](Value v) { return !type.is_legal_value(v); });
   return values;
 }
 

@@ -1,0 +1,28 @@
+// Lint mutation fixture for rule object-oracle: BadSwapType neither
+// overrides independent() nor carries the conservative-default
+// annotation and must be flagged at its class-declaration line;
+// AnnotatedType is suppressed; OverridingType provides the oracle.
+// (Never compiled; the pseudo-declarations below only need to look
+// like the real thing to the lexical engine.)
+#pragma once
+
+namespace randsync {
+
+class BadSwapType final : public ObjectType {  // BAD: no oracle position
+ public:
+  bool historyless() const override { return true; }
+};
+
+// The trivial-only default is exact for this fixture type.
+// lint: conservative-default
+class AnnotatedType final : public ObjectType {
+ public:
+  bool historyless() const override { return true; }
+};
+
+class OverridingType final : public ObjectType {
+ public:
+  bool independent(const Op& a, const Op& b) const override;
+};
+
+}  // namespace randsync

@@ -1,0 +1,14 @@
+// Lint fixture: draws coins without overriding symmetry_key(), but the
+// file-scoped annotation waives the finding.  Must produce NO findings.
+// lint: default-symmetry-key -- fixture relies on the base-class key
+namespace randsync {
+
+class AnnotatedFixtureProcess final : public ConsensusProcess {
+ public:
+  void on_response(Value) override { phase_ = coin().flip() ? 1 : 0; }
+
+ private:
+  int phase_ = 0;
+};
+
+}  // namespace randsync

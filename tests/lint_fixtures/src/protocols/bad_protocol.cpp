@@ -1,0 +1,20 @@
+// Lint mutation fixture for rule protocol-symmetry: this pseudo
+// protocol draws coins but neither overrides symmetry_key() nor
+// carries the default-symmetry-key annotation, so randsync-lint must
+// flag it at the first coin() use.
+namespace randsync {
+
+class FixtureProcess final : public ConsensusProcess {
+ public:
+  void on_response(Value) override {
+    phase_ = coin().flip() ? 1 : 0;  // BAD: first coin draw
+    if (coin().flip()) {
+      phase_ = 2;
+    }
+  }
+
+ private:
+  int phase_ = 0;
+};
+
+}  // namespace randsync

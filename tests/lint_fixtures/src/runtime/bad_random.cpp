@@ -1,0 +1,41 @@
+// Lint mutation fixture: every nondeterminism source below must be
+// flagged by rule nondet-source, except the ones carrying a suppression
+// (which must silence exactly their own line).  This file is never
+// compiled; it lives under tests/ so the real lint run never sees it.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace randsync {
+
+std::uint64_t ambient_entropy() {
+  std::random_device dev;  // BAD: hardware entropy
+  return dev();
+}
+
+std::uint64_t ambient_entropy_suppressed() {
+  std::random_device dev;  // lint: nondet-ok (fixture: deliberate waiver)
+  return dev();
+}
+
+int libc_rand() {
+  return rand();  // BAD: global C PRNG
+}
+
+long wall_seed() {
+  return time(nullptr);  // BAD: wall clock as seed
+}
+
+double wall_read() {
+  // clock reads in src/ are banned:
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())  // BAD: clock
+      .count();
+}
+
+// A mention of rand() or std::random_device in a comment must NOT be
+// flagged, and neither must the string literal below.
+const char* kDocstring = "call sites of rand() are banned";
+
+}  // namespace randsync

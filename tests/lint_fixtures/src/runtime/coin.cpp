@@ -1,0 +1,14 @@
+// Lint whitelist fixture: this path matches the runtime/coin.* anchor,
+// so the nondeterminism sources below are sanctioned (the coin layer is
+// where ambient randomness is allowed to enter, wrapped behind
+// CoinSource).  randsync-lint must report NOTHING for this file.
+#include <random>
+
+namespace randsync {
+
+std::uint64_t entropy_seed() {
+  std::random_device dev;  // allowed: runtime/coin.* whitelist
+  return dev();
+}
+
+}  // namespace randsync

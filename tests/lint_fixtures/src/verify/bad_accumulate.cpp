@@ -1,0 +1,40 @@
+// Lint mutation fixture for rule nondet-order: the first range-for
+// below folds over an unordered_map and must be flagged; the second
+// carries the suppression; the third iterates a (sorted) vector and is
+// fine.  Lookups into unordered containers (find/contains) are not
+// iteration and must not be flagged.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace randsync {
+
+double accumulate_badly() {
+  std::unordered_map<int, double> weights;
+  double total = 0;
+  for (const auto& [k, v] : weights) {  // BAD: order-sensitive fold
+    total = total * 0.5 + v;
+  }
+  return total;
+}
+
+double accumulate_with_waiver() {
+  std::unordered_set<int> seen;
+  double total = 0;
+  // lint: nondet-order-ok (fixture: sum is order-insensitive)
+  for (int v : seen) {
+    total += v;
+  }
+  return total;
+}
+
+double accumulate_over_vector() {
+  std::unordered_map<int, double> index;
+  std::vector<double> sorted_values;
+  for (double v : sorted_values) {  // fine: ordered container
+    (void)index.find(static_cast<int>(v));
+  }
+  return 0;
+}
+
+}  // namespace randsync

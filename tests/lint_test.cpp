@@ -1,0 +1,188 @@
+// Mutation tests for randsync-lint (tools/lint_engine.h): each fixture
+// under tests/lint_fixtures/ injects one class of violation the linter
+// must flag with the correct file:line, and each suppression comment
+// must silence exactly its own finding -- no more, no less.
+//
+// The fixtures mirror the real tree's layout (src/runtime, src/objects,
+// src/protocols, src/verify) because the rules are path-scoped; the
+// engine is pointed at the fixture root exactly as the CLI tool is
+// pointed at the repository root.
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint_engine.h"
+
+namespace randsync::lint {
+namespace {
+
+std::string fixture_root() { return LINT_FIXTURE_DIR; }
+
+std::vector<Finding> lint_fixtures() {
+  return lint_tree(fixture_root(), {"src"});
+}
+
+std::string read_fixture(const std::string& rel) {
+  std::ifstream in(fixture_root() + "/" + rel);
+  EXPECT_TRUE(in.good()) << "missing fixture " << rel;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// 1-based line numbers of lines whose text contains `marker`.
+std::vector<std::size_t> marked_lines(const std::string& contents,
+                                      const std::string& marker) {
+  std::vector<std::size_t> out;
+  std::istringstream stream(contents);
+  std::string line;
+  std::size_t number = 0;
+  while (std::getline(stream, line)) {
+    ++number;
+    if (line.find(marker) != std::string::npos) {
+      out.push_back(number);
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> findings_for(const std::vector<Finding>& all,
+                                  const std::string& file) {
+  std::vector<Finding> out;
+  for (const Finding& f : all) {
+    if (f.file == file) {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+TEST(LintTest, RandomDeviceAndFriendsFlaggedAtMarkedLines) {
+  const std::string file = "src/runtime/bad_random.cpp";
+  const auto expected = marked_lines(read_fixture(file), "// BAD");
+  ASSERT_EQ(expected.size(), 4u) << "fixture drifted";
+  const auto found = findings_for(lint_fixtures(), file);
+  ASSERT_EQ(found.size(), expected.size())
+      << render_text(found);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(found[i].line, expected[i]);
+    EXPECT_EQ(found[i].rule, kRuleNondetSource);
+  }
+}
+
+TEST(LintTest, NondetSuppressionSilencesExactlyItsLine) {
+  const std::string file = "src/runtime/bad_random.cpp";
+  const auto contents = read_fixture(file);
+  const auto suppressed = marked_lines(contents, "lint: nondet-ok");
+  ASSERT_EQ(suppressed.size(), 1u);
+  for (const Finding& f : findings_for(lint_fixtures(), file)) {
+    EXPECT_NE(f.line, suppressed.front())
+        << "suppressed line still reported";
+  }
+  // The suppressed use is real: removing the marker must surface it.
+  std::string unsuppressed = contents;
+  const std::size_t at = unsuppressed.find("lint: nondet-ok");
+  ASSERT_NE(at, std::string::npos);
+  unsuppressed.replace(at, std::string("lint: nondet-ok").size(), "waived");
+  const auto refound = lint_source(file, unsuppressed);
+  EXPECT_TRUE(std::any_of(refound.begin(), refound.end(),
+                          [&](const Finding& f) {
+                            return f.line == suppressed.front();
+                          }))
+      << "marker removal did not re-surface the finding";
+}
+
+TEST(LintTest, CoinWhitelistReportsNothing) {
+  EXPECT_TRUE(findings_for(lint_fixtures(), "src/runtime/coin.cpp").empty());
+}
+
+TEST(LintTest, UnannotatedObjectTypeFlaggedAtClassLine) {
+  const std::string file = "src/objects/bad_object_type.h";
+  const auto expected = marked_lines(read_fixture(file), "// BAD");
+  ASSERT_EQ(expected.size(), 1u);
+  const auto found = findings_for(lint_fixtures(), file);
+  ASSERT_EQ(found.size(), 1u) << render_text(found);
+  EXPECT_EQ(found.front().rule, kRuleObjectOracle);
+  EXPECT_EQ(found.front().line, expected.front());
+  // The annotated and overriding classes in the same file are silent,
+  // i.e. the suppression covers exactly its own class.
+}
+
+TEST(LintTest, CoinProtocolWithoutSymmetryKeyFlagged) {
+  const std::string file = "src/protocols/bad_protocol.cpp";
+  const auto expected = marked_lines(read_fixture(file), "// BAD");
+  ASSERT_EQ(expected.size(), 1u);
+  const auto found = findings_for(lint_fixtures(), file);
+  ASSERT_EQ(found.size(), 1u) << render_text(found);
+  EXPECT_EQ(found.front().rule, kRuleProtocolSymmetry);
+  EXPECT_EQ(found.front().line, expected.front());
+  EXPECT_TRUE(
+      findings_for(lint_fixtures(), "src/protocols/annotated_protocol.cpp")
+          .empty());
+  // Adding a symmetry_key override silences the rule without any
+  // annotation.
+  std::string overridden = read_fixture(file);
+  overridden +=
+      "\n// (appended by test)\n"
+      "// std::uint64_t symmetry_key() const override;\n";
+  // ... in a comment it must NOT count;
+  EXPECT_FALSE(lint_source(file, overridden).empty());
+  overridden += "std::uint64_t symmetry_key() const;\n";
+  EXPECT_TRUE(lint_source(file, overridden).empty());
+}
+
+TEST(LintTest, UnorderedAccumulationFlaggedOnceAndWaiverHolds) {
+  const std::string file = "src/verify/bad_accumulate.cpp";
+  const auto expected = marked_lines(read_fixture(file), "// BAD");
+  ASSERT_EQ(expected.size(), 1u);
+  const auto found = findings_for(lint_fixtures(), file);
+  ASSERT_EQ(found.size(), 1u) << render_text(found);
+  EXPECT_EQ(found.front().rule, kRuleNondetOrder);
+  EXPECT_EQ(found.front().line, expected.front());
+}
+
+TEST(LintTest, SuppressionsAreRuleSpecific) {
+  // A nondet-order waiver must not silence a nondet-source finding on
+  // the same line, and vice versa.
+  const std::string cross =
+      "std::uint64_t f() {\n"
+      "  std::random_device dev;  // lint: nondet-order-ok\n"
+      "  return dev();\n"
+      "}\n";
+  const auto found = lint_source("src/runtime/cross.cpp", cross);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found.front().rule, kRuleNondetSource);
+}
+
+TEST(LintTest, MarkerOnPrecedingLineSuppresses) {
+  const std::string ok =
+      "// lint: nondet-ok (timing for a report)\n"
+      "const auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(lint_source("src/runtime/timed.cpp", ok).empty());
+}
+
+TEST(LintTest, RealTreeIsCleanAtHead) {
+  // The acceptance bar for the PR: `randsync_lint` runs clean on the
+  // repository at HEAD.  LINT_SOURCE_ROOT is the real source root.
+  const auto findings = lint_tree(LINT_SOURCE_ROOT, {"src", "tools", "bench"});
+  EXPECT_TRUE(findings.empty()) << render_text(findings);
+}
+
+TEST(LintTest, JsonOutputIsWellFormedAndStable) {
+  const auto found = lint_fixtures();
+  ASSERT_FALSE(found.empty());
+  const std::string json = render_json(found);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"rule\": \"nondet-source\""), std::string::npos);
+  // Deterministic: two renders agree byte-for-byte.
+  EXPECT_EQ(json, render_json(lint_fixtures()));
+  EXPECT_EQ(render_json({}), "[]\n");
+}
+
+}  // namespace
+}  // namespace randsync::lint

@@ -1,0 +1,44 @@
+// Deliberate-bug canary for the sanitizer CI jobs.
+//
+// Each mode commits exactly the class of bug the corresponding
+// sanitizer exists to catch.  The ctest registration marks the canary
+// WILL_FAIL, so the job goes red if the instrumentation is NOT armed:
+// a "passing" canary means the build silently lost its sanitizer flags
+// (stale cache, toolchain change), which is precisely the failure mode
+// this guards against.  The executable is only built when
+// RANDSYNC_SANITIZE requests address or undefined.
+#include <cstring>
+#include <limits>
+
+namespace {
+
+// volatile round-trips keep the bug out of the compiler's sight so it
+// survives to runtime instead of being folded or diagnosed at -O1.
+int heap_overflow_read() {
+  int* block = new int[4];
+  volatile int index = 4;  // one past the end
+  const int out = block[index];
+  delete[] block;
+  return out & 1;
+}
+
+int signed_overflow() {
+  volatile long long big = std::numeric_limits<long long>::max();
+  const long long bumped = big + 1;  // UB: signed overflow
+  return static_cast<int>(bumped & 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return 2;
+  }
+  if (std::strcmp(argv[1], "address") == 0) {
+    return heap_overflow_read();
+  }
+  if (std::strcmp(argv[1], "undefined") == 0) {
+    return signed_overflow();
+  }
+  return 2;
+}

@@ -1,0 +1,493 @@
+#include "lint_engine.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace randsync::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexical splitting: per line, separate code from comments and blank out
+// string/char literals, tracking block-comment state across lines.
+
+struct SplitLine {
+  std::string code;     ///< literals replaced by spaces, comments removed
+  std::string comment;  ///< the comment text of the line (all of it)
+};
+
+// Splits `line` into code and comment given (and updating) the
+// block-comment state.  Literal contents are blanked in `code` so that
+// banned tokens inside strings (rule tables, log messages) never match.
+SplitLine split_line(const std::string& line, bool& in_block_comment) {
+  SplitLine out;
+  out.code.reserve(line.size());
+  bool in_string = false;
+  bool in_char = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+    if (in_block_comment) {
+      out.comment.push_back(c);
+      if (c == '*' && next == '/') {
+        out.comment.push_back('/');
+        in_block_comment = false;
+        ++i;
+      }
+      continue;
+    }
+    if (in_string || in_char) {
+      if (c == '\\') {
+        out.code.append(2, ' ');
+        ++i;
+        continue;
+      }
+      if ((in_string && c == '"') || (in_char && c == '\'')) {
+        in_string = in_char = false;
+      }
+      out.code.push_back(' ');
+      continue;
+    }
+    if (c == '/' && next == '/') {
+      out.comment.append(line, i, std::string::npos);
+      break;
+    }
+    if (c == '/' && next == '*') {
+      in_block_comment = true;
+      out.comment.append("/*");
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      out.code.push_back(' ');
+      continue;
+    }
+    if (c == '\'') {
+      // Avoid treating digit separators (1'000) as char literals.
+      const bool digit_sep = i > 0 && std::isdigit(
+          static_cast<unsigned char>(line[i - 1])) &&
+          std::isdigit(static_cast<unsigned char>(next));
+      if (!digit_sep) {
+        in_char = true;
+      }
+      out.code.push_back(' ');
+      continue;
+    }
+    out.code.push_back(c);
+  }
+  return out;
+}
+
+struct FileLines {
+  std::vector<SplitLine> lines;
+};
+
+FileLines split_file(const std::string& contents) {
+  FileLines out;
+  bool in_block = false;
+  std::istringstream stream(contents);
+  std::string line;
+  while (std::getline(stream, line)) {
+    out.lines.push_back(split_line(line, in_block));
+  }
+  return out;
+}
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Does `marker` appear in the comment text of line `index` (0-based) or
+// of the line directly above it?
+bool suppressed_at(const FileLines& file, std::size_t index,
+                   const char* marker) {
+  if (file.lines[index].comment.find(marker) != std::string::npos) {
+    return true;
+  }
+  return index > 0 &&
+         file.lines[index - 1].comment.find(marker) != std::string::npos;
+}
+
+// Marker anywhere in the file (for the file-scoped protocol rule).
+bool suppressed_anywhere(const FileLines& file, const char* marker) {
+  return std::any_of(file.lines.begin(), file.lines.end(),
+                     [marker](const SplitLine& l) {
+                       return l.comment.find(marker) != std::string::npos;
+                     });
+}
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: banned nondeterminism sources.
+
+void check_nondet_sources(const std::string& path, const FileLines& file,
+                          std::vector<Finding>& findings) {
+  // Whitelist anchor: the coin layer IS the sanctioned randomness
+  // boundary, so runtime/coin.{h,cpp} may name whatever sources it
+  // wraps.
+  if (starts_with(path, "src/runtime/coin.")) {
+    return;
+  }
+  const bool in_bench = starts_with(path, "bench/");
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    for (const TokenRule& rule : nondet_token_rules()) {
+      if (in_bench && !rule.banned_in_bench) {
+        continue;
+      }
+      const std::string token = rule.token;
+      std::size_t pos = code.find(token);
+      bool flagged = false;  // at most one finding per (line, token)
+      while (pos != std::string::npos && !flagged) {
+        const bool boundary_ok =
+            !rule.boundary || pos == 0 || !is_word_char(code[pos - 1]);
+        if (boundary_ok) {
+          if (!suppressed_at(file, i, kSuppressNondetSource)) {
+            findings.push_back(
+                {path, i + 1, kRuleNondetSource,
+                 std::string("banned nondeterminism source `") + rule.token +
+                     "`: " + rule.reason +
+                     " (allowed only in runtime/coin.*; suppress with `// " +
+                     kSuppressNondetSource + "`)"});
+          }
+          flagged = true;
+        }
+        pos = code.find(token, pos + 1);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: ObjectType subclasses must take a position on independence.
+
+void check_object_oracles(const std::string& path, const FileLines& file,
+                          std::vector<Finding>& findings) {
+  if (!starts_with(path, "src/objects/")) {
+    return;
+  }
+  // Collect class-declaration lines deriving from ObjectType.
+  std::vector<std::size_t> decls;
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    if (code.find("public ObjectType") != std::string::npos &&
+        code.find("class ") != std::string::npos) {
+      decls.push_back(i);
+    }
+  }
+  for (std::size_t d = 0; d < decls.size(); ++d) {
+    const std::size_t begin = decls[d];
+    const std::size_t end =
+        d + 1 < decls.size() ? decls[d + 1] : file.lines.size();
+    bool has_oracle = false;
+    for (std::size_t i = begin; i < end && !has_oracle; ++i) {
+      has_oracle =
+          file.lines[i].code.find("independent(") != std::string::npos;
+    }
+    if (has_oracle || suppressed_at(file, begin, kSuppressObjectOracle)) {
+      continue;
+    }
+    findings.push_back(
+        {path, begin + 1, kRuleObjectOracle,
+         std::string("ObjectType subclass neither overrides the independence "
+                     "oracle `independent()` nor opts into the conservative "
+                     "default; override it or annotate the class with `// ") +
+             kSuppressObjectOracle + "` explaining why trivial-only "
+             "independence is exact for this type"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: coin-flipping protocols must take a position on symmetry_key.
+
+void check_protocol_symmetry(const std::string& path, const FileLines& file,
+                             std::vector<Finding>& findings) {
+  if (!starts_with(path, "src/protocols/")) {
+    return;
+  }
+  std::size_t first_coin = 0;
+  bool uses_coin = false;
+  bool has_key = false;
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    if (!uses_coin && code.find("coin()") != std::string::npos) {
+      uses_coin = true;
+      first_coin = i;
+    }
+    has_key = has_key || code.find("symmetry_key") != std::string::npos;
+  }
+  if (!uses_coin || has_key ||
+      suppressed_anywhere(file, kSuppressProtocolSymmetry)) {
+    return;
+  }
+  findings.push_back(
+      {path, first_coin + 1, kRuleProtocolSymmetry,
+       std::string("protocol draws coins but never overrides symmetry_key(); "
+                   "either override it or annotate the file with `// ") +
+           kSuppressProtocolSymmetry + "` confirming the stream-id-folding "
+           "ConsensusProcess default is intended"});
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: no iteration-order-sensitive accumulation in src/verify/.
+
+// Extracts the identifier declared on `code` right after an
+// unordered_{map,set} template type, if the declaration fits one line.
+std::vector<std::string> unordered_decl_names(const std::string& code) {
+  std::vector<std::string> names;
+  for (const char* kw : {"unordered_map<", "unordered_set<"}) {
+    std::size_t pos = code.find(kw);
+    while (pos != std::string::npos) {
+      std::size_t i = pos + std::string(kw).size();
+      int depth = 1;
+      while (i < code.size() && depth > 0) {
+        if (code[i] == '<') {
+          ++depth;
+        } else if (code[i] == '>') {
+          --depth;
+        }
+        ++i;
+      }
+      while (i < code.size() &&
+             (code[i] == ' ' || code[i] == '&' || code[i] == '*')) {
+        ++i;
+      }
+      std::string name;
+      while (i < code.size() && is_word_char(code[i])) {
+        name.push_back(code[i++]);
+      }
+      if (!name.empty() && depth == 0) {
+        names.push_back(name);
+      }
+      pos = code.find(kw, pos + 1);
+    }
+  }
+  return names;
+}
+
+// The identifier a range-for iterates, if `code` contains one:
+//   for (auto& x : NAME) / for (const auto& [k, v] : NAME)
+std::vector<std::string> range_for_targets(const std::string& code) {
+  std::vector<std::string> targets;
+  std::size_t pos = code.find("for");
+  while (pos != std::string::npos) {
+    const bool lb = pos == 0 || !is_word_char(code[pos - 1]);
+    const std::size_t after = pos + 3;
+    if (lb && after < code.size()) {
+      std::size_t open = code.find('(', after);
+      if (open != std::string::npos &&
+          code.find_first_not_of(' ', after) == open) {
+        int depth = 1;
+        std::size_t colon = std::string::npos;
+        std::size_t i = open + 1;
+        for (; i < code.size() && depth > 0; ++i) {
+          if (code[i] == '(' || code[i] == '[' || code[i] == '{') {
+            ++depth;
+          } else if (code[i] == ')' || code[i] == ']' || code[i] == '}') {
+            --depth;
+          } else if (code[i] == ':' && depth == 1 &&
+                     (i + 1 >= code.size() || code[i + 1] != ':') &&
+                     (i == 0 || code[i - 1] != ':')) {
+            colon = i;
+          }
+        }
+        if (colon != std::string::npos) {
+          std::size_t s = code.find_first_not_of(' ', colon + 1);
+          std::string name;
+          while (s != std::string::npos && s < code.size() &&
+                 is_word_char(code[s])) {
+            name.push_back(code[s++]);
+          }
+          if (!name.empty()) {
+            targets.push_back(name);
+          }
+        }
+      }
+    }
+    pos = code.find("for", pos + 3);
+  }
+  return targets;
+}
+
+void check_nondet_order(const std::string& path, const FileLines& file,
+                        std::vector<Finding>& findings) {
+  if (!starts_with(path, "src/verify/")) {
+    return;
+  }
+  std::vector<std::string> unordered_names;
+  for (const SplitLine& line : file.lines) {
+    for (std::string& name : unordered_decl_names(line.code)) {
+      unordered_names.push_back(std::move(name));
+    }
+  }
+  if (unordered_names.empty()) {
+    return;
+  }
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    for (const std::string& target : range_for_targets(file.lines[i].code)) {
+      if (std::find(unordered_names.begin(), unordered_names.end(), target) ==
+          unordered_names.end()) {
+        continue;
+      }
+      if (suppressed_at(file, i, kSuppressNondetOrder)) {
+        continue;
+      }
+      findings.push_back(
+          {path, i + 1, kRuleNondetOrder,
+           "iteration over unordered container `" + target +
+               "` in the verification layer: iteration order is "
+               "unspecified, so any order-sensitive accumulation breaks "
+               "bit-identical results; sort first, or annotate with `// " +
+               std::string(kSuppressNondetOrder) +
+               "` if the fold is provably order-insensitive"});
+    }
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<TokenRule>& nondet_token_rules() {
+  static const std::vector<TokenRule> kRules = {
+      {"random_device", "hardware entropy breaks clone replay", true, true},
+      {"rand(", "global C PRNG is unseeded, hidden state", true, true},
+      {"srand(", "global C PRNG is hidden shared state", true, true},
+      {"drand48(", "global C PRNG is hidden shared state", true, true},
+      {"time(", "wall-clock-derived values differ across runs", true, false},
+      {"::now(", "clock reads are nondeterministic across runs", false,
+       false},
+  };
+  return kRules;
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& contents) {
+  const FileLines file = split_file(contents);
+  std::vector<Finding> findings;
+  check_nondet_sources(path, file, findings);
+  check_object_oracles(path, file, findings);
+  check_protocol_symmetry(path, file, findings);
+  check_nondet_order(path, file, findings);
+  return findings;
+}
+
+std::vector<Finding> lint_tree(const std::string& root,
+                               const std::vector<std::string>& dirs) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  for (const std::string& dir : dirs) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) {
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cpp") {
+        continue;
+      }
+      paths.push_back(
+          fs::relative(entry.path(), fs::path(root)).generic_string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<Finding> findings;
+  for (const std::string& path : paths) {
+    std::ifstream in(fs::path(root) / path, std::ios::binary);
+    if (!in) {
+      findings.push_back({path, 0, "io-error", "cannot read file"});
+      continue;
+    }
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    for (Finding& f : lint_source(path, contents.str())) {
+      findings.push_back(std::move(f));
+    }
+  }
+  return findings;
+}
+
+std::string render_text(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string render_json(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) {
+      out << ",";
+    }
+    out << "\n  {\"file\": \"" << json_escape(f.file)
+        << "\", \"line\": " << f.line << ", \"rule\": \"" << json_escape(f.rule)
+        << "\", \"message\": \"" << json_escape(f.message) << "\"}";
+  }
+  out << (findings.empty() ? "]" : "\n]") << "\n";
+  return out.str();
+}
+
+std::string describe_rules() {
+  std::ostringstream out;
+  out << "randsync-lint rules:\n";
+  out << "  " << kRuleNondetSource
+      << "      banned nondeterminism sources outside runtime/coin.*\n"
+      << "                     (suppress: // " << kSuppressNondetSource
+      << ")\n";
+  out << "                     tokens:";
+  for (const TokenRule& rule : nondet_token_rules()) {
+    out << " `" << rule.token << "`";
+  }
+  out << "\n";
+  out << "  " << kRuleObjectOracle
+      << "      src/objects/ ObjectType subclasses must override "
+         "independent()\n                     (suppress: // "
+      << kSuppressObjectOracle << ")\n";
+  out << "  " << kRuleProtocolSymmetry
+      << "  src/protocols/ coin-drawing protocols must override "
+         "symmetry_key()\n                     (suppress: // "
+      << kSuppressProtocolSymmetry << ")\n";
+  out << "  " << kRuleNondetOrder
+      << "       src/verify/ must not iterate unordered containers\n"
+         "                     (suppress: // "
+      << kSuppressNondetOrder << ")\n";
+  return out.str();
+}
+
+}  // namespace randsync::lint

@@ -1,0 +1,96 @@
+// randsync-lint: project-specific determinism & contract linter.
+//
+// The simulator's guarantees -- bit-identical parallel exploration,
+// clone-replayable adversaries, sound partial-order reduction -- rest on
+// source-level invariants the compiler cannot check:
+//
+//   * all nondeterminism flows through runtime/coin.* (no ambient
+//     randomness, no wall-clock-derived values in simulation code);
+//   * every ObjectType either overrides the independence oracle or
+//     explicitly opts into the conservative default;
+//   * every protocol that draws coins either overrides symmetry_key()
+//     or explicitly opts into the ConsensusProcess default;
+//   * no result-affecting accumulation iterates an unordered container
+//     in the verification layer (iteration order is unspecified and
+//     varies across libstdc++ versions -- a silent determinism break).
+//
+// The engine is deliberately lexical: it scans source text line by line
+// with comment and string-literal stripping, driven by the declarative
+// rule table in lint_rules().  Lexical linting trades completeness for
+// zero build-dependency and total predictability; the contract audit
+// (src/verify/contracts.h) covers the semantic half.
+//
+// Suppressions: a finding is silenced by its rule's marker comment --
+// e.g. `// lint: nondet-ok` -- on the SAME line or the line directly
+// above.  Each marker silences only its own rule, so an annotation
+// cannot accidentally blanket-waive unrelated findings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace randsync::lint {
+
+/// One reported violation.
+struct Finding {
+  std::string file;     ///< path as scanned (relative to the scan root)
+  std::size_t line = 0; ///< 1-based
+  std::string rule;     ///< rule id, e.g. "nondet-source"
+  std::string message;  ///< human-readable detail, names the suppression
+};
+
+/// A banned-token rule: `token` must not appear (in code, outside
+/// comments and string literals) in files whose path starts with one of
+/// `scopes`, unless the path starts with one of `whitelist` or the
+/// rule's suppression marker is present.  Token matching requires a
+/// word boundary on the left (so `srand(` is its own entry rather than
+/// an accidental match of `rand(`).
+struct TokenRule {
+  const char* token;
+  const char* reason;
+  /// When true (default), the character before the match must not be a
+  /// word character.  Suffix tokens like "::now(" clear it.
+  bool boundary = true;
+  /// Clock reads are the measurement primitive of bench/, so the clock
+  /// tokens clear this and apply only to src/ and tools/.
+  bool banned_in_bench = true;
+};
+
+/// Rule identifiers (also the ctest/CI-facing names).
+inline constexpr const char* kRuleNondetSource = "nondet-source";
+inline constexpr const char* kRuleObjectOracle = "object-oracle";
+inline constexpr const char* kRuleProtocolSymmetry = "protocol-symmetry";
+inline constexpr const char* kRuleNondetOrder = "nondet-order";
+
+/// Suppression markers, one per rule.
+inline constexpr const char* kSuppressNondetSource = "lint: nondet-ok";
+inline constexpr const char* kSuppressObjectOracle =
+    "lint: conservative-default";
+inline constexpr const char* kSuppressProtocolSymmetry =
+    "lint: default-symmetry-key";
+inline constexpr const char* kSuppressNondetOrder = "lint: nondet-order-ok";
+
+/// The banned nondeterminism sources (rule "nondet-source").
+[[nodiscard]] const std::vector<TokenRule>& nondet_token_rules();
+
+/// Lint one file's contents.  `path` must be the repo-relative path
+/// (e.g. "src/objects/foo.h"); rule applicability is derived from it.
+[[nodiscard]] std::vector<Finding> lint_source(const std::string& path,
+                                               const std::string& contents);
+
+/// Lint every .h/.cpp file under `root`/<dir> for each dir in `dirs`
+/// (paths reported relative to `root`).  Files that cannot be read are
+/// reported as findings under rule "io-error".
+[[nodiscard]] std::vector<Finding> lint_tree(
+    const std::string& root, const std::vector<std::string>& dirs);
+
+/// Render findings: one "file:line: [rule] message" per line.
+[[nodiscard]] std::string render_text(const std::vector<Finding>& findings);
+
+/// Render findings as a JSON array (machine-readable, stable key order).
+[[nodiscard]] std::string render_json(const std::vector<Finding>& findings);
+
+/// One-paragraph rule table listing for --list-rules and the docs.
+[[nodiscard]] std::string describe_rules();
+
+}  // namespace randsync::lint

@@ -1,0 +1,54 @@
+// randsync-lint -- determinism & contract linter for the randsync tree.
+//
+//   randsync_lint [--root=DIR] [--json] [--list-rules] [dir...]
+//
+// Scans src/, tools/ and bench/ under the root (default: the current
+// directory; override with --root or positional directories) for the
+// rule table documented in docs/STATIC_ANALYSIS.md.  Exits 0 when the
+// tree is clean, 1 when findings exist, 2 on usage errors.
+//
+// Wired in as the `lint` ctest (label: lint) and as the build target
+// `cmake --build build --target lint`.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint_engine.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool json = false;
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      std::fputs(randsync::lint::describe_rules().c_str(), stdout);
+      return 0;
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: randsync_lint [--root=DIR] "
+                   "[--json] [--list-rules] [dir...]\n",
+                   arg.c_str());
+      return 2;
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (dirs.empty()) {
+    dirs = {"src", "tools", "bench"};
+  }
+  const auto findings = randsync::lint::lint_tree(root, dirs);
+  if (json) {
+    std::fputs(randsync::lint::render_json(findings).c_str(), stdout);
+  } else {
+    std::fputs(randsync::lint::render_text(findings).c_str(), stdout);
+    std::fprintf(stdout, "randsync-lint: %zu finding%s\n", findings.size(),
+                 findings.size() == 1 ? "" : "s");
+  }
+  return findings.empty() ? 0 : 1;
+}
