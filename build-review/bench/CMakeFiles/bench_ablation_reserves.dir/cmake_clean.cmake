@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reserves.dir/bench_ablation_reserves.cpp.o"
+  "CMakeFiles/bench_ablation_reserves.dir/bench_ablation_reserves.cpp.o.d"
+  "bench_ablation_reserves"
+  "bench_ablation_reserves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reserves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adversarial_termination.dir/bench_adversarial_termination.cpp.o"
+  "CMakeFiles/bench_adversarial_termination.dir/bench_adversarial_termination.cpp.o.d"
+  "bench_adversarial_termination"
+  "bench_adversarial_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adversarial_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

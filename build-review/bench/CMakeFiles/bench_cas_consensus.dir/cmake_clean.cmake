@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cas_consensus.dir/bench_cas_consensus.cpp.o"
+  "CMakeFiles/bench_cas_consensus.dir/bench_cas_consensus.cpp.o.d"
+  "bench_cas_consensus"
+  "bench_cas_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cas_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

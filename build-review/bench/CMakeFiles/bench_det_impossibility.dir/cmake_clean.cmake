@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_det_impossibility.dir/bench_det_impossibility.cpp.o"
+  "CMakeFiles/bench_det_impossibility.dir/bench_det_impossibility.cpp.o.d"
+  "bench_det_impossibility"
+  "bench_det_impossibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_det_impossibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

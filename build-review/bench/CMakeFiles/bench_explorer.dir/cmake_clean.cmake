@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_explorer.dir/bench_explorer.cpp.o"
+  "CMakeFiles/bench_explorer.dir/bench_explorer.cpp.o.d"
+  "bench_explorer"
+  "bench_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

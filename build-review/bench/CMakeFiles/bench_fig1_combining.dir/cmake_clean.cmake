@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_combining.dir/bench_fig1_combining.cpp.o"
+  "CMakeFiles/bench_fig1_combining.dir/bench_fig1_combining.cpp.o.d"
+  "bench_fig1_combining"
+  "bench_fig1_combining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_combining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma31_clone_adversary.dir/bench_lemma31_clone_adversary.cpp.o"
+  "CMakeFiles/bench_lemma31_clone_adversary.dir/bench_lemma31_clone_adversary.cpp.o.d"
+  "bench_lemma31_clone_adversary"
+  "bench_lemma31_clone_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma31_clone_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_lemma31_clone_adversary.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma34_interruptible.dir/bench_lemma34_interruptible.cpp.o"
+  "CMakeFiles/bench_lemma34_interruptible.dir/bench_lemma34_interruptible.cpp.o.d"
+  "bench_lemma34_interruptible"
+  "bench_lemma34_interruptible.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma34_interruptible.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

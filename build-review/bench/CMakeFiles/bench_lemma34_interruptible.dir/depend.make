@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_lemma34_interruptible.
+# This may be replaced when dependencies are built.

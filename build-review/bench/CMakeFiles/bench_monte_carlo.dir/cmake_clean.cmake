@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_monte_carlo.dir/bench_monte_carlo.cpp.o"
+  "CMakeFiles/bench_monte_carlo.dir/bench_monte_carlo.cpp.o.d"
+  "bench_monte_carlo"
+  "bench_monte_carlo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_monte_carlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_on_registers_upper.dir/bench_on_registers_upper.cpp.o"
+  "CMakeFiles/bench_on_registers_upper.dir/bench_on_registers_upper.cpp.o.d"
+  "bench_on_registers_upper"
+  "bench_on_registers_upper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_on_registers_upper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rounds_consensus.dir/bench_rounds_consensus.cpp.o"
+  "CMakeFiles/bench_rounds_consensus.dir/bench_rounds_consensus.cpp.o.d"
+  "bench_rounds_consensus"
+  "bench_rounds_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rounds_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

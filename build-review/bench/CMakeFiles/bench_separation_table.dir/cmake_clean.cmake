@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_separation_table.dir/bench_separation_table.cpp.o"
+  "CMakeFiles/bench_separation_table.dir/bench_separation_table.cpp.o.d"
+  "bench_separation_table"
+  "bench_separation_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_separation_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shared_coin.dir/bench_shared_coin.cpp.o"
+  "CMakeFiles/bench_shared_coin.dir/bench_shared_coin.cpp.o.d"
+  "bench_shared_coin"
+  "bench_shared_coin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shared_coin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_termination_distributions.dir/bench_termination_distributions.cpp.o"
+  "CMakeFiles/bench_termination_distributions.dir/bench_termination_distributions.cpp.o.d"
+  "bench_termination_distributions"
+  "bench_termination_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_termination_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm21_composition.dir/bench_thm21_composition.cpp.o"
+  "CMakeFiles/bench_thm21_composition.dir/bench_thm21_composition.cpp.o.d"
+  "bench_thm21_composition"
+  "bench_thm21_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm21_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm37_sqrtn_lowerbound.dir/bench_thm37_sqrtn_lowerbound.cpp.o"
+  "CMakeFiles/bench_thm37_sqrtn_lowerbound.dir/bench_thm37_sqrtn_lowerbound.cpp.o.d"
+  "bench_thm37_sqrtn_lowerbound"
+  "bench_thm37_sqrtn_lowerbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm37_sqrtn_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

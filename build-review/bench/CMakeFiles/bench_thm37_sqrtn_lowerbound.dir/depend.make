@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_thm37_sqrtn_lowerbound.
+# This may be replaced when dependencies are built.

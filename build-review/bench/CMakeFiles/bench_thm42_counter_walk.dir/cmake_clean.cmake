@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm42_counter_walk.dir/bench_thm42_counter_walk.cpp.o"
+  "CMakeFiles/bench_thm42_counter_walk.dir/bench_thm42_counter_walk.cpp.o.d"
+  "bench_thm42_counter_walk"
+  "bench_thm42_counter_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm42_counter_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm44_faa_consensus.dir/bench_thm44_faa_consensus.cpp.o"
+  "CMakeFiles/bench_thm44_faa_consensus.dir/bench_thm44_faa_consensus.cpp.o.d"
+  "bench_thm44_faa_consensus"
+  "bench_thm44_faa_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm44_faa_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

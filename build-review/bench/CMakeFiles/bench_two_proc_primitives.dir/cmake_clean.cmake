@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_two_proc_primitives.dir/bench_two_proc_primitives.cpp.o"
+  "CMakeFiles/bench_two_proc_primitives.dir/bench_two_proc_primitives.cpp.o.d"
+  "bench_two_proc_primitives"
+  "bench_two_proc_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_two_proc_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/break_a_protocol.dir/break_a_protocol.cpp.o"
+  "CMakeFiles/break_a_protocol.dir/break_a_protocol.cpp.o.d"
+  "break_a_protocol"
+  "break_a_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/break_a_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

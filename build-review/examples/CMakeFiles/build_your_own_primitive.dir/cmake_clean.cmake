@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_your_own_primitive.dir/build_your_own_primitive.cpp.o"
+  "CMakeFiles/build_your_own_primitive.dir/build_your_own_primitive.cpp.o.d"
+  "build_your_own_primitive"
+  "build_your_own_primitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_your_own_primitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

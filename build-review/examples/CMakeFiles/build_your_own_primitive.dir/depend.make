@@ -1,0 +1,2 @@
+# Empty dependencies file for build_your_own_primitive.
+# This may be replaced when dependencies are built.

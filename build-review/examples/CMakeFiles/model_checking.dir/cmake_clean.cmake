@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_checking.dir/model_checking.cpp.o"
+  "CMakeFiles/model_checking.dir/model_checking.cpp.o.d"
+  "model_checking"
+  "model_checking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_checking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

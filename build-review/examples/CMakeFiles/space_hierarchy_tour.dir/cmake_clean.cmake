@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_hierarchy_tour.dir/space_hierarchy_tour.cpp.o"
+  "CMakeFiles/space_hierarchy_tour.dir/space_hierarchy_tour.cpp.o.d"
+  "space_hierarchy_tour"
+  "space_hierarchy_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_hierarchy_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

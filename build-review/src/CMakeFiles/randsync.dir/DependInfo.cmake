@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bivalence.cpp" "src/CMakeFiles/randsync.dir/core/bivalence.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/core/bivalence.cpp.o.d"
+  "/root/repo/src/core/clone_adversary.cpp" "src/CMakeFiles/randsync.dir/core/clone_adversary.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/core/clone_adversary.cpp.o.d"
+  "/root/repo/src/core/general_adversary.cpp" "src/CMakeFiles/randsync.dir/core/general_adversary.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/core/general_adversary.cpp.o.d"
+  "/root/repo/src/core/interruptible.cpp" "src/CMakeFiles/randsync.dir/core/interruptible.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/core/interruptible.cpp.o.d"
+  "/root/repo/src/core/separation.cpp" "src/CMakeFiles/randsync.dir/core/separation.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/core/separation.cpp.o.d"
+  "/root/repo/src/core/stallers.cpp" "src/CMakeFiles/randsync.dir/core/stallers.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/core/stallers.cpp.o.d"
+  "/root/repo/src/emulation/counter_emulations.cpp" "src/CMakeFiles/randsync.dir/emulation/counter_emulations.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/emulation/counter_emulations.cpp.o.d"
+  "/root/repo/src/emulation/emulated_protocol.cpp" "src/CMakeFiles/randsync.dir/emulation/emulated_protocol.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/emulation/emulated_protocol.cpp.o.d"
+  "/root/repo/src/emulation/historyless_emulations.cpp" "src/CMakeFiles/randsync.dir/emulation/historyless_emulations.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/emulation/historyless_emulations.cpp.o.d"
+  "/root/repo/src/emulation/passthrough.cpp" "src/CMakeFiles/randsync.dir/emulation/passthrough.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/emulation/passthrough.cpp.o.d"
+  "/root/repo/src/objects/algebra.cpp" "src/CMakeFiles/randsync.dir/objects/algebra.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/objects/algebra.cpp.o.d"
+  "/root/repo/src/objects/compare_and_swap.cpp" "src/CMakeFiles/randsync.dir/objects/compare_and_swap.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/objects/compare_and_swap.cpp.o.d"
+  "/root/repo/src/objects/counter.cpp" "src/CMakeFiles/randsync.dir/objects/counter.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/objects/counter.cpp.o.d"
+  "/root/repo/src/objects/fetch_add.cpp" "src/CMakeFiles/randsync.dir/objects/fetch_add.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/objects/fetch_add.cpp.o.d"
+  "/root/repo/src/objects/fetch_inc.cpp" "src/CMakeFiles/randsync.dir/objects/fetch_inc.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/objects/fetch_inc.cpp.o.d"
+  "/root/repo/src/objects/register.cpp" "src/CMakeFiles/randsync.dir/objects/register.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/objects/register.cpp.o.d"
+  "/root/repo/src/objects/sticky_bit.cpp" "src/CMakeFiles/randsync.dir/objects/sticky_bit.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/objects/sticky_bit.cpp.o.d"
+  "/root/repo/src/objects/swap_register.cpp" "src/CMakeFiles/randsync.dir/objects/swap_register.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/objects/swap_register.cpp.o.d"
+  "/root/repo/src/objects/test_and_set.cpp" "src/CMakeFiles/randsync.dir/objects/test_and_set.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/objects/test_and_set.cpp.o.d"
+  "/root/repo/src/objects/type_registry.cpp" "src/CMakeFiles/randsync.dir/objects/type_registry.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/objects/type_registry.cpp.o.d"
+  "/root/repo/src/protocols/adopt_commit.cpp" "src/CMakeFiles/randsync.dir/protocols/adopt_commit.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/protocols/adopt_commit.cpp.o.d"
+  "/root/repo/src/protocols/drift_walk.cpp" "src/CMakeFiles/randsync.dir/protocols/drift_walk.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/protocols/drift_walk.cpp.o.d"
+  "/root/repo/src/protocols/harness.cpp" "src/CMakeFiles/randsync.dir/protocols/harness.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/protocols/harness.cpp.o.d"
+  "/root/repo/src/protocols/historyless_race.cpp" "src/CMakeFiles/randsync.dir/protocols/historyless_race.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/protocols/historyless_race.cpp.o.d"
+  "/root/repo/src/protocols/one_counter_walk.cpp" "src/CMakeFiles/randsync.dir/protocols/one_counter_walk.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/protocols/one_counter_walk.cpp.o.d"
+  "/root/repo/src/protocols/register_race.cpp" "src/CMakeFiles/randsync.dir/protocols/register_race.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/protocols/register_race.cpp.o.d"
+  "/root/repo/src/protocols/register_walk.cpp" "src/CMakeFiles/randsync.dir/protocols/register_walk.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/protocols/register_walk.cpp.o.d"
+  "/root/repo/src/protocols/registry.cpp" "src/CMakeFiles/randsync.dir/protocols/registry.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/protocols/registry.cpp.o.d"
+  "/root/repo/src/protocols/retry_race.cpp" "src/CMakeFiles/randsync.dir/protocols/retry_race.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/protocols/retry_race.cpp.o.d"
+  "/root/repo/src/protocols/rounds_consensus.cpp" "src/CMakeFiles/randsync.dir/protocols/rounds_consensus.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/protocols/rounds_consensus.cpp.o.d"
+  "/root/repo/src/protocols/shared_coin.cpp" "src/CMakeFiles/randsync.dir/protocols/shared_coin.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/protocols/shared_coin.cpp.o.d"
+  "/root/repo/src/protocols/single_object.cpp" "src/CMakeFiles/randsync.dir/protocols/single_object.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/protocols/single_object.cpp.o.d"
+  "/root/repo/src/runtime/coin.cpp" "src/CMakeFiles/randsync.dir/runtime/coin.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/runtime/coin.cpp.o.d"
+  "/root/repo/src/runtime/configuration.cpp" "src/CMakeFiles/randsync.dir/runtime/configuration.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/runtime/configuration.cpp.o.d"
+  "/root/repo/src/runtime/executor.cpp" "src/CMakeFiles/randsync.dir/runtime/executor.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/runtime/executor.cpp.o.d"
+  "/root/repo/src/runtime/object_space.cpp" "src/CMakeFiles/randsync.dir/runtime/object_space.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/runtime/object_space.cpp.o.d"
+  "/root/repo/src/runtime/parallel.cpp" "src/CMakeFiles/randsync.dir/runtime/parallel.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/runtime/parallel.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/CMakeFiles/randsync.dir/runtime/scheduler.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/runtime/scheduler.cpp.o.d"
+  "/root/repo/src/runtime/trace.cpp" "src/CMakeFiles/randsync.dir/runtime/trace.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/runtime/trace.cpp.o.d"
+  "/root/repo/src/runtime/types.cpp" "src/CMakeFiles/randsync.dir/runtime/types.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/runtime/types.cpp.o.d"
+  "/root/repo/src/verify/contracts.cpp" "src/CMakeFiles/randsync.dir/verify/contracts.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/verify/contracts.cpp.o.d"
+  "/root/repo/src/verify/explorer.cpp" "src/CMakeFiles/randsync.dir/verify/explorer.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/verify/explorer.cpp.o.d"
+  "/root/repo/src/verify/history.cpp" "src/CMakeFiles/randsync.dir/verify/history.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/verify/history.cpp.o.d"
+  "/root/repo/src/verify/linearizability.cpp" "src/CMakeFiles/randsync.dir/verify/linearizability.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/verify/linearizability.cpp.o.d"
+  "/root/repo/src/verify/minimize.cpp" "src/CMakeFiles/randsync.dir/verify/minimize.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/verify/minimize.cpp.o.d"
+  "/root/repo/src/verify/por.cpp" "src/CMakeFiles/randsync.dir/verify/por.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/verify/por.cpp.o.d"
+  "/root/repo/src/verify/state_set.cpp" "src/CMakeFiles/randsync.dir/verify/state_set.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/verify/state_set.cpp.o.d"
+  "/root/repo/src/verify/stats.cpp" "src/CMakeFiles/randsync.dir/verify/stats.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/verify/stats.cpp.o.d"
+  "/root/repo/src/verify/symmetry.cpp" "src/CMakeFiles/randsync.dir/verify/symmetry.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/verify/symmetry.cpp.o.d"
+  "/root/repo/src/verify/trace_audit.cpp" "src/CMakeFiles/randsync.dir/verify/trace_audit.cpp.o" "gcc" "src/CMakeFiles/randsync.dir/verify/trace_audit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adopt_commit_test.dir/adopt_commit_test.cpp.o"
+  "CMakeFiles/adopt_commit_test.dir/adopt_commit_test.cpp.o.d"
+  "adopt_commit_test"
+  "adopt_commit_test.pdb"
+  "adopt_commit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adopt_commit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

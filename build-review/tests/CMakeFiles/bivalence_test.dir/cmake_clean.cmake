@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bivalence_test.dir/bivalence_test.cpp.o"
+  "CMakeFiles/bivalence_test.dir/bivalence_test.cpp.o.d"
+  "bivalence_test"
+  "bivalence_test.pdb"
+  "bivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

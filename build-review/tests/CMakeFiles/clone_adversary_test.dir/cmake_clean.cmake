@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clone_adversary_test.dir/clone_adversary_test.cpp.o"
+  "CMakeFiles/clone_adversary_test.dir/clone_adversary_test.cpp.o.d"
+  "clone_adversary_test"
+  "clone_adversary_test.pdb"
+  "clone_adversary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clone_adversary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

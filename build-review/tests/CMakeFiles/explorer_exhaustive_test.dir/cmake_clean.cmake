@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explorer_exhaustive_test.dir/explorer_exhaustive_test.cpp.o"
+  "CMakeFiles/explorer_exhaustive_test.dir/explorer_exhaustive_test.cpp.o.d"
+  "explorer_exhaustive_test"
+  "explorer_exhaustive_test.pdb"
+  "explorer_exhaustive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explorer_exhaustive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

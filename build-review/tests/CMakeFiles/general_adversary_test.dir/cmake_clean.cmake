@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/general_adversary_test.dir/general_adversary_test.cpp.o"
+  "CMakeFiles/general_adversary_test.dir/general_adversary_test.cpp.o.d"
+  "general_adversary_test"
+  "general_adversary_test.pdb"
+  "general_adversary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/general_adversary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

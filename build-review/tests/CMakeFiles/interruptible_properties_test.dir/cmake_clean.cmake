@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interruptible_properties_test.dir/interruptible_properties_test.cpp.o"
+  "CMakeFiles/interruptible_properties_test.dir/interruptible_properties_test.cpp.o.d"
+  "interruptible_properties_test"
+  "interruptible_properties_test.pdb"
+  "interruptible_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interruptible_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

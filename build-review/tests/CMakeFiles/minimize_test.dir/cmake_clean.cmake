@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minimize_test.dir/minimize_test.cpp.o"
+  "CMakeFiles/minimize_test.dir/minimize_test.cpp.o.d"
+  "minimize_test"
+  "minimize_test.pdb"
+  "minimize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minimize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/por_differential_test.dir/por_differential_test.cpp.o"
+  "CMakeFiles/por_differential_test.dir/por_differential_test.cpp.o.d"
+  "por_differential_test"
+  "por_differential_test.pdb"
+  "por_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/por_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

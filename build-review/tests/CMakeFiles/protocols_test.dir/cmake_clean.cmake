@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocols_test.dir/protocols_test.cpp.o"
+  "CMakeFiles/protocols_test.dir/protocols_test.cpp.o.d"
+  "protocols_test"
+  "protocols_test.pdb"
+  "protocols_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

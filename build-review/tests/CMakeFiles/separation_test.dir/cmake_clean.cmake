@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/separation_test.dir/separation_test.cpp.o"
+  "CMakeFiles/separation_test.dir/separation_test.cpp.o.d"
+  "separation_test"
+  "separation_test.pdb"
+  "separation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/separation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

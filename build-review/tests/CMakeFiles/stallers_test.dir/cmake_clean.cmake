@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stallers_test.dir/stallers_test.cpp.o"
+  "CMakeFiles/stallers_test.dir/stallers_test.cpp.o.d"
+  "stallers_test"
+  "stallers_test.pdb"
+  "stallers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stallers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

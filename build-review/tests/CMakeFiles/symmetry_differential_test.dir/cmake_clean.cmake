@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symmetry_differential_test.dir/symmetry_differential_test.cpp.o"
+  "CMakeFiles/symmetry_differential_test.dir/symmetry_differential_test.cpp.o.d"
+  "symmetry_differential_test"
+  "symmetry_differential_test.pdb"
+  "symmetry_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symmetry_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walk_abstract_model_test.dir/walk_abstract_model_test.cpp.o"
+  "CMakeFiles/walk_abstract_model_test.dir/walk_abstract_model_test.cpp.o.d"
+  "walk_abstract_model_test"
+  "walk_abstract_model_test.pdb"
+  "walk_abstract_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walk_abstract_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

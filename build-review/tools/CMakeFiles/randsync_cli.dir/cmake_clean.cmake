@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randsync_cli.dir/randsync_cli.cpp.o"
+  "CMakeFiles/randsync_cli.dir/randsync_cli.cpp.o.d"
+  "randsync"
+  "randsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randsync_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

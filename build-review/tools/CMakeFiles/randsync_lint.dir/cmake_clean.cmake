@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randsync_lint.dir/randsync_lint.cpp.o"
+  "CMakeFiles/randsync_lint.dir/randsync_lint.cpp.o.d"
+  "randsync_lint"
+  "randsync_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randsync_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randsync_lint_core.dir/lint_engine.cpp.o"
+  "CMakeFiles/randsync_lint_core.dir/lint_engine.cpp.o.d"
+  "librandsync_lint_core.a"
+  "librandsync_lint_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randsync_lint_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librandsync_lint_core.a"
+)

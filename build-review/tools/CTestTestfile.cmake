@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-review/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(lint "/root/repo/build-review/tools/randsync_lint" "--root=/root/repo")
+set_tests_properties(lint PROPERTIES  LABELS "lint" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_list "/root/repo/build-review/tools/randsync" "list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_table "/root/repo/build-review/tools/randsync" "table")
+set_tests_properties(cli_table PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run "/root/repo/build-review/tools/randsync" "run" "faa-consensus" "6" "--seed=3")
+set_tests_properties(cli_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_attack "/root/repo/build-review/tools/randsync" "attack" "round-voting" "--param=3")
+set_tests_properties(cli_attack PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;30;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_attack_general "/root/repo/build-review/tools/randsync" "attack" "historyless-mixed" "--param=2" "--general")
+set_tests_properties(cli_attack_general PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_explore "/root/repo/build-review/tools/randsync" "explore" "cas-consensus" "01")
+set_tests_properties(cli_explore PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;32;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_stall "/root/repo/build-review/tools/randsync" "stall" "faa-consensus" "--seed=2")
+set_tests_properties(cli_stall PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;33;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_cycle "/root/repo/build-review/tools/randsync" "cycle" "retry-race" "01")
+set_tests_properties(cli_cycle PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;34;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_audit_contracts "/root/repo/build-review/tools/randsync" "audit" "--contracts" "--json")
+set_tests_properties(cli_audit_contracts PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;35;add_test;/root/repo/tools/CMakeLists.txt;0;")
