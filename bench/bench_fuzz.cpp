@@ -1,0 +1,183 @@
+// B5 -- Monte-Carlo fuzzing throughput and tail estimation: the
+// schedule-fuzzing engine (verify/fuzz.h) across adversary policies,
+// plus one importance-splitting run estimating a non-termination tail
+// plain sampling cannot reach.  Three numbers matter per cell: trials
+// per second (the engine's reason to exist), the decided/undecided
+// split, and -- for the splitting case -- the per-level survival
+// table.
+//
+// The bench doubles as a determinism check: every campaign runs at 1
+// thread and at N threads and the two FuzzResults must be
+// bit-identical (byte-compared through fuzz_result_json); honest
+// protocols must show zero violations.  Exits 1 on any disagreement
+// or violation.
+//
+// With --json=FILE the bench emits the machine-readable record
+// (schema: bench/README.md); the checked-in baseline lives at
+// bench/baselines/BENCH_fuzz.json.  All fields except the timing ones
+// are deterministic.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "protocols/registry.h"
+#include "verify/fuzz.h"
+
+namespace randsync {
+namespace {
+
+struct FuzzCase {
+  const char* protocol;
+  std::size_t n;
+  PolicyKind policy;
+  std::size_t trials;
+  std::size_t max_steps;
+  std::size_t split_levels;  ///< 0 = plain sampling
+};
+
+// The policy sweep runs the flagship protocol under every adversary;
+// the splitting case aims at the walk whose termination tail is the
+// engine's target observable.  Trials are sized so the whole grid
+// finishes in seconds at 1 thread.
+const std::vector<FuzzCase>& grid() {
+  static const std::vector<FuzzCase> cases = {
+      {"faa-consensus", 4, PolicyKind::kUniform, 200'000, 4096, 0},
+      {"faa-consensus", 4, PolicyKind::kStarve, 50'000, 4096, 0},
+      {"faa-consensus", 4, PolicyKind::kWriteCover, 50'000, 4096, 0},
+      {"faa-consensus", 4, PolicyKind::kBursts, 50'000, 4096, 0},
+      {"faa-consensus", 8, PolicyKind::kUniform, 50'000, 8192, 0},
+      {"one-counter-walk", 4, PolicyKind::kUniform, 2'000, 32, 3},
+  };
+  return cases;
+}
+
+FuzzOptions options_for(const FuzzCase& c, std::size_t trials,
+                        std::size_t threads) {
+  FuzzOptions opt;
+  opt.trials = trials;
+  opt.max_steps = c.max_steps;
+  opt.seed = 1;
+  opt.policy = c.policy;
+  opt.threads = threads;
+  opt.split_levels = c.split_levels;
+  return opt;
+}
+
+int run(const bench::BenchOptions& opt) {
+  bench::banner("B5 / schedule fuzzing: throughput + tail estimation");
+  const std::size_t threads = opt.effective_threads();
+  bench::JsonReporter report("bench_fuzz", threads);
+  bool ok = true;
+
+  std::printf("%-26s %-11s %9s %9s %9s %6s %12s %12s %8s\n", "instance",
+              "policy", "trials", "schedules", "decided", "viol",
+              "trials/sec", "@N trials/s", "speedup");
+  bench::rule(110);
+  for (const FuzzCase& c : grid()) {
+    const auto protocol = find_protocol(c.protocol)->make(std::nullopt);
+    const auto inputs = alternating_inputs(c.n);
+    // --trials scales the FIRST (throughput) case only; the rest of the
+    // grid keeps its calibrated budgets so the baseline stays comparable.
+    const std::size_t trials =
+        &c == &grid().front() ? opt.trials_or(c.trials) : c.trials;
+
+    auto start = bench::Clock::now();
+    const FuzzResult serial =
+        fuzz(*protocol, inputs, options_for(c, trials, 1));
+    const double serial_wall = bench::seconds_since(start);
+
+    start = bench::Clock::now();
+    const FuzzResult threaded =
+        fuzz(*protocol, inputs, options_for(c, trials, threads));
+    const double threaded_wall = bench::seconds_since(start);
+
+    // Determinism: byte-compare the full JSON rendering (the same
+    // comparison the fuzz tests pin), not just operator==.
+    const bool agree =
+        fuzz_result_json(serial, c.protocol, c.n,
+                         options_for(c, trials, 1)) ==
+        fuzz_result_json(threaded, c.protocol, c.n,
+                         options_for(c, trials, 1));
+    if (!agree) {
+      std::fprintf(stderr, "DIVERGED (BUG!): %s n=%zu %s @%zu threads\n",
+                   c.protocol, c.n, to_string(c.policy).c_str(), threads);
+      ok = false;
+    }
+    if (serial.violations != 0) {
+      std::fprintf(stderr, "VIOLATION (BUG!): %s n=%zu %s is honest\n",
+                   c.protocol, c.n, to_string(c.policy).c_str());
+      ok = false;
+    }
+
+    const double serial_rate =
+        serial_wall > 0 ? static_cast<double>(trials) / serial_wall : 0.0;
+    const double threaded_rate =
+        threaded_wall > 0 ? static_cast<double>(trials) / threaded_wall : 0.0;
+    char instance[64];
+    std::snprintf(instance, sizeof(instance), "%s n=%zu d=%zu%s", c.protocol,
+                  c.n, c.max_steps, c.split_levels > 0 ? " +split" : "");
+    std::printf("%-26s %-11s %9zu %9llu %9llu %6llu %12.0f %12.0f %7.2fx\n",
+                instance, to_string(c.policy).c_str(), trials,
+                static_cast<unsigned long long>(serial.schedules),
+                static_cast<unsigned long long>(serial.decided),
+                static_cast<unsigned long long>(serial.violations),
+                serial_rate, threaded_rate,
+                threaded_wall > 0 ? serial_wall / threaded_wall : 0.0);
+
+    auto& rec = report.add("fuzz")
+                    .field("protocol", std::string(c.protocol))
+                    .count("n", c.n)
+                    .field("policy", to_string(c.policy))
+                    .count("trials", trials)
+                    .count("max_steps", c.max_steps)
+                    .count("split_levels", c.split_levels)
+                    .field("schedules", serial.schedules)
+                    .field("total_steps", serial.total_steps)
+                    .field("decided", serial.decided)
+                    .field("undecided", serial.undecided)
+                    .field("violations", serial.violations)
+                    .field("max_steps_seen", serial.max_steps_seen)
+                    .field("max_objects_touched", serial.max_objects_touched)
+                    .field("agree", agree)
+                    .field("serial_wall_seconds", serial_wall)
+                    .field("threaded_wall_seconds", threaded_wall)
+                    .field("serial_trials_per_sec", serial_rate)
+                    .field("threaded_trials_per_sec", threaded_rate);
+    (void)rec;
+
+    if (c.split_levels > 0) {
+      std::printf("  tail (per-level survival):\n");
+      for (std::size_t k = 0; k < serial.tail.size(); ++k) {
+        const FuzzTailLevel& tail = serial.tail[k];
+        const double p = fuzz_tail_probability(serial, k);
+        std::printf("    depth=%-5zu attempts=%-7llu survivors=%-7llu "
+                    "stuck=%-4llu P(undecided)=%.4g\n",
+                    tail.depth,
+                    static_cast<unsigned long long>(tail.attempts),
+                    static_cast<unsigned long long>(tail.survivors),
+                    static_cast<unsigned long long>(tail.stuck), p);
+        report.add("tail")
+            .field("protocol", std::string(c.protocol))
+            .count("n", c.n)
+            .count("depth", tail.depth)
+            .field("attempts", tail.attempts)
+            .field("survivors", tail.survivors)
+            .field("stuck", tail.stuck)
+            .field("p_undecided", p);
+      }
+    }
+  }
+  std::printf("  -> cross-thread agreement (%zu thread(s)): %s\n", threads,
+              ok ? "OK" : "DIVERGED (BUG!)");
+  report.add("agreement").field("ok", ok).count("threads", threads);
+  report.write(opt);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace randsync
+
+int main(int argc, char** argv) {
+  return randsync::run(randsync::bench::parse_bench_args(argc, argv));
+}

@@ -1,0 +1,235 @@
+#include "verify/adversary_policies.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace randsync {
+namespace {
+
+// Shared helper: collect the undecided processes into `out` (reused
+// buffer, no per-call allocation once warm).
+void undecided_processes(const Configuration& config,
+                         std::vector<ProcessId>& out) {
+  out.clear();
+  for (ProcessId pid = 0; pid < config.num_processes(); ++pid) {
+    if (!config.decided(pid)) {
+      out.push_back(pid);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// uniform: the weak adversary.
+
+class UniformPolicy final : public SchedulePolicy {
+ public:
+  void reset(const Configuration& config, CoinSource& coin) override {
+    (void)config;
+    (void)coin;
+  }
+
+  std::optional<ProcessId> next(const Configuration& config,
+                                CoinSource& coin) override {
+    undecided_processes(config, live_);
+    if (live_.empty()) {
+      return std::nullopt;
+    }
+    return live_[coin.below(live_.size())];
+  }
+
+ private:
+  std::vector<ProcessId> live_;
+};
+
+// ---------------------------------------------------------------------
+// starve: freeze a random victim subset until the rest are done.
+
+class StarvePolicy final : public SchedulePolicy {
+ public:
+  void reset(const Configuration& config, CoinSource& coin) override {
+    victim_.assign(config.num_processes(), 0);
+    const std::size_t n = config.num_processes();
+    if (n < 2) {
+      return;
+    }
+    // 1 .. n-1 victims: at least one process is starved, at least one
+    // runs.  The victims are a uniform subset of that size.
+    const std::size_t victims = 1 + coin.below(n - 1);
+    std::size_t chosen = 0;
+    for (ProcessId pid = 0; pid < n && chosen < victims; ++pid) {
+      const std::size_t remaining = n - pid;
+      if (coin.below(remaining) < victims - chosen) {
+        victim_[pid] = 1;
+        ++chosen;
+      }
+    }
+  }
+
+  std::optional<ProcessId> next(const Configuration& config,
+                                CoinSource& coin) override {
+    live_.clear();
+    for (ProcessId pid = 0; pid < config.num_processes(); ++pid) {
+      if (!config.decided(pid) && !victim_[pid]) {
+        live_.push_back(pid);
+      }
+    }
+    if (live_.empty()) {
+      // The runners are done (or everyone is a victim): release the
+      // victims into whatever the runners left behind.
+      undecided_processes(config, live_);
+      if (live_.empty()) {
+        return std::nullopt;
+      }
+    }
+    return live_[coin.below(live_.size())];
+  }
+
+ private:
+  std::vector<std::uint8_t> victim_;
+  std::vector<ProcessId> live_;
+};
+
+// ---------------------------------------------------------------------
+// write-cover: coin-adaptive covering adversary.
+
+class WriteCoverPolicy final : public SchedulePolicy {
+ public:
+  void reset(const Configuration& config, CoinSource& coin) override {
+    (void)coin;
+    poised_count_.assign(config.num_objects(), 0);
+  }
+
+  std::optional<ProcessId> next(const Configuration& config,
+                                CoinSource& coin) override {
+    undecided_processes(config, live_);
+    if (live_.empty()) {
+      return std::nullopt;
+    }
+    // With probability 1/8, fall back to a uniform step: a pure
+    // covering schedule can livelock against protocols that wait for
+    // contention to clear, and the occasional weak step is what lets
+    // the adversary re-cover a fresh block.
+    if (coin.below(8) == 0) {
+      return live_[coin.below(live_.size())];
+    }
+    // Count, per object, the processes poised NONTRIVIALLY at it
+    // (poised_at is exactly the paper's "P is poised at R" predicate).
+    std::fill(poised_count_.begin(), poised_count_.end(), 0);
+    std::size_t best = 0;
+    for (ProcessId pid : live_) {
+      if (const auto obj = config.poised_at(pid)) {
+        best = std::max(best, ++poised_count_[*obj]);
+      }
+    }
+    if (best == 0) {
+      return live_[coin.below(live_.size())];
+    }
+    // Step a uniformly random process poised at a maximally contended
+    // object: all-but-one of them stay as covers for the block write.
+    covered_.clear();
+    for (ProcessId pid : live_) {
+      const auto obj = config.poised_at(pid);
+      if (obj && poised_count_[*obj] == best) {
+        covered_.push_back(pid);
+      }
+    }
+    return covered_[coin.below(covered_.size())];
+  }
+
+ private:
+  std::vector<ProcessId> live_;
+  std::vector<ProcessId> covered_;
+  std::vector<std::size_t> poised_count_;
+};
+
+// ---------------------------------------------------------------------
+// bursts: round-robin with geometric solo bursts.
+
+class BurstPolicy final : public SchedulePolicy {
+ public:
+  void reset(const Configuration& config, CoinSource& coin) override {
+    (void)config;
+    (void)coin;
+    cursor_ = 0;
+    burst_left_ = 0;
+  }
+
+  std::optional<ProcessId> next(const Configuration& config,
+                                CoinSource& coin) override {
+    const std::size_t n = config.num_processes();
+    if (burst_left_ > 0 && cursor_ < n && !config.decided(cursor_)) {
+      --burst_left_;
+      return cursor_;
+    }
+    // Advance round-robin to the next undecided process and draw a new
+    // burst length: 1 + Geometric(1/2) capped at 64, so half the bursts
+    // are single steps but long solo runs keep appearing.
+    for (std::size_t scanned = 0; scanned < n; ++scanned) {
+      cursor_ = (cursor_ + 1) % n;
+      if (!config.decided(cursor_)) {
+        std::size_t burst = 1;
+        while (burst < 64 && coin.flip()) {
+          ++burst;
+        }
+        burst_left_ = burst - 1;
+        return cursor_;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  ProcessId cursor_ = 0;
+  std::size_t burst_left_ = 0;
+};
+
+}  // namespace
+
+std::string to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kUniform:
+      return "uniform";
+    case PolicyKind::kStarve:
+      return "starve";
+    case PolicyKind::kWriteCover:
+      return "write-cover";
+    case PolicyKind::kBursts:
+      return "bursts";
+  }
+  return "?";
+}
+
+std::optional<PolicyKind> policy_kind_from_string(const std::string& name) {
+  for (PolicyKind kind : all_policy_kinds()) {
+    if (to_string(kind) == name) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+const std::vector<PolicyKind>& all_policy_kinds() {
+  static const std::vector<PolicyKind> kAll = {
+      PolicyKind::kUniform,
+      PolicyKind::kStarve,
+      PolicyKind::kWriteCover,
+      PolicyKind::kBursts,
+  };
+  return kAll;
+}
+
+std::unique_ptr<SchedulePolicy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kUniform:
+      return std::make_unique<UniformPolicy>();
+    case PolicyKind::kStarve:
+      return std::make_unique<StarvePolicy>();
+    case PolicyKind::kWriteCover:
+      return std::make_unique<WriteCoverPolicy>();
+    case PolicyKind::kBursts:
+      return std::make_unique<BurstPolicy>();
+  }
+  throw std::invalid_argument("unknown policy kind");
+}
+
+}  // namespace randsync

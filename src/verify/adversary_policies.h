@@ -1,0 +1,90 @@
+// Adversarial scheduling policies for the Monte-Carlo fuzz engine
+// (verify/fuzz.h).
+//
+// A SchedulePolicy is the fuzzer's adversary: given the current
+// configuration it picks the next process to step.  Unlike the
+// Scheduler hierarchy of runtime/scheduler.h (whose instances own their
+// randomness), a policy is STATELESS ACROSS TRIALS and draws every
+// random word from the CoinSource handed into reset()/next() -- the
+// per-trial seeded policy coin.  That one rule is what makes every
+// fuzzed schedule a pure function of (protocol, inputs, policy,
+// trial seed): record nothing, replay everything.
+//
+// randsync-lint enforces the rule lexically (rule "policy-coin"):
+// implementations in this file's .cpp must not construct coin sources
+// or standard-library RNGs, and must not reseed the coin they are
+// handed -- the fuzz engine owns the stream.
+//
+// The family (PolicyKind) covers the classic adversary shapes from the
+// paper's Section 3 constructions and the randomized-consensus
+// literature:
+//
+//   * uniform      -- the weak adversary: any undecided process,
+//                     uniformly at random;
+//   * starve       -- process-starving: freeze a random victim subset,
+//                     run the rest to completion, then release the
+//                     victims into a stale world (the schedule shape
+//                     that breaks drift walks without bands);
+//   * write-cover  -- coin-adaptive covering adversary: prefer
+//                     processes poised NONTRIVIALLY at contended
+//                     objects, building the block-write races of
+//                     Lemma 3.1/3.4 by statistics instead of by proof;
+//   * bursts       -- round-robin with geometric solo bursts: long solo
+//                     runs interleaved at random boundaries, the
+//                     schedule family exhaustive exploration covers
+//                     thinnest.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/coin.h"
+#include "runtime/configuration.h"
+
+namespace randsync {
+
+/// The adversarial scheduling families the fuzzer ships.
+enum class PolicyKind : std::uint8_t {
+  kUniform,
+  kStarve,
+  kWriteCover,
+  kBursts,
+};
+
+/// CLI/JSON name of a policy ("uniform", "starve", "write-cover",
+/// "bursts").
+[[nodiscard]] std::string to_string(PolicyKind kind);
+
+/// Parse a policy name; nullopt on anything unknown.
+[[nodiscard]] std::optional<PolicyKind> policy_kind_from_string(
+    const std::string& name);
+
+/// All policies, in presentation order (for --policy=all sweeps).
+[[nodiscard]] const std::vector<PolicyKind>& all_policy_kinds();
+
+/// An adversarial schedule chooser.  One instance is reused across the
+/// trials of a fuzz batch: reset() is called at the start of every
+/// trial with the trial's freshly seeded policy coin, next() thereafter
+/// until the trial ends.  Implementations draw randomness ONLY from the
+/// CoinSource they are handed and never reseed it.
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+
+  /// Start a new trial over `config` (the rewound initial
+  /// configuration).  Clears all per-trial state.
+  virtual void reset(const Configuration& config, CoinSource& coin) = 0;
+
+  /// The next process to step, or nullopt when no undecided process
+  /// remains.  Never returns a decided process.
+  virtual std::optional<ProcessId> next(const Configuration& config,
+                                        CoinSource& coin) = 0;
+};
+
+/// Construct a fresh policy instance of the given kind.
+[[nodiscard]] std::unique_ptr<SchedulePolicy> make_policy(PolicyKind kind);
+
+}  // namespace randsync

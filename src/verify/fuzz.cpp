@@ -1,0 +1,614 @@
+#include "verify/fuzz.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+
+#include "protocols/harness.h"
+#include "runtime/executor.h"
+#include "runtime/parallel.h"
+#include "verify/explorer.h"
+
+namespace randsync {
+namespace {
+
+// ---------------------------------------------------------------------
+// Relaxed atomic aggregation (the MariaDB Atomic_counter idiom): every
+// fold the engine performs is an integer sum, max or min -- all
+// order-independent -- so workers publish straight into these with
+// relaxed ordering and the totals are bit-identical for every thread
+// count.  parallel_trials' batch barrier provides the release/acquire
+// edge before the caller reads them.
+
+class RelaxedCounter {
+ public:
+  void add(std::uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t get() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class RelaxedMax {
+ public:
+  void update(std::uint64_t x) {
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (x > cur && !value_.compare_exchange_weak(
+                          cur, x, std::memory_order_relaxed,
+                          std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::uint64_t get() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class RelaxedMin {
+ public:
+  void update(std::uint64_t x) {
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (x < cur && !value_.compare_exchange_weak(
+                          cur, x, std::memory_order_relaxed,
+                          std::memory_order_relaxed)) {
+    }
+  }
+  /// The minimum seen, or 0 if nothing was recorded.
+  [[nodiscard]] std::uint64_t get_or_zero() const {
+    const std::uint64_t v = value_.load(std::memory_order_relaxed);
+    return v == kUnset ? 0 : v;
+  }
+
+ private:
+  static constexpr std::uint64_t kUnset = ~0ULL;
+  std::atomic<std::uint64_t> value_{kUnset};
+};
+
+// Distinct-object bitmask of one schedule's nontrivial accesses.
+struct TouchMask {
+  std::vector<std::uint64_t> words;
+
+  void reset(std::size_t num_objects) {
+    words.assign((num_objects + 63) / 64, 0);
+  }
+  void set(std::size_t i) { words[i >> 6] |= 1ULL << (i & 63); }
+  [[nodiscard]] std::uint64_t count() const {
+    std::uint64_t total = 0;
+    for (std::uint64_t w : words) {
+      total += static_cast<std::uint64_t>(std::popcount(w));
+    }
+    return total;
+  }
+};
+
+struct TailCounters {
+  RelaxedCounter attempts;
+  RelaxedCounter survivors;
+  RelaxedCounter stuck;
+};
+
+// Seed salt spaces.  Process i uses derive_seed(trial_seed, i) (the
+// make_initial_configuration scheme), so all other consumers salt far
+// away from small integers.
+constexpr std::uint64_t kPolicySeedSalt = 0xAD5C4ED000000000ULL;
+constexpr std::uint64_t kBranchSeedSalt = 0xB7A2C4E000000000ULL;
+constexpr std::uint64_t kOracleSeedSalt = 0x501D0C4E00000000ULL;
+
+// Scan the decided processes for a violation; "" if none.  Scan order
+// (ascending pid, validity before consistency) fixes WHICH kind a
+// doubly-broken state reports, so replay and fuzz always agree.
+std::string violation_kind_of(const Configuration& config,
+                              std::span<const int> inputs) {
+  Value first = 0;
+  bool have_first = false;
+  for (ProcessId pid = 0; pid < config.num_processes(); ++pid) {
+    if (!config.decided(pid)) {
+      continue;
+    }
+    const Value d = config.process(pid).decision();
+    const bool matches_some_input =
+        std::any_of(inputs.begin(), inputs.end(),
+                    [d](int input) { return static_cast<Value>(input) == d; });
+    if (!matches_some_input) {
+      return "validity";
+    }
+    if (!have_first) {
+      first = d;
+      have_first = true;
+    } else if (d != first) {
+      return "consistency";
+    }
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------
+// The trial runner, shared verbatim by fuzz() (AggregateSink, no
+// recording) and fuzz_replay() (ReplaySink, schedule recording): the
+// sink is the ONLY difference, so a replayed trial walks the exact
+// tree the campaign walked.
+
+struct TrialContext {
+  const ConsensusProtocol& protocol;
+  std::span<const int> inputs;
+  const FuzzOptions& opt;
+  SchedulePolicy& policy;
+  SplitMixCoin& policy_coin;
+  bool rewind_exact = true;
+  std::uint64_t seed_t = 0;
+  std::uint64_t branch_counter = 0;
+  std::uint64_t oracle_counter = 0;
+};
+
+// True if some undecided process still has a terminating solo
+// execution from `config` -- the solo-termination certificate gating
+// promotion (probed on a clone; `config` itself is never disturbed).
+bool solo_certificate(const Configuration& config, TrialContext& ctx) {
+  for (ProcessId pid = 0; pid < config.num_processes(); ++pid) {
+    if (config.decided(pid)) {
+      continue;
+    }
+    Configuration probe = config.clone();
+    try {
+      const SoloResult solo = solo_terminate(
+          probe, pid, ctx.opt.max_steps, 3,
+          derive_seed(ctx.seed_t, kOracleSeedSalt + ++ctx.oracle_counter));
+      return solo.terminated;
+    } catch (const std::runtime_error&) {
+      return false;  // no terminating solo execution found for the probe
+    }
+  }
+  return false;  // everyone decided: nothing to certify
+}
+
+template <typename Sink>
+void run_segment(Configuration& config, TouchMask& touched,
+                 std::vector<ProcessId>* schedule, std::size_t steps,
+                 std::size_t level, std::uint64_t policy_seed,
+                 TrialContext& ctx, Sink& sink, bool& stop) {
+  ctx.policy_coin.reseed(policy_seed);
+  ctx.policy.reset(config, ctx.policy_coin);
+  const std::size_t limit = ctx.opt.max_steps * (level + 1);
+  std::uint64_t executed = 0;
+  while (steps < limit && !config.all_decided()) {
+    const auto pid = ctx.policy.next(config, ctx.policy_coin);
+    if (!pid) {
+      break;
+    }
+    if (const auto obj = config.poised_at(*pid)) {
+      touched.set(*obj);
+    }
+    config.step(*pid);
+    if (schedule != nullptr) {
+      schedule->push_back(*pid);
+    }
+    ++steps;
+    ++executed;
+  }
+  sink.segment_done(executed, steps, touched.count());
+
+  const std::string kind = violation_kind_of(config, ctx.inputs);
+  if (!kind.empty()) {
+    sink.level_attempt(level, /*survivor=*/false, /*stuck=*/false);
+    stop = sink.violation(level, steps, kind, schedule);
+    return;
+  }
+  if (config.all_decided()) {
+    sink.level_attempt(level, /*survivor=*/false, /*stuck=*/false);
+    sink.decided(steps);
+    return;
+  }
+  bool promote = level < ctx.opt.split_levels;
+  bool stuck = false;
+  if (promote && ctx.opt.oracle_filter) {
+    stuck = !solo_certificate(config, ctx);
+    promote = !stuck;
+  }
+  sink.level_attempt(level, /*survivor=*/true, stuck);
+  if (!promote) {
+    sink.undecided(steps);
+    return;
+  }
+  for (std::size_t j = 0; j < ctx.opt.split_factor && !stop; ++j) {
+    // A promoted branch diverges through SCHEDULE nondeterminism only:
+    // the policy coin is branch-reseeded, the process coins run on --
+    // which is what keeps every branch a replayable pid sequence.
+    Configuration child = config.clone();
+    TouchMask child_touched = touched;
+    std::vector<ProcessId> child_schedule;
+    std::vector<ProcessId>* child_ptr = nullptr;
+    if (schedule != nullptr) {
+      child_schedule = *schedule;
+      child_ptr = &child_schedule;
+    }
+    const std::uint64_t branch_seed =
+        derive_seed(ctx.seed_t, kBranchSeedSalt + ++ctx.branch_counter);
+    run_segment(child, child_touched, child_ptr, steps, level + 1,
+                branch_seed, ctx, sink, stop);
+  }
+}
+
+template <typename Sink>
+void run_trial(const Configuration& snapshot, Configuration& scratch,
+               TouchMask& touched, std::vector<ProcessId>* schedule,
+               TrialContext& ctx, Sink& sink) {
+  if (ctx.rewind_exact) {
+    // After this rewind+reseed the scratch is state-identical to
+    // make_initial_configuration(protocol, inputs, seed_t) -- the
+    // contract fuzz_rewind_exact probed before the campaign started.
+    snapshot.clone_into(scratch);
+    for (ProcessId pid = 0; pid < scratch.num_processes(); ++pid) {
+      scratch.process_mut(pid).reseed(derive_seed(ctx.seed_t, pid));
+    }
+  } else {
+    // The protocol draws coins during construction: rebuild the trial
+    // configuration from scratch so the replay contract still holds.
+    scratch = make_initial_configuration(ctx.protocol, ctx.inputs, ctx.seed_t);
+  }
+  touched.reset(scratch.num_objects());
+  ctx.branch_counter = 0;
+  ctx.oracle_counter = 0;
+  bool stop = false;
+  const std::uint64_t root_policy_seed = derive_seed(
+      ctx.seed_t,
+      kPolicySeedSalt + static_cast<std::uint64_t>(ctx.opt.policy));
+  run_segment(scratch, touched, schedule, 0, 0, root_policy_seed, ctx, sink,
+              stop);
+}
+
+// ---------------------------------------------------------------------
+// Sinks.
+
+struct Aggregate {
+  RelaxedCounter schedules;
+  RelaxedCounter total_steps;
+  RelaxedCounter decided;
+  RelaxedCounter undecided;
+  RelaxedCounter violations;
+  RelaxedMin min_steps_decided;
+  RelaxedMax max_steps_seen;
+  RelaxedMax max_objects_touched;
+  std::vector<TailCounters> tail;
+
+  std::mutex failures_mutex;
+  std::vector<FuzzFailure> failures;
+  std::size_t failure_cap = 0;
+
+  explicit Aggregate(std::size_t levels, std::size_t cap)
+      : tail(levels), failure_cap(cap) {}
+
+  // Capped, order-independent selection: keep the failures with the
+  // SMALLEST trial indices (ties impossible: one failure per trial).
+  void record_failure(FuzzFailure f) {
+    const std::lock_guard<std::mutex> lock(failures_mutex);
+    if (failures.size() < failure_cap) {
+      failures.push_back(std::move(f));
+      return;
+    }
+    if (failures.empty()) {
+      return;
+    }
+    auto largest = std::max_element(
+        failures.begin(), failures.end(),
+        [](const FuzzFailure& a, const FuzzFailure& b) {
+          return a.trial < b.trial;
+        });
+    if (f.trial < largest->trial) {
+      *largest = std::move(f);
+    }
+  }
+};
+
+struct AggregateSink {
+  Aggregate& agg;
+  std::uint64_t trial = 0;
+  std::uint64_t seed = 0;
+  bool recorded_this_trial = false;
+
+  void begin_trial(std::uint64_t t, std::uint64_t seed_t) {
+    trial = t;
+    seed = seed_t;
+    recorded_this_trial = false;
+  }
+  void segment_done(std::uint64_t executed, std::size_t steps,
+                    std::uint64_t objects_touched) {
+    agg.schedules.add(1);
+    agg.total_steps.add(executed);
+    agg.max_steps_seen.update(steps);
+    agg.max_objects_touched.update(objects_touched);
+  }
+  void level_attempt(std::size_t level, bool survivor, bool stuck) {
+    TailCounters& counters = agg.tail[level];
+    counters.attempts.add(1);
+    if (survivor) {
+      counters.survivors.add(1);
+    }
+    if (stuck) {
+      counters.stuck.add(1);
+    }
+  }
+  void decided(std::size_t steps) {
+    agg.decided.add(1);
+    agg.min_steps_decided.update(steps);
+  }
+  void undecided(std::size_t) { agg.undecided.add(1); }
+  bool violation(std::size_t level, std::size_t steps,
+                 const std::string& kind, const std::vector<ProcessId>*) {
+    agg.violations.add(1);
+    if (!recorded_this_trial) {
+      recorded_this_trial = true;
+      agg.record_failure({trial, seed, kind, level, steps});
+    }
+    return false;  // keep walking: sibling branches still count
+  }
+};
+
+struct ReplaySink {
+  FuzzReplay& out;
+
+  void begin_trial(std::uint64_t, std::uint64_t seed_t) { out.seed = seed_t; }
+  void segment_done(std::uint64_t, std::size_t, std::uint64_t) {}
+  void level_attempt(std::size_t, bool, bool) {}
+  void decided(std::size_t) {}
+  void undecided(std::size_t) {}
+  bool violation(std::size_t, std::size_t, const std::string& kind,
+                 const std::vector<ProcessId>* schedule) {
+    out.violation = true;
+    out.kind = kind;
+    if (schedule != nullptr) {
+      out.schedule = *schedule;
+    }
+    return true;  // first violation in tree order: stop the walk
+  }
+};
+
+void validate(std::span<const int> inputs, const FuzzOptions& options) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("fuzz: no inputs");
+  }
+  if (options.trials == 0) {
+    throw std::invalid_argument("fuzz: trials must be positive");
+  }
+  if (options.max_steps == 0) {
+    throw std::invalid_argument("fuzz: max_steps must be positive");
+  }
+  if (options.split_levels > 0 && options.split_factor == 0) {
+    throw std::invalid_argument("fuzz: split_factor must be positive");
+  }
+}
+
+std::string double_str(double d) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  return buf;
+}
+
+std::string u64_str(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+std::uint64_t fuzz_trial_seed(const FuzzOptions& options, std::uint64_t trial,
+                              std::size_t n) {
+  return trial_seed(options.seed, trial, n);
+}
+
+bool fuzz_rewind_exact(const ConsensusProtocol& protocol,
+                       std::span<const int> inputs,
+                       const FuzzOptions& options) {
+  const std::uint64_t probe_seed =
+      fuzz_trial_seed(options, 0, inputs.size());
+  const Configuration snapshot =
+      make_initial_configuration(protocol, inputs, options.seed);
+  Configuration rewound = snapshot.clone();
+  snapshot.clone_into(rewound);
+  for (ProcessId pid = 0; pid < rewound.num_processes(); ++pid) {
+    rewound.process_mut(pid).reseed(derive_seed(probe_seed, pid));
+  }
+  const Configuration fresh =
+      make_initial_configuration(protocol, inputs, probe_seed);
+  if (rewound.state_fingerprint() != fresh.state_fingerprint()) {
+    return false;
+  }
+  for (ProcessId pid = 0; pid < fresh.num_processes(); ++pid) {
+    // symmetry_key folds in the unconsumed coin stream's identity, which
+    // the flip-count-only fingerprint cannot see.
+    if (rewound.process(pid).symmetry_key() !=
+        fresh.process(pid).symmetry_key()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+FuzzResult fuzz(const ConsensusProtocol& protocol, std::span<const int> inputs,
+                const FuzzOptions& options) {
+  validate(inputs, options);
+  const std::size_t threads =
+      options.threads == 0 ? default_thread_count() : options.threads;
+  const std::size_t levels = options.split_levels + 1;
+  const bool rewind_exact = fuzz_rewind_exact(protocol, inputs, options);
+  Aggregate agg(levels, options.max_recorded_failures);
+
+  // Batches, not trials, fan out: each batch captures one snapshot and
+  // one scratch configuration and sweeps a contiguous trial range
+  // through the clone_into rewind.  The batch count only shapes load
+  // balance -- every per-trial observable is a pure function of the
+  // trial index, and the aggregation is order-free, so the result is
+  // identical for every (threads, batches) pair.
+  const std::size_t batches =
+      std::min(options.trials, std::max<std::size_t>(1, threads * 8));
+  parallel_trials(batches, threads, [&](std::size_t b) {
+    const Configuration snapshot =
+        make_initial_configuration(protocol, inputs, options.seed);
+    Configuration scratch = snapshot.clone();
+    const auto policy = make_policy(options.policy);
+    SplitMixCoin policy_coin(0);
+    TouchMask touched;
+    TrialContext ctx{protocol, inputs, options, *policy, policy_coin,
+                     rewind_exact};
+    AggregateSink sink{agg};
+
+    const std::size_t lo = options.trials * b / batches;
+    const std::size_t hi = options.trials * (b + 1) / batches;
+    for (std::size_t t = lo; t < hi; ++t) {
+      ctx.seed_t = fuzz_trial_seed(options, t, inputs.size());
+      sink.begin_trial(t, ctx.seed_t);
+      run_trial(snapshot, scratch, touched, nullptr, ctx, sink);
+    }
+  });
+
+  FuzzResult result;
+  result.trials = options.trials;
+  result.schedules = agg.schedules.get();
+  result.total_steps = agg.total_steps.get();
+  result.decided = agg.decided.get();
+  result.undecided = agg.undecided.get();
+  result.violations = agg.violations.get();
+  result.min_steps_decided = agg.min_steps_decided.get_or_zero();
+  result.max_steps_seen = agg.max_steps_seen.get();
+  result.max_objects_touched = agg.max_objects_touched.get();
+  result.tail.reserve(levels);
+  for (std::size_t k = 0; k < levels; ++k) {
+    result.tail.push_back({options.max_steps * (k + 1),
+                           agg.tail[k].attempts.get(),
+                           agg.tail[k].survivors.get(),
+                           agg.tail[k].stuck.get()});
+  }
+  result.failures = std::move(agg.failures);
+  std::sort(result.failures.begin(), result.failures.end(),
+            [](const FuzzFailure& a, const FuzzFailure& b) {
+              return a.trial < b.trial;
+            });
+  return result;
+}
+
+FuzzReplay fuzz_replay(const ConsensusProtocol& protocol,
+                       std::span<const int> inputs,
+                       const FuzzOptions& options, std::uint64_t trial) {
+  validate(inputs, options);
+  const Configuration snapshot =
+      make_initial_configuration(protocol, inputs, options.seed);
+  Configuration scratch = snapshot.clone();
+  const auto policy = make_policy(options.policy);
+  SplitMixCoin policy_coin(0);
+  TouchMask touched;
+  TrialContext ctx{protocol, inputs, options, *policy, policy_coin,
+                   fuzz_rewind_exact(protocol, inputs, options)};
+  ctx.seed_t = fuzz_trial_seed(options, trial, inputs.size());
+
+  FuzzReplay replay;
+  ReplaySink sink{replay};
+  sink.begin_trial(trial, ctx.seed_t);
+  std::vector<ProcessId> schedule;
+  run_trial(snapshot, scratch, touched, &schedule, ctx, sink);
+  if (replay.violation) {
+    replay.trace =
+        replay_schedule(protocol, inputs, replay.schedule, replay.seed);
+  }
+  return replay;
+}
+
+double fuzz_tail_probability(const FuzzResult& result, std::size_t level) {
+  if (level >= result.tail.size()) {
+    return 0.0;
+  }
+  double p = 1.0;
+  for (std::size_t k = 0; k <= level; ++k) {
+    const FuzzTailLevel& tail = result.tail[k];
+    if (tail.attempts == 0) {
+      return 0.0;
+    }
+    p *= static_cast<double>(tail.survivors) /
+         static_cast<double>(tail.attempts);
+  }
+  return p;
+}
+
+std::string fuzz_result_json(const FuzzResult& result,
+                             const std::string& protocol, std::size_t n,
+                             const FuzzOptions& options) {
+  std::string out = "{\n";
+  out += "  \"fuzz\": {\"protocol\": \"" + protocol +
+         "\", \"n\": " + std::to_string(n) + ", \"policy\": \"" +
+         to_string(options.policy) + "\", \"trials\": " +
+         u64_str(options.trials) + ", \"max_steps\": " +
+         u64_str(options.max_steps) + ", \"seed\": " + u64_str(options.seed) +
+         ", \"split_levels\": " + u64_str(options.split_levels) +
+         ", \"split_factor\": " + u64_str(options.split_factor) +
+         ", \"oracle_filter\": " +
+         (options.oracle_filter ? "true" : "false") + "},\n";
+  out += "  \"result\": {\"trials\": " + u64_str(result.trials) +
+         ", \"schedules\": " + u64_str(result.schedules) +
+         ", \"total_steps\": " + u64_str(result.total_steps) +
+         ", \"decided\": " + u64_str(result.decided) +
+         ", \"undecided\": " + u64_str(result.undecided) +
+         ", \"violations\": " + u64_str(result.violations) +
+         ", \"min_steps_decided\": " + u64_str(result.min_steps_decided) +
+         ", \"max_steps_seen\": " + u64_str(result.max_steps_seen) +
+         ", \"max_objects_touched\": " + u64_str(result.max_objects_touched) +
+         "},\n";
+  out += "  \"tail\": [";
+  for (std::size_t k = 0; k < result.tail.size(); ++k) {
+    const FuzzTailLevel& tail = result.tail[k];
+    if (k > 0) {
+      out += ", ";
+    }
+    out += "{\"depth\": " + u64_str(tail.depth) +
+           ", \"attempts\": " + u64_str(tail.attempts) +
+           ", \"survivors\": " + u64_str(tail.survivors) +
+           ", \"stuck\": " + u64_str(tail.stuck) + ", \"p_survive\": " +
+           double_str(fuzz_tail_probability(result, k)) + "}";
+  }
+  out += "],\n";
+  out += "  \"failures\": [";
+  for (std::size_t i = 0; i < result.failures.size(); ++i) {
+    const FuzzFailure& f = result.failures[i];
+    if (i > 0) {
+      out += ", ";
+    }
+    out += "{\"trial\": " + u64_str(f.trial) + ", \"seed\": " +
+           u64_str(f.seed) + ", \"kind\": \"" + f.kind + "\", \"level\": " +
+           u64_str(f.level) + ", \"steps\": " + u64_str(f.steps) + "}";
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+std::string fuzz_summary_line(const FuzzResult& result, double wall_seconds) {
+  const double mean_steps =
+      result.schedules == 0
+          ? 0.0
+          : static_cast<double>(result.total_steps) /
+                static_cast<double>(result.schedules);
+  const double trials_per_sec =
+      wall_seconds > 0 ? static_cast<double>(result.trials) / wall_seconds
+                       : 0.0;
+  const double sched_per_sec =
+      wall_seconds > 0 ? static_cast<double>(result.schedules) / wall_seconds
+                       : 0.0;
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "trials=%zu schedules=%llu decided=%llu undecided=%llu "
+      "violations=%llu mean_steps=%.1f max_steps=%llu touched<=%llu | "
+      "%.0f trials/s (%.0f schedules/s)",
+      result.trials, static_cast<unsigned long long>(result.schedules),
+      static_cast<unsigned long long>(result.decided),
+      static_cast<unsigned long long>(result.undecided),
+      static_cast<unsigned long long>(result.violations), mean_steps,
+      static_cast<unsigned long long>(result.max_steps_seen),
+      static_cast<unsigned long long>(result.max_objects_touched),
+      trials_per_sec, sched_per_sec);
+  return buf;
+}
+
+}  // namespace randsync

@@ -1,0 +1,203 @@
+// High-throughput Monte-Carlo schedule fuzzing with deterministic
+// replay.
+//
+// The exhaustive explorer (verify/explorer.h) verifies protocols on
+// every schedule up to the depth where the state space fits in memory;
+// the termination-probability TAILS of the randomized constructions --
+// the Aspnes-style walks and conciliators at the heart of the paper --
+// live far beyond that horizon.  This engine complements it with
+// statistics: millions of randomized adversarial schedules per second,
+// every one of them replayable.
+//
+// Engine shape (the gingersnap fork-once/reset-per-trial emulator loop,
+// SNIPPETS.md Snippet 3, transplanted onto Configuration):
+//
+//   * each ThreadPool worker batch captures ONE clean Configuration
+//     snapshot and ONE scratch configuration; every trial rewinds the
+//     scratch via the buffer-reusing clone_into path and reseeds the
+//     process coins from the trial seed -- no per-trial configuration
+//     allocation.  (Protocols that draw coins DURING construction
+//     cannot be rewound exactly; fuzz_rewind_exact detects them and
+//     the engine falls back to per-trial fresh construction, trading
+//     speed for the same replay contract);
+//   * schedules are driven by an adversarial SchedulePolicy
+//     (verify/adversary_policies.h) whose randomness comes exclusively
+//     from a per-trial seeded policy coin;
+//   * statistics aggregate through RELAXED atomic counters (MariaDB
+//     Atomic_counter idiom, SNIPPETS.md Snippet 1) instead of per-trial
+//     result vectors: integer sums, CAS-max and CAS-min are
+//     order-independent, so FuzzResult is bit-identical for every
+//     thread count, including 1.
+//
+// Determinism / replay contract: trial t's execution is a pure function
+// of (protocol, inputs, options.policy, fuzz_trial_seed(options, t,
+// inputs.size())).  Process coins are seeded from the trial seed
+// exactly as make_initial_configuration seeds them and are NEVER
+// reseeded mid-trial, so the pid sequence of any fuzzed schedule --
+// recorded on demand by fuzz_replay, never in the hot loop -- replays
+// through replay_schedule and shrinks through minimize_schedule
+// unchanged.  A violating trial is reproducible from its trial index
+// (or recorded seed) alone.
+//
+// Rare-event importance splitting: with options.split_levels > 0 the
+// engine estimates the non-termination tail P(not everyone decided
+// after d steps) at depths plain sampling cannot reach.  A trial that
+// survives level k's step threshold is PROMOTED: cloned split_factor
+// times, each clone continuing under a branch-reseeded POLICY coin
+// (schedule nondeterminism only -- process coins run on, which is what
+// keeps every branch replayable).  Level-k survival fractions multiply
+// into the tail estimate.  Promotion is keyed on the solo-termination
+// oracle (runtime/executor.h): a survivor is only split if some
+// undecided process still HAS a terminating solo execution -- states
+// that fail that certificate are counted separately (`stuck`) as
+// liveness-bug surface instead of polluting the tail of a live
+// protocol.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "protocols/protocol.h"
+#include "runtime/trace.h"
+#include "verify/adversary_policies.h"
+
+namespace randsync {
+
+/// Budgets and strategy for a fuzz campaign.
+struct FuzzOptions {
+  std::size_t trials = 10'000;   ///< root trials
+  std::size_t max_steps = 4096;  ///< steps per level (level-0 schedule budget)
+  std::uint64_t seed = 1;        ///< campaign base seed
+  PolicyKind policy = PolicyKind::kUniform;
+  std::size_t threads = 1;  ///< worker threads; 0 = hardware concurrency
+  /// Importance-splitting levels BEYOND the base depth: level k ends at
+  /// max_steps*(k+1) steps.  0 disables splitting.
+  std::size_t split_levels = 0;
+  std::size_t split_factor = 2;  ///< clones per promoted survivor
+  /// Certify survivors with the solo-termination oracle before
+  /// promotion (see header comment).  Ignored without splitting.
+  bool oracle_filter = true;
+  /// Record at most this many violating trials (the ones with the
+  /// SMALLEST trial indices -- a deterministic selection); the
+  /// violations counter is exact regardless.
+  std::size_t max_recorded_failures = 32;
+};
+
+/// One recorded violating trial: everything needed to reproduce it.
+struct FuzzFailure {
+  std::uint64_t trial = 0;  ///< root trial index
+  std::uint64_t seed = 0;   ///< fuzz_trial_seed(options, trial, n)
+  std::string kind;         ///< "consistency" or "validity"
+  std::size_t level = 0;    ///< splitting level the violation surfaced at
+  std::size_t steps = 0;    ///< schedule length at detection
+
+  friend bool operator==(const FuzzFailure&, const FuzzFailure&) = default;
+};
+
+/// Survival statistics at one splitting level.
+struct FuzzTailLevel {
+  std::size_t depth = 0;        ///< step threshold of this level
+  std::uint64_t attempts = 0;   ///< schedules that ran this level
+  std::uint64_t survivors = 0;  ///< not all-decided (and not violating)
+  std::uint64_t stuck = 0;      ///< survivors failing the solo-termination
+                                ///< certificate (not promoted)
+
+  friend bool operator==(const FuzzTailLevel&, const FuzzTailLevel&) = default;
+};
+
+/// Result of a fuzz campaign.  A pure function of (protocol, inputs,
+/// options) minus options.threads -- the thread count never changes any
+/// field (the fuzz tests pin this by byte-comparing fuzz_result_json).
+struct FuzzResult {
+  std::size_t trials = 0;        ///< root trials run
+  std::uint64_t schedules = 0;   ///< total schedules incl. split branches
+  std::uint64_t total_steps = 0; ///< steps across all schedules
+  std::uint64_t decided = 0;     ///< schedules where everyone decided
+  std::uint64_t undecided = 0;   ///< terminal schedules exhausting budget
+  std::uint64_t violations = 0;  ///< schedules ending in a violation
+  std::uint64_t min_steps_decided = 0;  ///< fastest full decision (0: none)
+  std::uint64_t max_steps_seen = 0;     ///< longest schedule
+  /// Space observable: most distinct objects touched NONTRIVIALLY by
+  /// any single schedule (the execution's register footprint).
+  std::uint64_t max_objects_touched = 0;
+  /// Per-level survival stats; [0] is the base depth.  Present even
+  /// without splitting (it then has the single base level).
+  std::vector<FuzzTailLevel> tail;
+  /// Recorded violating trials, sorted by trial index (the smallest
+  /// max_recorded_failures of them).
+  std::vector<FuzzFailure> failures;
+
+  friend bool operator==(const FuzzResult&, const FuzzResult&) = default;
+};
+
+/// The seed of root trial `trial`: a pure function of the campaign seed
+/// and the trial index (stream = the process count, so sweeps over n
+/// sharing a base seed draw independent streams).  Process i of the
+/// trial is seeded derive_seed(seed, i), exactly like
+/// make_initial_configuration.
+[[nodiscard]] std::uint64_t fuzz_trial_seed(const FuzzOptions& options,
+                                            std::uint64_t trial,
+                                            std::size_t n);
+
+/// True if the engine's allocation-free rewind (snapshot + clone_into +
+/// per-process reseed) reconstructs EXACTLY the configuration
+/// make_initial_configuration would build from the trial seed.  This
+/// holds for protocols that draw no coins in their process
+/// constructors; a protocol that flips during construction (e.g.
+/// rounds-consensus's randomized conciliator entry) bakes the snapshot
+/// seed's flip into the rewound state, so the engine detects it with
+/// this probe and falls back to constructing each trial fresh --
+/// slower, but the replay contract (trial state == fresh construction
+/// from the trial seed) holds either way.
+[[nodiscard]] bool fuzz_rewind_exact(const ConsensusProtocol& protocol,
+                                     std::span<const int> inputs,
+                                     const FuzzOptions& options);
+
+/// Run a fuzz campaign.  Throws std::invalid_argument on empty inputs
+/// or zero trials/max_steps/split_factor.
+[[nodiscard]] FuzzResult fuzz(const ConsensusProtocol& protocol,
+                              std::span<const int> inputs,
+                              const FuzzOptions& options);
+
+/// Deterministic replay of one root trial (including its splitting
+/// tree, walked in the same order as fuzz()): re-executes the trial
+/// recording the schedule, and returns the FIRST violating schedule in
+/// tree order -- the one fuzz() recorded for this trial -- or
+/// violation=false if the trial is clean.  The returned schedule
+/// replays from make_initial_configuration(protocol, inputs, seed) via
+/// replay_schedule and shrinks via minimize_schedule.
+struct FuzzReplay {
+  bool violation = false;
+  std::string kind;                 ///< violation kind when violation
+  std::uint64_t seed = 0;           ///< the trial seed
+  std::vector<ProcessId> schedule;  ///< pid sequence to the violation
+  Trace trace;                      ///< the replayed execution
+};
+[[nodiscard]] FuzzReplay fuzz_replay(const ConsensusProtocol& protocol,
+                                     std::span<const int> inputs,
+                                     const FuzzOptions& options,
+                                     std::uint64_t trial);
+
+/// Estimated probability that a schedule is still undecided at the end
+/// of tail level `level` (product of per-level survival fractions up to
+/// and including it); 0 when that level was never attempted.
+[[nodiscard]] double fuzz_tail_probability(const FuzzResult& result,
+                                           std::size_t level);
+
+/// Machine-readable rendering of a FuzzResult: a pure function of the
+/// result and the identifying metadata -- byte-identical results render
+/// byte-identical JSON (doubles with %.17g).  Shared by the CLI --json
+/// path, bench_fuzz and the determinism tests.
+[[nodiscard]] std::string fuzz_result_json(const FuzzResult& result,
+                                           const std::string& protocol,
+                                           std::size_t n,
+                                           const FuzzOptions& options);
+
+/// One-line human summary: outcome counts, steps, throughput.
+[[nodiscard]] std::string fuzz_summary_line(const FuzzResult& result,
+                                            double wall_seconds);
+
+}  // namespace randsync

@@ -1,7 +1,15 @@
-// Fuzz-style property tests: randomly generated historyless object
-// recipes and input patterns, driven through the general adversary and
-// through plain consensus runs, with every invariant checked.  Seeds
-// are fixed, so failures replay deterministically.
+// Fuzz-style property tests, two layers:
+//
+//   * randomly generated historyless object recipes and input
+//     patterns, driven through the general adversary and through plain
+//     consensus runs, with every invariant checked (seeds fixed, so
+//     failures replay deterministically);
+//   * the Monte-Carlo schedule-fuzzing engine (verify/fuzz.h): its
+//     thread-count determinism (bit-identical JSON across 1/2/8
+//     threads), the snapshot-rewind-reseed = fresh-construction
+//     contract pinned across the whole registry, exact replay
+//     round-trips of violating trials, and honest-protocol safety
+//     under every adversary policy.
 
 #include <gtest/gtest.h>
 
@@ -9,7 +17,11 @@
 #include "core/general_adversary.h"
 #include "protocols/harness.h"
 #include "protocols/historyless_race.h"
+#include "protocols/registry.h"
 #include "runtime/coin.h"
+#include "verify/explorer.h"
+#include "verify/fuzz.h"
+#include "verify/minimize.h"
 #include "verify/trace_audit.h"
 
 namespace randsync {
@@ -75,6 +87,201 @@ TEST_P(FuzzRecipes, PreysAreSafeAtSmallScaleUnderRandomSchedules) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzRecipes, ::testing::Range(0, 25));
+
+// ---------------------------------------------------------------------
+// The schedule-fuzzing engine.
+
+TEST(FuzzEngine, JsonBitIdenticalAcrossThreadCounts) {
+  const auto protocol = find_protocol("faa-consensus")->make(std::nullopt);
+  const auto inputs = alternating_inputs(4);
+  FuzzOptions opt;
+  opt.trials = 3000;
+  opt.seed = 42;
+  std::string reference;
+  for (std::size_t threads : {1U, 2U, 8U}) {
+    opt.threads = threads;
+    const FuzzResult result = fuzz(*protocol, inputs, opt);
+    const std::string json = fuzz_result_json(result, "faa-consensus", 4, opt);
+    if (reference.empty()) {
+      reference = json;
+    } else {
+      EXPECT_EQ(json, reference) << "diverged at " << threads << " threads";
+    }
+  }
+}
+
+TEST(FuzzEngine, SplittingJsonBitIdenticalAcrossThreadCounts) {
+  const auto protocol = find_protocol("one-counter-walk")->make(std::nullopt);
+  const auto inputs = alternating_inputs(4);
+  FuzzOptions opt;
+  opt.trials = 400;
+  opt.max_steps = 32;
+  opt.split_levels = 2;
+  opt.split_factor = 2;
+  opt.seed = 7;
+  opt.threads = 1;
+  const FuzzResult serial = fuzz(*protocol, inputs, opt);
+  opt.threads = 8;
+  const FuzzResult threaded = fuzz(*protocol, inputs, opt);
+  EXPECT_EQ(fuzz_result_json(serial, "one-counter-walk", 4, opt),
+            fuzz_result_json(threaded, "one-counter-walk", 4, opt));
+  // Splitting actually split (more schedules than root trials) and the
+  // tail estimate is a nonincreasing probability.
+  EXPECT_GT(serial.schedules, serial.trials);
+  ASSERT_EQ(serial.tail.size(), 3U);
+  double prev = 1.0;
+  for (std::size_t k = 0; k < serial.tail.size(); ++k) {
+    const double p = fuzz_tail_probability(serial, k);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, prev);
+    prev = p;
+  }
+}
+
+// The rewind path the engine rides: snapshot + clone_into + per-process
+// reseed must be STATE-IDENTICAL to building a fresh configuration with
+// the trial seed -- for every protocol the fuzz_rewind_exact probe
+// clears.  A protocol that draws coins in its process constructor
+// (today: rounds-consensus's randomized conciliator entry) cannot be
+// rewound exactly, the probe must say so, and the engine then rebuilds
+// each trial fresh.  If a new protocol appears in the inexact set,
+// check its constructor before extending the list.
+TEST(FuzzEngine, RewindReseedMatchesFreshConstructionAcrossRegistry) {
+  std::vector<std::string> inexact;
+  for (const ProtocolEntry& entry : protocol_registry()) {
+    const auto protocol = entry.make(std::nullopt);
+    // n=2: the largest size EVERY registry protocol supports (the pair
+    // protocols are 2-process by construction).
+    const auto inputs = alternating_inputs(2);
+    FuzzOptions opt;
+    opt.seed = 999;
+    if (!fuzz_rewind_exact(*protocol, inputs, opt)) {
+      inexact.push_back(entry.name);
+      continue;
+    }
+    const std::uint64_t trial_seed_value = fuzz_trial_seed(opt, 0, 2);
+
+    Configuration snapshot =
+        make_initial_configuration(*protocol, inputs, 999);
+    Configuration rewound = snapshot.clone();
+    snapshot.clone_into(rewound);
+    for (ProcessId pid = 0; pid < rewound.num_processes(); ++pid) {
+      rewound.process_mut(pid).reseed(derive_seed(trial_seed_value, pid));
+    }
+    Configuration fresh =
+        make_initial_configuration(*protocol, inputs, trial_seed_value);
+
+    ASSERT_EQ(rewound.state_fingerprint(), fresh.state_fingerprint())
+        << entry.name;
+    // The two configurations must stay in lockstep under a shared
+    // schedule: the streams do not just look alike, they draw alike.
+    for (std::size_t step = 0; step < 40; ++step) {
+      std::optional<ProcessId> next;
+      for (ProcessId pid = 0; pid < fresh.num_processes(); ++pid) {
+        if (!fresh.decided(pid)) {
+          next = pid;
+          break;
+        }
+      }
+      if (!next) {
+        break;
+      }
+      fresh.step(*next);
+      rewound.step(*next);
+      ASSERT_EQ(rewound.state_hash(), fresh.state_hash())
+          << entry.name << " diverged at step " << step;
+    }
+  }
+  EXPECT_EQ(inexact, std::vector<std::string>{"rounds-consensus"});
+}
+
+TEST(FuzzEngine, ViolatingTrialReplaysAndMinimizesFromSeedAlone) {
+  const auto protocol = find_protocol("first-writer")->make(std::nullopt);
+  const auto inputs = alternating_inputs(2);
+  FuzzOptions opt;
+  opt.trials = 200;
+  opt.seed = 3;
+  const FuzzResult result = fuzz(*protocol, inputs, opt);
+  ASSERT_GT(result.violations, 0U);
+  ASSERT_FALSE(result.failures.empty());
+
+  const FuzzFailure& failure = result.failures.front();
+  EXPECT_EQ(failure.seed, fuzz_trial_seed(opt, failure.trial, inputs.size()));
+
+  // Replay from the recorded trial index alone: same violation kind,
+  // same length, and (being a pure function) the same schedule twice.
+  const FuzzReplay replay =
+      fuzz_replay(*protocol, inputs, opt, failure.trial);
+  ASSERT_TRUE(replay.violation);
+  EXPECT_EQ(replay.kind, failure.kind);
+  EXPECT_EQ(replay.seed, failure.seed);
+  EXPECT_EQ(replay.schedule.size(), failure.steps);
+  const FuzzReplay again =
+      fuzz_replay(*protocol, inputs, opt, failure.trial);
+  EXPECT_EQ(again.schedule, replay.schedule);
+  EXPECT_EQ(again.kind, replay.kind);
+
+  // The recorded schedule replays through the standard witness path and
+  // shrinks through the standard minimizer.
+  ASSERT_EQ(replay.kind, "consistency");
+  EXPECT_TRUE(replay.trace.inconsistent());
+  const auto minimized =
+      minimize_schedule(*protocol, inputs, replay.schedule, replay.seed,
+                        violation_kind_from_string(replay.kind));
+  EXPECT_LE(minimized.schedule.size(), replay.schedule.size());
+  const Trace witness =
+      replay_schedule(*protocol, inputs, minimized.schedule, replay.seed);
+  EXPECT_TRUE(witness.inconsistent());
+}
+
+TEST(FuzzEngine, CleanTrialReplaysClean) {
+  const auto protocol = find_protocol("faa-consensus")->make(std::nullopt);
+  const auto inputs = alternating_inputs(4);
+  FuzzOptions opt;
+  opt.trials = 1;
+  const FuzzReplay replay = fuzz_replay(*protocol, inputs, opt, 0);
+  EXPECT_FALSE(replay.violation);
+  EXPECT_TRUE(replay.schedule.empty());
+}
+
+TEST(FuzzEngine, HonestRegistryProtocolsSafeUnderEveryPolicy) {
+  for (const ProtocolEntry& entry : protocol_registry()) {
+    if (!entry.correct) {
+      continue;
+    }
+    const auto protocol = entry.make(std::nullopt);
+    const auto inputs = alternating_inputs(2);
+    for (PolicyKind kind : all_policy_kinds()) {
+      FuzzOptions opt;
+      opt.trials = 40;
+      opt.max_steps = 50'000;
+      opt.policy = kind;
+      opt.seed = 11;
+      const FuzzResult result = fuzz(*protocol, inputs, opt);
+      EXPECT_EQ(result.violations, 0U)
+          << entry.name << " under " << to_string(kind);
+      EXPECT_GT(result.decided, 0U)
+          << entry.name << " under " << to_string(kind);
+    }
+  }
+}
+
+TEST(FuzzEngine, RejectsDegenerateOptions) {
+  const auto protocol = find_protocol("faa-consensus")->make(std::nullopt);
+  const auto inputs = alternating_inputs(2);
+  FuzzOptions opt;
+  opt.trials = 0;
+  EXPECT_THROW((void)fuzz(*protocol, inputs, opt), std::invalid_argument);
+  opt.trials = 1;
+  opt.max_steps = 0;
+  EXPECT_THROW((void)fuzz(*protocol, inputs, opt), std::invalid_argument);
+  opt.max_steps = 16;
+  EXPECT_THROW((void)fuzz(*protocol, std::span<const int>{}, opt),
+               std::invalid_argument);
+  opt.split_levels = 1;
+  opt.split_factor = 0;
+  EXPECT_THROW((void)fuzz(*protocol, inputs, opt), std::invalid_argument);
+}
 
 }  // namespace
 }  // namespace randsync

@@ -1,0 +1,38 @@
+// Fixture: a SchedulePolicy implementation smuggling in its own
+// randomness.  Every BAD-marked line must be flagged under rule
+// "policy-coin"; the annotated line must stay silent; and the
+// non-policy helper file next door (bad_accumulate.cpp) proves the
+// rule only fires on files declaring a SchedulePolicy subclass.
+
+#include <random>
+
+namespace fixture {
+
+class CoinSource;
+class Configuration;
+
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+};
+
+class SneakyPolicy final : public SchedulePolicy {
+ public:
+  void reset(const Configuration& config, CoinSource& coin) {
+    rng_.seed(7);                 // seeding is not the banned token...
+    coin.reseed(42);              // BAD: reseeding the handed-in coin
+  }
+
+  unsigned pick() {
+    std::mt19937 local(123);      // BAD: std RNG owned by the policy
+    SplitMixCoin spare(9);        // BAD: owned coin source
+    // lint: policy-coin-ok -- fixture-sanctioned waiver
+    FixedCoin scripted({true});
+    return local();
+  }
+
+ private:
+  std::mt19937 rng_;              // BAD: std RNG state across trials
+};
+
+}  // namespace fixture

@@ -146,6 +146,49 @@ TEST(LintTest, UnorderedAccumulationFlaggedOnceAndWaiverHolds) {
   EXPECT_EQ(found.front().line, expected.front());
 }
 
+TEST(LintTest, PolicyOwnedRandomnessFlaggedAtMarkedLines) {
+  const std::string file = "src/verify/bad_policy.cpp";
+  const auto expected = marked_lines(read_fixture(file), "// BAD");
+  ASSERT_EQ(expected.size(), 4u) << "fixture drifted";
+  const auto found = findings_for(lint_fixtures(), file);
+  ASSERT_EQ(found.size(), expected.size()) << render_text(found);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(found[i].line, expected[i]);
+    EXPECT_EQ(found[i].rule, kRulePolicyCoin);
+  }
+  // The suppressed FixedCoin line is real: removing the marker must
+  // re-surface it.
+  std::string unsuppressed = read_fixture(file);
+  const std::size_t at = unsuppressed.find("lint: policy-coin-ok");
+  ASSERT_NE(at, std::string::npos);
+  unsuppressed.replace(at, std::string("lint: policy-coin-ok").size(),
+                       "waived");
+  EXPECT_EQ(lint_source(file, unsuppressed).size(), expected.size() + 1);
+}
+
+TEST(LintTest, PolicyCoinRuleScopesToSchedulePolicySubclasses) {
+  // The engine file shape: constructs per-trial coins and reseeds
+  // process streams, but declares no SchedulePolicy subclass -- out of
+  // scope, no finding.
+  const std::string engine =
+      "void run_trial(Configuration& c, SchedulePolicy& policy) {\n"
+      "  SplitMixCoin policy_coin(0);\n"
+      "  c.process_mut(0).reseed(1);\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/verify/engine_like.cpp", engine).empty());
+  // The same tokens inside a subclass-declaring file ARE findings.
+  const std::string policy =
+      "class P final : public SchedulePolicy {\n"
+      "  SplitMixCoin own_{0};\n"
+      "};\n";
+  const auto found = lint_source("src/verify/policy_like.cpp", policy);
+  ASSERT_EQ(found.size(), 1u) << render_text(found);
+  EXPECT_EQ(found.front().rule, kRulePolicyCoin);
+  // ...but only under src/verify/: the runtime layer may subclass
+  // whatever it likes.
+  EXPECT_TRUE(lint_source("src/runtime/policy_like.cpp", policy).empty());
+}
+
 TEST(LintTest, SuppressionsAreRuleSpecific) {
   // A nondet-order waiver must not silence a nondet-source finding on
   // the same line, and vice versa.

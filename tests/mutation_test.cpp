@@ -10,6 +10,7 @@
 #include "protocols/protocol.h"
 #include "protocols/registry.h"
 #include "verify/explorer.h"
+#include "verify/fuzz.h"
 #include "verify/minimize.h"
 
 namespace randsync {
@@ -236,6 +237,104 @@ TEST(Mutation, BrokenProtocolsCaughtWithReductionAndThreads) {
                      {1, 1, 0}, 32);
   expect_por_catches(*find_protocol("bidirectional-voting")->make(3), {0, 1},
                      40);
+}
+
+// ---------------------------------------------------------------------
+// The Monte-Carlo fuzzer must be just as deadly: every broken protocol
+// is hunted under at least two adversary policies within a bounded
+// trial budget, and the minimized witness -- reconstructed from the
+// recorded trial seed alone -- must replay to a violation of the
+// reported kind.
+
+void expect_witness_violates(const ConsensusProtocol& protocol,
+                             const std::vector<int>& inputs,
+                             const Trace& witness, const std::string& kind) {
+  if (kind == "consistency") {
+    EXPECT_TRUE(witness.inconsistent()) << protocol.name();
+    return;
+  }
+  bool invalid = false;
+  for (const Step& step : witness.steps()) {
+    if (!step.decided) {
+      continue;
+    }
+    bool matches = false;
+    for (int input : inputs) {
+      matches = matches || static_cast<Value>(input) == *step.decided;
+    }
+    invalid = invalid || !matches;
+  }
+  EXPECT_TRUE(invalid) << protocol.name();
+}
+
+void expect_fuzzer_catches(const ConsensusProtocol& protocol,
+                           const std::vector<int>& inputs,
+                           std::initializer_list<PolicyKind> policies,
+                           std::size_t trials, std::size_t max_steps) {
+  for (PolicyKind kind : policies) {
+    FuzzOptions opt;
+    opt.trials = trials;
+    opt.max_steps = max_steps;
+    opt.policy = kind;
+    opt.seed = 5;
+    const FuzzResult result = fuzz(protocol, inputs, opt);
+    ASSERT_GT(result.violations, 0U)
+        << protocol.name() << " under " << to_string(kind)
+        << ": the fuzzer has gone blind";
+    ASSERT_FALSE(result.failures.empty());
+
+    // Reproduce the shortest recorded failure from its trial index
+    // alone, then shrink it through the standard minimizer.
+    const FuzzFailure* shortest = &result.failures.front();
+    for (const FuzzFailure& f : result.failures) {
+      if (f.steps < shortest->steps) {
+        shortest = &f;
+      }
+    }
+    const FuzzReplay replay =
+        fuzz_replay(protocol, inputs, opt, shortest->trial);
+    ASSERT_TRUE(replay.violation)
+        << protocol.name() << " under " << to_string(kind);
+    EXPECT_EQ(replay.kind, shortest->kind);
+    EXPECT_EQ(replay.seed, shortest->seed);
+    const auto minimized =
+        minimize_schedule(protocol, inputs, replay.schedule, replay.seed,
+                          violation_kind_from_string(replay.kind));
+    EXPECT_LE(minimized.schedule.size(), replay.schedule.size());
+    const Trace witness =
+        replay_schedule(protocol, inputs, minimized.schedule, replay.seed);
+    expect_witness_violates(protocol, inputs, witness, replay.kind);
+  }
+}
+
+TEST(Mutation, FuzzerCatchesBrokenRegistryProtocols) {
+  expect_fuzzer_catches(*find_protocol("first-writer")->make(std::nullopt),
+                        {0, 1},
+                        {PolicyKind::kUniform, PolicyKind::kWriteCover,
+                         PolicyKind::kBursts},
+                        500, 64);
+  expect_fuzzer_catches(*find_protocol("round-voting")->make(2), {0, 1},
+                        {PolicyKind::kUniform, PolicyKind::kBursts}, 2000,
+                        64);
+  expect_fuzzer_catches(*find_protocol("swap-pair")->make(std::nullopt),
+                        {0, 1, 0}, {PolicyKind::kUniform, PolicyKind::kBursts},
+                        2000, 64);
+  expect_fuzzer_catches(*find_protocol("faa-pair")->make(std::nullopt),
+                        {1, 1, 0}, {PolicyKind::kUniform, PolicyKind::kStarve},
+                        2000, 64);
+}
+
+TEST(Mutation, FuzzerCatchesBandlessWalkUnderTwoPolicies) {
+  // The band-less walk violates only when BOTH walks are in flight when
+  // the cursor crosses a band -- roughly 1 trial in 500 under the
+  // uniform and burst adversaries (the starving adversary can never
+  // catch it: the released victim immediately reads the settled cursor
+  // and agrees).  Trials are cheap here (~75 steps mean), so a 20k
+  // budget gives dozens of expected catches per policy.
+  BrokenWalkProtocol protocol;
+  expect_fuzzer_catches(protocol, alternating_inputs(2),
+                        {PolicyKind::kUniform, PolicyKind::kBursts}, 20'000,
+                        100'000);
 }
 
 TEST(Mutation, BandlessWalkCaughtByReducedParallelExplorer) {

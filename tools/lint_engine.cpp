@@ -350,6 +350,55 @@ void check_nondet_order(const std::string& path, const FileLines& file,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule 5: SchedulePolicy implementations own no randomness.
+//
+// The fuzz engine's replay contract needs every policy decision to be a
+// pure function of the per-trial seeded coin it hands in.  Scope is
+// behavioural rather than a path prefix: any src/verify/ file declaring
+// a SchedulePolicy SUBCLASS is a policy implementation.  (Files that
+// merely USE policies -- the engine itself constructs per-trial coins
+// and reseeds process streams -- stay out of scope.)
+
+void check_policy_coin(const std::string& path, const FileLines& file,
+                       std::vector<Finding>& findings) {
+  if (!starts_with(path, "src/verify/")) {
+    return;
+  }
+  const bool declares_policy = std::any_of(
+      file.lines.begin(), file.lines.end(), [](const SplitLine& l) {
+        return l.code.find("public SchedulePolicy") != std::string::npos;
+      });
+  if (!declares_policy) {
+    return;
+  }
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    for (const TokenRule& rule : policy_coin_token_rules()) {
+      const std::string token = rule.token;
+      std::size_t pos = code.find(token);
+      bool flagged = false;  // at most one finding per (line, token)
+      while (pos != std::string::npos && !flagged) {
+        const bool boundary_ok =
+            !rule.boundary || pos == 0 || !is_word_char(code[pos - 1]);
+        if (boundary_ok) {
+          if (!suppressed_at(file, i, kSuppressPolicyCoin)) {
+            findings.push_back(
+                {path, i + 1, kRulePolicyCoin,
+                 std::string("policy implementation uses `") + rule.token +
+                     "`: " + rule.reason +
+                     " -- policies draw ONLY from the per-trial coin they "
+                     "are handed (suppress with `// " +
+                     kSuppressPolicyCoin + "`)"});
+          }
+          flagged = true;
+        }
+        pos = code.find(token, pos + 1);
+      }
+    }
+  }
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 8);
@@ -389,6 +438,33 @@ const std::vector<TokenRule>& nondet_token_rules() {
   return kRules;
 }
 
+const std::vector<TokenRule>& policy_coin_token_rules() {
+  static const std::vector<TokenRule> kRules = {
+      {"SplitMixCoin", "an owned coin source hides state across trials",
+       true, true},
+      {"FixedCoin", "an owned coin source hides state across trials", true,
+       true},
+      {"mt19937", "std RNG state is invisible to the replay contract", true,
+       true},
+      {"default_random_engine",
+       "std RNG state is invisible to the replay contract", true, true},
+      {"minstd_rand", "std RNG state is invisible to the replay contract",
+       true, true},
+      {"uniform_int_distribution",
+       "std distributions carry hidden state and unspecified algorithms",
+       true, true},
+      {"uniform_real_distribution",
+       "std distributions carry hidden state and unspecified algorithms",
+       true, true},
+      {"bernoulli_distribution",
+       "std distributions carry hidden state and unspecified algorithms",
+       true, true},
+      {"reseed(", "the fuzz engine owns the coin's stream identity", true,
+       true},
+  };
+  return kRules;
+}
+
 std::vector<Finding> lint_source(const std::string& path,
                                  const std::string& contents) {
   const FileLines file = split_file(contents);
@@ -397,6 +473,7 @@ std::vector<Finding> lint_source(const std::string& path,
   check_object_oracles(path, file, findings);
   check_protocol_symmetry(path, file, findings);
   check_nondet_order(path, file, findings);
+  check_policy_coin(path, file, findings);
   return findings;
 }
 
@@ -487,6 +564,15 @@ std::string describe_rules() {
       << "       src/verify/ must not iterate unordered containers\n"
          "                     (suppress: // "
       << kSuppressNondetOrder << ")\n";
+  out << "  " << kRulePolicyCoin
+      << "        src/verify/ SchedulePolicy subclasses must not own "
+         "randomness\n                     (suppress: // "
+      << kSuppressPolicyCoin << ")\n";
+  out << "                     tokens:";
+  for (const TokenRule& rule : policy_coin_token_rules()) {
+    out << " `" << rule.token << "`";
+  }
+  out << "\n";
   return out.str();
 }
 

@@ -12,7 +12,13 @@
 //     or explicitly opts into the ConsensusProcess default;
 //   * no result-affecting accumulation iterates an unordered container
 //     in the verification layer (iteration order is unspecified and
-//     varies across libstdc++ versions -- a silent determinism break).
+//     varies across libstdc++ versions -- a silent determinism break);
+//   * adversary-policy implementations (SchedulePolicy subclasses in
+//     src/verify/) draw randomness ONLY from the per-trial seeded
+//     CoinSource handed into reset()/next() -- no owned coin sources,
+//     no standard-library RNGs, no reseeding the coin they are given.
+//     Private randomness would survive across trials and break the
+//     fuzzer's (protocol, inputs, policy, trial seed) replay contract.
 //
 // The engine is deliberately lexical: it scans source text line by line
 // with comment and string-literal stripping, driven by the declarative
@@ -61,6 +67,7 @@ inline constexpr const char* kRuleNondetSource = "nondet-source";
 inline constexpr const char* kRuleObjectOracle = "object-oracle";
 inline constexpr const char* kRuleProtocolSymmetry = "protocol-symmetry";
 inline constexpr const char* kRuleNondetOrder = "nondet-order";
+inline constexpr const char* kRulePolicyCoin = "policy-coin";
 
 /// Suppression markers, one per rule.
 inline constexpr const char* kSuppressNondetSource = "lint: nondet-ok";
@@ -69,9 +76,16 @@ inline constexpr const char* kSuppressObjectOracle =
 inline constexpr const char* kSuppressProtocolSymmetry =
     "lint: default-symmetry-key";
 inline constexpr const char* kSuppressNondetOrder = "lint: nondet-order-ok";
+inline constexpr const char* kSuppressPolicyCoin = "lint: policy-coin-ok";
 
 /// The banned nondeterminism sources (rule "nondet-source").
 [[nodiscard]] const std::vector<TokenRule>& nondet_token_rules();
+
+/// The tokens banned inside SchedulePolicy implementation files (rule
+/// "policy-coin"): coin-source construction, std RNG machinery, and
+/// reseeding.  Applies to src/verify/ files declaring a SchedulePolicy
+/// subclass.
+[[nodiscard]] const std::vector<TokenRule>& policy_coin_token_rules();
 
 /// Lint one file's contents.  `path` must be the repo-relative path
 /// (e.g. "src/objects/foo.h"); rule applicability is derived from it.

@@ -30,6 +30,17 @@
 //       search for a decision-free cycle (the E13 non-termination
 //       certificate) and replay it.
 //
+//   randsync fuzz <protocol> [n] [--param=K] [--policy=P] [--trials=T]
+//                 [--depth=D] [--seed=S] [--threads=N] [--split=L]
+//                 [--split-factor=F] [--json]
+//       Monte-Carlo schedule fuzzing (verify/fuzz.h): T randomized
+//       trials under adversary policy P (uniform, starve, write-cover,
+//       bursts, or "all"), depth D steps per level, optional
+//       importance splitting over L extra levels.  Deterministic: the
+//       same flags give bit-identical output for every --threads
+//       value.  Violating trials are replayed and minimized.  Exits
+//       nonzero iff a violation was found.
+//
 //   randsync table
 //       the Section 4 separation table, algebra re-verified.
 //
@@ -56,6 +67,7 @@
 #include "protocols/registry.h"
 #include "verify/contracts.h"
 #include "verify/explorer.h"
+#include "verify/fuzz.h"
 #include "verify/minimize.h"
 #include "verify/trace_audit.h"
 
@@ -67,12 +79,18 @@ struct Flags {
   std::uint64_t seed = 1;
   std::string scheduler = "random";
   std::size_t depth = 64;
+  bool depth_set = false;
   bool general = false;
   bool por = false;
   bool symmetry = false;
   bool wide = false;
   bool audit = false;
+  bool json = false;
   std::size_t threads = 1;
+  std::size_t trials = 100'000;
+  std::string policy = "uniform";
+  std::size_t split = 0;
+  std::size_t split_factor = 2;
 };
 
 Flags parse_flags(int argc, char** argv, int first) {
@@ -87,6 +105,17 @@ Flags parse_flags(int argc, char** argv, int first) {
       flags.scheduler = arg.substr(12);
     } else if (arg.rfind("--depth=", 0) == 0) {
       flags.depth = std::strtoul(arg.c_str() + 8, nullptr, 10);
+      flags.depth_set = true;
+    } else if (arg.rfind("--trials=", 0) == 0) {
+      flags.trials = std::strtoul(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--policy=", 0) == 0) {
+      flags.policy = arg.substr(9);
+    } else if (arg.rfind("--split=", 0) == 0) {
+      flags.split = std::strtoul(arg.c_str() + 8, nullptr, 10);
+    } else if (arg.rfind("--split-factor=", 0) == 0) {
+      flags.split_factor = std::strtoul(arg.c_str() + 15, nullptr, 10);
+    } else if (arg == "--json") {
+      flags.json = true;
     } else if (arg == "--general") {
       flags.general = true;
     } else if (arg == "--por") {
@@ -265,6 +294,87 @@ int cmd_explore(const ProtocolEntry& entry, const std::string& input_bits,
   return result.safe ? 0 : 1;
 }
 
+int cmd_fuzz(const ProtocolEntry& entry, std::size_t n, const Flags& flags) {
+  const auto protocol = entry.make(flags.param);
+  const auto inputs = alternating_inputs(n);
+
+  std::vector<PolicyKind> kinds;
+  if (flags.policy == "all") {
+    kinds = all_policy_kinds();
+  } else {
+    const auto kind = policy_kind_from_string(flags.policy);
+    if (!kind) {
+      std::fprintf(stderr,
+                   "unknown policy '%s' (uniform, starve, write-cover, "
+                   "bursts, all)\n",
+                   flags.policy.c_str());
+      return 2;
+    }
+    kinds.push_back(*kind);
+  }
+
+  FuzzOptions opt;
+  opt.trials = flags.trials;
+  opt.max_steps = flags.depth_set ? flags.depth : 4096;
+  opt.seed = flags.seed;
+  opt.threads = flags.threads;
+  opt.split_levels = flags.split;
+  opt.split_factor = flags.split_factor;
+
+  int rc = 0;
+  for (PolicyKind kind : kinds) {
+    opt.policy = kind;
+    // lint: nondet-ok -- wall time is reported, never fed into the run
+    const auto start = std::chrono::steady_clock::now();
+    const FuzzResult result = fuzz(*protocol, inputs, opt);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -  // lint: nondet-ok
+                                      start)
+            .count();
+    if (flags.json) {
+      std::printf("%s", fuzz_result_json(result, protocol->name(), n, opt)
+                            .c_str());
+    } else {
+      std::printf("%s, n=%zu, policy=%s:\n  %s\n", protocol->name().c_str(),
+                  n, to_string(kind).c_str(),
+                  fuzz_summary_line(result, wall).c_str());
+      if (opt.split_levels > 0) {
+        for (std::size_t k = 0; k < result.tail.size(); ++k) {
+          const FuzzTailLevel& tail = result.tail[k];
+          std::printf("  tail depth=%zu attempts=%llu survivors=%llu "
+                      "stuck=%llu  P(undecided)=%.3g\n",
+                      tail.depth,
+                      static_cast<unsigned long long>(tail.attempts),
+                      static_cast<unsigned long long>(tail.survivors),
+                      static_cast<unsigned long long>(tail.stuck),
+                      fuzz_tail_probability(result, k));
+        }
+      }
+      if (!result.failures.empty()) {
+        const FuzzFailure& failure = result.failures.front();
+        const FuzzReplay replay =
+            fuzz_replay(*protocol, inputs, opt, failure.trial);
+        const auto minimized = minimize_schedule(
+            *protocol, inputs, replay.schedule, replay.seed,
+            violation_kind_from_string(replay.kind));
+        std::printf("  %s violation at trial %llu (seed %llu); minimal "
+                    "witness (%zu steps, shrunk from %zu):\n",
+                    replay.kind.c_str(),
+                    static_cast<unsigned long long>(failure.trial),
+                    static_cast<unsigned long long>(replay.seed),
+                    minimized.schedule.size(), minimized.original_steps);
+        const Trace witness = replay_schedule(*protocol, inputs,
+                                              minimized.schedule, replay.seed);
+        std::printf("%s", witness.render(20).c_str());
+      }
+    }
+    if (result.violations > 0) {
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
 int cmd_stall(const ProtocolEntry& entry, const Flags& flags) {
   const auto protocol = entry.make(flags.param);
   const bool is_faa = entry.name == "faa-consensus";
@@ -368,6 +478,10 @@ int usage() {
       "  randsync attack <protocol> [--param=r] [--seed=S] [--general]\n"
       "  randsync explore <protocol> <inputs01> [--param=K] [--depth=D] "
       "[--por] [--symmetry] [--wide] [--audit] [--threads=N]\n"
+      "  randsync fuzz <protocol> [n] [--param=K] "
+      "[--policy=uniform|starve|write-cover|bursts|all] [--trials=T] "
+      "[--depth=D] [--seed=S] [--threads=N] [--split=L] [--split-factor=F] "
+      "[--json]\n"
       "  randsync stall <walk-protocol> [--seed=S]\n"
       "  randsync cycle <protocol> <inputs01> [--param=K]\n"
       "  randsync table\n");
@@ -412,6 +526,15 @@ int run_main(int argc, char** argv) {
       flag_start = 4;
     }
     return cmd_run(*entry, n, parse_flags(argc, argv, flag_start));
+  }
+  if (command == "fuzz") {
+    std::size_t n = 4;
+    int flag_start = 3;
+    if (argc > 3 && argv[3][0] != '-') {
+      n = std::strtoul(argv[3], nullptr, 10);
+      flag_start = 4;
+    }
+    return cmd_fuzz(*entry, n, parse_flags(argc, argv, flag_start));
   }
   if (command == "attack") {
     return cmd_attack(*entry, parse_flags(argc, argv, 3));
