@@ -1,8 +1,11 @@
 // B4 -- exhaustive explorer throughput and reduction strength: a grid
 // of registry instances x {full, POR, symmetry, POR+symmetry} x {1, N
-// threads}.  Three numbers matter per cell: wall time (states/sec),
-// the reduction ratio (states as a fraction of the full graph) and the
-// peak seen-set footprint (slot-array bytes).  The bench doubles as a
+// threads}, plus a deep-instance scaling section (n=6..8 frontiers in
+// the 0.5M..1.4M-state range) swept across the 1/2/4/8-thread grid.
+// Three numbers matter per cell: wall time (states/sec), the reduction
+// ratio (states as a fraction of the full graph) and the peak seen-set
+// footprint (slot-array bytes); the deep section adds the speedup
+// column (serial wall / threaded wall).  The bench doubles as a
 // cross-config agreement check -- every instance's ExploreResult must
 // be bit-identical across thread counts and verdict-identical across
 // reduction modes -- and exits 1 if any configuration disagrees.
@@ -48,6 +51,28 @@ const std::vector<GridCase>& grid() {
   };
   return cases;
 }
+
+// Deep instances: wide n=6..8 frontiers where each epoch carries
+// thousands of tasks, so the sharded expansion phase has real work to
+// split.  Measured in full mode (no reduction -- the widest frontier
+// and the explorer's scaling worst case) across the thread grid below.
+// Sizes as of the checked-in baseline: conciliator(3) n=6 completes at
+// 1.22M states, counter-walk n=6 d=12 truncates at 1.36M, counter-walk
+// n=8 d=9 truncates at 0.52M.
+const std::vector<GridCase>& deep_grid() {
+  static const std::vector<GridCase> cases = {
+      {"conciliator", 3, 6, 64, true},
+      {"counter-walk", std::nullopt, 6, 12, false},
+      {"counter-walk", std::nullopt, 8, 9, false},
+  };
+  return cases;
+}
+
+// The speedup grid for the deep section.  8 exceeds the container's
+// core count on small CI runners; the engine clamps workers to the
+// epoch's task supply, so oversubscription costs little and the grid
+// stays comparable across machines.
+const std::size_t kThreadGrid[] = {1, 2, 4, 8};
 
 struct Mode {
   const char* name;
@@ -159,6 +184,50 @@ int run(const bench::BenchOptions& opt) {
                  threaded_wall > 0 ? serial_wall / threaded_wall : 0.0);
     }
   }
+  std::printf("\ndeep scaling (full mode, 1/2/4/8-thread grid)\n");
+  std::printf("%-24s %8s %9s %12s %12s %10s %8s\n", "instance", "threads",
+              "states", "transitions", "states/sec", "wall (s)", "speedup");
+  bench::rule(100);
+  for (const GridCase& c : deep_grid()) {
+    std::optional<ExploreResult> base;
+    double base_wall = 0.0;
+    for (const std::size_t t : kThreadGrid) {
+      const auto start = bench::Clock::now();
+      const ExploreResult r = run_one(c, kModes[0], t);
+      const double wall = bench::seconds_since(start);
+      if (!base) {
+        base = r;
+        base_wall = wall;
+      } else if (r != *base) {
+        // The same bit-identity contract as the mode grid, now at depth:
+        // a claim-protocol race that only shows under contention would
+        // surface here first.
+        std::fprintf(stderr, "DIVERGED (BUG!): %s n=%zu full @%zu threads\n",
+                     c.protocol, c.n, t);
+        agree = false;
+      }
+      const double speedup = wall > 0 ? base_wall / wall : 0.0;
+      char instance[64];
+      std::snprintf(instance, sizeof(instance), "%s n=%zu d=%zu", c.protocol,
+                    c.n, c.depth);
+      std::printf("%-24s %8zu %9zu %12zu %12.0f %10.4f %7.2fx\n", instance, t,
+                  r.states, r.transitions,
+                  static_cast<double>(r.states) / wall, wall, speedup);
+      report.add("deep")
+          .field("protocol", std::string(c.protocol))
+          .count("n", c.n)
+          .count("depth", c.depth)
+          .count("threads", t)
+          .count("states", r.states)
+          .count("transitions", r.transitions)
+          .count("seen_bytes", r.seen_bytes)
+          .field("complete", r.complete)
+          .field("wall_seconds", wall)
+          .field("states_per_sec", static_cast<double>(r.states) / wall)
+          .field("speedup", speedup);
+    }
+  }
+
   std::printf("  -> cross-config agreement (%zu thread(s)): %s\n", threads,
               agree ? "OK" : "DIVERGED (BUG!)");
   report.add("agreement").field("ok", agree).count("threads", threads);

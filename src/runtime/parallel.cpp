@@ -141,6 +141,62 @@ void ThreadPool::for_each(std::size_t count,
   }
 }
 
+namespace {
+
+constexpr std::uint64_t pack_range(std::uint64_t begin, std::uint64_t end) {
+  return begin << 32 | end;
+}
+
+}  // namespace
+
+void StealRanges::reset(std::size_t count, std::size_t workers) {
+  workers_ = workers == 0 ? 1 : workers;
+  ranges_ = std::make_unique<Range[]>(workers_);
+  for (std::size_t w = 0; w < workers_; ++w) {
+    const std::uint64_t begin = count * w / workers_;
+    const std::uint64_t end = count * (w + 1) / workers_;
+    ranges_[w].packed.store(pack_range(begin, end), std::memory_order_relaxed);
+  }
+}
+
+bool StealRanges::claim(std::size_t worker, std::size_t chunk,
+                        std::size_t& begin, std::size_t& end) {
+  if (chunk == 0) {
+    chunk = 1;
+  }
+  // Own range first (probe == 0, pop the front), then each victim in
+  // round-robin order (steal the back).  Ranges only shrink, so one
+  // full scan observing every range empty means the fan-out is done.
+  for (std::size_t probe = 0; probe < workers_; ++probe) {
+    const std::size_t v = (worker + probe) % workers_;
+    std::uint64_t packed = ranges_[v].packed.load(std::memory_order_relaxed);
+    while (true) {
+      const std::uint64_t b = packed >> 32;
+      const std::uint64_t e = packed & 0xFFFFFFFFull;
+      if (b >= e) {
+        break;  // drained; move to the next victim
+      }
+      const std::uint64_t size = e - b;
+      // Thieves take at most half, so the victim keeps local work and
+      // one steal does not immediately trigger a cascade of re-steals.
+      const std::uint64_t take =
+          probe == 0 ? std::min<std::uint64_t>(chunk, size)
+                     : std::min<std::uint64_t>(chunk, (size + 1) / 2);
+      const std::uint64_t next = probe == 0 ? pack_range(b + take, e)
+                                            : pack_range(b, e - take);
+      if (ranges_[v].packed.compare_exchange_weak(packed, next,
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_relaxed)) {
+        begin = probe == 0 ? b : e - take;
+        end = probe == 0 ? b + take : e;
+        return true;
+      }
+      // packed was reloaded by the failed CAS; retry against it.
+    }
+  }
+  return false;
+}
+
 void parallel_trials(std::size_t count, std::size_t threads,
                      const std::function<void(std::size_t)>& fn) {
   const std::size_t requested =

@@ -19,7 +19,9 @@
 // embarrassingly-parallel trial layer above them is threaded.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -70,6 +72,45 @@ class ThreadPool {
 /// reuse the same workers.
 void parallel_trials(std::size_t count, std::size_t threads,
                      const std::function<void(std::size_t)>& fn);
+
+/// Work-stealing partition of the index range [0, count).
+///
+/// reset() splits the range into one contiguous sub-range per worker;
+/// each worker pops chunks off the FRONT of its own sub-range, and a
+/// worker whose range drains steals a chunk off the BACK of another
+/// worker's range.  Every transition is a single compare-exchange on a
+/// packed {begin, end} word, so each index is claimed exactly once and
+/// no locks are held.  Which worker claims which index is a scheduling
+/// accident: callers must keep results index-addressed (the same
+/// contract parallel_trials imposes), in which case the outcome is
+/// bit-identical for every worker count.
+///
+/// Compared to the shared-cursor ThreadPool claim, the per-worker
+/// ranges keep each worker on a contiguous, cache-friendly span and
+/// make the claim a usually-uncontended CAS; stealing only kicks in at
+/// the tail, which is what makes irregular per-index costs (explorer
+/// expansions) load-balance without a coordinator.
+class StealRanges {
+ public:
+  /// Partition [0, count) evenly across `workers` ranges (count and
+  /// every index must fit in 32 bits).  Not thread-safe; call between
+  /// fan-outs.
+  void reset(std::size_t count, std::size_t workers);
+
+  /// Claim up to `chunk` (>= 1) indices for `worker`, written to
+  /// [begin, end).  Returns false only when every range is drained --
+  /// ranges never grow, so false is final.  Safe to call concurrently
+  /// from each worker.
+  bool claim(std::size_t worker, std::size_t chunk, std::size_t& begin,
+             std::size_t& end);
+
+ private:
+  struct alignas(64) Range {  ///< padded: one cache line per worker
+    std::atomic<std::uint64_t> packed{0};
+  };
+  std::unique_ptr<Range[]> ranges_;
+  std::size_t workers_ = 0;
+};
 
 /// Map fn over [0, count) into an index-ordered vector of results.
 /// Result must be default-constructible; fn(t) -> results[t].

@@ -21,6 +21,32 @@ constexpr std::uint8_t kZeroDecided = 1;
 constexpr std::uint8_t kOneDecided = 2;
 constexpr std::uint32_t kNoParent = 0xFFFFFFFFu;
 
+// A worker below kMinTasksPerWorker frontier tasks is not worth waking:
+// pool dispatch costs more than the expansions.  Narrow epochs (the
+// first few BFS levels, requeue trickles) therefore run inline on the
+// caller -- this is where the old engine lost its speedup.
+constexpr std::size_t kMinTasksPerWorker = 8;
+
+// Epoch tickets.  During one epoch (one frontier batch), a stepped
+// child claims its fingerprint in the seen set with a ticket encoding
+// its canonical position: child index `ticket & 63` of task
+// `(ticket ^ tag) >> 6` (child indices fit 6 bits -- at most 64
+// processes).  A smaller ticket is an earlier arrival in the order the
+// old serial merge processed children, and StateSet::claim keeps the
+// MINIMUM ticket per fingerprint -- so the surviving claimant is
+// exactly the arrival the serial engine would have created the node
+// from, no matter which thread claimed first.
+constexpr std::uint64_t make_ticket(std::size_t task, std::size_t child) {
+  return StateSet::kTicketTag | static_cast<std::uint64_t>(task) << 6 |
+         static_cast<std::uint64_t>(child);
+}
+constexpr std::size_t ticket_task(std::uint64_t ticket) {
+  return static_cast<std::size_t>((ticket ^ StateSet::kTicketTag) >> 6);
+}
+constexpr std::size_t ticket_child(std::uint64_t ticket) {
+  return static_cast<std::size_t>(ticket & 63);
+}
+
 std::uint64_t bit(ProcessId pid) { return std::uint64_t{1} << pid; }
 
 /// Bookkeeping for one discovered configuration.  Configurations are
@@ -47,34 +73,49 @@ struct Task {
   std::uint64_t already = 0;        ///< node.explored, read at build time
   std::uint64_t restrict_mask = 0;  ///< 0 = first visit (choose candidates)
   std::uint8_t decided_mask = 0;
+  /// Fresh nodes carry their configuration from the previous epoch;
+  /// requeued nodes leave it empty and the WORKER rebuilds it from the
+  /// parent chain (the rebuild replay is pure, so it parallelizes).
   std::optional<Configuration> config;
 };
 
-/// One stepped child, produced by a worker, consumed by the merge.
-struct ChildOut {
-  ProcessId pid = 0;
-  std::uint64_t hash = 0;  ///< concrete state hash
+/// One stepped child: produced by the expansion sweep, ownership
+/// settled by the resolve sweep, consumed by the serial post-merge.
+struct ChildRec {
   StateFingerprint fp;     ///< dedup key (canonical under symmetry)
-  std::uint64_t sleep = 0;       ///< sleep set for the child
+  std::uint64_t hash = 0;  ///< concrete state hash
+  std::uint64_t sleep = 0; ///< sleep set for the child
+  /// After the resolve sweep: the winning ticket for fp this epoch, or
+  /// the final node id of a previous epoch.  This child OWNS the state
+  /// iff it equals the child's own ticket.
+  std::uint64_t claim = 0;
+  std::uint32_t final_id = 0;  ///< set by the post-merge when owner
+  ProcessId pid = 0;
   std::uint8_t decided_mask = 0; ///< parent mask plus this step's decision
   bool validity_violation = false;
   bool all_decided = false;
-  /// Present unless the seen-set probe already knew the fingerprint
-  /// (the merge re-checks; a probe miss is authoritative-by-then
-  /// because only the merge inserts).  Always present in
-  /// collision-audit mode, which compares hits structurally.
+  bool needs_resolve = false;  ///< claim saw a ticket (not a final id)
+  /// Present when this child installed its ticket (it may own the
+  /// state and become the node) and always in collision-audit mode
+  /// (audit compares every dedup hit structurally).
   std::optional<Configuration> config;
 };
 
-/// A worker's complete output for one task.  Pure function of the task
-/// (plus read-only probes of the seen set used only to drop configs).
-struct Expansion {
-  std::uint32_t node = 0;
+/// A worker's complete output for one task, written only by the worker
+/// that claimed the task's index.
+struct TaskOut {
   std::uint64_t stepped = 0;
   std::uint64_t candidates = 0;
   std::uint64_t enabled = 0;
-  bool first_visit = false;
-  std::vector<ChildOut> children;
+  std::vector<ChildRec> children;
+};
+
+/// Per-worker scratch: symmetry buffers plus a reusable configuration
+/// the expansion steps into (clone_into instead of a fresh clone), so
+/// a child that loses its claim allocates nothing.
+struct WorkerScratch {
+  SymmetryScratch sym;
+  std::optional<Configuration> child;
 };
 
 struct Engine {
@@ -91,12 +132,20 @@ struct Engine {
   ExploreResult result;
   bool aborted = false;  ///< violation found or state budget exhausted
 
-  // Requeue accumulator for the batch being merged: node -> restrict
+  // Epoch state: the task list, the per-task worker outputs (index-
+  // addressed, so workers never share a slot), the stealing ranges and
+  // the per-worker scratch buffers.
+  std::vector<Task> tasks;
+  std::vector<TaskOut> outs;
+  StealRanges steal;
+  std::vector<WorkerScratch> scratch;
+
+  // Requeue accumulator for the epoch being merged: node -> restrict
   // mask, first-occurrence order.
   std::vector<std::pair<std::uint32_t, std::uint64_t>> requeues;
   std::unordered_map<std::uint32_t, std::size_t> requeue_index;
 
-  // Fresh nodes to expand next batch, with their configurations.
+  // Fresh nodes to expand next epoch, with their configurations.
   std::vector<std::pair<std::uint32_t, Configuration>> next_fresh;
 
   Engine(const ConsensusProtocol& proto, std::span<const int> in,
@@ -112,9 +161,9 @@ struct Engine {
   /// symmetry, the concrete fingerprint otherwise; `hi` is dropped
   /// unless wide fingerprints are requested.
   StateFingerprint fingerprint_of(const Configuration& config,
-                                  SymmetryScratch& scratch) const {
+                                  SymmetryScratch& sym) const {
     StateFingerprint fp = options.symmetry
-                              ? canonical_fingerprint(config, spec, scratch)
+                              ? canonical_fingerprint(config, spec, sym)
                               : config.state_fingerprint();
     if (!options.wide_fingerprint) {
       fp.hi = 0;
@@ -179,13 +228,18 @@ struct Engine {
     requeues.emplace_back(node, restrict_mask);
   }
 
-  /// Worker side: clone-and-step every candidate of `task`.  Touches no
-  /// engine state except read-only probes of the seen set.
-  Expansion expand(const Task& task) const {
-    Expansion out;
-    out.node = task.node;
-    const Configuration& config = *task.config;
-    SymmetryScratch scratch;
+  /// Phase 1 (parallel): clone-and-step every candidate of task `t`,
+  /// claiming each child's fingerprint in the seen set.  Writes only
+  /// outs[t] and `ws`; reads nodes/root (frozen during the epoch) and
+  /// the lock-striped seen set.
+  void expand_task(std::size_t t, WorkerScratch& ws) {
+    const Task& task = tasks[t];
+    TaskOut& out = outs[t];
+    std::optional<Configuration> rebuilt;
+    if (!task.config) {
+      rebuilt = rebuild(task.node);  // requeue: replay the parent chain
+    }
+    const Configuration& config = task.config ? *task.config : *rebuilt;
 
     std::vector<ProcessId> enabled_list;
     for (ProcessId pid = 0; pid < config.num_processes(); ++pid) {
@@ -197,7 +251,6 @@ struct Engine {
 
     std::vector<ProcessId> candidates;
     if (task.restrict_mask == 0) {
-      out.first_visit = true;
       candidates =
           options.reduction ? persistent_set(config) : enabled_list;
     } else {
@@ -233,12 +286,19 @@ struct Engine {
           }
         }
       }
-      Configuration child = config.clone();
-      const Step step = child.step(pid);
-      ChildOut c;
+      // Step into the reusable scratch configuration; only a child
+      // that installs its claim (and so may become a node) takes the
+      // buffer with it and forces a fresh clone next time.
+      if (!ws.child) {
+        ws.child = config.clone();
+      } else {
+        config.clone_into(*ws.child);
+      }
+      const Step step = ws.child->step(pid);
+      ChildRec c;
       c.pid = pid;
-      c.hash = child.state_hash();
-      c.fp = fingerprint_of(child, scratch);
+      c.hash = ws.child->state_hash();
+      c.fp = fingerprint_of(*ws.child, ws.sym);
       c.sleep = child_sleep;
       c.decided_mask = task.decided_mask;
       if (step.decided) {
@@ -247,29 +307,58 @@ struct Engine {
         }
         c.decided_mask |= (*step.decided == 0) ? kZeroDecided : kOneDecided;
       }
-      c.all_decided = child.all_decided();
-      if (options.collision_audit || !seen.find(c.fp)) {
-        c.config = std::move(child);
+      c.all_decided = ws.child->all_decided();
+      const std::uint64_t ticket = make_ticket(t, out.children.size());
+      const std::uint64_t previous = seen.claim(c.fp, ticket);
+      c.needs_resolve = previous == StateSet::kAbsent ||
+                        (previous & StateSet::kTicketTag) != 0;
+      if (!c.needs_resolve) {
+        c.claim = previous;  // final id from a previous epoch
+      }
+      const bool installed =
+          previous == StateSet::kAbsent ||
+          ((previous & StateSet::kTicketTag) != 0 && previous > ticket);
+      if (installed || options.collision_audit) {
+        c.config = std::move(*ws.child);
+        ws.child.reset();
       }
       out.children.push_back(std::move(c));
       running |= b;
       out.stepped |= b;
     }
-    return out;
   }
 
-  /// Merge one expansion into the graph.  Runs serially, in frontier
-  /// order -- every observable outcome is decided here, which is what
-  /// makes the result independent of the thread count.
-  void merge(Expansion& e) {
+  /// Phase 2 (parallel): after every claim of the epoch has landed,
+  /// re-read the winning value for each contested fingerprint.  The
+  /// value is the epoch's MINIMUM ticket (no final ids are assigned
+  /// while this phase runs), so ownership is settled here and the
+  /// post-merge performs no hashing or probing at all.
+  void resolve_task(std::size_t t) {
+    for (ChildRec& c : outs[t].children) {
+      if (c.needs_resolve) {
+        c.claim = seen.lookup(c.fp);
+      }
+    }
+  }
+
+  /// Phase 3 (serial): fold task `t`'s children into the graph, in
+  /// canonical (task, child) order -- operation for operation the walk
+  /// the old serial merge performed, which is what keeps every count,
+  /// witness and sleep-set decision bit-identical across thread counts.
+  void merge_task(std::size_t t) {
+    const Task& task = tasks[t];
+    TaskOut& e = outs[t];
     bool fresh_progress = false;
-    for (ChildOut& c : e.children) {
+    for (std::size_t ci = 0; ci < e.children.size(); ++ci) {
       if (aborted) {
         return;
       }
+      ChildRec& c = e.children[ci];
       ++result.transitions;
-      const std::optional<std::uint32_t> existing = seen.find(c.fp);
-      if (!existing) {
+      if (c.claim == make_ticket(t, ci)) {
+        // This child's ticket survived: it is the canonical first
+        // arrival at a fingerprint no epoch before saw, so it becomes
+        // the node.
         if (nodes.size() >= options.max_states) {
           result.complete = false;
           aborted = true;
@@ -279,22 +368,23 @@ struct Engine {
         const auto id = static_cast<std::uint32_t>(nodes.size());
         Node node;
         node.hash = c.hash;
-        node.parent = e.node;
-        node.level = nodes[e.node].level + 1;
+        node.parent = task.node;
+        node.level = nodes[task.node].level + 1;
         node.step_pid = static_cast<std::uint16_t>(c.pid);
         node.decided_mask = c.decided_mask;
         node.sleep = c.sleep;
         nodes.push_back(node);
-        seen.insert(c.fp, id);
-        edges.emplace_back(e.node, id);
+        c.final_id = id;
+        seen.assign(c.fp, id);  // ticket -> final id
+        edges.emplace_back(task.node, id);
         result.deepest = std::max<std::size_t>(result.deepest, node.level);
         fresh_progress = true;
         if (c.validity_violation) {
-          record_violation("validity", e.node, c.pid);
+          record_violation("validity", task.node, c.pid);
           return;
         }
         if (c.decided_mask == (kZeroDecided | kOneDecided)) {
-          record_violation("consistency", e.node, c.pid);
+          record_violation("consistency", task.node, c.pid);
           return;
         }
         if (!c.all_decided) {
@@ -305,9 +395,19 @@ struct Engine {
           }
         }
       } else {
-        const std::uint32_t id = *existing;
+        // Lost or never contested: the state is owned elsewhere.  A
+        // ticket claim points at the owning (task, child) record of
+        // THIS epoch -- merged before this child, since the winning
+        // ticket is smaller -- and a final value is a node id from a
+        // previous epoch.
+        const std::uint32_t id =
+            (c.claim & StateSet::kTicketTag) != 0
+                ? outs[ticket_task(c.claim)]
+                      .children[ticket_child(c.claim)]
+                      .final_id
+                : static_cast<std::uint32_t>(c.claim);
         ++result.dedup_hits;
-        edges.emplace_back(e.node, id);
+        edges.emplace_back(task.node, id);
         Node& child = nodes[id];
         // An orbit mate: same canonical fingerprint, different concrete
         // state.  The stored representative stands in for the arrival
@@ -358,7 +458,7 @@ struct Engine {
       }
     }
 
-    Node& node = nodes[e.node];
+    Node& node = nodes[task.node];
     node.explored |= e.stepped;
     node.persistent |= e.candidates;
     node.enabled = e.enabled;
@@ -368,11 +468,12 @@ struct Engine {
     }
     // Cover check with the CURRENT sleep set: candidates skipped because
     // they slept at task-build time must run if a merge earlier in this
-    // batch shrank our sleep set in the meantime.
+    // epoch shrank our sleep set in the meantime.  Epoch order is the
+    // old serial merge order, so "earlier" means the same arrivals.
     const std::uint64_t uncovered =
         node.persistent & ~node.sleep & ~node.explored;
     if (uncovered != 0) {
-      add_requeue(e.node, node.explored | uncovered);
+      add_requeue(task.node, node.explored | uncovered);
     }
     // Queue proviso (the "ignoring problem"): deadlock preservation
     // needs no proviso, but if a reduced expansion produced no fresh
@@ -382,9 +483,29 @@ struct Engine {
     if (!fresh_progress) {
       const std::uint64_t rest = node.enabled & ~node.explored & ~node.sleep;
       if (rest != 0) {
-        add_requeue(e.node, node.explored | rest);
+        add_requeue(task.node, node.explored | rest);
       }
     }
+  }
+
+  /// Run one parallel sweep of `phase` over every task index, fanned
+  /// out across `workers` with chunked range stealing.  workers == 1
+  /// runs inline on the caller in index order -- the serial path IS
+  /// the 1-thread path.
+  template <typename Phase>
+  void sweep(std::size_t workers, const Phase& phase) {
+    const std::size_t chunk = std::clamp<std::size_t>(
+        tasks.size() / (workers * 8), std::size_t{1}, std::size_t{64});
+    steal.reset(tasks.size(), workers);
+    parallel_trials(workers, workers, [this, chunk, &phase](std::size_t w) {
+      std::size_t begin = 0;
+      std::size_t end = 0;
+      while (steal.claim(w, chunk, begin, end)) {
+        for (std::size_t t = begin; t < end; ++t) {
+          phase(t, w);
+        }
+      }
+    });
   }
 
   ExploreResult run() {
@@ -416,8 +537,10 @@ struct Engine {
     }
     nodes.push_back(root_node);
     {
-      SymmetryScratch scratch;
-      seen.insert(fingerprint_of(root, scratch), 0);
+      SymmetryScratch sym;
+      const StateFingerprint root_fp = fingerprint_of(root, sym);
+      seen.claim(root_fp, StateSet::kTicketTag);  // == make_ticket(0, 0)
+      seen.assign(root_fp, 0);
     }
     result.states = 1;
 
@@ -430,11 +553,11 @@ struct Engine {
     }
 
     while (!aborted && (!next_fresh.empty() || !requeues.empty())) {
-      // Build this batch's tasks: fresh nodes first (they carry their
-      // configurations), then requeues (configurations replayed from
-      // the root).  Sleep/explored are read HERE, after the previous
-      // merge, so tasks see the freshest possible sleep sets.
-      std::vector<Task> tasks;
+      // Build this epoch's tasks: fresh nodes first (they carry their
+      // configurations), then requeues (rebuilt by the workers).
+      // Sleep/explored are read HERE, after the previous post-merge,
+      // so tasks see the freshest possible sleep sets.
+      tasks.clear();
       tasks.reserve(next_fresh.size() + requeues.size());
       for (auto& [id, config] : next_fresh) {
         Task task;
@@ -453,22 +576,34 @@ struct Engine {
         task.already = nodes[id].explored;
         task.restrict_mask = restrict_mask;
         task.decided_mask = nodes[id].decided_mask;
-        task.config = rebuild(id);
         tasks.push_back(std::move(task));
       }
       next_fresh.clear();
       requeues.clear();
       requeue_index.clear();
 
-      std::vector<Expansion> expansions = parallel_map_trials<Expansion>(
-          tasks.size(), threads,
-          [this, &tasks](std::size_t t) { return expand(tasks[t]); });
+      outs.clear();
+      outs.resize(tasks.size());
+      const std::size_t workers = std::min(
+          threads,
+          std::max<std::size_t>(1, tasks.size() / kMinTasksPerWorker));
+      if (scratch.size() < workers) {
+        scratch.resize(workers);
+      }
 
-      for (Expansion& e : expansions) {
-        if (aborted) {
-          break;
-        }
-        merge(e);
+      // Phase 1: expand + claim.  The WHOLE epoch always expands, even
+      // when the post-merge below will abort partway through it -- so
+      // the set of claimed fingerprints (and hence the seen set's
+      // growth and memory_bytes) is a pure function of the task list,
+      // never of the thread count.
+      sweep(workers, [this](std::size_t t, std::size_t w) {
+        expand_task(t, scratch[w]);
+      });
+      // Phase 2: settle ownership (all claims have landed).
+      sweep(workers, [this](std::size_t t, std::size_t) { resolve_task(t); });
+      // Phase 3: serial post-merge in canonical order.
+      for (std::size_t t = 0; t < tasks.size() && !aborted; ++t) {
+        merge_task(t);
       }
     }
 

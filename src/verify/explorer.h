@@ -21,14 +21,22 @@
 // whose future coin draws differ.
 //
 // Engine (see docs/SIMULATOR.md for the full story): an iterative
-// frontier search.  Each round, the pending configurations are expanded
-// in parallel on the ThreadPool of runtime/parallel.h (pure fan-out:
-// workers clone, step, hash, and probe the sharded seen-set), then a
-// SERIAL merge in deterministic frontier order performs all
-// deduplication, node creation, violation detection and scheduling of
-// the next round.  Verdicts, counts and witnesses are therefore
-// bit-identical for every thread count, including 1 -- the same
-// contract as the parallel trial engine.
+// frontier search in epochs of three phases.  Phase 1 fans the epoch's
+// tasks out across workers with chunked range stealing
+// (runtime/parallel.h StealRanges): each worker clones, steps, hashes
+// and POR-filters its tasks locally and CLAIMS every child fingerprint
+// directly in the lock-striped seen-set (verify/state_set.h), tagging
+// it with a ticket that encodes the child's canonical epoch position;
+// the set keeps the minimum ticket, so duplicate-insertion races
+// resolve at the table, without a coordinator, to exactly the arrival
+// a serial in-order walk would pick.  Phase 2 re-reads the contested
+// claims to settle ownership.  Phase 3 is a lean SERIAL post-merge in
+// canonical (task, child) order -- no hashing, no probing -- that
+// creates nodes, detects violations, maintains sleep sets and
+// schedules the next epoch.  Verdicts, counts and witnesses are
+// therefore bit-identical for every thread count, including 1 (the
+// serial path runs the same three phases inline) -- the same contract
+// as the parallel trial engine.
 //
 // With options.reduction the explorer applies partial-order reduction
 // (verify/por.h): persistent sets prune the expansion of each

@@ -446,6 +446,8 @@ FuzzResult fuzz(const ConsensusProtocol& protocol, std::span<const int> inputs,
   // identical for every (threads, batches) pair.
   const std::size_t batches =
       std::min(options.trials, std::max<std::size_t>(1, threads * 8));
+  // Shared state is read-only (protocol/inputs/options/rewind_exact)
+  // plus the relaxed-atomic Aggregate sinks.  lint: shared-ok
   parallel_trials(batches, threads, [&](std::size_t b) {
     const Configuration snapshot =
         make_initial_configuration(protocol, inputs, options.seed);

@@ -27,6 +27,20 @@
 // future invocation of the outsiders, so "no footprint conflict" really
 // means no interaction along ANY outsider-only execution.  The cycle
 // proviso (ignoring problem) is the explorer's job, not this header's.
+//
+// Sleep-set freshness under the sharded explorer.  Sleep sets only
+// shrink, and every shrink must eventually be answered by re-exploring
+// the uncovered candidates (Godefroid's covering fix).  The sharded
+// engine expands an epoch's tasks out of order across threads, but all
+// sleep-set DECISIONS happen in its serial post-merge, which walks
+// arrivals in canonical (task, child) order -- the same order the old
+// serial merge used.  So the freshness argument is unchanged: a shrink
+// merged before a node's own cover check is seen by that check; a
+// shrink merged after it requeues the node through the expanded-node
+// path; and a task's sleep set is read at task-build time, after the
+// whole previous epoch merged.  Claim races during expansion never
+// touch sleep sets -- the losing arrival's sleep still reaches the
+// post-merge and shrinks the winner's set there.
 #pragma once
 
 #include <cstdint>

@@ -1,9 +1,10 @@
 #include "verify/state_set.h"
 
+#include <cassert>
+
 namespace randsync {
 namespace {
 
-constexpr std::uint32_t kEmptyId = 0xFFFFFFFFu;
 constexpr std::size_t kInitialCapacity = 64;  // per shard, power of two
 // Grow at 70% load: open addressing with linear probing degrades fast
 // beyond that.
@@ -44,60 +45,74 @@ StateSet::Shard& StateSet::shard_for(StateFingerprint fp) const {
 }
 
 void StateSet::grow(Shard& shard) {
-  std::vector<Slot> old = std::move(shard.slots);
-  shard.slots.assign(old.size() * 2, Slot{});
-  const std::size_t capacity = shard.slots.size();
-  for (const Slot& slot : old) {
-    if (slot.id == kEmptyId) {
+  // Rehash into a FRESH vector of exactly double the slots, then swap:
+  // the allocation is sized by the constructor, so size() == capacity()
+  // and memory_bytes() (slot count x slot size) is the literal
+  // allocation, not a moved-from vector's capacity accident.
+  std::vector<Slot> next(shard.slots.size() * 2);
+  const std::size_t capacity = next.size();
+  for (const Slot& slot : shard.slots) {
+    if (slot.value == kAbsent) {
       continue;
     }
     std::size_t at = slot_index(StateFingerprint{slot.lo, slot.hi}, capacity);
-    while (shard.slots[at].id != kEmptyId) {
+    while (next[at].value != kAbsent) {
       at = (at + 1) & (capacity - 1);
     }
-    shard.slots[at] = slot;
+    next[at] = slot;
   }
+  shard.slots.swap(next);
 }
 
-std::optional<std::uint32_t> StateSet::find(StateFingerprint fp) const {
-  Shard& shard = shard_for(fp);
-  const std::lock_guard<std::mutex> lock(shard.mu);
-  const std::size_t capacity = shard.slots.size();
-  std::size_t at = slot_index(fp, capacity);
-  while (true) {
-    const Slot& slot = shard.slots[at];
-    if (slot.id == kEmptyId) {
-      return std::nullopt;
-    }
-    if (slot.lo == fp.lo && slot.hi == fp.hi) {
-      return slot.id;
-    }
-    at = (at + 1) & (capacity - 1);
-  }
-}
-
-bool StateSet::insert(StateFingerprint fp, std::uint32_t id) {
-  Shard& shard = shard_for(fp);
-  const std::lock_guard<std::mutex> lock(shard.mu);
-  if ((shard.used + 1) * kLoadDen > shard.slots.size() * kLoadNum) {
-    grow(shard);
-  }
+StateSet::Slot& StateSet::probe(Shard& shard, StateFingerprint fp) {
   const std::size_t capacity = shard.slots.size();
   std::size_t at = slot_index(fp, capacity);
   while (true) {
     Slot& slot = shard.slots[at];
-    if (slot.id == kEmptyId) {
-      slot.lo = fp.lo;
-      slot.hi = fp.hi;
-      slot.id = id;
-      ++shard.used;
-      return true;
-    }
-    if (slot.lo == fp.lo && slot.hi == fp.hi) {
-      return false;
+    if (slot.value == kAbsent || (slot.lo == fp.lo && slot.hi == fp.hi)) {
+      return slot;
     }
     at = (at + 1) & (capacity - 1);
   }
+}
+
+std::uint64_t StateSet::claim(StateFingerprint fp, std::uint64_t ticket) {
+  assert(ticket & kTicketTag);
+  Shard& shard = shard_for(fp);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  Slot* slot = &probe(shard, fp);
+  const std::uint64_t previous = slot->value;
+  if (previous == kAbsent) {
+    // Grow only when actually inserting: a duplicate claim must not
+    // move the growth point, or the table's final size would depend on
+    // how duplicate claims interleave with inserts -- i.e. on the
+    // thread count.  Growth is a pure function of the insert count.
+    if ((shard.used + 1) * kLoadDen > shard.slots.size() * kLoadNum) {
+      grow(shard);
+      slot = &probe(shard, fp);
+    }
+    slot->lo = fp.lo;
+    slot->hi = fp.hi;
+    slot->value = ticket;
+    ++shard.used;
+  } else if ((previous & kTicketTag) != 0 && ticket < previous) {
+    slot->value = ticket;  // min ticket wins the epoch claim
+  }
+  return previous;
+}
+
+std::uint64_t StateSet::lookup(StateFingerprint fp) const {
+  Shard& shard = shard_for(fp);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  return probe(shard, fp).value;
+}
+
+void StateSet::assign(StateFingerprint fp, std::uint64_t value) {
+  Shard& shard = shard_for(fp);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  Slot& slot = probe(shard, fp);
+  assert(slot.value != kAbsent);
+  slot.value = value;
 }
 
 std::size_t StateSet::size() const {
@@ -113,7 +128,7 @@ std::size_t StateSet::memory_bytes() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mu);
-    total += shard->slots.capacity() * sizeof(Slot);
+    total += shard->slots.size() * sizeof(Slot);
   }
   return total;
 }

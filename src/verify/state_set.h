@@ -1,14 +1,27 @@
-// Sharded concurrent fingerprint -> node-id store for the explorer.
+// Sharded concurrent fingerprint -> value store for the explorer.
 //
-// Replaces the unordered_map-per-stripe seen-set: each shard is an
-// open-addressing (linear probe) table of 16-byte slots, so a probe is
-// one mutex plus a short contiguous scan instead of a node-pointer
-// chase, and memory per state is a flat slot instead of a heap node.
-// Workers probe concurrently during frontier expansion; the serial
-// merge phase is the only inserter.  A probe miss is only a hint (the
-// merge re-checks before creating a node), so shards need no cross-
-// shard consistency -- just per-shard mutual exclusion, which also
-// keeps the explorer ThreadSanitizer-clean.
+// Each shard is an open-addressing (linear probe) table of 24-byte
+// slots behind its own mutex, so an operation is one short critical
+// section over a contiguous scan -- no node-pointer chase, no global
+// lock.  The sharded explorer's workers call claim() concurrently
+// during frontier expansion; the claim acts as a compare-and-swap on
+// slot ownership:
+//
+//   * an absent fingerprint is installed with the caller's epoch
+//     ticket (a value with kTicketTag set, encoding the arrival's
+//     canonical position in the epoch);
+//   * a present TICKET is replaced iff the caller's ticket is SMALLER
+//     -- the minimum ticket wins, so the surviving claimant is the
+//     arrival that is first in canonical epoch order, independent of
+//     which thread got there first;
+//   * a present FINAL value (kTicketTag clear: a node id assigned by a
+//     previous epoch's post-merge) is never replaced.
+//
+// Growth happens inside claim()/assign() under the shard mutex, so a
+// resize is invisible to concurrent callers beyond the wait; the slot
+// arrays are rebuilt into freshly sized vectors and memory_bytes()
+// reports their exact allocated bytes (slot count x slot size), never
+// a mid-growth or capacity-padded snapshot.
 //
 // Keys are 128-bit StateFingerprints.  The 64-bit explorer mode stores
 // fingerprints with hi == 0; the table is agnostic.
@@ -17,49 +30,66 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <vector>
 
 #include "runtime/configuration.h"
 
 namespace randsync {
 
-/// Lock-striped open-addressing map StateFingerprint -> uint32 node id.
+/// Lock-striped open-addressing map StateFingerprint -> uint64 value.
 class StateSet {
  public:
+  /// Returned by claim()/lookup() for a fingerprint with no entry.
+  /// Values must be below it (the explorer's tickets and node ids are).
+  static constexpr std::uint64_t kAbsent = ~std::uint64_t{0};
+
+  /// Bit tagging a value as a provisional epoch ticket; values without
+  /// it are final and claim() never replaces them.
+  static constexpr std::uint64_t kTicketTag = std::uint64_t{1} << 63;
+
   /// `shards` is rounded up to a power of two (default 64 stripes).
   explicit StateSet(std::size_t shards = 64);
 
-  /// The node id recorded for `fp`, if any.
-  [[nodiscard]] std::optional<std::uint32_t> find(StateFingerprint fp) const;
+  /// Atomically: install `ticket` if `fp` is absent, or replace the
+  /// stored value iff it is a LARGER ticket.  Returns the value seen
+  /// before the call -- kAbsent (installed into an empty slot), a
+  /// larger ticket (replaced), a smaller-or-equal ticket (lost the
+  /// claim), or a final value (never replaced).  `ticket` must have
+  /// kTicketTag set.
+  std::uint64_t claim(StateFingerprint fp, std::uint64_t ticket);
 
-  /// Record `fp` -> `id`; false (and no change) if already present.
-  /// `id` must not be 0xFFFFFFFF (the empty-slot sentinel; the explorer
-  /// caps node ids far below it).
-  bool insert(StateFingerprint fp, std::uint32_t id);
+  /// The value currently recorded for `fp`, or kAbsent.
+  [[nodiscard]] std::uint64_t lookup(StateFingerprint fp) const;
+
+  /// Overwrite the value of the EXISTING entry for `fp` (used by the
+  /// post-merge to turn a winning ticket into a final node id).
+  void assign(StateFingerprint fp, std::uint64_t value);
 
   /// Number of recorded fingerprints.
   [[nodiscard]] std::size_t size() const;
 
-  /// Total bytes held by the slot arrays (the seen-set's footprint,
-  /// reported by bench and the CLI summary).
+  /// Exact bytes allocated for the slot arrays across all shards (the
+  /// seen-set's footprint, reported by bench and the CLI summary).
   [[nodiscard]] std::size_t memory_bytes() const;
 
  private:
   struct Slot {
     std::uint64_t lo = 0;
     std::uint64_t hi = 0;
-    std::uint32_t id = 0xFFFFFFFFu;  ///< empty sentinel
+    std::uint64_t value = kAbsent;  ///< kAbsent == empty slot
   };
 
   struct Shard {
     mutable std::mutex mu;
-    std::vector<Slot> slots;  ///< power-of-two capacity
+    std::vector<Slot> slots;  ///< power-of-two size; size == capacity
     std::size_t used = 0;
   };
 
   [[nodiscard]] Shard& shard_for(StateFingerprint fp) const;
   static void grow(Shard& shard);
+  /// Probe for `fp`; returns its slot (present) or the empty slot that
+  /// would hold it.  Caller holds the shard mutex.
+  static Slot& probe(Shard& shard, StateFingerprint fp);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::uint64_t mask_;

@@ -1,0 +1,51 @@
+// Fixture for the shared-capture rule: default by-reference captures
+// into parallel worker lambdas in src/verify/.  Lines carrying the BAD
+// tag must be flagged; suppressed and explicit-capture sites must not.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+void parallel_trials(std::size_t, std::size_t, int);
+
+void worker_fanout() {
+  std::vector<int> counts(8);
+  int shared = 0;
+
+  // Same-line default capture: the classic accumulator-race shape.
+  parallel_trials(8, 4, 0); auto bad1 = [&](std::size_t t) {  // BAD
+    ++shared;
+    (void)t;
+  };
+
+  // Lambda starting on the line after the dispatch is still in the
+  // window.
+  parallel_trials(8, 4, 0);
+  auto bad2 = [&, shared](std::size_t t) { counts[t] = shared; };  // BAD
+
+  // Suppressed: shared state here is index-addressed slots only.
+  parallel_trials(8, 4, 0);  // lint: shared-ok
+  auto fine1 = [&](std::size_t t) { counts[t] = 1; };
+
+  // Marker on the line above the capture works too.
+  parallel_trials(8, 4, 0);
+  // lint: shared-ok
+  auto fine2 = [&](std::size_t t) { counts[t] = 2; };
+
+  // Explicit capture lists pass without a marker.
+  parallel_trials(8, 4, 0); auto fine3 = [&counts](std::size_t t) {
+    counts[t] = 3;
+  };
+
+  // A default capture FAR from any dispatch is a plain serial lambda:
+  // out of the window, not flagged.
+  auto serial = [&] { ++shared; };
+  (void)bad1;
+  (void)bad2;
+  (void)fine1;
+  (void)fine2;
+  (void)fine3;
+  (void)serial;
+}
+
+}  // namespace fixture

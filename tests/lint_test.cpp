@@ -189,6 +189,46 @@ TEST(LintTest, PolicyCoinRuleScopesToSchedulePolicySubclasses) {
   EXPECT_TRUE(lint_source("src/runtime/policy_like.cpp", policy).empty());
 }
 
+TEST(LintTest, SharedCaptureFlaggedAtMarkedLines) {
+  const std::string file = "src/verify/bad_capture.cpp";
+  const auto expected = marked_lines(read_fixture(file), "// BAD");
+  ASSERT_EQ(expected.size(), 2u) << "fixture drifted";
+  const auto found = findings_for(lint_fixtures(), file);
+  ASSERT_EQ(found.size(), expected.size()) << render_text(found);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(found[i].line, expected[i]);
+    EXPECT_EQ(found[i].rule, kRuleSharedCapture);
+  }
+}
+
+TEST(LintTest, SharedCaptureScopesToVerifyDispatchWindows) {
+  // A default capture right at a dispatch site is a finding in
+  // src/verify/ ...
+  const std::string dispatch =
+      "void fan_out(std::vector<int>& slots) {\n"
+      "  parallel_trials(slots.size(), 4, [&](std::size_t t) {\n"
+      "    slots[t] = 1;\n"
+      "  });\n"
+      "}\n";
+  const auto found = lint_source("src/verify/fanout_like.cpp", dispatch);
+  ASSERT_EQ(found.size(), 1u) << render_text(found);
+  EXPECT_EQ(found.front().rule, kRuleSharedCapture);
+  EXPECT_EQ(found.front().line, 2u);
+  // ... but not outside src/verify/ (bench drivers and the runtime
+  // trial engine own their own discipline) ...
+  EXPECT_TRUE(lint_source("bench/fanout_like.cpp", dispatch).empty());
+  EXPECT_TRUE(lint_source("src/runtime/fanout_like.cpp", dispatch).empty());
+  // ... and a serial lambda far from any dispatch is out of the
+  // window.
+  const std::string serial =
+      "void fold(std::vector<int>& xs) {\n"
+      "  int sum = 0;\n"
+      "  auto add = [&](int x) { sum += x; };\n"
+      "  for (int x : xs) add(x);\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/verify/fold_like.cpp", serial).empty());
+}
+
 TEST(LintTest, SuppressionsAreRuleSpecific) {
   // A nondet-order waiver must not silence a nondet-source finding on
   // the same line, and vice versa.

@@ -1,0 +1,134 @@
+// Unit tests for the lock-striped StateSet behind the sharded explorer
+// (verify/state_set.h): the min-ticket claim protocol that settles
+// duplicate-insertion races deterministically, and the exact
+// memory_bytes() accounting the seen_bytes field of ExploreResult
+// reports -- growth must be a pure function of the INSERT count, never
+// of how duplicate claims interleave with inserts (that interleaving is
+// a thread-scheduling accident).
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/parallel.h"
+#include "verify/state_set.h"
+
+namespace randsync {
+namespace {
+
+// Distinct, well-spread fingerprints (odd multiplier mixes the low
+// bits the slot probe keys on and the high bits the shard index uses).
+StateFingerprint fp_of(std::uint64_t i) {
+  return StateFingerprint{i * 0x9E3779B97F4A7C15ull + 1, 0};
+}
+
+constexpr std::uint64_t ticket(std::uint64_t n) {
+  return StateSet::kTicketTag | n;
+}
+
+// One shard starts at 64 slots of 24 bytes and doubles at 70% load:
+// the 45th insert crosses (44+1)*10 > 64*7 and the 90th crosses
+// (89+1)*10 > 128*7.  These pins break if the slot layout or the load
+// policy changes -- deliberately, so seen_bytes drift is a conscious
+// decision.
+constexpr std::size_t kSlotBytes = 24;
+
+TEST(StateSetTest, MemoryBytesIsExactSlotArraySize) {
+  StateSet set(1);  // single shard: growth arithmetic is exact
+  EXPECT_EQ(set.memory_bytes(), 64 * kSlotBytes);
+  for (std::uint64_t i = 0; i < 44; ++i) {
+    EXPECT_EQ(set.claim(fp_of(i), ticket(i)), StateSet::kAbsent);
+  }
+  EXPECT_EQ(set.size(), 44u);
+  EXPECT_EQ(set.memory_bytes(), 64 * kSlotBytes) << "grew one insert early";
+  EXPECT_EQ(set.claim(fp_of(44), ticket(44)), StateSet::kAbsent);
+  EXPECT_EQ(set.memory_bytes(), 128 * kSlotBytes) << "45th insert must grow";
+  for (std::uint64_t i = 45; i < 89; ++i) {
+    set.claim(fp_of(i), ticket(i));
+  }
+  EXPECT_EQ(set.memory_bytes(), 128 * kSlotBytes);
+  set.claim(fp_of(89), ticket(89));
+  EXPECT_EQ(set.memory_bytes(), 256 * kSlotBytes) << "90th insert must grow";
+  // Every entry survives both rehashes.
+  for (std::uint64_t i = 0; i < 90; ++i) {
+    EXPECT_EQ(set.lookup(fp_of(i)), ticket(i)) << i;
+  }
+}
+
+TEST(StateSetTest, DuplicateClaimsNeverMoveTheGrowthPoint) {
+  StateSet set(1);
+  for (std::uint64_t i = 0; i < 44; ++i) {
+    set.claim(fp_of(i), ticket(i));
+  }
+  // The table sits exactly at the growth threshold.  Duplicate claims
+  // (what racing workers produce) must not trigger the resize, or the
+  // final seen_bytes would depend on the race.
+  for (int round = 0; round < 100; ++round) {
+    set.claim(fp_of(7), ticket(1000 + round));
+    set.lookup(fp_of(7));
+  }
+  EXPECT_EQ(set.memory_bytes(), 64 * kSlotBytes);
+  EXPECT_EQ(set.size(), 44u);
+}
+
+TEST(StateSetTest, MinimumTicketWinsTheClaim) {
+  StateSet set;
+  const StateFingerprint fp = fp_of(3);
+  EXPECT_EQ(set.claim(fp, ticket(50)), StateSet::kAbsent);
+  // A larger ticket loses: the stored value is unchanged.
+  EXPECT_EQ(set.claim(fp, ticket(60)), ticket(50));
+  EXPECT_EQ(set.lookup(fp), ticket(50));
+  // A smaller ticket replaces (and the caller learns what it beat).
+  EXPECT_EQ(set.claim(fp, ticket(20)), ticket(50));
+  EXPECT_EQ(set.lookup(fp), ticket(20));
+  // Equal ticket: no-op, returns the stored value.
+  EXPECT_EQ(set.claim(fp, ticket(20)), ticket(20));
+  EXPECT_EQ(set.lookup(fp), ticket(20));
+}
+
+TEST(StateSetTest, FinalValuesAreNeverReplaced) {
+  StateSet set;
+  const StateFingerprint fp = fp_of(11);
+  set.claim(fp, ticket(9));
+  set.assign(fp, 42);  // post-merge: winning ticket -> node id
+  EXPECT_EQ(set.lookup(fp), 42u);
+  // Claims from a later epoch observe the final id and do not disturb
+  // it, whatever their ticket.
+  EXPECT_EQ(set.claim(fp, ticket(0)), 42u);
+  EXPECT_EQ(set.lookup(fp), 42u);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(StateSetTest, AbsentLookupReturnsAbsent) {
+  StateSet set;
+  EXPECT_EQ(set.lookup(fp_of(123)), StateSet::kAbsent);
+  set.claim(fp_of(1), ticket(1));
+  EXPECT_EQ(set.lookup(fp_of(2)), StateSet::kAbsent);
+}
+
+// Racing claimants across real threads: for every fingerprint the
+// surviving value must be the MINIMUM ticket, regardless of arrival
+// order.  Runs under `ctest -L tsan` to certify the striped locking.
+TEST(StateSetTest, ConcurrentClaimsResolveToMinimumTicket) {
+  constexpr std::uint64_t kFingerprints = 512;
+  constexpr std::size_t kClaimants = 8;
+  StateSet set;
+  // Claimant c claims every fingerprint with ticket (fp * claimants +
+  // perm(c)), a distinct value per (fp, claimant); the minimum over
+  // claimants is fp * claimants.
+  parallel_trials(kClaimants, kClaimants, [&set](std::size_t c) {
+    for (std::uint64_t i = 0; i < kFingerprints; ++i) {
+      const std::uint64_t mixed = (c + i) % kClaimants;  // vary arrival order
+      set.claim(fp_of(i), ticket(i * kClaimants + mixed));
+    }
+  });
+  EXPECT_EQ(set.size(), kFingerprints);
+  for (std::uint64_t i = 0; i < kFingerprints; ++i) {
+    EXPECT_EQ(set.lookup(fp_of(i)), ticket(i * kClaimants)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace randsync

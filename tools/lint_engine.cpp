@@ -399,6 +399,66 @@ void check_policy_coin(const std::string& path, const FileLines& file,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule 6: no default by-reference captures into parallel worker lambdas.
+//
+// Scope: src/verify/ lines within a short window after a parallel
+// dispatch token (the lambda usually starts on the call line itself or
+// within the next couple of lines).  The rule is lexical, so it asks
+// for explicit capture lists rather than trying to type-check what is
+// captured: `[&]` is what lets a mutable accumulator slip into a
+// worker unreviewed, while `[this, &outs, chunk]` names every shared
+// object and makes the review possible.  Sites whose sharing is
+// deliberate (atomics, striped sets, index-addressed slots) suppress
+// with the marker.
+
+/// Dispatch tokens that start a parallel fan-out in src/verify/.
+constexpr const char* kDispatchTokens[] = {"parallel_trials(",
+                                           "parallel_map_trials(",
+                                           "for_each("};
+/// Lambda lines at most this many lines after the dispatch line are in
+/// the window (call line itself plus trailing-argument wrapping).
+constexpr std::size_t kCaptureWindow = 2;
+
+void check_shared_capture(const std::string& path, const FileLines& file,
+                          std::vector<Finding>& findings) {
+  if (!starts_with(path, "src/verify/")) {
+    return;
+  }
+  // window_until > i means line i is within a dispatch window.
+  std::size_t window_until = 0;
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    for (const char* token : kDispatchTokens) {
+      std::size_t pos = code.find(token);
+      while (pos != std::string::npos) {
+        // `for_each(` must be a call on something (x.for_each / ->),
+        // not a plain std::for_each-style word that rule never sees --
+        // but std::for_each( also matches and IS a dispatch shape we
+        // want reviewed, so no boundary filtering here.
+        window_until = std::max(window_until, i + kCaptureWindow + 1);
+        pos = code.find(token, pos + 1);
+      }
+    }
+    if (i >= window_until) {
+      continue;
+    }
+    const bool default_ref = code.find("[&]") != std::string::npos ||
+                             code.find("[&,") != std::string::npos;
+    if (!default_ref || suppressed_at(file, i, kSuppressSharedCapture)) {
+      continue;
+    }
+    findings.push_back(
+        {path, i + 1, kRuleSharedCapture,
+         std::string("default by-reference capture `[&]` into a parallel "
+                     "worker lambda: name the captures so shared mutable "
+                     "state is visible in review, or annotate with `// ") +
+             kSuppressSharedCapture +
+             "` if every shared object is an atomic/striped/index-"
+             "addressed accumulator"});
+  }
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 8);
@@ -474,6 +534,7 @@ std::vector<Finding> lint_source(const std::string& path,
   check_protocol_symmetry(path, file, findings);
   check_nondet_order(path, file, findings);
   check_policy_coin(path, file, findings);
+  check_shared_capture(path, file, findings);
   return findings;
 }
 
@@ -573,6 +634,10 @@ std::string describe_rules() {
     out << " `" << rule.token << "`";
   }
   out << "\n";
+  out << "  " << kRuleSharedCapture
+      << "     src/verify/ parallel worker lambdas must name their "
+         "captures (no `[&]`)\n                     (suppress: // "
+      << kSuppressSharedCapture << ")\n";
   return out.str();
 }
 

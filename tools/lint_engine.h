@@ -18,7 +18,15 @@
 //     CoinSource handed into reset()/next() -- no owned coin sources,
 //     no standard-library RNGs, no reseeding the coin they are given.
 //     Private randomness would survive across trials and break the
-//     fuzzer's (protocol, inputs, policy, trial seed) replay contract.
+//     fuzzer's (protocol, inputs, policy, trial seed) replay contract;
+//   * worker lambdas handed to a parallel dispatch in src/verify/
+//     (parallel_trials / parallel_map_trials / ThreadPool::for_each)
+//     must name their captures: a default by-reference capture `[&]`
+//     hides which mutable state the workers share, which is exactly
+//     how an unsynchronized accumulator slips into the explorer.
+//     Sites whose shared state is legitimately concurrent (atomics,
+//     the lock-striped StateSet, index-addressed slot vectors) opt in
+//     explicitly with the suppression marker.
 //
 // The engine is deliberately lexical: it scans source text line by line
 // with comment and string-literal stripping, driven by the declarative
@@ -68,6 +76,7 @@ inline constexpr const char* kRuleObjectOracle = "object-oracle";
 inline constexpr const char* kRuleProtocolSymmetry = "protocol-symmetry";
 inline constexpr const char* kRuleNondetOrder = "nondet-order";
 inline constexpr const char* kRulePolicyCoin = "policy-coin";
+inline constexpr const char* kRuleSharedCapture = "shared-capture";
 
 /// Suppression markers, one per rule.
 inline constexpr const char* kSuppressNondetSource = "lint: nondet-ok";
@@ -77,6 +86,7 @@ inline constexpr const char* kSuppressProtocolSymmetry =
     "lint: default-symmetry-key";
 inline constexpr const char* kSuppressNondetOrder = "lint: nondet-order-ok";
 inline constexpr const char* kSuppressPolicyCoin = "lint: policy-coin-ok";
+inline constexpr const char* kSuppressSharedCapture = "lint: shared-ok";
 
 /// The banned nondeterminism sources (rule "nondet-source").
 [[nodiscard]] const std::vector<TokenRule>& nondet_token_rules();

@@ -38,8 +38,8 @@
 //       bursts, or "all"), depth D steps per level, optional
 //       importance splitting over L extra levels.  Deterministic: the
 //       same flags give bit-identical output for every --threads
-//       value.  Violating trials are replayed and minimized.  Exits
-//       nonzero iff a violation was found.
+//       value (0 = all cores).  Violating trials are replayed and
+//       minimized.  Exits nonzero iff a violation was found.
 //
 //   randsync table
 //       the Section 4 separation table, algebra re-verified.
