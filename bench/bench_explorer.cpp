@@ -1,14 +1,19 @@
 // B4 -- exhaustive explorer throughput and reduction strength: a grid
 // of registry instances x {full, POR, symmetry, POR+symmetry} x {1, N
 // threads}, plus a deep-instance scaling section (n=6..8 frontiers in
-// the 0.5M..1.4M-state range) swept across the 1/2/4/8-thread grid.
-// Three numbers matter per cell: wall time (states/sec), the reduction
-// ratio (states as a fraction of the full graph) and the peak seen-set
-// footprint (slot-array bytes); the deep section adds the speedup
-// column (serial wall / threaded wall).  The bench doubles as a
-// cross-config agreement check -- every instance's ExploreResult must
-// be bit-identical across thread counts and verdict-identical across
-// reduction modes -- and exits 1 if any configuration disagrees.
+// the 0.5M..1.4M-state range) swept across the 1/2/4/8-thread grid,
+// plus a beyond-RAM section that reruns instances under a memory
+// budget 2.5x smaller than their uncapped footprint with the tiered
+// store spilling to disk.  Four numbers matter per cell: wall time
+// (states/sec), the reduction ratio (states as a fraction of the full
+// graph), the peak resident footprint across every tier (total KiB)
+// and the memory-normalized throughput (states/sec/GB); the deep
+// section adds the speedup column (serial wall / threaded wall).  The
+// bench doubles as a cross-config agreement check -- every instance's
+// ExploreResult must be bit-identical across thread counts,
+// verdict-identical across reduction modes, and identical up to the
+// memory-accounting fields across budgets -- and exits 1 if any
+// configuration disagrees.
 //
 // With --json=FILE the bench emits the machine-readable record
 // (schema: bench/README.md); the checked-in baseline lives at
@@ -17,7 +22,9 @@
 // runs.
 
 #include <cstdio>
+#include <filesystem>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -68,6 +75,20 @@ const std::vector<GridCase>& deep_grid() {
   return cases;
 }
 
+// Beyond-RAM instances: rerun under a budget of (uncapped total_bytes
+// * 2/5) -- i.e. the instance needs 2.5x more memory than the tiered
+// store is allowed to keep resident -- with node/edge chunks spilling
+// to disk.  The capped run must complete untruncated, stay within the
+// budget, and agree with the uncapped run on everything but the
+// memory-accounting fields.
+const std::vector<GridCase>& tiered_grid() {
+  static const std::vector<GridCase> cases = {
+      {"counter-walk", std::nullopt, 3, 24, false},
+      {"register-walk", std::nullopt, 3, 24, false},
+  };
+  return cases;
+}
+
 // The speedup grid for the deep section.  8 exceeds the container's
 // core count on small CI runners; the engine clamps workers to the
 // epoch's task supply, so oversubscription costs little and the grid
@@ -87,7 +108,9 @@ const Mode kModes[] = {
     {"por+sym", true, true},
 };
 
-ExploreResult run_one(const GridCase& c, const Mode& m, std::size_t threads) {
+ExploreResult run_one(const GridCase& c, const Mode& m, std::size_t threads,
+                      std::size_t max_bytes = 0,
+                      const std::string& spill = {}) {
   const auto protocol = find_protocol(c.protocol)->make(c.param);
   std::vector<int> inputs;
   for (std::size_t i = 0; i < c.n; ++i) {
@@ -99,7 +122,29 @@ ExploreResult run_one(const GridCase& c, const Mode& m, std::size_t threads) {
   opt.reduction = m.reduction;
   opt.symmetry = m.symmetry;
   opt.threads = threads;
+  opt.max_resident_bytes = max_bytes;
+  opt.spill_dir = spill;
   return explore(*protocol, inputs, opt);
+}
+
+// Memory-normalized throughput: states explored per second per GB of
+// peak resident footprint.  The tiered store trades this DOWN in wall
+// time but UP in states/sec/GB -- the metric the beyond-RAM section
+// exists to report.
+double per_gb(std::size_t states, double wall, std::size_t bytes) {
+  if (wall <= 0.0 || bytes == 0) {
+    return 0.0;
+  }
+  return (static_cast<double>(states) / wall) /
+         (static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0));
+}
+
+// Equality up to the memory-accounting fields (what a budget is
+// allowed to change: peak residency and spill volume, never results).
+bool same_modulo_memory(ExploreResult a, ExploreResult b) {
+  a.total_bytes = b.total_bytes = 0;
+  a.spilled_bytes = b.spilled_bytes = 0;
+  return a == b;
 }
 
 int run(const bench::BenchOptions& opt) {
@@ -108,10 +153,10 @@ int run(const bench::BenchOptions& opt) {
   bench::JsonReporter report("bench_explorer", threads);
   bool agree = true;
 
-  std::printf("%-24s %8s %9s %12s %12s %10s %10s %7s\n", "instance", "mode",
-              "states", "transitions", "states/sec", "wall (s)", "seen KiB",
-              "ratio");
-  bench::rule(100);
+  std::printf("%-24s %8s %9s %12s %12s %10s %10s %10s %7s\n", "instance",
+              "mode", "states", "transitions", "states/sec", "wall (s)",
+              "total KiB", "st/s/GB", "ratio");
+  bench::rule(110);
   for (const GridCase& c : grid()) {
     std::optional<ExploreResult> full;
     for (const Mode& m : kModes) {
@@ -153,11 +198,12 @@ int run(const bench::BenchOptions& opt) {
       char instance[64];
       std::snprintf(instance, sizeof(instance), "%s n=%zu d=%zu", c.protocol,
                     c.n, c.depth);
-      std::printf("%-24s %8s %9zu %12zu %12.0f %10.4f %10.1f %6.0f%%\n",
+      std::printf("%-24s %8s %9zu %12zu %12.0f %10.4f %10.1f %10.2g %6.0f%%\n",
                   instance, m.name, serial.states, serial.transitions,
                   static_cast<double>(serial.states) / serial_wall,
                   serial_wall,
-                  static_cast<double>(serial.seen_bytes) / 1024.0,
+                  static_cast<double>(serial.total_bytes) / 1024.0,
+                  per_gb(serial.states, serial_wall, serial.total_bytes),
                   ratio * 100.0);
 
       report.add("explore")
@@ -173,6 +219,7 @@ int run(const bench::BenchOptions& opt) {
           .count("dedup_hits", serial.dedup_hits)
           .count("orbit_merges", serial.orbit_merges)
           .count("seen_bytes", serial.seen_bytes)
+          .count("total_bytes", serial.total_bytes)
           .field("complete", serial.complete)
           .field("safe", serial.safe)
           .field("reduction_ratio", ratio)
@@ -180,14 +227,17 @@ int run(const bench::BenchOptions& opt) {
           .field("threaded_wall_seconds", threaded_wall)
           .field("serial_states_per_sec",
                  static_cast<double>(serial.states) / serial_wall)
+          .field("states_per_sec_per_gb",
+                 per_gb(serial.states, serial_wall, serial.total_bytes))
           .field("speedup",
                  threaded_wall > 0 ? serial_wall / threaded_wall : 0.0);
     }
   }
   std::printf("\ndeep scaling (full mode, 1/2/4/8-thread grid)\n");
-  std::printf("%-24s %8s %9s %12s %12s %10s %8s\n", "instance", "threads",
-              "states", "transitions", "states/sec", "wall (s)", "speedup");
-  bench::rule(100);
+  std::printf("%-24s %8s %9s %12s %12s %10s %8s %10s\n", "instance",
+              "threads", "states", "transitions", "states/sec", "wall (s)",
+              "speedup", "st/s/GB");
+  bench::rule(110);
   for (const GridCase& c : deep_grid()) {
     std::optional<ExploreResult> base;
     double base_wall = 0.0;
@@ -210,9 +260,10 @@ int run(const bench::BenchOptions& opt) {
       char instance[64];
       std::snprintf(instance, sizeof(instance), "%s n=%zu d=%zu", c.protocol,
                     c.n, c.depth);
-      std::printf("%-24s %8zu %9zu %12zu %12.0f %10.4f %7.2fx\n", instance, t,
-                  r.states, r.transitions,
-                  static_cast<double>(r.states) / wall, wall, speedup);
+      std::printf("%-24s %8zu %9zu %12zu %12.0f %10.4f %7.2fx %10.2g\n",
+                  instance, t, r.states, r.transitions,
+                  static_cast<double>(r.states) / wall, wall, speedup,
+                  per_gb(r.states, wall, r.total_bytes));
       report.add("deep")
           .field("protocol", std::string(c.protocol))
           .count("n", c.n)
@@ -221,10 +272,88 @@ int run(const bench::BenchOptions& opt) {
           .count("states", r.states)
           .count("transitions", r.transitions)
           .count("seen_bytes", r.seen_bytes)
+          .count("total_bytes", r.total_bytes)
           .field("complete", r.complete)
           .field("wall_seconds", wall)
           .field("states_per_sec", static_cast<double>(r.states) / wall)
+          .field("states_per_sec_per_gb",
+                 per_gb(r.states, wall, r.total_bytes))
           .field("speedup", speedup);
+    }
+  }
+
+  std::printf(
+      "\nbeyond-RAM (tiered store: budget = 40%% of uncapped footprint, "
+      "spill to disk)\n");
+  std::printf("%-24s %9s %11s %10s %10s %10s %10s %10s\n", "instance", "run",
+              "states", "budget KiB", "total KiB", "spill KiB", "wall (s)",
+              "st/s/GB");
+  bench::rule(100);
+  const std::string spill =
+      (std::filesystem::temp_directory_path() / "randsync-bench-spill")
+          .string();
+  for (const GridCase& c : tiered_grid()) {
+    auto start = bench::Clock::now();
+    const ExploreResult uncapped = run_one(c, kModes[0], 1);
+    const double uncapped_wall = bench::seconds_since(start);
+    const std::size_t budget = uncapped.total_bytes * 2 / 5;
+
+    start = bench::Clock::now();
+    const ExploreResult capped = run_one(c, kModes[0], 1, budget, spill);
+    const double capped_wall = bench::seconds_since(start);
+    const ExploreResult capped_threaded =
+        run_one(c, kModes[0], threads, budget, spill);
+
+    // Agreement, part 3: the budget changes residency, never results --
+    // and the capped run must finish untruncated inside its budget,
+    // bit-identically across thread counts (memory fields included:
+    // residency decisions are serial, so they are thread-invariant).
+    if (capped != capped_threaded) {
+      std::fprintf(stderr, "DIVERGED (BUG!): %s n=%zu capped @%zu threads\n",
+                   c.protocol, c.n, threads);
+      agree = false;
+    }
+    if (!same_modulo_memory(uncapped, capped) || capped.truncated ||
+        capped.total_bytes > budget) {
+      std::fprintf(stderr, "DIVERGED (BUG!): %s n=%zu capped vs uncapped\n",
+                   c.protocol, c.n);
+      agree = false;
+    }
+
+    char instance[64];
+    std::snprintf(instance, sizeof(instance), "%s n=%zu d=%zu", c.protocol,
+                  c.n, c.depth);
+    std::printf("%-24s %9s %11zu %10s %10.1f %10.1f %10.4f %10.2g\n", instance,
+                "uncapped", uncapped.states, "-",
+                static_cast<double>(uncapped.total_bytes) / 1024.0, 0.0,
+                uncapped_wall,
+                per_gb(uncapped.states, uncapped_wall, uncapped.total_bytes));
+    std::printf("%-24s %9s %11zu %10.1f %10.1f %10.1f %10.4f %10.2g\n",
+                instance, "capped", capped.states,
+                static_cast<double>(budget) / 1024.0,
+                static_cast<double>(capped.total_bytes) / 1024.0,
+                static_cast<double>(capped.spilled_bytes) / 1024.0,
+                capped_wall,
+                per_gb(capped.states, capped_wall, capped.total_bytes));
+
+    for (const bool is_capped : {false, true}) {
+      const ExploreResult& r = is_capped ? capped : uncapped;
+      const double wall = is_capped ? capped_wall : uncapped_wall;
+      report.add("tiered")
+          .field("protocol", std::string(c.protocol))
+          .count("n", c.n)
+          .count("depth", c.depth)
+          .field("capped", is_capped)
+          .count("budget_bytes", is_capped ? budget : 0)
+          .count("states", r.states)
+          .count("transitions", r.transitions)
+          .count("total_bytes", r.total_bytes)
+          .count("spilled_bytes", r.spilled_bytes)
+          .field("truncated", r.truncated)
+          .field("wall_seconds", wall)
+          .field("states_per_sec", static_cast<double>(r.states) / wall)
+          .field("states_per_sec_per_gb",
+                 per_gb(r.states, wall, r.total_bytes));
     }
   }
 

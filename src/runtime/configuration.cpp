@@ -262,6 +262,19 @@ bool Configuration::hash_self_check() const {
   return fresh == StateFingerprint{acc_lo_, acc_hi_};
 }
 
+std::size_t Configuration::memory_bytes() const {
+  std::size_t total = sizeof(Configuration);
+  total += values_.size() * sizeof(Value);
+  total += procs_.size() * sizeof(ProcessPtr);
+  for (const auto& proc : procs_) {
+    total += proc->memory_bytes();
+  }
+  total += proc_hash_.size() * sizeof(std::uint64_t);
+  total += proc_stale_.size() * sizeof(std::uint8_t);
+  total += stale_list_.size() * sizeof(std::uint32_t);
+  return total;
+}
+
 std::string Configuration::describe_values() const {
   std::string out = "[";
   for (std::size_t i = 0; i < values_.size(); ++i) {

@@ -89,6 +89,29 @@ class Configuration {
   /// record.  Precondition: !process(pid).decided().
   Step step(ProcessId pid);
 
+  /// Delta application: a configuration one step away from `*this` is
+  /// fully described by the pid that stepped (the explorer's
+  /// delta-encoded node records are exactly `(parent, step_pid)`).
+  /// apply_delta replays one such delta, discarding the Step record;
+  /// apply_deltas replays a chain in order.  The inverse -- delta undo
+  /// -- is rewinding to a materialized ancestor via clone_into() and
+  /// replaying the shorter suffix: objects are not required to support
+  /// inverse operations, so undo is always "rewind + replay".
+  void apply_delta(ProcessId pid) { (void)step(pid); }
+  void apply_deltas(std::span<const ProcessId> pids) {
+    for (ProcessId pid : pids) {
+      (void)step(pid);
+    }
+  }
+
+  /// Deterministic estimate of this configuration's heap footprint in
+  /// bytes: derived from element COUNTS (values, processes, hash-cache
+  /// vectors) plus each process's own estimate, never from allocator
+  /// capacities or addresses -- so equal configurations report equal
+  /// bytes on every run and thread count.  Used by the explorer's
+  /// hot-config cache to enforce ExploreOptions::max_resident_bytes.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
   /// The object at which `pid` is poised with a NONTRIVIAL operation, or
   /// nullopt if the process is decided, poised at a trivial operation,
   /// or performing an internal step.  This is the paper's "P is poised

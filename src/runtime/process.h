@@ -95,6 +95,16 @@ class Process {
     return Footprint::everything();
   }
 
+  /// Deterministic estimate of this process's heap footprint in bytes,
+  /// used by Configuration::memory_bytes() for the explorer's resident-
+  /// memory budget.  The default is a flat conservative figure (the
+  /// process object plus its coin source); it must be a pure function
+  /// of process state -- never of addresses or allocator internals --
+  /// so byte accounting stays bit-identical across runs.  Subclasses
+  /// with large variable-size state (history vectors, logs) should
+  /// override with a count-derived estimate.
+  [[nodiscard]] virtual std::size_t memory_bytes() const { return 192; }
+
   /// One-line state description for traces and debugging.
   [[nodiscard]] virtual std::string describe() const { return "<process>"; }
 };

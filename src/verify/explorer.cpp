@@ -12,6 +12,7 @@
 #include "runtime/parallel.h"
 #include "verify/por.h"
 #include "verify/state_set.h"
+#include "verify/store.h"
 #include "verify/symmetry.h"
 
 namespace randsync {
@@ -49,21 +50,40 @@ constexpr std::size_t ticket_child(std::uint64_t ticket) {
 
 std::uint64_t bit(ProcessId pid) { return std::uint64_t{1} << pid; }
 
-/// Bookkeeping for one discovered configuration.  Configurations are
-/// NOT retained (only hashes are); a node needed again is rebuilt by
-/// replaying its parent chain from the initial configuration.
-struct Node {
+/// Immutable core record of one discovered configuration -- everything
+/// witness reconstruction and delta rebuilds ever read back.  The
+/// configuration itself is NOT retained here: a node is the delta
+/// `(parent, step_pid)` away from its parent, so any configuration can
+/// be rebuilt by replaying the chain from the root (or the nearest
+/// cached ancestor).  Trivially copyable and written once, so the cold
+/// prefix of the node array can spill to disk (verify/store.h).
+struct NodeCore {
   std::uint64_t hash = 0;  ///< CONCRETE state hash of the stored
                            ///< representative (orbit-mate detection)
   std::uint32_t parent = kNoParent;
   std::uint32_t level = 0;
   std::uint16_t step_pid = 0;    ///< pid stepped by parent to reach here
   std::uint8_t decided_mask = 0; ///< decision values present (bit0=0,bit1=1)
-  bool expanded = false;
+};
+
+/// Mutable partial-order-reduction bookkeeping for one node.  Requeues
+/// rewrite these fields long after the node was created, so they can
+/// never spill; the array is only allocated when options.reduction is
+/// on (without reduction every field is provably dead: no requeues
+/// exist, every task is a first visit, and sleep sets stay empty).
+struct NodeAux {
   std::uint64_t sleep = 0;      ///< current sleep set (only shrinks)
   std::uint64_t persistent = 0; ///< candidates chosen across expansions
   std::uint64_t explored = 0;   ///< pids actually stepped from here
   std::uint64_t enabled = 0;    ///< undecided pids (fixed per state)
+  bool expanded = false;
+};
+
+/// One discovered transition.  Only the final valence fixpoint reads
+/// edges back, as a sequential scan -- the natural spill candidate.
+struct Edge {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
 };
 
 /// One unit of worker fan-out: expand `node`'s configuration.
@@ -73,9 +93,10 @@ struct Task {
   std::uint64_t already = 0;        ///< node.explored, read at build time
   std::uint64_t restrict_mask = 0;  ///< 0 = first visit (choose candidates)
   std::uint8_t decided_mask = 0;
-  /// Fresh nodes carry their configuration from the previous epoch;
-  /// requeued nodes leave it empty and the WORKER rebuilds it from the
-  /// parent chain (the rebuild replay is pure, so it parallelizes).
+  /// Fresh nodes take their configuration out of the hot cache; a
+  /// cache miss (evicted under the memory budget) and every requeued
+  /// node leave it empty and the WORKER rebuilds it from the delta
+  /// chain (the rebuild replay is pure, so it parallelizes).
   std::optional<Configuration> config;
 };
 
@@ -126,9 +147,19 @@ struct Engine {
 
   Configuration root;  ///< pristine initial configuration (for replays)
   const SymmetrySpec spec;  ///< protocol's declared symmetry
-  std::vector<Node> nodes;
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
   StateSet seen;
+  /// The graph tiers (see verify/store.h for the phase discipline:
+  /// appends and spills serial, reads from workers safe at any time).
+  TieredArray<NodeCore> nodes;
+  TieredArray<Edge> edges;
+  std::vector<NodeAux> aux;  ///< parallel to nodes; reduction mode only
+  /// Hot tier: materialized frontier configurations.  Mutated only in
+  /// serial phases; frozen (peek-only) during parallel sweeps.
+  ConfigCache cache;
+  SpillFile node_spill;
+  SpillFile edge_spill;
+  bool spill_ready = false;
+  bool spill_failed = false;
   ExploreResult result;
   bool aborted = false;  ///< violation found or state budget exhausted
 
@@ -145,8 +176,9 @@ struct Engine {
   std::vector<std::pair<std::uint32_t, std::uint64_t>> requeues;
   std::unordered_map<std::uint32_t, std::size_t> requeue_index;
 
-  // Fresh nodes to expand next epoch, with their configurations.
-  std::vector<std::pair<std::uint32_t, Configuration>> next_fresh;
+  // Fresh nodes to expand next epoch (their configurations sit in the
+  // hot cache until the task build takes them back out).
+  std::vector<std::uint32_t> next_fresh;
 
   Engine(const ConsensusProtocol& proto, std::span<const int> in,
          const ExploreOptions& opt)
@@ -155,7 +187,11 @@ struct Engine {
         options(opt),
         threads(opt.threads == 0 ? default_thread_count() : opt.threads),
         root(make_initial_configuration(proto, in, opt.seed)),
-        spec(proto.symmetry(in.size())) {}
+        spec(proto.symmetry(in.size())),
+        // 64-bit dedup keys always carry hi == 0, so the seen set drops
+        // its hi tier: 16 bytes/slot instead of 24 for the one tier the
+        // memory budget can never shrink.
+        seen(64, opt.wide_fingerprint) {}
 
   /// Dedup key of `config`: its canonical orbit fingerprint under
   /// symmetry, the concrete fingerprint otherwise; `hi` is dropped
@@ -188,11 +224,15 @@ struct Engine {
   }
 
   /// Schedule from the initial configuration to `node`, plus `extra`
-  /// appended when >= 0.
+  /// appended when >= 0.  Walks the delta chain through the tiered node
+  /// array, so it works identically whether the records along the way
+  /// are resident or spilled.
   std::vector<ProcessId> schedule_to(std::uint32_t node, int extra) const {
     std::vector<ProcessId> schedule;
-    for (std::uint32_t at = node; at != 0; at = nodes[at].parent) {
-      schedule.push_back(nodes[at].step_pid);
+    for (std::uint32_t at = node; at != 0;) {
+      const NodeCore n = nodes.get(at);
+      schedule.push_back(static_cast<ProcessId>(n.step_pid));
+      at = n.parent;
     }
     std::reverse(schedule.begin(), schedule.end());
     if (extra >= 0) {
@@ -201,12 +241,27 @@ struct Engine {
     return schedule;
   }
 
-  /// Rebuild `node`'s configuration by replaying its parent chain.
+  /// Rebuild `node`'s configuration by replaying its delta chain --
+  /// cut short at the nearest ancestor still materialized in the hot
+  /// cache, so a rebuild near the frontier replays a few steps, not
+  /// the whole path from the root.  Pure: called by workers during
+  /// parallel sweeps (the cache is frozen then, peek() only).
   Configuration rebuild(std::uint32_t node) const {
-    Configuration config = root.clone();
-    for (ProcessId pid : schedule_to(node, -1)) {
-      (void)config.step(pid);
+    std::vector<ProcessId> suffix;
+    const Configuration* base = nullptr;
+    std::uint32_t at = node;
+    while (at != 0) {
+      base = cache.peek(at);
+      if (base != nullptr) {
+        break;
+      }
+      const NodeCore n = nodes.get(at);
+      suffix.push_back(static_cast<ProcessId>(n.step_pid));
+      at = n.parent;
     }
+    Configuration config = (base != nullptr ? *base : root).clone();
+    std::reverse(suffix.begin(), suffix.end());
+    config.apply_deltas(suffix);
     return config;
   }
 
@@ -230,14 +285,14 @@ struct Engine {
 
   /// Phase 1 (parallel): clone-and-step every candidate of task `t`,
   /// claiming each child's fingerprint in the seen set.  Writes only
-  /// outs[t] and `ws`; reads nodes/root (frozen during the epoch) and
-  /// the lock-striped seen set.
+  /// outs[t] and `ws`; reads nodes/root/cache (frozen during the epoch)
+  /// and the lock-striped seen set.
   void expand_task(std::size_t t, WorkerScratch& ws) {
     const Task& task = tasks[t];
     TaskOut& out = outs[t];
     std::optional<Configuration> rebuilt;
     if (!task.config) {
-      rebuilt = rebuild(task.node);  // requeue: replay the parent chain
+      rebuilt = rebuild(task.node);  // requeue or evicted: delta replay
     }
     const Configuration& config = task.config ? *task.config : *rebuilt;
 
@@ -366,18 +421,22 @@ struct Engine {
         }
         assert(c.config.has_value());
         const auto id = static_cast<std::uint32_t>(nodes.size());
-        Node node;
-        node.hash = c.hash;
-        node.parent = task.node;
-        node.level = nodes[task.node].level + 1;
-        node.step_pid = static_cast<std::uint16_t>(c.pid);
-        node.decided_mask = c.decided_mask;
-        node.sleep = c.sleep;
-        nodes.push_back(node);
+        NodeCore core;
+        core.hash = c.hash;
+        core.parent = task.node;
+        core.level = nodes.get(task.node).level + 1;
+        core.step_pid = static_cast<std::uint16_t>(c.pid);
+        core.decided_mask = c.decided_mask;
+        nodes.push_back(core);
+        if (options.reduction) {
+          NodeAux a;
+          a.sleep = c.sleep;
+          aux.push_back(a);
+        }
         c.final_id = id;
         seen.assign(c.fp, id);  // ticket -> final id
-        edges.emplace_back(task.node, id);
-        result.deepest = std::max<std::size_t>(result.deepest, node.level);
+        edges.push_back(Edge{task.node, id});
+        result.deepest = std::max<std::size_t>(result.deepest, core.level);
         fresh_progress = true;
         if (c.validity_violation) {
           record_violation("validity", task.node, c.pid);
@@ -388,8 +447,9 @@ struct Engine {
           return;
         }
         if (!c.all_decided) {
-          if (node.level < options.max_depth) {
-            next_fresh.emplace_back(id, std::move(*c.config));
+          if (core.level < options.max_depth) {
+            cache.insert(id, std::move(*c.config));
+            next_fresh.push_back(id);
           } else {
             result.complete = false;
           }
@@ -407,13 +467,12 @@ struct Engine {
                       .final_id
                 : static_cast<std::uint32_t>(c.claim);
         ++result.dedup_hits;
-        edges.emplace_back(task.node, id);
-        Node& child = nodes[id];
+        edges.push_back(Edge{task.node, id});
         // An orbit mate: same canonical fingerprint, different concrete
         // state.  The stored representative stands in for the arrival
         // (they are related by a symmetry of the system, so reachable
         // decisions and violations agree).
-        const bool orbit_mate = c.hash != child.hash;
+        const bool orbit_mate = c.hash != nodes.get(id).hash;
         if (orbit_mate) {
           ++result.orbit_merges;
         }
@@ -427,10 +486,11 @@ struct Engine {
             ++result.audit_mismatches;
           }
         }
-        if (!child.expanded) {
-          fresh_progress = true;  // still pending or queued: will expand
-        }
         if (options.reduction) {
+          NodeAux& child_aux = aux[id];
+          if (!child_aux.expanded) {
+            fresh_progress = true;  // still pending or queued: will expand
+          }
           // Sleep-set state caching: arriving with a smaller sleep set
           // means more of the child's futures must be explored
           // (Godefroid's covering fix).  Shrink, and if the child has
@@ -443,14 +503,14 @@ struct Engine {
           // the representative's frame -- no transfer is sound, so the
           // arrival counts as sleep-free (the maximal covering demand).
           const std::uint64_t arriving_sleep = orbit_mate ? 0 : c.sleep;
-          const std::uint64_t met = arriving_sleep & child.sleep;
-          if (met != child.sleep) {
-            child.sleep = met;
-            if (child.expanded) {
+          const std::uint64_t met = arriving_sleep & child_aux.sleep;
+          if (met != child_aux.sleep) {
+            child_aux.sleep = met;
+            if (child_aux.expanded) {
               const std::uint64_t extra =
-                  child.persistent & ~met & ~child.explored;
+                  child_aux.persistent & ~met & ~child_aux.explored;
               if (extra != 0) {
-                add_requeue(id, child.explored | extra);
+                add_requeue(id, child_aux.explored | extra);
               }
             }
           }
@@ -458,22 +518,25 @@ struct Engine {
       }
     }
 
-    Node& node = nodes[task.node];
-    node.explored |= e.stepped;
-    node.persistent |= e.candidates;
-    node.enabled = e.enabled;
-    node.expanded = true;
     if (!options.reduction) {
+      // Without reduction every task is a first full visit: no sleep
+      // sets, no requeues, no proviso -- none of the per-node mutable
+      // bookkeeping below exists (the aux array is empty).
       return;
     }
+    NodeAux& node_aux = aux[task.node];
+    node_aux.explored |= e.stepped;
+    node_aux.persistent |= e.candidates;
+    node_aux.enabled = e.enabled;
+    node_aux.expanded = true;
     // Cover check with the CURRENT sleep set: candidates skipped because
     // they slept at task-build time must run if a merge earlier in this
     // epoch shrank our sleep set in the meantime.  Epoch order is the
     // old serial merge order, so "earlier" means the same arrivals.
     const std::uint64_t uncovered =
-        node.persistent & ~node.sleep & ~node.explored;
+        node_aux.persistent & ~node_aux.sleep & ~node_aux.explored;
     if (uncovered != 0) {
-      add_requeue(task.node, node.explored | uncovered);
+      add_requeue(task.node, node_aux.explored | uncovered);
     }
     // Queue proviso (the "ignoring problem"): deadlock preservation
     // needs no proviso, but if a reduced expansion produced no fresh
@@ -481,9 +544,10 @@ struct Engine {
     // is deferred around a cycle indefinitely.  `explored` strictly
     // grows on every requeue, so this terminates.
     if (!fresh_progress) {
-      const std::uint64_t rest = node.enabled & ~node.explored & ~node.sleep;
+      const std::uint64_t rest =
+          node_aux.enabled & ~node_aux.explored & ~node_aux.sleep;
       if (rest != 0) {
-        add_requeue(task.node, node.explored | rest);
+        add_requeue(task.node, node_aux.explored | rest);
       }
     }
   }
@@ -508,6 +572,82 @@ struct Engine {
     });
   }
 
+  static std::size_t sat_sub(std::size_t a, std::size_t b) {
+    return a > b ? a - b : 0;
+  }
+
+  /// Lazily open the spill files on first need.  A directory that
+  /// cannot be created is remembered as "spilling unavailable" (the
+  /// budget then falls through to eviction and, last, truncation).
+  bool spill_available() {
+    if (options.spill_dir.empty() || spill_failed) {
+      return spill_ready;
+    }
+    if (!spill_ready) {
+      if (node_spill.open(options.spill_dir, "nodes") &&
+          edge_spill.open(options.spill_dir, "edges")) {
+        nodes.set_spill(&node_spill);
+        edges.set_spill(&edge_spill);
+        spill_ready = true;
+      } else {
+        spill_failed = true;
+      }
+    }
+    return spill_ready;
+  }
+
+  std::size_t aux_bytes() const { return aux.size() * sizeof(NodeAux); }
+
+  /// Every byte the engine holds across epochs, by tier.  Derived from
+  /// element counts and serially-decided chunk residency -- never from
+  /// allocator capacities or addresses -- so it is bit-identical across
+  /// thread counts.  (Transients -- task configs mid-epoch, the bounded
+  /// reload cache -- are excluded; the budget governs what PERSISTS.)
+  std::size_t resident_total() const {
+    return nodes.resident_bytes() + edges.resident_bytes() +
+           seen.memory_bytes() + aux_bytes() + cache.bytes();
+  }
+
+  /// Epoch-boundary budget enforcement, cheapest remedy first: spill
+  /// cold node/edge chunks to disk, evict cached configurations (delta
+  /// replay rebuilds them), and -- only when spilling is unavailable
+  /// and the unshrinkable tiers alone overflow -- stop cleanly with a
+  /// truncated partial result instead of running into bad_alloc.
+  void enforce_budget() {
+    const std::size_t budget = options.max_resident_bytes;
+    if (budget != 0 && resident_total() > budget) {
+      if (spill_available()) {
+        const std::size_t fixed =
+            seen.memory_bytes() + aux_bytes() + cache.bytes();
+        const std::size_t allowance = sat_sub(budget, fixed);
+        edges.spill_to(sat_sub(allowance, nodes.resident_bytes()));
+        nodes.spill_to(sat_sub(allowance, edges.resident_bytes()));
+      }
+      if (resident_total() > budget) {
+        const std::size_t others = resident_total() - cache.bytes();
+        cache.evict_to(sat_sub(budget, others));
+      }
+      if (resident_total() > budget && !spill_available() && !aborted) {
+        result.complete = false;
+        result.truncated = true;
+        result.truncated_reason =
+            "resident " + std::to_string(resident_total()) +
+            " bytes exceed --max-memory " + std::to_string(budget) +
+            " with spilling disabled (seen set " +
+            std::to_string(seen.memory_bytes()) +
+            " bytes must stay in RAM); stopped at an epoch boundary with "
+            "a partial result -- raise the budget or pass --spill-dir";
+        aborted = true;
+      }
+    }
+    sample_memory();
+  }
+
+  void sample_memory() {
+    result.total_bytes = std::max(result.total_bytes, resident_total());
+    result.spilled_bytes = nodes.spilled_bytes() + edges.spilled_bytes();
+  }
+
   ExploreResult run() {
     if (root.num_processes() > 64) {
       throw std::invalid_argument(
@@ -516,8 +656,8 @@ struct Engine {
 
     // Root node.  Scan its decisions directly (later nodes update the
     // mask incrementally, one step at a time).
-    Node root_node;
-    root_node.hash = root.state_hash();
+    NodeCore root_core;
+    root_core.hash = root.state_hash();
     for (ProcessId pid = 0; pid < root.num_processes(); ++pid) {
       if (!root.decided(pid)) {
         continue;
@@ -528,14 +668,17 @@ struct Engine {
         result.violation_kind = "validity";
         aborted = true;
       }
-      root_node.decided_mask |= (d == 0) ? kZeroDecided : kOneDecided;
+      root_core.decided_mask |= (d == 0) ? kZeroDecided : kOneDecided;
     }
-    if (root_node.decided_mask == (kZeroDecided | kOneDecided)) {
+    if (root_core.decided_mask == (kZeroDecided | kOneDecided)) {
       result.safe = false;
       result.violation_kind = "consistency";
       aborted = true;
     }
-    nodes.push_back(root_node);
+    nodes.push_back(root_core);
+    if (options.reduction) {
+      aux.emplace_back();
+    }
     {
       SymmetryScratch sym;
       const StateFingerprint root_fp = fingerprint_of(root, sym);
@@ -548,34 +691,37 @@ struct Engine {
       if (options.max_depth == 0) {
         result.complete = false;
       } else {
-        next_fresh.emplace_back(0, root.clone());
+        cache.insert(0, root.clone());
+        next_fresh.push_back(0);
       }
     }
 
     while (!aborted && (!next_fresh.empty() || !requeues.empty())) {
-      // Build this epoch's tasks: fresh nodes first (they carry their
-      // configurations), then requeues (rebuilt by the workers).
-      // Sleep/explored are read HERE, after the previous post-merge,
-      // so tasks see the freshest possible sleep sets.
+      // Build this epoch's tasks: fresh nodes first (they take their
+      // configurations out of the hot cache; a miss means the budget
+      // evicted it and the worker rebuilds), then requeues (always
+      // rebuilt by the workers).  Sleep/explored are read HERE, after
+      // the previous post-merge, so tasks see the freshest possible
+      // sleep sets.
       tasks.clear();
       tasks.reserve(next_fresh.size() + requeues.size());
-      for (auto& [id, config] : next_fresh) {
+      for (const std::uint32_t id : next_fresh) {
         Task task;
         task.node = id;
-        task.sleep = nodes[id].sleep;
-        task.already = nodes[id].explored;
+        task.sleep = options.reduction ? aux[id].sleep : 0;
+        task.already = options.reduction ? aux[id].explored : 0;
         task.restrict_mask = 0;
-        task.decided_mask = nodes[id].decided_mask;
-        task.config = std::move(config);
+        task.decided_mask = nodes.get(id).decided_mask;
+        task.config = cache.take(id);
         tasks.push_back(std::move(task));
       }
       for (const auto& [id, restrict_mask] : requeues) {
         Task task;
         task.node = id;
-        task.sleep = nodes[id].sleep;
-        task.already = nodes[id].explored;
+        task.sleep = options.reduction ? aux[id].sleep : 0;
+        task.already = options.reduction ? aux[id].explored : 0;
         task.restrict_mask = restrict_mask;
-        task.decided_mask = nodes[id].decided_mask;
+        task.decided_mask = nodes.get(id).decided_mask;
         tasks.push_back(std::move(task));
       }
       next_fresh.clear();
@@ -601,32 +747,51 @@ struct Engine {
       });
       // Phase 2: settle ownership (all claims have landed).
       sweep(workers, [this](std::size_t t, std::size_t) { resolve_task(t); });
-      // Phase 3: serial post-merge in canonical order.
+      // Phase 3: serial post-merge in canonical order.  The cache's
+      // insert-time budget is what the other (unshrinkable or
+      // spill-first) tiers leave over, so a merge that materializes a
+      // huge frontier starts recycling configurations immediately
+      // instead of overshooting until the boundary check below.
+      if (options.max_resident_bytes != 0) {
+        const std::size_t rest = nodes.resident_bytes() +
+                                 edges.resident_bytes() +
+                                 seen.memory_bytes() + aux_bytes();
+        cache.set_budget(std::max<std::size_t>(
+            1, sat_sub(options.max_resident_bytes, rest)));
+      }
       for (std::size_t t = 0; t < tasks.size() && !aborted; ++t) {
         merge_task(t);
       }
+      // Epoch boundary: drop the epoch's transients BEFORE measuring,
+      // then settle the tiers under the budget.
+      tasks.clear();
+      outs.clear();
+      enforce_budget();
     }
 
     result.states = nodes.size();
     result.seen_bytes = seen.memory_bytes();
+    sample_memory();
 
     // Valence: propagate reachable-decision masks backwards over the
     // discovered edges to a fixpoint.  (The graph can have cycles --
     // randomized walks revisit states -- so this is iterative, not one
-    // reverse-topological pass.)
-    std::vector<std::uint8_t> mask(nodes.size());
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-      mask[i] = nodes[i].decided_mask;
-    }
+    // reverse-topological pass.)  Both scans stream chunk-at-a-time
+    // through the tiered arrays: one disk read per spilled chunk.
+    std::vector<std::uint8_t> mask;
+    mask.reserve(nodes.size());
+    nodes.for_each([&mask](const NodeCore& n) {
+      mask.push_back(n.decided_mask);
+    });
     for (bool changed = true; changed;) {
       changed = false;
-      for (const auto& [from, to] : edges) {
-        const std::uint8_t merged = mask[from] | mask[to];
-        if (merged != mask[from]) {
-          mask[from] = merged;
+      edges.for_each([&mask, &changed](const Edge& e) {
+        const std::uint8_t merged = mask[e.from] | mask[e.to];
+        if (merged != mask[e.from]) {
+          mask[e.from] = merged;
           changed = true;
         }
-      }
+      });
     }
     for (const std::uint8_t m : mask) {
       if (m == kZeroDecided) {
@@ -673,15 +838,25 @@ std::string explore_summary_line(const ExploreResult& result,
   const double rate = wall_seconds > 0
                           ? static_cast<double>(result.states) / wall_seconds
                           : 0.0;
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "states=%zu transitions=%zu dedup=%.1f%% orbit-collapse=%.1f%% "
-                "seen=%.1fKiB wall=%.3fs states/s=%.0f",
+                "seen=%.1fKiB total=%.1fKiB wall=%.3fs states/s=%.0f",
                 result.states, result.transitions, hit_rate * 100.0,
                 collapse * 100.0,
-                static_cast<double>(result.seen_bytes) / 1024.0, wall_seconds,
-                rate);
-  return buf;
+                static_cast<double>(result.seen_bytes) / 1024.0,
+                static_cast<double>(result.total_bytes) / 1024.0,
+                wall_seconds, rate);
+  std::string line = buf;
+  if (result.spilled_bytes > 0) {
+    std::snprintf(buf, sizeof(buf), " spilled=%.1fKiB",
+                  static_cast<double>(result.spilled_bytes) / 1024.0);
+    line += buf;
+  }
+  if (result.truncated) {
+    line += " TRUNCATED";
+  }
+  return line;
 }
 
 Trace replay_schedule(const ConsensusProtocol& protocol,

@@ -94,12 +94,33 @@ struct ExploreOptions {
   /// for every explore() call (the CI Debug job sets it).
   bool collision_audit = false;
   std::size_t threads = 1; ///< expansion workers; 0 = hardware concurrency
+  /// Resident-memory budget in bytes (0 = unbounded).  Covers the
+  /// tiers the explorer can shrink or relocate: the hot configuration
+  /// cache, the node records and the edge log (verify/store.h).  When
+  /// the budget is exceeded the engine first spills cold node/edge
+  /// chunks to `spill_dir` (if set), then evicts cached
+  /// configurations (they are rebuilt on demand by delta replay).  If
+  /// the remaining resident tiers -- dominated by the seen set, which
+  /// must stay in RAM -- still exceed the budget and spilling is
+  /// unavailable, the exploration stops cleanly at the epoch boundary
+  /// with ExploreResult::truncated set.  Enforced at epoch
+  /// granularity; a single epoch's transient may overshoot.
+  std::size_t max_resident_bytes = 0;
+  /// Directory for the cold on-disk tier (empty = spilling disabled).
+  /// Created if missing; spill files are unlinked when the exploration
+  /// ends.  Spilling never changes any result field except the memory
+  /// accounting (total_bytes / spilled_bytes).
+  std::string spill_dir;
 };
 
 /// Result of an exploration.  Deterministic: a pure function of
 /// (protocol, inputs, max_depth, max_states, seed, reduction, symmetry,
-/// wide_fingerprint, collision_audit) -- the thread count never changes
-/// any field.
+/// wide_fingerprint, collision_audit, max_resident_bytes, spill_dir) --
+/// the thread count never changes any field.  The memory knobs only
+/// ever change the accounting fields (total_bytes, spilled_bytes) and,
+/// when they force truncation, complete/truncated; with spilling
+/// enabled every verdict/count/witness field is identical to an
+/// unbounded run.
 struct ExploreResult {
   bool safe = true;       ///< no consistency/validity violation reachable
   bool complete = true;   ///< space exhausted within the budgets
@@ -125,13 +146,29 @@ struct ExploreResult {
                                  ///< state (symmetry collapses; 0 w/o it)
   std::size_t seen_bytes = 0;    ///< final seen-set slot-array bytes
   std::size_t audit_mismatches = 0;  ///< collision_audit failures (want 0)
+  /// Peak resident bytes across epoch boundaries, covering every tier
+  /// the engine owns: node records, edge log, seen set, POR bookkeeping
+  /// and cached configurations.  Sampled after each epoch's budget
+  /// enforcement, so under a budget it reports what actually stayed in
+  /// RAM.  Deterministic per (options) -- derived from element counts,
+  /// never allocator capacities or addresses.
+  std::size_t total_bytes = 0;
+  /// Bytes relocated to the on-disk tier (0 when spill_dir is empty).
+  std::size_t spilled_bytes = 0;
+  /// True when the exploration stopped early because max_resident_bytes
+  /// was exceeded and spilling could not absorb the overflow (spill_dir
+  /// empty or unusable).  Implies !complete; every other field describes
+  /// the portion explored and is still thread-invariant.
+  bool truncated = false;
+  std::string truncated_reason;  ///< one-line diagnosis when truncated
 
   friend bool operator==(const ExploreResult&, const ExploreResult&) = default;
 };
 
 /// One-line human summary shared by the CLI and bench_explorer:
 /// states, transitions, dedup hit-rate, orbit-collapse ratio, seen-set
-/// bytes, wall time and states/sec.
+/// and total resident bytes (plus spilled bytes when nonzero), wall
+/// time and states/sec.
 [[nodiscard]] std::string explore_summary_line(const ExploreResult& result,
                                                double wall_seconds);
 

@@ -28,49 +28,61 @@ std::size_t slot_index(const StateFingerprint& fp, std::size_t capacity) {
 
 }  // namespace
 
-StateSet::StateSet(std::size_t shards) {
+StateSet::StateSet(std::size_t shards, bool wide) : wide_(wide) {
   const std::size_t count = round_up_pow2(shards == 0 ? 1 : shards);
   mask_ = count - 1;
   shards_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     shards_.push_back(std::make_unique<Shard>());
     shards_.back()->slots.resize(kInitialCapacity);
+    if (wide_) {
+      shards_.back()->hi.resize(kInitialCapacity);
+    }
   }
 }
 
 StateSet::Shard& StateSet::shard_for(StateFingerprint fp) const {
+  assert(wide_ || fp.hi == 0);  // narrow tables would conflate hi bits
   const std::size_t index =
       static_cast<std::size_t>(fp.lo >> 32 ^ fp.hi >> 32) & mask_;
   return *shards_[index];
 }
 
-void StateSet::grow(Shard& shard) {
-  // Rehash into a FRESH vector of exactly double the slots, then swap:
-  // the allocation is sized by the constructor, so size() == capacity()
-  // and memory_bytes() (slot count x slot size) is the literal
-  // allocation, not a moved-from vector's capacity accident.
-  std::vector<Slot> next(shard.slots.size() * 2);
-  const std::size_t capacity = next.size();
-  for (const Slot& slot : shard.slots) {
+void StateSet::grow(Shard& shard) const {
+  // Rehash into FRESH vectors of exactly double the slots, then swap:
+  // the allocations are sized up front, so size() == capacity() and
+  // memory_bytes() is the literal allocation, not a moved-from vector's
+  // capacity accident.
+  const std::size_t capacity = shard.slots.size() * 2;
+  std::vector<Slot> next(capacity);
+  std::vector<std::uint64_t> next_hi(wide_ ? capacity : 0);
+  for (std::size_t i = 0; i < shard.slots.size(); ++i) {
+    const Slot& slot = shard.slots[i];
     if (slot.value == kAbsent) {
       continue;
     }
-    std::size_t at = slot_index(StateFingerprint{slot.lo, slot.hi}, capacity);
+    const std::uint64_t hi = wide_ ? shard.hi[i] : 0;
+    std::size_t at = slot_index(StateFingerprint{slot.lo, hi}, capacity);
     while (next[at].value != kAbsent) {
       at = (at + 1) & (capacity - 1);
     }
     next[at] = slot;
+    if (wide_) {
+      next_hi[at] = hi;
+    }
   }
   shard.slots.swap(next);
+  shard.hi.swap(next_hi);
 }
 
-StateSet::Slot& StateSet::probe(Shard& shard, StateFingerprint fp) {
+std::size_t StateSet::probe(const Shard& shard, StateFingerprint fp) const {
   const std::size_t capacity = shard.slots.size();
   std::size_t at = slot_index(fp, capacity);
   while (true) {
-    Slot& slot = shard.slots[at];
-    if (slot.value == kAbsent || (slot.lo == fp.lo && slot.hi == fp.hi)) {
-      return slot;
+    const Slot& slot = shard.slots[at];
+    if (slot.value == kAbsent ||
+        (slot.lo == fp.lo && (!wide_ || shard.hi[at] == fp.hi))) {
+      return at;
     }
     at = (at + 1) & (capacity - 1);
   }
@@ -80,8 +92,8 @@ std::uint64_t StateSet::claim(StateFingerprint fp, std::uint64_t ticket) {
   assert(ticket & kTicketTag);
   Shard& shard = shard_for(fp);
   const std::lock_guard<std::mutex> lock(shard.mu);
-  Slot* slot = &probe(shard, fp);
-  const std::uint64_t previous = slot->value;
+  std::size_t at = probe(shard, fp);
+  const std::uint64_t previous = shard.slots[at].value;
   if (previous == kAbsent) {
     // Grow only when actually inserting: a duplicate claim must not
     // move the growth point, or the table's final size would depend on
@@ -89,14 +101,16 @@ std::uint64_t StateSet::claim(StateFingerprint fp, std::uint64_t ticket) {
     // thread count.  Growth is a pure function of the insert count.
     if ((shard.used + 1) * kLoadDen > shard.slots.size() * kLoadNum) {
       grow(shard);
-      slot = &probe(shard, fp);
+      at = probe(shard, fp);
     }
-    slot->lo = fp.lo;
-    slot->hi = fp.hi;
-    slot->value = ticket;
+    shard.slots[at].lo = fp.lo;
+    shard.slots[at].value = ticket;
+    if (wide_) {
+      shard.hi[at] = fp.hi;
+    }
     ++shard.used;
   } else if ((previous & kTicketTag) != 0 && ticket < previous) {
-    slot->value = ticket;  // min ticket wins the epoch claim
+    shard.slots[at].value = ticket;  // min ticket wins the epoch claim
   }
   return previous;
 }
@@ -104,13 +118,13 @@ std::uint64_t StateSet::claim(StateFingerprint fp, std::uint64_t ticket) {
 std::uint64_t StateSet::lookup(StateFingerprint fp) const {
   Shard& shard = shard_for(fp);
   const std::lock_guard<std::mutex> lock(shard.mu);
-  return probe(shard, fp).value;
+  return shard.slots[probe(shard, fp)].value;
 }
 
 void StateSet::assign(StateFingerprint fp, std::uint64_t value) {
   Shard& shard = shard_for(fp);
   const std::lock_guard<std::mutex> lock(shard.mu);
-  Slot& slot = probe(shard, fp);
+  Slot& slot = shard.slots[probe(shard, fp)];
   assert(slot.value != kAbsent);
   slot.value = value;
 }
@@ -128,7 +142,8 @@ std::size_t StateSet::memory_bytes() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mu);
-    total += shard->slots.size() * sizeof(Slot);
+    total += shard->slots.size() * sizeof(Slot) +
+             shard->hi.size() * sizeof(std::uint64_t);
   }
   return total;
 }

@@ -1,11 +1,10 @@
 // Sharded concurrent fingerprint -> value store for the explorer.
 //
-// Each shard is an open-addressing (linear probe) table of 24-byte
-// slots behind its own mutex, so an operation is one short critical
-// section over a contiguous scan -- no node-pointer chase, no global
-// lock.  The sharded explorer's workers call claim() concurrently
-// during frontier expansion; the claim acts as a compare-and-swap on
-// slot ownership:
+// Each shard is an open-addressing (linear probe) table behind its own
+// mutex, so an operation is one short critical section over a
+// contiguous scan -- no node-pointer chase, no global lock.  The
+// sharded explorer's workers call claim() concurrently during frontier
+// expansion; the claim acts as a compare-and-swap on slot ownership:
 //
 //   * an absent fingerprint is installed with the caller's epoch
 //     ticket (a value with kTicketTag set, encoding the arrival's
@@ -20,11 +19,17 @@
 // Growth happens inside claim()/assign() under the shard mutex, so a
 // resize is invisible to concurrent callers beyond the wait; the slot
 // arrays are rebuilt into freshly sized vectors and memory_bytes()
-// reports their exact allocated bytes (slot count x slot size), never
-// a mid-growth or capacity-padded snapshot.
+// reports their exact allocated bytes, never a mid-growth or
+// capacity-padded snapshot.
 //
-// Keys are 128-bit StateFingerprints.  The 64-bit explorer mode stores
-// fingerprints with hi == 0; the table is agnostic.
+// Keys are 128-bit StateFingerprints, stored in two tiers: a 16-byte
+// (lo, value) slot array, plus -- only in WIDE mode -- a parallel
+// per-shard array of hi words.  The 64-bit explorer mode always passes
+// fingerprints with hi == 0, so a narrow table (wide = false) skips the
+// hi array entirely and every slot costs 16 bytes instead of 24 -- a
+// third of the one tier that can never be spilled or rebuilt.  Narrow
+// tables assert hi == 0 on every operation; the wide-fingerprint and
+// collision-audit paths must construct a wide table.
 #pragma once
 
 #include <cstdint>
@@ -48,7 +53,9 @@ class StateSet {
   static constexpr std::uint64_t kTicketTag = std::uint64_t{1} << 63;
 
   /// `shards` is rounded up to a power of two (default 64 stripes).
-  explicit StateSet(std::size_t shards = 64);
+  /// `wide` selects 128-bit keys (24 bytes/slot); pass false when every
+  /// key has hi == 0 to drop to 16 bytes/slot.
+  explicit StateSet(std::size_t shards = 64, bool wide = true);
 
   /// Atomically: install `ticket` if `fp` is absent, or replace the
   /// stored value iff it is a LARGER ticket.  Returns the value seen
@@ -68,31 +75,33 @@ class StateSet {
   /// Number of recorded fingerprints.
   [[nodiscard]] std::size_t size() const;
 
-  /// Exact bytes allocated for the slot arrays across all shards (the
-  /// seen-set's footprint, reported by bench and the CLI summary).
+  /// Exact bytes allocated for the key/value arrays across all shards
+  /// (the seen-set's footprint, reported by bench and the CLI summary).
   [[nodiscard]] std::size_t memory_bytes() const;
 
  private:
   struct Slot {
     std::uint64_t lo = 0;
-    std::uint64_t hi = 0;
     std::uint64_t value = kAbsent;  ///< kAbsent == empty slot
   };
 
   struct Shard {
     mutable std::mutex mu;
     std::vector<Slot> slots;  ///< power-of-two size; size == capacity
+    std::vector<std::uint64_t> hi;  ///< parallel to slots; empty if narrow
     std::size_t used = 0;
   };
 
   [[nodiscard]] Shard& shard_for(StateFingerprint fp) const;
-  static void grow(Shard& shard);
-  /// Probe for `fp`; returns its slot (present) or the empty slot that
-  /// would hold it.  Caller holds the shard mutex.
-  static Slot& probe(Shard& shard, StateFingerprint fp);
+  void grow(Shard& shard) const;
+  /// Probe for `fp`; returns the index of its slot (present) or of the
+  /// empty slot that would hold it.  Caller holds the shard mutex.
+  [[nodiscard]] std::size_t probe(const Shard& shard,
+                                  StateFingerprint fp) const;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::uint64_t mask_;
+  bool wide_;
 };
 
 }  // namespace randsync

@@ -1,0 +1,253 @@
+#include "verify/store.h"
+
+#include <atomic>
+#include <cassert>
+#include <filesystem>
+#include <stdexcept>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace randsync {
+
+namespace {
+
+// Spill files need unique names: differential tests run several
+// explorations against the same directory, sometimes from concurrently
+// running test binaries.  Process id + per-process sequence number is
+// unique without consulting any banned nondeterminism source (the name
+// never influences results -- only where bytes land on disk).
+std::string unique_spill_name(const std::string& tag) {
+  static std::atomic<std::uint64_t> seq{0};
+#ifdef _WIN32
+  const auto pid = static_cast<long long>(_getpid());
+#else
+  const auto pid = static_cast<long long>(::getpid());
+#endif
+  return tag + "-" + std::to_string(pid) + "-" +
+         std::to_string(seq.fetch_add(1, std::memory_order_relaxed)) +
+         ".spill";
+}
+
+}  // namespace
+
+SpillFile::~SpillFile() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    std::error_code ec;  // best-effort unlink; a leak is not a crash
+    std::filesystem::remove(path_, ec);
+  }
+}
+
+bool SpillFile::open(const std::string& dir, const std::string& tag) {
+  assert(file_ == nullptr);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return false;
+  }
+  path_ = (std::filesystem::path(dir) / unique_spill_name(tag)).string();
+  file_ = std::fopen(path_.c_str(), "w+b");
+  return file_ != nullptr;
+}
+
+std::uint64_t SpillFile::append(const void* data, std::size_t bytes) {
+  assert(file_ != nullptr);
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t offset = size_;
+  if (std::fseek(file_, 0, SEEK_END) != 0 ||
+      std::fwrite(data, 1, bytes, file_) != bytes) {
+    throw std::runtime_error("spill write failed (disk full?): " + path_);
+  }
+  size_ += bytes;
+  return offset;
+}
+
+void SpillFile::read(std::uint64_t offset, void* out,
+                     std::size_t bytes) const {
+  assert(file_ != nullptr);
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0 ||
+      std::fread(out, 1, bytes, file_) != bytes) {
+    throw std::runtime_error("spill read failed: " + path_);
+  }
+}
+
+namespace store_detail {
+
+ChunkedTier::ChunkedTier(std::size_t chunk_bytes)
+    : chunk_bytes_(chunk_bytes) {
+  assert(chunk_bytes_ > 0);
+}
+
+std::uint8_t* ChunkedTier::add_chunk() {
+  chunks_.push_back(
+      Chunk{std::make_unique<std::uint8_t[]>(chunk_bytes_), 0});
+  ++resident_chunks_;
+  return chunks_.back().data.get();
+}
+
+const void* ChunkedTier::element(std::size_t chunk, std::size_t offset,
+                                 std::size_t stride, void* out_copy) const {
+  const Chunk& c = chunks_[chunk];
+  if (c.data) {
+    return c.data.get() + offset;
+  }
+  // Spilled: serve from the reload cache, faulting the chunk in from
+  // disk if no slot holds it.  The element is copied out under the
+  // lock -- a pointer into a slot could be evicted by the next miss.
+  const std::lock_guard<std::mutex> lock(reload_mu_);
+  for (const ReloadSlot& slot : reload_) {
+    if (slot.chunk == chunk) {
+      std::memcpy(out_copy, slot.data.get() + offset, stride);
+      return nullptr;
+    }
+  }
+  ReloadSlot& victim = reload_[reload_hand_];
+  reload_hand_ = (reload_hand_ + 1) % kReloadSlots;
+  if (!victim.data) {
+    victim.data = std::make_unique<std::uint8_t[]>(chunk_bytes_);
+  }
+  spill_->read(c.spill_offset, victim.data.get(), chunk_bytes_);
+  victim.chunk = chunk;
+  std::memcpy(out_copy, victim.data.get() + offset, stride);
+  return nullptr;
+}
+
+std::size_t ChunkedTier::spill_to(std::size_t target) {
+  if (spill_ == nullptr || !spill_->is_open() || chunks_.empty()) {
+    return 0;
+  }
+  std::size_t moved = 0;
+  // Lowest index first: the oldest records are the coldest (parent
+  // chains terminate root-ward, but walks are cut short at the nearest
+  // materialized ancestor, which lives in recent chunks).  The tail
+  // chunk is still being appended to and never spills.
+  for (std::size_t c = 0;
+       c + 1 < chunks_.size() && resident_bytes() > target; ++c) {
+    if (!chunks_[c].data) {
+      continue;
+    }
+    chunks_[c].spill_offset = spill_->append(chunks_[c].data.get(),
+                                             chunk_bytes_);
+    chunks_[c].data.reset();
+    --resident_chunks_;
+    spilled_ += chunk_bytes_;
+    moved += chunk_bytes_;
+  }
+  return moved;
+}
+
+std::size_t ChunkedTier::resident_bytes() const {
+  // Deliberately EXCLUDES the reload cache: chunk residency is decided
+  // serially (spill_to at epoch boundaries) and so is bit-identical
+  // across thread counts, while the number of reload slots that ever
+  // allocated depends on how concurrent readers interleaved.  The
+  // reload cache is a bounded transient (kReloadSlots chunks), same
+  // class as a worker's scratch configuration -- the budget governs
+  // what persists.
+  return resident_chunks_ * chunk_bytes_;
+}
+
+}  // namespace store_detail
+
+void ConfigCache::insert(std::uint32_t id, Configuration&& config) {
+  assert(index_.find(id) == index_.end());
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = ring_.size();
+    ring_.emplace_back();
+  }
+  Entry& entry = ring_[slot];
+  entry.id = id;
+  entry.ref = 1;
+  entry.live = true;
+  entry.bytes = config.memory_bytes();
+  entry.config.emplace(std::move(config));
+  bytes_ += entry.bytes;
+  index_.emplace(id, slot);
+  if (budget_ != 0 && bytes_ > budget_) {
+    // Keep at least the entry just inserted: its consumer is the very
+    // next epoch's task build, so evicting it would only trade one
+    // rebuild for another.
+    const std::size_t keep = entry.bytes;
+    evict_to(budget_ > keep ? budget_ - keep : 0);
+  }
+}
+
+std::optional<Configuration> ConfigCache::take(std::uint32_t id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) {
+    return std::nullopt;
+  }
+  std::optional<Configuration> out = std::move(ring_[it->second].config);
+  erase_slot(it->second);
+  return out;
+}
+
+const Configuration* ConfigCache::peek(std::uint32_t id) const {
+  const auto it = index_.find(id);
+  if (it == index_.end()) {
+    return nullptr;
+  }
+  return &*ring_[it->second].config;
+}
+
+void ConfigCache::touch(std::uint32_t id) {
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    ring_[it->second].ref = 1;
+  }
+}
+
+std::size_t ConfigCache::evict_to(std::size_t target) {
+  std::size_t evicted = 0;
+  // CLOCK sweep: clear reference bits until an unreferenced entry comes
+  // under the hand.  Two full laps with the cache non-empty guarantee a
+  // victim (the first lap clears every bit).
+  std::size_t scanned = 0;
+  const std::size_t limit = ring_.size() * 2 + 1;
+  while (bytes_ > target && !index_.empty() && scanned < limit) {
+    if (hand_ >= ring_.size()) {
+      hand_ = 0;
+    }
+    Entry& entry = ring_[hand_];
+    if (!entry.live) {
+      ++hand_;
+      continue;  // holes cost a step but not a scan
+    }
+    ++scanned;
+    if (entry.ref != 0) {
+      entry.ref = 0;
+      ++hand_;
+      continue;
+    }
+    index_.erase(entry.id);
+    erase_slot(hand_);
+    ++evicted;
+    ++evictions_;
+    ++hand_;
+  }
+  return evicted;
+}
+
+void ConfigCache::erase_slot(std::size_t slot) {
+  Entry& entry = ring_[slot];
+  bytes_ -= entry.bytes;
+  entry.config.reset();
+  entry.live = false;
+  entry.bytes = 0;
+  auto it = index_.find(entry.id);
+  if (it != index_.end() && it->second == slot) {
+    index_.erase(it);
+  }
+  free_slots_.push_back(slot);
+}
+
+}  // namespace randsync

@@ -1,0 +1,324 @@
+// Tiered storage for the exhaustive explorer (verify/explorer.cpp).
+//
+// The explorer's memory footprint has three very different components:
+//
+//   * the SEEN SET (verify/state_set.h) -- randomly probed on every
+//     claim, so it must stay resident; it is the one tier a memory
+//     budget cannot shrink;
+//   * the GRAPH ARRAYS (node records, edges) -- append-only and, once
+//     written, immutable; nodes are read back only by parent-chain
+//     walks (witness reconstruction, delta rebuilds) and edges only by
+//     the final valence sweep.  Cold prefixes of these arrays can live
+//     on disk;
+//   * the FRONTIER CONFIGURATIONS -- the only full `Configuration`
+//     objects the engine retains.  Every one of them is redundant: a
+//     node is `(parent, step_pid)` away from its parent, so any
+//     configuration can be rebuilt by replaying the delta chain from
+//     the root (or from the nearest materialized ancestor).  They are
+//     pure cache.
+//
+// This header provides one class per tier decision:
+//
+//   SpillFile    -- an append-only temporary file (created on first
+//                   append, unlinked on destruction) with positioned
+//                   reads; the cold tier's backing store.
+//   TieredArray  -- an append-only chunked array of trivially copyable
+//                   records.  Chunks are resident until spill_to()
+//                   writes full cold chunks (lowest index first) to a
+//                   SpillFile and drops them; reads of spilled chunks
+//                   go through a small bounded reload cache.  Appends
+//                   and spills happen only in the explorer's serial
+//                   phases; concurrent reads from worker threads are
+//                   safe at any time.
+//   ConfigCache  -- the bounded hot tier of materialized
+//                   configurations, keyed by node id, with CLOCK
+//                   (second-chance) eviction sized by
+//                   ExploreOptions::max_resident_bytes.  All mutation
+//                   happens in serial phases; during parallel expansion
+//                   the cache is frozen and workers only peek().
+//
+// Nothing here affects exploration RESULTS: a spilled record reads back
+// bit-identical, and an evicted configuration is rebuilt by a replay
+// that reproduces it exactly (tests/tiered_store_test.cpp proves the
+// whole-result bit-identity registry-wide).  The tiers change only
+// where bytes live.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/configuration.h"
+
+namespace randsync {
+
+/// Append-only spill file: created lazily under a caller-chosen
+/// directory, unlinked when destroyed.  Appends are serial (explorer
+/// epoch boundaries); positioned reads are thread-safe.
+class SpillFile {
+ public:
+  SpillFile() = default;
+  ~SpillFile();
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  /// Create (if needed) `dir` and open a fresh uniquely named spill
+  /// file `<dir>/<tag>-<pid>-<seq>.spill` inside it.  Returns false
+  /// (leaving the file closed) if the directory or file cannot be
+  /// created -- callers treat that as "spilling unavailable".
+  bool open(const std::string& dir, const std::string& tag);
+
+  [[nodiscard]] bool is_open() const { return file_ != nullptr; }
+
+  /// Append `bytes` bytes; returns the offset they were written at.
+  /// Serial only.  Throws std::runtime_error on a short write (disk
+  /// full): losing spilled data silently would corrupt reads.
+  std::uint64_t append(const void* data, std::size_t bytes);
+
+  /// Read `bytes` bytes at `offset` (must have been appended before).
+  /// Thread-safe.
+  void read(std::uint64_t offset, void* out, std::size_t bytes) const;
+
+  /// Total bytes appended so far.
+  [[nodiscard]] std::uint64_t bytes_written() const { return size_; }
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::uint64_t size_ = 0;
+};
+
+namespace store_detail {
+
+/// Untyped chunked backing logic shared by every TieredArray
+/// instantiation: chunk directory, reload cache, byte accounting.
+/// Element typing (and the only reinterpretation of bytes) stays in
+/// the TieredArray template below.
+class ChunkedTier {
+ public:
+  explicit ChunkedTier(std::size_t chunk_bytes);
+
+  void set_spill(SpillFile* spill) { spill_ = spill; }
+
+  /// Pointer to element storage for byte range [offset, offset+stride)
+  /// of chunk `chunk`, materializing the chunk from the spill file
+  /// through the reload cache if needed.  `out_copy` (stride bytes)
+  /// receives the element when the chunk had to be reloaded; returns
+  /// nullptr in that case (the caller uses out_copy).  Thread-safe.
+  const void* element(std::size_t chunk, std::size_t offset,
+                      std::size_t stride, void* out_copy) const;
+
+  /// Run `fn(data, bytes)` over every chunk's payload in index order,
+  /// reloading spilled chunks into a scratch buffer one at a time.
+  /// `tail_bytes` is the payload size of the final (partial) chunk.
+  template <typename Fn>
+  void for_each_chunk(std::size_t tail_bytes, Fn&& fn) const {
+    std::vector<std::uint8_t> scratch;
+    for (std::size_t c = 0; c < chunks_.size(); ++c) {
+      const std::size_t bytes =
+          c + 1 == chunks_.size() ? tail_bytes : chunk_bytes_;
+      if (bytes == 0) {
+        continue;
+      }
+      if (chunks_[c].data) {
+        fn(chunks_[c].data.get(), bytes);
+      } else {
+        scratch.resize(chunk_bytes_);
+        spill_->read(chunks_[c].spill_offset, scratch.data(), bytes);
+        fn(scratch.data(), bytes);
+      }
+    }
+  }
+
+  /// Storage for one more chunk (serial only).
+  std::uint8_t* add_chunk();
+
+  /// Storage of the last chunk (serial only; it is never spilled).
+  std::uint8_t* last_chunk() { return chunks_.back().data.get(); }
+
+  [[nodiscard]] std::size_t num_chunks() const { return chunks_.size(); }
+
+  /// Write full resident chunks (lowest index first, never the tail
+  /// chunk) to the spill file and drop them until resident_bytes()
+  /// <= `target` or nothing spillable remains.  Serial only; returns
+  /// the bytes moved to disk.  No-op without an open spill file.
+  std::size_t spill_to(std::size_t target);
+
+  /// Bytes of chunk payloads currently resident in RAM.  Excludes the
+  /// bounded reload cache (a transient whose slot-allocation count
+  /// depends on reader interleaving; including it would make the
+  /// explorer's total_bytes thread-dependent).
+  [[nodiscard]] std::size_t resident_bytes() const;
+
+  /// Bytes written to the spill file by this tier.
+  [[nodiscard]] std::size_t spilled_bytes() const { return spilled_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::uint8_t[]> data;  ///< null once spilled
+    std::uint64_t spill_offset = 0;
+  };
+  /// Reload cache: a few recently touched spilled chunks, replaced
+  /// round-robin.  Small and bounded -- parent-chain walks touch a
+  /// handful of distinct chunks, and the valence sweep streams through
+  /// its own scratch buffer instead.
+  static constexpr std::size_t kReloadSlots = 4;
+  struct ReloadSlot {
+    std::size_t chunk = SIZE_MAX;
+    std::unique_ptr<std::uint8_t[]> data;
+  };
+
+  const std::size_t chunk_bytes_;
+  SpillFile* spill_ = nullptr;
+  std::vector<Chunk> chunks_;
+  std::size_t resident_chunks_ = 0;
+  std::size_t spilled_ = 0;
+  mutable std::mutex reload_mu_;
+  mutable ReloadSlot reload_[kReloadSlots];
+  mutable std::size_t reload_hand_ = 0;
+};
+
+}  // namespace store_detail
+
+/// Append-only array of trivially copyable records whose cold prefix
+/// can spill to disk.  Appends/spills serial, reads thread-safe; see
+/// the header comment for the phase discipline.
+template <typename T>
+class TieredArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "spillable records must be trivially copyable");
+
+ public:
+  /// `chunk_elems` records per chunk (default 16Ki: 384KiB node chunks,
+  /// 128KiB edge chunks -- big enough for streaming I/O, small enough
+  /// that the resident tail tracks the budget closely).
+  explicit TieredArray(std::size_t chunk_elems = std::size_t{1} << 14)
+      : chunk_elems_(chunk_elems), tier_(chunk_elems * sizeof(T)) {}
+
+  void set_spill(SpillFile* spill) { tier_.set_spill(spill); }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  void push_back(const T& value) {
+    const std::size_t at = size_ % chunk_elems_;
+    std::uint8_t* chunk =
+        at == 0 ? tier_.add_chunk() : tier_.last_chunk();
+    std::memcpy(chunk + at * sizeof(T), &value, sizeof(T));
+    ++size_;
+  }
+
+  /// Element `i` BY VALUE: a reference into a spilled chunk's reload
+  /// slot could be evicted under the reader, a copy cannot.
+  [[nodiscard]] T get(std::size_t i) const {
+    T out;
+    const void* p = tier_.element(i / chunk_elems_,
+                                  (i % chunk_elems_) * sizeof(T), sizeof(T),
+                                  &out);
+    if (p != nullptr) {
+      std::memcpy(&out, p, sizeof(T));
+    }
+    return out;
+  }
+
+  /// Stream every record in index order through `fn(const T&)`,
+  /// chunk-at-a-time (the valence sweep's scan path: one disk read per
+  /// spilled chunk instead of one lock per element).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    tier_.for_each_chunk(
+        (size_ % chunk_elems_) * sizeof(T), [&fn](const void* data,
+                                                  std::size_t bytes) {
+          const auto* records = static_cast<const T*>(data);
+          for (std::size_t i = 0; i < bytes / sizeof(T); ++i) {
+            fn(records[i]);
+          }
+        });
+  }
+
+  std::size_t spill_to(std::size_t target_resident_bytes) {
+    return tier_.spill_to(target_resident_bytes);
+  }
+
+  [[nodiscard]] std::size_t resident_bytes() const {
+    return tier_.resident_bytes();
+  }
+  [[nodiscard]] std::size_t spilled_bytes() const {
+    return tier_.spilled_bytes();
+  }
+
+ private:
+  const std::size_t chunk_elems_;
+  store_detail::ChunkedTier tier_;
+  std::size_t size_ = 0;
+};
+
+/// Bounded hot tier of materialized configurations keyed by node id.
+/// CLOCK eviction: take()/peek-hits set a reference bit, the eviction
+/// hand gives each entry one second chance.  Every byte is accounted
+/// via Configuration::memory_bytes(), so occupancy -- and therefore
+/// every eviction decision -- is a deterministic function of the
+/// serial call sequence, never of thread scheduling.
+///
+/// Locking: none.  All mutation (insert/take/evict_to) happens in the
+/// explorer's serial phases; during parallel expansion the cache is
+/// frozen and workers call only the const peek().
+class ConfigCache {
+ public:
+  /// `budget_bytes` == 0 means unbounded (full retention, the default).
+  void set_budget(std::size_t budget_bytes) { budget_ = budget_bytes; }
+
+  /// Insert the configuration for node `id` (not already present),
+  /// then evict others (never the new entry) while over budget.
+  void insert(std::uint32_t id, Configuration&& config);
+
+  /// Remove and return node `id`'s configuration, or nullopt if it was
+  /// evicted (the caller rebuilds by delta replay).
+  std::optional<Configuration> take(std::uint32_t id);
+
+  /// Borrow node `id`'s configuration without removing it, or nullptr.
+  /// The only member callable during parallel phases.
+  [[nodiscard]] const Configuration* peek(std::uint32_t id) const;
+
+  /// Give `id` a second chance on the clock (a serial-phase "this was
+  /// useful" hint for entries peeked at by workers).
+  void touch(std::uint32_t id);
+
+  /// Evict entries (clock order) until bytes() <= `target` or the
+  /// cache is empty.  Returns the number evicted.
+  std::size_t evict_to(std::size_t target);
+
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+  [[nodiscard]] std::size_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    std::uint32_t id = 0;
+    std::uint8_t ref = 0;  ///< CLOCK second-chance bit
+    bool live = false;
+    std::optional<Configuration> config;
+    std::size_t bytes = 0;
+  };
+
+  void erase_slot(std::size_t slot);
+
+  std::vector<Entry> ring_;               ///< clock ring (holes reused)
+  std::vector<std::size_t> free_slots_;
+  std::unordered_map<std::uint32_t, std::size_t> index_;  ///< id -> slot
+  std::size_t hand_ = 0;
+  std::size_t bytes_ = 0;
+  std::size_t budget_ = 0;
+  std::size_t evictions_ = 0;
+};
+
+}  // namespace randsync

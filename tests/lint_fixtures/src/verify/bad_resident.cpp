@@ -1,0 +1,26 @@
+// Fixture for rule resident-config: by-value Configuration
+// accumulation in the verification layer.  Each BAD-marked line must
+// be flagged at exactly that line; every other declaration must stay
+// silent (pointer elements, Configuration as a parameter, and the
+// suppressed per-epoch scratch).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace randsync {
+
+class Configuration;
+
+struct ResidentStore {
+  std::vector<Configuration> retained;  // BAD
+  std::vector<std::pair<std::uint32_t, Configuration>> fresh;  // BAD
+  // Pointers do not own the configurations: clean.
+  std::vector<const Configuration*> views;
+  // A Configuration elsewhere on the line is not the element type.
+  std::vector<std::uint32_t> ids_of(const Configuration& config);
+  // Bounded per-epoch scratch opts in.  lint: resident-ok
+  std::vector<Configuration> frontier_scratch;
+};
+
+}  // namespace randsync

@@ -229,6 +229,43 @@ TEST(LintTest, SharedCaptureScopesToVerifyDispatchWindows) {
   EXPECT_TRUE(lint_source("src/verify/fold_like.cpp", serial).empty());
 }
 
+TEST(LintTest, ResidentConfigFlaggedAtMarkedLines) {
+  const std::string file = "src/verify/bad_resident.cpp";
+  const auto expected = marked_lines(read_fixture(file), "// BAD");
+  ASSERT_EQ(expected.size(), 2u) << "fixture drifted";
+  const auto found = findings_for(lint_fixtures(), file);
+  ASSERT_EQ(found.size(), expected.size()) << render_text(found);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(found[i].line, expected[i]);
+    EXPECT_EQ(found[i].rule, kRuleResidentConfig);
+  }
+  // The suppressed scratch vector is real: removing the marker must
+  // re-surface it.
+  std::string unsuppressed = read_fixture(file);
+  const std::size_t at = unsuppressed.find("lint: resident-ok");
+  ASSERT_NE(at, std::string::npos);
+  unsuppressed.replace(at, std::string("lint: resident-ok").size(), "waived");
+  EXPECT_EQ(lint_source(file, unsuppressed).size(), expected.size() + 1);
+}
+
+TEST(LintTest, ResidentConfigScopesToVerifyAndElementPosition) {
+  const std::string decl = "std::vector<Configuration> keep_everything;\n";
+  const auto found = lint_source("src/verify/store_like.cpp", decl);
+  ASSERT_EQ(found.size(), 1u) << render_text(found);
+  EXPECT_EQ(found.front().rule, kRuleResidentConfig);
+  // Out of scope: the runtime layer and bench drivers own their
+  // retention policy.
+  EXPECT_TRUE(lint_source("src/runtime/store_like.cpp", decl).empty());
+  EXPECT_TRUE(lint_source("bench/store_like.cpp", decl).empty());
+  // A Configuration parameter beside a vector of ids is clean, and so
+  // is a vector of non-owning pointers.
+  EXPECT_TRUE(
+      lint_source("src/verify/clean.cpp",
+                  "std::vector<std::uint32_t> ids(const Configuration& c);\n"
+                  "std::vector<const Configuration*> views;\n")
+          .empty());
+}
+
 TEST(LintTest, SuppressionsAreRuleSpecific) {
   // A nondet-order waiver must not silence a nondet-source finding on
   // the same line, and vice versa.

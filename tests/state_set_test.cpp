@@ -73,6 +73,26 @@ TEST(StateSetTest, DuplicateClaimsNeverMoveTheGrowthPoint) {
   EXPECT_EQ(set.size(), 44u);
 }
 
+// Narrow mode (wide = false): no hi array, so every slot costs 16
+// bytes instead of 24 -- a third off the one tier the explorer's
+// memory budget can never shrink.  Same growth points, same protocol.
+TEST(StateSetTest, NarrowModeDropsTheHiTier) {
+  constexpr std::size_t kNarrowSlotBytes = 16;
+  StateSet set(1, /*wide=*/false);
+  EXPECT_EQ(set.memory_bytes(), 64 * kNarrowSlotBytes);
+  for (std::uint64_t i = 0; i < 45; ++i) {
+    EXPECT_EQ(set.claim(fp_of(i), ticket(i)), StateSet::kAbsent);
+  }
+  EXPECT_EQ(set.memory_bytes(), 128 * kNarrowSlotBytes)
+      << "45th insert must grow, same threshold as wide mode";
+  for (std::uint64_t i = 0; i < 45; ++i) {
+    EXPECT_EQ(set.lookup(fp_of(i)), ticket(i)) << i;
+  }
+  set.assign(fp_of(7), 7);
+  EXPECT_EQ(set.lookup(fp_of(7)), 7u);
+  EXPECT_EQ(set.size(), 45u);
+}
+
 TEST(StateSetTest, MinimumTicketWinsTheClaim) {
   StateSet set;
   const StateFingerprint fp = fp_of(3);

@@ -459,6 +459,83 @@ void check_shared_capture(const std::string& path, const FileLines& file,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule 7: no by-value std::vector<Configuration> accumulation in the
+// verification layer.
+//
+// Scope: src/verify/.  Full Configuration objects are the explorer's
+// dominant memory cost; the tiered store (verify/store.h) exists so
+// reachable states are retained as (parent, step_pid) deltas plus a
+// bounded hot cache, and a vector that grows with the state space
+// silently reintroduces the O(states x config_bytes) footprint the
+// store removed.  The rule inspects the template-argument text of each
+// `vector<...>` on the line (so a Configuration elsewhere on the line,
+// e.g. a parameter, never matches) and ignores pointer elements, which
+// do not own the configurations.  Bounded scratch -- per-epoch frontier
+// buffers whose size is the frontier, not the graph -- opts in with the
+// marker.
+
+void check_resident_config(const std::string& path, const FileLines& file,
+                           std::vector<Finding>& findings) {
+  if (!starts_with(path, "src/verify/")) {
+    return;
+  }
+  constexpr const char* kVector = "vector<";
+  constexpr const char* kElement = "Configuration";
+  const std::size_t vector_len = std::string(kVector).size();
+  const std::size_t element_len = std::string(kElement).size();
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    const std::string& code = file.lines[i].code;
+    bool flagged = false;  // at most one finding per line
+    std::size_t pos = code.find(kVector);
+    while (pos != std::string::npos && !flagged) {
+      // Slice out the template argument by balancing angle brackets
+      // from the `<` that ends the token.  If the declaration wraps to
+      // the next line the argument runs to end-of-line -- the element
+      // type is in practice always on the `vector<` line.
+      const std::size_t open = pos + vector_len - 1;
+      std::size_t depth = 0;
+      std::size_t close = code.size();
+      for (std::size_t j = open; j < code.size(); ++j) {
+        if (code[j] == '<') {
+          ++depth;
+        } else if (code[j] == '>' && --depth == 0) {
+          close = j;
+          break;
+        }
+      }
+      const std::string arg = code.substr(open + 1, close - open - 1);
+      std::size_t hit = arg.find(kElement);
+      while (hit != std::string::npos) {
+        const bool left_ok = hit == 0 || !is_word_char(arg[hit - 1]);
+        std::size_t after = hit + element_len;
+        const bool right_ok = after >= arg.size() || !is_word_char(arg[after]);
+        while (after < arg.size() && arg[after] == ' ') {
+          ++after;
+        }
+        const bool pointer = after < arg.size() && arg[after] == '*';
+        if (left_ok && right_ok && !pointer) {
+          flagged = true;
+          break;
+        }
+        hit = arg.find(kElement, hit + 1);
+      }
+      pos = code.find(kVector, pos + 1);
+    }
+    if (!flagged || suppressed_at(file, i, kSuppressResidentConfig)) {
+      continue;
+    }
+    findings.push_back(
+        {path, i + 1, kRuleResidentConfig,
+         std::string("by-value std::vector<...Configuration...> in the "
+                     "verification layer: retain states as deltas through "
+                     "the tiered store (verify/store.h) instead, or "
+                     "annotate with `// ") +
+             kSuppressResidentConfig +
+             "` if the vector is bounded per-epoch scratch"});
+  }
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 8);
@@ -535,6 +612,7 @@ std::vector<Finding> lint_source(const std::string& path,
   check_nondet_order(path, file, findings);
   check_policy_coin(path, file, findings);
   check_shared_capture(path, file, findings);
+  check_resident_config(path, file, findings);
   return findings;
 }
 
@@ -638,6 +716,10 @@ std::string describe_rules() {
       << "     src/verify/ parallel worker lambdas must name their "
          "captures (no `[&]`)\n                     (suppress: // "
       << kSuppressSharedCapture << ")\n";
+  out << "  " << kRuleResidentConfig
+      << "    src/verify/ must not accumulate Configuration by value in "
+         "a std::vector\n                     (suppress: // "
+      << kSuppressResidentConfig << ")\n";
   return out.str();
 }
 

@@ -26,7 +26,14 @@
 //     how an unsynchronized accumulator slips into the explorer.
 //     Sites whose shared state is legitimately concurrent (atomics,
 //     the lock-striped StateSet, index-addressed slot vectors) opt in
-//     explicitly with the suppression marker.
+//     explicitly with the suppression marker;
+//   * the verification layer must not accumulate full Configuration
+//     objects in a std::vector -- reachable states are retained as
+//     (parent, step_pid) deltas plus a bounded hot cache (see
+//     verify/store.h), and a by-value vector silently reintroduces the
+//     O(states x config_bytes) footprint the tiered store removed.
+//     Bounded scratch (per-epoch frontier buffers) opts in with the
+//     suppression marker.
 //
 // The engine is deliberately lexical: it scans source text line by line
 // with comment and string-literal stripping, driven by the declarative
@@ -77,6 +84,7 @@ inline constexpr const char* kRuleProtocolSymmetry = "protocol-symmetry";
 inline constexpr const char* kRuleNondetOrder = "nondet-order";
 inline constexpr const char* kRulePolicyCoin = "policy-coin";
 inline constexpr const char* kRuleSharedCapture = "shared-capture";
+inline constexpr const char* kRuleResidentConfig = "resident-config";
 
 /// Suppression markers, one per rule.
 inline constexpr const char* kSuppressNondetSource = "lint: nondet-ok";
@@ -87,6 +95,7 @@ inline constexpr const char* kSuppressProtocolSymmetry =
 inline constexpr const char* kSuppressNondetOrder = "lint: nondet-order-ok";
 inline constexpr const char* kSuppressPolicyCoin = "lint: policy-coin-ok";
 inline constexpr const char* kSuppressSharedCapture = "lint: shared-ok";
+inline constexpr const char* kSuppressResidentConfig = "lint: resident-ok";
 
 /// The banned nondeterminism sources (rule "nondet-source").
 [[nodiscard]] const std::vector<TokenRule>& nondet_token_rules();

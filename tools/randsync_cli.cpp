@@ -15,12 +15,18 @@
 //
 //   randsync explore <protocol> <inputs> [--param=K] [--depth=D]
 //                    [--por] [--symmetry] [--wide] [--audit] [--threads=N]
+//                    [--max-memory=N[K|M|G]] [--spill-dir=PATH]
 //       exhaustive schedule exploration; inputs like "011".  --por
 //       enables partial-order reduction, --symmetry collapses
 //       permutation-equivalent states (composes with --por), --wide
 //       uses 128-bit dedup fingerprints, --audit structurally
 //       re-checks every dedup hit, --threads parallelizes the
 //       frontier (same result for every thread count; 0 = all cores).
+//       --max-memory bounds the resident tiers (configurations are
+//       evicted and rebuilt by delta replay; with --spill-dir cold
+//       node/edge chunks also move to disk, exploring state spaces
+//       larger than RAM; without it an overflowing run stops cleanly
+//       with a truncated partial result).
 //
 //   randsync stall <walk-protocol> [--seed=S]
 //       pit the strong-adversary walk staller against faa-consensus or
@@ -91,7 +97,25 @@ struct Flags {
   std::string policy = "uniform";
   std::size_t split = 0;
   std::size_t split_factor = 2;
+  std::size_t max_memory = 0;  ///< explorer resident budget; 0 = unbounded
+  std::string spill_dir;       ///< explorer cold tier; empty = disabled
 };
+
+/// Parse "N", "NK", "NM" or "NG" (binary units) for --max-memory.
+std::size_t parse_bytes(const char* text) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  std::size_t scale = 1;
+  if (end != nullptr) {
+    switch (*end) {
+      case 'K': case 'k': scale = std::size_t{1} << 10; break;
+      case 'M': case 'm': scale = std::size_t{1} << 20; break;
+      case 'G': case 'g': scale = std::size_t{1} << 30; break;
+      default: break;
+    }
+  }
+  return static_cast<std::size_t>(value) * scale;
+}
 
 Flags parse_flags(int argc, char** argv, int first) {
   Flags flags;
@@ -128,6 +152,10 @@ Flags parse_flags(int argc, char** argv, int first) {
       flags.audit = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
       flags.threads = std::strtoul(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--max-memory=", 0) == 0) {
+      flags.max_memory = parse_bytes(arg.c_str() + 13);
+    } else if (arg.rfind("--spill-dir=", 0) == 0) {
+      flags.spill_dir = arg.substr(12);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       std::exit(2);
@@ -253,6 +281,8 @@ int cmd_explore(const ProtocolEntry& entry, const std::string& input_bits,
   opt.wide_fingerprint = flags.wide;
   opt.collision_audit = flags.audit;
   opt.threads = flags.threads;
+  opt.max_resident_bytes = flags.max_memory;
+  opt.spill_dir = flags.spill_dir;
   // lint: nondet-ok -- wall time is reported, never fed into the run
   const auto start = std::chrono::steady_clock::now();
   const auto result = explore(*protocol, inputs, opt);
@@ -272,6 +302,9 @@ int cmd_explore(const ProtocolEntry& entry, const std::string& input_bits,
   std::printf("  %s\n", explore_summary_line(result, wall).c_str());
   std::printf("  deepest=%zu complete=%s\n", result.deepest,
               result.complete ? "yes" : "no");
+  if (result.truncated) {
+    std::printf("  truncated: %s\n", result.truncated_reason.c_str());
+  }
   std::printf("  safe=%s  valence: 0-valent=%zu 1-valent=%zu bivalent=%zu\n",
               result.safe ? "yes" : "NO", result.zero_valent,
               result.one_valent, result.bivalent);
@@ -477,7 +510,8 @@ int usage() {
       "[--scheduler=random|rr|contention|crash]\n"
       "  randsync attack <protocol> [--param=r] [--seed=S] [--general]\n"
       "  randsync explore <protocol> <inputs01> [--param=K] [--depth=D] "
-      "[--por] [--symmetry] [--wide] [--audit] [--threads=N]\n"
+      "[--por] [--symmetry] [--wide] [--audit] [--threads=N] "
+      "[--max-memory=N[K|M|G]] [--spill-dir=PATH]\n"
       "  randsync fuzz <protocol> [n] [--param=K] "
       "[--policy=uniform|starve|write-cover|bursts|all] [--trials=T] "
       "[--depth=D] [--seed=S] [--threads=N] [--split=L] [--split-factor=F] "
