@@ -780,11 +780,14 @@ struct Engine {
     // through the tiered arrays: one disk read per spilled chunk.
     std::vector<std::uint8_t> mask;
     mask.reserve(nodes.size());
+    // TieredArray::for_each is a serial chunk-streaming iteration on
+    // this thread, not a parallel dispatch.  analyze: parallel-ok
     nodes.for_each([&mask](const NodeCore& n) {
       mask.push_back(n.decided_mask);
     });
     for (bool changed = true; changed;) {
       changed = false;
+      // analyze: parallel-ok -- serial TieredArray scan (same as above).
       edges.for_each([&mask, &changed](const Edge& e) {
         const std::uint8_t merged = mask[e.from] | mask[e.to];
         if (merged != mask[e.from]) {

@@ -1,0 +1,11 @@
+// Fixture: one half of an include cycle (same directory, so the rank
+// check alone cannot see it -- only cycle detection can).
+#pragma once
+
+#include "cycle_b.h"  // BAD cycle
+
+namespace fx {
+
+inline int cycle_a_value() { return cycle_b_helper() + 1; }
+
+}  // namespace fx

@@ -1,0 +1,10 @@
+// Fixture: the other half of the include cycle.
+#pragma once
+
+#include "cycle_a.h"
+
+namespace fx {
+
+inline int cycle_b_helper() { return 2; }
+
+}  // namespace fx

@@ -1,0 +1,21 @@
+// Fixture: a nondeterminism source laundered through one helper level.
+// raw_stamp() reads the clock directly (the taint seed -- that line is
+// lint's nondet-source business, not the analyzer's); entropy_mix()
+// calls it, so a call to entropy_mix() from anywhere in src/ reaches
+// the clock two hops deep -- exactly what per-line linting cannot see.
+#pragma once
+
+#include <chrono>
+
+namespace fx {
+
+inline unsigned long raw_stamp() {
+  return static_cast<unsigned long>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+inline unsigned long entropy_mix(unsigned long x) {
+  return x ^ raw_stamp();  // BAD taint: call to a tainted function
+}
+
+}  // namespace fx

@@ -1,0 +1,16 @@
+// Fixture: the sanctioned randomness boundary.  This file deliberately
+// reads the clock -- runtime/coin.* is the ONE place allowed to touch
+// nondeterminism sources, so nothing that calls fixture_flip() may be
+// reported by nondet-taint.
+#pragma once
+
+#include <chrono>
+
+namespace fx {
+
+inline unsigned long fixture_flip() {
+  return static_cast<unsigned long>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace fx

@@ -1,0 +1,47 @@
+// Fixture: every analyzer rule, correctly suppressed.  This file must
+// produce ZERO findings; the mutation tests strip one marker at a time
+// and assert that exactly that finding resurfaces at the exact line.
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "../core/entropy_mix.h"
+// analyze: layer-ok -- fixture: sanctioned upward include
+#include "../../tools/toolbox.h"
+
+namespace fx {
+
+struct FuzzResult {
+  long total = 0;
+};
+
+struct AnnotatedPool {
+  template <typename Fn>
+  void for_each(std::size_t count, Fn&& fn) {
+    for (std::size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+  }
+};
+
+unsigned long seeded_salt(unsigned long base) {
+  // analyze: taint-ok -- fixture: annotated laundering site
+  return entropy_mix(base) ^ static_cast<unsigned long>(toolbox_answer());
+}
+
+FuzzResult tally(AnnotatedPool& pool, const std::vector<long>& xs) {
+  long total = 0;
+  pool.for_each(xs.size(), [&total, &xs](std::size_t i) {
+    total += xs[i];  // analyze: parallel-ok -- fixture: serial pool
+  });
+
+  std::atomic<bool> draining{true};
+  // analyze: parallel-ok -- fixture: annotated relaxed gate
+  while (draining.load(std::memory_order_relaxed)) {
+    draining.store(total >= 0, std::memory_order_release);
+    total -= 1;
+  }
+  return FuzzResult{total};
+}
+
+}  // namespace fx

@@ -1,0 +1,10 @@
+// Fixture: the verification layer reaching UP into tools/.  The
+// wrong-rule marker on the include line proves suppression isolation:
+// `analyze: taint-ok` must not silence a layer-violation.
+#include "../../tools/toolbox.h"  // BAD layer  // analyze: taint-ok
+
+namespace fx {
+
+int borrowed_answer() { return toolbox_answer(); }
+
+}  // namespace fx

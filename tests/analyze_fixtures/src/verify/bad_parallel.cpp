@@ -1,0 +1,40 @@
+// Fixture: parallel-region indiscipline.  (a) a captured accumulator
+// mutated inside a for_each worker lambda with no mediation -- the
+// lint-rule marker `lint: shared-ok` on the write proves isolation:
+// only `analyze: parallel-ok` may silence parallel-discipline;
+// (b) a memory_order_relaxed load steering a while-loop in a file
+// that computes an ExploreResult.
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace fx {
+
+struct ExploreResult {
+  long total = 0;
+};
+
+struct FixturePool {
+  template <typename Fn>
+  void for_each(std::size_t count, Fn&& fn) {
+    for (std::size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+  }
+};
+
+ExploreResult accumulate(FixturePool& pool, const std::vector<long>& xs) {
+  long total = 0;
+  pool.for_each(xs.size(), [&total, &xs](std::size_t i) {
+    total += xs[i];  // BAD parallel  // lint: shared-ok
+  });
+
+  std::atomic<bool> draining{true};
+  while (draining.load(std::memory_order_relaxed)) {  // BAD relaxed
+    draining.store(total >= 0, std::memory_order_release);
+    total -= 1;
+  }
+  return ExploreResult{total};
+}
+
+}  // namespace fx

@@ -1,0 +1,19 @@
+// Fixture: simulation code laundering a clock read through two calls.
+// schedule_salt() looks deterministic locally; the chain
+// schedule_salt -> entropy_mix -> raw_stamp -> steady_clock::now()
+// is only visible to the whole-program pass.  fixture_flip() is the
+// sanctioned coin boundary and must NOT be reported.
+#include "../core/entropy_mix.h"
+#include "../runtime/coin.h"
+
+namespace fx {
+
+unsigned long schedule_salt(unsigned long base) {
+  return entropy_mix(base);  // BAD taint: reaches ::now( two hops down
+}
+
+unsigned long sanctioned_salt(unsigned long base) {
+  return base ^ fixture_flip();  // fine: runtime/coin.* never taints
+}
+
+}  // namespace fx

@@ -1,0 +1,9 @@
+// Fixture: a tools-layer header (rank 5).  Anything under src/ that
+// includes this climbs the layer table.
+#pragma once
+
+namespace fx {
+
+inline int toolbox_answer() { return 42; }
+
+}  // namespace fx

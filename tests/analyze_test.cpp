@@ -1,0 +1,492 @@
+// Mutation tests for randsync-analyze (tools/analyze_engine.h).  The
+// fixture tree under tests/analyze_fixtures/ mirrors the real layout
+// (the rules are path-scoped) and stages one instance of everything
+// the whole-program pass exists to catch: a clock read laundered two
+// calls deep, an upward include, an include cycle, an unsynchronized
+// captured accumulator, and a relaxed load steering control flow --
+// each pinned to its exact file:line.  The annotated fixture carries
+// every suppression marker; tests strip them one at a time and assert
+// that exactly the right finding resurfaces, and that no marker ever
+// silences a rule that is not its own.
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyze_engine.h"
+
+namespace randsync::analyze {
+namespace {
+
+std::string fixture_root() { return ANALYZE_FIXTURE_DIR; }
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing file " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// 1-based line numbers of lines whose raw text contains `marker`.
+std::vector<std::size_t> marked_lines(const std::string& contents,
+                                      const std::string& marker) {
+  std::vector<std::size_t> out;
+  std::istringstream stream(contents);
+  std::string line;
+  std::size_t number = 0;
+  while (std::getline(stream, line)) {
+    ++number;
+    if (line.find(marker) != std::string::npos) {
+      out.push_back(number);
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> findings_for(const std::vector<Finding>& all,
+                                  const std::string& file) {
+  std::vector<Finding> out;
+  for (const Finding& f : all) {
+    if (f.file == file) {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+// Strip the `occurrence`-th (1-based) appearance of `marker`.
+std::string strip_marker(std::string contents, const std::string& marker,
+                         int occurrence) {
+  std::size_t pos = 0;
+  for (int i = 0; i < occurrence; ++i) {
+    pos = contents.find(marker, i == 0 ? 0 : pos + 1);
+    EXPECT_NE(pos, std::string::npos) << "marker not found: " << marker;
+  }
+  contents.erase(pos, marker.size());
+  return contents;
+}
+
+struct Mutation {
+  std::string file;    ///< fixture-relative path
+  std::string marker;  ///< suppression text to strip
+  int occurrence = 1;
+};
+
+// Analyze the fixture tree, optionally with one marker stripped from
+// one file -- the in-memory equivalent of "a contributor deleted the
+// annotation".
+std::vector<Finding> analyze_fixture(
+    const std::optional<Mutation>& mutation = std::nullopt) {
+  namespace fs = std::filesystem;
+  RepoIndex index;
+  index.root = fixture_root();
+  std::vector<std::string> paths;
+  for (const char* dir : {"src", "tools"}) {
+    const fs::path base = fs::path(fixture_root()) / dir;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cpp") {
+        paths.push_back(fs::relative(entry.path(), fs::path(fixture_root()))
+                            .generic_string());
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& path : paths) {
+    std::string contents = read_file(fixture_root() + "/" + path);
+    if (mutation.has_value() && mutation->file == path) {
+      contents = strip_marker(contents, mutation->marker,
+                              mutation->occurrence);
+    }
+    index_source(index, path, contents);
+  }
+  return analyze_index(index);
+}
+
+// ---------------------------------------------------------------------------
+// A deliberately tiny JSON well-formedness checker, enough to assert
+// the SARIF output parses: values, objects, arrays, strings with
+// escapes, numbers, literals.  Returns true iff the whole input is one
+// valid JSON value.
+
+bool json_value(const std::string& s, std::size_t& i);
+
+void json_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                          s[i] == '\r')) {
+    ++i;
+  }
+}
+
+bool json_string(const std::string& s, std::size_t& i) {
+  if (i >= s.size() || s[i] != '"') {
+    return false;
+  }
+  ++i;
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\') {
+      ++i;
+      if (i >= s.size()) {
+        return false;
+      }
+    }
+    ++i;
+  }
+  if (i >= s.size()) {
+    return false;
+  }
+  ++i;
+  return true;
+}
+
+bool json_value(const std::string& s, std::size_t& i) {
+  json_ws(s, i);
+  if (i >= s.size()) {
+    return false;
+  }
+  const char c = s[i];
+  if (c == '"') {
+    return json_string(s, i);
+  }
+  if (c == '{' || c == '[') {
+    const char close = c == '{' ? '}' : ']';
+    ++i;
+    json_ws(s, i);
+    if (i < s.size() && s[i] == close) {
+      ++i;
+      return true;
+    }
+    while (true) {
+      if (c == '{') {
+        json_ws(s, i);
+        if (!json_string(s, i)) {
+          return false;
+        }
+        json_ws(s, i);
+        if (i >= s.size() || s[i] != ':') {
+          return false;
+        }
+        ++i;
+      }
+      if (!json_value(s, i)) {
+        return false;
+      }
+      json_ws(s, i);
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    if (i >= s.size() || s[i] != close) {
+      return false;
+    }
+    ++i;
+    return true;
+  }
+  if (s.compare(i, 4, "true") == 0) {
+    i += 4;
+    return true;
+  }
+  if (s.compare(i, 5, "false") == 0) {
+    i += 5;
+    return true;
+  }
+  if (s.compare(i, 4, "null") == 0) {
+    i += 4;
+    return true;
+  }
+  if (c == '-' || (c >= '0' && c <= '9')) {
+    ++i;
+    while (i < s.size() && (std::isdigit(static_cast<unsigned char>(s[i])) ||
+                            s[i] == '.' || s[i] == 'e' || s[i] == 'E' ||
+                            s[i] == '+' || s[i] == '-')) {
+      ++i;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool is_valid_json(const std::string& s) {
+  std::size_t i = 0;
+  if (!json_value(s, i)) {
+    return false;
+  }
+  json_ws(s, i);
+  return i == s.size();
+}
+
+// ---------------------------------------------------------------------------
+// nondet-taint.
+
+TEST(AnalyzeTest, LaunderedClockCaughtTwoCallsDeepAtExactCallSite) {
+  const std::string file = "src/verify/uses_helper.cpp";
+  const auto expected =
+      marked_lines(read_file(fixture_root() + "/" + file), "// BAD taint");
+  ASSERT_EQ(expected.size(), 1u) << "fixture drifted";
+  const auto found = findings_for(analyze_fixture(), file);
+  ASSERT_EQ(found.size(), 1u) << render_text(found);
+  EXPECT_EQ(found[0].line, expected[0]);
+  EXPECT_EQ(found[0].rule, kRuleNondetTaint);
+  // The message carries the full laundering chain down to the token.
+  EXPECT_NE(found[0].message.find("entropy_mix"), std::string::npos);
+  EXPECT_NE(found[0].message.find("raw_stamp"), std::string::npos);
+  EXPECT_NE(found[0].message.find("::now("), std::string::npos);
+}
+
+TEST(AnalyzeTest, EveryLaunderingHopIsReported) {
+  // The intermediate helper's own call into the source is a finding
+  // too -- each indirection level answers for itself.
+  const std::string file = "src/core/entropy_mix.h";
+  const auto expected =
+      marked_lines(read_file(fixture_root() + "/" + file), "// BAD taint");
+  ASSERT_EQ(expected.size(), 1u);
+  const auto found = findings_for(analyze_fixture(), file);
+  ASSERT_EQ(found.size(), 1u) << render_text(found);
+  EXPECT_EQ(found[0].line, expected[0]);
+  EXPECT_EQ(found[0].rule, kRuleNondetTaint);
+}
+
+TEST(AnalyzeTest, SanctionedCoinBoundaryNeverTaints) {
+  // uses_helper.cpp also calls fixture_flip() (runtime/coin.*, reads
+  // the clock): exactly one finding in the file means the sanctioned
+  // call produced none.
+  const auto found =
+      findings_for(analyze_fixture(), "src/verify/uses_helper.cpp");
+  ASSERT_EQ(found.size(), 1u) << render_text(found);
+  EXPECT_EQ(found[0].message.find("fixture_flip"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// layer-violation.
+
+TEST(AnalyzeTest, VerifyToToolsIncludeCaughtDespiteWrongMarker) {
+  // The include line carries `analyze: taint-ok` -- the wrong rule's
+  // marker must not silence a layer violation.
+  const std::string file = "src/verify/bad_include.cpp";
+  const auto expected =
+      marked_lines(read_file(fixture_root() + "/" + file), "// BAD layer");
+  ASSERT_EQ(expected.size(), 1u);
+  const auto found = findings_for(analyze_fixture(), file);
+  ASSERT_EQ(found.size(), 1u) << render_text(found);
+  EXPECT_EQ(found[0].line, expected[0]);
+  EXPECT_EQ(found[0].rule, kRuleLayerViolation);
+  EXPECT_NE(found[0].message.find("tools"), std::string::npos);
+}
+
+TEST(AnalyzeTest, IncludeCycleCaughtOnce) {
+  const std::string file = "src/core/cycle_a.h";
+  const auto expected =
+      marked_lines(read_file(fixture_root() + "/" + file), "// BAD cycle");
+  ASSERT_EQ(expected.size(), 1u);
+  const auto all = analyze_fixture();
+  const auto found = findings_for(all, file);
+  ASSERT_EQ(found.size(), 1u) << render_text(found);
+  EXPECT_EQ(found[0].line, expected[0]);
+  EXPECT_EQ(found[0].rule, kRuleLayerViolation);
+  EXPECT_NE(found[0].message.find("include cycle"), std::string::npos);
+  EXPECT_NE(found[0].message.find("cycle_b.h"), std::string::npos);
+  // Reported exactly once, not once per participant.
+  EXPECT_TRUE(findings_for(all, "src/core/cycle_b.h").empty());
+}
+
+// ---------------------------------------------------------------------------
+// parallel-discipline.
+
+TEST(AnalyzeTest, CapturedAccumulatorCaughtDespiteLintMarker) {
+  // The write line carries `lint: shared-ok` -- a *lint* marker must
+  // not silence an *analyze* finding.
+  const std::string file = "src/verify/bad_parallel.cpp";
+  const auto contents = read_file(fixture_root() + "/" + file);
+  const auto expected = marked_lines(contents, "// BAD parallel");
+  ASSERT_EQ(expected.size(), 1u);
+  const auto found = findings_for(analyze_fixture(), file);
+  ASSERT_EQ(found.size(), 2u) << render_text(found);
+  EXPECT_EQ(found[0].line, expected[0]);
+  EXPECT_EQ(found[0].rule, kRuleParallelDiscipline);
+  EXPECT_NE(found[0].message.find("`total`"), std::string::npos);
+}
+
+TEST(AnalyzeTest, RelaxedLoadSteeringControlFlowCaught) {
+  const std::string file = "src/verify/bad_parallel.cpp";
+  const auto contents = read_file(fixture_root() + "/" + file);
+  const auto expected = marked_lines(contents, "// BAD relaxed");
+  ASSERT_EQ(expected.size(), 1u);
+  const auto found = findings_for(analyze_fixture(), file);
+  ASSERT_EQ(found.size(), 2u) << render_text(found);
+  EXPECT_EQ(found[1].line, expected[0]);
+  EXPECT_EQ(found[1].rule, kRuleParallelDiscipline);
+  EXPECT_NE(found[1].message.find("memory_order_relaxed"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: the annotated fixture is clean, and stripping one
+// marker resurfaces exactly that finding at the exact line.
+
+TEST(AnalyzeTest, AnnotatedFixtureIsClean) {
+  const auto found =
+      findings_for(analyze_fixture(), "src/verify/annotated.cpp");
+  EXPECT_TRUE(found.empty()) << render_text(found);
+}
+
+TEST(AnalyzeTest, FixtureFindingCountIsExact) {
+  // Nothing beyond the five staged violations plus the helper-hop
+  // report: any growth here means a rule regressed into noise.
+  const auto all = analyze_fixture();
+  EXPECT_EQ(all.size(), 6u) << render_text(all);
+}
+
+TEST(AnalyzeTest, StrippingTaintMarkerResurfacesExactLine) {
+  const std::string file = "src/verify/annotated.cpp";
+  const auto contents = read_file(fixture_root() + "/" + file);
+  const auto marker = marked_lines(contents, kSuppressNondetTaint);
+  ASSERT_EQ(marker.size(), 1u);
+  const auto found = findings_for(
+      analyze_fixture(Mutation{file, kSuppressNondetTaint, 1}), file);
+  ASSERT_EQ(found.size(), 1u) << render_text(found);
+  EXPECT_EQ(found[0].rule, kRuleNondetTaint);
+  EXPECT_EQ(found[0].line, marker[0] + 1);  // marker sits above the call
+}
+
+TEST(AnalyzeTest, StrippingLayerMarkerResurfacesExactLine) {
+  const std::string file = "src/verify/annotated.cpp";
+  const auto contents = read_file(fixture_root() + "/" + file);
+  const auto marker = marked_lines(contents, kSuppressLayerViolation);
+  ASSERT_EQ(marker.size(), 1u);
+  const auto found = findings_for(
+      analyze_fixture(Mutation{file, kSuppressLayerViolation, 1}), file);
+  ASSERT_EQ(found.size(), 1u) << render_text(found);
+  EXPECT_EQ(found[0].rule, kRuleLayerViolation);
+  EXPECT_EQ(found[0].line, marker[0] + 1);  // marker sits above the include
+}
+
+TEST(AnalyzeTest, StrippingParallelWriteMarkerResurfacesExactLine) {
+  const std::string file = "src/verify/annotated.cpp";
+  const auto contents = read_file(fixture_root() + "/" + file);
+  const auto markers = marked_lines(contents, kSuppressParallelDiscipline);
+  ASSERT_EQ(markers.size(), 2u);
+  const auto found = findings_for(
+      analyze_fixture(Mutation{file, kSuppressParallelDiscipline, 1}), file);
+  ASSERT_EQ(found.size(), 1u) << render_text(found);
+  EXPECT_EQ(found[0].rule, kRuleParallelDiscipline);
+  EXPECT_EQ(found[0].line, markers[0]);  // marker sits on the write line
+}
+
+TEST(AnalyzeTest, StrippingRelaxedLoadMarkerResurfacesExactLine) {
+  const std::string file = "src/verify/annotated.cpp";
+  const auto contents = read_file(fixture_root() + "/" + file);
+  const auto markers = marked_lines(contents, kSuppressParallelDiscipline);
+  ASSERT_EQ(markers.size(), 2u);
+  const auto found = findings_for(
+      analyze_fixture(Mutation{file, kSuppressParallelDiscipline, 2}), file);
+  ASSERT_EQ(found.size(), 1u) << render_text(found);
+  EXPECT_EQ(found[0].rule, kRuleParallelDiscipline);
+  EXPECT_EQ(found[0].line, markers[1] + 1);  // marker sits above the while
+}
+
+// ---------------------------------------------------------------------------
+// The real tree.
+
+TEST(AnalyzeTest, RealTreeIsCleanAtHead) {
+  const auto findings =
+      analyze_tree(LINT_SOURCE_ROOT, {"src", "tools", "bench"});
+  EXPECT_TRUE(findings.empty())
+      << "the real tree must analyze clean; annotate legitimate sites "
+         "individually:\n"
+      << render_text(findings);
+}
+
+TEST(AnalyzeTest, LayerTableIsRenderedIntoDesignDoc) {
+  // One declaration, two consumers: the enforcement reads
+  // layer_table(), the documentation embeds render_layer_table().
+  const std::string doc = read_file(std::string(LINT_SOURCE_ROOT) +
+                                    "/DESIGN.md");
+  EXPECT_NE(doc.find(render_layer_table()), std::string::npos)
+      << "DESIGN.md layer table drifted from layer_table(); re-paste:\n"
+      << render_layer_table();
+}
+
+// ---------------------------------------------------------------------------
+// SARIF output.
+
+TEST(AnalyzeTest, SarifIsValidJsonAndStableAcrossRuns) {
+  const auto first = analyze_fixture();
+  const auto second = analyze_fixture();
+  const std::string sarif_a = render_sarif(first);
+  const std::string sarif_b = render_sarif(second);
+  EXPECT_EQ(sarif_a, sarif_b);
+  EXPECT_TRUE(is_valid_json(sarif_a)) << sarif_a;
+  EXPECT_NE(sarif_a.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif_a.find("sarif-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif_a.find("randsync-analyze"), std::string::npos);
+  // Shuffled input must render identically: ordering is the renderer's
+  // job, not the caller's.
+  auto shuffled = first;
+  std::reverse(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(render_sarif(shuffled), sarif_a);
+}
+
+TEST(AnalyzeTest, SarifEmptyRunIsValid) {
+  const std::string sarif = render_sarif({});
+  EXPECT_TRUE(is_valid_json(sarif)) << sarif;
+  EXPECT_NE(sarif.find("\"results\": []"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Diff-base plumbing.
+
+TEST(AnalyzeTest, ParseUnifiedDiffCollectsAddedLines) {
+  const std::string diff =
+      "diff --git a/src/a.cpp b/src/a.cpp\n"
+      "--- a/src/a.cpp\n"
+      "+++ b/src/a.cpp\n"
+      "@@ -10,2 +12,3 @@ void f()\n"
+      "+x\n+y\n+z\n"
+      "@@ -40,0 +50 @@\n"
+      "+w\n"
+      "diff --git a/src/gone.cpp b/src/gone.cpp\n"
+      "--- a/src/gone.cpp\n"
+      "+++ /dev/null\n"
+      "@@ -1,5 +0,0 @@\n"
+      "diff --git a/src/b.h b/src/b.h\n"
+      "--- a/src/b.h\n"
+      "+++ b/src/b.h\n"
+      "@@ -3,0 +4,2 @@\n"
+      "+p\n+q\n";
+  const ChangedLines changed = parse_unified_diff(diff);
+  ASSERT_EQ(changed.by_file.size(), 2u);
+  const auto& a = changed.by_file.at("src/a.cpp");
+  EXPECT_EQ(a, (std::set<std::size_t>{12, 13, 14, 50}));
+  const auto& b = changed.by_file.at("src/b.h");
+  EXPECT_EQ(b, (std::set<std::size_t>{4, 5}));
+}
+
+TEST(AnalyzeTest, RestrictToChangedFiltersByFileAndLine) {
+  std::vector<Finding> findings = {
+      {"src/a.cpp", 12, kRuleNondetTaint, "in range"},
+      {"src/a.cpp", 99, kRuleNondetTaint, "out of range"},
+      {"src/c.cpp", 12, kRuleNondetTaint, "untouched file"},
+      {"src/x.cpp", 0, "io-error", "always kept"},
+  };
+  ChangedLines changed;
+  changed.by_file["src/a.cpp"] = {12, 13};
+  const auto kept = restrict_to_changed(findings, changed);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].message, "in range");
+  EXPECT_EQ(kept[1].rule, "io-error");
+}
+
+}  // namespace
+}  // namespace randsync::analyze

@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analyze_engine.h"
 #include "lint_engine.h"
 
 namespace randsync::lint {
@@ -291,6 +292,42 @@ TEST(LintTest, RealTreeIsCleanAtHead) {
   // repository at HEAD.  LINT_SOURCE_ROOT is the real source root.
   const auto findings = lint_tree(LINT_SOURCE_ROOT, {"src", "tools", "bench"});
   EXPECT_TRUE(findings.empty()) << render_text(findings);
+}
+
+TEST(LintTest, EveryRuleIdIsDocumented) {
+  // Docs-drift check: every rule id declared in lint_engine.h and
+  // analyze_engine.h must appear both in its engine's --list-rules
+  // output and in docs/STATIC_ANALYSIS.md.  Adding a rule without
+  // documenting it fails here, not in review.
+  const std::vector<const char*> lint_rules = {
+      kRuleNondetSource,  kRuleObjectOracle,   kRuleProtocolSymmetry,
+      kRuleNondetOrder,   kRulePolicyCoin,     kRuleSharedCapture,
+      kRuleResidentConfig};
+  const std::vector<const char*> analyze_rules = {
+      analyze::kRuleLayerViolation, analyze::kRuleNondetTaint,
+      analyze::kRuleParallelDiscipline};
+
+  const std::string lint_described = describe_rules();
+  const std::string analyze_described = analyze::describe_rules();
+  std::ifstream in(std::string(LINT_SOURCE_ROOT) +
+                   "/docs/STATIC_ANALYSIS.md");
+  ASSERT_TRUE(in.good()) << "docs/STATIC_ANALYSIS.md missing";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+
+  for (const char* rule : lint_rules) {
+    EXPECT_NE(lint_described.find(rule), std::string::npos)
+        << rule << " missing from lint describe_rules()";
+    EXPECT_NE(doc.find(rule), std::string::npos)
+        << rule << " missing from docs/STATIC_ANALYSIS.md";
+  }
+  for (const char* rule : analyze_rules) {
+    EXPECT_NE(analyze_described.find(rule), std::string::npos)
+        << rule << " missing from analyze describe_rules()";
+    EXPECT_NE(doc.find(rule), std::string::npos)
+        << rule << " missing from docs/STATIC_ANALYSIS.md";
+  }
 }
 
 TEST(LintTest, JsonOutputIsWellFormedAndStable) {

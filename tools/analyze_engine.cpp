@@ -1,0 +1,1722 @@
+#include "analyze_engine.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <iterator>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace randsync::analyze {
+namespace {
+
+using lint::Finding;
+using lint::SplitSource;
+using lint::TokenRule;
+using lint::find_token;
+using lint::is_word_char;
+using lint::marker_at;
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool contains_word(const std::string& code, const char* word) {
+  const TokenRule rule{word, "", true, true};
+  const std::size_t pos = find_token(code, rule, 0);
+  if (pos == std::string::npos) {
+    return false;
+  }
+  // find_token only enforces the left boundary; reject `formatted` when
+  // looking for `for`.
+  const std::size_t end = pos + std::string(word).size();
+  return end >= code.size() || !is_word_char(code[end]);
+}
+
+// Words that look like a call or a function name to a lexical scanner
+// but never are one.
+const std::set<std::string>& cpp_keywords() {
+  static const std::set<std::string> kWords = {
+      "alignas",      "alignof",    "and",          "asm",
+      "auto",         "bool",       "break",        "case",
+      "catch",        "char",       "class",        "co_await",
+      "co_return",    "co_yield",   "const",        "const_cast",
+      "consteval",    "constexpr",  "constinit",    "continue",
+      "decltype",     "default",    "defined",      "delete",
+      "do",           "double",     "dynamic_cast", "else",
+      "enum",         "explicit",   "extern",       "final",
+      "float",        "for",        "friend",       "goto",
+      "if",           "inline",     "int",          "long",
+      "mutable",      "namespace",  "new",          "noexcept",
+      "not",          "operator",   "or",           "override",
+      "private",      "protected",  "public",       "register",
+      "reinterpret_cast",           "requires",     "return",
+      "short",        "signed",     "sizeof",       "static",
+      "static_assert",              "static_cast",  "struct",
+      "switch",       "template",   "this",         "throw",
+      "try",          "typedef",    "typeid",       "typename",
+      "union",        "unsigned",   "using",        "virtual",
+      "void",         "volatile",   "while",
+  };
+  return kWords;
+}
+
+bool is_keyword(const std::string& word) {
+  return cpp_keywords().count(word) != 0;
+}
+
+std::string last_component(const std::string& qualified) {
+  const std::size_t pos = qualified.rfind("::");
+  return pos == std::string::npos ? qualified : qualified.substr(pos + 2);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Path handling.
+
+// Normalize "a/b/../c" -> "a/c".  Returns "" when the path escapes the
+// repo root (more ".." than segments) -- such includes cannot resolve.
+std::string normalize_path(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream stream(path);
+  while (std::getline(stream, part, '/')) {
+    if (part.empty() || part == ".") {
+      continue;
+    }
+    if (part == "..") {
+      if (parts.empty()) {
+        return "";
+      }
+      parts.pop_back();
+      continue;
+    }
+    parts.push_back(part);
+  }
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) {
+      out.push_back('/');
+    }
+    out += p;
+  }
+  return out;
+}
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t pos = path.rfind('/');
+  return pos == std::string::npos ? std::string() : path.substr(0, pos);
+}
+
+// "src/verify/fuzz.cpp" -> "src/verify/fuzz".
+std::string stem_of(const std::string& path) {
+  const std::size_t pos = path.rfind('.');
+  return pos == std::string::npos ? path : path.substr(0, pos);
+}
+
+// ---------------------------------------------------------------------------
+// Symbol-table construction: a brace-depth scan over the stripped code
+// classifying every `{` from the statement text accumulated since the
+// last `;` / `{` / `}`.  Function bodies collect call sites (identifier
+// immediately followed by `(`) and nondeterminism-token hits.
+
+// One accumulated pre-`{` statement: flattened text plus the source
+// line of every character, so the function name reports its real line.
+struct SigBuffer {
+  std::string text;
+  std::vector<std::size_t> lines;  ///< 0-based, parallel to text
+
+  void append(char c, std::size_t line) {
+    text.push_back(c);
+    lines.push_back(line);
+  }
+  void clear() {
+    text.clear();
+    lines.clear();
+  }
+};
+
+enum class ScopeKind { kNamespace, kClass, kFunction, kOther };
+
+struct ScopeFrame {
+  ScopeKind kind = ScopeKind::kOther;
+  int func = -1;  ///< index into RepoIndex::functions when kFunction
+};
+
+// Walk backwards from `end` over the signature collecting the
+// (possibly ::-qualified) name ending there.
+std::string name_ending_at(const std::string& text, std::size_t end) {
+  std::size_t begin = end;
+  while (begin > 0 &&
+         (is_word_char(text[begin - 1]) || text[begin - 1] == ':')) {
+    --begin;
+  }
+  return text.substr(begin, end - begin);
+}
+
+// Classify the statement text preceding a `{`.  `out_name` /
+// `out_line` are set for kFunction.
+ScopeKind classify_scope(const SigBuffer& sig, std::string& out_name,
+                         std::size_t& out_line) {
+  const std::string& text = sig.text;
+  if (contains_word(text, "namespace")) {
+    return ScopeKind::kNamespace;
+  }
+  const std::size_t paren = text.find('(');
+  const std::string head =
+      paren == std::string::npos ? text : text.substr(0, paren);
+  if (contains_word(head, "class") || contains_word(head, "struct") ||
+      contains_word(head, "enum") || contains_word(head, "union")) {
+    return ScopeKind::kClass;
+  }
+  if (paren == std::string::npos) {
+    return ScopeKind::kOther;  // plain block, brace-init, else/do/try
+  }
+  if (head.find('=') != std::string::npos) {
+    return ScopeKind::kOther;  // `auto f = [..](..) {`, brace-init
+  }
+  std::size_t end = paren;
+  while (end > 0 && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  const std::string qualified = name_ending_at(text, end);
+  if (qualified.empty() || is_keyword(last_component(qualified))) {
+    return ScopeKind::kOther;  // `if (..) {`, `while (..) {`, lambdas
+  }
+  const std::size_t name_begin = end - qualified.size();
+  if (name_begin > 0 && text[name_begin - 1] == '~') {
+    return ScopeKind::kOther;  // destructor
+  }
+  // A definition needs a return type (or :: qualification) before the
+  // name -- this is what rejects a call statement `helper(args...) {`
+  // passing an inline lambda, where nothing precedes the callee name.
+  bool has_prefix_token = qualified.find("::") != std::string::npos;
+  std::size_t scan = name_begin;
+  while (!has_prefix_token && scan > 0) {
+    const char c = text[scan - 1];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      --scan;
+      continue;
+    }
+    if (is_word_char(c) || c == '>' || c == '*' || c == '&') {
+      has_prefix_token = true;
+    }
+    break;
+  }
+  if (!has_prefix_token) {
+    return ScopeKind::kOther;
+  }
+  // Member calls `obj.method(` are Other even with a token before the
+  // base object.
+  if (name_begin > 0 && text[name_begin - 1] == '.') {
+    return ScopeKind::kOther;
+  }
+  out_name = qualified;
+  out_line = sig.lines.empty() ? 0 : sig.lines[name_begin];
+  return ScopeKind::kFunction;
+}
+
+// Index of the innermost enclosing function, or -1.
+int innermost_function(const std::vector<ScopeFrame>& scopes) {
+  for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+    if (it->kind == ScopeKind::kFunction) {
+      return it->func;
+    }
+  }
+  return -1;
+}
+
+void scan_symbols(RepoIndex& index, const std::string& path,
+                  const SplitSource& source) {
+  std::vector<ScopeFrame> scopes;
+  SigBuffer sig;
+  bool in_pp_continuation = false;
+  for (std::size_t li = 0; li < source.lines.size(); ++li) {
+    const std::string& code = source.lines[li].code;
+    // Preprocessor lines (and their backslash continuations) never
+    // open C++ scopes; skipping them keeps #if/#define braces from
+    // corrupting the depth tracking.
+    std::size_t first = 0;
+    while (first < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[first]))) {
+      ++first;
+    }
+    const bool is_pp = in_pp_continuation ||
+                       (first < code.size() && code[first] == '#');
+    if (is_pp) {
+      std::size_t last = code.size();
+      while (last > 0 &&
+             std::isspace(static_cast<unsigned char>(code[last - 1]))) {
+        --last;
+      }
+      in_pp_continuation = last > 0 && code[last - 1] == '\\';
+      continue;
+    }
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      const char c = code[i];
+      if (c == '{') {
+        ScopeFrame frame;
+        std::string name;
+        std::size_t name_line = 0;
+        frame.kind = classify_scope(sig, name, name_line);
+        if (frame.kind == ScopeKind::kFunction) {
+          FunctionDef def;
+          def.qualified = name;
+          def.name = last_component(name);
+          def.file = path;
+          def.line = name_line + 1;
+          frame.func = static_cast<int>(index.functions.size());
+          index.functions.push_back(std::move(def));
+        }
+        scopes.push_back(frame);
+        sig.clear();
+        continue;
+      }
+      if (c == '}') {
+        if (!scopes.empty()) {
+          scopes.pop_back();
+        }
+        sig.clear();
+        continue;
+      }
+      if (c == ';') {
+        sig.clear();
+        continue;
+      }
+      if (is_word_char(c)) {
+        // Consume a (::-qualified) identifier in one go so `std::now`
+        // style qualifications stay one token.
+        std::size_t end = i;
+        while (end < code.size() &&
+               (is_word_char(code[end]) ||
+                (code[end] == ':' && end + 1 < code.size() &&
+                 code[end + 1] == ':' && end + 2 < code.size() &&
+                 is_word_char(code[end + 2])))) {
+          end += code[end] == ':' ? 2 : 1;
+        }
+        const std::string word = code.substr(i, end - i);
+        std::size_t after = end;
+        while (after < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[after]))) {
+          ++after;
+        }
+        const int func = innermost_function(scopes);
+        if (func >= 0 && after < code.size() && code[after] == '(') {
+          const std::string callee = last_component(word);
+          if (!is_keyword(callee)) {
+            index.functions[static_cast<std::size_t>(func)].calls.emplace_back(
+                callee, li + 1);
+          }
+        }
+        for (std::size_t k = i; k < end; ++k) {
+          sig.append(code[k], li);
+        }
+        i = end - 1;
+        continue;
+      }
+      sig.append(c, li);
+    }
+    sig.append(' ', li);
+    // Nondeterminism seeds: a banned token anywhere in a function body
+    // taints that function.  runtime/coin.* is the sanctioned
+    // randomness boundary and never seeds.
+    const int func = innermost_function(scopes);
+    if (func >= 0 && !starts_with(path, "src/runtime/coin.")) {
+      FunctionDef& def = index.functions[static_cast<std::size_t>(func)];
+      if (def.nondet_line == 0) {
+        for (const TokenRule& rule : lint::nondet_token_rules()) {
+          if (find_token(code, rule, 0) != std::string::npos) {
+            def.nondet_line = li + 1;
+            def.nondet_token = rule.token;
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Include directives come from the RAW line text: the stripper blanks
+// string-literal contents, which is exactly where the target lives.
+void scan_includes(RepoIndex& index, const std::string& path,
+                   const std::string& contents) {
+  std::vector<IncludeEdge>& edges = index.includes[path];
+  std::istringstream stream(contents);
+  std::string line;
+  for (std::size_t li = 0; std::getline(stream, line); ++li) {
+    std::size_t i = 0;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size() || line[i] != '#') {
+      continue;
+    }
+    ++i;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (line.compare(i, 7, "include") != 0) {
+      continue;
+    }
+    const std::size_t open = line.find('"', i + 7);
+    if (open == std::string::npos) {
+      continue;  // <system> include
+    }
+    const std::size_t close = line.find('"', open + 1);
+    if (close == std::string::npos) {
+      continue;
+    }
+    IncludeEdge edge;
+    edge.target = line.substr(open + 1, close - open - 1);
+    edge.line = li + 1;
+    edges.push_back(std::move(edge));
+  }
+}
+
+// Resolve include targets against the indexed file set: relative to the
+// includer's directory, then under src/, then from the repo root.
+// Unresolved targets (system-style project headers found via -I paths
+// outside the scan) stay empty and are skipped by every rule.
+void resolve_includes(RepoIndex& index) {
+  std::set<std::string> files(index.files.begin(), index.files.end());
+  for (auto& [path, edges] : index.includes) {
+    const std::string dir = dirname_of(path);
+    for (IncludeEdge& edge : edges) {
+      const std::string candidates[] = {
+          normalize_path(dir.empty() ? edge.target : dir + "/" + edge.target),
+          normalize_path("src/" + edge.target),
+          normalize_path(edge.target),
+      };
+      for (const std::string& cand : candidates) {
+        if (!cand.empty() && files.count(cand) != 0) {
+          edge.resolved = cand;
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: layer-violation.
+
+const LayerSpec* layer_of(const std::string& path) {
+  const LayerSpec* best = nullptr;
+  for (const LayerSpec& spec : layer_table()) {
+    const std::string prefix = std::string(spec.dir) + "/";
+    if (starts_with(path, prefix.c_str()) &&
+        (best == nullptr || prefix.size() > std::string(best->dir).size())) {
+      best = &spec;
+    }
+  }
+  return best;
+}
+
+void check_layering(const RepoIndex& index, std::vector<Finding>& findings) {
+  for (const auto& [path, edges] : index.includes) {
+    const LayerSpec* from = layer_of(path);
+    if (from == nullptr) {
+      continue;
+    }
+    const auto source_it = index.sources.find(path);
+    for (const IncludeEdge& edge : edges) {
+      if (edge.resolved.empty()) {
+        continue;
+      }
+      const LayerSpec* to = layer_of(edge.resolved);
+      if (to == nullptr || to == from || to->rank < from->rank) {
+        continue;  // unlayered, same layer, or strictly downward: fine
+      }
+      if (source_it != index.sources.end() &&
+          edge.line - 1 < source_it->second.lines.size() &&
+          marker_at(source_it->second, edge.line - 1,
+                    kSuppressLayerViolation)) {
+        continue;
+      }
+      std::ostringstream msg;
+      msg << "#include \"" << edge.target << "\" climbs the layer table: `"
+          << from->dir << "` (rank " << from->rank << ") must not depend on `"
+          << to->dir << "` (rank " << to->rank
+          << "); includes point strictly down the declared layering (see "
+             "DESIGN.md), or annotate with `// "
+          << kSuppressLayerViolation << "`";
+      findings.push_back({path, edge.line, kRuleLayerViolation, msg.str()});
+    }
+  }
+
+  // Include cycles: DFS over resolved edges.  Any cycle is a layering
+  // bug by construction (a DAG is what the table promises), so it
+  // reports under the same rule.
+  std::map<std::string, std::vector<const IncludeEdge*>> graph;
+  for (const auto& [path, edges] : index.includes) {
+    for (const IncludeEdge& edge : edges) {
+      if (!edge.resolved.empty()) {
+        graph[path].push_back(&edge);
+      }
+    }
+  }
+  std::map<std::string, int> color;  // 0 white, 1 on stack, 2 done
+  std::vector<std::pair<std::string, const IncludeEdge*>> stack;
+  std::set<std::string> reported_cycles;
+  // Iterative DFS with an explicit edge stack, deterministic via the
+  // sorted maps.
+  std::function<void(const std::string&)> visit = [&](const std::string& at) {
+    color[at] = 1;
+    for (const IncludeEdge* edge : graph[at]) {
+      const std::string& next = edge->resolved;
+      if (color[next] == 1) {
+        // Found a cycle: reconstruct it from the stack.
+        std::vector<std::pair<std::string, const IncludeEdge*>> cycle;
+        cycle.emplace_back(at, edge);
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+          cycle.push_back(*it);
+          if (it->first == next) {
+            break;
+          }
+        }
+        // Canonical key so A->B->A and B->A->B report once.
+        std::vector<std::string> names;
+        names.reserve(cycle.size());
+        for (const auto& [file, e] : cycle) {
+          names.push_back(file);
+        }
+        std::sort(names.begin(), names.end());
+        std::string key;
+        for (const std::string& n : names) {
+          key += n + ";";
+        }
+        if (!reported_cycles.insert(key).second) {
+          continue;
+        }
+        // Report at the participating include of the smallest file.
+        const auto* site = &cycle.front();
+        for (const auto& entry : cycle) {
+          if (entry.first < site->first) {
+            site = &entry;
+          }
+        }
+        const auto source_it = index.sources.find(site->first);
+        if (source_it != index.sources.end() &&
+            site->second->line - 1 < source_it->second.lines.size() &&
+            marker_at(source_it->second, site->second->line - 1,
+                      kSuppressLayerViolation)) {
+          continue;
+        }
+        std::ostringstream msg;
+        msg << "include cycle: ";
+        for (auto it = cycle.rbegin(); it != cycle.rend(); ++it) {
+          msg << it->first << " -> ";
+        }
+        // cycle.front() holds the back edge -- its target closes the
+        // loop.
+        msg << cycle.front().second->resolved
+            << "; the include graph must be acyclic (annotate with `// "
+            << kSuppressLayerViolation << "` only with a written rationale)";
+        findings.push_back({site->first, site->second->line,
+                            kRuleLayerViolation, msg.str()});
+        continue;
+      }
+      if (color[next] == 0) {
+        stack.emplace_back(at, edge);
+        visit(next);
+        stack.pop_back();
+      }
+    }
+    color[at] = 2;
+  };
+  for (const auto& [path, edges] : graph) {
+    if (color[path] == 0) {
+      visit(path);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: nondet-taint.
+
+// Files a given file can "see": the transitive closure of its resolved
+// includes, with every reached header bringing its companion .cpp along
+// (the definition of a declared function lives there).  Call linking is
+// restricted to this set so a coincidentally same-named function in an
+// unrelated corner (a bench harness, a fixture) cannot taint code that
+// never includes it.
+class Reachability {
+ public:
+  explicit Reachability(const RepoIndex& index) : index_(index) {
+    for (const std::string& f : index.files) {
+      by_stem_[stem_of(f)].push_back(f);
+    }
+  }
+
+  const std::set<std::string>& reach(const std::string& file) {
+    auto it = memo_.find(file);
+    if (it != memo_.end()) {
+      return it->second;
+    }
+    std::set<std::string>& out = memo_[file];
+    std::vector<std::string> todo{file};
+    while (!todo.empty()) {
+      const std::string at = todo.back();
+      todo.pop_back();
+      // Companion rule: reaching either of foo.h / foo.cpp reaches
+      // both.
+      for (const std::string& sibling : by_stem_[stem_of(at)]) {
+        if (!out.insert(sibling).second) {
+          continue;
+        }
+        const auto inc = index_.includes.find(sibling);
+        if (inc == index_.includes.end()) {
+          continue;
+        }
+        for (const IncludeEdge& edge : inc->second) {
+          if (!edge.resolved.empty() && out.count(edge.resolved) == 0) {
+            todo.push_back(edge.resolved);
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  const RepoIndex& index_;
+  std::map<std::string, std::vector<std::string>> by_stem_;
+  std::map<std::string, std::set<std::string>> memo_;
+};
+
+struct TaintState {
+  bool tainted = false;
+  int via = -1;               ///< tainted callee index, or -1 for a
+                              ///< direct nondeterminism token
+  std::size_t via_line = 0;   ///< call line of `via` in this function
+};
+
+class TaintAnalysis {
+ public:
+  explicit TaintAnalysis(const RepoIndex& index)
+      : index_(index), reach_(index), state_(index.functions.size()) {
+    for (std::size_t i = 0; i < index.functions.size(); ++i) {
+      by_name_[index.functions[i].name].push_back(static_cast<int>(i));
+    }
+    // Candidate preference must not depend on indexing order.
+    for (auto& [name, ids] : by_name_) {
+      std::sort(ids.begin(), ids.end(), [&](int a, int b) {
+        const FunctionDef& fa = index.functions[static_cast<std::size_t>(a)];
+        const FunctionDef& fb = index.functions[static_cast<std::size_t>(b)];
+        return std::tie(fa.file, fa.line) < std::tie(fb.file, fb.line);
+      });
+    }
+    for (std::size_t i = 0; i < index.functions.size(); ++i) {
+      if (index.functions[i].nondet_line != 0) {
+        state_[i].tainted = true;
+      }
+    }
+    propagate();
+  }
+
+  /// First tainted definition a call from `file` to `name` can bind
+  /// to, or -1.  Same-file definitions shadow cross-file ones; cross-
+  /// file binding requires include-graph reachability.
+  int tainted_callee(const std::string& file, const std::string& name) {
+    const auto it = by_name_.find(name);
+    if (it == by_name_.end()) {
+      return -1;
+    }
+    bool any_same_file = false;
+    for (int id : it->second) {
+      if (index_.functions[static_cast<std::size_t>(id)].file == file) {
+        any_same_file = true;
+        break;
+      }
+    }
+    const std::set<std::string>& visible = reach_.reach(file);
+    for (int id : it->second) {
+      const FunctionDef& def = index_.functions[static_cast<std::size_t>(id)];
+      if (any_same_file ? def.file != file : visible.count(def.file) == 0) {
+        continue;
+      }
+      if (state_[static_cast<std::size_t>(id)].tainted) {
+        return id;
+      }
+    }
+    return -1;
+  }
+
+  /// Human-readable chain from definition `id` down to the token.
+  std::string chain(int id) const {
+    std::ostringstream out;
+    while (true) {
+      const auto uid = static_cast<std::size_t>(id);
+      const FunctionDef& def = index_.functions[uid];
+      out << "`" << def.qualified << "` (" << def.file << ":" << def.line
+          << ")";
+      if (state_[uid].via < 0) {
+        out << " -> token `" << def.nondet_token << "` (" << def.file << ":"
+            << def.nondet_line << ")";
+        return out.str();
+      }
+      out << " -> ";
+      id = state_[uid].via;
+    }
+  }
+
+ private:
+  void propagate() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < index_.functions.size(); ++i) {
+        if (state_[i].tainted) {
+          continue;
+        }
+        const FunctionDef& def = index_.functions[i];
+        for (const auto& [callee, line] : def.calls) {
+          const int hit = tainted_callee(def.file, callee);
+          if (hit >= 0) {
+            state_[i].tainted = true;
+            state_[i].via = hit;
+            state_[i].via_line = line;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  const RepoIndex& index_;
+  Reachability reach_;
+  std::vector<TaintState> state_;
+  std::map<std::string, std::vector<int>> by_name_;
+};
+
+void check_taint(const RepoIndex& index, std::vector<Finding>& findings) {
+  TaintAnalysis taint(index);
+  for (const FunctionDef& def : index.functions) {
+    if (!starts_with(def.file, "src/") ||
+        starts_with(def.file, "src/runtime/coin.")) {
+      continue;
+    }
+    const auto source_it = index.sources.find(def.file);
+    std::set<std::pair<std::size_t, std::string>> seen;
+    for (const auto& [callee, line] : def.calls) {
+      const int hit = taint.tainted_callee(def.file, callee);
+      if (hit < 0 || !seen.emplace(line, callee).second) {
+        continue;
+      }
+      if (source_it != index.sources.end() &&
+          line - 1 < source_it->second.lines.size() &&
+          marker_at(source_it->second, line - 1, kSuppressNondetTaint)) {
+        continue;
+      }
+      std::ostringstream msg;
+      msg << "call to `" << callee
+          << "` reaches a nondeterminism source: " << taint.chain(hit)
+          << "; simulation code draws randomness only through "
+             "runtime/coin.*, or annotate with `// "
+          << kSuppressNondetTaint << "`";
+      findings.push_back({def.file, line, kRuleNondetTaint, msg.str()});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: parallel-discipline.
+
+const std::set<std::string>& container_mutators() {
+  static const std::set<std::string> kNames = {
+      "push_back", "emplace_back", "pop_back", "insert", "emplace",
+      "erase",     "clear",        "resize",   "assign", "append",
+      "reserve",
+  };
+  return kNames;
+}
+
+// A window of stripped code flattened into one string, with the source
+// line of every character, so balanced-delimiter parsing can span
+// lines.
+struct FlatWindow {
+  std::string text;
+  std::vector<std::size_t> lines;  ///< 0-based source line per char
+
+  static FlatWindow build(const SplitSource& source, std::size_t from_line,
+                          std::size_t max_lines) {
+    FlatWindow w;
+    const std::size_t end =
+        std::min(source.lines.size(), from_line + max_lines);
+    for (std::size_t li = from_line; li < end; ++li) {
+      for (char c : source.lines[li].code) {
+        w.text.push_back(c);
+        w.lines.push_back(li);
+      }
+      w.text.push_back('\n');
+      w.lines.push_back(li);
+    }
+    return w;
+  }
+
+  std::size_t line_at(std::size_t pos) const {
+    return pos < lines.size() ? lines[pos] : (lines.empty() ? 0 : lines.back());
+  }
+};
+
+std::size_t skip_space(const std::string& s, std::size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
+    ++i;
+  }
+  return i;
+}
+
+// Position after the matching closer for the opener at `open`, or npos.
+std::size_t match_delim(const std::string& s, std::size_t open, char oc,
+                        char cc) {
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == oc) {
+      ++depth;
+    } else if (s[i] == cc && --depth == 0) {
+      return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+// Last non-space character strictly before `pos`, or '\0'.
+char prev_nonspace(const std::string& s, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (!std::isspace(static_cast<unsigned char>(s[pos]))) {
+      return s[pos];
+    }
+  }
+  return '\0';
+}
+
+// The full word ending at the last non-space position before `pos`.
+std::string prev_word(const std::string& s, std::size_t pos) {
+  while (pos > 0 && std::isspace(static_cast<unsigned char>(s[pos - 1]))) {
+    --pos;
+  }
+  std::size_t begin = pos;
+  while (begin > 0 && is_word_char(s[begin - 1])) {
+    --begin;
+  }
+  return s.substr(begin, pos - begin);
+}
+
+// Read a ::-qualified identifier starting at `i`; returns one past it.
+std::size_t read_ident(const std::string& s, std::size_t i) {
+  while (i < s.size() &&
+         (is_word_char(s[i]) ||
+          (s[i] == ':' && i + 1 < s.size() && s[i + 1] == ':' &&
+           i + 2 < s.size() && is_word_char(s[i + 2])))) {
+    i += s[i] == ':' ? 2 : 1;
+  }
+  return i;
+}
+
+struct LambdaCaptures {
+  bool default_ref = false;
+  std::set<std::string> by_ref;
+  std::set<std::string> by_value;
+};
+
+LambdaCaptures parse_captures(const std::string& text) {
+  LambdaCaptures out;
+  std::string entry;
+  std::vector<std::string> entries;
+  int depth = 0;
+  for (char c : text) {
+    if (c == '(' || c == '{' || c == '<') {
+      ++depth;
+    } else if (c == ')' || c == '}' || c == '>') {
+      --depth;
+    }
+    if (c == ',' && depth == 0) {
+      entries.push_back(entry);
+      entry.clear();
+    } else {
+      entry.push_back(c);
+    }
+  }
+  entries.push_back(entry);
+  for (std::string& e : entries) {
+    std::size_t b = skip_space(e, 0);
+    std::size_t len = e.size();
+    while (len > b && std::isspace(static_cast<unsigned char>(e[len - 1]))) {
+      --len;
+    }
+    e = e.substr(b, len - b);
+    if (e.empty() || e == "this" || e == "*this" || e == "=") {
+      continue;
+    }
+    if (e == "&") {
+      out.default_ref = true;
+      continue;
+    }
+    const bool ref = e[0] == '&';
+    std::size_t start = ref ? 1 : 0;
+    const std::size_t end = read_ident(e, start);
+    const std::string name = e.substr(start, end - start);
+    if (name.empty()) {
+      continue;
+    }
+    // Init captures `x = expr` / `&x = expr` keep the alias name.
+    (ref ? out.by_ref : out.by_value).insert(name);
+  }
+  return out;
+}
+
+// Collect names that are local to the lambda: parameters plus body
+// declarations (`Type name ...`, `auto [a, b] = ...`).
+void collect_locals(const std::string& params, const std::string& body,
+                    std::set<std::string>& locals) {
+  // Parameters: last identifier of each top-level comma segment.
+  int depth = 0;
+  std::string seg;
+  std::vector<std::string> segs;
+  for (char c : params) {
+    if (c == '(' || c == '<' || c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ')' || c == '>' || c == ']' || c == '}') {
+      --depth;
+    }
+    if (c == ',' && depth == 0) {
+      segs.push_back(seg);
+      seg.clear();
+    } else {
+      seg.push_back(c);
+    }
+  }
+  segs.push_back(seg);
+  for (const std::string& s : segs) {
+    std::string last;
+    for (std::size_t i = 0; i < s.size();) {
+      if (is_word_char(s[i])) {
+        const std::size_t end = read_ident(s, i);
+        last = s.substr(i, end - i);
+        i = end;
+      } else {
+        ++i;
+      }
+    }
+    if (!last.empty() && !is_keyword(last)) {
+      locals.insert(last_component(last));
+    }
+  }
+  // Body declarations: identifier preceded by a type-ish token and
+  // followed by = ; ( { or ,  -- plus structured bindings.
+  for (std::size_t i = 0; i < body.size();) {
+    if (!is_word_char(body[i])) {
+      ++i;
+      continue;
+    }
+    const std::size_t end = read_ident(body, i);
+    const std::string word = body.substr(i, end - i);
+    if (word == "auto") {
+      std::size_t j = skip_space(body, end);
+      while (j < body.size() && (body[j] == '&' || body[j] == '*')) {
+        j = skip_space(body, j + 1);
+      }
+      if (j < body.size() && body[j] == '[') {
+        const std::size_t close = match_delim(body, j, '[', ']');
+        if (close != std::string::npos) {
+          for (std::size_t k = j + 1; k < close - 1;) {
+            if (is_word_char(body[k])) {
+              const std::size_t e2 = read_ident(body, k);
+              locals.insert(body.substr(k, e2 - k));
+              k = e2;
+            } else {
+              ++k;
+            }
+          }
+          i = close;
+          continue;
+        }
+      }
+    }
+    const char prev = prev_nonspace(body, i);
+    const std::string ptok = prev_word(body, i);
+    // `long total = 0` / `const auto p = ..` are declarations even
+    // though the preceding token is a keyword -- only statement
+    // keywords disqualify the position.
+    static const std::set<std::string> kNonTypePrev = {
+        "return", "delete", "throw",     "goto",     "else",
+        "case",   "new",    "co_return", "co_await", "co_yield",
+        "sizeof", "not",    "and",       "or",       "typedef",
+        "using",
+    };
+    const bool type_before =
+        (is_word_char(prev) || prev == '>' || prev == '*' || prev == '&') &&
+        kNonTypePrev.count(ptok) == 0;
+    if (type_before && !is_keyword(word)) {
+      const std::size_t after = skip_space(body, end);
+      const char nc = after < body.size() ? body[after] : '\0';
+      if (nc == '=' || nc == ';' || nc == '(' || nc == '{' || nc == ',' ||
+          nc == ':') {
+        locals.insert(last_component(word));
+      }
+    }
+    i = end;
+  }
+}
+
+// Does the lambda body take a lock?  A lock anywhere mediates every
+// write in the body -- the grain this lexical pass can see.
+bool body_has_lock(const std::string& body) {
+  return body.find("lock_guard") != std::string::npos ||
+         body.find("scoped_lock") != std::string::npos ||
+         body.find("unique_lock") != std::string::npos ||
+         body.find(".lock(") != std::string::npos;
+}
+
+// Is `name` declared with a concurrency-safe type in the `lines_back`
+// stripped lines above `before_line`?  Loose by design: it only
+// downgrades would-be findings, never creates them.
+bool declared_concurrent(const SplitSource& source, std::size_t before_line,
+                         std::size_t lines_back, const std::string& name) {
+  const std::size_t begin =
+      before_line > lines_back ? before_line - lines_back : 0;
+  const TokenRule name_rule{name.c_str(), "", true, true};
+  for (std::size_t li = begin; li < before_line; ++li) {
+    const std::string& code = source.lines[li].code;
+    if (find_token(code, name_rule, 0) == std::string::npos) {
+      continue;
+    }
+    if (code.find("atomic") != std::string::npos ||
+        code.find("Atomic") != std::string::npos ||
+        code.find("StateSet") != std::string::npos ||
+        code.find("mutex") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct WriteSite {
+  std::string name;
+  std::size_t line = 0;  ///< 1-based
+  const char* how = "";  ///< "assignment", "increment", mutator name
+};
+
+// Scan a lambda body for writes to names in the suspect set.
+std::vector<WriteSite> find_writes(const FlatWindow& window,
+                                   std::size_t body_begin,
+                                   std::size_t body_end,
+                                   const std::set<std::string>& locals,
+                                   const LambdaCaptures& caps) {
+  std::vector<WriteSite> out;
+  const std::string& s = window.text;
+  auto suspect = [&](const std::string& name) {
+    if (locals.count(name) != 0 || caps.by_value.count(name) != 0) {
+      return false;
+    }
+    return caps.default_ref || caps.by_ref.count(name) != 0;
+  };
+  auto record = [&](const std::string& name, std::size_t pos,
+                    const char* how) {
+    if (suspect(name)) {
+      out.push_back({name, window.line_at(pos) + 1, how});
+    }
+  };
+  for (std::size_t i = body_begin; i < body_end;) {
+    const char c = s[i];
+    // Prefix increment / decrement.
+    if ((c == '+' || c == '-') && i + 1 < body_end && s[i + 1] == c) {
+      const std::size_t j = skip_space(s, i + 2);
+      if (j < body_end && is_word_char(s[j])) {
+        const std::size_t end = read_ident(s, j);
+        record(last_component(s.substr(j, end - j)), j, "increment");
+        i = end;
+        continue;
+      }
+      i += 2;
+      continue;
+    }
+    if (!is_word_char(c)) {
+      ++i;
+      continue;
+    }
+    const std::size_t end = read_ident(s, i);
+    const std::string base = last_component(s.substr(i, end - i));
+    const char prev = prev_nonspace(s, i);
+    // Names preceded by a word char, '>', '*', '&', '.' or '~' are
+    // declaration names, member tails, or derefs -- not write bases.
+    if (is_word_char(prev) || prev == '>' || prev == '*' || prev == '&' ||
+        prev == '.' || prev == '~' || is_keyword(base)) {
+      i = end;
+      continue;
+    }
+    // Postfix chain: subscripts, member accesses, calls.
+    std::size_t j = end;
+    bool subscripted = false;
+    bool consumed_call = false;
+    std::string member;
+    while (j < body_end) {
+      j = skip_space(s, j);
+      if (j >= body_end) {
+        break;
+      }
+      if (s[j] == '[') {
+        const std::size_t close = match_delim(s, j, '[', ']');
+        if (close == std::string::npos) {
+          break;
+        }
+        subscripted = true;
+        j = close;
+        continue;
+      }
+      if (s[j] == '.' ||
+          (s[j] == '-' && j + 1 < body_end && s[j + 1] == '>')) {
+        j += s[j] == '.' ? 1 : 2;
+        j = skip_space(s, j);
+        const std::size_t mend = read_ident(s, j);
+        member = s.substr(j, mend - j);
+        j = mend;
+        continue;
+      }
+      if (s[j] == '(') {
+        const std::size_t close = match_delim(s, j, '(', ')');
+        if (!member.empty() && !subscripted &&
+            container_mutators().count(member) != 0) {
+          record(base, i, "container mutation");
+        }
+        // Any call ends the chain: atomic member ops are mediated by
+        // definition, plain calls are not lexical writes, and a call
+        // result as an assignment target does not occur here.
+        consumed_call = true;
+        j = close == std::string::npos ? body_end : close;
+        break;
+      }
+      break;
+    }
+    if (!consumed_call && !subscripted && j < body_end) {
+      const std::size_t k = skip_space(s, j);
+      if (k < body_end) {
+        // Assignment: `=`, or a compound op ending in `=`.
+        const char a = s[k];
+        const char b = k + 1 < body_end ? s[k + 1] : '\0';
+        const char c2 = k + 2 < body_end ? s[k + 2] : '\0';
+        const bool plain = a == '=' && b != '=';
+        const bool compound =
+            ((a == '+' || a == '-' || a == '*' || a == '/' || a == '%' ||
+              a == '&' || a == '|' || a == '^') &&
+             b == '=') ||
+            ((a == '<' || a == '>') && b == a && c2 == '=');
+        const bool incr = (a == '+' || a == '-') && b == a;
+        if (plain || compound) {
+          record(base, i, "assignment");
+        } else if (incr) {
+          record(base, i, "increment");
+        }
+      }
+    }
+    i = std::max(j, end);
+  }
+  return out;
+}
+
+// The tokens that hand a lambda to concurrent execution.  StealRanges
+// is listed for completeness: its claim loops live inside
+// parallel_trials lambdas, which the other tokens already cover.
+const std::vector<const char*>& dispatch_tokens() {
+  static const std::vector<const char*> kTokens = {
+      "parallel_trials",
+      "parallel_map_trials",
+      "for_each",
+      "StealRanges",
+  };
+  return kTokens;
+}
+
+void check_parallel_discipline(const RepoIndex& index,
+                               std::vector<Finding>& findings) {
+  std::set<std::tuple<std::string, std::size_t, std::string>> reported;
+  for (const std::string& path : index.files) {
+    if (!starts_with(path, "src/verify/") &&
+        !starts_with(path, "src/runtime/")) {
+      continue;
+    }
+    const SplitSource& source = index.sources.at(path);
+    for (std::size_t li = 0; li < source.lines.size(); ++li) {
+      const std::string& code = source.lines[li].code;
+      for (const char* token : dispatch_tokens()) {
+        const TokenRule rule{token, "", true, true};
+        for (std::size_t pos = find_token(code, rule, 0);
+             pos != std::string::npos;
+             pos = find_token(code, rule, pos + 1)) {
+          const std::size_t tok_end = pos + std::string(token).size();
+          if (tok_end < code.size() && is_word_char(code[tok_end])) {
+            continue;  // right boundary: `for_each_chunk` is not ours
+          }
+          // A dispatch site hands over a lambda: find its `[` intro
+          // within 3 lines.  Giving up at `;`, `{`, or the `)` that
+          // closes the dispatch call itself (depth tracking -- nested
+          // argument calls like `xs.size()` must not end the search)
+          // filters out declarations, definitions, and lambda-free
+          // calls.
+          const FlatWindow window = FlatWindow::build(source, li, 400);
+          // The window starts at line li, so the token's column IS its
+          // window offset.
+          const std::size_t start = tok_end;
+          std::size_t intro = std::string::npos;
+          int depth = 0;
+          for (std::size_t k = start; k < window.text.size(); ++k) {
+            const char w = window.text[k];
+            if (w == '[' && depth >= 1) {
+              intro = k;
+              break;
+            }
+            if (w == '(') {
+              ++depth;
+            } else if (w == ')') {
+              if (--depth <= 0) {
+                break;
+              }
+            } else if (w == ';' || w == '{') {
+              break;
+            }
+            if (window.line_at(k) > li + 3) {
+              break;
+            }
+          }
+          if (intro == std::string::npos) {
+            continue;
+          }
+          const std::size_t cap_end =
+              match_delim(window.text, intro, '[', ']');
+          if (cap_end == std::string::npos) {
+            continue;
+          }
+          const LambdaCaptures caps = parse_captures(
+              window.text.substr(intro + 1, cap_end - intro - 2));
+          std::size_t cursor = skip_space(window.text, cap_end);
+          std::string params;
+          if (cursor < window.text.size() && window.text[cursor] == '(') {
+            const std::size_t pend =
+                match_delim(window.text, cursor, '(', ')');
+            if (pend == std::string::npos) {
+              continue;
+            }
+            params = window.text.substr(cursor + 1, pend - cursor - 2);
+            cursor = pend;
+          }
+          // Skip specifiers (mutable, noexcept, -> Type) to the body.
+          std::size_t body_open = std::string::npos;
+          for (std::size_t k = cursor; k < window.text.size(); ++k) {
+            if (window.text[k] == '{') {
+              body_open = k;
+              break;
+            }
+            if (window.text[k] == ';' ||
+                window.line_at(k) > window.line_at(cursor) + 3) {
+              break;
+            }
+          }
+          if (body_open == std::string::npos) {
+            continue;
+          }
+          const std::size_t body_close =
+              match_delim(window.text, body_open, '{', '}');
+          if (body_close == std::string::npos) {
+            continue;  // body exceeds the window: skip, do not guess
+          }
+          const std::string body = window.text.substr(
+              body_open + 1, body_close - body_open - 2);
+          if (body_has_lock(body)) {
+            continue;
+          }
+          std::set<std::string> locals;
+          collect_locals(params, body, locals);
+          for (const WriteSite& w :
+               find_writes(window, body_open + 1, body_close - 1, locals,
+                           caps)) {
+            if (declared_concurrent(source, li, 100, w.name)) {
+              continue;
+            }
+            const std::size_t widx = w.line - 1;
+            if ((widx < source.lines.size() &&
+                 marker_at(source, widx, kSuppressParallelDiscipline)) ||
+                marker_at(source, li, kSuppressParallelDiscipline)) {
+              continue;
+            }
+            if (!reported.emplace(path, w.line, w.name).second) {
+              continue;
+            }
+            std::ostringstream msg;
+            msg << w.how << " on captured `" << w.name << "` inside a `"
+                << token
+                << "` lambda is unsynchronized: mediate through an atomic, "
+                   "a mutex, StateSet, or a per-task index-addressed slot, "
+                   "or annotate with `// "
+                << kSuppressParallelDiscipline << "`";
+            findings.push_back(
+                {path, w.line, kRuleParallelDiscipline, msg.str()});
+          }
+        }
+      }
+    }
+
+    // Relaxed loads steering control flow, in files that compute
+    // results.  Relaxed atomics may feed statistics; a decision needs
+    // acquire (or stronger) to order against the data it gates.
+    bool computes_result = false;
+    for (const auto& line : source.lines) {
+      if (line.code.find("ExploreResult") != std::string::npos ||
+          line.code.find("FuzzResult") != std::string::npos) {
+        computes_result = true;
+        break;
+      }
+    }
+    if (!computes_result) {
+      continue;
+    }
+    for (std::size_t li = 0; li < source.lines.size(); ++li) {
+      const std::string& code = source.lines[li].code;
+      for (const char* kw : {"if", "while", "for"}) {
+        const TokenRule rule{kw, "", true, true};
+        for (std::size_t pos = find_token(code, rule, 0);
+             pos != std::string::npos;
+             pos = find_token(code, rule, pos + 1)) {
+          const std::size_t kend = pos + std::string(kw).size();
+          if (kend < code.size() && is_word_char(code[kend])) {
+            continue;
+          }
+          // The window starts at line li, so the keyword's end column
+          // is its window offset.
+          const FlatWindow window = FlatWindow::build(source, li, 12);
+          const std::size_t open = skip_space(window.text, kend);
+          if (open >= window.text.size() || window.text[open] != '(') {
+            continue;
+          }
+          const std::size_t close =
+              match_delim(window.text, open, '(', ')');
+          if (close == std::string::npos) {
+            continue;
+          }
+          const std::string cond =
+              window.text.substr(open + 1, close - open - 2);
+          if (cond.find("load(") == std::string::npos ||
+              cond.find("memory_order_relaxed") == std::string::npos) {
+            continue;
+          }
+          if (marker_at(source, li, kSuppressParallelDiscipline)) {
+            continue;
+          }
+          if (!reported.emplace(path, li + 1, std::string("relaxed-load"))
+                   .second) {
+            continue;
+          }
+          std::ostringstream msg;
+          msg << "`memory_order_relaxed` load steering a `" << kw
+              << "` condition in a result-computing file: relaxed reads "
+                 "may aggregate statistics, never gate control flow that "
+                 "shapes ExploreResult/FuzzResult; use acquire (or "
+                 "stronger), or annotate with `// "
+              << kSuppressParallelDiscipline << "`";
+          findings.push_back(
+              {path, li + 1, kRuleParallelDiscipline, msg.str()});
+        }
+      }
+    }
+  }
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API.
+
+const std::vector<LayerSpec>& layer_table() {
+  static const std::vector<LayerSpec> kTable = {
+      {"src/runtime", 0,
+       "deterministic substrate: coins, schedules, thread pool, steal "
+       "ranges"},
+      {"src/objects", 1, "shared-memory object types + independence oracles"},
+      {"src/protocols", 2, "consensus/synchronization protocols under test"},
+      {"src/emulation", 3, "object emulations built from weaker objects"},
+      {"src/core", 3, "lower-bound adversaries and core constructions"},
+      {"src/verify", 4,
+       "explorer, fuzzer, contract audit, stores -- consumes everything "
+       "below"},
+      {"tools", 5, "CLI binaries, lint + analyze engines"},
+      {"bench", 5, "performance harnesses and baselines"},
+      {"tests", 5, "unit/differential/mutation suites and fixtures"},
+      {"examples", 5, "standalone usage examples"},
+  };
+  return kTable;
+}
+
+std::string render_layer_table() {
+  std::ostringstream out;
+  out << "| Rank | Directory | Role |\n";
+  out << "|------|-----------|------|\n";
+  for (const LayerSpec& spec : layer_table()) {
+    out << "| " << spec.rank << " | `" << spec.dir << "/` | " << spec.role
+        << " |\n";
+  }
+  return out.str();
+}
+
+void index_source(RepoIndex& index, const std::string& path,
+                  const std::string& contents) {
+  index.files.push_back(path);
+  const auto [it, inserted] =
+      index.sources.emplace(path, lint::split_source(contents));
+  if (!inserted) {
+    it->second = lint::split_source(contents);
+  }
+  scan_includes(index, path, contents);
+  scan_symbols(index, path, it->second);
+}
+
+RepoIndex index_tree(const std::string& root,
+                     const std::vector<std::string>& dirs) {
+  namespace fs = std::filesystem;
+  RepoIndex index;
+  index.root = root;
+  std::vector<std::string> paths;
+  for (const std::string& dir : dirs) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) {
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cpp") {
+        continue;
+      }
+      paths.push_back(
+          fs::relative(entry.path(), fs::path(root)).generic_string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& path : paths) {
+    std::ifstream in(fs::path(root) / path, std::ios::binary);
+    if (!in) {
+      index.files.push_back(path);
+      index.sources.emplace(path, lint::SplitSource{});
+      index.includes[path];
+      index.unreadable.push_back(path);
+      continue;
+    }
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    index_source(index, path, contents.str());
+  }
+  return index;
+}
+
+std::vector<Finding> analyze_index(RepoIndex& index) {
+  // Finalize: tests may assemble indexes in any order.
+  std::sort(index.files.begin(), index.files.end());
+  index.files.erase(std::unique(index.files.begin(), index.files.end()),
+                    index.files.end());
+  resolve_includes(index);
+  std::vector<Finding> findings;
+  for (const std::string& path : index.unreadable) {
+    findings.push_back({path, 0, "io-error", "cannot read file"});
+  }
+  check_layering(index, findings);
+  check_taint(index, findings);
+  check_parallel_discipline(index, findings);
+  sort_findings(findings);
+  return findings;
+}
+
+std::vector<Finding> analyze_tree(const std::string& root,
+                                  const std::vector<std::string>& dirs) {
+  RepoIndex index = index_tree(root, dirs);
+  return analyze_index(index);
+}
+
+ChangedLines parse_unified_diff(const std::string& diff_text) {
+  ChangedLines out;
+  std::istringstream stream(diff_text);
+  std::string line;
+  std::string current;
+  while (std::getline(stream, line)) {
+    if (starts_with(line, "+++ ")) {
+      std::string target = line.substr(4);
+      const std::size_t tab = target.find('\t');
+      if (tab != std::string::npos) {
+        target = target.substr(0, tab);
+      }
+      if (target == "/dev/null") {
+        current.clear();
+      } else if (starts_with(target, "b/")) {
+        current = target.substr(2);
+      } else {
+        current = target;
+      }
+      continue;
+    }
+    if (current.empty() || !starts_with(line, "@@")) {
+      continue;
+    }
+    // "@@ -a[,b] +c[,d] @@": the +side is what exists after the change.
+    const std::size_t plus = line.find('+');
+    if (plus == std::string::npos) {
+      continue;
+    }
+    std::size_t i = plus + 1;
+    std::size_t start = 0;
+    while (i < line.size() && std::isdigit(static_cast<unsigned char>(line[i]))) {
+      start = start * 10 + static_cast<std::size_t>(line[i] - '0');
+      ++i;
+    }
+    std::size_t count = 1;
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      count = 0;
+      while (i < line.size() &&
+             std::isdigit(static_cast<unsigned char>(line[i]))) {
+        count = count * 10 + static_cast<std::size_t>(line[i] - '0');
+        ++i;
+      }
+    }
+    for (std::size_t k = 0; k < count; ++k) {
+      out.by_file[current].insert(start + k);
+    }
+  }
+  return out;
+}
+
+bool git_changed_lines(const std::string& root, const std::string& ref,
+                       const std::vector<std::string>& dirs,
+                       ChangedLines& out, std::string& error) {
+  std::string cmd = "git -C '" + root + "' diff --unified=0 '" + ref + "' --";
+  for (const std::string& dir : dirs) {
+    cmd += " '" + dir + "'";
+  }
+  cmd += " 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    error = "cannot run git diff";
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    text.append(buf, got);
+  }
+  const int status = pclose(pipe);
+  if (status != 0) {
+    error = "git diff against '" + ref + "' failed (unknown ref?)";
+    return false;
+  }
+  out = parse_unified_diff(text);
+  return true;
+}
+
+std::vector<Finding> restrict_to_changed(const std::vector<Finding>& findings,
+                                         const ChangedLines& changed) {
+  std::vector<Finding> out;
+  for (const Finding& f : findings) {
+    if (f.rule == "io-error") {
+      out.push_back(f);  // an unreadable file is always fatal
+      continue;
+    }
+    const auto it = changed.by_file.find(f.file);
+    if (it != changed.by_file.end() && it->second.count(f.line) != 0) {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+std::string render_sarif(const std::vector<Finding>& findings) {
+  struct RuleDesc {
+    const char* id;
+    const char* text;
+  };
+  static const RuleDesc kRules[] = {
+      {kRuleLayerViolation,
+       "includes must point strictly down the declared architecture "
+       "layering, and the include graph must be acyclic"},
+      {kRuleNondetTaint,
+       "simulation code must not call functions whose call graph reaches a "
+       "banned nondeterminism source"},
+      {kRuleParallelDiscipline,
+       "writes to captured shared state inside parallel-dispatch lambdas "
+       "must be mediated; relaxed loads must not steer result-affecting "
+       "control flow"},
+      {"io-error", "a scanned file could not be read"},
+  };
+  std::vector<Finding> sorted = findings;
+  sort_findings(sorted);
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out << "  \"version\": \"2.1.0\",\n";
+  out << "  \"runs\": [\n    {\n";
+  out << "      \"tool\": {\n        \"driver\": {\n";
+  out << "          \"name\": \"randsync-analyze\",\n";
+  out << "          \"informationUri\": "
+         "\"docs/STATIC_ANALYSIS.md\",\n";
+  out << "          \"rules\": [\n";
+  for (std::size_t i = 0; i < std::size(kRules); ++i) {
+    out << "            {\"id\": \"" << kRules[i].id
+        << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(kRules[i].text) << "\"}}"
+        << (i + 1 < std::size(kRules) ? "," : "") << "\n";
+  }
+  out << "          ]\n        }\n      },\n";
+  out << "      \"results\": [";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const Finding& f = sorted[i];
+    std::size_t rule_index = std::size(kRules) - 1;
+    for (std::size_t r = 0; r < std::size(kRules); ++r) {
+      if (f.rule == kRules[r].id) {
+        rule_index = r;
+        break;
+      }
+    }
+    out << (i > 0 ? "," : "") << "\n        {\n";
+    out << "          \"ruleId\": \"" << json_escape(f.rule) << "\",\n";
+    out << "          \"ruleIndex\": " << rule_index << ",\n";
+    out << "          \"level\": \"error\",\n";
+    out << "          \"message\": {\"text\": \"" << json_escape(f.message)
+        << "\"},\n";
+    out << "          \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \""
+        << json_escape(f.file) << "\"}, \"region\": {\"startLine\": "
+        << std::max<std::size_t>(f.line, 1) << "}}}]\n";
+    out << "        }";
+  }
+  out << (sorted.empty() ? "]\n" : "\n      ]\n");
+  out << "    }\n  ]\n}\n";
+  return out.str();
+}
+
+std::string describe_rules() {
+  std::ostringstream out;
+  out << "randsync-analyze rules (whole-program):\n";
+  out << "  " << kRuleLayerViolation
+      << "       includes must point strictly down the architecture "
+         "layering;\n                        the include graph must be "
+         "acyclic (suppress: // "
+      << kSuppressLayerViolation << ")\n";
+  out << "                        layers:";
+  for (const LayerSpec& spec : layer_table()) {
+    out << " " << spec.dir << "(" << spec.rank << ")";
+  }
+  out << "\n";
+  out << "  " << kRuleNondetTaint
+      << "          no src/ call may reach a nondeterminism source\n"
+         "                        through any chain of calls (suppress: // "
+      << kSuppressNondetTaint << ")\n";
+  out << "  " << kRuleParallelDiscipline
+      << "  writes to captured state in parallel lambdas must be\n"
+         "                        mediated (atomic/mutex/StateSet/per-task "
+         "slot); relaxed\n                        loads must not steer "
+         "result control flow (suppress: // "
+      << kSuppressParallelDiscipline << ")\n";
+  return out.str();
+}
+
+int analyze_cli_main(const std::vector<std::string>& args) {
+  std::string root = ".";
+  bool json = false;
+  bool sarif = false;
+  bool list_rules = false;
+  std::string diff_base;
+  std::vector<std::string> dirs;
+  for (const std::string& arg : args) {
+    if (starts_with(arg, "--root=")) {
+      root = arg.substr(7);
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (starts_with(arg, "--diff-base=")) {
+      diff_base = arg.substr(12);
+    } else if (starts_with(arg, "--")) {
+      std::cerr << "usage: randsync-analyze [--root=DIR] [--json|--sarif] "
+                   "[--diff-base=REF] [--list-rules] [dir...]\n";
+      return 2;
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (list_rules) {
+    std::cout << describe_rules();
+    return 0;
+  }
+  if (dirs.empty()) {
+    // tests/ is excluded by default: its fixture trees are
+    // intentionally dirty.
+    dirs = {"src", "tools", "bench"};
+  }
+  std::vector<Finding> findings = analyze_tree(root, dirs);
+  if (!diff_base.empty()) {
+    ChangedLines changed;
+    std::string error;
+    if (!git_changed_lines(root, diff_base, dirs, changed, error)) {
+      std::cerr << "randsync-analyze: " << error << "\n";
+      return 2;
+    }
+    findings = restrict_to_changed(findings, changed);
+  }
+  if (sarif) {
+    std::cout << render_sarif(findings);
+  } else if (json) {
+    std::cout << lint::render_json(findings);
+  } else {
+    std::cout << lint::render_text(findings);
+    if (findings.empty()) {
+      std::cout << "randsync-analyze: clean\n";
+    } else {
+      std::cout << "randsync-analyze: " << findings.size() << " finding"
+                << (findings.size() == 1 ? "" : "s") << "\n";
+    }
+  }
+  return findings.empty() ? 0 : 1;
+}
+
+}  // namespace randsync::analyze

@@ -1,0 +1,188 @@
+// randsync-analyze: whole-program determinism & architecture analysis.
+//
+// randsync-lint (lint_engine.h) checks invariants one line at a time;
+// this engine checks the ones that only exist ACROSS lines and files:
+//
+//   * layer-violation -- the declared architecture layering
+//     (runtime -> objects -> protocols -> emulation/core -> verify ->
+//     tools/bench/tests, see layer_table()) holds for every #include
+//     edge, and the include graph is acyclic.  A lower layer including
+//     a higher one is how a "utility" header quietly inverts the
+//     dependency structure.
+//
+//   * nondet-taint -- the transitive closure of the lint rule
+//     `nondet-source`: a function is TAINTED when its call graph
+//     reaches a banned nondeterminism token (nondet_token_rules()),
+//     and any call to a tainted function from simulation code (src/,
+//     outside runtime/coin.*) is reported with the full call chain.
+//     This is what catches a clock read laundered through one or two
+//     helper calls in another file -- invisible to any per-line rule.
+//
+//   * parallel-discipline -- the cross-line closure of the lint rule
+//     `shared-capture`: inside a lambda handed to a parallel dispatch
+//     (parallel_trials / parallel_map_trials / for_each, including the
+//     StealRanges claim loops those lambdas drive), a write to captured
+//     shared state must be mediated -- an atomic operation, a lock, the
+//     StateSet claim protocol, or a per-task index-addressed slot.  A
+//     plain assignment / increment / container mutation on a captured
+//     name is reported.  Also reported: a `memory_order_relaxed` load
+//     feeding an if/while/for condition in a file that computes
+//     ExploreResult/FuzzResult -- relaxed reads may aggregate, never
+//     steer result-affecting control flow.
+//
+// The engine is deliberately build-free: it indexes the repository into
+// stripped token streams (sharing the comment/string stripper with
+// lint_engine) plus a lightweight symbol table -- free functions and
+// methods by name, call sites, an include graph -- and links calls by
+// name (same-file definitions preferred).  That trades type-accurate
+// resolution for zero build dependency and total predictability, the
+// same bargain randsync-lint makes; the contract audit and sanitizer
+// matrix own the semantic half.
+//
+// Suppressions follow the established one-marker-one-rule style:
+// `// analyze: layer-ok`, `// analyze: taint-ok`,
+// `// analyze: parallel-ok` on the offending line or the line directly
+// above (for parallel-discipline, also on the dispatch line, which
+// waives the one lambda that starts there).  Output: text, --json, and
+// --sarif (SARIF 2.1.0, stable ordering) for CI inline annotation;
+// --diff-base=REF restricts findings to lines changed since REF so a
+// CI gate only litigates new code.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint_engine.h"
+
+namespace randsync::analyze {
+
+/// Findings share the lint shape so text/JSON rendering is shared too.
+using lint::Finding;
+
+/// Rule identifiers (also the ctest/CI-facing names).
+inline constexpr const char* kRuleLayerViolation = "layer-violation";
+inline constexpr const char* kRuleNondetTaint = "nondet-taint";
+inline constexpr const char* kRuleParallelDiscipline = "parallel-discipline";
+
+/// Suppression markers, one per rule.
+inline constexpr const char* kSuppressLayerViolation = "analyze: layer-ok";
+inline constexpr const char* kSuppressNondetTaint = "analyze: taint-ok";
+inline constexpr const char* kSuppressParallelDiscipline =
+    "analyze: parallel-ok";
+
+/// One row of the declared architecture layering.  Lower rank = lower
+/// layer; a file may include files of strictly lower rank, or its own
+/// directory.  Directories sharing a rank (emulation/core;
+/// tools/bench/tests) are peers and must not include each other.
+struct LayerSpec {
+  const char* dir;   ///< path prefix, e.g. "src/verify"
+  int rank;          ///< 0 = bottom
+  const char* role;  ///< one-line responsibility, rendered into DESIGN.md
+};
+
+/// THE layer table -- declared here, enforced by rule layer-violation,
+/// and rendered (render_layer_table()) into DESIGN.md so the docs
+/// cannot drift from the enforcement.
+[[nodiscard]] const std::vector<LayerSpec>& layer_table();
+
+/// The table above as a markdown table (embedded verbatim in
+/// DESIGN.md; tests assert the embedding).
+[[nodiscard]] std::string render_layer_table();
+
+/// A function or method definition discovered by the indexer.
+struct FunctionDef {
+  std::string name;       ///< bare name, the call-linking key
+  std::string qualified;  ///< as written, e.g. "StateSet::claim"
+  std::string file;       ///< repo-relative path
+  std::size_t line = 0;   ///< 1-based line of the name token
+  /// Call sites in the body: (bare callee name, 1-based line).
+  std::vector<std::pair<std::string, std::size_t>> calls;
+  /// First banned nondeterminism token in the body (0 = none): the
+  /// taint seed, with the token text for the report.
+  std::size_t nondet_line = 0;
+  std::string nondet_token;
+};
+
+/// One resolved-or-not include directive.
+struct IncludeEdge {
+  std::string target;    ///< as written between the quotes
+  std::size_t line = 0;  ///< 1-based
+  std::string resolved;  ///< repo-relative path, empty if not in the index
+};
+
+/// The whole-program index: every .h/.cpp under the scanned dirs,
+/// stripped sources, include edges, and the symbol table.
+struct RepoIndex {
+  std::string root;
+  std::vector<std::string> files;  ///< sorted, repo-relative
+  std::map<std::string, lint::SplitSource> sources;
+  std::map<std::string, std::vector<IncludeEdge>> includes;
+  std::vector<FunctionDef> functions;  ///< ordered by (file, line)
+  std::vector<std::string> unreadable;  ///< files index_tree could not open
+};
+
+/// Add one file to an index: record it, split it, extract includes and
+/// build its symbol-table entries.  index_tree() drives this over a
+/// directory walk; tests drive it directly to build synthetic indexes
+/// (e.g. a fixture tree with one suppression marker surgically
+/// removed).  analyze_index() does not care about insertion order.
+void index_source(RepoIndex& index, const std::string& path,
+                  const std::string& contents);
+
+/// Index every .h/.cpp file under `root`/<dir> for each dir in `dirs`.
+/// Unreadable files surface later as rule "io-error" findings.
+[[nodiscard]] RepoIndex index_tree(const std::string& root,
+                                   const std::vector<std::string>& dirs);
+
+/// Run all three rules over a prebuilt index.  Finalizes the index
+/// first (sorts the file list, resolves include targets), so the same
+/// index can be re-analyzed after more index_source() calls.  Findings
+/// are sorted by (file, line, rule, message) -- stable across runs and
+/// platforms.
+[[nodiscard]] std::vector<Finding> analyze_index(RepoIndex& index);
+
+/// index_tree + analyze_index.
+[[nodiscard]] std::vector<Finding> analyze_tree(
+    const std::string& root, const std::vector<std::string>& dirs);
+
+/// Lines added or modified per file, from a unified diff.
+struct ChangedLines {
+  std::map<std::string, std::set<std::size_t>> by_file;
+};
+
+/// Parse `git diff --unified=0`-style text into per-file changed line
+/// sets (the "+side" of every hunk).  Exposed for tests; the CLI feeds
+/// it real git output via git_changed_lines().
+[[nodiscard]] ChangedLines parse_unified_diff(const std::string& diff_text);
+
+/// Run `git -C root diff --unified=0 <ref> -- <dirs>` and parse it.
+/// Returns false (with `error` set) when git fails -- e.g. an unknown
+/// ref -- so the CLI can exit 2 instead of silently passing.
+[[nodiscard]] bool git_changed_lines(const std::string& root,
+                                     const std::string& ref,
+                                     const std::vector<std::string>& dirs,
+                                     ChangedLines& out, std::string& error);
+
+/// Keep only findings whose (file, line) is in `changed` -- the
+/// --diff-base gate: legacy findings stay suppressed, new code answers
+/// for itself.
+[[nodiscard]] std::vector<Finding> restrict_to_changed(
+    const std::vector<Finding>& findings, const ChangedLines& changed);
+
+/// Render findings as SARIF 2.1.0 (stable ordering: findings sorted,
+/// rule table in fixed order) for github/codeql-action/upload-sarif.
+[[nodiscard]] std::string render_sarif(const std::vector<Finding>& findings);
+
+/// One-paragraph rule table listing for --list-rules and the docs.
+[[nodiscard]] std::string describe_rules();
+
+/// The full command-line driver, shared by the standalone
+/// `randsync-analyze` binary and the `randsync analyze` subcommand:
+/// `[--root=DIR] [--json|--sarif] [--diff-base=REF] [--list-rules]
+/// [dir...]`.  Returns the process exit code: 0 clean, 1 findings,
+/// 2 usage or git error.
+[[nodiscard]] int analyze_cli_main(const std::vector<std::string>& args);
+
+}  // namespace randsync::analyze

@@ -13,11 +13,6 @@ namespace {
 // Lexical splitting: per line, separate code from comments and blank out
 // string/char literals, tracking block-comment state across lines.
 
-struct SplitLine {
-  std::string code;     ///< literals replaced by spaces, comments removed
-  std::string comment;  ///< the comment text of the line (all of it)
-};
-
 // Splits `line` into code and comment given (and updating) the
 // block-comment state.  Literal contents are blanked in `code` so that
 // banned tokens inside strings (rule tables, log messages) never match.
@@ -81,12 +76,10 @@ SplitLine split_line(const std::string& line, bool& in_block_comment) {
   return out;
 }
 
-struct FileLines {
-  std::vector<SplitLine> lines;
-};
+}  // namespace
 
-FileLines split_file(const std::string& contents) {
-  FileLines out;
+SplitSource split_source(const std::string& contents) {
+  SplitSource out;
   bool in_block = false;
   std::istringstream stream(contents);
   std::string line;
@@ -100,19 +93,32 @@ bool is_word_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
-// Does `marker` appear in the comment text of line `index` (0-based) or
-// of the line directly above it?
-bool suppressed_at(const FileLines& file, std::size_t index,
-                   const char* marker) {
-  if (file.lines[index].comment.find(marker) != std::string::npos) {
+bool marker_at(const SplitSource& source, std::size_t index,
+               const char* marker) {
+  if (source.lines[index].comment.find(marker) != std::string::npos) {
     return true;
   }
   return index > 0 &&
-         file.lines[index - 1].comment.find(marker) != std::string::npos;
+         source.lines[index - 1].comment.find(marker) != std::string::npos;
 }
 
+std::size_t find_token(const std::string& code, const TokenRule& rule,
+                       std::size_t from) {
+  const std::string token = rule.token;
+  std::size_t pos = code.find(token, from);
+  while (pos != std::string::npos) {
+    if (!rule.boundary || pos == 0 || !is_word_char(code[pos - 1])) {
+      return pos;
+    }
+    pos = code.find(token, pos + 1);
+  }
+  return std::string::npos;
+}
+
+namespace {
+
 // Marker anywhere in the file (for the file-scoped protocol rule).
-bool suppressed_anywhere(const FileLines& file, const char* marker) {
+bool suppressed_anywhere(const SplitSource& file, const char* marker) {
   return std::any_of(file.lines.begin(), file.lines.end(),
                      [marker](const SplitLine& l) {
                        return l.comment.find(marker) != std::string::npos;
@@ -126,7 +132,7 @@ bool starts_with(const std::string& s, const char* prefix) {
 // ---------------------------------------------------------------------------
 // Rule 1: banned nondeterminism sources.
 
-void check_nondet_sources(const std::string& path, const FileLines& file,
+void check_nondet_sources(const std::string& path, const SplitSource& file,
                           std::vector<Finding>& findings) {
   // Whitelist anchor: the coin layer IS the sanctioned randomness
   // boundary, so runtime/coin.{h,cpp} may name whatever sources it
@@ -148,7 +154,7 @@ void check_nondet_sources(const std::string& path, const FileLines& file,
         const bool boundary_ok =
             !rule.boundary || pos == 0 || !is_word_char(code[pos - 1]);
         if (boundary_ok) {
-          if (!suppressed_at(file, i, kSuppressNondetSource)) {
+          if (!marker_at(file, i, kSuppressNondetSource)) {
             findings.push_back(
                 {path, i + 1, kRuleNondetSource,
                  std::string("banned nondeterminism source `") + rule.token +
@@ -167,7 +173,7 @@ void check_nondet_sources(const std::string& path, const FileLines& file,
 // ---------------------------------------------------------------------------
 // Rule 2: ObjectType subclasses must take a position on independence.
 
-void check_object_oracles(const std::string& path, const FileLines& file,
+void check_object_oracles(const std::string& path, const SplitSource& file,
                           std::vector<Finding>& findings) {
   if (!starts_with(path, "src/objects/")) {
     return;
@@ -190,7 +196,7 @@ void check_object_oracles(const std::string& path, const FileLines& file,
       has_oracle =
           file.lines[i].code.find("independent(") != std::string::npos;
     }
-    if (has_oracle || suppressed_at(file, begin, kSuppressObjectOracle)) {
+    if (has_oracle || marker_at(file, begin, kSuppressObjectOracle)) {
       continue;
     }
     findings.push_back(
@@ -206,7 +212,7 @@ void check_object_oracles(const std::string& path, const FileLines& file,
 // ---------------------------------------------------------------------------
 // Rule 3: coin-flipping protocols must take a position on symmetry_key.
 
-void check_protocol_symmetry(const std::string& path, const FileLines& file,
+void check_protocol_symmetry(const std::string& path, const SplitSource& file,
                              std::vector<Finding>& findings) {
   if (!starts_with(path, "src/protocols/")) {
     return;
@@ -315,7 +321,7 @@ std::vector<std::string> range_for_targets(const std::string& code) {
   return targets;
 }
 
-void check_nondet_order(const std::string& path, const FileLines& file,
+void check_nondet_order(const std::string& path, const SplitSource& file,
                         std::vector<Finding>& findings) {
   if (!starts_with(path, "src/verify/")) {
     return;
@@ -335,7 +341,7 @@ void check_nondet_order(const std::string& path, const FileLines& file,
           unordered_names.end()) {
         continue;
       }
-      if (suppressed_at(file, i, kSuppressNondetOrder)) {
+      if (marker_at(file, i, kSuppressNondetOrder)) {
         continue;
       }
       findings.push_back(
@@ -360,7 +366,7 @@ void check_nondet_order(const std::string& path, const FileLines& file,
 // merely USE policies -- the engine itself constructs per-trial coins
 // and reseeds process streams -- stay out of scope.)
 
-void check_policy_coin(const std::string& path, const FileLines& file,
+void check_policy_coin(const std::string& path, const SplitSource& file,
                        std::vector<Finding>& findings) {
   if (!starts_with(path, "src/verify/")) {
     return;
@@ -382,7 +388,7 @@ void check_policy_coin(const std::string& path, const FileLines& file,
         const bool boundary_ok =
             !rule.boundary || pos == 0 || !is_word_char(code[pos - 1]);
         if (boundary_ok) {
-          if (!suppressed_at(file, i, kSuppressPolicyCoin)) {
+          if (!marker_at(file, i, kSuppressPolicyCoin)) {
             findings.push_back(
                 {path, i + 1, kRulePolicyCoin,
                  std::string("policy implementation uses `") + rule.token +
@@ -420,7 +426,7 @@ constexpr const char* kDispatchTokens[] = {"parallel_trials(",
 /// the window (call line itself plus trailing-argument wrapping).
 constexpr std::size_t kCaptureWindow = 2;
 
-void check_shared_capture(const std::string& path, const FileLines& file,
+void check_shared_capture(const std::string& path, const SplitSource& file,
                           std::vector<Finding>& findings) {
   if (!starts_with(path, "src/verify/")) {
     return;
@@ -445,7 +451,7 @@ void check_shared_capture(const std::string& path, const FileLines& file,
     }
     const bool default_ref = code.find("[&]") != std::string::npos ||
                              code.find("[&,") != std::string::npos;
-    if (!default_ref || suppressed_at(file, i, kSuppressSharedCapture)) {
+    if (!default_ref || marker_at(file, i, kSuppressSharedCapture)) {
       continue;
     }
     findings.push_back(
@@ -475,7 +481,7 @@ void check_shared_capture(const std::string& path, const FileLines& file,
 // buffers whose size is the frontier, not the graph -- opts in with the
 // marker.
 
-void check_resident_config(const std::string& path, const FileLines& file,
+void check_resident_config(const std::string& path, const SplitSource& file,
                            std::vector<Finding>& findings) {
   if (!starts_with(path, "src/verify/")) {
     return;
@@ -522,7 +528,7 @@ void check_resident_config(const std::string& path, const FileLines& file,
       }
       pos = code.find(kVector, pos + 1);
     }
-    if (!flagged || suppressed_at(file, i, kSuppressResidentConfig)) {
+    if (!flagged || marker_at(file, i, kSuppressResidentConfig)) {
       continue;
     }
     findings.push_back(
@@ -604,7 +610,7 @@ const std::vector<TokenRule>& policy_coin_token_rules() {
 
 std::vector<Finding> lint_source(const std::string& path,
                                  const std::string& contents) {
-  const FileLines file = split_file(contents);
+  const SplitSource file = split_source(contents);
   std::vector<Finding> findings;
   check_nondet_sources(path, file, findings);
   check_object_oracles(path, file, findings);

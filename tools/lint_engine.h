@@ -60,6 +60,34 @@ struct Finding {
   std::string message;  ///< human-readable detail, names the suppression
 };
 
+/// One source line split into code and comment text.  String/char
+/// literal contents are blanked out of `code` so banned tokens inside
+/// strings (rule tables, log messages) never match; `comment` carries
+/// the comment text, where suppression markers live.  Shared with the
+/// whole-program analyzer (tools/analyze_engine.h) so both engines see
+/// the same lexical model.
+struct SplitLine {
+  std::string code;     ///< literals replaced by spaces, comments removed
+  std::string comment;  ///< the comment text of the line (all of it)
+};
+
+/// A whole file split line by line, tracking block comments across
+/// lines.
+struct SplitSource {
+  std::vector<SplitLine> lines;
+};
+
+[[nodiscard]] SplitSource split_source(const std::string& contents);
+
+/// Does `marker` appear in the comment text of line `index` (0-based)
+/// or of the line directly above it?  The placement contract every
+/// suppression marker follows.
+[[nodiscard]] bool marker_at(const SplitSource& source, std::size_t index,
+                             const char* marker);
+
+/// Identifier character (letter, digit or underscore).
+[[nodiscard]] bool is_word_char(char c);
+
 /// A banned-token rule: `token` must not appear (in code, outside
 /// comments and string literals) in files whose path starts with one of
 /// `scopes`, unless the path starts with one of `whitelist` or the
@@ -76,6 +104,12 @@ struct TokenRule {
   /// tokens clear this and apply only to src/ and tools/.
   bool banned_in_bench = true;
 };
+
+/// Position of the first match of `rule.token` in `code` at or after
+/// `from`, honoring the rule's word-boundary flag; npos when absent.
+[[nodiscard]] std::size_t find_token(const std::string& code,
+                                     const TokenRule& rule,
+                                     std::size_t from = 0);
 
 /// Rule identifiers (also the ctest/CI-facing names).
 inline constexpr const char* kRuleNondetSource = "nondet-source";

@@ -1,0 +1,20 @@
+// Standalone driver for the whole-program analyzer -- the same engine
+// the `randsync analyze` subcommand runs, compilable with nothing but a
+// C++20 compiler (the CI analyze job builds exactly these three
+// translation units with no CMake involved):
+//
+//   c++ -std=c++20 -O2 tools/lint_engine.cpp tools/analyze_engine.cpp
+//       tools/randsync_analyze.cpp -o randsync-analyze   (one command)
+//
+// Usage: randsync-analyze [--root=DIR] [--json|--sarif]
+//                         [--diff-base=REF] [--list-rules] [dir...]
+// Exit codes: 0 clean, 1 findings, 2 usage or git error.
+#include <string>
+#include <vector>
+
+#include "analyze_engine.h"
+
+int main(int argc, char** argv) {
+  return randsync::analyze::analyze_cli_main(
+      std::vector<std::string>(argv + 1, argv + argc));
+}

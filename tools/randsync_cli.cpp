@@ -54,6 +54,11 @@
 //       registry-wide contract audit (verify/contracts.h): Section-2
 //       classification claims, independence-oracle soundness, and
 //       symmetry-key consistency; exits nonzero on any finding.
+//
+//   randsync analyze [--root=DIR] [--json|--sarif] [--diff-base=REF]
+//       whole-program static analysis (tools/analyze_engine.h):
+//       architecture layering, call-graph nondeterminism taint, and
+//       parallel-region discipline; exits nonzero on any finding.
 
 #include <chrono>
 #include <cstdio>
@@ -62,7 +67,9 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "analyze_engine.h"
 #include "core/bounds.h"
 #include "core/bivalence.h"
 #include "core/clone_adversary.h"
@@ -506,6 +513,8 @@ int usage() {
       "usage:\n"
       "  randsync list\n"
       "  randsync audit --contracts [--json]\n"
+      "  randsync analyze [--root=DIR] [--json|--sarif] [--diff-base=REF] "
+      "[--list-rules] [dir...]\n"
       "  randsync run <protocol> [n] [--param=K] [--seed=S] "
       "[--scheduler=random|rr|contention|crash]\n"
       "  randsync attack <protocol> [--param=r] [--seed=S] [--general]\n"
@@ -542,6 +551,10 @@ int run_main(int argc, char** argv) {
   }
   if (command == "audit") {
     return cmd_audit(argc, argv);
+  }
+  if (command == "analyze") {
+    return randsync::analyze::analyze_cli_main(
+        std::vector<std::string>(argv + 2, argv + argc));
   }
   if (argc < 3) {
     return usage();
